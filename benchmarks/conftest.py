@@ -1,0 +1,46 @@
+"""Shared fixtures for the per-experiment benchmarks.
+
+Each benchmark file regenerates one of the paper's tables/figures (in
+quick mode, cached for the session), asserts its shape checks, and times
+that experiment's computational kernel with pytest-benchmark.
+"""
+
+import pytest
+
+from repro.cluster import LAM_7_1_3, NoiseModel, SimulatedCluster, table1_cluster
+from repro.experiments import run_experiment
+from repro.experiments.common import get_model_suite
+
+_RESULTS: dict[str, object] = {}
+
+
+@pytest.fixture(scope="session")
+def experiment_results():
+    """Lazily computed quick-mode experiment results, cached per session."""
+
+    def get(experiment_id: str):
+        if experiment_id not in _RESULTS:
+            _RESULTS[experiment_id] = run_experiment(experiment_id, quick=True)
+        return _RESULTS[experiment_id]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def model_suite():
+    """All models estimated on the Table I cluster (quick mode)."""
+    return get_model_suite(quick=True)
+
+
+@pytest.fixture()
+def lam_cluster():
+    """A fresh Table I cluster under LAM (deterministic noise stream)."""
+    return SimulatedCluster(
+        table1_cluster(), profile=LAM_7_1_3, noise=NoiseModel.default(), seed=42
+    )
+
+
+def assert_checks(result) -> None:
+    """Fail loudly if any of the experiment's shape checks failed."""
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{result.experiment_id} failed shape checks: {failed}"

@@ -1,0 +1,110 @@
+"""Ablation benches for the design decisions DESIGN.md calls out.
+
+* D1 — rendezvous serialization off => gather's sum regime (the steeper
+  M > M2 slope) collapses back toward the parallel branch.
+* D2 — escalations off => the medium region is clean and the Fig. 7
+  optimization becomes pointless.
+* D3 — eager/rendezvous protocol off => the scatter leap disappears.
+* D5 — parallel experiment schedules don't perturb results on a
+  non-blocking switch (parallel == serial durations).
+"""
+
+import numpy as np
+import pytest
+
+from conftest import assert_checks
+
+from repro.cluster import IDEAL, LAM_7_1_3, NoiseModel, SimulatedCluster, table1_cluster
+from repro.estimation import DESEngine
+from repro.estimation.experiments import roundtrip
+from repro.mpi import run_collective
+
+KB = 1024
+
+
+def make_cluster(profile, seed=7):
+    return SimulatedCluster(
+        table1_cluster(), profile=profile, noise=NoiseModel.none(), seed=seed
+    )
+
+
+def gather_min_time(cluster, nbytes, reps=6):
+    return min(
+        run_collective(cluster, "gather", "linear", nbytes=nbytes).time
+        for _ in range(reps)
+    )
+
+
+def test_ablation_d1_rendezvous_creates_sum_regime(benchmark):
+    """Without the rendezvous protocol, the 96->160 KB gather slope drops
+    back to the wire-serialized rate: the M2 regime is a protocol effect."""
+    lam = make_cluster(LAM_7_1_3)
+    ideal = make_cluster(IDEAL)
+
+    def kernel():
+        return (
+            gather_min_time(lam, 160 * KB) - gather_min_time(lam, 96 * KB),
+            gather_min_time(ideal, 160 * KB) - gather_min_time(ideal, 96 * KB),
+        )
+
+    with_protocol, without_protocol = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert with_protocol > 1.2 * without_protocol
+
+
+def test_ablation_d2_escalations_drive_fig7(benchmark):
+    """With escalations disabled, native medium-size gather is already
+    clean — the optimization's 10x gain is entirely the RTO model."""
+    quiet_profile = LAM_7_1_3.with_overrides(escalation_p_max=0.0)
+    noisy = make_cluster(LAM_7_1_3)
+    quiet = make_cluster(quiet_profile)
+
+    def kernel():
+        worst_noisy = max(
+            run_collective(noisy, "gather", "linear", nbytes=32 * KB).time
+            for _ in range(10)
+        )
+        worst_quiet = max(
+            run_collective(quiet, "gather", "linear", nbytes=32 * KB).time
+            for _ in range(10)
+        )
+        return worst_noisy, worst_quiet
+
+    worst_noisy, worst_quiet = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert worst_noisy > 0.2  # at least one RTO in ten runs
+    assert worst_quiet < 0.1  # never an RTO
+
+
+def test_ablation_d3_eager_threshold_creates_scatter_leap(benchmark):
+    """The 64 KB scatter leap is the rendezvous switch: the IDEAL profile
+    crosses 64 KB smoothly."""
+    lam = make_cluster(LAM_7_1_3)
+    ideal = make_cluster(IDEAL)
+
+    def step(cluster):
+        below = run_collective(cluster, "scatter", "linear", nbytes=56 * KB).time
+        above = run_collective(cluster, "scatter", "linear", nbytes=72 * KB).time
+        slope_below = below / (56 * KB)
+        return (above - below) / (16 * KB) / slope_below
+
+    def kernel():
+        return step(lam), step(ideal)
+
+    lam_step, ideal_step = benchmark.pedantic(kernel, rounds=1, iterations=1)
+    assert lam_step > 2.0  # leap: slope across 64 KB >> average slope
+    assert ideal_step < 2.0
+
+
+def test_ablation_d5_parallel_schedule_is_non_intrusive(benchmark, experiment_results):
+    """Disjoint experiments through one switch: batch == serial timings."""
+    assert_checks(experiment_results("estimation_cost"))
+    cluster = make_cluster(LAM_7_1_3)
+    engine = DESEngine(cluster)
+    exps = [roundtrip(0, 1, 32 * KB), roundtrip(2, 3, 32 * KB), roundtrip(4, 5, 32 * KB)]
+
+    def kernel():
+        serial = [engine.run(exp) for exp in exps]
+        batch = engine.run_batch(exps)
+        return serial, batch
+
+    serial, batch = benchmark(kernel)
+    assert np.allclose(serial, batch, rtol=1e-12)

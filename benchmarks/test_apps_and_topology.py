@@ -1,0 +1,65 @@
+"""Benches of the mini-applications and the multi-switch substrate."""
+
+import numpy as np
+
+from repro.apps import run_jacobi, run_matvec
+from repro.cluster import (
+    IDEAL,
+    GroundTruth,
+    NoiseModel,
+    SimulatedCluster,
+    TwoSwitchTopology,
+    random_cluster,
+)
+from repro.mpi import run_collective
+
+KB = 1024
+
+
+def quiet_cluster(n=8, seed=130):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed, beta_range=(0.9e8, 1.1e8)),
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+
+
+def test_bench_matvec(benchmark):
+    """Kernel: a full distributed 256x128 matvec (scatterv+bcast+gatherv)."""
+    cluster = quiet_cluster()
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(256, 128))
+    x = rng.normal(size=128)
+
+    def kernel():
+        return run_matvec(cluster, a, x)
+
+    result = benchmark(kernel)
+    assert result.max_error(a, x) < 1e-10
+
+
+def test_bench_jacobi(benchmark):
+    """Kernel: 50 Jacobi sweeps with halo exchange and residual checks."""
+    cluster = quiet_cluster(seed=131)
+
+    def kernel():
+        return run_jacobi(cluster, npoints=64, iterations=50)
+
+    result = benchmark(kernel)
+    assert result.makespan > 0
+
+
+def test_bench_cross_switch_scatter(benchmark):
+    """Kernel: a 16 KB scatter over two cascaded switches (uplink shared)."""
+    cluster = quiet_cluster(seed=132)
+    cluster.attach_topology(TwoSwitchTopology.split_evenly(8))
+
+    def kernel():
+        return run_collective(cluster, "scatter", "linear", nbytes=16 * KB).time
+
+    single = quiet_cluster(seed=132)
+    t_single = run_collective(single, "scatter", "linear", nbytes=16 * KB).time
+    t_two = benchmark(kernel)
+    assert t_two > t_single  # the uplink always costs something

@@ -1,0 +1,43 @@
+"""Sec. III bench: M1/M2 detection per MPI profile, plus Fig. 2 tree."""
+
+from conftest import assert_checks
+
+from repro.estimation import DESEngine, detect_gather_irregularity, sweep_collective
+from repro.models import binomial_tree
+
+KB = 1024
+
+
+def test_thresholds_shape(experiment_results):
+    assert_checks(experiment_results("thresholds"))
+
+
+def test_fig2_shape(experiment_results):
+    assert_checks(experiment_results("fig2"))
+
+
+def test_bench_threshold_detection(benchmark, experiment_results, lam_cluster):
+    """Kernel: detect (M1, M2) from a pre-collected gather sweep."""
+    assert_checks(experiment_results("thresholds"))
+    engine = DESEngine(lam_cluster)
+    sweep = sweep_collective(
+        engine, "gather", "linear",
+        sizes=[2 * KB, 4 * KB, 8 * KB, 32 * KB, 64 * KB, 96 * KB],
+        reps=10,
+    )
+
+    def kernel():
+        return detect_gather_irregularity(sweep)
+
+    irr = benchmark(kernel)
+    assert irr.m1 < irr.m2
+
+
+def test_bench_binomial_tree_construction(benchmark, experiment_results):
+    """Kernel: Fig. 2's tree built from scratch (any n up to 256)."""
+    assert_checks(experiment_results("fig2"))
+
+    def kernel():
+        return [binomial_tree(n, 0).depth() for n in (16, 64, 256)]
+
+    assert benchmark(kernel) == [4, 6, 8]

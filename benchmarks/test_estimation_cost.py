@@ -1,0 +1,41 @@
+"""Sec. IV bench: serial vs parallel estimation cost (16 s -> 5 s claim)."""
+
+from itertools import combinations
+
+from conftest import assert_checks
+
+from repro.estimation import DESEngine
+from repro.estimation.experiments import roundtrip
+from repro.estimation.scheduling import pair_rounds
+
+KB = 1024
+
+
+def test_estimation_cost_shape(experiment_results):
+    assert_checks(experiment_results("estimation_cost"))
+
+
+def test_bench_one_parallel_round(benchmark, experiment_results, lam_cluster):
+    """Kernel: one round of 8 disjoint roundtrips in a single simulation."""
+    assert_checks(experiment_results("estimation_cost"))
+    engine = DESEngine(lam_cluster)
+    round_pairs = pair_rounds(16)[0]
+    experiments = [roundtrip(i, j, 32 * KB) for i, j in round_pairs]
+
+    def kernel():
+        return engine.run_batch(experiments)
+
+    durations = benchmark(kernel)
+    assert len(durations) == 8
+
+
+def test_bench_serial_sweep_of_pairs(benchmark, experiment_results, lam_cluster):
+    """Kernel: all 120 pair roundtrips one at a time (the serial schedule)."""
+    assert_checks(experiment_results("estimation_cost"))
+    engine = DESEngine(lam_cluster)
+    experiments = [roundtrip(i, j, 0) for i, j in combinations(range(16), 2)]
+
+    def kernel():
+        return [engine.run(exp) for exp in experiments]
+
+    assert len(benchmark(kernel)) == 120

@@ -1,0 +1,99 @@
+"""Benches of the beyond-the-paper extensions: the wider algorithm menu,
+heterogeneous data partitioning, drift spot-checks, and sub-communicators.
+
+These cover the 'future work' the paper's framework implies — every one
+driven by the same extended-LMO model the paper contributes.
+"""
+
+import numpy as np
+
+from repro.cluster import synthesize_ground_truth, table1_cluster
+from repro.estimation import DESEngine, detect_model_drift
+from repro.models import ExtendedLMOModel
+from repro.models.collectives.formulas_ext import predict_collective
+from repro.mpi import run_collective, run_group_collective
+from repro.optimize import even_partition, optimal_partition, partition_makespan
+
+KB = 1024
+MB = 1024 * 1024
+
+
+def table1_model():
+    return ExtendedLMOModel.from_ground_truth(synthesize_ground_truth(table1_cluster()))
+
+
+def test_bench_menu_predictions(benchmark):
+    """Kernel: the full (operation, algorithm) prediction menu at 3 sizes."""
+    model = table1_model()
+    menu = [
+        ("bcast", "linear"), ("bcast", "binomial"), ("bcast", "pipeline"),
+        ("allgather", "ring"), ("allgather", "recursive_doubling"),
+        ("allreduce", "recursive_doubling"), ("allreduce", "reduce_bcast"),
+    ]
+
+    def kernel():
+        return sum(
+            predict_collective(model, op, algo, m)
+            for op, algo in menu
+            for m in (KB, 32 * KB, 256 * KB)
+        )
+
+    assert benchmark(kernel) > 0
+
+
+def test_bench_pipeline_bcast_simulation(benchmark, lam_cluster):
+    """Kernel: a 16-rank pipelined broadcast of 256 KB."""
+
+    def kernel():
+        return run_collective(lam_cluster, "bcast", "pipeline", nbytes=256 * KB,
+                              segment_nbytes=16 * KB).time
+
+    assert benchmark(kernel) > 0
+
+
+def test_bench_partition_lp(benchmark):
+    """Kernel: the min-makespan LP for 16 heterogeneous nodes."""
+    model = table1_model()
+    rng = np.random.default_rng(0)
+    work = rng.uniform(50e-9, 400e-9, size=16)
+
+    def kernel():
+        return optimal_partition(model, 32 * MB, work)
+
+    part = benchmark(kernel)
+    assert part.total == 32 * MB
+    even = even_partition(16, 32 * MB)
+    assert part.predicted_makespan <= partition_makespan(model, even, work) + 1e-12
+
+
+def test_bench_drift_spot_check(benchmark):
+    """Kernel: the full drift spot-check (2 probes per node, batched).
+
+    Noise-free cluster: the benchmark repeats the kernel hundreds of
+    times, and with OS-jitter enabled a rare spike under ``reps=1`` would
+    (correctly!) flag drift — determinism keeps the assertion meaningful.
+    """
+    from repro.cluster import LAM_7_1_3, NoiseModel, SimulatedCluster, table1_cluster
+
+    cluster = SimulatedCluster(table1_cluster(), profile=LAM_7_1_3,
+                               noise=NoiseModel.none(), seed=42)
+    model = ExtendedLMOModel.from_ground_truth(cluster.ground_truth)
+    engine = DESEngine(cluster)
+
+    def kernel():
+        return detect_model_drift(model, engine, reps=1)
+
+    report = benchmark(kernel)
+    assert not report.drifted
+
+
+def test_bench_group_collective(benchmark, lam_cluster):
+    """Kernel: a binomial gather on an 8-node sub-communicator."""
+    members = [0, 2, 4, 6, 8, 10, 12, 14]
+
+    def kernel():
+        return run_group_collective(
+            lam_cluster, members, "gather", "binomial", nbytes=8 * KB
+        ).time
+
+    assert benchmark(kernel) > 0

@@ -1,0 +1,43 @@
+"""Fig. 1 bench: linear scatter observation vs the four Hockney readings.
+
+The kernel is one full 16-rank linear-scatter simulation at 64 KB — the
+workload the figure measures at every size.
+"""
+
+from conftest import assert_checks
+
+from repro.mpi import run_collective
+
+KB = 1024
+
+
+def test_fig1_shape(experiment_results):
+    assert_checks(experiment_results("fig1"))
+
+
+def test_bench_linear_scatter_64kb(benchmark, experiment_results, lam_cluster):
+    assert_checks(experiment_results("fig1"))
+
+    def kernel():
+        return run_collective(lam_cluster, "scatter", "linear", nbytes=64 * KB).time
+
+    duration = benchmark(kernel)
+    assert duration > 0
+
+
+def test_bench_hockney_predictions_sweep(benchmark, experiment_results, model_suite):
+    """Kernel: the four Hockney predictions over the full size grid."""
+    assert_checks(experiment_results("fig1"))
+    from repro.experiments.common import SIZES_FULL
+    from repro.models import predict_linear_scatter
+
+    def kernel():
+        total = 0.0
+        for m in SIZES_FULL:
+            total += predict_linear_scatter(model_suite.hockney_hom, m, assumption="sequential")
+            total += predict_linear_scatter(model_suite.hockney_hom, m, assumption="parallel")
+            total += predict_linear_scatter(model_suite.hockney_het, m, assumption="sequential")
+            total += predict_linear_scatter(model_suite.hockney_het, m, assumption="parallel")
+        return total
+
+    assert benchmark(kernel) > 0

@@ -1,0 +1,31 @@
+"""Fig. 3 bench: binomial scatter vs the Hockney recursion (eqs. 1-2)."""
+
+from conftest import assert_checks
+
+from repro.models import predict_binomial_scatter
+from repro.mpi import run_collective
+
+KB = 1024
+
+
+def test_fig3_shape(experiment_results):
+    assert_checks(experiment_results("fig3"))
+
+
+def test_bench_binomial_scatter_simulation(benchmark, experiment_results, lam_cluster):
+    assert_checks(experiment_results("fig3"))
+
+    def kernel():
+        return run_collective(lam_cluster, "scatter", "binomial", nbytes=32 * KB).time
+
+    assert benchmark(kernel) > 0
+
+
+def test_bench_hockney_binomial_recursion(benchmark, experiment_results, model_suite):
+    """Kernel: the paper's recursive formula (1) on the 16-node tree."""
+    assert_checks(experiment_results("fig3"))
+
+    def kernel():
+        return predict_binomial_scatter(model_suite.hockney_het, 32 * KB)
+
+    assert benchmark(kernel) > 0

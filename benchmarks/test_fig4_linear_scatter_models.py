@@ -1,0 +1,40 @@
+"""Fig. 4 bench: all models' linear-scatter predictions vs observation."""
+
+from conftest import assert_checks
+
+from repro.experiments.common import SIZES_FULL
+from repro.models import predict_linear_scatter
+
+
+def test_fig4_shape(experiment_results):
+    assert_checks(experiment_results("fig4"))
+
+
+def test_fig4_lmo_wins(experiment_results):
+    """The quantitative core of Fig. 4: smallest mean relative error."""
+    result = experiment_results("fig4")
+    observed = result.get("observed")
+    errors = {
+        name: result.get(name).mean_relative_error(observed)
+        for name in ("lmo", "het-hockney", "loggp", "plogp")
+    }
+    assert min(errors, key=errors.__getitem__) == "lmo"
+    assert errors["lmo"] < 0.3
+
+
+def test_bench_all_model_predictions(benchmark, experiment_results, model_suite):
+    """Kernel: every model's prediction over the full size grid."""
+    assert_checks(experiment_results("fig4"))
+    models = [
+        model_suite.lmo,
+        model_suite.hockney_het,
+        model_suite.loggp,
+        model_suite.plogp,
+    ]
+
+    def kernel():
+        return sum(
+            predict_linear_scatter(model, m) for model in models for m in SIZES_FULL
+        )
+
+    assert benchmark(kernel) > 0

@@ -1,0 +1,41 @@
+"""Fig. 5 bench: linear gather — two slopes and escalations."""
+
+from conftest import assert_checks
+
+from repro.models import GatherPrediction, predict_linear_gather
+from repro.mpi import run_collective
+
+KB = 1024
+
+
+def test_fig5_shape(experiment_results):
+    assert_checks(experiment_results("fig5"))
+
+
+def test_fig5_lmo_tracks_clean_observation(experiment_results):
+    result = experiment_results("fig5")
+    clean = result.get("observed-min")
+    lmo = result.get("lmo")
+    assert lmo.mean_relative_error(clean) < 0.35
+
+
+def test_bench_gather_in_escalation_region(benchmark, experiment_results, lam_cluster):
+    """Kernel: one 16-rank gather at 32 KB (the irregular region)."""
+    assert_checks(experiment_results("fig5"))
+
+    def kernel():
+        return run_collective(lam_cluster, "gather", "linear", nbytes=32 * KB).time
+
+    assert benchmark(kernel) > 0
+
+
+def test_bench_lmo_gather_formula(benchmark, experiment_results, model_suite):
+    """Kernel: formula (5) with its empirical branches."""
+    assert_checks(experiment_results("fig5"))
+
+    def kernel():
+        pred = predict_linear_gather(model_suite.lmo, 32 * KB)
+        assert isinstance(pred, GatherPrediction)
+        return pred.expected
+
+    assert benchmark(kernel) > 0

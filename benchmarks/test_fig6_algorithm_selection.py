@@ -1,0 +1,41 @@
+"""Fig. 6 bench: model-driven linear/binomial switch for 100-200 KB."""
+
+from conftest import assert_checks
+
+from repro.optimize import predict_algorithms
+
+KB = 1024
+
+
+def test_fig6_shape(experiment_results):
+    assert_checks(experiment_results("fig6"))
+
+
+def test_fig6_decision_table(experiment_results):
+    """Hockney flips to binomial inside the band, LMO never does, and the
+    observation sides with LMO."""
+    result = experiment_results("fig6")
+    sizes = result.get("obs-linear").sizes
+    for m in sizes:
+        assert result.get("obs-linear").at(m) < result.get("obs-binomial").at(m)
+        assert result.get("lmo-linear").at(m) < result.get("lmo-binomial").at(m)
+    assert any(
+        result.get("hockney-binomial").at(m) < result.get("hockney-linear").at(m)
+        for m in sizes
+    )
+
+
+def test_bench_selection_kernel(benchmark, experiment_results, model_suite):
+    """Kernel: both models' decisions across the 100-200 KB band."""
+    assert_checks(experiment_results("fig6"))
+    band = [int(m * KB) for m in (100, 120, 140, 160, 180, 200)]
+
+    def kernel():
+        decisions = []
+        for m in band:
+            decisions.append(predict_algorithms(model_suite.hockney_het, "scatter", m).best)
+            decisions.append(predict_algorithms(model_suite.lmo, "scatter", m).best)
+        return decisions
+
+    decisions = benchmark(kernel)
+    assert len(decisions) == 12

@@ -1,0 +1,39 @@
+"""Fig. 7 bench: native vs LMO-optimized (split) linear gather."""
+
+from conftest import assert_checks
+
+from repro.mpi import run_ranks
+from repro.optimize import optimized_gather
+
+KB = 1024
+
+
+def test_fig7_shape(experiment_results):
+    assert_checks(experiment_results("fig7"))
+
+
+def test_fig7_speedup_is_large(experiment_results):
+    """Paper: ~10x in the escalation region."""
+    result = experiment_results("fig7")
+    native = result.get("native-mean")
+    optimized = result.get("optimized-mean")
+    best = max(native.at(m) / optimized.at(m) for m in native.sizes)
+    assert best > 5.0
+
+
+def test_bench_optimized_gather_32kb(benchmark, experiment_results, model_suite, lam_cluster):
+    """Kernel: one 16-rank split-optimized gather at 32 KB."""
+    assert_checks(experiment_results("fig7"))
+    irregularity = model_suite.lmo.gather_irregularity
+    assert irregularity is not None
+
+    def kernel():
+        programs = {
+            rank: (lambda comm: optimized_gather(comm, 0, 32 * KB, irregularity))
+            for rank in range(lam_cluster.n)
+        }
+        results = run_ranks(lam_cluster, programs)
+        return max(res.finish for res in results.values())
+
+    duration = benchmark(kernel)
+    assert duration < 0.1  # never pays an RTO

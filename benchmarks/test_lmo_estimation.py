@@ -1,0 +1,37 @@
+"""Bench of the paper's core procedure: LMO parameter estimation.
+
+Times both the full experiment-set estimation on the simulated cluster
+and the pure equation-solving stage (triplet systems, eqs. 8 and 11) via
+the analytic oracle — the paper's own cost breakdown (Sec. IV counts the
+measurements and the ``3 C(n,3)`` comparisons / ``12 C(n,3)`` formulas).
+"""
+
+import numpy as np
+
+from repro.cluster import GroundTruth
+from repro.estimation import AnalyticEngine, DESEngine, estimate_extended_lmo, star_triplets
+
+
+def test_bench_full_estimation_on_cluster(benchmark, lam_cluster):
+    """Kernel: the complete star-design estimation at n=16 on the DES."""
+
+    def kernel():
+        engine = DESEngine(lam_cluster)
+        return estimate_extended_lmo(
+            engine, reps=1, triplets=star_triplets(16), clamp=True
+        ).model
+
+    model = benchmark(kernel)
+    assert model.n == 16
+
+
+def test_bench_equation_solving_only(benchmark):
+    """Kernel: measurements from the analytic oracle, i.e. almost pure
+    system-solving cost (eqs. 8/11 per triplet + eq. 12 averaging)."""
+    gt = GroundTruth.random(16, seed=1)
+
+    def kernel():
+        return estimate_extended_lmo(AnalyticEngine(gt), reps=1).model
+
+    model = benchmark(kernel)
+    assert np.allclose(model.C, gt.C, rtol=1e-6)

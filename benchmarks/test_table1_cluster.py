@@ -1,0 +1,17 @@
+"""Table I bench: cluster construction and ground-truth synthesis."""
+
+from conftest import assert_checks
+
+from repro.cluster import synthesize_ground_truth, table1_cluster
+
+
+def test_table1_shape(experiment_results):
+    assert_checks(experiment_results("table1"))
+
+
+def test_bench_ground_truth_synthesis(benchmark, experiment_results):
+    """Kernel: derive the 16-node ground truth from the hardware table."""
+    assert_checks(experiment_results("table1"))
+    spec = table1_cluster()
+    gt = benchmark(synthesize_ground_truth, spec)
+    assert gt.n == 16

@@ -1,0 +1,36 @@
+"""Table II bench: evaluating every model's closed-form predictions."""
+
+from conftest import assert_checks
+
+from repro.models import GatherPrediction, predict_linear_gather, predict_linear_scatter
+
+KB = 1024
+
+
+def test_table2_shape(experiment_results):
+    assert_checks(experiment_results("table2"))
+
+
+def test_bench_formula_evaluation(benchmark, experiment_results, model_suite):
+    """Kernel: all Table II rows at three representative sizes."""
+    assert_checks(experiment_results("table2"))
+    models = [
+        model_suite.hockney_het,
+        model_suite.loggp,
+        model_suite.plogp,
+        model_suite.lmo,
+    ]
+    sizes = (1 * KB, 32 * KB, 160 * KB)
+
+    def kernel():
+        total = 0.0
+        for model in models:
+            for m in sizes:
+                total += float(predict_linear_scatter(model, m))
+                gather = predict_linear_gather(model, m)
+                total += (
+                    gather.expected if isinstance(gather, GatherPrediction) else float(gather)
+                )
+        return total
+
+    assert benchmark(kernel) > 0

@@ -1,0 +1,82 @@
+"""Timelines: watch the cluster execute collectives.
+
+The tracer records every CPU and switch-port activity; the ASCII Gantt
+charts below make the paper's arguments visible at a glance:
+
+* linear scatter — the root CPU is one solid stripe (the serialized part
+  the LMO formula charges as ``(n-1)(C_r + M t_r)``) while the wires and
+  receivers overlap underneath it;
+* linear gather in the escalation region — a TCP retransmission timeout
+  ('R') dwarfs the actual work;
+* the LMO-optimized split gather — the same bytes, no escalations.
+
+Run with::
+
+    python examples/timeline_demo.py
+"""
+
+from repro.cluster import LAM_7_1_3, NoiseModel, SimulatedCluster, table1_cluster
+from repro.models import GatherIrregularity
+from repro.mpi import run_collective, run_ranks
+from repro.optimize import optimized_gather
+from repro.simlib import Tracer
+
+KB = 1024
+
+
+def fresh_cluster(seed=11):
+    return SimulatedCluster(
+        table1_cluster(), profile=LAM_7_1_3, noise=NoiseModel.none(), seed=seed
+    )
+
+
+def show(title: str, tracer: Tracer, lanes, width=76) -> None:
+    print(f"--- {title} ---")
+    print(tracer.render(width=width, lanes=lanes))
+    print()
+
+
+def main() -> None:
+    lanes = ["cpu0", "port0", "cpu1", "port1", "cpu12", "port12", "cpu15", "port15"]
+
+    # 1. linear scatter: serialized root, parallel everything else.
+    cluster = fresh_cluster()
+    tracer = Tracer()
+    cluster.attach_tracer(tracer)
+    run = run_collective(cluster, "scatter", "linear", nbytes=32 * KB)
+    show(f"linear scatter, 32 KB blocks ({run.time * 1e3:.2f} ms) — "
+         "s=send, r=recv, w=wire",
+         tracer, [l for l in lanes if l != "port0"])
+
+    # 2. gather with an escalation: find a run that pays an RTO.
+    for attempt in range(20):
+        cluster = fresh_cluster(seed=100 + attempt)
+        tracer = Tracer()
+        cluster.attach_tracer(tracer)
+        run = run_collective(cluster, "gather", "linear", nbytes=32 * KB)
+        if run.time > 0.2:
+            break
+    show(f"linear gather, 32 KB blocks, escalated run ({run.time * 1e3:.0f} ms) — "
+         "R = TCP retransmission timeout",
+         tracer, ["cpu0", "port0"])
+
+    # 3. the optimized gather: same data, chunks below M1, no RTOs.
+    cluster = fresh_cluster(seed=100 + attempt)  # same hardware as the RTO run
+    tracer = Tracer()
+    cluster.attach_tracer(tracer)
+    irregularity = GatherIrregularity(m1=4 * KB, m2=64 * KB, escalation_value=0.25)
+    programs = {
+        rank: (lambda comm: optimized_gather(comm, 0, 32 * KB, irregularity))
+        for rank in range(cluster.n)
+    }
+    results = run_ranks(cluster, programs)
+    makespan = max(res.finish for res in results.values())
+    show(f"LMO-optimized split gather, same 32 KB blocks ({makespan * 1e3:.2f} ms)",
+         tracer, ["cpu0", "port0"])
+
+    print("the optimized gather's port lane shows many small, clean chunks;")
+    print("the escalated native run is one long RTO stall.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,39 @@
+"""repro — the extended LMO communication performance model, reproduced.
+
+A full implementation of Lastovetsky, Rychkov & O'Flynn, *Revisiting
+communication performance models for computational clusters* (IPDPS
+2009), on a simulated single-switch heterogeneous cluster:
+
+- :mod:`repro.simlib` — discrete-event simulation kernel
+- :mod:`repro.cluster` — the Table I cluster, MPI/TCP profiles, topology
+- :mod:`repro.mpi` — mpi4py-style rank programs and collective algorithms
+- :mod:`repro.models` — Hockney / LogP / LogGP / PLogP / LMO models and
+  their collective prediction formulas
+- :mod:`repro.estimation` — parameter estimation (the paper's eqs. 6-12),
+  schedules, empirical thresholds, drift detection
+- :mod:`repro.stats` — confidence intervals and adaptive repetition
+- :mod:`repro.benchlib` — MPIBlib-style benchmarking
+- :mod:`repro.optimize` — model-driven selection, splitting, mapping,
+  partitioning, planning
+- :mod:`repro.apps` — mini-applications (matvec, Jacobi)
+- :mod:`repro.analysis` — prediction-accuracy scoring
+- :mod:`repro.experiments` — one harness per paper table/figure
+- :mod:`repro.io` — JSON model serialization
+- :mod:`repro.cli` — ``python -m repro`` command-line interface
+
+Quickstart::
+
+    from repro.cluster import LAM_7_1_3, SimulatedCluster, table1_cluster
+    from repro.estimation import DESEngine, estimate_extended_lmo
+    from repro.models import predict_linear_scatter
+    from repro.mpi import run_collective
+
+    cluster = SimulatedCluster(table1_cluster(), profile=LAM_7_1_3, seed=0)
+    model = estimate_extended_lmo(DESEngine(cluster), reps=3, clamp=True).model
+    predicted = predict_linear_scatter(model, 64 * 1024)
+    observed = run_collective(cluster, "scatter", "linear", 64 * 1024).time
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,5 @@
+"""Analysis utilities: prediction-accuracy scoring and reporting."""
+
+from repro.analysis.accuracy import AccuracyReport, ModelScore, score_models
+
+__all__ = ["AccuracyReport", "ModelScore", "score_models"]

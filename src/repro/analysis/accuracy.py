@@ -1,0 +1,133 @@
+"""Prediction-accuracy scoring: models vs observations, systematically.
+
+The quantitative backbone of Section V: for a set of (operation,
+algorithm, size) points, measure the cluster, predict with every model,
+and score.  :func:`score_models` produces a ranked report with mean /
+max relative errors and a bias sign (pessimistic vs optimistic), the
+numbers behind statements like "LMO much more accurately predicts the
+execution time of collective operations than traditional models".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.benchlib import CollectiveBenchmark
+from repro.cluster.machine import SimulatedCluster
+from repro.models.collectives.formulas import (
+    GatherPrediction,
+    predict_binomial_gather,
+    predict_binomial_scatter,
+    predict_linear_gather,
+    predict_linear_scatter,
+)
+from repro.stats import MeasurementPolicy
+
+__all__ = ["AccuracyReport", "ModelScore", "score_models"]
+
+
+@dataclass(frozen=True)
+class ModelScore:
+    """Accuracy of one model over the evaluated points."""
+
+    model_name: str
+    mean_relative_error: float
+    max_relative_error: float
+    #: Mean signed error / observation: > 0 pessimistic, < 0 optimistic.
+    bias: float
+    points: int
+
+
+@dataclass
+class AccuracyReport:
+    """Scores of all evaluated models, plus the raw per-point data."""
+
+    scores: list[ModelScore]
+    observations: dict[tuple[str, str, int], float] = field(default_factory=dict)
+    predictions: dict[tuple[str, tuple[str, str, int]], float] = field(default_factory=dict)
+
+    @property
+    def ranking(self) -> list[str]:
+        """Model names, most accurate first."""
+        return [s.model_name for s in sorted(self.scores,
+                                             key=lambda s: s.mean_relative_error)]
+
+    def score(self, model_name: str) -> ModelScore:
+        for s in self.scores:
+            if s.model_name == model_name:
+                return s
+        raise KeyError(f"no score for {model_name!r}")
+
+    def render(self) -> str:
+        lines = [f"{'model':<16} {'mean err':>9} {'max err':>9} {'bias':>12} {'points':>7}"]
+        for s in sorted(self.scores, key=lambda s: s.mean_relative_error):
+            tendency = "pessimistic" if s.bias > 0 else "optimistic"
+            lines.append(
+                f"{s.model_name:<16} {s.mean_relative_error:>8.1%} "
+                f"{s.max_relative_error:>8.1%} {s.bias:>+7.1%} ({tendency[:4]}) "
+                f"{s.points:>4}"
+            )
+        return "\n".join(lines)
+
+
+def _predict_point(model, operation: str, algorithm: str, nbytes: int) -> float:
+    if operation == "scatter" and algorithm == "linear":
+        return float(predict_linear_scatter(model, nbytes))
+    if operation == "scatter" and algorithm == "binomial":
+        return float(predict_binomial_scatter(model, nbytes))
+    if operation == "gather" and algorithm == "linear":
+        value = predict_linear_gather(model, nbytes)
+        return value.expected if isinstance(value, GatherPrediction) else float(value)
+    if operation == "gather" and algorithm == "binomial":
+        return float(predict_binomial_gather(model, nbytes))
+    raise KeyError(f"no prediction for {operation}/{algorithm}")
+
+
+def score_models(
+    cluster: SimulatedCluster,
+    models: Mapping[str, object],
+    points: Sequence[tuple[str, str, int]],
+    policy: Optional[MeasurementPolicy] = None,
+) -> AccuracyReport:
+    """Measure every point once, predict with every model, and score.
+
+    Parameters
+    ----------
+    models:
+        Name -> model (anything the Table II prediction functions accept).
+    points:
+        ``(operation, algorithm, nbytes)`` triples to evaluate.
+    """
+    if not points:
+        raise ValueError("need at least one evaluation point")
+    bench = CollectiveBenchmark(
+        cluster, policy=policy if policy is not None else MeasurementPolicy(max_reps=15)
+    )
+    report = AccuracyReport(scores=[])
+    for operation, algorithm, nbytes in points:
+        report.observations[(operation, algorithm, nbytes)] = bench.measure(
+            operation, algorithm, int(nbytes)
+        ).mean
+
+    for name, model in models.items():
+        rel_errors, signed = [], []
+        for point in points:
+            operation, algorithm, nbytes = point
+            predicted = _predict_point(model, operation, algorithm, int(nbytes))
+            observed = report.observations[point]
+            report.predictions[(name, point)] = predicted
+            rel_errors.append(abs(predicted - observed) / observed)
+            signed.append((predicted - observed) / observed)
+        report.scores.append(
+            ModelScore(
+                model_name=name,
+                mean_relative_error=float(np.mean(rel_errors)),
+                max_relative_error=float(np.max(rel_errors)),
+                bias=float(np.mean(signed)),
+                points=len(points),
+            )
+        )
+    return report

@@ -1,0 +1,12 @@
+"""Mini-applications on the simulated cluster.
+
+End-to-end workloads that exercise the public API the way a real code
+would: data distribution, halo exchanges, collectives, and per-rank
+computation — with *real numpy arithmetic* for correctness while the
+simulated clock charges the modelled compute and communication costs.
+"""
+
+from repro.apps.jacobi import JacobiResult, run_jacobi
+from repro.apps.matvec import MatvecResult, run_matvec
+
+__all__ = ["JacobiResult", "MatvecResult", "run_jacobi", "run_matvec"]

@@ -1,0 +1,14 @@
+"""MPIBlib-style benchmarking of collectives on the simulated cluster."""
+
+from repro.benchlib.driver import BenchmarkPoint, CollectiveBenchmark
+from repro.benchlib.suite import BenchmarkSuite, SuiteResult
+from repro.benchlib.timing import TIMING_METHODS, duration
+
+__all__ = [
+    "BenchmarkPoint",
+    "BenchmarkSuite",
+    "CollectiveBenchmark",
+    "SuiteResult",
+    "TIMING_METHODS",
+    "duration",
+]

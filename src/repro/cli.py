@@ -1,0 +1,355 @@
+"""Command-line interface: ``python -m repro <subcommand>``.
+
+Mirrors the workflow of the paper's software tool [13]: describe the
+cluster, estimate a model's parameters (to JSON), predict collectives
+with it, measure them for comparison, visualize a run, and regenerate
+the paper's experiments.
+
+Subcommands
+-----------
+describe    print the Table I cluster and its derived parameters
+estimate    run a model's estimation procedure, write the model as JSON
+predict     evaluate a collective prediction from a saved model
+measure     benchmark a collective on the simulated cluster (CI 95%/2.5%)
+suite       benchmark the whole algorithm menu as a comparison table
+partition   min-makespan data distribution from a saved LMO model
+plan        choose algorithms for an application's collective calls
+trace       run one collective and print its activity timeline
+experiment  regenerate one of the paper's tables/figures (optional CSV)
+report      regenerate all of them (markdown)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from repro import io as model_io
+from repro.benchlib import CollectiveBenchmark
+from repro.cluster import (
+    LAM_7_1_3,
+    MPICH_1_2_7,
+    OPEN_MPI,
+    IDEAL,
+    NoiseModel,
+    SimulatedCluster,
+    synthesize_ground_truth,
+    table1_cluster,
+)
+from repro.estimation import (
+    DESEngine,
+    detect_gather_irregularity,
+    estimate_extended_lmo,
+    estimate_heterogeneous_hockney,
+    estimate_loggp,
+    estimate_plogp,
+    star_triplets,
+    sweep_collective,
+)
+from repro.models import GatherPrediction, predict_binomial_scatter, predict_linear_gather, predict_linear_scatter
+from repro.mpi import run_collective
+from repro.simlib import Tracer
+from repro.stats import MeasurementPolicy
+
+__all__ = ["main"]
+
+PROFILES = {
+    "lam": LAM_7_1_3,
+    "mpich": MPICH_1_2_7,
+    "openmpi": OPEN_MPI,
+    "ideal": IDEAL,
+}
+
+KB = 1024
+
+
+def make_cluster(args) -> SimulatedCluster:
+    return SimulatedCluster(
+        table1_cluster(), profile=PROFILES[args.profile],
+        noise=NoiseModel.default(), seed=args.seed,
+    )
+
+
+def cmd_describe(args) -> int:
+    spec = table1_cluster()
+    print(spec.describe())
+    gt = synthesize_ground_truth(spec, seed=args.seed)
+    print()
+    print(f"derived parameters (seed {args.seed}):")
+    for rank, node in enumerate(spec.nodes):
+        print(f"  rank {rank:2d} {node.processor:<18} "
+              f"C={gt.C[rank] * 1e6:6.1f} us  t={gt.t[rank] * 1e9:5.2f} ns/B")
+    profile = PROFILES[args.profile]
+    print(f"\nMPI profile {profile.name}: eager limit {profile.eager_threshold} B, "
+          f"M1(15 senders)={profile.m1(15) / KB:.1f} KB, M2={profile.m2 / KB:.1f} KB")
+    return 0
+
+
+def cmd_estimate(args) -> int:
+    cluster = make_cluster(args)
+    engine = DESEngine(cluster)
+    if args.model == "lmo":
+        triplets = star_triplets(cluster.n) if args.quick else None
+        result = estimate_extended_lmo(engine, reps=args.reps, triplets=triplets,
+                                       clamp=True)
+        model = result.model
+        if args.empirical:
+            sweep = sweep_collective(
+                engine, "gather", "linear",
+                sizes=[2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 48 * KB,
+                       64 * KB, 80 * KB, 96 * KB],
+                reps=12,
+            )
+            model = model.with_irregularity(detect_gather_irregularity(sweep))
+    elif args.model == "hockney":
+        model = estimate_heterogeneous_hockney(engine, reps=args.reps).model
+    elif args.model == "loggp":
+        model = estimate_loggp(engine, reps=args.reps)
+    elif args.model == "plogp":
+        model = estimate_plogp(engine, reps=args.reps).model
+    else:  # pragma: no cover - argparse restricts choices
+        raise AssertionError(args.model)
+    model_io.save(model, args.out)
+    print(f"estimated {args.model} model on {cluster.n} nodes "
+          f"({engine.estimation_time:.2f} s of cluster time) -> {args.out}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    model = model_io.load(args.model_file)
+    if args.operation == "scatter" and args.algorithm == "linear":
+        value = float(predict_linear_scatter(model, args.nbytes, root=args.root))
+    elif args.operation == "scatter" and args.algorithm == "binomial":
+        value = float(predict_binomial_scatter(model, args.nbytes, root=args.root))
+    elif args.operation == "gather" and args.algorithm == "linear":
+        prediction = predict_linear_gather(model, args.nbytes, root=args.root)
+        if isinstance(prediction, GatherPrediction):
+            print(f"regime: {prediction.regime}, "
+                  f"escalation probability {prediction.escalation_probability:.2f}")
+            value = prediction.expected
+        else:
+            value = float(prediction)
+    else:
+        print(f"no prediction formula for {args.operation}/{args.algorithm}",
+              file=sys.stderr)
+        return 2
+    print(f"predicted {args.operation}/{args.algorithm} of {args.nbytes} B "
+          f"on {model.n} nodes: {value * 1e3:.3f} ms")
+    return 0
+
+
+def cmd_measure(args) -> int:
+    cluster = make_cluster(args)
+    policy = MeasurementPolicy(
+        min_reps=min(5, args.max_reps), max_reps=args.max_reps
+    )
+    bench = CollectiveBenchmark(cluster, policy=policy)
+    point = bench.measure(args.operation, args.algorithm, args.nbytes, root=args.root)
+    summary = point.summary
+    print(f"measured {args.operation}/{args.algorithm} of {args.nbytes} B: "
+          f"{summary.mean * 1e3:.3f} ms +- {summary.ci_halfwidth * 1e3:.3f} ms "
+          f"({summary.count} reps, CI {summary.confidence:.0%})")
+    return 0
+
+
+def cmd_trace(args) -> int:
+    cluster = make_cluster(args)
+    cluster.noise = NoiseModel.none()
+    tracer = Tracer()
+    cluster.attach_tracer(tracer)
+    run_collective(cluster, args.operation, args.algorithm, args.nbytes, root=args.root)
+    lanes = [f"cpu{args.root}"] + [
+        lane for lane in tracer.lanes() if lane != f"cpu{args.root}"
+    ]
+    print(tracer.render(width=args.width, lanes=lanes[: args.max_lanes]))
+    print(f"\nroot CPU utilization: {tracer.utilization(f'cpu{args.root}'):.0%} "
+          "(s = send processing, r = receive processing, w = wire, R = TCP RTO)")
+    return 0
+
+
+def cmd_suite(args) -> int:
+    from repro.benchlib import BenchmarkSuite
+
+    cluster = make_cluster(args)
+    suite = BenchmarkSuite(
+        cluster,
+        policy=MeasurementPolicy(min_reps=min(3, args.max_reps),
+                                 max_reps=args.max_reps),
+    )
+    operations = args.operations.split(",") if args.operations else None
+    sizes = [int(s) for s in args.sizes.split(",")]
+    result = suite.run(operations=operations, sizes=sizes)
+    print(result.render())
+    return 0
+
+
+def cmd_partition(args) -> int:
+    import numpy as np
+
+    from repro.optimize import optimal_partition
+
+    model = model_io.load(args.model_file)
+    work = (
+        [float(w) for w in args.work_rates.split(",")]
+        if args.work_rates
+        else [args.work_rate] * model.n
+    )
+    if len(work) != model.n:
+        print(f"need {model.n} work rates, got {len(work)}", file=sys.stderr)
+        return 2
+    part = optimal_partition(model, args.total, np.asarray(work), root=args.root)
+    print(f"min-makespan distribution of {args.total} bytes "
+          f"(predicted {part.predicted_makespan * 1e3:.2f} ms):")
+    for rank, count in enumerate(part.counts):
+        print(f"  rank {rank:2d}: {count}")
+    return 0
+
+
+def cmd_plan(args) -> int:
+    from repro.optimize import CollectiveCall, plan_collectives
+
+    model = model_io.load(args.model_file)
+    calls = []
+    for spec_str in args.calls:
+        parts = spec_str.split(":")
+        if not (2 <= len(parts) <= 3):
+            print(f"bad call spec {spec_str!r}; use op:nbytes[:count]",
+                  file=sys.stderr)
+            return 2
+        operation, nbytes = parts[0], int(parts[1])
+        count = int(parts[2]) if len(parts) == 3 else 1
+        calls.append(CollectiveCall(operation, nbytes, count=count))
+    plan = plan_collectives(model, calls)
+    print(plan.render())
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from repro.experiments import run_experiment
+
+    result = run_experiment(args.id, quick=args.quick, seed=args.seed)
+    print(result.render())
+    if args.csv:
+        csv = result.to_csv()
+        if not csv:
+            print(f"(no numeric series in {args.id}; nothing written)",
+                  file=sys.stderr)
+        else:
+            with open(args.csv, "w") as handle:
+                handle.write(csv)
+            print(f"series written to {args.csv}")
+    return 0 if result.all_checks_pass else 1
+
+
+def cmd_report(args) -> int:
+    from repro.experiments.report import main as report_main
+
+    argv = []
+    if args.quick:
+        argv.append("--quick")
+    if args.out:
+        argv.extend(["--out", args.out])
+    argv.extend(["--seed", str(args.seed)])
+    return report_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LMO communication performance model reproduction toolkit",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--profile", choices=sorted(PROFILES), default="lam")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("describe", help="print the Table I cluster")
+
+    p_est = sub.add_parser("estimate", help="estimate model parameters")
+    p_est.add_argument("--model", choices=["lmo", "hockney", "loggp", "plogp"],
+                       default="lmo")
+    p_est.add_argument("--out", required=True, help="output JSON path")
+    p_est.add_argument("--reps", type=int, default=3)
+    p_est.add_argument("--quick", action="store_true",
+                       help="reduced (star) triplet design for LMO")
+    p_est.add_argument("--empirical", action="store_true",
+                       help="also detect gather M1/M2 (LMO only)")
+
+    p_pred = sub.add_parser("predict", help="predict a collective from a model file")
+    p_pred.add_argument("--model-file", required=True)
+    p_pred.add_argument("--operation", choices=["scatter", "gather"], default="scatter")
+    p_pred.add_argument("--algorithm", choices=["linear", "binomial"], default="linear")
+    p_pred.add_argument("--nbytes", type=int, required=True)
+    p_pred.add_argument("--root", type=int, default=0)
+
+    p_meas = sub.add_parser("measure", help="benchmark a collective on the simulator")
+    p_meas.add_argument("--operation", default="scatter")
+    p_meas.add_argument("--algorithm", default="linear")
+    p_meas.add_argument("--nbytes", type=int, required=True)
+    p_meas.add_argument("--root", type=int, default=0)
+    p_meas.add_argument("--max-reps", type=int, default=25)
+
+    p_trace = sub.add_parser("trace", help="print a collective's activity timeline")
+    p_trace.add_argument("--operation", default="scatter")
+    p_trace.add_argument("--algorithm", default="linear")
+    p_trace.add_argument("--nbytes", type=int, default=32 * KB)
+    p_trace.add_argument("--root", type=int, default=0)
+    p_trace.add_argument("--width", type=int, default=72)
+    p_trace.add_argument("--max-lanes", type=int, default=12)
+
+    p_suite = sub.add_parser("suite", help="benchmark the whole algorithm menu")
+    p_suite.add_argument("--operations", default=None,
+                         help="comma-separated (default: all)")
+    p_suite.add_argument("--sizes", default=f"{KB},{16 * KB},{128 * KB}",
+                         help="comma-separated byte counts")
+    p_suite.add_argument("--max-reps", type=int, default=8)
+
+    p_part = sub.add_parser("partition",
+                            help="min-makespan data distribution from a model file")
+    p_part.add_argument("--model-file", required=True)
+    p_part.add_argument("--total", type=int, required=True)
+    p_part.add_argument("--work-rate", type=float, default=100e-9,
+                        help="uniform compute cost, s/B")
+    p_part.add_argument("--work-rates", default=None,
+                        help="comma-separated per-rank costs (overrides --work-rate)")
+    p_part.add_argument("--root", type=int, default=0)
+
+    p_plan = sub.add_parser("plan",
+                            help="choose algorithms for an application's collectives")
+    p_plan.add_argument("--model-file", required=True)
+    p_plan.add_argument("calls", nargs="+",
+                        help="call specs op:nbytes[:count], e.g. bcast:65536:10")
+
+    p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    p_exp.add_argument("id", help="fig1..fig7, table1, table2, estimation_cost, "
+                                  "thresholds, ablations, menu_accuracy")
+    p_exp.add_argument("--quick", action="store_true")
+    p_exp.add_argument("--csv", default=None, help="also dump the series as CSV")
+
+    p_rep = sub.add_parser("report", help="regenerate every experiment (markdown)")
+    p_rep.add_argument("--quick", action="store_true")
+    p_rep.add_argument("--out", default=None)
+    return parser
+
+
+COMMANDS = {
+    "describe": cmd_describe,
+    "estimate": cmd_estimate,
+    "predict": cmd_predict,
+    "measure": cmd_measure,
+    "trace": cmd_trace,
+    "suite": cmd_suite,
+    "partition": cmd_partition,
+    "plan": cmd_plan,
+    "experiment": cmd_experiment,
+    "report": cmd_report,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - module entry
+    raise SystemExit(main())

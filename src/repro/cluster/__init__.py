@@ -1,0 +1,41 @@
+"""Simulated single-switch heterogeneous cluster substrate.
+
+This package stands in for the paper's physical testbed (the 16-node
+heterogeneous Ethernet cluster of Table I): hardware specs, ground-truth
+LMO parameters, MPI/TCP irregularity profiles, measurement noise, and the
+discrete-event transport tying them together.
+"""
+
+from repro.cluster.machine import SimulatedCluster, TransportStats
+from repro.cluster.noise import NoiseModel
+from repro.cluster.params import GroundTruth, synthesize_ground_truth
+from repro.cluster.profiles import IDEAL, LAM_7_1_3, MPICH_1_2_7, OPEN_MPI, MpiProfile
+from repro.cluster.topology import TwoSwitchTopology
+from repro.cluster.spec import (
+    TABLE1_NODE_TYPES,
+    ClusterSpec,
+    NodeType,
+    homogeneous_cluster,
+    random_cluster,
+    table1_cluster,
+)
+
+__all__ = [
+    "ClusterSpec",
+    "GroundTruth",
+    "IDEAL",
+    "LAM_7_1_3",
+    "MPICH_1_2_7",
+    "MpiProfile",
+    "NodeType",
+    "NoiseModel",
+    "OPEN_MPI",
+    "SimulatedCluster",
+    "TABLE1_NODE_TYPES",
+    "TransportStats",
+    "TwoSwitchTopology",
+    "homogeneous_cluster",
+    "random_cluster",
+    "synthesize_ground_truth",
+    "table1_cluster",
+]

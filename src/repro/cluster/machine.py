@@ -1,0 +1,348 @@
+"""The simulated single-switch cluster: CPUs, switch ports, transport.
+
+:class:`SimulatedCluster` glues the DES kernel to the cluster ground truth
+and an MPI/TCP profile.  It exposes the *hardware mechanisms* the paper's
+models try to capture:
+
+* one CPU resource per node — message processing (``C_i + M t_i``) on a
+  node serializes, which is why the root of a linear scatter/gather is a
+  sequential bottleneck;
+* a single switch that forwards flows addressed to *different* destination
+  ports fully in parallel (the paper's "network switches ... parallelize
+  the messages addressed to different processors") — there is no shared
+  backplane resource;
+* one ingress-port resource per node — concurrent flows into the *same*
+  port share one wire, so their occupancy (``M / beta_ij``) serializes;
+* TCP/IP irregularities per :mod:`repro.cluster.profiles` — rendezvous
+  handshakes and fragmentation (scatter leap), incast RTO escalations and
+  window pacing (gather's M1/M2 thresholds).
+
+The MPI layer (:mod:`repro.mpi`) builds message matching and collectives
+on top of :meth:`SimulatedCluster.transmit`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generator, Optional
+
+import numpy as np
+
+from repro.cluster.noise import NoiseModel
+from repro.cluster.params import GroundTruth, synthesize_ground_truth
+from repro.cluster.profiles import LAM_7_1_3, MpiProfile
+from repro.cluster.spec import ClusterSpec
+from repro.simlib import Event, Resource, Simulator
+from repro.simlib.trace import Tracer
+
+__all__ = ["SimulatedCluster", "TransportStats"]
+
+
+@dataclass
+class TransportStats:
+    """Counters of protocol events, for tests and ablation benches."""
+
+    messages: int = 0
+    bytes_sent: int = 0
+    rendezvous_handshakes: int = 0
+    escalations: int = 0
+    escalation_time: float = 0.0
+    port_waits: int = 0
+
+    def reset(self) -> None:
+        self.messages = 0
+        self.bytes_sent = 0
+        self.rendezvous_handshakes = 0
+        self.escalations = 0
+        self.escalation_time = 0.0
+        self.port_waits = 0
+
+
+@dataclass
+class _PortState:
+    """Bookkeeping of bytes heading into one ingress port.
+
+    For incast-escalation purposes what matters is the *initial burst*:
+    a TCP sender blasts its head-of-line message into the switch, then
+    self-clocks off acknowledgements, so a sender with several messages
+    queued contributes only its first message's bytes to the synchronized
+    burst that can overflow the port buffer.  (This is why the paper's
+    optimized gather — a series of sub-``M1`` gathers — avoids
+    escalations even though the total bytes are unchanged.)
+    """
+
+    backlog_bytes: float = 0.0
+    sender_queues: dict[int, list[float]] = field(default_factory=dict)
+
+    def enqueue(self, src: int, nbytes: float) -> None:
+        self.backlog_bytes += nbytes
+        self.sender_queues.setdefault(src, []).append(nbytes)
+
+    def dequeue(self, src: int, nbytes: float) -> None:
+        self.backlog_bytes -= nbytes
+        queue = self.sender_queues[src]
+        queue.remove(nbytes)
+        if not queue:
+            del self.sender_queues[src]
+
+    @property
+    def n_senders(self) -> int:
+        return len(self.sender_queues)
+
+    def burst_bytes(self) -> float:
+        """Bytes of the synchronized burst: one head message per sender."""
+        return sum(queue[0] for queue in self.sender_queues.values())
+
+    def has_sender(self, src: int) -> bool:
+        return src in self.sender_queues
+
+
+class SimulatedCluster:
+    """A heterogeneous cluster behind a single non-blocking switch.
+
+    Parameters
+    ----------
+    spec:
+        Hardware specification (node list).
+    ground_truth:
+        LMO parameters of the hardware; synthesized from ``spec`` when
+        omitted.
+    profile:
+        MPI/TCP irregularity profile (default: LAM 7.1.3 as in the paper's
+        main experiments).
+    noise:
+        Stochastic perturbation of every activity; ``NoiseModel.none()``
+        makes runs deterministic.
+    seed:
+        Seed of the cluster-wide random generator (noise + escalations).
+
+    Notes
+    -----
+    The virtual clock is owned by ``self.sim``; :meth:`reset` replaces the
+    simulator (fresh time zero) but keeps the random generator state, so a
+    sequence of measurement runs sees fresh noise — call :meth:`reseed`
+    for full reproducibility of a sequence.
+    """
+
+    def __init__(
+        self,
+        spec: ClusterSpec,
+        ground_truth: Optional[GroundTruth] = None,
+        profile: MpiProfile = LAM_7_1_3,
+        noise: Optional[NoiseModel] = None,
+        seed: int = 0,
+    ):
+        self.spec = spec
+        self.ground_truth = (
+            ground_truth if ground_truth is not None else synthesize_ground_truth(spec, seed=seed)
+        )
+        if self.ground_truth.n != spec.n:
+            raise ValueError(
+                f"ground truth is for {self.ground_truth.n} nodes, spec has {spec.n}"
+            )
+        self.profile = profile
+        self.noise = noise if noise is not None else NoiseModel.default()
+        self.rng = np.random.default_rng(seed)
+        self.stats = TransportStats()
+        self.tracer: Optional[Tracer] = None
+        self.topology = None  # set via attach_topology (multi-switch)
+        self.uplink: Optional[Resource] = None
+        self.sim: Simulator
+        self.cpu: list[Resource]
+        self.port: list[Resource]
+        self._ports: list[_PortState]
+        self.reset()
+
+    # -- lifecycle ----------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.spec.n
+
+    def reset(self) -> None:
+        """Fresh simulator at time zero (RNG state is preserved)."""
+        self.sim = Simulator()
+        n = self.spec.n
+        self.cpu = [Resource(self.sim, 1, f"cpu{i}") for i in range(n)]
+        self.port = [Resource(self.sim, 1, f"port{i}") for i in range(n)]
+        self._ports = [_PortState() for _ in range(n)]
+        self.uplink = (
+            Resource(self.sim, 1, "uplink") if self.topology is not None else None
+        )
+
+    def attach_topology(self, topology) -> None:
+        """Switch to a multi-switch topology (None restores one switch).
+
+        Rewrites the ground truth with the uplink's latency/rate on
+        cross-switch links and arms a shared uplink resource, so
+        concurrent cross-switch flows contend — the effect no
+        single-switch point-to-point model can express.
+        """
+        if topology is not None:
+            self.ground_truth = topology.apply_to_ground_truth(self.ground_truth)
+        self.topology = topology
+        self.reset()
+
+    def reseed(self, seed: int) -> None:
+        """Reset the random generator (full determinism of the next runs)."""
+        self.rng = np.random.default_rng(seed)
+
+    def attach_tracer(self, tracer: Optional[Tracer]) -> None:
+        """Record activity intervals into ``tracer`` (None detaches).
+
+        Traces accumulate across :meth:`reset`; clear the tracer (or
+        attach a fresh one) between runs you want to inspect separately.
+        """
+        self.tracer = tracer
+
+    def trace(self, lane: str, start: float, end: float, label: str = "") -> None:
+        """Record one activity interval if a tracer is attached."""
+        if self.tracer is not None:
+            self.tracer.record(lane, start, end, label)
+
+    # -- noisy durations -------------------------------------------------------
+    def noisy(self, duration: float) -> float:
+        """Apply the cluster noise model to an activity duration."""
+        return self.noise.perturb(duration, self.rng)
+
+    # -- transport ---------------------------------------------------------
+    def transmit(
+        self,
+        src: int,
+        dst: int,
+        nbytes: int,
+        rendezvous_ready: Optional[Event] = None,
+        on_sent: Optional[Event] = None,
+    ) -> Generator:
+        """Move ``nbytes`` from ``src`` to ``dst`` through the switch.
+
+        A generator to be driven inside the simulation (spawn it or yield
+        from it).  It completes when the message has fully crossed the
+        switch into the destination node's buffers; the MPI layer then
+        delivers it to the matching receive, *charging the receiver's CPU
+        cost* ``C_dst + nbytes*t_dst`` inside the receive call (the memcpy
+        out of the transport buffer happens in ``MPI_Recv``, which is what
+        makes PLogP's ``o_r`` measurable).
+
+        Stages (matching the extended-LMO decomposition):
+
+        1. sender CPU holds ``C_src + nbytes*t_src`` (+ protocol overhead;
+           for rendezvous messages the handshake round-trip — and, when
+           ``rendezvous_ready`` is given, the wait until the receiver has
+           posted its receive — is paid while holding the CPU, as LAM's
+           blocking long protocol does);
+        2. switch latency ``L_src,dst``, then the destination port is held
+           for the occupancy ``nbytes / beta_src,dst``; incast escalations
+           (TCP RTO) may delay entering the port.
+        """
+        if src == dst:
+            raise ValueError("transmit requires distinct src and dst")
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        gt, prof, sim = self.ground_truth, self.profile, self.sim
+        self.stats.messages += 1
+        self.stats.bytes_sent += nbytes
+
+        # -- stage 1: sender CPU -----------------------------------------
+        usage = self.cpu[src].request()
+        yield usage
+        cpu_start = sim.now
+        try:
+            if prof.uses_rendezvous(nbytes):
+                self.stats.rendezvous_handshakes += 1
+                # Request-to-send / clear-to-send round trip over the link.
+                yield sim.timeout(self.noisy(2.0 * gt.L[src, dst]))
+                if rendezvous_ready is not None and not rendezvous_ready.processed:
+                    yield rendezvous_ready
+            cpu_cost = gt.send_cost(src, nbytes) + prof.sender_protocol_overhead(nbytes)
+            yield sim.timeout(self.noisy(cpu_cost))
+        finally:
+            self.cpu[src].release(usage)
+            self.trace(f"cpu{src}", cpu_start, sim.now, "s")
+        if on_sent is not None:
+            # A blocking MPI send returns here: the buffer has been handed
+            # to the transport and the sender CPU is free again.
+            on_sent.succeed(sim.now)
+
+        # -- stage 2: switch + destination port ---------------------------
+        yield sim.timeout(self.noisy(gt.L[src, dst]))
+        if (
+            self.uplink is not None
+            and self.topology is not None
+            and not self.topology.same_switch(src, dst)
+        ):
+            # Cross-switch flows share the inter-switch uplink.
+            uplink_start = sim.now
+            yield from self.uplink.hold(
+                sim, self.noisy(nbytes / self.topology.uplink_rate)
+            )
+            self.trace("uplink", uplink_start, sim.now, "u")
+        port_state = self._ports[dst]
+        escalation = self._sample_escalation(port_state, src, nbytes)
+        port_state.enqueue(src, float(nbytes))
+        try:
+            if escalation > 0.0:
+                self.stats.escalations += 1
+                self.stats.escalation_time += escalation
+                rto_start = sim.now
+                yield sim.timeout(escalation)
+                self.trace(f"port{dst}", rto_start, sim.now, "R")
+            usage = self.port[dst].request()
+            if not usage.triggered:
+                self.stats.port_waits += 1
+            yield usage
+            wire_start = sim.now
+            try:
+                yield sim.timeout(self.noisy(nbytes / gt.beta[src, dst]))
+            finally:
+                self.port[dst].release(usage)
+                self.trace(f"port{dst}", wire_start, sim.now, "w")
+        finally:
+            port_state.dequeue(src, float(nbytes))
+
+    def _sample_escalation(self, port_state: _PortState, src: int, nbytes: int) -> float:
+        """Incast RTO delay for a flow about to enter a port (0.0 = none).
+
+        Flows larger than the TCP window are paced by the receiver and
+        never escalate (they serialize cleanly instead — the M > M2
+        regime).  Smaller flows are blasted; if the port backlog exceeds
+        the incast threshold, packet loss triggers a retransmission
+        timeout with a probability that grows with the backlog.
+        """
+        prof = self.profile
+        if nbytes > prof.tcp_window or nbytes <= 0:
+            return 0.0
+        already_bursting = port_state.has_sender(src)
+        n_senders = port_state.n_senders + (0 if already_bursting else 1)
+        burst = port_state.burst_bytes() + (0.0 if already_bursting else nbytes)
+        p = prof.escalation_probability(burst, n_senders)
+        if p <= 0.0 or self.rng.random() >= p:
+            return 0.0
+        return prof.rto_base + float(self.rng.uniform(0.0, prof.rto_jitter))
+
+    # -- fault injection -----------------------------------------------------
+    def degrade_node(self, node: int, factor: float) -> None:
+        """Slow one node's processing by ``factor`` (hardware-event injection).
+
+        Multiplies the node's fixed and per-byte processing delays — a
+        thermal throttle, a failing fan, a core stolen by a daemon.  Takes
+        effect from the next transfer; estimated models become stale,
+        which :func:`repro.estimation.drift.detect_model_drift` exists to
+        notice.
+        """
+        if not (0 <= node < self.n):
+            raise ValueError(f"node {node} out of range")
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        C = self.ground_truth.C.copy()
+        t = self.ground_truth.t.copy()
+        C[node] *= factor
+        t[node] *= factor
+        self.ground_truth = GroundTruth(
+            C=C, t=t, L=self.ground_truth.L.copy(), beta=self.ground_truth.beta.copy()
+        )
+
+    # -- convenience -------------------------------------------------------
+    def p2p_model_time(self, src: int, dst: int, nbytes: int) -> float:
+        """The *noise-free, irregularity-free* extended-LMO p2p time."""
+        return self.ground_truth.p2p_time(src, dst, nbytes)

@@ -1,0 +1,188 @@
+"""Ground-truth LMO parameters of a simulated cluster.
+
+The simulated cluster "is" its ground truth: every node carries a fixed
+processing delay ``C_i`` (seconds) and a per-byte processing delay ``t_i``
+(seconds/byte); every link carries a fixed network latency ``L_ij`` and a
+transmission rate ``beta_ij`` (bytes/second).  These are exactly the six
+parameters of the paper's *extended LMO* point-to-point model
+
+    T_ij(M) = C_i + L_ij + C_j + M * (t_i + 1/beta_ij + t_j)
+
+so estimator correctness can be phrased as "recover the ground truth".
+
+:func:`synthesize_ground_truth` derives plausible values from the hardware
+specification (clock speed, FSB, L2) so the Table I cluster exhibits the
+~2x processor heterogeneity the paper reports, while :meth:`GroundTruth.random`
+draws arbitrary heterogeneous instances for property tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.cluster.spec import ClusterSpec
+
+__all__ = ["GroundTruth", "synthesize_ground_truth"]
+
+
+@dataclass(frozen=True)
+class GroundTruth:
+    """Per-node and per-link LMO parameters of a cluster.
+
+    Attributes
+    ----------
+    C:
+        Fixed processing delay per node, shape ``(n,)``, seconds.
+    t:
+        Per-byte processing delay per node, shape ``(n,)``, seconds/byte.
+    L:
+        Fixed network latency per link, shape ``(n, n)``, symmetric,
+        seconds.  The diagonal is zero and never used.
+    beta:
+        Transmission rate per link, shape ``(n, n)``, symmetric,
+        bytes/second.  The diagonal is ``inf`` and never used.
+    """
+
+    C: np.ndarray
+    t: np.ndarray
+    L: np.ndarray
+    beta: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.C.shape[0]
+        if self.t.shape != (n,) or self.L.shape != (n, n) or self.beta.shape != (n, n):
+            raise ValueError("inconsistent ground-truth array shapes")
+        if not np.allclose(self.L, self.L.T):
+            raise ValueError("L must be symmetric (single-switch cluster)")
+        if not np.allclose(self.beta, self.beta.T):
+            raise ValueError("beta must be symmetric (single-switch cluster)")
+        if (self.C < 0).any() or (self.t < 0).any():
+            raise ValueError("processor delays must be non-negative")
+        off = ~np.eye(n, dtype=bool)
+        if (self.L[off] < 0).any() or (self.beta[off] <= 0).any():
+            raise ValueError("link parameters must be positive")
+
+    @property
+    def n(self) -> int:
+        """Number of nodes."""
+        return self.C.shape[0]
+
+    # -- point-to-point time ------------------------------------------------
+    def p2p_time(self, i: int, j: int, nbytes: float) -> float:
+        """Extended-LMO point-to-point time for an ``nbytes`` message i -> j."""
+        return float(
+            self.C[i]
+            + self.L[i, j]
+            + self.C[j]
+            + nbytes * (self.t[i] + 1.0 / self.beta[i, j] + self.t[j])
+        )
+
+    def send_cost(self, i: int, nbytes: float) -> float:
+        """CPU cost of node ``i`` sending (or receiving) ``nbytes``."""
+        return float(self.C[i] + nbytes * self.t[i])
+
+    def wire_time(self, i: int, j: int, nbytes: float) -> float:
+        """Network time (latency + occupancy) for ``nbytes`` on link i-j."""
+        return float(self.L[i, j] + nbytes / self.beta[i, j])
+
+    # -- views in terms of other models --------------------------------------
+    def hockney_alpha(self) -> np.ndarray:
+        """Heterogeneous Hockney latency: ``alpha_ij = C_i + L_ij + C_j``."""
+        alpha = self.C[:, None] + self.L + self.C[None, :]
+        np.fill_diagonal(alpha, 0.0)
+        return alpha
+
+    def hockney_beta(self) -> np.ndarray:
+        """Heterogeneous Hockney per-byte time: ``t_i + 1/beta_ij + t_j``.
+
+        (The paper writes this ``beta^H_ij``; note it is a *time per byte*,
+        the reciprocal of a bandwidth.)
+        """
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / self.beta
+        np.fill_diagonal(inv, 0.0)
+        bh = self.t[:, None] + inv + self.t[None, :]
+        np.fill_diagonal(bh, 0.0)
+        return bh
+
+    # -- constructors ---------------------------------------------------------
+    @staticmethod
+    def random(
+        n: int,
+        seed: int = 0,
+        c_range: tuple[float, float] = (20e-6, 90e-6),
+        t_range: tuple[float, float] = (2e-9, 9e-9),
+        l_range: tuple[float, float] = (20e-6, 60e-6),
+        beta_range: tuple[float, float] = (9e6, 13e6),
+    ) -> "GroundTruth":
+        """A random heterogeneous ground truth (deterministic per seed)."""
+        rng = np.random.default_rng(seed)
+        C = rng.uniform(*c_range, size=n)
+        t = rng.uniform(*t_range, size=n)
+        L = rng.uniform(*l_range, size=(n, n))
+        L = (L + L.T) / 2.0
+        np.fill_diagonal(L, 0.0)
+        beta = rng.uniform(*beta_range, size=(n, n))
+        beta = (beta + beta.T) / 2.0
+        np.fill_diagonal(beta, np.inf)
+        return GroundTruth(C, t, L, beta)
+
+
+def synthesize_ground_truth(spec: ClusterSpec, seed: int = 0) -> GroundTruth:
+    """Derive ground-truth LMO parameters from a hardware specification.
+
+    The mapping is deterministic given ``(spec, seed)``:
+
+    * ``C_i``: inversely proportional to the architecture-adjusted clock —
+      a 3.4 GHz Xeon lands near 40 us, the 2.9 GHz Celeron near 62 us,
+      matching the order of magnitude of MPI software overhead on Fast
+      Ethernet clusters of the paper's era.
+    * ``t_i``: per-byte memory/TCP-stack cost, driven by FSB speed with a
+      small L2 correction (spills hurt the 256 KB Celeron most).
+    * ``L_ij``: a common single-switch store-and-forward latency plus a
+      small symmetric per-pair component (cabling/NIC variation).
+    * ``beta_ij``: ``min`` of the two endpoints' effective NIC rates
+      (~100 Mbit/s Ethernet minus per-host overhead).
+
+    ``seed`` only controls the +-5% per-pair link variation, never the
+    processor parameters.
+    """
+    rng = np.random.default_rng(seed)
+    n = spec.n
+
+    eff = np.array([node.effective_ghz for node in spec.nodes])
+    fsb = np.array([float(node.fsb_mhz) for node in spec.nodes])
+    l2 = np.array([float(node.l2_cache_kb) for node in spec.nodes])
+
+    # Constant processor costs (MPI call + kernel fixed path) are
+    # CPU-bound: strongly heterogeneous across the Table I mix.
+    C = 55e-6 * (3.4 / eff) ** 0.9
+    # Per-byte processor costs (memcpy + TCP checksum per byte) are
+    # memory-system bound.  On the gigabit network of the HCL cluster
+    # they are *comparable to the wire time per byte* — that is what
+    # produces the paper's two gather slopes (CPU-bound small-message
+    # regime vs fully serialized large-message regime) and what makes
+    # PLogP's measured gap track scatter.  The spread is kept mild:
+    # memory systems of the era differed far less than their MPI fixed
+    # costs, and a near-uniform variable part is also what leads the
+    # heterogeneous Hockney model into the Fig. 6 misprediction.
+    t = 10.5e-9 * (800.0 / fsb) ** 0.2 * (3.4 / eff) ** 0.15 * (
+        1.0 + 0.02 * np.sqrt(1024.0 / l2)
+    )
+
+    base_latency = 55e-6
+    pair_jitter = rng.uniform(-4e-6, 4e-6, size=(n, n))
+    L = base_latency + (pair_jitter + pair_jitter.T) / 2.0
+    np.fill_diagonal(L, 0.0)
+
+    # One switch, identical gigabit NICs: link rates are near-uniform
+    # (~105 MB/s effective TCP throughput).
+    nic_rate = 105e6 * (1.0 - 0.01 * (3.4 / eff - 1.0)) * rng.uniform(0.998, 1.002, size=n)
+    beta = np.minimum(nic_rate[:, None], nic_rate[None, :]) * 1.0
+    rate_jitter = rng.uniform(0.999, 1.001, size=(n, n))
+    beta = beta * (rate_jitter + rate_jitter.T) / 2.0
+    np.fill_diagonal(beta, np.inf)
+
+    return GroundTruth(C, t, L, beta)

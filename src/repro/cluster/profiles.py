@@ -1,0 +1,186 @@
+"""MPI implementation / TCP-stack profiles.
+
+The paper reports that the irregular behaviour of collectives on switched
+TCP/IP clusters depends on the MPI implementation: the linear-gather
+escalation region is ``M1 = 4 KB .. M2 = 65 KB`` under LAM 7.1.3 and
+``M1 = 3 KB .. M2 = 125 KB`` under MPICH 1.2.7, and linear scatter shows a
+leap at the eager/rendezvous threshold (64 KB for LAM) with regularly
+repeating smaller leaps converging to the same slope.
+
+An :class:`MpiProfile` captures the *mechanisms* behind those numbers:
+
+* ``eager_threshold`` — messages larger than this use a rendezvous
+  handshake (one extra link round-trip paid by the sender) → the scatter
+  leap.
+* ``fragment_size`` / ``fragment_overhead`` — long-protocol messages are
+  split into fragments, each charging a small fixed sender cost → the
+  repeating staircase that converges to the original slope.
+* ``eager_threshold`` also defines gather's ``M2``: a sequential-receive
+  gather of rendezvous-size blocks serializes its senders completely
+  (each waits for the root's matching receive), which simultaneously ends
+  the incast storms and steepens the slope — the deterministic
+  ``M > M2`` sum regime.  LAM's 64 KB eager limit is the paper's measured
+  ``M2 = 65 KB``; MPICH's 128 KB limit its ``M2 = 125 KB``.
+* ``tcp_window`` — a sender can blast at most this many unacknowledged
+  bytes; flows larger than the window self-pace off acknowledgements and
+  cannot trigger retransmission storms.
+* ``incast_threshold`` — when several concurrent senders' synchronized
+  bursts exceed the destination port's buffering, packets drop and TCP
+  retransmission timeouts fire.  With ``n-1`` gather senders this starts
+  at ``M1 ~ incast_threshold / (n-1)``, reproducing the paper's small-M1
+  values, and produces the non-deterministic escalations (~0.2-0.25 s,
+  i.e. a TCP RTO) for medium messages.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "MpiProfile",
+    "LAM_7_1_3",
+    "MPICH_1_2_7",
+    "OPEN_MPI",
+    "IDEAL",
+]
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class MpiProfile:
+    """Mechanistic description of one MPI implementation over TCP/IP."""
+
+    name: str
+    #: Eager/rendezvous protocol switch (bytes).
+    eager_threshold: int
+    #: Long-protocol fragment size (bytes).
+    fragment_size: int
+    #: Fixed sender CPU cost per fragment after the first (seconds).
+    fragment_overhead: float
+    #: Extra fixed sender cost when entering the rendezvous protocol
+    #: (request/ack bookkeeping beyond the link round-trip), seconds.
+    rendezvous_overhead: float
+    #: TCP congestion/receive window per flow (bytes).  Defines M2.
+    tcp_window: int
+    #: Destination-port buffering before incast losses begin (bytes).
+    #: Defines M1 ~ incast_threshold / (number of concurrent senders).
+    incast_threshold: int
+    #: Base TCP retransmission timeout (seconds); escalations are
+    #: ``rto_base + U(0, rto_jitter)``, matching the paper's "up to 0.25 s".
+    rto_base: float = 0.2
+    rto_jitter: float = 0.05
+    #: Peak escalation probability *per flow* once the port backlog far
+    #: exceeds the incast threshold.  Kept small: with ~15 concurrent
+    #: gather flows the run-level escalation probability is roughly
+    #: ``1 - (1 - p)^flows``, and the paper's escalations are
+    #: non-deterministic — many runs stay clean even mid-region.
+    escalation_p_max: float = 0.1
+    #: Escalations require at least this many distinct concurrent senders
+    #: at one port (a single self-clocked stream never RTOs).
+    min_incast_senders: int = 2
+
+    # -- derived quantities ---------------------------------------------------
+    def m1(self, n_senders: int) -> float:
+        """Escalation-onset message size for ``n_senders`` concurrent flows."""
+        if n_senders < self.min_incast_senders:
+            return float("inf")
+        return self.incast_threshold / float(n_senders)
+
+    @property
+    def m2(self) -> float:
+        """Message size where gather's sum regime starts.
+
+        This is the eager/rendezvous protocol switch: beyond it a
+        sequential-receive gather serializes its senders completely (each
+        waits for the root's matching receive), ending the incast storms
+        and steepening the slope.  The paper measures it as 65 KB under
+        LAM (eager limit 64 KB) and 125 KB under MPICH (eager limit
+        128 KB).
+        """
+        return float(self.eager_threshold)
+
+    def uses_rendezvous(self, nbytes: int) -> bool:
+        """True when a message of ``nbytes`` uses the long protocol."""
+        return nbytes > self.eager_threshold
+
+    def fragments(self, nbytes: int) -> int:
+        """Number of long-protocol fragments for ``nbytes``."""
+        if nbytes <= 0:
+            return 1
+        return -(-nbytes // self.fragment_size)  # ceil division
+
+    def sender_protocol_overhead(self, nbytes: int) -> float:
+        """Fixed extra sender CPU for protocol effects (no handshake wait)."""
+        if not self.uses_rendezvous(nbytes):
+            return 0.0
+        return self.rendezvous_overhead + self.fragment_overhead * (self.fragments(nbytes) - 1)
+
+    def escalation_probability(self, backlog_bytes: float, n_senders: int) -> float:
+        """Probability a newly queued flow suffers an RTO escalation.
+
+        Grows linearly from 0 at the incast threshold, saturating at
+        ``escalation_p_max`` when the backlog reaches twice the threshold —
+        the paper's "the probability [of fitting the linear model] becomes
+        less with the growth of message size".
+        """
+        if n_senders < self.min_incast_senders:
+            return 0.0
+        excess = backlog_bytes - self.incast_threshold
+        if excess <= 0:
+            return 0.0
+        return min(self.escalation_p_max, self.escalation_p_max * excess / self.incast_threshold)
+
+    def with_overrides(self, **kwargs) -> "MpiProfile":
+        """A copy with selected fields replaced (ablation helper)."""
+        return replace(self, **kwargs)
+
+
+#: LAM 7.1.3 over TCP: eager/rendezvous at 64 KB, 64 KB TCP window
+#: (=> M2 = 65 KB in paper units), incast onset near 4 KB for 15 senders.
+LAM_7_1_3 = MpiProfile(
+    name="LAM 7.1.3",
+    eager_threshold=64 * KB,
+    fragment_size=64 * KB,
+    fragment_overhead=120e-6,
+    rendezvous_overhead=250e-6,
+    tcp_window=65 * KB,
+    incast_threshold=60 * KB,
+)
+
+#: MPICH 1.2.7 (ch_p4): rendezvous at 128 KB, larger socket buffers
+#: (=> M2 = 125 KB), incast onset near 3 KB for 15 senders.
+MPICH_1_2_7 = MpiProfile(
+    name="MPICH 1.2.7",
+    eager_threshold=128 * KB,
+    fragment_size=64 * KB,
+    fragment_overhead=100e-6,
+    rendezvous_overhead=300e-6,
+    tcp_window=125 * KB,
+    incast_threshold=45 * KB,
+)
+
+#: Open MPI 1.2-era defaults (used for the scatter-leap observation the
+#: paper attributes to "LAM and Open MPI").
+OPEN_MPI = MpiProfile(
+    name="Open MPI",
+    eager_threshold=64 * KB,
+    fragment_size=32 * KB,
+    fragment_overhead=80e-6,
+    rendezvous_overhead=200e-6,
+    tcp_window=64 * KB,
+    incast_threshold=56 * KB,
+)
+
+#: No protocol irregularities at all: pure extended-LMO hardware.  Used by
+#: ablation benches (DESIGN.md D1-D3) and exactness tests.
+IDEAL = MpiProfile(
+    name="ideal",
+    eager_threshold=1 << 60,
+    fragment_size=1 << 60,
+    fragment_overhead=0.0,
+    rendezvous_overhead=0.0,
+    tcp_window=1 << 60,
+    incast_threshold=1 << 60,
+    escalation_p_max=0.0,
+)

@@ -1,0 +1,144 @@
+"""Cluster hardware specifications, including the paper's Table I cluster.
+
+The paper validates the LMO model on a 16-node heterogeneous cluster with a
+single Ethernet switch (Table I).  :func:`table1_cluster` reconstructs that
+cluster; :func:`homogeneous_cluster` and :func:`random_cluster` build
+synthetic clusters for tests and property-based checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = [
+    "NodeType",
+    "ClusterSpec",
+    "TABLE1_NODE_TYPES",
+    "table1_cluster",
+    "homogeneous_cluster",
+    "random_cluster",
+]
+
+
+@dataclass(frozen=True)
+class NodeType:
+    """One hardware configuration (a row of the paper's Table I).
+
+    Attributes
+    ----------
+    model:
+        Vendor model string, e.g. ``"Dell Poweredge 750"``.
+    os:
+        Operating system (``"FC4"`` or ``"Debian"`` in the paper).
+    processor:
+        Processor description, e.g. ``"3.4 Xeon"``.
+    cpu_ghz:
+        Clock speed in GHz.
+    fsb_mhz:
+        Front-side-bus speed in MHz (memory-bandwidth proxy).
+    l2_cache_kb:
+        L2 cache size in KB.
+    arch_factor:
+        Per-clock efficiency relative to a Pentium 4 (Opterons of the era
+        did far more per cycle; Celerons less).  Used by the ground-truth
+        parameter synthesis in :mod:`repro.cluster.params`.
+    """
+
+    model: str
+    os: str
+    processor: str
+    cpu_ghz: float
+    fsb_mhz: int
+    l2_cache_kb: int
+    arch_factor: float = 1.0
+
+    @property
+    def effective_ghz(self) -> float:
+        """Architecture-adjusted clock speed (per-clock efficiency applied)."""
+        return self.cpu_ghz * self.arch_factor
+
+
+#: The seven node types of the paper's Table I, with their multiplicities.
+TABLE1_NODE_TYPES: tuple[tuple[NodeType, int], ...] = (
+    (NodeType("Dell Poweredge SC1425", "FC4", "3.6 Xeon", 3.6, 800, 2048, 1.05), 2),
+    (NodeType("Dell Poweredge 750", "FC4", "3.4 Xeon", 3.4, 800, 1024, 1.05), 6),
+    (NodeType("IBM E-server 326", "Debian", "1.8 AMD Opteron", 1.8, 1000, 1024, 2.1), 2),
+    (NodeType("IBM X-Series 306", "Debian", "3.2 P4", 3.2, 800, 1024, 1.0), 1),
+    (NodeType("HP Proliant DL 320 G3", "FC4", "3.4 P4", 3.4, 800, 1024, 1.0), 1),
+    (NodeType("HP Proliant DL 320 G3", "FC4", "2.9 Celeron", 2.9, 533, 256, 0.8), 1),
+    (NodeType("HP Proliant DL 140 G2", "Debian", "3.4 Xeon", 3.4, 800, 1024, 1.05), 3),
+)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """An ordered collection of nodes attached to one switch.
+
+    Node order defines MPI rank order throughout the package.
+    """
+
+    nodes: tuple[NodeType, ...]
+    name: str = "cluster"
+
+    def __post_init__(self) -> None:
+        if len(self.nodes) < 2:
+            raise ValueError(f"a cluster needs >= 2 nodes, got {len(self.nodes)}")
+
+    @property
+    def n(self) -> int:
+        """Number of nodes (MPI world size)."""
+        return len(self.nodes)
+
+    @property
+    def node_type_counts(self) -> list[tuple[NodeType, int]]:
+        """Distinct node types with multiplicities, in first-seen order."""
+        counts: dict[NodeType, int] = {}
+        for node in self.nodes:
+            counts[node] = counts.get(node, 0) + 1
+        return list(counts.items())
+
+    def is_homogeneous(self) -> bool:
+        """True when every node has the same type."""
+        return len(set(self.nodes)) == 1
+
+    def describe(self) -> str:
+        """Human-readable table (mirrors the layout of the paper's Table I)."""
+        header = (
+            f"{'Model':<24}{'OS':<8}{'Processor':<18}{'FSB':<8}{'L2':<8}{'#':>3}"
+        )
+        lines = [f"Cluster {self.name!r}: {self.n} nodes, single switch", header]
+        for node, count in self.node_type_counts:
+            lines.append(
+                f"{node.model:<24}{node.os:<8}{node.processor:<18}"
+                f"{node.fsb_mhz:<8}{node.l2_cache_kb:<8}{count:>3}"
+            )
+        return "\n".join(lines)
+
+
+def table1_cluster() -> ClusterSpec:
+    """The paper's 16-node heterogeneous cluster (Table I)."""
+    nodes: list[NodeType] = []
+    for node_type, count in TABLE1_NODE_TYPES:
+        nodes.extend([node_type] * count)
+    return ClusterSpec(tuple(nodes), name="ucd-hcl-16")
+
+
+def homogeneous_cluster(n: int, node_type: Optional[NodeType] = None) -> ClusterSpec:
+    """A homogeneous ``n``-node cluster (defaults to the Poweredge 750 type)."""
+    if node_type is None:
+        node_type = TABLE1_NODE_TYPES[1][0]
+    return ClusterSpec((node_type,) * n, name=f"homogeneous-{n}")
+
+
+def random_cluster(n: int, seed: int = 0) -> ClusterSpec:
+    """A random heterogeneous cluster drawn from the Table I node types.
+
+    Deterministic given ``seed``; used by property-based tests.
+    """
+    rng = np.random.default_rng(seed)
+    pool = [node_type for node_type, _count in TABLE1_NODE_TYPES]
+    nodes = tuple(pool[i] for i in rng.integers(0, len(pool), size=n))
+    return ClusterSpec(nodes, name=f"random-{n}-seed{seed}")

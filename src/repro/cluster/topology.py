@@ -1,0 +1,98 @@
+"""Multi-switch topologies — where the single-switch model stops holding.
+
+The paper's target platform is "a homogeneous or heterogeneous cluster
+with a single switch", and the LMO model's assumptions lean on it: the
+switch forwards flows to distinct ports fully in parallel, so the only
+shared medium is each destination port.  Two cascaded switches break
+that: flows crossing the inter-switch uplink *share it*, and no
+point-to-point model — however well separated its parameters — can
+express that contention.
+
+:class:`TwoSwitchTopology` builds ground truths and uplink bookkeeping
+for a cluster split across two switches.  The transport charges uplink
+occupancy for cross-switch flows when the cluster is constructed with a
+topology (see :meth:`repro.cluster.machine.SimulatedCluster.attach_topology`),
+letting tests and experiments measure exactly how much accuracy the LMO
+model loses once its platform assumption fails — and that it remains
+exact within each switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.cluster.params import GroundTruth
+
+__all__ = ["TwoSwitchTopology"]
+
+
+@dataclass(frozen=True)
+class TwoSwitchTopology:
+    """Two switches joined by one uplink.
+
+    Attributes
+    ----------
+    left:
+        Nodes attached to the first switch.
+    right:
+        Nodes attached to the second switch.
+    uplink_latency:
+        Extra fixed latency for cross-switch flows (a second
+        store-and-forward hop), seconds.
+    uplink_rate:
+        Uplink capacity in bytes/second.  All concurrent cross-switch
+        flows serialize on it — the contention a single-switch model
+        cannot express.
+    """
+
+    left: tuple[int, ...]
+    right: tuple[int, ...]
+    uplink_latency: float = 40e-6
+    uplink_rate: float = 105e6
+
+    def __post_init__(self) -> None:
+        nodes = list(self.left) + list(self.right)
+        if sorted(nodes) != list(range(len(nodes))):
+            raise ValueError("left+right must partition 0..n-1")
+        if not self.left or not self.right:
+            raise ValueError("both switches need at least one node")
+        if self.uplink_latency < 0 or self.uplink_rate <= 0:
+            raise ValueError("invalid uplink parameters")
+
+    @property
+    def n(self) -> int:
+        return len(self.left) + len(self.right)
+
+    def same_switch(self, i: int, j: int) -> bool:
+        """True when the two nodes share a switch (no uplink involved)."""
+        left = set(self.left)
+        return (i in left) == (j in left)
+
+    def apply_to_ground_truth(self, gt: GroundTruth) -> GroundTruth:
+        """A ground truth whose latencies reflect the extra uplink hop.
+
+        Only the fixed latency moves here: the uplink's bandwidth enters
+        dynamically as a serial occupancy of the shared uplink resource
+        (store-and-forward through the second switch), so an isolated
+        cross-switch flow still follows a clean linear model — with a
+        shallower effective rate — while concurrent flows contend.
+        """
+        if gt.n != self.n:
+            raise ValueError(f"ground truth is for {gt.n} nodes, topology has {self.n}")
+        L = gt.L.copy()
+        for i in range(self.n):
+            for j in range(self.n):
+                if i != j and not self.same_switch(i, j):
+                    L[i, j] += self.uplink_latency
+        return GroundTruth(C=gt.C.copy(), t=gt.t.copy(), L=L, beta=gt.beta.copy())
+
+    @staticmethod
+    def split_evenly(n: int, **kwargs) -> "TwoSwitchTopology":
+        """First half of the ranks on one switch, second half on the other."""
+        half = n // 2
+        return TwoSwitchTopology(
+            left=tuple(range(half)), right=tuple(range(half, n)), **kwargs
+        )

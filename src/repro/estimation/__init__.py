@@ -1,0 +1,90 @@
+"""Parameter estimation for every supported communication model.
+
+The centerpiece is :func:`~repro.estimation.lmo_est.estimate_extended_lmo`
+(paper Sec. IV, eqs. 6-12): roundtrips + one-to-two collective experiments,
+per-triplet closed-form solves, and redundancy averaging — with serial or
+parallel (non-overlapping) experiment schedules.
+"""
+
+from repro.estimation.empirical import (
+    GatherSweep,
+    ScatterLeap,
+    detect_gather_irregularity,
+    detect_scatter_leap,
+    sweep_collective,
+)
+from repro.estimation.drift import DriftReport, detect_model_drift, spot_check_pairs
+from repro.estimation.engines import AnalyticEngine, DESEngine, ExperimentEngine
+from repro.estimation.experiments import (
+    Experiment,
+    one_to_two,
+    overhead_recv,
+    overhead_send,
+    roundtrip,
+    saturation,
+)
+from repro.estimation.hockney_est import (
+    HockneyEstimationResult,
+    estimate_heterogeneous_hockney,
+    estimate_hockney,
+    estimate_hockney_series,
+)
+from repro.estimation.sensitivity import ProbeSensitivity, probe_sensitivity
+from repro.estimation.lmo_est import (
+    LMOEstimationResult,
+    all_triplets,
+    estimate_extended_lmo,
+    estimate_original_lmo,
+    star_triplets,
+)
+from repro.estimation.logp_est import LogPEstimationResult, estimate_loggp, estimate_logp
+from repro.estimation.plogp_est import PLogPEstimationResult, adaptive_sizes, estimate_plogp
+from repro.estimation.scheduling import (
+    pack_rounds,
+    pair_rounds,
+    run_schedule,
+    run_schedule_adaptive,
+    triplet_rounds,
+)
+
+__all__ = [
+    "AnalyticEngine",
+    "DESEngine",
+    "DriftReport",
+    "Experiment",
+    "ExperimentEngine",
+    "GatherSweep",
+    "HockneyEstimationResult",
+    "ProbeSensitivity",
+    "LMOEstimationResult",
+    "LogPEstimationResult",
+    "PLogPEstimationResult",
+    "ScatterLeap",
+    "adaptive_sizes",
+    "all_triplets",
+    "detect_gather_irregularity",
+    "detect_model_drift",
+    "detect_scatter_leap",
+    "estimate_extended_lmo",
+    "estimate_original_lmo",
+    "estimate_heterogeneous_hockney",
+    "estimate_hockney",
+    "estimate_hockney_series",
+    "estimate_loggp",
+    "estimate_logp",
+    "estimate_plogp",
+    "one_to_two",
+    "overhead_recv",
+    "overhead_send",
+    "pack_rounds",
+    "pair_rounds",
+    "probe_sensitivity",
+    "roundtrip",
+    "run_schedule",
+    "run_schedule_adaptive",
+    "saturation",
+    "spot_check_pairs",
+    "star_triplets",
+    "sweep_collective",
+    "triplet_rounds",
+]

@@ -1,0 +1,110 @@
+"""Model-drift detection: is a saved model still worth trusting?
+
+Estimation is expensive, so models are estimated rarely and reused — but
+clusters change (thermal throttling, a failing NIC, a daemon pinning a
+core).  :func:`detect_model_drift` runs a cheap spot-check — a handful of
+roundtrips — against a model's predictions and reports where reality has
+moved.  Paired with :meth:`SimulatedCluster.degrade_node` (fault
+injection), this closes the loop the paper's runtime-estimation ambitions
+imply: estimate, monitor, re-estimate when drift crosses a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.estimation.engines import ExperimentEngine
+from repro.estimation.experiments import roundtrip
+from repro.estimation.scheduling import run_schedule
+
+__all__ = ["DriftReport", "detect_model_drift", "spot_check_pairs"]
+
+KB = 1024
+
+
+@dataclass(frozen=True)
+class DriftReport:
+    """Outcome of a drift spot-check."""
+
+    #: Per-pair relative error |measured - predicted| / predicted.
+    errors: dict[tuple[int, int], float]
+    threshold: float
+    probe_nbytes: int
+
+    @property
+    def worst_pair(self) -> tuple[int, int]:
+        return max(self.errors, key=self.errors.__getitem__)
+
+    @property
+    def worst_error(self) -> float:
+        return self.errors[self.worst_pair]
+
+    @property
+    def drifted(self) -> bool:
+        """True when any checked pair exceeds the threshold."""
+        return self.worst_error > self.threshold
+
+    def drifted_nodes(self) -> list[int]:
+        """Nodes implicated by more than one drifted pair (likely culprits)."""
+        counts: dict[int, int] = {}
+        for (a, b), error in self.errors.items():
+            if error > self.threshold:
+                counts[a] = counts.get(a, 0) + 1
+                counts[b] = counts.get(b, 0) + 1
+        return sorted(node for node, count in counts.items() if count >= 2)
+
+
+def spot_check_pairs(n: int, coverage: int = 2) -> list[tuple[int, int]]:
+    """A small pair set touching every node ``coverage`` times.
+
+    Ring pairs (i, i+1) plus stride-2 pairs give each node two distinct
+    partners — enough to localize a single degraded node by intersection.
+    """
+    if n < 2:
+        raise ValueError("need n >= 2")
+    if coverage < 1:
+        raise ValueError("coverage must be >= 1")
+    pairs: list[tuple[int, int]] = []
+    for stride in range(1, coverage + 1):
+        for i in range(n):
+            j = (i + stride) % n
+            if i < j:
+                pairs.append((i, j))
+            else:
+                pairs.append((j, i))
+    return sorted(set(pairs))
+
+
+def detect_model_drift(
+    model,
+    engine: ExperimentEngine,
+    probe_nbytes: int = 32 * KB,
+    threshold: float = 0.15,
+    reps: int = 3,
+    pairs: Optional[Sequence[tuple[int, int]]] = None,
+) -> DriftReport:
+    """Spot-check ``model`` against fresh roundtrip measurements.
+
+    Parameters
+    ----------
+    model:
+        Anything with ``p2p_time(i, j, nbytes)`` (all models qualify).
+    threshold:
+        Relative error above which a pair counts as drifted.  The default
+        15% sits far above measurement noise (2.5% CI target) but well
+        below any interesting hardware degradation.
+    """
+    if probe_nbytes <= 0:
+        raise ValueError("probe_nbytes must be positive")
+    chosen = spot_check_pairs(engine.n) if pairs is None else list(pairs)
+    experiments = [roundtrip(i, j, probe_nbytes) for i, j in chosen]
+    measured = run_schedule(engine, experiments, parallel=True, reps=reps,
+                            aggregate=np.median)
+    errors: dict[tuple[int, int], float] = {}
+    for (i, j), exp in zip(chosen, experiments):
+        predicted = 2.0 * model.p2p_time(i, j, probe_nbytes)
+        errors[(i, j)] = abs(measured[exp] - predicted) / predicted
+    return DriftReport(errors=errors, threshold=threshold, probe_nbytes=probe_nbytes)

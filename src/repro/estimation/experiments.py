@@ -1,0 +1,216 @@
+"""Communication-experiment descriptors and their DES rank programs.
+
+Section IV of the paper builds its estimation procedure from a small
+vocabulary of experiments:
+
+* ``roundtrip`` — ``i <-M/N-> j``: send M bytes, receive an N-byte reply,
+  timed on the initiator (used by every model's estimator);
+* ``one_to_two`` — ``i -M-> j,k`` with N-byte replies: the *collective*
+  experiment that makes the LMO parameters identifiable (point-to-point
+  experiments alone cannot separate ``C`` from ``L``);
+* ``overhead_send`` / ``overhead_recv`` — the LogP-family tricks: time the
+  send call itself; or delay the receive until the message has certainly
+  arrived and time the receive call itself;
+* ``saturation`` — a train of messages to one destination closed by a
+  zero-byte acknowledgement, measuring the per-message gap.  (The paper
+  measures the open train on the sender side; on this simulator's
+  transport a sender-side measurement would only observe the CPU gap, so
+  we close the loop with an ack, as MPIBlib-era tools do.  DESIGN.md
+  records this substitution.)
+
+Every experiment is timed **on the initiator** (the paper's sender-side
+timing method) and knows which nodes it occupies, so non-overlapping
+experiments can run in parallel (Sec. IV's optimization).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator
+
+from repro.mpi.comm import RankComm
+
+__all__ = ["Experiment", "roundtrip", "one_to_two", "overhead_send", "overhead_recv",
+           "saturation", "build_programs"]
+
+TAG = 11
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """One timed communication experiment.
+
+    ``nodes[0]`` is the initiator whose completion time is the result.
+    """
+
+    kind: str
+    nodes: tuple[int, ...]
+    send_nbytes: int = 0
+    reply_nbytes: int = 0
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if len(set(self.nodes)) != len(self.nodes):
+            raise ValueError(f"experiment nodes must be distinct: {self.nodes}")
+        expected_arity = {"roundtrip": 2, "one_to_two": 3,
+                          "overhead_send": 2, "overhead_recv": 2, "saturation": 2}
+        if self.kind not in expected_arity:
+            raise ValueError(f"unknown experiment kind {self.kind!r}")
+        if len(self.nodes) != expected_arity[self.kind]:
+            raise ValueError(f"{self.kind} needs {expected_arity[self.kind]} nodes")
+        if self.send_nbytes < 0 or self.reply_nbytes < 0 or self.count < 1:
+            raise ValueError(f"invalid experiment sizes: {self}")
+
+    @property
+    def initiator(self) -> int:
+        return self.nodes[0]
+
+    def overlaps(self, other: "Experiment") -> bool:
+        """True when the two experiments share a node."""
+        return bool(set(self.nodes) & set(other.nodes))
+
+
+# -- constructors -------------------------------------------------------------
+def roundtrip(i: int, j: int, send_nbytes: int, reply_nbytes: int | None = None) -> Experiment:
+    """``i <-> j`` roundtrip (reply defaults to the same size)."""
+    reply = send_nbytes if reply_nbytes is None else reply_nbytes
+    return Experiment("roundtrip", (i, j), send_nbytes, reply)
+
+
+def one_to_two(i: int, j: int, k: int, send_nbytes: int, reply_nbytes: int = 0) -> Experiment:
+    """``i -> j,k`` with replies; the LMO collective experiment."""
+    return Experiment("one_to_two", (i, j, k), send_nbytes, reply_nbytes)
+
+
+def overhead_send(i: int, j: int, nbytes: int) -> Experiment:
+    """Time the send call of an ``nbytes`` message (LogP's ``o_s``)."""
+    return Experiment("overhead_send", (i, j), nbytes)
+
+
+def overhead_recv(i: int, j: int, nbytes: int) -> Experiment:
+    """Time a deliberately-late receive call at ``j`` for a message from
+    ``i`` (LogP's ``o_r``).  The receiver is the initiator/timer."""
+    return Experiment("overhead_recv", (j, i), nbytes)
+
+
+def saturation(i: int, j: int, nbytes: int, count: int) -> Experiment:
+    """An ack-closed train of ``count`` messages (gap measurement)."""
+    return Experiment("saturation", (i, j), nbytes, 0, count)
+
+
+#: Delay before the late receive in overhead_recv: generous upper bound on
+#: delivery time for any plausible cluster (simulated seconds are free).
+_LATE_RECV_DELAY = 0.2
+_LATE_RECV_PER_BYTE = 5e-7  # covers links down to 2 MB/s
+
+
+def build_programs(exp: Experiment) -> dict[int, Callable[[RankComm], Generator]]:
+    """Rank programs realizing ``exp``; the initiator returns its elapsed time."""
+    if exp.kind == "roundtrip":
+        return _roundtrip_programs(exp)
+    if exp.kind == "one_to_two":
+        return _one_to_two_programs(exp)
+    if exp.kind == "overhead_send":
+        return _overhead_send_programs(exp)
+    if exp.kind == "overhead_recv":
+        return _overhead_recv_programs(exp)
+    if exp.kind == "saturation":
+        return _saturation_programs(exp)
+    raise AssertionError("unreachable: validated in Experiment")
+
+
+def _roundtrip_programs(exp: Experiment):
+    i, j = exp.nodes
+
+    def initiator(comm: RankComm):
+        start = comm.sim.now
+        yield from comm.send(j, nbytes=exp.send_nbytes, tag=TAG)
+        yield from comm.recv(j, tag=TAG)
+        return comm.sim.now - start
+
+    def responder(comm: RankComm):
+        yield from comm.recv(i, tag=TAG)
+        yield from comm.send(i, nbytes=exp.reply_nbytes, tag=TAG)
+        return None
+
+    return {i: initiator, j: responder}
+
+
+def _one_to_two_programs(exp: Experiment):
+    i, j, k = exp.nodes
+
+    def initiator(comm: RankComm):
+        start = comm.sim.now
+        # Linear scatter to the two peers (serialized send slots) ...
+        yield from comm.send(j, nbytes=exp.send_nbytes, tag=TAG)
+        yield from comm.send(k, nbytes=exp.send_nbytes, tag=TAG)
+        # ... then a linear gather of the replies (receives posted
+        # up-front; processing serializes on this CPU as it completes).
+        req_j = comm.irecv(j, tag=TAG)
+        req_k = comm.irecv(k, tag=TAG)
+        yield from comm.wait(req_j)
+        yield from comm.wait(req_k)
+        return comm.sim.now - start
+
+    def peer(of: int):
+        def program(comm: RankComm):
+            yield from comm.recv(i, tag=TAG)
+            yield from comm.send(i, nbytes=exp.reply_nbytes, tag=TAG)
+            return None
+
+        return program
+
+    return {i: initiator, j: peer(j), k: peer(k)}
+
+
+def _overhead_send_programs(exp: Experiment):
+    i, j = exp.nodes
+
+    def initiator(comm: RankComm):
+        start = comm.sim.now
+        yield from comm.send(j, nbytes=exp.send_nbytes, tag=TAG)
+        return comm.sim.now - start
+
+    def responder(comm: RankComm):
+        yield from comm.recv(i, tag=TAG)
+        return None
+
+    return {i: initiator, j: responder}
+
+
+def _overhead_recv_programs(exp: Experiment):
+    receiver, sender_rank = exp.nodes
+    delay = _LATE_RECV_DELAY + exp.send_nbytes * _LATE_RECV_PER_BYTE
+
+    def sender(comm: RankComm):
+        yield from comm.send(receiver, nbytes=exp.send_nbytes, tag=TAG)
+        return None
+
+    def initiator(comm: RankComm):
+        # Wait long enough that the message has certainly been delivered,
+        # then the receive call's duration is pure receive processing.
+        yield comm.sim.timeout(delay)
+        start = comm.sim.now
+        yield from comm.recv(sender_rank, tag=TAG)
+        return comm.sim.now - start
+
+    return {receiver: initiator, sender_rank: sender}
+
+
+def _saturation_programs(exp: Experiment):
+    i, j = exp.nodes
+
+    def initiator(comm: RankComm):
+        start = comm.sim.now
+        for _msg in range(exp.count):
+            yield from comm.send(j, nbytes=exp.send_nbytes, tag=TAG)
+        yield from comm.recv(j, tag=TAG + 1)  # zero-byte ack closes the train
+        return comm.sim.now - start
+
+    def sink(comm: RankComm):
+        for _msg in range(exp.count):
+            yield from comm.recv(i, tag=TAG)
+        yield from comm.send(i, nbytes=0, tag=TAG + 1)
+        return None
+
+    return {i: initiator, j: sink}

@@ -1,0 +1,137 @@
+"""LogP / LogGP parameter estimation (paper Sec. II).
+
+Per pair:
+
+* ``o_s`` — the duration of the send call itself (``i -M-> j`` roundtrip
+  with an empty reply; we time the send);
+* ``o_r`` — the delayed-receive trick: after the message has certainly
+  arrived, time the receive call;
+* ``L`` — ``RTT/2 - o_s - o_r`` from a roundtrip with non-empty messages;
+* ``g`` — the saturation experiment: a long one-directional train of
+  messages, ``g = T_n / n``;
+* ``G`` (LogGP) — the per-byte gap from a saturation with large messages:
+  ``G = (T_n / n) / M``.
+
+Homogeneous parameters are pair averages, as the paper prescribes for
+applying the LogP family to heterogeneous clusters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Sequence
+
+import numpy as np
+
+from repro.estimation.engines import ExperimentEngine
+from repro.estimation.experiments import (
+    Experiment,
+    overhead_recv,
+    overhead_send,
+    roundtrip,
+    saturation,
+)
+from repro.estimation.scheduling import run_schedule
+from repro.models.loggp import LogGPModel
+from repro.models.logp import LogPModel
+
+__all__ = ["LogPEstimationResult", "estimate_logp", "estimate_loggp"]
+
+KB = 1024
+#: Packet size for LogP's small-message experiments (Ethernet MTU payload).
+SMALL_NBYTES = 1024
+LARGE_NBYTES = 64 * KB
+#: Train length: "the number of messages is chosen to be large to ensure
+#: that the point-to-point communication time is dominated by the factor
+#: of bandwidth rather than latency".
+TRAIN_COUNT = 32
+
+
+@dataclass
+class LogPEstimationResult:
+    """Per-pair raw values and the averaged homogeneous models."""
+
+    o_s: float
+    o_r: float
+    L: float
+    g_small: float
+    g_large_per_byte: float
+    estimation_time: float
+    pairs_measured: int
+
+    def logp(self, P: int, packet_bytes: int = SMALL_NBYTES) -> LogPModel:
+        """The homogeneous LogP model at the small-message packet size."""
+        return LogPModel(
+            L=self.L, o=(self.o_s + self.o_r) / 2.0, g=self.g_small,
+            P=P, packet_bytes=packet_bytes,
+        )
+
+    def loggp(self, P: int) -> LogGPModel:
+        """The homogeneous LogGP model."""
+        return LogGPModel(
+            L=self.L, o=(self.o_s + self.o_r) / 2.0,
+            g=self.g_small, G=self.g_large_per_byte, P=P,
+        )
+
+
+def _measure_family(
+    engine: ExperimentEngine,
+    pairs: Sequence[tuple[int, int]],
+    reps: int,
+    parallel: bool,
+) -> tuple[dict[Experiment, float], float]:
+    experiments: list[Experiment] = []
+    for i, j in pairs:
+        experiments.append(overhead_send(i, j, SMALL_NBYTES))
+        experiments.append(overhead_recv(i, j, SMALL_NBYTES))
+        experiments.append(roundtrip(i, j, SMALL_NBYTES))
+        experiments.append(saturation(i, j, SMALL_NBYTES, TRAIN_COUNT))
+        experiments.append(saturation(i, j, LARGE_NBYTES, TRAIN_COUNT))
+    t_start = engine.estimation_time
+    measured = run_schedule(engine, experiments, parallel=parallel, reps=reps)
+    return measured, engine.estimation_time - t_start
+
+
+def estimate_logp(
+    engine: ExperimentEngine,
+    reps: int = 3,
+    parallel: bool = True,
+    pairs: Sequence[tuple[int, int]] | None = None,
+) -> LogPEstimationResult:
+    """Estimate LogP/LogGP parameters, averaged over pairs."""
+    n = engine.n
+    pair_list = list(combinations(range(n), 2)) if pairs is None else list(pairs)
+    measured, cost = _measure_family(engine, pair_list, reps, parallel)
+
+    o_s_vals, o_r_vals, l_vals, g_vals, big_g_vals = [], [], [], [], []
+    for i, j in pair_list:
+        o_s = measured[overhead_send(i, j, SMALL_NBYTES)]
+        o_r = measured[overhead_recv(i, j, SMALL_NBYTES)]
+        rtt = measured[roundtrip(i, j, SMALL_NBYTES)]
+        o_s_vals.append(o_s)
+        o_r_vals.append(o_r)
+        l_vals.append(max(rtt / 2.0 - o_s - o_r, 0.0))
+        g_vals.append(measured[saturation(i, j, SMALL_NBYTES, TRAIN_COUNT)] / TRAIN_COUNT)
+        per_msg = measured[saturation(i, j, LARGE_NBYTES, TRAIN_COUNT)] / TRAIN_COUNT
+        big_g_vals.append(per_msg / LARGE_NBYTES)
+
+    return LogPEstimationResult(
+        o_s=float(np.mean(o_s_vals)),
+        o_r=float(np.mean(o_r_vals)),
+        L=float(np.mean(l_vals)),
+        g_small=float(np.mean(g_vals)),
+        g_large_per_byte=float(np.mean(big_g_vals)),
+        estimation_time=cost,
+        pairs_measured=len(pair_list),
+    )
+
+
+def estimate_loggp(
+    engine: ExperimentEngine,
+    reps: int = 3,
+    parallel: bool = True,
+    pairs: Sequence[tuple[int, int]] | None = None,
+) -> LogGPModel:
+    """Convenience wrapper returning the homogeneous LogGP model."""
+    return estimate_logp(engine, reps=reps, parallel=parallel, pairs=pairs).loggp(engine.n)

@@ -1,0 +1,63 @@
+"""Per-figure/table reproduction harnesses.
+
+``ALL_EXPERIMENTS`` maps experiment ids to their ``run(quick, seed)``
+functions; :mod:`repro.experiments.report` runs them all and renders
+EXPERIMENTS.md.
+"""
+
+from typing import Callable
+
+from repro.experiments import (
+    ablations,
+    accuracy_table,
+    estimation_cost,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    menu_accuracy,
+    table1,
+    table2,
+    thresholds,
+)
+from repro.experiments.common import ExperimentResult, ModelSuite, Series, get_model_suite
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "ModelSuite",
+    "Series",
+    "get_model_suite",
+    "run_experiment",
+]
+
+ALL_EXPERIMENTS: dict[str, Callable[..., ExperimentResult]] = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "fig7": fig7.run,
+    "table2": table2.run,
+    "estimation_cost": estimation_cost.run,
+    "ablations": ablations.run,
+    "menu_accuracy": menu_accuracy.run,
+    "accuracy_table": accuracy_table.run,
+    "thresholds": thresholds.run,
+}
+
+
+def run_experiment(experiment_id: str, quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Run one experiment by id (``fig1`` ... ``thresholds``)."""
+    try:
+        runner = ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {sorted(ALL_EXPERIMENTS)}"
+        ) from None
+    return runner(quick=quick, seed=seed)

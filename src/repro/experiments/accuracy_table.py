@@ -1,0 +1,91 @@
+"""Section V's quantitative summary: one accuracy table over everything.
+
+The paper argues model quality figure by figure; this experiment compacts
+it: every estimated model predicts every (operation, algorithm, size)
+point of the scatter/gather study, scored against the same observations —
+mean/max relative error and bias per model, with the expected ordering
+(LMO first, the combined-contribution models far behind) asserted.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import score_models
+from repro.experiments.common import (
+    KB,
+    ExperimentResult,
+    get_model_suite,
+    paper_cluster,
+)
+from repro.stats import MeasurementPolicy
+
+__all__ = ["run"]
+
+POINTS_FULL = [
+    ("scatter", "linear", 4 * KB),
+    ("scatter", "linear", 16 * KB),
+    ("scatter", "linear", 48 * KB),
+    ("scatter", "binomial", 4 * KB),
+    ("scatter", "binomial", 48 * KB),
+    ("gather", "linear", 2 * KB),
+    ("gather", "linear", 96 * KB),
+    ("gather", "linear", 160 * KB),
+    ("gather", "binomial", 16 * KB),
+]
+POINTS_QUICK = [
+    ("scatter", "linear", 16 * KB),
+    ("scatter", "binomial", 16 * KB),
+    ("gather", "linear", 2 * KB),
+    ("gather", "linear", 96 * KB),
+]
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Score all five models over the scatter/gather point grid."""
+    cluster = paper_cluster(seed=seed)
+    suite = get_model_suite(seed=seed, quick=quick)
+    models = {
+        "lmo": suite.lmo,
+        "het-hockney": suite.hockney_het,
+        "hom-hockney": suite.hockney_hom,
+        "loggp": suite.loggp,
+        "plogp": suite.plogp,
+    }
+    points = POINTS_QUICK if quick else POINTS_FULL
+    report = score_models(
+        cluster, models, points,
+        policy=MeasurementPolicy(min_reps=3, max_reps=8 if quick else 20),
+    )
+    result = ExperimentResult(
+        experiment_id="accuracy_table",
+        title="(summary) prediction accuracy of every model, all points",
+        text=report.render(),
+    )
+    lmo = report.score("lmo")
+    best = report.score(report.ranking[0])
+    result.checks = {
+        # On the full point grid LMO ranks first outright; the quick
+        # subsample can put PLogP within a whisker (the paper itself
+        # grants PLogP "the same accuracy for medium size messages").
+        "LMO ranks first (or ties PLogP within 25%)": (
+            report.ranking[0] == "lmo"
+            or (report.ranking[0] == "plogp"
+                and lmo.mean_relative_error < 1.25 * best.mean_relative_error)
+        ),
+        "LMO's mean error is small (<30%)": lmo.mean_relative_error < 0.30,
+        "the combined-contribution models are >2x worse than LMO": all(
+            report.score(name).mean_relative_error > 2 * lmo.mean_relative_error
+            for name in ("het-hockney", "hom-hockney", "loggp")
+        ),
+        "the Hockney sequential readings are pessimistic (positive bias)": (
+            report.score("het-hockney").bias > 0
+            and report.score("hom-hockney").bias > 0
+        ),
+    }
+    result.notes.append(
+        "points: " + ", ".join(f"{op}/{algo}@{m // KB}K" for op, algo, m in points)
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(run(quick=True).render())

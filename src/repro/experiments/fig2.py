@@ -1,0 +1,40 @@
+"""Figure 2: the binomial communication tree for 16 processors.
+
+A structural figure: nodes are processors, arcs are logical links marked
+with the number of data blocks communicated.  We regenerate it as ASCII
+and check the arc labels (8/4/2/1 from the root, recursively halving).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.models import binomial_tree
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 2 (the n=16 binomial scatter/gather tree)."""
+    del quick, seed  # structural: nothing to sweep or sample
+    tree = binomial_tree(16, 0)
+    result = ExperimentResult(
+        experiment_id="fig2",
+        title="Binomial communication tree, 16 processors",
+        text=tree.render_ascii(),
+    )
+    root_blocks = [blocks for _child, blocks in tree.children[0]]
+    result.checks = {
+        "root sends 8, 4, 2, 1 blocks (largest first)": root_blocks == [8, 4, 2, 1],
+        "sub-trees of equal order are disjoint": (
+            set(tree.subtree_ranks(8)) == {8, 9, 10, 11, 12, 13, 14, 15}
+        ),
+        "tree depth is log2(16) = 4": tree.depth() == 4,
+        "every arc carries its sub-tree's size": all(
+            blocks == len(tree.subtree_ranks(child)) for _p, child, blocks in tree.arcs()
+        ),
+    }
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(run().render())

@@ -1,0 +1,101 @@
+"""Figure 4: linear scatter — observation vs all models' predictions.
+
+The paper's headline scatter result: the LMO prediction (formula (4))
+tracks the observation including the overall slope; PLogP is competitive
+for medium sizes; heterogeneous-Hockney (sequential) and LogGP are far
+off because their linear-scatter formulas serialize everything.  The
+observation shows a leap at 64 KB (LAM's eager/rendezvous threshold) that
+repeats and converges back to the same slope.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    SIZES_FULL,
+    SIZES_QUICK,
+    ExperimentResult,
+    Series,
+    get_model_suite,
+    observation_benchmark,
+    paper_cluster,
+)
+from repro.models import predict_linear_scatter
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 4 (series in seconds, sizes in bytes)."""
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    cluster = paper_cluster(seed=seed)
+    suite = get_model_suite(seed=seed, quick=quick)
+    bench = observation_benchmark(cluster, quick)
+
+    observed = Series(
+        "observed", sizes,
+        tuple(bench.measure("scatter", "linear", m).mean for m in sizes),
+    )
+    predictions = {
+        "lmo": suite.lmo,
+        "het-hockney": suite.hockney_het,
+        "loggp": suite.loggp,
+        "plogp": suite.plogp,
+    }
+    series = [observed] + [
+        Series(name, sizes, tuple(predict_linear_scatter(model, m) for m in sizes))
+        for name, model in predictions.items()
+    ]
+    result = ExperimentResult(
+        experiment_id="fig4",
+        title="Linear scatter: observation vs LMO, het-Hockney, LogGP, PLogP",
+        series=series,
+    )
+    errors = {
+        name: result.get(name).mean_relative_error(observed) for name in predictions
+    }
+    below_leap = [m for m in sizes if m <= 64 * 1024]
+    lmo_small = Series(
+        "lmo-small", tuple(below_leap),
+        tuple(result.get("lmo").at(m) for m in below_leap),
+    ).mean_relative_error(
+        Series("obs-small", tuple(below_leap), tuple(observed.at(m) for m in below_leap))
+    )
+    plogp_small = Series(
+        "plogp-small", tuple(below_leap),
+        tuple(result.get("plogp").at(m) for m in below_leap),
+    ).mean_relative_error(
+        Series("obs-small", tuple(below_leap), tuple(observed.at(m) for m in below_leap))
+    )
+    pre_leap = below_leap[-1]
+    result.checks = {
+        "LMO is the most accurate model overall": errors["lmo"] == min(errors.values()),
+        "LMO is within 25% of the observation below the leap": lmo_small < 0.25,
+        "PLogP is competitive (within 60%) below the leap (paper: 'same accuracy "
+        "for medium size messages')": plogp_small < 0.6,
+        "het-Hockney (sequential) is pessimistic by >2x below the leap": (
+            result.get("het-hockney").at(pre_leap) > 2 * observed.at(pre_leap)
+        ),
+        "the observation leaps at the 64 KB eager threshold": _has_leap(observed),
+    }
+    result.notes.append(
+        "mean relative errors: "
+        + ", ".join(f"{name} {err:.1%}" for name, err in sorted(errors.items()))
+    )
+    return result
+
+
+def _has_leap(observed: Series) -> bool:
+    """Slope across the 64 KB boundary far exceeds the slope below it."""
+    below = [m for m in observed.sizes if m <= 64 * 1024]
+    above = [m for m in observed.sizes if m > 64 * 1024]
+    if len(below) < 2 or not above:
+        return False
+    m0, m1 = below[-2], below[-1]
+    slope_below = (observed.at(m1) - observed.at(m0)) / (m1 - m0)
+    m2 = above[0]
+    slope_cross = (observed.at(m2) - observed.at(m1)) / (m2 - m1)
+    return slope_cross > 1.5 * slope_below
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(run(quick=True).render())

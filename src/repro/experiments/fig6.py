@@ -1,0 +1,96 @@
+"""Figure 6: algorithm selection for scatter, 100 KB < M < 200 KB.
+
+"Similarly to [14], the Hockney model mispredicts that the binomial
+algorithm outperforms the linear one, switching in favour of the first,
+whereas the decision based on the LMO approximation will be correct."
+
+We measure both algorithms, predict both with het-Hockney and LMO, and
+compare the decisions against the observed winner.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import (
+    KB,
+    ExperimentResult,
+    Series,
+    get_model_suite,
+    observation_benchmark,
+    paper_cluster,
+)
+from repro.optimize import predict_algorithms
+
+__all__ = ["run"]
+
+SIZES_FULL = tuple(int(m * KB) for m in (100, 120, 140, 160, 180, 200))
+SIZES_QUICK = tuple(int(m * KB) for m in (100, 150, 200))
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Figure 6 (series in seconds, sizes in bytes)."""
+    sizes = SIZES_QUICK if quick else SIZES_FULL
+    cluster = paper_cluster(seed=seed)
+    suite = get_model_suite(seed=seed, quick=quick)
+    bench = observation_benchmark(cluster, quick)
+
+    observed_linear, observed_binomial = [], []
+    hockney_linear, hockney_binomial = [], []
+    lmo_linear, lmo_binomial = [], []
+    decisions = []
+    for m in sizes:
+        observed_linear.append(bench.measure("scatter", "linear", m).mean)
+        observed_binomial.append(bench.measure("scatter", "binomial", m).mean)
+        hockney = predict_algorithms(suite.hockney_het, "scatter", m)
+        lmo = predict_algorithms(suite.lmo, "scatter", m)
+        hockney_linear.append(hockney.predictions["linear"])
+        hockney_binomial.append(hockney.predictions["binomial"])
+        lmo_linear.append(lmo.predictions["linear"])
+        lmo_binomial.append(lmo.predictions["binomial"])
+        observed_best = (
+            "linear" if observed_linear[-1] < observed_binomial[-1] else "binomial"
+        )
+        decisions.append((m, observed_best, hockney.best, lmo.best))
+
+    result = ExperimentResult(
+        experiment_id="fig6",
+        title="Linear vs binomial scatter, 100 KB < M < 200 KB: decisions",
+        series=[
+            Series("obs-linear", sizes, tuple(observed_linear)),
+            Series("obs-binomial", sizes, tuple(observed_binomial)),
+            Series("hockney-linear", sizes, tuple(hockney_linear)),
+            Series("hockney-binomial", sizes, tuple(hockney_binomial)),
+            Series("lmo-linear", sizes, tuple(lmo_linear)),
+            Series("lmo-binomial", sizes, tuple(lmo_binomial)),
+        ],
+    )
+    result.checks = {
+        "the linear algorithm actually wins at every size": all(
+            obs == "linear" for _m, obs, _h, _l in decisions
+        ),
+        # The Hockney margin between the two algorithms is tiny (its two
+        # formulas differ only in how constants accumulate), so with
+        # estimated parameters the misprediction can flip back near the
+        # top of the band; the paper's claim is the switch inside it.
+        "Hockney mispredicts (switches to binomial) within the band": any(
+            hock == "binomial" for _m, _obs, hock, _l in decisions
+        ),
+        # The margin shrinks up the band (both Hockney formulas share the
+        # 15*beta*M variable part); the guaranteed misprediction is at
+        # the bottom, where 11 alpha dominates the tiny path premium.
+        "Hockney mispredicts at 100 KB": next(
+            hock for m, _obs, hock, _l in decisions if m == 100 * KB
+        ) == "binomial",
+        "LMO decides correctly at every size": all(
+            lmo == "linear" for _m, _obs, _h, lmo in decisions
+        ),
+    }
+    for m, obs, hock, lmo in decisions:
+        result.notes.append(
+            f"M={m // KB:3d} KB: observed winner {obs}, Hockney picks {hock}, "
+            f"LMO picks {lmo}"
+        )
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(run(quick=True).render())

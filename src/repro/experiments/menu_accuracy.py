@@ -1,0 +1,83 @@
+"""Extension study: model-driven selection across the full algorithm menu.
+
+Beyond the paper's Fig. 6 (linear vs binomial scatter), a real MPI
+implementation switches among many algorithms per operation.  This
+experiment scores the estimated extended-LMO model's *decisions* over the
+whole menu — broadcast (linear / binomial / pipeline / van de Geijn),
+allgather (ring / recursive doubling) and allreduce (recursive doubling /
+reduce+bcast / Rabenseifner) — at a small and a large message size each,
+against what the simulated cluster actually prefers.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import KB, ExperimentResult, get_model_suite, paper_cluster
+from repro.models.collectives.formulas_ext import predict_collective
+from repro.mpi import run_collective
+
+__all__ = ["run"]
+
+MENU = {
+    "bcast": ["linear", "binomial", "pipeline", "van_de_geijn"],
+    "allgather": ["ring", "recursive_doubling"],
+    "allreduce": ["recursive_doubling", "reduce_bcast", "rabenseifner"],
+}
+SIZES = {"small": 256, "large": 256 * KB}
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Score menu decisions; check the model agrees with the cluster."""
+    cluster = paper_cluster(seed=seed)
+    suite = get_model_suite(seed=seed, quick=quick)
+    model = suite.lmo
+    reps = 3 if quick else 5
+
+    lines = []
+    agreements, regrets = [], []
+    for operation, algorithms in MENU.items():
+        kwargs = {"combine": (lambda a, b: a)} if operation == "allreduce" else {}
+        for label, nbytes in SIZES.items():
+            observed = {}
+            for algo in algorithms:
+                observed[algo] = min(
+                    run_collective(cluster, operation, algo, nbytes=nbytes,
+                                   **kwargs).time
+                    for _ in range(reps)
+                )
+            predicted = {
+                algo: predict_collective(model, operation, algo, nbytes)
+                for algo in algorithms
+            }
+            best_observed = min(observed, key=observed.__getitem__)
+            best_predicted = min(predicted, key=predicted.__getitem__)
+            agree = best_predicted == best_observed
+            # Regret: time lost by following the model instead of the oracle.
+            regret = observed[best_predicted] / observed[best_observed] - 1.0
+            agreements.append(agree)
+            regrets.append(regret)
+            lines.append(
+                f"{operation:<10} {label:<6} model: {best_predicted:<18} "
+                f"oracle: {best_observed:<18} regret {regret:6.1%}"
+            )
+
+    agreement_rate = sum(agreements) / len(agreements)
+    worst_regret = max(regrets)
+    lines.append("")
+    lines.append(f"decision agreement: {agreement_rate:.0%}, "
+                 f"worst regret {worst_regret:.1%}")
+    result = ExperimentResult(
+        experiment_id="menu_accuracy",
+        title="(extension) LMO-driven algorithm selection across the menu",
+        text="\n".join(lines),
+    )
+    result.checks = {
+        "the model agrees with the oracle on most decisions (>=2/3)":
+            agreement_rate >= 2 / 3,
+        "following the model never costs more than 25% over the oracle":
+            worst_regret < 0.25,
+    }
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(run(quick=True).render())

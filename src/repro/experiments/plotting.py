@@ -1,0 +1,80 @@
+"""Terminal plotting of experiment series (the figures, as figures).
+
+EXPERIMENTS.md tables carry the numbers; :func:`ascii_chart` adds the
+shape — a fixed-width character plot where each series gets a symbol, so
+"the observation runs between the two Hockney families" is visible at a
+glance without leaving the terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.experiments.common import Series
+
+__all__ = ["ascii_chart"]
+
+SYMBOLS = "ox+*#@%&"
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    width: int = 68,
+    height: int = 14,
+    title: Optional[str] = None,
+) -> str:
+    """Plot series (seconds over bytes) as a character grid.
+
+    The x axis is the index of the size grid (sizes are typically
+    geometric, so index spacing reads like a log axis); the y axis is
+    linear in milliseconds from 0 to the global maximum.  Overlapping
+    points keep the symbol of the *earlier* series (list order = z-order,
+    so put the observation first).
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    if width < 16 or height < 4:
+        raise ValueError("chart too small to be legible")
+    if len(series) > len(SYMBOLS):
+        raise ValueError(f"at most {len(SYMBOLS)} series supported")
+    sizes = series[0].sizes
+    for s in series:
+        if s.sizes != sizes:
+            raise ValueError("all series must share the size grid")
+    top = max(max(s.values) for s in series)
+    if top <= 0:
+        raise ValueError("nothing positive to plot")
+
+    grid = [[" "] * width for _ in range(height)]
+    n_points = len(sizes)
+    for z, s in enumerate(reversed(series)):
+        symbol = SYMBOLS[len(series) - 1 - z]
+        for idx, value in enumerate(s.values):
+            col = int(idx / max(n_points - 1, 1) * (width - 1))
+            row = height - 1 - int(value / top * (height - 1))
+            grid[row][col] = symbol
+
+    kb = 1024
+    lines = []
+    if title:
+        lines.append(title)
+    axis_width = 9
+    for row_idx, row in enumerate(grid):
+        if row_idx == 0:
+            label = f"{top * 1e3:8.2f} |"
+        elif row_idx == height - 1:
+            label = f"{0.0:8.2f} |"
+        else:
+            label = " " * (axis_width - 1) + "|"
+        lines.append(label + "".join(row))
+    lines.append(" " * (axis_width - 1) + "+" + "-" * width)
+    lines.append(
+        " " * axis_width
+        + f"{sizes[0] / kb:g}K{' ' * (width - 12)}{sizes[-1] / kb:g}K  (ms over M)"
+    )
+    lines.append(
+        " " * axis_width
+        + "legend: "
+        + "  ".join(f"{SYMBOLS[i]}={s.name}" for i, s in enumerate(series))
+    )
+    return "\n".join(lines)

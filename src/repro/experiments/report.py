@@ -1,0 +1,101 @@
+"""Run every experiment and render the EXPERIMENTS.md report.
+
+Usage::
+
+    python -m repro.experiments.report [--quick] [--seed N] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.experiments import ALL_EXPERIMENTS
+from repro.experiments.plotting import SYMBOLS, ascii_chart
+
+__all__ = ["generate_report", "main"]
+
+#: What the paper reports, per experiment — rendered alongside ours.
+PAPER_BASELINES = {
+    "table1": "16 nodes, 7 hardware types behind one Ethernet switch.",
+    "fig1": "Sequential Hockney predictions pessimistic, parallel ones "
+            "optimistic; observation in between.",
+    "fig2": "Binomial tree, root sends 8/4/2/1 blocks, disjoint sub-trees.",
+    "fig3": "Heterogeneous Hockney (recursion (1)-(2)) tracks binomial "
+            "scatter much better than the homogeneous closed form.",
+    "fig4": "LMO most accurate for linear scatter; PLogP comparable for "
+            "medium sizes; leap at 64 KB (LAM eager limit).",
+    "fig5": "Only LMO captures gather: two slopes (M<M1, M>M2) and "
+            "non-deterministic escalations up to 0.25 s in between.",
+    "fig6": "For 100-200 KB scatter, Hockney wrongly switches to binomial; "
+            "LMO correctly keeps linear.",
+    "fig7": "Model-based gather splitting avoids escalations: ~10x.",
+    "table2": "Traditional models reuse the scatter formula for gather; "
+              "only LMO has distinct branches with empirical M1/M2.",
+    "estimation_cost": "Het-Hockney estimation at CI 95%/2.5%: serial 16 s "
+                       "vs parallel 5 s (3.2x), identical parameters.",
+    "thresholds": "M1=4 KB, M2=65 KB (LAM 7.1.3); M1=3 KB, M2=125 KB "
+                  "(MPICH 1.2.7).",
+    "ablations": "(reproduction-only) each observed irregularity must vanish "
+                 "when its modelled mechanism is disabled.",
+    "menu_accuracy": "(extension) the paper's Fig. 6 decision problem over "
+                     "the full algorithm menu: the estimated LMO model "
+                     "should pick (near-)winning algorithms throughout.",
+    "accuracy_table": "(summary) Section V quantified: LMO first, PLogP "
+                      "competitive on medium sizes, Hockney/LogGP far "
+                      "behind and Hockney-sequential pessimistic.",
+}
+
+
+def generate_report(
+    quick: bool = False, seed: int = 0, stream: Optional[TextIO] = None
+) -> bool:
+    """Run all experiments; writes markdown to ``stream`` (default stdout).
+
+    Returns True when every shape check passed.
+    """
+    out = stream if stream is not None else sys.stdout
+    all_ok = True
+    out.write("# EXPERIMENTS — paper vs reproduction\n\n")
+    out.write(
+        "Every table and figure of the paper, regenerated on the simulated\n"
+        "Table I cluster (see DESIGN.md for the substitutions).  Absolute\n"
+        "times differ from the 2009 testbed by construction; each experiment\n"
+        "carries *shape checks* encoding the paper's qualitative claims.\n\n"
+        f"Mode: {'quick' if quick else 'full'}; seed: {seed}.\n\n"
+    )
+    for experiment_id, runner in ALL_EXPERIMENTS.items():
+        started = time.time()
+        result = runner(quick=quick, seed=seed)
+        elapsed = time.time() - started
+        ok = result.all_checks_pass
+        all_ok &= ok
+        out.write(f"## {experiment_id}: {result.title}\n\n")
+        out.write(f"**Paper:** {PAPER_BASELINES.get(experiment_id, '-')}\n\n")
+        out.write(f"**Reproduction ({elapsed:.1f} s):**\n\n```\n{result.render()}\n```\n\n")
+        if result.series and len(result.series) <= len(SYMBOLS):
+            out.write(f"```\n{ascii_chart(result.series)}\n```\n\n")
+    out.write(
+        f"**Overall: {'ALL SHAPE CHECKS PASS' if all_ok else 'SOME CHECKS FAILED'}**\n"
+    )
+    return all_ok
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="small sweeps, fewer reps")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=str, default=None, help="write to a file")
+    args = parser.parse_args(argv)
+    if args.out:
+        with open(args.out, "w") as handle:
+            ok = generate_report(quick=args.quick, seed=args.seed, stream=handle)
+    else:
+        ok = generate_report(quick=args.quick, seed=args.seed)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

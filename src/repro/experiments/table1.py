@@ -1,0 +1,52 @@
+"""Table I: the 16-node heterogeneous cluster specification.
+
+Regenerates the hardware table and the ground-truth parameters our
+simulation derives from it (the paper's cluster "is" this table; our
+substitute cluster is synthesized from it — see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster import synthesize_ground_truth, table1_cluster
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
+    """Reproduce Table I plus the derived simulation parameters."""
+    del quick
+    spec = table1_cluster()
+    gt = synthesize_ground_truth(spec, seed=seed)
+    lines = [spec.describe(), "", "derived ground-truth parameters:"]
+    lines.append(f"{'rank':>4} {'processor':<18} {'C_i (us)':>10} {'t_i (ns/B)':>11}")
+    for rank, node in enumerate(spec.nodes):
+        lines.append(
+            f"{rank:>4} {node.processor:<18} {gt.C[rank] * 1e6:>10.1f} "
+            f"{gt.t[rank] * 1e9:>11.2f}"
+        )
+    off = ~np.eye(spec.n, dtype=bool)
+    lines.append(
+        f"links: L = {gt.L[off].mean() * 1e6:.0f} us +- "
+        f"{gt.L[off].std() * 1e6:.1f} us, beta = {gt.beta[off].mean() / 1e6:.0f} MB/s"
+    )
+    result = ExperimentResult(
+        experiment_id="table1",
+        title="Specification of the 16-node heterogeneous cluster",
+        text="\n".join(lines),
+    )
+    counts = [count for _node, count in spec.node_type_counts]
+    result.checks = {
+        "16 nodes in 7 types with the paper's multiplicities": counts == [2, 6, 2, 1, 1, 1, 3],
+        "fixed processor costs are strongly heterogeneous (>1.5x)": (
+            gt.C.max() / gt.C.min() > 1.5
+        ),
+        "the Celeron is the slowest node": int(np.argmax(gt.C)) == 12,
+    }
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual harness
+    print(run().render())

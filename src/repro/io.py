@@ -1,0 +1,180 @@
+"""JSON (de)serialization of models, ground truths and irregularities.
+
+Estimation is expensive (the paper spends a section minimizing its cost),
+so estimated models are worth persisting: estimate once at cluster-bringup,
+reload at application start.  The format is a tagged JSON document —
+human-inspectable, diff-friendly, and versioned.
+
+Example
+-------
+>>> from repro.cluster import GroundTruth
+>>> from repro.models import ExtendedLMOModel
+>>> from repro.io import dumps, loads
+>>> model = ExtendedLMOModel.from_ground_truth(GroundTruth.random(3))
+>>> loads(dumps(model)).p2p_time(0, 1, 1024) == model.p2p_time(0, 1, 1024)
+True
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.cluster.params import GroundTruth
+from repro.cluster.spec import ClusterSpec, NodeType
+from repro.models.hockney import HeterogeneousHockneyModel, HockneyModel
+from repro.models.loggp import LogGPModel
+from repro.models.logp import LogPModel
+from repro.models.lmo import LMOModel
+from repro.models.lmo_extended import ExtendedLMOModel, GatherIrregularity
+from repro.models.plogp import PiecewiseLinear, PLogPModel
+
+__all__ = ["dumps", "loads", "save", "load", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def _matrix(values: np.ndarray) -> list:
+    """JSON-safe nested lists (inf encoded as the string 'inf')."""
+    def encode(x: float):
+        if np.isinf(x):
+            return "inf"
+        return float(x)
+
+    if values.ndim == 1:
+        return [encode(x) for x in values]
+    return [[encode(x) for x in row] for row in values]
+
+
+def _unmatrix(values: list) -> np.ndarray:
+    def decode(x):
+        return np.inf if x == "inf" else float(x)
+
+    if values and isinstance(values[0], list):
+        return np.array([[decode(x) for x in row] for row in values])
+    return np.array([decode(x) for x in values])
+
+
+# -- per-type encoders ---------------------------------------------------------
+def _encode(obj: Any) -> dict:
+    if isinstance(obj, ClusterSpec):
+        return {
+            "type": "ClusterSpec",
+            "name": obj.name,
+            "nodes": [
+                {
+                    "model": node.model, "os": node.os, "processor": node.processor,
+                    "cpu_ghz": node.cpu_ghz, "fsb_mhz": node.fsb_mhz,
+                    "l2_cache_kb": node.l2_cache_kb, "arch_factor": node.arch_factor,
+                }
+                for node in obj.nodes
+            ],
+        }
+    if isinstance(obj, GroundTruth):
+        return {"type": "GroundTruth", "C": _matrix(obj.C), "t": _matrix(obj.t),
+                "L": _matrix(obj.L), "beta": _matrix(obj.beta)}
+    if isinstance(obj, ExtendedLMOModel):
+        doc = {"type": "ExtendedLMOModel", "C": _matrix(obj.C), "t": _matrix(obj.t),
+               "L": _matrix(obj.L), "beta": _matrix(obj.beta)}
+        if obj.gather_irregularity is not None:
+            doc["gather_irregularity"] = _encode(obj.gather_irregularity)
+        return doc
+    if isinstance(obj, LMOModel):
+        return {"type": "LMOModel", "C": _matrix(obj.C), "t": _matrix(obj.t),
+                "beta": _matrix(obj.beta)}
+    if isinstance(obj, GatherIrregularity):
+        return {"type": "GatherIrregularity", "m1": obj.m1, "m2": obj.m2,
+                "escalation_value": obj.escalation_value,
+                "p_at_m1": obj.p_at_m1, "p_at_m2": obj.p_at_m2}
+    if isinstance(obj, HeterogeneousHockneyModel):
+        return {"type": "HeterogeneousHockneyModel",
+                "alpha": _matrix(obj.alpha), "beta": _matrix(obj.beta)}
+    if isinstance(obj, HockneyModel):
+        return {"type": "HockneyModel", "alpha": obj.alpha, "beta": obj.beta, "n": obj.n}
+    if isinstance(obj, LogGPModel):
+        return {"type": "LogGPModel", "L": obj.L, "o": obj.o, "g": obj.g,
+                "G": obj.G, "P": obj.P}
+    if isinstance(obj, LogPModel):
+        return {"type": "LogPModel", "L": obj.L, "o": obj.o, "g": obj.g,
+                "P": obj.P, "packet_bytes": obj.packet_bytes}
+    if isinstance(obj, PLogPModel):
+        return {"type": "PLogPModel", "L": obj.L, "P": obj.P,
+                "o_s": _encode(obj.o_s), "o_r": _encode(obj.o_r), "g": _encode(obj.g)}
+    if isinstance(obj, PiecewiseLinear):
+        return {"type": "PiecewiseLinear", "xs": list(obj.xs), "ys": list(obj.ys)}
+    raise TypeError(f"cannot serialize {type(obj).__name__}")
+
+
+def _decode(doc: dict) -> Any:
+    kind = doc.get("type")
+    if kind == "ClusterSpec":
+        return ClusterSpec(
+            nodes=tuple(NodeType(**node) for node in doc["nodes"]),
+            name=doc["name"],
+        )
+    if kind == "GroundTruth":
+        return GroundTruth(C=_unmatrix(doc["C"]), t=_unmatrix(doc["t"]),
+                           L=_unmatrix(doc["L"]), beta=_unmatrix(doc["beta"]))
+    if kind == "ExtendedLMOModel":
+        irregularity = None
+        if "gather_irregularity" in doc:
+            irregularity = _decode(doc["gather_irregularity"])
+        return ExtendedLMOModel(C=_unmatrix(doc["C"]), t=_unmatrix(doc["t"]),
+                                L=_unmatrix(doc["L"]), beta=_unmatrix(doc["beta"]),
+                                gather_irregularity=irregularity)
+    if kind == "LMOModel":
+        return LMOModel(C=_unmatrix(doc["C"]), t=_unmatrix(doc["t"]),
+                        beta=_unmatrix(doc["beta"]))
+    if kind == "GatherIrregularity":
+        return GatherIrregularity(m1=doc["m1"], m2=doc["m2"],
+                                  escalation_value=doc["escalation_value"],
+                                  p_at_m1=doc["p_at_m1"], p_at_m2=doc["p_at_m2"])
+    if kind == "HeterogeneousHockneyModel":
+        return HeterogeneousHockneyModel(alpha=_unmatrix(doc["alpha"]),
+                                         beta=_unmatrix(doc["beta"]))
+    if kind == "HockneyModel":
+        return HockneyModel(alpha=doc["alpha"], beta=doc["beta"], n=doc["n"])
+    if kind == "LogGPModel":
+        return LogGPModel(L=doc["L"], o=doc["o"], g=doc["g"], G=doc["G"], P=doc["P"])
+    if kind == "LogPModel":
+        return LogPModel(L=doc["L"], o=doc["o"], g=doc["g"], P=doc["P"],
+                         packet_bytes=doc["packet_bytes"])
+    if kind == "PLogPModel":
+        return PLogPModel(L=doc["L"], P=doc["P"], o_s=_decode(doc["o_s"]),
+                          o_r=_decode(doc["o_r"]), g=_decode(doc["g"]))
+    if kind == "PiecewiseLinear":
+        return PiecewiseLinear(xs=tuple(doc["xs"]), ys=tuple(doc["ys"]))
+    raise ValueError(f"unknown document type {kind!r}")
+
+
+# -- public API -----------------------------------------------------------------
+def dumps(obj: Any, indent: int = 2) -> str:
+    """Serialize a model / ground truth / irregularity to a JSON string."""
+    return json.dumps(
+        {"format": "repro-model", "version": FORMAT_VERSION, "payload": _encode(obj)},
+        indent=indent,
+    )
+
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps` (validates the envelope)."""
+    doc = json.loads(text)
+    if doc.get("format") != "repro-model":
+        raise ValueError("not a repro-model document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {doc.get('version')!r}")
+    return _decode(doc["payload"])
+
+
+def save(obj: Any, path: str) -> None:
+    """Serialize to a file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(obj))
+
+
+def load(path: str) -> Any:
+    """Deserialize from a file."""
+    with open(path) as handle:
+        return loads(handle.read())

@@ -1,0 +1,42 @@
+"""Common protocol of communication performance models.
+
+Two families exist, mirroring Section II of the paper:
+
+* **homogeneous** models — one set of scalar parameters for the whole
+  cluster; ``p2p_time`` ignores which processors communicate;
+* **heterogeneous** models — per-processor and/or per-link parameters.
+
+Every model exposes ``p2p_time(i, j, nbytes)`` so collective-prediction
+code can treat them uniformly; homogeneous models simply ignore ``i``/``j``.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+__all__ = ["CommunicationModel", "validate_rank", "validate_nbytes"]
+
+
+@runtime_checkable
+class CommunicationModel(Protocol):
+    """Anything that predicts point-to-point communication time."""
+
+    #: Number of processors the model describes.
+    n: int
+
+    def p2p_time(self, i: int, j: int, nbytes: float) -> float:
+        """Predicted time to send ``nbytes`` from processor i to j (seconds)."""
+        ...
+
+
+def validate_rank(n: int, *ranks: int) -> None:
+    """Raise if any rank is outside ``0..n-1``."""
+    for rank in ranks:
+        if not (0 <= rank < n):
+            raise ValueError(f"rank {rank} out of range for {n} processors")
+
+
+def validate_nbytes(nbytes: float) -> None:
+    """Raise on negative message sizes."""
+    if nbytes < 0:
+        raise ValueError(f"negative message size {nbytes!r}")

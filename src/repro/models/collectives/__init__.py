@@ -1,0 +1,2 @@
+"""Collective-operation predictions: trees, the generic evaluator, and
+the per-model closed forms of the paper's Table II."""

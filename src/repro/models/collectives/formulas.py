@@ -1,0 +1,415 @@
+"""Closed-form collective predictions per model — the paper's Table II.
+
+================  =====================================================
+Model             Linear scatter / gather prediction
+================  =====================================================
+hom. Hockney      sequential ``(n-1)(a + bM)`` or parallel ``a + bM``
+het. Hockney      sequential ``sum (a_ri + b_ri M)`` or parallel ``max``
+LogGP             ``L + 2o + (n-1)(M-1)G + (n-2)g``
+PLogP             ``L + (n-1) g(M)``
+extended LMO      scatter: formula (4); gather: formula (5) with the
+                  empirical M1/M2 thresholds and escalation statistics
+================  =====================================================
+
+Traditional models predict gather and scatter identically ("Because of
+the design of the Hockney model, the same formulas can be applied to the
+estimation of linear gather" — Sec. II); only the LMO model distinguishes
+them.
+
+Binomial predictions use the recursion (1)/(2) via
+:func:`~repro.models.collectives.tree_eval.predict_tree_time`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import singledispatch
+from typing import Optional, Sequence
+
+from repro.models.base import validate_nbytes, validate_rank
+from repro.models.collectives.tree_eval import predict_tree_time
+from repro.models.collectives.trees import CommTree, binomial_tree, flat_tree
+from repro.models.hockney import HeterogeneousHockneyModel, HockneyModel
+from repro.models.loggp import LogGPModel
+from repro.models.logp import LogPModel
+from repro.models.lmo import LMOModel
+from repro.models.lmo_extended import ExtendedLMOModel
+from repro.models.plogp import PLogPModel
+
+__all__ = [
+    "GatherPrediction",
+    "predict_linear_scatter",
+    "predict_linear_scatterv",
+    "predict_linear_gather",
+    "predict_linear_gatherv",
+    "predict_binomial_scatter",
+    "predict_binomial_scatterv",
+    "predict_binomial_gather",
+    "lmo_serial_parallel_split",
+]
+
+SEQUENTIAL = "sequential"
+PARALLEL = "parallel"
+
+
+@dataclass(frozen=True)
+class GatherPrediction:
+    """LMO's linear-gather prediction (paper formula (5)).
+
+    ``base`` is the deterministic branch value; in the *medium* regime the
+    model additionally reports the escalation probability and magnitude —
+    the empirical part of the LMO model.
+    """
+
+    base: float
+    regime: str
+    escalation_probability: float = 0.0
+    escalation_value: float = 0.0
+
+    @property
+    def expected(self) -> float:
+        """Expected execution time including expected escalation cost."""
+        return self.base + self.escalation_probability * self.escalation_value
+
+    def __float__(self) -> float:  # pragma: no cover - convenience
+        return self.expected
+
+
+def _participants(model, root: int, participants: Optional[Sequence[int]]) -> list[int]:
+    ranks = list(range(model.n)) if participants is None else list(participants)
+    if root not in ranks:
+        raise ValueError(f"root {root} not among participants {ranks}")
+    if len(set(ranks)) != len(ranks):
+        raise ValueError("duplicate participants")
+    return ranks
+
+
+# ===================================================================== scatter
+@singledispatch
+def predict_linear_scatter(
+    model,
+    nbytes: float,
+    root: int = 0,
+    participants: Optional[Sequence[int]] = None,
+    assumption: str = SEQUENTIAL,
+) -> float:
+    """Predicted linear-scatter time for ``nbytes`` blocks (Table II)."""
+    raise TypeError(f"no linear-scatter formula for {type(model).__name__}")
+
+
+@predict_linear_scatter.register
+def _(model: HockneyModel, nbytes, root=0, participants=None, assumption=SEQUENTIAL):
+    validate_nbytes(nbytes)
+    ranks = _participants(model, root, participants)
+    per_message = model.alpha + model.beta * nbytes
+    if assumption == SEQUENTIAL:
+        return (len(ranks) - 1) * per_message
+    if assumption == PARALLEL:
+        return per_message
+    raise ValueError(f"unknown assumption {assumption!r}")
+
+
+@predict_linear_scatter.register
+def _(model: HeterogeneousHockneyModel, nbytes, root=0, participants=None,
+      assumption=SEQUENTIAL):
+    validate_nbytes(nbytes)
+    ranks = _participants(model, root, participants)
+    terms = [model.p2p_time(root, i, nbytes) for i in ranks if i != root]
+    if assumption == SEQUENTIAL:
+        return float(sum(terms))
+    if assumption == PARALLEL:
+        return float(max(terms))
+    raise ValueError(f"unknown assumption {assumption!r}")
+
+
+@predict_linear_scatter.register
+def _(model: LogGPModel, nbytes, root=0, participants=None, assumption=SEQUENTIAL):
+    validate_nbytes(nbytes)
+    n = len(_participants(model, root, participants))
+    return (
+        model.L
+        + 2 * model.o
+        + (n - 1) * max(nbytes - 1, 0) * model.G
+        + (n - 2) * model.g
+    )
+
+
+@predict_linear_scatter.register
+def _(model: LogPModel, nbytes, root=0, participants=None, assumption=SEQUENTIAL):
+    validate_nbytes(nbytes)
+    n = len(_participants(model, root, participants))
+    # LogP's large-message story: (n-1) packet trains back to back.
+    packets = model.packets(nbytes)
+    return model.L + 2 * model.o + ((n - 1) * packets - 1) * model.g
+
+
+@predict_linear_scatter.register
+def _(model: PLogPModel, nbytes, root=0, participants=None, assumption=SEQUENTIAL):
+    validate_nbytes(nbytes)
+    n = len(_participants(model, root, participants))
+    return model.L + (n - 1) * model.g(nbytes)
+
+
+@predict_linear_scatter.register
+def _(model: LMOModel, nbytes, root=0, participants=None, assumption=SEQUENTIAL):
+    validate_nbytes(nbytes)
+    ranks = _participants(model, root, participants)
+    others = [i for i in ranks if i != root]
+    serial = len(others) * (model.C[root] + nbytes * model.t[root])
+    parallel = max(
+        nbytes / model.beta[root, i] + model.C[i] + nbytes * model.t[i] for i in others
+    )
+    return float(serial + parallel)
+
+
+@predict_linear_scatter.register
+def _(model: ExtendedLMOModel, nbytes, root=0, participants=None, assumption=SEQUENTIAL):
+    validate_nbytes(nbytes)
+    ranks = _participants(model, root, participants)
+    others = [i for i in ranks if i != root]
+    serial = len(others) * model.send_cost(root, nbytes)
+    parallel = max(model.wire_and_remote_cost(root, i, nbytes) for i in others)
+    return float(serial + parallel)
+
+
+# ====================================================================== gather
+def predict_linear_gather(
+    model,
+    nbytes: float,
+    root: int = 0,
+    participants: Optional[Sequence[int]] = None,
+    assumption: str = SEQUENTIAL,
+):
+    """Predicted linear-gather time (Table II).
+
+    Traditional models return the same value as scatter (a float); the
+    extended LMO model returns a :class:`GatherPrediction` implementing
+    formula (5), including the empirical medium-regime statistics.
+    """
+    if isinstance(model, ExtendedLMOModel):
+        return _lmo_gather(model, nbytes, root, participants)
+    return predict_linear_scatter(model, nbytes, root, participants, assumption)
+
+
+def _lmo_gather(model: ExtendedLMOModel, nbytes, root, participants) -> GatherPrediction:
+    validate_nbytes(nbytes)
+    ranks = _participants(model, root, participants)
+    others = [i for i in ranks if i != root]
+    serial = len(others) * model.send_cost(root, nbytes)
+    # Direction matters: senders i feed the root, so each parallel term
+    # carries the *sender's* processor cost C_i + M t_i plus the wire.
+    terms = [
+        float(
+            model.L[root, i]
+            + nbytes / model.beta[root, i]
+            + model.C[i]
+            + nbytes * model.t[i]
+        )
+        for i in others
+    ]
+    irr = model.gather_irregularity
+    if irr is None:
+        return GatherPrediction(base=serial + max(terms), regime="small")
+    regime = irr.regime(nbytes)
+    if regime == "large":
+        return GatherPrediction(base=serial + sum(terms), regime=regime)
+    prediction = GatherPrediction(
+        base=serial + max(terms),
+        regime=regime,
+        escalation_probability=irr.escalation_probability(nbytes),
+        escalation_value=irr.escalation_value if regime == "medium" else 0.0,
+    )
+    return prediction
+
+
+# ==================================================================== binomial
+def lmo_serial_parallel_split(model: ExtendedLMOModel):
+    """The extended-LMO cost split used by tree predictions."""
+
+    def serial(i: int, _j: int, nbytes: float) -> float:
+        return model.send_cost(i, nbytes)
+
+    def parallel(i: int, j: int, nbytes: float) -> float:
+        return model.wire_and_remote_cost(i, j, nbytes)
+
+    return serial, parallel
+
+
+def predict_binomial_scatter(
+    model,
+    nbytes: float,
+    root: int = 0,
+    n: Optional[int] = None,
+    tree: Optional[CommTree] = None,
+) -> float:
+    """Binomial scatter prediction via the paper's recursion (1)/(2).
+
+    Traditional models charge whole point-to-point times serially along
+    the tree; the extended LMO model serializes only sender CPU costs.
+    """
+    validate_nbytes(nbytes)
+    if tree is None:
+        tree = binomial_tree(model.n if n is None else n, root)
+    if isinstance(model, ExtendedLMOModel):
+        serial, parallel = lmo_serial_parallel_split(model)
+        return predict_tree_time(tree, nbytes, serial, parallel)
+    return predict_tree_time(
+        tree, nbytes, serial_cost=model.p2p_time, parallel_cost=lambda i, j, b: 0.0
+    )
+
+
+def predict_binomial_gather(
+    model,
+    nbytes: float,
+    root: int = 0,
+    n: Optional[int] = None,
+    tree: Optional[CommTree] = None,
+) -> float:
+    """Binomial gather: identical recursion over the reversed tree.
+
+    The deterministic branch of the paper's formula (1) is symmetric under
+    time reversal (sums stay sums, maxima stay maxima), so the same
+    evaluation applies; for the extended LMO model the serialized part is
+    charged on the *receiving* side of each arc.
+    """
+    validate_nbytes(nbytes)
+    if tree is None:
+        tree = binomial_tree(model.n if n is None else n, root)
+    if isinstance(model, ExtendedLMOModel):
+        # Reverse the roles: the parent's CPU serializes receives.
+        def serial(i: int, _j: int, nbytes_: float) -> float:
+            return model.send_cost(i, nbytes_)
+
+        def parallel(i: int, j: int, nbytes_: float) -> float:
+            return float(
+                model.L[i, j]
+                + nbytes_ / model.beta[i, j]
+                + model.C[j]
+                + nbytes_ * model.t[j]
+            )
+
+        return predict_tree_time(tree, nbytes, serial, parallel)
+    return predict_binomial_scatter(model, nbytes, root=root, n=n, tree=tree)
+
+
+# ==================================================================== scatterv
+@singledispatch
+def predict_linear_scatterv(
+    model,
+    counts: Sequence[float],
+    root: int = 0,
+) -> float:
+    """Predicted linear-scatterv time for per-rank byte ``counts``.
+
+    The natural generalization of the Table II linear formulas to
+    variable block sizes (the basis of heterogeneous data partitioning):
+    the root's serial part accumulates every non-root block, the parallel
+    part is the max over per-destination wire+receiver terms.
+    """
+    raise TypeError(f"no linear-scatterv formula for {type(model).__name__}")
+
+
+def _check_counts(model, counts: Sequence[float], root: int) -> list[float]:
+    counts = list(counts)
+    if len(counts) != model.n:
+        raise ValueError(f"counts must have {model.n} entries")
+    if any(c < 0 for c in counts):
+        raise ValueError("negative counts")
+    validate_rank(model.n, root)
+    return counts
+
+
+@predict_linear_scatterv.register
+def _(model: ExtendedLMOModel, counts, root=0):
+    counts = _check_counts(model, counts, root)
+    others = [i for i in range(model.n) if i != root and counts[i] > 0]
+    if not others:
+        return 0.0
+    serial = sum(model.send_cost(root, counts[i]) for i in others)
+    parallel = max(model.wire_and_remote_cost(root, i, counts[i]) for i in others)
+    return float(serial + parallel)
+
+
+@predict_linear_scatterv.register
+def _(model: HeterogeneousHockneyModel, counts, root=0):
+    counts = _check_counts(model, counts, root)
+    return float(
+        sum(
+            model.p2p_time(root, i, counts[i])
+            for i in range(model.n)
+            if i != root and counts[i] > 0
+        )
+    )
+
+
+@predict_linear_scatterv.register
+def _(model: HockneyModel, counts, root=0):
+    counts = _check_counts(model, counts, root)
+    return float(
+        sum(
+            model.alpha + model.beta * counts[i]
+            for i in range(model.n)
+            if i != root and counts[i] > 0
+        )
+    )
+
+
+def predict_linear_gatherv(model, counts: Sequence[float], root: int = 0) -> float:
+    """Predicted linear-gatherv time (deterministic branch).
+
+    For the extended LMO model the per-sender processor costs enter the
+    parallel term; traditional models reuse the scatterv formula, exactly
+    as their fixed-size gather reuses scatter.
+    """
+    if isinstance(model, ExtendedLMOModel):
+        counts = _check_counts(model, counts, root)
+        others = [i for i in range(model.n) if i != root and counts[i] > 0]
+        if not others:
+            return 0.0
+        serial = sum(model.send_cost(root, counts[i]) for i in others)
+        parallel = max(
+            float(
+                model.L[root, i]
+                + counts[i] / model.beta[root, i]
+                + model.C[i]
+                + counts[i] * model.t[i]
+            )
+            for i in others
+        )
+        return float(serial + parallel)
+    return predict_linear_scatterv(model, counts, root)
+
+
+def predict_linear_pipelined(model: ExtendedLMOModel, nbytes: float, root: int = 0) -> float:
+    """Pipeline-exact linear scatter for LMO (flat tree through the
+    generic evaluator) — a refinement of formula (4) that accounts for
+    early transfers overlapping later send slots."""
+    serial, parallel = lmo_serial_parallel_split(model)
+    return predict_tree_time(flat_tree(model.n, root), nbytes, serial, parallel)
+
+
+def predict_binomial_scatterv(
+    model: ExtendedLMOModel,
+    counts: Sequence[float],
+    root: int = 0,
+    tree=None,
+) -> float:
+    """Binomial scatterv: the recursion (1) with per-sub-tree byte sums."""
+    from repro.models.collectives.trees import binomial_tree
+
+    counts = _check_counts(model, counts, root)
+    if tree is None:
+        tree = binomial_tree(model.n, root)
+
+    volume = {
+        rank: sum(counts[r] for r in tree.subtree_ranks(rank))
+        for rank in range(model.n)
+    }
+
+    def serial(i: int, j: int, _b: float) -> float:
+        return model.send_cost(i, volume[j]) if volume[j] > 0 else 0.0
+
+    def parallel(i: int, j: int, _b: float) -> float:
+        return model.wire_and_remote_cost(i, j, volume[j]) if volume[j] > 0 else 0.0
+
+    return predict_tree_time(tree, 1.0, serial, parallel)

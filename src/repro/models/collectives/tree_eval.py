@@ -1,0 +1,76 @@
+"""Generic evaluator of tree-structured collective predictions.
+
+The paper's recursive binomial formula (1)/(2) has the shape
+
+    T(node) = serial(node -> first child)
+              + max( T(node without that child), parallel(...) + T(child) )
+
+i.e. each transfer splits into a *serialized* part (charged on the sender,
+one after another) and a *parallelizable* part (network + receiver,
+overlapping everything later).  Different models draw that line
+differently:
+
+* Hockney / LogGP / PLogP put the whole point-to-point cost in the serial
+  part (they cannot split it — their parameters mix the contributions);
+* the extended LMO model serializes only ``C_i + M t_i`` and parallelizes
+  ``L_ij + M/beta_ij + C_j + M t_j``.
+
+:func:`predict_tree_time` implements the recursion for any
+:class:`~repro.models.collectives.trees.CommTree` — binomial trees give
+the paper's formulas (1)-(2); flat trees give the *pipelined* variant of
+the linear formulas.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.models.collectives.trees import CommTree
+
+__all__ = ["predict_tree_time"]
+
+CostFn = Callable[[int, int, float], float]
+
+
+def predict_tree_time(
+    tree: CommTree,
+    block_nbytes: float,
+    serial_cost: CostFn,
+    parallel_cost: CostFn,
+) -> float:
+    """Makespan of a tree collective under a serial/parallel cost split.
+
+    Parameters
+    ----------
+    tree:
+        The communication tree; each arc carries ``blocks * block_nbytes``
+        bytes.
+    serial_cost / parallel_cost:
+        ``f(sender, receiver, nbytes)`` — the serialized (sender-side) and
+        parallelizable (network + receiver) parts of one transfer.
+
+    Notes
+    -----
+    For scatter the recursion reads top-down; by symmetry of max/sum the
+    same value is the paper's gather estimate over the reversed tree, so
+    no separate gather evaluator is needed for the deterministic branch.
+    """
+    if block_nbytes < 0:
+        raise ValueError(f"negative block size {block_nbytes!r}")
+
+    def subtree(rank: int) -> float:
+        kids = tree.children[rank]
+
+        def chain(idx: int) -> float:
+            if idx == len(kids):
+                return 0.0
+            child, blocks = kids[idx]
+            nbytes = blocks * block_nbytes
+            return serial_cost(rank, child, nbytes) + max(
+                chain(idx + 1),
+                parallel_cost(rank, child, nbytes) + subtree(child),
+            )
+
+        return chain(0)
+
+    return subtree(tree.root)

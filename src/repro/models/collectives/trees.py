@@ -1,0 +1,191 @@
+"""Communication trees for collective algorithms (paper Fig. 2).
+
+A :class:`CommTree` describes who sends how many data blocks to whom in a
+tree-structured collective.  The same structure drives
+
+* the MPI-layer algorithms (:mod:`repro.mpi.collectives.binomial`),
+* the analytical predictions (:mod:`repro.models.collectives.tree_eval`,
+  implementing the paper's recursive formula (1)), and
+* the heterogeneous processor-to-node mapping optimization
+  (:mod:`repro.optimize.mapping`) via :meth:`CommTree.remap`.
+
+:func:`binomial_tree` reproduces the paper's Figure 2 exactly for
+``n = 16``: the root's children receive 8, 4, 2, 1 blocks (largest first),
+and sub-trees of equal order cover disjoint rank ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+__all__ = ["CommTree", "binomial_tree", "flat_tree"]
+
+
+@dataclass(frozen=True)
+class CommTree:
+    """A rooted communication tree over ranks ``0..n-1``.
+
+    Attributes
+    ----------
+    n:
+        Number of participating ranks.
+    root:
+        The root rank (data source for scatter, sink for gather).
+    parent:
+        ``parent[r]`` is the parent rank of ``r`` (``None`` for the root).
+    children:
+        ``children[r]`` lists ``(child_rank, blocks)`` pairs in *send
+        order* — for binomial scatter, largest sub-tree first, as the
+        paper prescribes ("the largest messages 2^k M are sent first").
+    """
+
+    n: int
+    root: int
+    parent: tuple[Optional[int], ...]
+    children: tuple[tuple[tuple[int, int], ...], ...]
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.root < self.n):
+            raise ValueError(f"root {self.root} out of range")
+        if len(self.parent) != self.n or len(self.children) != self.n:
+            raise ValueError("parent/children arrays must have length n")
+        if self.parent[self.root] is not None:
+            raise ValueError("root must have no parent")
+        reached = {self.root}
+        for rank, kids in enumerate(self.children):
+            for child, blocks in kids:
+                if self.parent[child] != rank:
+                    raise ValueError(f"parent/children mismatch at arc {rank}->{child}")
+                if blocks < 1:
+                    raise ValueError(f"arc {rank}->{child} carries {blocks} blocks")
+                if child in reached:
+                    raise ValueError(f"rank {child} reached twice")
+                reached.add(child)
+        if len(reached) != self.n:
+            raise ValueError("tree does not span all ranks")
+
+    # -- structure queries ----------------------------------------------------
+    def arcs(self) -> Iterator[tuple[int, int, int]]:
+        """All ``(parent, child, blocks)`` arcs, parents before children."""
+        stack = [self.root]
+        while stack:
+            rank = stack.pop()
+            for child, blocks in self.children[rank]:
+                yield rank, child, blocks
+                stack.append(child)
+
+    def blocks_into(self, rank: int) -> int:
+        """Blocks received from the parent (``n`` for the root: it owns all)."""
+        if rank == self.root:
+            return self.n
+        parent = self.parent[rank]
+        assert parent is not None
+        for child, blocks in self.children[parent]:
+            if child == rank:
+                return blocks
+        raise AssertionError("unreachable: validated in __post_init__")
+
+    def subtree_ranks(self, rank: int) -> list[int]:
+        """Ranks of the sub-tree rooted at ``rank`` (pre-order, rank first)."""
+        out = [rank]
+        for child, _blocks in self.children[rank]:
+            out.extend(self.subtree_ranks(child))
+        return out
+
+    def depth(self) -> int:
+        """Longest root-to-leaf arc count (``log2 n`` for binomial trees)."""
+
+        def _depth(rank: int) -> int:
+            kids = self.children[rank]
+            return 1 + max((_depth(c) for c, _b in kids), default=-1)
+
+        return _depth(self.root)
+
+    def remap(self, perm: Sequence[int]) -> "CommTree":
+        """Relabel tree nodes: position ``v`` of the tree gets rank ``perm[v]``.
+
+        Used by the mapping optimization: the tree *shape* (who talks to
+        whom, with how many blocks) is fixed by the algorithm, but which
+        physical processor sits at which tree node is free on a
+        heterogeneous cluster.
+        """
+        if sorted(perm) != list(range(self.n)):
+            raise ValueError("perm must be a permutation of 0..n-1")
+        parent: list[Optional[int]] = [None] * self.n
+        children: list[tuple[tuple[int, int], ...]] = [()] * self.n
+        for rank in range(self.n):
+            p = self.parent[rank]
+            parent[perm[rank]] = None if p is None else perm[p]
+            children[perm[rank]] = tuple((perm[c], b) for c, b in self.children[rank])
+        return CommTree(self.n, perm[self.root], tuple(parent), tuple(children))
+
+    def render_ascii(self) -> str:
+        """Text rendering of the tree with per-arc block counts (Fig. 2)."""
+        lines: list[str] = [f"binomial tree: n={self.n}, root={self.root}"]
+
+        def walk(rank: int, prefix: str) -> None:
+            kids = self.children[rank]
+            for idx, (child, blocks) in enumerate(kids):
+                last = idx == len(kids) - 1
+                branch = "`-" if last else "|-"
+                lines.append(f"{prefix}{branch} {child} [{blocks} block{'s' if blocks > 1 else ''}]")
+                walk(child, prefix + ("   " if last else "|  "))
+
+        lines.append(str(self.root))
+        walk(self.root, "")
+        return "\n".join(lines)
+
+
+def binomial_tree(n: int, root: int = 0) -> CommTree:
+    """The binomial scatter/gather tree of the paper's Figure 2.
+
+    Works for any ``n >= 1`` (not only powers of two) using the standard
+    recursive range halving: the owner of range ``[lo, hi)`` hands the
+    upper half ``[mid, hi)`` to rank ``mid`` and recurses.  Ranks are
+    *virtual* (relative to the root) and mapped back by rotation, as MPI
+    implementations do.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not (0 <= root < n):
+        raise ValueError(f"root {root} out of range for n={n}")
+
+    parent: list[Optional[int]] = [None] * n
+    children: list[list[tuple[int, int]]] = [[] for _ in range(n)]
+
+    def to_rank(vrank: int) -> int:
+        return (vrank + root) % n
+
+    def build(lo: int, hi: int) -> None:
+        """Node ``lo`` owns virtual range [lo, hi)."""
+        while hi - lo > 1:
+            mid = lo + (1 << ((hi - lo - 1).bit_length() - 1))
+            parent[to_rank(mid)] = to_rank(lo)
+            children[to_rank(lo)].append((to_rank(mid), hi - mid))
+            build(mid, hi)
+            hi = mid
+
+    build(0, n)
+    return CommTree(n, root, tuple(parent), tuple(tuple(kids) for kids in children))
+
+
+def flat_tree(n: int, root: int = 0) -> CommTree:
+    """The linear (flat) scatter/gather tree: root talks to everyone.
+
+    Children are ordered ``root+1, root+2, ... (mod n)`` — the send order
+    of the linear algorithms — each carrying one block.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not (0 <= root < n):
+        raise ValueError(f"root {root} out of range for n={n}")
+    parent: list[Optional[int]] = [None] * n
+    kids: list[tuple[int, int]] = []
+    for offset in range(1, n):
+        child = (root + offset) % n
+        parent[child] = root
+        kids.append((child, 1))
+    children: list[tuple[tuple[int, int], ...]] = [() for _ in range(n)]
+    children[root] = tuple(kids)
+    return CommTree(n, root, tuple(parent), tuple(children))

@@ -1,0 +1,118 @@
+"""The Hockney model and its heterogeneous extension (paper Sec. II).
+
+Hockney [6] describes a point-to-point transfer as ``alpha + beta * M``:
+``alpha`` is the latency (all constant contributions of processors *and*
+network lumped together) and ``beta`` the per-byte time (all variable
+contributions lumped).  The heterogeneous extension gives each processor
+pair its own ``alpha_ij`` / ``beta_ij``.
+
+The paper's central criticism applies here: because processor and network
+contributions are inseparable, there is no way to express "serial at the
+root CPU, parallel in the switch", so linear-collective predictions are
+either fully *sequential* (pessimistic) or fully *parallel* (optimistic) —
+compare Figure 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.base import validate_nbytes, validate_rank
+
+__all__ = ["HockneyModel", "HeterogeneousHockneyModel"]
+
+
+@dataclass(frozen=True)
+class HockneyModel:
+    """Homogeneous Hockney: one (alpha, beta) for the whole cluster.
+
+    Attributes
+    ----------
+    alpha:
+        Latency, seconds.
+    beta:
+        Per-byte time, seconds/byte (the paper's ``beta`` in
+        ``alpha + beta M``; note this is 1/bandwidth).
+    n:
+        Number of processors the model was estimated for.
+    """
+
+    alpha: float
+    beta: float
+    n: int
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError(f"negative Hockney parameters: {self}")
+        if self.n < 2:
+            raise ValueError("a communication model needs n >= 2")
+
+    def p2p_time(self, i: int, j: int, nbytes: float) -> float:
+        """``alpha + beta * M``, independent of the pair."""
+        validate_rank(self.n, i, j)
+        validate_nbytes(nbytes)
+        return self.alpha + self.beta * nbytes
+
+
+@dataclass(frozen=True)
+class HeterogeneousHockneyModel:
+    """Heterogeneous Hockney: per-pair ``alpha_ij`` and ``beta_ij``.
+
+    Attributes
+    ----------
+    alpha:
+        Latency matrix, shape ``(n, n)``, symmetric, seconds.
+    beta:
+        Per-byte-time matrix, shape ``(n, n)``, symmetric, seconds/byte.
+    """
+
+    alpha: np.ndarray
+    beta: np.ndarray
+
+    def __post_init__(self) -> None:
+        if (
+            self.alpha.ndim != 2
+            or self.alpha.shape[0] != self.alpha.shape[1]
+            or self.alpha.shape != self.beta.shape
+        ):
+            raise ValueError("alpha and beta must be square matrices of equal shape")
+        if self.alpha.shape[0] < 2:
+            raise ValueError("a communication model needs n >= 2")
+        off = ~np.eye(self.alpha.shape[0], dtype=bool)
+        if (self.alpha[off] < 0).any() or (self.beta[off] < 0).any():
+            raise ValueError("negative Hockney parameters")
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return self.alpha.shape[0]
+
+    def p2p_time(self, i: int, j: int, nbytes: float) -> float:
+        """``alpha_ij + beta_ij * M``."""
+        validate_rank(self.n, i, j)
+        validate_nbytes(nbytes)
+        return float(self.alpha[i, j] + self.beta[i, j] * nbytes)
+
+    def averaged(self) -> HockneyModel:
+        """Collapse to a homogeneous model by averaging over pairs.
+
+        This is the paper's "treat the heterogeneous cluster as
+        homogeneous" option (Sec. II): simple, compact, less accurate.
+        """
+        off = ~np.eye(self.n, dtype=bool)
+        return HockneyModel(
+            alpha=float(self.alpha[off].mean()),
+            beta=float(self.beta[off].mean()),
+            n=self.n,
+        )
+
+    @staticmethod
+    def from_ground_truth(ground_truth) -> "HeterogeneousHockneyModel":
+        """The *exact* Hockney view of an extended-LMO ground truth:
+        ``alpha_ij = C_i + L_ij + C_j``, ``beta_ij = t_i + 1/b_ij + t_j``."""
+        return HeterogeneousHockneyModel(
+            alpha=ground_truth.hockney_alpha(),
+            beta=ground_truth.hockney_beta(),
+        )

@@ -1,0 +1,66 @@
+"""The original LMO model [Lastovetsky, Mkwawa, O'Flynn 2006/2007].
+
+Five point-to-point parameters: per-processor fixed delay ``C_i`` and
+per-byte delay ``t_i``, plus per-link transmission rate ``beta_ij``:
+
+    T_ij(M) = C_i + C_j + M (t_i + 1/beta_ij + t_j)
+
+The *variable* contributions of processors and network are separated, but
+the fixed delays ``C_i`` still absorb the network's constant latency —
+the limitation the extended model (:mod:`repro.models.lmo_extended`)
+removes by adding ``L_ij``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.models.base import validate_nbytes, validate_rank
+
+__all__ = ["LMOModel"]
+
+
+@dataclass(frozen=True)
+class LMOModel:
+    """Original (five-parameter) LMO model.
+
+    Attributes
+    ----------
+    C:
+        Fixed processing delays, shape ``(n,)``, seconds.  These combine
+        the processor's own fixed cost with its share of network latency.
+    t:
+        Per-byte processing delays, shape ``(n,)``, seconds/byte.
+    beta:
+        Link transmission rates, shape ``(n, n)``, symmetric, bytes/s.
+    """
+
+    C: np.ndarray
+    t: np.ndarray
+    beta: np.ndarray
+
+    def __post_init__(self) -> None:
+        n = self.C.shape[0]
+        if self.t.shape != (n,) or self.beta.shape != (n, n):
+            raise ValueError("inconsistent LMO parameter shapes")
+        if not np.allclose(self.beta, self.beta.T):
+            raise ValueError("beta must be symmetric (single-switch cluster)")
+        if (self.C < 0).any() or (self.t < 0).any():
+            raise ValueError("negative processor delays")
+        if n < 2:
+            raise ValueError("a communication model needs n >= 2")
+
+    @property
+    def n(self) -> int:
+        """Number of processors."""
+        return self.C.shape[0]
+
+    def p2p_time(self, i: int, j: int, nbytes: float) -> float:
+        """``C_i + C_j + M (t_i + 1/beta_ij + t_j)``."""
+        validate_rank(self.n, i, j)
+        validate_nbytes(nbytes)
+        return float(
+            self.C[i] + self.C[j] + nbytes * (self.t[i] + 1.0 / self.beta[i, j] + self.t[j])
+        )

@@ -1,0 +1,70 @@
+"""The LogGP model [Alexandrov et al., SPAA 1995] (paper Sec. II).
+
+LogGP extends LogP with a *gap per byte* ``G`` so long messages are
+first-class: a point-to-point transfer costs ``L + 2o + (M-1) G``, and a
+train of ``m`` messages costs ``L + 2o + (M-1) G + (m-1) g``.  Both gap
+parameters still mix processor and network contributions — the paper's
+core criticism — so the model cannot distinguish root-CPU serialization
+from switch parallelism in collectives.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import validate_nbytes, validate_rank
+
+__all__ = ["LogGPModel"]
+
+
+@dataclass(frozen=True)
+class LogGPModel:
+    """Homogeneous LogGP parameters.
+
+    Attributes
+    ----------
+    L:
+        Latency, seconds (constant network contribution).
+    o:
+        Overhead, seconds (constant processor contribution).
+    g:
+        Gap per *message*, seconds (constant mixed contribution between
+        back-to-back messages).
+    G:
+        Gap per *byte*, seconds/byte (variable mixed contribution).
+    P:
+        Number of processors.
+    """
+
+    L: float
+    o: float
+    g: float
+    G: float
+    P: int
+
+    def __post_init__(self) -> None:
+        if min(self.L, self.o, self.g, self.G) < 0:
+            raise ValueError(f"negative LogGP parameters: {self}")
+        if self.P < 2:
+            raise ValueError("a communication model needs P >= 2")
+
+    @property
+    def n(self) -> int:
+        """Processor count (protocol-compatible alias of ``P``)."""
+        return self.P
+
+    def p2p_time(self, i: int, j: int, nbytes: float) -> float:
+        """``L + 2o + (M-1) G`` (zero-byte messages cost ``L + 2o``)."""
+        validate_rank(self.P, i, j)
+        validate_nbytes(nbytes)
+        return self.L + 2 * self.o + max(nbytes - 1, 0) * self.G
+
+    def message_train_time(self, nbytes: float, count: int) -> float:
+        """``L + 2o + (M-1) G + (m-1) g`` for ``m`` same-size messages."""
+        if count < 1:
+            raise ValueError("count must be >= 1")
+        return self.p2p_time(0, 1, nbytes) + (count - 1) * self.g
+
+    def bandwidth(self) -> float:
+        """Asymptotic bandwidth ``1/G``, bytes/second."""
+        return 1.0 / self.G if self.G > 0 else float("inf")

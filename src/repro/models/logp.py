@@ -1,0 +1,78 @@
+"""The LogP model [Culler et al., PPoPP 1993] (paper Sec. II).
+
+LogP describes communication of *small fixed-size* packets with four
+parameters: latency ``L`` (constant network contribution), overhead ``o``
+(constant processor contribution), gap ``g`` (minimum inter-message time,
+the reciprocal of per-message bandwidth — a mixed contribution), and the
+processor count ``P``.
+
+A point-to-point message costs ``L + 2o``.  Large messages are modelled as
+a train of ``ceil(M / w)`` packets of the underlying packet size ``w``:
+``L + 2o + (k - 1) g``.  The paper abbreviates this as ``L + 2o + M g``
+("in the formula for a series the gap parameter will be used"), which our
+:meth:`LogPModel.p2p_time` reproduces with ``w`` configurable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.models.base import validate_nbytes, validate_rank
+
+__all__ = ["LogPModel"]
+
+
+@dataclass(frozen=True)
+class LogPModel:
+    """Homogeneous LogP parameters.
+
+    Attributes
+    ----------
+    L:
+        Latency upper bound, seconds (constant network contribution).
+    o:
+        Send/receive overhead, seconds (constant processor contribution).
+    g:
+        Gap between consecutive packets, seconds (mixed variable
+        contribution).
+    P:
+        Number of processors.
+    packet_bytes:
+        Packet size ``w`` used to decompose large messages (LogP itself
+        leaves this implicit; Ethernet's MTU is the natural choice).
+    """
+
+    L: float
+    o: float
+    g: float
+    P: int
+    packet_bytes: int = 1500
+
+    def __post_init__(self) -> None:
+        if min(self.L, self.o, self.g) < 0:
+            raise ValueError(f"negative LogP parameters: {self}")
+        if self.P < 2:
+            raise ValueError("a communication model needs P >= 2")
+        if self.packet_bytes < 1:
+            raise ValueError("packet_bytes must be >= 1")
+
+    @property
+    def n(self) -> int:
+        """Processor count (protocol-compatible alias of ``P``)."""
+        return self.P
+
+    def packets(self, nbytes: float) -> int:
+        """Number of packets a message of ``nbytes`` decomposes into."""
+        validate_nbytes(nbytes)
+        if nbytes == 0:
+            return 1
+        return -(-int(nbytes) // self.packet_bytes)
+
+    def p2p_time(self, i: int, j: int, nbytes: float) -> float:
+        """``L + 2o + (k-1) g`` for a k-packet message."""
+        validate_rank(self.P, i, j)
+        return self.L + 2 * self.o + (self.packets(nbytes) - 1) * self.g
+
+    def bandwidth(self) -> float:
+        """End-to-end bandwidth implied by the gap, bytes/second."""
+        return self.packet_bytes / self.g if self.g > 0 else float("inf")

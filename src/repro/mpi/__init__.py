@@ -1,0 +1,33 @@
+"""MPI-like message-passing layer on the simulated cluster.
+
+Rank programs are generators driven by the DES; the API mirrors mpi4py
+(``send``/``recv``/``isend``/``irecv`` plus collective algorithms), and
+the runtime mirrors ``mpiexec``.
+"""
+
+from repro.mpi.comm import COLL_TAG, Envelope, GroupComm, MessageLayer, RankComm, payload_nbytes
+from repro.mpi.requests import Request
+from repro.mpi.runtime import (
+    CollectiveRun,
+    DeadlockError,
+    RankResult,
+    run_collective,
+    run_group_collective,
+    run_ranks,
+)
+
+__all__ = [
+    "COLL_TAG",
+    "CollectiveRun",
+    "DeadlockError",
+    "Envelope",
+    "GroupComm",
+    "MessageLayer",
+    "RankComm",
+    "RankResult",
+    "Request",
+    "payload_nbytes",
+    "run_collective",
+    "run_group_collective",
+    "run_ranks",
+]

@@ -1,0 +1,149 @@
+"""Further collective algorithms: pipelining and recursive doubling.
+
+These are the other entries of an MPI implementation's algorithm menu —
+the menu whose size is exactly why model-driven selection (paper Fig. 6)
+matters.  Implemented:
+
+* **pipeline (chain) broadcast** — the message moves down a rank chain in
+  segments, so all links stream concurrently once the pipe fills;
+  asymptotically bandwidth-optimal for large messages;
+* **recursive-doubling allgather** — ``log2 n`` exchange rounds with
+  doubling block volumes (power-of-two rank counts);
+* **recursive-doubling allreduce** — the same butterfly carrying full
+  vectors, combining at each step;
+* **reduce+bcast allreduce** — the classic composite, for any rank count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.mpi.collectives import binomial
+from repro.mpi.comm import COLL_TAG, RankComm
+
+__all__ = ["pipeline_bcast", "recursive_doubling_allgather", "recursive_doubling_allreduce",
+           "reduce_bcast_allreduce"]
+
+DEFAULT_SEGMENT = 8 * 1024
+
+
+def pipeline_bcast(
+    comm: RankComm,
+    root: int,
+    nbytes: int,
+    payload: Any = None,
+    segment_nbytes: int = DEFAULT_SEGMENT,
+) -> Generator:
+    """Chain broadcast in segments (the 'pipeline' algorithm).
+
+    Ranks form the chain ``root -> root+1 -> ... -> root-1`` (mod size);
+    each intermediate rank forwards segment ``k`` as soon as it has it,
+    overlapping with the receive of segment ``k+1``.
+    """
+    if segment_nbytes < 1:
+        raise ValueError("segment_nbytes must be >= 1")
+    size, me = comm.size, comm.rank
+    position = (me - root) % size
+    prev = (me - 1) % size
+    nxt = (me + 1) % size
+    segments = max(1, -(-nbytes // segment_nbytes))
+    sizes = [segment_nbytes] * segments
+    sizes[-1] = nbytes - segment_nbytes * (segments - 1) if nbytes else segment_nbytes
+    if nbytes == 0:
+        sizes = [0]
+
+    if position == 0:
+        for seg, seg_nbytes in enumerate(sizes):
+            yield from comm.send(nxt, payload=payload, nbytes=seg_nbytes,
+                                 tag=COLL_TAG + seg)
+        return payload
+    received = None
+    last = position == size - 1
+    for seg, seg_nbytes in enumerate(sizes):
+        env = yield from comm.recv(prev, tag=COLL_TAG + seg)
+        received = env.payload if env.payload is not None else received
+        if not last:
+            yield from comm.send(nxt, payload=env.payload, nbytes=seg_nbytes,
+                                 tag=COLL_TAG + seg)
+    return received
+
+
+def _require_power_of_two(size: int, name: str) -> None:
+    if size & (size - 1):
+        raise ValueError(f"{name} requires a power-of-two rank count, got {size}")
+
+
+def recursive_doubling_allgather(
+    comm: RankComm,
+    block_nbytes: int,
+    block: Any = None,
+) -> Generator:
+    """Recursive-doubling allgather: ``log2 n`` rounds, doubling volumes.
+
+    In round ``k`` rank ``r`` exchanges its accumulated ``2^k`` blocks
+    with partner ``r XOR 2^k``.  Requires a power-of-two size.
+    """
+    size, me = comm.size, comm.rank
+    _require_power_of_two(size, "recursive-doubling allgather")
+    blocks: dict[int, Any] = {me: block}
+    distance = 1
+    round_idx = 0
+    while distance < size:
+        partner = me ^ distance
+        volume = len(blocks) * block_nbytes
+        send_req = comm.isend(partner, payload=dict(blocks), nbytes=volume,
+                              tag=COLL_TAG + round_idx)
+        env = yield from comm.wait(comm.irecv(partner, tag=COLL_TAG + round_idx))
+        yield send_req.sent
+        if env.payload is not None:
+            blocks.update(env.payload)
+        distance <<= 1
+        round_idx += 1
+    return [blocks.get(rank) for rank in range(size)]
+
+
+def recursive_doubling_allreduce(
+    comm: RankComm,
+    nbytes: int,
+    value: Any = None,
+    combine=None,
+) -> Generator:
+    """Recursive-doubling allreduce: the butterfly with full vectors.
+
+    Requires a power-of-two size; each of the ``log2 n`` rounds exchanges
+    the full ``nbytes`` vector with the round's partner and combines.
+    Combining charges this rank's CPU one per-byte pass.
+    """
+    size, me = comm.size, comm.rank
+    _require_power_of_two(size, "recursive-doubling allreduce")
+    cluster = comm.layer.cluster
+    acc = value
+    distance = 1
+    round_idx = 0
+    while distance < size:
+        partner = me ^ distance
+        send_req = comm.isend(partner, payload=acc, nbytes=nbytes,
+                              tag=COLL_TAG + round_idx)
+        env = yield from comm.wait(comm.irecv(partner, tag=COLL_TAG + round_idx))
+        yield send_req.sent
+        cost = cluster.noisy(nbytes * cluster.ground_truth.t[me])
+        yield from cluster.cpu[me].hold(cluster.sim, cost)
+        if combine is not None:
+            acc = combine(acc, env.payload)
+        distance <<= 1
+        round_idx += 1
+    return acc
+
+
+def reduce_bcast_allreduce(
+    comm: RankComm,
+    nbytes: int,
+    value: Any = None,
+    combine=None,
+    root: int = 0,
+) -> Generator:
+    """Allreduce as binomial reduce followed by binomial broadcast."""
+    reduced = yield from binomial.reduce(comm, root, nbytes, value=value,
+                                         combine=combine)
+    result = yield from binomial.bcast(comm, root, nbytes, payload=reduced)
+    return result

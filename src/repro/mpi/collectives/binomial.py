@@ -1,0 +1,210 @@
+"""Binomial-tree collective algorithms (paper Fig. 2 and formula (1)).
+
+Scatter walks the binomial tree top-down: each node receives its sub-tree's
+blocks from its parent, then forwards the sub-sub-tree blocks to its
+children, largest sub-tree first.  Gather is the time-reversal.  Sub-trees
+of equal order cover disjoint rank sets, so their communications proceed in
+parallel through the switch — the ``max`` in the paper's recursion.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from repro.models.collectives.trees import CommTree, binomial_tree
+from repro.mpi.comm import COLL_TAG, RankComm
+
+__all__ = ["scatter", "scatterv", "gather", "bcast", "reduce", "barrier"]
+
+
+def _tree(comm: RankComm, root: int, tree: Optional[CommTree]) -> CommTree:
+    if tree is None:
+        return binomial_tree(comm.size, root)
+    if tree.n != comm.size or tree.root != root:
+        raise ValueError("supplied tree does not match communicator/root")
+    return tree
+
+
+def scatter(
+    comm: RankComm,
+    root: int,
+    block_nbytes: int,
+    data: Optional[Sequence[Any]] = None,
+    tree: Optional[CommTree] = None,
+) -> Generator:
+    """Binomial scatter; optionally over a remapped tree (optimization).
+
+    Each arc parent->child carries ``blocks * block_nbytes`` bytes, where
+    ``blocks`` is the child's sub-tree size — the arc labels of Fig. 2.
+    """
+    tree = _tree(comm, root, tree)
+    me = comm.rank
+    bundle: Optional[dict[int, Any]] = None
+    if me == root and data is not None:
+        if len(data) != comm.size:
+            raise ValueError(f"scatter data must have {comm.size} blocks")
+        bundle = {rank: data[rank] for rank in range(comm.size)}
+    if me != root:
+        parent = tree.parent[me]
+        assert parent is not None
+        env = yield from comm.recv(parent, tag=COLL_TAG)
+        bundle = env.payload
+    for child, blocks in tree.children[me]:
+        sub: Optional[dict[int, Any]] = None
+        if bundle is not None:
+            sub = {rank: bundle[rank] for rank in tree.subtree_ranks(child)}
+        yield from comm.send(
+            child, payload=sub, nbytes=blocks * block_nbytes, tag=COLL_TAG
+        )
+    if bundle is not None:
+        return bundle.get(me)
+    return None
+
+
+def scatterv(
+    comm: RankComm,
+    root: int,
+    counts: Sequence[int],
+    data: Optional[Sequence[Any]] = None,
+    tree: Optional[CommTree] = None,
+) -> Generator:
+    """Binomial scatterv: per-rank byte counts over the tree.
+
+    Each arc carries the *sum* of its sub-tree's counts; sub-trees whose
+    total is zero are pruned (no message, and the child skips its
+    receive — both sides derive that from ``counts``, so matching stays
+    consistent).  Useful with heterogeneous distributions from
+    :func:`repro.optimize.partition.optimal_partition`.
+    """
+    tree = _tree(comm, root, tree)
+    if len(counts) != comm.size:
+        raise ValueError(f"counts must have {comm.size} entries")
+    if any(c < 0 for c in counts):
+        raise ValueError("negative counts")
+    me = comm.rank
+
+    def subtree_bytes(rank: int) -> int:
+        return sum(counts[r] for r in tree.subtree_ranks(rank))
+
+    bundle: Optional[dict[int, Any]] = None
+    if me == root and data is not None:
+        if len(data) != comm.size:
+            raise ValueError(f"scatterv data must have {comm.size} blocks")
+        bundle = {rank: data[rank] for rank in range(comm.size)}
+    if me != root and subtree_bytes(me) > 0:
+        parent = tree.parent[me]
+        assert parent is not None
+        env = yield from comm.recv(parent, tag=COLL_TAG)
+        bundle = env.payload
+    for child, _blocks in tree.children[me]:
+        volume = subtree_bytes(child)
+        if volume == 0:
+            continue
+        sub: Optional[dict[int, Any]] = None
+        if bundle is not None:
+            sub = {rank: bundle.get(rank) for rank in tree.subtree_ranks(child)}
+        yield from comm.send(child, payload=sub, nbytes=volume, tag=COLL_TAG)
+    if bundle is not None:
+        return bundle.get(me)
+    return None
+
+
+def gather(
+    comm: RankComm,
+    root: int,
+    block_nbytes: int,
+    block: Any = None,
+    tree: Optional[CommTree] = None,
+) -> Generator:
+    """Binomial gather: sub-trees gather in parallel, then merge upward.
+
+    Children are awaited smallest sub-tree first (they complete first);
+    the final, largest transfer into each node carries its whole sub-tree.
+    """
+    tree = _tree(comm, root, tree)
+    me = comm.rank
+    bundle: dict[int, Any] = {me: block}
+    for child, _blocks in reversed(tree.children[me]):
+        env = yield from comm.recv(child, tag=COLL_TAG)
+        if env.payload is not None:
+            bundle.update(env.payload)
+    if me != root:
+        parent = tree.parent[me]
+        assert parent is not None
+        nbytes = tree.blocks_into(me) * block_nbytes
+        payload = bundle if block is not None else None
+        yield from comm.send(parent, payload=payload, nbytes=nbytes, tag=COLL_TAG)
+        return None
+    if block is None:
+        return None
+    return [bundle.get(rank) for rank in range(comm.size)]
+
+
+def bcast(
+    comm: RankComm,
+    root: int,
+    nbytes: int,
+    payload: Any = None,
+    tree: Optional[CommTree] = None,
+) -> Generator:
+    """Binomial broadcast: every arc carries the full message."""
+    tree = _tree(comm, root, tree)
+    me = comm.rank
+    if me != root:
+        parent = tree.parent[me]
+        assert parent is not None
+        env = yield from comm.recv(parent, tag=COLL_TAG)
+        payload = env.payload
+    for child, _blocks in tree.children[me]:
+        yield from comm.send(child, payload=payload, nbytes=nbytes, tag=COLL_TAG)
+    return payload
+
+
+def reduce(
+    comm: RankComm,
+    root: int,
+    nbytes: int,
+    value: Any = None,
+    combine=None,
+    tree: Optional[CommTree] = None,
+) -> Generator:
+    """Binomial reduce: combine contributions on the way up the tree."""
+    tree = _tree(comm, root, tree)
+    cluster = comm.layer.cluster
+    me = comm.rank
+    acc = value
+    for child, _blocks in reversed(tree.children[me]):
+        env = yield from comm.recv(child, tag=COLL_TAG)
+        cost = cluster.noisy(nbytes * cluster.ground_truth.t[me])
+        yield from cluster.cpu[me].hold(cluster.sim, cost)
+        if combine is not None:
+            acc = combine(acc, env.payload)
+    if me != root:
+        parent = tree.parent[me]
+        assert parent is not None
+        yield from comm.send(parent, payload=acc, nbytes=nbytes, tag=COLL_TAG)
+        return None
+    return acc
+
+
+def barrier(comm: RankComm, tree: Optional[CommTree] = None) -> Generator:
+    """Binomial fan-in to rank 0 followed by binomial fan-out.
+
+    Zero-byte messages: the cost is pure constant contributions — a good
+    stress test of the ``C_i`` / ``L_ij`` separation.
+    """
+    tree = _tree(comm, 0, tree)
+    me = comm.rank
+    # Fan-in.
+    for child, _blocks in reversed(tree.children[me]):
+        yield from comm.recv(child, tag=COLL_TAG)
+    if me != 0:
+        parent = tree.parent[me]
+        assert parent is not None
+        yield from comm.send(parent, nbytes=0, tag=COLL_TAG)
+        env = yield from comm.recv(parent, tag=COLL_TAG + 1)
+        del env
+    # Fan-out.
+    for child, _blocks in tree.children[me]:
+        yield from comm.send(child, nbytes=0, tag=COLL_TAG + 1)
+    return None

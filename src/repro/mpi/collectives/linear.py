@@ -1,0 +1,196 @@
+"""Linear (flat-tree) collective algorithms.
+
+These are the algorithms the paper's Section III models: the root talks to
+every other rank directly.  On a switched cluster the root's CPU is the
+serial bottleneck while the switch parallelizes the transfers — exactly the
+structure the LMO formulas (4) and (5) capture.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Sequence
+
+from repro.mpi.comm import COLL_TAG, RankComm
+
+__all__ = ["scatter", "scatterv", "gather", "gatherv", "bcast", "reduce", "alltoall"]
+
+
+def _others(size: int, root: int) -> list[int]:
+    """Non-root ranks in send order root+1, root+2, ... (mod size)."""
+    return [(root + offset) % size for offset in range(1, size)]
+
+
+def scatter(
+    comm: RankComm,
+    root: int,
+    block_nbytes: int,
+    data: Optional[Sequence[Any]] = None,
+) -> Generator:
+    """Linear scatter: the root sends one block to each rank in turn.
+
+    Returns this rank's block (``data[rank]`` when the root supplied real
+    payloads, else ``None``).
+    """
+    if comm.rank == root:
+        if data is not None and len(data) != comm.size:
+            raise ValueError(f"scatter data must have {comm.size} blocks")
+        for dst in _others(comm.size, root):
+            payload = None if data is None else data[dst]
+            yield from comm.send(dst, payload=payload, nbytes=block_nbytes, tag=COLL_TAG)
+        return None if data is None else data[root]
+    env = yield from comm.recv(root, tag=COLL_TAG)
+    return env.payload
+
+
+def gather(
+    comm: RankComm,
+    root: int,
+    block_nbytes: int,
+    block: Any = None,
+) -> Generator:
+    """Linear gather: every rank sends its block to the root.
+
+    The root receives *sequentially in rank order* (blocking receives),
+    as LAM/MPICH-era native linear gathers do.  The protocol consequence
+    is the paper's M2 threshold: blocks above the eager limit use the
+    rendezvous protocol, so sender ``i+1`` cannot push data until the
+    root has finished receiving from sender ``i`` — the transfers (and
+    their per-byte costs) serialize completely, producing the steeper
+    large-message slope of formula (5)'s sum branch.  Eager blocks are
+    already buffered on arrival, so rank-order receives cost nothing
+    extra there.
+
+    Returns the list of blocks by rank at the root, ``None`` elsewhere.
+    """
+    if comm.rank == root:
+        blocks: list[Any] = [None] * comm.size
+        blocks[root] = block
+        for src in _others(comm.size, root):
+            env = yield from comm.recv(src, tag=COLL_TAG)
+            blocks[src] = env.payload
+        return blocks
+    yield from comm.send(root, payload=block, nbytes=block_nbytes, tag=COLL_TAG)
+    return None
+
+
+def scatterv(
+    comm: RankComm,
+    root: int,
+    counts: Sequence[int],
+    data: Optional[Sequence[Any]] = None,
+) -> Generator:
+    """Linear scatterv: per-rank block sizes (MPI_Scatterv).
+
+    ``counts[i]`` is the byte count destined for rank ``i``; zero-count
+    ranks are skipped entirely (no empty message), mirroring common MPI
+    implementations.  Returns this rank's block.
+    """
+    if len(counts) != comm.size:
+        raise ValueError(f"counts must have {comm.size} entries")
+    if any(c < 0 for c in counts):
+        raise ValueError("negative counts")
+    if comm.rank == root:
+        if data is not None and len(data) != comm.size:
+            raise ValueError(f"scatterv data must have {comm.size} blocks")
+        for dst in _others(comm.size, root):
+            if counts[dst] == 0:
+                continue
+            payload = None if data is None else data[dst]
+            yield from comm.send(dst, payload=payload, nbytes=counts[dst], tag=COLL_TAG)
+        return None if data is None else data[root]
+    if counts[comm.rank] == 0:
+        return None
+    env = yield from comm.recv(root, tag=COLL_TAG)
+    return env.payload
+
+
+def gatherv(
+    comm: RankComm,
+    root: int,
+    counts: Sequence[int],
+    block: Any = None,
+) -> Generator:
+    """Linear gatherv: per-rank block sizes, sequential root receives.
+
+    Like :func:`gather`, the root receives in rank order (the native
+    algorithm), so rendezvous-size blocks serialize; zero-count ranks send
+    nothing.  Returns the list of blocks by rank at the root.
+    """
+    if len(counts) != comm.size:
+        raise ValueError(f"counts must have {comm.size} entries")
+    if any(c < 0 for c in counts):
+        raise ValueError("negative counts")
+    if comm.rank == root:
+        blocks: list[Any] = [None] * comm.size
+        blocks[root] = block
+        for src in _others(comm.size, root):
+            if counts[src] == 0:
+                continue
+            env = yield from comm.recv(src, tag=COLL_TAG)
+            blocks[src] = env.payload
+        return blocks
+    if counts[comm.rank] == 0:
+        return None
+    yield from comm.send(root, payload=block, nbytes=counts[comm.rank], tag=COLL_TAG)
+    return None
+
+
+def bcast(
+    comm: RankComm,
+    root: int,
+    nbytes: int,
+    payload: Any = None,
+) -> Generator:
+    """Linear broadcast: the root sends the full message to each rank."""
+    if comm.rank == root:
+        for dst in _others(comm.size, root):
+            yield from comm.send(dst, payload=payload, nbytes=nbytes, tag=COLL_TAG)
+        return payload
+    env = yield from comm.recv(root, tag=COLL_TAG)
+    return env.payload
+
+
+def reduce(
+    comm: RankComm,
+    root: int,
+    nbytes: int,
+    value: Any = None,
+    combine=None,
+) -> Generator:
+    """Linear reduce: the root receives and combines every contribution.
+
+    Combining charges the root's CPU one per-byte pass per message
+    (modelled as ``nbytes * t_root``), on top of the receive processing the
+    transport already charges.
+    """
+    cluster = comm.layer.cluster
+    if comm.rank == root:
+        acc = value
+        for src in _others(comm.size, root):
+            env = yield from comm.recv(src, tag=COLL_TAG)
+            cost = cluster.noisy(nbytes * cluster.ground_truth.t[root])
+            yield from cluster.cpu[root].hold(cluster.sim, cost)
+            if combine is not None:
+                acc = combine(acc, env.payload)
+        return acc
+    yield from comm.send(root, payload=value, nbytes=nbytes, tag=COLL_TAG)
+    return None
+
+
+def alltoall(comm: RankComm, block_nbytes: int) -> Generator:
+    """Linear all-to-all with rotated pairing to avoid hot-spots.
+
+    In step ``k`` each rank sends to ``rank+k`` and receives from
+    ``rank-k`` (mod size), the classic schedule that keeps every switch
+    port busy with exactly one incoming flow per step.
+    """
+    received: dict[int, Any] = {}
+    for k in range(1, comm.size):
+        dst = (comm.rank + k) % comm.size
+        src = (comm.rank - k) % comm.size
+        send_req = comm.isend(dst, nbytes=block_nbytes, tag=COLL_TAG)
+        recv_req = comm.irecv(src, tag=COLL_TAG)
+        yield send_req.sent
+        env = yield from comm.wait(recv_req)
+        received[src] = env.payload
+    return received

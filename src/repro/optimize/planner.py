@@ -1,0 +1,125 @@
+"""Application communication planning: pick every collective's algorithm.
+
+An application is, communication-wise, a sequence of collective calls.
+Given an estimated model, the planner chooses an algorithm for each call
+from the registered menu (falling back across operations it has formulas
+for), and predicts the plan's total communication time — MPI autotuning,
+driven by the paper's model instead of exhaustive measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.models.collectives.formulas import (
+    GatherPrediction,
+    predict_binomial_gather,
+    predict_binomial_scatter,
+    predict_linear_gather,
+    predict_linear_scatter,
+)
+from repro.models.collectives.formulas_ext import _PREDICTORS, predict_collective
+from repro.models.lmo_extended import ExtendedLMOModel
+
+__all__ = ["CollectiveCall", "PlannedCall", "CommunicationPlan", "plan_collectives"]
+
+#: Algorithms the planner may choose from, per operation.
+MENU: dict[str, tuple[str, ...]] = {
+    "scatter": ("linear", "binomial"),
+    "gather": ("linear", "binomial"),
+    "bcast": ("linear", "binomial", "pipeline", "van_de_geijn"),
+    "allgather": ("ring", "recursive_doubling"),
+    "allreduce": ("recursive_doubling", "reduce_bcast", "rabenseifner"),
+    "reduce_scatter": ("ring",),
+}
+
+
+@dataclass(frozen=True)
+class CollectiveCall:
+    """One collective invocation in an application's communication trace."""
+
+    operation: str
+    nbytes: int
+    root: int = 0
+    count: int = 1  # identical repetitions (e.g. per-iteration calls)
+
+    def __post_init__(self) -> None:
+        if self.operation not in MENU:
+            raise ValueError(
+                f"unplannable operation {self.operation!r}; known: {sorted(MENU)}"
+            )
+        if self.nbytes < 0 or self.count < 1:
+            raise ValueError(f"invalid call: {self}")
+
+
+@dataclass(frozen=True)
+class PlannedCall:
+    """A call with its chosen algorithm and predicted time."""
+
+    call: CollectiveCall
+    algorithm: str
+    predicted_each: float
+
+    @property
+    def predicted_total(self) -> float:
+        return self.predicted_each * self.call.count
+
+
+@dataclass
+class CommunicationPlan:
+    """The chosen algorithms and the predicted total communication time."""
+
+    calls: list[PlannedCall]
+
+    @property
+    def predicted_total(self) -> float:
+        return sum(planned.predicted_total for planned in self.calls)
+
+    def render(self) -> str:
+        lines = [f"{'operation':<15} {'bytes':>9} {'x':>4} {'algorithm':<20} {'each':>9}"]
+        for planned in self.calls:
+            call = planned.call
+            lines.append(
+                f"{call.operation:<15} {call.nbytes:>9} {call.count:>4} "
+                f"{planned.algorithm:<20} {planned.predicted_each * 1e3:>8.2f}ms"
+            )
+        lines.append(f"predicted communication total: {self.predicted_total * 1e3:.2f} ms")
+        return "\n".join(lines)
+
+
+def _predict(model: ExtendedLMOModel, operation: str, algorithm: str,
+             nbytes: int, root: int) -> float:
+    if operation == "scatter":
+        fn = predict_linear_scatter if algorithm == "linear" else predict_binomial_scatter
+        return float(fn(model, nbytes, root=root))
+    if operation == "gather":
+        if algorithm == "linear":
+            value = predict_linear_gather(model, nbytes, root=root)
+            return value.expected if isinstance(value, GatherPrediction) else float(value)
+        return float(predict_binomial_gather(model, nbytes, root=root))
+    if (operation, algorithm) in _PREDICTORS:
+        if operation == "bcast":
+            return float(predict_collective(model, operation, algorithm, nbytes,
+                                            root=root))
+        return float(predict_collective(model, operation, algorithm, nbytes))
+    raise KeyError(f"no predictor for {operation}/{algorithm}")
+
+
+def plan_collectives(
+    model: ExtendedLMOModel,
+    calls: Sequence[CollectiveCall],
+    menu: Optional[dict[str, tuple[str, ...]]] = None,
+) -> CommunicationPlan:
+    """Choose the predicted-fastest algorithm for every call."""
+    chosen_menu = MENU if menu is None else menu
+    planned: list[PlannedCall] = []
+    for call in calls:
+        candidates = {
+            algorithm: _predict(model, call.operation, algorithm, call.nbytes, call.root)
+            for algorithm in chosen_menu[call.operation]
+        }
+        best = min(candidates, key=candidates.__getitem__)
+        planned.append(PlannedCall(call=call, algorithm=best,
+                                   predicted_each=candidates[best]))
+    return CommunicationPlan(calls=planned)

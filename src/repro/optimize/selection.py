@@ -1,0 +1,122 @@
+"""Model-driven algorithm selection (paper Fig. 6).
+
+MPI implementations switch between collective algorithms by message size.
+The paper shows the switch decision is only as good as the model behind
+it: for 100 KB < M < 200 KB scatter on the Table I cluster, the
+heterogeneous Hockney model predicts binomial < linear (wrong — it
+serializes wire time the switch parallelizes, penalizing the linear
+algorithm's n-1 transfers far too much), while the LMO model correctly
+picks the linear algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.models.collectives.formulas import (
+    GatherPrediction,
+    predict_binomial_gather,
+    predict_binomial_scatter,
+    predict_linear_gather,
+    predict_linear_scatter,
+)
+
+__all__ = ["AlgorithmChoice", "predict_algorithms", "select_algorithm", "crossover_size"]
+
+
+@dataclass(frozen=True)
+class AlgorithmChoice:
+    """The model's verdict for one (operation, size)."""
+
+    operation: str
+    nbytes: int
+    predictions: dict[str, float]
+
+    @property
+    def best(self) -> str:
+        return min(self.predictions, key=self.predictions.__getitem__)
+
+
+def _predict(model, operation: str, algorithm: str, nbytes: int, root: int) -> float:
+    if operation == "scatter":
+        if algorithm == "linear":
+            return float(predict_linear_scatter(model, nbytes, root=root))
+        if algorithm == "binomial":
+            return float(predict_binomial_scatter(model, nbytes, root=root))
+    elif operation == "gather":
+        if algorithm == "linear":
+            value = predict_linear_gather(model, nbytes, root=root)
+            return value.expected if isinstance(value, GatherPrediction) else float(value)
+        if algorithm == "binomial":
+            return float(predict_binomial_gather(model, nbytes, root=root))
+    else:
+        # The wider menu (bcast / allgather / allreduce) is predicted by
+        # the extended-LMO formulas; other models have no formula there.
+        from repro.models.collectives.formulas_ext import predict_collective
+        from repro.models.lmo_extended import ExtendedLMOModel
+
+        if isinstance(model, ExtendedLMOModel):
+            try:
+                if operation == "bcast":
+                    return float(predict_collective(model, operation, algorithm,
+                                                    nbytes, root=root))
+                return float(predict_collective(model, operation, algorithm, nbytes))
+            except KeyError:
+                pass
+    raise KeyError(f"no prediction for {operation}/{algorithm}")
+
+
+def predict_algorithms(
+    model,
+    operation: str,
+    nbytes: int,
+    root: int = 0,
+    algorithms: Sequence[str] = ("linear", "binomial"),
+) -> AlgorithmChoice:
+    """Predict every candidate algorithm's time under ``model``."""
+    return AlgorithmChoice(
+        operation=operation,
+        nbytes=nbytes,
+        predictions={
+            algorithm: _predict(model, operation, algorithm, nbytes, root)
+            for algorithm in algorithms
+        },
+    )
+
+
+def select_algorithm(
+    model,
+    operation: str,
+    nbytes: int,
+    root: int = 0,
+    algorithms: Sequence[str] = ("linear", "binomial"),
+) -> str:
+    """The algorithm the model recommends for this message size."""
+    return predict_algorithms(model, operation, nbytes, root, algorithms).best
+
+
+def crossover_size(
+    model,
+    operation: str = "scatter",
+    lo: int = 64,
+    hi: int = 1 << 21,
+    root: int = 0,
+    algorithms: tuple[str, str] = ("binomial", "linear"),
+) -> Optional[int]:
+    """Message size where the recommendation flips from ``algorithms[0]``
+    to ``algorithms[1]`` (bisection; None if it never flips in range)."""
+    first, second = algorithms
+
+    def pick(nbytes: int) -> str:
+        return select_algorithm(model, operation, nbytes, root, algorithms)
+
+    if pick(lo) != first or pick(hi) != second:
+        return None
+    while hi - lo > 1:
+        mid = (lo + hi) // 2
+        if pick(mid) == first:
+            lo = mid
+        else:
+            hi = mid
+    return hi

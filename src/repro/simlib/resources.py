@@ -1,0 +1,140 @@
+"""FIFO and priority resources for the DES kernel.
+
+A :class:`Resource` models a facility with fixed capacity (a CPU core, a NIC,
+a switch port).  Processes acquire a slot, hold it for some activity, and
+release it; waiters queue in FIFO (or priority) order.
+
+Typical usage inside a process generator::
+
+    usage = resource.request()
+    yield usage                 # granted when a slot frees up
+    yield sim.timeout(cost)     # hold the resource
+    resource.release(usage)
+
+or, with the convenience wrapper::
+
+    yield from resource.hold(sim, cost)
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Optional
+
+from repro.simlib.kernel import URGENT, Event, SimulationError, Simulator
+
+__all__ = ["Resource", "PriorityResource", "ResourceUsage"]
+
+
+class ResourceUsage(Event):
+    """The grant event for one resource request; token used for release."""
+
+    __slots__ = ("resource", "priority", "order")
+
+    def __init__(self, resource: "Resource", priority: int = 0):
+        super().__init__(resource.sim)
+        self.resource = resource
+        self.priority = priority
+        self.order = resource._order
+        resource._order += 1
+
+
+class Resource:
+    """A capacity-limited facility with FIFO queueing.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity:
+        Number of concurrent holders (>= 1).
+    """
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._order = 0
+        self._users: set[ResourceUsage] = set()
+        self._waiters: list[ResourceUsage] = []
+
+    # -- inspection -------------------------------------------------------
+    @property
+    def count(self) -> int:
+        """Number of current holders."""
+        return len(self._users)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._waiters)
+
+    @property
+    def busy(self) -> bool:
+        """True when at least one slot is held or requested."""
+        return bool(self._users or self._waiters)
+
+    # -- acquire/release ----------------------------------------------------
+    def request(self, priority: int = 0) -> ResourceUsage:
+        """Ask for a slot; the returned event fires when granted."""
+        usage = ResourceUsage(self, priority)
+        if len(self._users) < self.capacity and not self._waiters:
+            self._users.add(usage)
+            usage.succeed(usage, priority=URGENT)
+        else:
+            self._enqueue(usage)
+        return usage
+
+    def release(self, usage: ResourceUsage) -> None:
+        """Free a previously granted slot and wake the next waiter."""
+        if usage not in self._users:
+            raise SimulationError(f"release of non-held usage on {self.name or 'resource'}")
+        self._users.remove(usage)
+        nxt = self._dequeue()
+        if nxt is not None:
+            self._users.add(nxt)
+            nxt.succeed(nxt, priority=URGENT)
+
+    def hold(self, sim: Simulator, duration: float, priority: int = 0) -> Generator:
+        """Acquire, hold for ``duration``, release (generator helper)."""
+        usage = self.request(priority)
+        yield usage
+        try:
+            yield sim.timeout(duration)
+        finally:
+            self.release(usage)
+
+    # -- queue discipline (overridden by PriorityResource) -----------------
+    def _enqueue(self, usage: ResourceUsage) -> None:
+        self._waiters.append(usage)
+
+    def _dequeue(self) -> Optional[ResourceUsage]:
+        if self._waiters:
+            return self._waiters.pop(0)
+        return None
+
+
+class PriorityResource(Resource):
+    """Resource whose waiters are served by (priority, arrival order)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1, name: str = ""):
+        super().__init__(sim, capacity, name)
+        self._heap: list[tuple[int, int, ResourceUsage]] = []
+
+    def _enqueue(self, usage: ResourceUsage) -> None:
+        heapq.heappush(self._heap, (usage.priority, usage.order, usage))
+
+    def _dequeue(self) -> Optional[ResourceUsage]:
+        if self._heap:
+            return heapq.heappop(self._heap)[2]
+        return None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._heap)
+
+    @property
+    def busy(self) -> bool:
+        return bool(self._users or self._heap)

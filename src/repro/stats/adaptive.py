@@ -1,0 +1,65 @@
+"""Adaptive repetition: measure until the confidence target is met.
+
+Implements MPIBlib's stopping rule: repeat a measurement until the
+Student-t confidence interval at level ``confidence`` is narrower than
+``rel_err`` of the mean, bounded by ``min_reps``/``max_reps``.  The paper
+runs all its experiments at confidence 95% and relative error 2.5%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.stats.ci import SampleSummary, summarize
+
+__all__ = ["MeasurementPolicy", "measure_until_confident"]
+
+
+@dataclass(frozen=True)
+class MeasurementPolicy:
+    """Stopping rule for repeated measurements (MPIBlib defaults)."""
+
+    confidence: float = 0.95
+    rel_err: float = 0.025
+    min_reps: int = 5
+    max_reps: int = 100
+
+    def __post_init__(self) -> None:
+        if not (0 < self.confidence < 1):
+            raise ValueError(f"confidence must be in (0, 1), got {self.confidence}")
+        if self.rel_err <= 0:
+            raise ValueError(f"rel_err must be positive, got {self.rel_err}")
+        if not (1 <= self.min_reps <= self.max_reps):
+            raise ValueError(f"need 1 <= min_reps <= max_reps, got {self}")
+
+    @staticmethod
+    def paper() -> "MeasurementPolicy":
+        """The paper's setting: CI 95%, relative error 2.5%."""
+        return MeasurementPolicy(confidence=0.95, rel_err=0.025)
+
+    @staticmethod
+    def fixed(reps: int) -> "MeasurementPolicy":
+        """Exactly ``reps`` repetitions, no early stopping."""
+        return MeasurementPolicy(min_reps=reps, max_reps=reps)
+
+
+def measure_until_confident(
+    measure: Callable[[], float],
+    policy: MeasurementPolicy = MeasurementPolicy.paper(),
+) -> SampleSummary:
+    """Call ``measure()`` repeatedly until the policy's CI target is met.
+
+    Returns the summary of all collected samples.  The measurement
+    callable is invoked at least ``min_reps`` and at most ``max_reps``
+    times; after ``min_reps``, sampling stops as soon as the CI half-width
+    falls within ``rel_err`` of the running mean.
+    """
+    samples: list[float] = []
+    for _rep in range(policy.max_reps):
+        samples.append(float(measure()))
+        if len(samples) >= policy.min_reps:
+            summary = summarize(samples, policy.confidence)
+            if summary.within(policy.rel_err):
+                return summary
+    return summarize(samples, policy.confidence)

@@ -1,0 +1,83 @@
+"""Least-squares fits used by estimators and empirical-parameter detection.
+
+* :func:`linear_fit` — ordinary least squares ``y = a + b x`` (used to turn
+  message-size sweeps into Hockney-style intercept/slope pairs).
+* :func:`two_segment_fit` — continuous-breakpoint-free two-line fit: find
+  the split index minimizing total squared error of independent lines on
+  each side.  Used to locate the slope change between linear gather's
+  small-message and large-message regimes (paper Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["LinearFit", "TwoSegmentFit", "linear_fit", "two_segment_fit"]
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """``y = intercept + slope * x`` with its residual RMS."""
+
+    intercept: float
+    slope: float
+    rms: float
+
+    def __call__(self, x: float) -> float:
+        return self.intercept + self.slope * x
+
+
+def linear_fit(xs: Sequence[float], ys: Sequence[float]) -> LinearFit:
+    """Ordinary least squares line through ``(xs, ys)``."""
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.size < 2:
+        raise ValueError("need >= 2 paired samples")
+    design = np.column_stack([np.ones_like(x), x])
+    coef, *_ = np.linalg.lstsq(design, y, rcond=None)
+    resid = y - design @ coef
+    return LinearFit(float(coef[0]), float(coef[1]), float(np.sqrt(np.mean(resid**2))))
+
+
+@dataclass(frozen=True)
+class TwoSegmentFit:
+    """Two independent lines split at ``xs[split_index]`` (exclusive)."""
+
+    left: LinearFit
+    right: LinearFit
+    split_index: int
+    split_x: float
+    rms: float
+
+    def __call__(self, x: float) -> float:
+        return self.left(x) if x < self.split_x else self.right(x)
+
+
+def two_segment_fit(
+    xs: Sequence[float], ys: Sequence[float], min_points: int = 2
+) -> TwoSegmentFit:
+    """Best two-line fit over all split positions.
+
+    ``min_points`` is the minimum number of samples per segment.  The xs
+    must be sorted ascending.
+    """
+    x = np.asarray(xs, dtype=float)
+    y = np.asarray(ys, dtype=float)
+    if x.shape != y.shape or x.size < 2 * min_points:
+        raise ValueError(f"need >= {2 * min_points} paired samples")
+    if (np.diff(x) <= 0).any():
+        raise ValueError("xs must be strictly increasing")
+
+    best: TwoSegmentFit | None = None
+    for split in range(min_points, x.size - min_points + 1):
+        left = linear_fit(x[:split], y[:split])
+        right = linear_fit(x[split:], y[split:])
+        sse = left.rms**2 * split + right.rms**2 * (x.size - split)
+        rms = float(np.sqrt(sse / x.size))
+        if best is None or rms < best.rms:
+            best = TwoSegmentFit(left, right, split, float(x[split]), rms)
+    assert best is not None
+    return best

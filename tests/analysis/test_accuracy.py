@@ -1,0 +1,66 @@
+"""Tests for the prediction-accuracy scorer."""
+
+import pytest
+
+from repro.analysis import score_models
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.models import ExtendedLMOModel
+
+KB = 1024
+
+
+def make(n=8, seed=110):
+    gt = GroundTruth.random(n, seed=seed, beta_range=(0.9e8, 1.1e8))
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=seed), ground_truth=gt,
+        profile=IDEAL, noise=NoiseModel.none(), seed=seed,
+    )
+    return cluster, ExtendedLMOModel.from_ground_truth(gt)
+
+
+POINTS = [
+    ("scatter", "linear", 8 * KB),
+    ("scatter", "linear", 48 * KB),
+    ("scatter", "binomial", 8 * KB),
+    ("gather", "linear", 8 * KB),
+]
+
+
+def test_scoring_ranks_lmo_above_hockney():
+    cluster, model = make()
+    hockney = model.to_heterogeneous_hockney()
+    report = score_models(cluster, {"lmo": model, "het-hockney": hockney}, POINTS)
+    assert report.ranking[0] == "lmo"
+    assert report.score("lmo").mean_relative_error < 0.2
+    assert report.score("het-hockney").mean_relative_error > 0.3
+
+
+def test_bias_signs_match_the_paper_story():
+    """Sequential Hockney is pessimistic (positive bias) on linear
+    scatter; the homogeneous parallel reading is optimistic."""
+    cluster, model = make(seed=111)
+    het = model.to_heterogeneous_hockney()
+    report = score_models(
+        cluster, {"het-seq": het}, [("scatter", "linear", 32 * KB)]
+    )
+    assert report.score("het-seq").bias > 0
+
+
+def test_report_contents_and_rendering():
+    cluster, model = make(seed=112)
+    report = score_models(cluster, {"lmo": model}, POINTS)
+    assert len(report.observations) == len(POINTS)
+    assert len(report.predictions) == len(POINTS)
+    text = report.render()
+    assert "lmo" in text
+    assert "mean err" in text
+    with pytest.raises(KeyError):
+        report.score("nope")
+
+
+def test_validation():
+    cluster, model = make(seed=113)
+    with pytest.raises(ValueError):
+        score_models(cluster, {"lmo": model}, [])
+    with pytest.raises(KeyError):
+        score_models(cluster, {"lmo": model}, [("bcast", "telepathy", 8)])

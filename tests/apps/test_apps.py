@@ -1,0 +1,148 @@
+"""Tests for the mini-applications (matvec, Jacobi)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import run_jacobi, run_matvec
+from repro.apps.matvec import row_partition_counts
+from repro.cluster import (
+    IDEAL,
+    LAM_7_1_3,
+    GroundTruth,
+    NoiseModel,
+    SimulatedCluster,
+    random_cluster,
+    synthesize_ground_truth,
+    table1_cluster,
+)
+from repro.models import ExtendedLMOModel
+from repro.optimize import optimal_partition
+
+KB = 1024
+
+
+def quiet_cluster(n=4, seed=0):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed, beta_range=(0.9e8, 1.1e8)),
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------------- matvec
+def test_matvec_computes_correct_product():
+    cluster = quiet_cluster()
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(40, 24))
+    x = rng.normal(size=24)
+    result = run_matvec(cluster, a, x)
+    assert result.y.shape == (40,)
+    assert result.max_error(a, x) < 1e-12
+    assert result.makespan > 0
+
+
+def test_matvec_even_split_default():
+    cluster = quiet_cluster()
+    a = np.eye(10)
+    result = run_matvec(cluster, a, np.arange(10.0))
+    assert sum(result.row_counts) == 10
+    assert max(result.row_counts) - min(result.row_counts) <= 1
+    assert np.allclose(result.y, np.arange(10.0))
+
+
+def test_matvec_custom_counts_and_zero_rows():
+    cluster = quiet_cluster()
+    rng = np.random.default_rng(1)
+    a = rng.normal(size=(12, 8))
+    x = rng.normal(size=8)
+    result = run_matvec(cluster, a, x, row_counts=[6, 0, 4, 2])
+    assert result.max_error(a, x) < 1e-12
+
+
+def test_matvec_validates_inputs():
+    cluster = quiet_cluster()
+    a = np.zeros((8, 4))
+    with pytest.raises(ValueError):
+        run_matvec(cluster, a, np.zeros(3))
+    with pytest.raises(ValueError):
+        run_matvec(cluster, a, np.zeros(4), row_counts=[1, 1, 1, 1])
+
+
+def test_row_partition_counts_preserves_total():
+    counts = row_partition_counts([1000, 3000, 2000, 2000], ncols=10)
+    assert sum(counts) == 100
+    assert counts[1] > counts[0]
+
+
+def test_matvec_model_partition_beats_even_on_heterogeneous_cluster():
+    """The LMO-optimized row distribution wins end to end on Table I."""
+    gt = synthesize_ground_truth(table1_cluster())
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    rng = np.random.default_rng(2)
+    nrows, ncols = 640, 512
+    a = rng.normal(size=(nrows, ncols))
+    x = rng.normal(size=ncols)
+    flop_time = 2e-9
+    work = np.asarray([2.0 * flop_time / 8.0] * 16) * (gt.C / gt.C.min())
+
+    cluster = SimulatedCluster(table1_cluster(), ground_truth=gt, profile=LAM_7_1_3,
+                               noise=NoiseModel.none(), seed=3)
+    even = run_matvec(cluster, a, x, flop_time=flop_time)
+    part = optimal_partition(model, nrows * ncols * 8, work)
+    counts = row_partition_counts(part.counts, ncols)
+    # Per-rank flop cost must mirror the work rates used by the LP.
+    optimal = run_matvec(cluster, a, x, row_counts=counts, flop_time=flop_time)
+    assert optimal.max_error(a, x) < 1e-10
+    assert optimal.makespan <= even.makespan
+
+
+# ---------------------------------------------------------------------- jacobi
+def test_jacobi_converges_to_straight_line():
+    cluster = quiet_cluster()
+    result = run_jacobi(cluster, npoints=16, iterations=600, left=1.0, right=3.0)
+    assert result.max_error_vs_line(1.0, 3.0) < 1e-3
+    assert result.residual < 1e-3
+    assert result.makespan > 0
+
+
+def test_jacobi_matches_serial_reference():
+    """Bit-for-bit agreement with a serial Jacobi of the same iterations."""
+    cluster = quiet_cluster(n=4, seed=5)
+    npoints, iterations = 12, 37
+    result = run_jacobi(cluster, npoints=npoints, iterations=iterations,
+                        left=0.0, right=1.0)
+    u = np.zeros(npoints)
+    for _ in range(iterations):
+        padded = np.concatenate([[0.0], u, [1.0]])
+        u = 0.5 * (padded[:-2] + padded[2:])
+    assert np.allclose(result.solution, u, atol=1e-14)
+
+
+def test_jacobi_validation():
+    cluster = quiet_cluster()
+    with pytest.raises(ValueError):
+        run_jacobi(cluster, npoints=8, iterations=0)
+    with pytest.raises(ValueError):
+        run_jacobi(cluster, npoints=8, iterations=5, cell_counts=[8, 0, 0, 0])
+
+
+def test_jacobi_residual_decreases_with_more_iterations():
+    cluster = quiet_cluster(seed=6)
+    short = run_jacobi(cluster, npoints=16, iterations=40)
+    long = run_jacobi(cluster, npoints=16, iterations=400)
+    assert long.residual < short.residual
+
+
+def test_jacobi_communication_fraction_grows_with_ranks():
+    """Same domain, more ranks: halo traffic per iteration rises while
+    compute per rank falls — the classic strong-scaling wall, visible in
+    the simulated makespan per iteration."""
+    small = quiet_cluster(n=3, seed=7)
+    large = quiet_cluster(n=8, seed=7)
+    npoints, iterations = 64, 30
+    t_small = run_jacobi(small, npoints, iterations).makespan
+    t_large = run_jacobi(large, npoints, iterations).makespan
+    # With tiny per-rank compute, more ranks is *slower* end to end.
+    assert t_large > t_small

@@ -1,0 +1,111 @@
+"""Tests for ground-truth parameter containers and synthesis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import GroundTruth, synthesize_ground_truth, table1_cluster
+
+
+def test_p2p_time_matches_extended_lmo_formula():
+    gt = GroundTruth.random(4, seed=1)
+    M = 10_000
+    expected = gt.C[0] + gt.L[0, 2] + gt.C[2] + M * (gt.t[0] + 1 / gt.beta[0, 2] + gt.t[2])
+    assert gt.p2p_time(0, 2, M) == pytest.approx(expected)
+
+
+def test_p2p_time_zero_bytes_is_pure_constant_part():
+    gt = GroundTruth.random(3, seed=2)
+    assert gt.p2p_time(1, 2, 0) == pytest.approx(gt.C[1] + gt.L[1, 2] + gt.C[2])
+
+
+def test_hockney_alpha_combines_constant_contributions():
+    gt = GroundTruth.random(5, seed=3)
+    alpha = gt.hockney_alpha()
+    assert alpha[1, 3] == pytest.approx(gt.C[1] + gt.L[1, 3] + gt.C[3])
+    assert np.allclose(alpha, alpha.T)
+
+
+def test_hockney_beta_combines_variable_contributions():
+    gt = GroundTruth.random(5, seed=4)
+    bh = gt.hockney_beta()
+    assert bh[0, 4] == pytest.approx(gt.t[0] + 1 / gt.beta[0, 4] + gt.t[4])
+    assert np.allclose(bh, bh.T)
+
+
+def test_hockney_view_reconstructs_p2p_time():
+    """alpha_ij + beta^H_ij * M must equal the LMO p2p time (paper, Sec III)."""
+    gt = GroundTruth.random(6, seed=5)
+    alpha, bh = gt.hockney_alpha(), gt.hockney_beta()
+    for i, j in [(0, 1), (2, 5), (4, 3)]:
+        for M in [0, 1024, 100_000]:
+            assert alpha[i, j] + bh[i, j] * M == pytest.approx(gt.p2p_time(i, j, M))
+
+
+def test_asymmetric_latency_rejected():
+    gt = GroundTruth.random(3, seed=6)
+    L = gt.L.copy()
+    L[0, 1] += 1e-6
+    with pytest.raises(ValueError, match="symmetric"):
+        GroundTruth(gt.C, gt.t, L, gt.beta)
+
+
+def test_negative_processor_delay_rejected():
+    gt = GroundTruth.random(3, seed=7)
+    C = gt.C.copy()
+    C[0] = -1e-6
+    with pytest.raises(ValueError, match="non-negative"):
+        GroundTruth(C, gt.t, gt.L, gt.beta)
+
+
+def test_shape_mismatch_rejected():
+    gt = GroundTruth.random(3, seed=8)
+    with pytest.raises(ValueError, match="shapes"):
+        GroundTruth(gt.C[:2], gt.t, gt.L, gt.beta)
+
+
+def test_synthesis_is_deterministic():
+    spec = table1_cluster()
+    a = synthesize_ground_truth(spec, seed=0)
+    b = synthesize_ground_truth(spec, seed=0)
+    assert np.array_equal(a.C, b.C)
+    assert np.array_equal(a.L, b.L)
+    assert np.array_equal(a.beta, b.beta)
+
+
+def test_synthesis_heterogeneity_spans_about_2x():
+    """The Table I cluster mixes fast Xeons and a slow Celeron: fixed
+    costs vary strongly, per-byte (memory-bound) costs mildly."""
+    gt = synthesize_ground_truth(table1_cluster())
+    assert gt.C.max() / gt.C.min() > 1.5
+    assert 1.1 < gt.t.max() / gt.t.min() < 1.5
+
+
+def test_synthesis_celeron_is_slowest_processor():
+    spec = table1_cluster()
+    gt = synthesize_ground_truth(spec)
+    celeron_idx = next(i for i, n in enumerate(spec.nodes) if "Celeron" in n.processor)
+    assert gt.C[celeron_idx] == pytest.approx(gt.C.max())
+    assert gt.t[celeron_idx] == pytest.approx(gt.t.max())
+
+
+def test_synthesis_orders_of_magnitude_plausible():
+    gt = synthesize_ground_truth(table1_cluster())
+    assert 1e-5 < gt.C.min() and gt.C.max() < 2e-4  # tens of microseconds
+    assert 1e-9 < gt.t.min() and gt.t.max() < 1e-7  # ~10 ns per byte
+    off = ~np.eye(gt.n, dtype=bool)
+    assert 1e-5 < gt.L[off].min() and gt.L[off].max() < 1e-4
+    assert 5e7 < gt.beta[off].min() and gt.beta[off].max() < 2e8  # ~1 Gbit/s TCP
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(3, 12), seed=st.integers(0, 10_000))
+def test_random_ground_truth_always_valid(n, seed):
+    gt = GroundTruth.random(n, seed=seed)
+    assert gt.n == n
+    off = ~np.eye(n, dtype=bool)
+    assert (gt.L[off] > 0).all()
+    assert (gt.beta[off] > 0).all()
+    # p2p time is positive and grows with message size on every link.
+    assert gt.p2p_time(0, 1, 1000) > gt.p2p_time(0, 1, 0) > 0

@@ -1,0 +1,83 @@
+"""Tests for MPI/TCP irregularity profiles."""
+
+import pytest
+
+from repro.cluster import IDEAL, LAM_7_1_3, MPICH_1_2_7, OPEN_MPI
+
+KB = 1024
+
+
+def test_lam_thresholds_match_paper():
+    """Paper Sec. III: M1 = 4 KB, M2 = 65 KB for LAM 7.1.3 on 16 nodes.
+
+    M2 is the eager/rendezvous switch (LAM: 64 KB); the paper's 65 KB is
+    its measurement of that boundary."""
+    assert LAM_7_1_3.m1(n_senders=15) == pytest.approx(4 * KB, rel=0.05)
+    assert LAM_7_1_3.m2 == pytest.approx(65 * KB, rel=0.03)
+
+
+def test_mpich_thresholds_match_paper():
+    """Paper Sec. III: M1 = 3 KB, M2 = 125 KB for MPICH 1.2.7 on 16 nodes."""
+    assert MPICH_1_2_7.m1(n_senders=15) == pytest.approx(3 * KB, rel=0.05)
+    assert MPICH_1_2_7.m2 == pytest.approx(125 * KB, rel=0.03)
+
+
+def test_lam_eager_threshold_is_64kb():
+    """Paper Fig. 4: the scatter leap sits at 64 KB under LAM."""
+    assert LAM_7_1_3.eager_threshold == 64 * KB
+    assert not LAM_7_1_3.uses_rendezvous(64 * KB)
+    assert LAM_7_1_3.uses_rendezvous(64 * KB + 1)
+
+
+def test_fragment_count():
+    assert LAM_7_1_3.fragments(1) == 1
+    assert LAM_7_1_3.fragments(64 * KB) == 1
+    assert LAM_7_1_3.fragments(64 * KB + 1) == 2
+    assert LAM_7_1_3.fragments(256 * KB) == 4
+
+
+def test_protocol_overhead_zero_below_eager():
+    assert LAM_7_1_3.sender_protocol_overhead(10 * KB) == 0.0
+
+
+def test_protocol_overhead_grows_stepwise_above_eager():
+    just_above = LAM_7_1_3.sender_protocol_overhead(65 * KB)
+    two_frags = LAM_7_1_3.sender_protocol_overhead(128 * KB)
+    three_frags = LAM_7_1_3.sender_protocol_overhead(130 * KB)
+    assert just_above == pytest.approx(LAM_7_1_3.rendezvous_overhead + LAM_7_1_3.fragment_overhead)
+    assert two_frags == just_above  # still 2 fragments
+    assert three_frags == pytest.approx(just_above + LAM_7_1_3.fragment_overhead)
+
+
+def test_escalation_probability_zero_below_threshold():
+    assert LAM_7_1_3.escalation_probability(30 * KB, n_senders=15) == 0.0
+
+
+def test_escalation_probability_rises_with_backlog():
+    p_low = LAM_7_1_3.escalation_probability(70 * KB, n_senders=15)
+    p_high = LAM_7_1_3.escalation_probability(110 * KB, n_senders=15)
+    assert 0 < p_low < p_high <= LAM_7_1_3.escalation_p_max
+
+
+def test_escalation_requires_multiple_senders():
+    """A single self-clocked TCP stream never RTOs in this model."""
+    assert LAM_7_1_3.escalation_probability(500 * KB, n_senders=1) == 0.0
+    assert LAM_7_1_3.m1(n_senders=1) == float("inf")
+
+
+def test_ideal_profile_has_no_irregularities():
+    assert not IDEAL.uses_rendezvous(1 << 40)
+    assert IDEAL.sender_protocol_overhead(1 << 40) == 0.0
+    assert IDEAL.escalation_probability(1e12, n_senders=100) == 0.0
+
+
+def test_with_overrides_creates_modified_copy():
+    quiet = LAM_7_1_3.with_overrides(escalation_p_max=0.0)
+    assert quiet.escalation_probability(200 * KB, n_senders=15) == 0.0
+    assert LAM_7_1_3.escalation_p_max > 0  # original untouched
+    assert quiet.eager_threshold == LAM_7_1_3.eager_threshold
+
+
+def test_open_mpi_profile_sane():
+    assert OPEN_MPI.eager_threshold == 64 * KB
+    assert OPEN_MPI.m2 == 64 * KB

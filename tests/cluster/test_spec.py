@@ -1,0 +1,77 @@
+"""Tests for cluster specifications (Table I reconstruction)."""
+
+import pytest
+
+from repro.cluster import (
+    TABLE1_NODE_TYPES,
+    ClusterSpec,
+    homogeneous_cluster,
+    random_cluster,
+    table1_cluster,
+)
+
+
+def test_table1_has_sixteen_nodes():
+    assert table1_cluster().n == 16
+
+
+def test_table1_has_seven_node_types():
+    assert len(table1_cluster().node_type_counts) == 7
+
+
+def test_table1_type_multiplicities_match_paper():
+    counts = [count for _node, count in table1_cluster().node_type_counts]
+    assert counts == [2, 6, 2, 1, 1, 1, 3]
+
+
+def test_table1_models_match_paper():
+    models = [node.model for node, _count in TABLE1_NODE_TYPES]
+    assert models == [
+        "Dell Poweredge SC1425",
+        "Dell Poweredge 750",
+        "IBM E-server 326",
+        "IBM X-Series 306",
+        "HP Proliant DL 320 G3",
+        "HP Proliant DL 320 G3",
+        "HP Proliant DL 140 G2",
+    ]
+
+
+def test_table1_celeron_has_smallest_cache_and_slowest_fsb():
+    celeron = next(n for n, _c in TABLE1_NODE_TYPES if "Celeron" in n.processor)
+    assert celeron.l2_cache_kb == 256
+    assert celeron.fsb_mhz == 533
+
+
+def test_table1_is_heterogeneous():
+    assert not table1_cluster().is_homogeneous()
+
+
+def test_effective_ghz_rewards_opteron_architecture():
+    opteron = next(n for n, _c in TABLE1_NODE_TYPES if "Opteron" in n.processor)
+    celeron = next(n for n, _c in TABLE1_NODE_TYPES if "Celeron" in n.processor)
+    assert opteron.effective_ghz > celeron.effective_ghz
+
+
+def test_cluster_requires_two_nodes():
+    node = TABLE1_NODE_TYPES[0][0]
+    with pytest.raises(ValueError):
+        ClusterSpec((node,))
+
+
+def test_homogeneous_cluster():
+    spec = homogeneous_cluster(8)
+    assert spec.n == 8
+    assert spec.is_homogeneous()
+
+
+def test_random_cluster_deterministic_per_seed():
+    assert random_cluster(10, seed=3).nodes == random_cluster(10, seed=3).nodes
+    assert random_cluster(10, seed=3).nodes != random_cluster(10, seed=4).nodes
+
+
+def test_describe_mentions_every_type():
+    text = table1_cluster().describe()
+    for node, _count in TABLE1_NODE_TYPES:
+        assert node.model in text
+    assert "16 nodes" in text

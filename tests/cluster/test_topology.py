@@ -1,0 +1,196 @@
+"""Tests for the two-switch topology extension.
+
+The point: within one switch nothing changes (the LMO platform
+assumption holds); across switches, isolated flows stay linear (so
+estimation still works) but *concurrent* flows contend on the uplink —
+the effect the single-switch model cannot express, and a measurable
+degradation of its collective predictions.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.cluster.topology import TwoSwitchTopology
+from repro.estimation import DESEngine, estimate_extended_lmo
+from repro.models import ExtendedLMOModel, predict_linear_scatter
+from repro.mpi import run_collective, run_ranks
+
+KB = 1024
+
+
+def two_switch_cluster(n=8, seed=95):
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed, beta_range=(0.9e8, 1.1e8)),
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+    cluster.attach_topology(TwoSwitchTopology.split_evenly(n))
+    return cluster
+
+
+# ----------------------------------------------------------------- structure
+def test_topology_validation():
+    with pytest.raises(ValueError, match="partition"):
+        TwoSwitchTopology(left=(0, 1), right=(1, 2))
+    with pytest.raises(ValueError, match="at least one"):
+        TwoSwitchTopology(left=(0, 1, 2), right=())
+    with pytest.raises(ValueError, match="uplink"):
+        TwoSwitchTopology(left=(0,), right=(1,), uplink_rate=0)
+
+
+def test_same_switch_classification():
+    topo = TwoSwitchTopology.split_evenly(8)
+    assert topo.same_switch(0, 3)
+    assert topo.same_switch(4, 7)
+    assert not topo.same_switch(0, 4)
+
+
+def test_apply_adds_latency_only_across_switches():
+    gt = GroundTruth.random(6, seed=1)
+    topo = TwoSwitchTopology.split_evenly(6, uplink_latency=50e-6)
+    new = topo.apply_to_ground_truth(gt)
+    assert new.L[0, 1] == pytest.approx(gt.L[0, 1])
+    assert new.L[0, 4] == pytest.approx(gt.L[0, 4] + 50e-6)
+    assert np.array_equal(new.beta, gt.beta)
+
+
+def test_apply_rejects_size_mismatch():
+    with pytest.raises(ValueError):
+        TwoSwitchTopology.split_evenly(6).apply_to_ground_truth(GroundTruth.random(4))
+
+
+# ------------------------------------------------------------------ transport
+def test_intra_switch_transfers_unchanged():
+    cluster = two_switch_cluster()
+    gt = cluster.ground_truth
+    done = cluster.sim.spawn(cluster.transmit(0, 1, 32 * KB))
+    cluster.sim.run(until=done)
+    expected = gt.send_cost(0, 32 * KB) + gt.wire_time(0, 1, 32 * KB)
+    assert cluster.sim.now == pytest.approx(expected, rel=1e-12)
+
+
+def test_cross_switch_transfer_pays_uplink_serially():
+    cluster = two_switch_cluster()
+    gt = cluster.ground_truth
+    topo = cluster.topology
+    M = 32 * KB
+    done = cluster.sim.spawn(cluster.transmit(0, 4, M))
+    cluster.sim.run(until=done)
+    expected = (
+        gt.send_cost(0, M) + gt.L[0, 4] + M / topo.uplink_rate + M / gt.beta[0, 4]
+    )
+    assert cluster.sim.now == pytest.approx(expected, rel=1e-12)
+
+
+def test_concurrent_cross_switch_flows_contend_on_uplink():
+    """Two cross-switch flows to *different* destinations serialize on the
+    uplink; on one switch they would run fully in parallel."""
+    cluster = two_switch_cluster()
+    M = 64 * KB
+    cluster.sim.spawn(cluster.transmit(0, 4, M))
+    cluster.sim.spawn(cluster.transmit(1, 5, M))
+    cluster.sim.run()
+    with_uplink = cluster.sim.now
+
+    flat = SimulatedCluster(
+        random_cluster(8, seed=95),
+        ground_truth=cluster.ground_truth,  # same parameters, one switch
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=95,
+    )
+    flat.sim.spawn(flat.transmit(0, 4, M))
+    flat.sim.spawn(flat.transmit(1, 5, M))
+    flat.sim.run()
+    assert with_uplink > flat.sim.now + 0.8 * M / cluster.topology.uplink_rate
+
+
+# ------------------------------------------------------------------ modelling
+def test_estimation_technique_relies_on_the_platform_assumption():
+    """The paper scopes its method to single-switch clusters for a
+    reason: the one-to-two equations assume all of a triplet's links
+    behave alike.  On two switches, triplets straddling the uplink
+    violate eq. (9)'s same-maximizer assumption and the per-pair fits
+    scatter badly — while the identical procedure on a single switch
+    (same hardware parameters) is tight."""
+    n = 8
+    gt = GroundTruth.random(n, seed=96, beta_range=(0.9e8, 1.1e8))
+
+    def max_p2p_error(cluster, reference) -> float:
+        model = estimate_extended_lmo(DESEngine(cluster), reps=1, clamp=True).model
+        M = 48 * KB
+        return max(
+            abs(model.p2p_time(i, j, M) - reference(i, j, M)) / reference(i, j, M)
+            for i in range(n)
+            for j in range(n)
+            if i != j
+        )
+
+    flat = SimulatedCluster(random_cluster(n, seed=96), ground_truth=gt,
+                            profile=IDEAL, noise=NoiseModel.none(), seed=96)
+    flat_err = max_p2p_error(flat, lambda i, j, M: gt.p2p_time(i, j, M))
+
+    two = SimulatedCluster(random_cluster(n, seed=96), ground_truth=gt,
+                           profile=IDEAL, noise=NoiseModel.none(), seed=96)
+    two.attach_topology(TwoSwitchTopology.split_evenly(n))
+    topo, gt2 = two.topology, two.ground_truth
+
+    def two_reference(i, j, M):
+        extra = 0.0 if topo.same_switch(i, j) else M / topo.uplink_rate
+        return gt2.p2p_time(i, j, M) + extra
+
+    two_err = max_p2p_error(two, two_reference)
+
+    assert flat_err < 0.1  # single switch: the technique is tight
+    assert two_err > 0.25  # two switches: the equations break down
+    assert two_err > 2 * flat_err
+
+
+def test_scatter_prediction_degrades_across_switches():
+    """The estimated model predicts an intra-switch scatter well, but
+    underpredicts a cross-switch scatter: the uplink contention (n/2
+    flows through one pipe) is invisible to any p2p model."""
+    cluster = two_switch_cluster(seed=97)
+    model = estimate_extended_lmo(DESEngine(cluster), reps=1, clamp=True).model
+    M = 48 * KB
+
+    intra = run_collective(cluster, "scatter", "linear", nbytes=M, root=0).time
+    # Restrict prediction/observation to one switch: participants 0..3.
+    intra_members = [0, 1, 2, 3]
+    from repro.mpi import run_group_collective
+
+    intra = run_group_collective(cluster, intra_members, "scatter", "linear",
+                                 nbytes=M).time
+    intra_pred = predict_linear_scatter(model, M, root=0, participants=intra_members)
+    intra_err = abs(intra_pred - intra) / intra
+
+    full = run_collective(cluster, "scatter", "linear", nbytes=M, root=0).time
+    full_pred = predict_linear_scatter(model, M, root=0)
+    full_err = abs(full_pred - full) / full
+
+    assert intra_err < 0.15  # platform assumption holds within a switch
+    assert full_pred < full  # contention makes reality slower than the model
+    assert full_err > intra_err  # ... and measurably less predictable
+
+
+def test_reset_preserves_topology():
+    cluster = two_switch_cluster()
+    cluster.reset()
+    assert cluster.uplink is not None
+    assert cluster.topology is not None
+
+
+def test_detach_topology_restores_single_switch():
+    cluster = two_switch_cluster()
+    cluster.attach_topology(None)
+    assert cluster.uplink is None
+    M = 32 * KB
+    done = cluster.sim.spawn(cluster.transmit(0, 4, M))
+    cluster.sim.run(until=done)
+    gt = cluster.ground_truth
+    # No uplink occupancy any more (latency stays: ground truth was rewritten).
+    expected = gt.send_cost(0, M) + gt.wire_time(0, 4, M)
+    assert cluster.sim.now == pytest.approx(expected, rel=1e-12)

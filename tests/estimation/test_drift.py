@@ -1,0 +1,107 @@
+"""Tests for drift detection and fault injection."""
+
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.estimation import DESEngine, estimate_extended_lmo
+from repro.estimation.drift import DriftReport, detect_model_drift, spot_check_pairs
+from repro.models import ExtendedLMOModel
+
+KB = 1024
+
+
+def fresh(n=8, seed=30):
+    gt = GroundTruth.random(n, seed=seed)
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=seed), ground_truth=gt,
+        profile=IDEAL, noise=NoiseModel.none(), seed=seed,
+    )
+    return cluster, ExtendedLMOModel.from_ground_truth(gt)
+
+
+# ------------------------------------------------------------- spot checks
+def test_spot_check_pairs_cover_every_node_twice():
+    pairs = spot_check_pairs(8)
+    touch: dict[int, int] = {}
+    for a, b in pairs:
+        touch[a] = touch.get(a, 0) + 1
+        touch[b] = touch.get(b, 0) + 1
+    assert set(touch) == set(range(8))
+    assert all(count >= 2 for count in touch.values())
+
+
+def test_spot_check_validation():
+    with pytest.raises(ValueError):
+        spot_check_pairs(1)
+    with pytest.raises(ValueError):
+        spot_check_pairs(8, coverage=0)
+
+
+# ---------------------------------------------------------------- detection
+def test_fresh_model_shows_no_drift():
+    cluster, model = fresh()
+    report = detect_model_drift(model, DESEngine(cluster), reps=1)
+    assert not report.drifted
+    assert report.worst_error < 0.05
+    assert report.drifted_nodes() == []
+
+
+def test_degraded_node_detected_and_localized():
+    cluster, model = fresh(seed=31)
+    cluster.degrade_node(3, factor=4.0)
+    report = detect_model_drift(model, DESEngine(cluster), reps=1)
+    assert report.drifted
+    assert 3 in report.drifted_nodes()
+    # The worst pair involves the degraded node.
+    assert 3 in report.worst_pair
+
+
+def test_mild_degradation_below_threshold_tolerated():
+    cluster, model = fresh(seed=32)
+    cluster.degrade_node(2, factor=1.05)
+    report = detect_model_drift(model, DESEngine(cluster), threshold=0.15, reps=1)
+    assert not report.drifted
+
+
+def test_reestimation_clears_drift():
+    cluster, _model = fresh(seed=33)
+    cluster.degrade_node(5, factor=3.0)
+    fresh_model = estimate_extended_lmo(DESEngine(cluster), reps=1, clamp=True).model
+    report = detect_model_drift(fresh_model, DESEngine(cluster), reps=1)
+    assert not report.drifted
+
+
+def test_report_accessors():
+    report = DriftReport(errors={(0, 1): 0.5, (2, 3): 0.01}, threshold=0.15,
+                         probe_nbytes=KB)
+    assert report.worst_pair == (0, 1)
+    assert report.worst_error == 0.5
+    assert report.drifted
+    assert report.drifted_nodes() == []  # single drifted pair: inconclusive
+
+
+def test_detect_validation():
+    cluster, model = fresh()
+    with pytest.raises(ValueError):
+        detect_model_drift(model, DESEngine(cluster), probe_nbytes=0)
+
+
+# ------------------------------------------------------------ fault injection
+def test_degrade_node_validation():
+    cluster, _model = fresh()
+    with pytest.raises(ValueError):
+        cluster.degrade_node(99, 2.0)
+    with pytest.raises(ValueError):
+        cluster.degrade_node(0, 0.0)
+
+
+def test_degrade_node_slows_transfers():
+    cluster, _model = fresh(seed=34)
+    before = cluster.ground_truth.p2p_time(3, 4, 32 * KB)
+    cluster.degrade_node(3, factor=2.0)
+    after = cluster.ground_truth.p2p_time(3, 4, 32 * KB)
+    assert after > before
+    # Pairs not involving node 3 are untouched.
+    assert cluster.ground_truth.p2p_time(1, 2, 32 * KB) == pytest.approx(
+        GroundTruth.random(8, seed=34).p2p_time(1, 2, 32 * KB)
+    )

@@ -1,0 +1,104 @@
+"""Tests for the DES and analytic experiment engines."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.estimation import AnalyticEngine, DESEngine
+from repro.estimation.experiments import one_to_two, roundtrip, saturation
+
+KB = 1024
+
+
+def make_engines(n=5, seed=0):
+    gt = GroundTruth.random(n, seed=seed)
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=seed), ground_truth=gt,
+        profile=IDEAL, noise=NoiseModel.none(), seed=seed,
+    )
+    return DESEngine(cluster), AnalyticEngine(gt), gt
+
+
+def test_analytic_roundtrip_matches_des():
+    des, ana, _gt = make_engines()
+    for exp in [roundtrip(0, 1, 0), roundtrip(0, 1, 8 * KB), roundtrip(2, 4, 64 * KB, 0)]:
+        assert ana.run(exp) == pytest.approx(des.run(exp), rel=1e-12)
+
+
+def test_analytic_one_to_two_upper_bounds_des():
+    """Eq. (9) assumes no overlap between the two replies' processing, so
+    the analytic value bounds the DES observation from above."""
+    des, ana, _gt = make_engines(seed=1)
+    for M in [0, 4 * KB, 32 * KB]:
+        exp = one_to_two(0, 1, 2, M, 0)
+        assert des.run(exp) <= ana.run(exp) + 1e-12
+
+
+def test_analytic_overheads():
+    _des, ana, gt = make_engines(seed=2)
+    from repro.estimation.experiments import overhead_recv, overhead_send
+
+    assert ana.run(overhead_send(1, 2, KB)) == pytest.approx(gt.send_cost(1, KB))
+    assert ana.run(overhead_recv(1, 2, KB)) == pytest.approx(gt.send_cost(2, KB))
+
+
+def test_analytic_saturation_close_to_des():
+    des, ana, _gt = make_engines(seed=3)
+    exp = saturation(0, 1, 16 * KB, 16)
+    assert ana.run(exp) == pytest.approx(des.run(exp), rel=0.1)
+
+
+def test_run_batch_requires_disjoint_nodes():
+    des, ana, _gt = make_engines()
+    overlapping = [roundtrip(0, 1, 0), roundtrip(1, 2, 0)]
+    with pytest.raises(ValueError, match="overlap"):
+        des.run_batch(overlapping)
+    with pytest.raises(ValueError, match="overlap"):
+        ana.run_batch(overlapping)
+
+
+def test_parallel_batch_gives_same_durations_as_serial():
+    """Disjoint experiments don't disturb each other through the switch —
+    the property the paper's parallel estimation relies on (DESIGN D5)."""
+    des, _ana, _gt = make_engines(n=5, seed=4)
+    exps = [roundtrip(0, 1, 16 * KB), roundtrip(2, 3, 16 * KB)]
+    serial = [des.run(exps[0]), des.run(exps[1])]
+    batch = des.run_batch(exps)
+    assert batch == pytest.approx(serial, rel=1e-12)
+
+
+def test_estimation_time_serial_sums_parallel_takes_max():
+    des, _ana, _gt = make_engines(n=5, seed=5)
+    exps = [roundtrip(0, 1, 16 * KB), roundtrip(2, 3, 16 * KB)]
+    durations = [des.run(exps[0]), des.run(exps[1])]
+    serial_cost = des.estimation_time
+    assert serial_cost == pytest.approx(sum(durations), rel=1e-9)
+
+    des2 = DESEngine(des.cluster)
+    des2.run_batch(exps)
+    assert des2.estimation_time == pytest.approx(max(durations), rel=1e-9)
+
+
+def test_analytic_estimation_time_accounting():
+    _des, ana, _gt = make_engines(seed=6)
+    d1 = ana.run(roundtrip(0, 1, KB))
+    assert ana.estimation_time == pytest.approx(d1)
+    batch = ana.run_batch([roundtrip(0, 1, KB), roundtrip(2, 3, KB)])
+    assert ana.estimation_time == pytest.approx(d1 + max(batch))
+
+
+def test_analytic_noise_perturbs_but_seed_reproduces():
+    gt = GroundTruth.random(4, seed=7)
+    noisy1 = AnalyticEngine(gt, noise=NoiseModel.default(), seed=1)
+    noisy1b = AnalyticEngine(gt, noise=NoiseModel.default(), seed=1)
+    noisy2 = AnalyticEngine(gt, noise=NoiseModel.default(), seed=2)
+    exp = roundtrip(0, 1, 8 * KB)
+    assert noisy1.run(exp) == noisy1b.run(exp)
+    assert noisy1.run(exp) != noisy2.run(exp)
+
+
+def test_des_collective_time_available():
+    des, _ana, _gt = make_engines(seed=8)
+    t = des.collective_time("scatter", "linear", 4 * KB)
+    assert t > 0
+    assert des.estimation_time >= t

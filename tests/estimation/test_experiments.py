@@ -1,0 +1,136 @@
+"""Tests for experiment descriptors and their DES rank programs."""
+
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.estimation.experiments import (
+    Experiment,
+    build_programs,
+    one_to_two,
+    overhead_recv,
+    overhead_send,
+    roundtrip,
+    saturation,
+)
+from repro.mpi import run_ranks
+
+KB = 1024
+
+
+def quiet_cluster(n=5, seed=0):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed),
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+
+
+def run_experiment(cluster, exp):
+    results = run_ranks(cluster, build_programs(exp))
+    return results[exp.initiator].value
+
+
+# ------------------------------------------------------------- descriptors
+def test_roundtrip_defaults_reply_to_send_size():
+    exp = roundtrip(0, 1, 4 * KB)
+    assert exp.reply_nbytes == 4 * KB
+    assert roundtrip(0, 1, 4 * KB, 0).reply_nbytes == 0
+
+
+def test_experiment_validation():
+    with pytest.raises(ValueError, match="distinct"):
+        Experiment("roundtrip", (1, 1), 0, 0)
+    with pytest.raises(ValueError, match="unknown"):
+        Experiment("telepathy", (0, 1), 0, 0)
+    with pytest.raises(ValueError, match="needs"):
+        Experiment("one_to_two", (0, 1), 0, 0)
+    with pytest.raises(ValueError, match="invalid"):
+        Experiment("roundtrip", (0, 1), -1, 0)
+
+
+def test_overlap_detection():
+    assert roundtrip(0, 1, 0).overlaps(one_to_two(1, 2, 3, 0))
+    assert not roundtrip(0, 1, 0).overlaps(one_to_two(2, 3, 4, 0))
+
+
+def test_overhead_recv_initiator_is_receiver():
+    exp = overhead_recv(0, 1, KB)  # message 0 -> 1, timed at 1
+    assert exp.initiator == 1
+
+
+def test_experiments_hashable_and_reconstructible():
+    assert roundtrip(0, 1, KB) == roundtrip(0, 1, KB)
+    assert len({roundtrip(0, 1, KB), roundtrip(0, 1, KB)}) == 1
+
+
+# ---------------------------------------------------------------- programs
+def test_roundtrip_program_measures_formula_time():
+    cluster = quiet_cluster()
+    gt = cluster.ground_truth
+    M = 8 * KB
+    duration = run_experiment(cluster, roundtrip(0, 1, M))
+    assert duration == pytest.approx(2 * gt.p2p_time(0, 1, M), rel=1e-12)
+
+
+def test_roundtrip_empty_measures_constant_part():
+    cluster = quiet_cluster()
+    gt = cluster.ground_truth
+    duration = run_experiment(cluster, roundtrip(2, 3, 0))
+    assert duration == pytest.approx(2 * (gt.C[2] + gt.L[2, 3] + gt.C[3]), rel=1e-12)
+
+
+def test_overhead_send_measures_sender_cpu():
+    cluster = quiet_cluster()
+    gt = cluster.ground_truth
+    M = 16 * KB
+    duration = run_experiment(cluster, overhead_send(0, 1, M))
+    assert duration == pytest.approx(gt.send_cost(0, M), rel=1e-12)
+
+
+def test_overhead_recv_measures_receiver_cpu():
+    cluster = quiet_cluster()
+    gt = cluster.ground_truth
+    M = 16 * KB
+    duration = run_experiment(cluster, overhead_recv(0, 1, M))
+    assert duration == pytest.approx(gt.send_cost(1, M), rel=1e-12)
+
+
+def test_saturation_total_grows_linearly_in_count():
+    cluster = quiet_cluster()
+    t8 = run_experiment(cluster, saturation(0, 1, 8 * KB, 8))
+    cluster.reset()
+    t16 = run_experiment(cluster, saturation(0, 1, 8 * KB, 16))
+    # Twice the messages: extra time = 8 * steady-state bottleneck > 0.
+    assert t16 > t8
+    gt = cluster.ground_truth
+    bottleneck = max(gt.send_cost(0, 8 * KB), 8 * KB / gt.beta[0, 1], gt.send_cost(1, 8 * KB))
+    assert t16 - t8 == pytest.approx(8 * bottleneck, rel=0.05)
+
+
+def test_one_to_two_program_structure():
+    """T_ijk(0) = 3 C_i + max-path constants on the quiet DES (the first
+    reply's processing overlaps the second's flight)."""
+    cluster = quiet_cluster()
+    gt = cluster.ground_truth
+    duration = run_experiment(cluster, one_to_two(0, 1, 2, 0, 0))
+    # Paths: reply x arrives at k_x*C_0 + 2 L_0x + 2 C_x (x sent k_x-th).
+    arrive_1 = 1 * gt.C[0] + 2 * gt.L[0, 1] + 2 * gt.C[1]
+    arrive_2 = 2 * gt.C[0] + 2 * gt.L[0, 2] + 2 * gt.C[2]
+    expected = max(arrive_2, arrive_1 + gt.C[0]) + gt.C[0]
+    assert duration == pytest.approx(expected, rel=1e-12)
+
+
+def test_one_to_two_between_paper_bounds():
+    """The measured one-to-two time lies between the fully-overlapped
+    lower bound and the paper's eq. (9) upper bound."""
+    cluster = quiet_cluster(n=6, seed=4)
+    gt = cluster.ground_truth
+    M = 32 * KB
+    duration = run_experiment(cluster, one_to_two(0, 1, 2, M, 0))
+    eq9 = 2 * (2 * gt.C[0] + M * gt.t[0]) + max(
+        2 * (gt.L[0, x] + gt.C[x]) + M * (1 / gt.beta[0, x] + gt.t[x]) for x in (1, 2)
+    )
+    lower = 2 * gt.send_cost(0, M)  # at least both send slots
+    assert lower < duration <= eq9 + 1e-12

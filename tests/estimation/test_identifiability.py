@@ -1,0 +1,98 @@
+"""The paper's central theoretical claim, as tests.
+
+Section I: "the parameters of such models cannot be estimated from only
+the point-to-point experiments".  Concretely: roundtrips observe only the
+sums ``C_i + L_ij + C_j`` and ``t_i + 1/beta_ij + t_j`` — many different
+(C, L) splits produce *identical* point-to-point times but *different*
+collective predictions.  The one-to-two experiments break the degeneracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GroundTruth
+from repro.estimation import AnalyticEngine, estimate_extended_lmo
+from repro.estimation.experiments import one_to_two, roundtrip
+from repro.models import ExtendedLMOModel, predict_linear_scatter
+
+KB = 1024
+
+
+def shifted_split(gt: GroundTruth, delta: float) -> ExtendedLMOModel:
+    """Move ``delta`` seconds from every L_ij into the C's (half each).
+
+    Keeps every sum ``C_i + L_ij + C_j`` — hence every p2p time — intact.
+    """
+    C = gt.C + delta / 2.0
+    L = gt.L - delta
+    np.fill_diagonal(L, 0.0)
+    return ExtendedLMOModel(C=C, t=gt.t.copy(), L=L, beta=gt.beta.copy())
+
+
+@pytest.fixture()
+def ground_truth():
+    return GroundTruth.random(6, seed=70, l_range=(40e-6, 60e-6))
+
+
+def test_different_splits_have_identical_p2p_times(ground_truth):
+    original = ExtendedLMOModel.from_ground_truth(ground_truth)
+    shifted = shifted_split(ground_truth, delta=20e-6)
+    for i, j in [(0, 1), (2, 5), (3, 4)]:
+        for m in (0, KB, 100 * KB):
+            assert shifted.p2p_time(i, j, m) == pytest.approx(
+                original.p2p_time(i, j, m), rel=1e-12
+            )
+
+
+def test_identical_p2p_but_different_collective_predictions(ground_truth):
+    """The degenerate splits disagree about collectives — so a p2p-only
+    estimator cannot predict collectives, no matter how it resolves the
+    degeneracy."""
+    original = ExtendedLMOModel.from_ground_truth(ground_truth)
+    shifted = shifted_split(ground_truth, delta=20e-6)
+    m = 16 * KB
+    t_original = predict_linear_scatter(original, m)
+    t_shifted = predict_linear_scatter(shifted, m)
+    # (n-1) serialized C_r slots amplify the split difference.
+    assert abs(t_shifted - t_original) > 3 * 10e-6
+
+
+def test_roundtrips_cannot_distinguish_the_splits(ground_truth):
+    """Both splits produce bit-identical roundtrip 'measurements'."""
+    engines = [
+        AnalyticEngine(GroundTruth(C=model.C, t=model.t, L=model.L, beta=model.beta))
+        for model in (
+            ExtendedLMOModel.from_ground_truth(ground_truth),
+            shifted_split(ground_truth, delta=20e-6),
+        )
+    ]
+    for i, j in [(0, 1), (2, 4)]:
+        for m in (0, 32 * KB):
+            exp = roundtrip(i, j, m)
+            assert engines[0].run(exp) == pytest.approx(engines[1].run(exp), rel=1e-12)
+
+
+def test_one_to_two_distinguishes_the_splits(ground_truth):
+    """The collective experiment separates the C's: the two splits give
+    different one-to-two times — identifiability restored."""
+    original = GroundTruth.random(6, seed=70, l_range=(40e-6, 60e-6))
+    shifted_model = shifted_split(original, delta=20e-6)
+    shifted_gt = GroundTruth(C=shifted_model.C, t=shifted_model.t,
+                             L=shifted_model.L, beta=shifted_model.beta)
+    exp = one_to_two(0, 1, 2, 0, 0)
+    t_original = AnalyticEngine(original).run(exp)
+    t_shifted = AnalyticEngine(shifted_gt).run(exp)
+    # T_ijk(0) = 4 C_i + max(...): the extra C_i shows up.
+    assert abs(t_shifted - t_original) > 5e-6
+
+
+def test_estimator_recovers_whichever_split_is_real(ground_truth):
+    """Run the full estimation against both 'hardwares': it identifies
+    each one's true split, not just the sums."""
+    shifted_model = shifted_split(ground_truth, delta=20e-6)
+    shifted_gt = GroundTruth(C=shifted_model.C, t=shifted_model.t,
+                             L=shifted_model.L, beta=shifted_model.beta)
+    for gt in (ground_truth, shifted_gt):
+        estimated = estimate_extended_lmo(AnalyticEngine(gt), reps=1).model
+        assert np.allclose(estimated.C, gt.C, rtol=1e-9, atol=1e-15)
+        assert np.allclose(estimated.L, gt.L, rtol=1e-9, atol=1e-15)

@@ -1,0 +1,127 @@
+"""Tests: one-way-series Hockney estimation and probe sensitivity."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.estimation import AnalyticEngine, DESEngine, estimate_heterogeneous_hockney
+from repro.estimation.hockney_est import estimate_hockney_series
+from repro.estimation.lmo_est import estimate_extended_lmo
+from repro.estimation.sensitivity import probe_sensitivity
+from repro.stats import MeasurementPolicy
+
+KB = 1024
+
+
+def make_cluster(n=6, seed=80, noise=None):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed),
+        profile=IDEAL,
+        noise=noise if noise is not None else NoiseModel.none(),
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------- series design
+def test_series_estimation_matches_two_point_design():
+    cluster = make_cluster()
+    two_point = estimate_heterogeneous_hockney(DESEngine(cluster), reps=1).model
+    series = estimate_hockney_series(DESEngine(cluster), reps=1).model
+    assert np.allclose(series.alpha, two_point.alpha, rtol=1e-6)
+    assert np.allclose(series.beta, two_point.beta, rtol=1e-6)
+
+
+def test_series_estimation_recovers_ground_truth():
+    cluster = make_cluster(seed=81)
+    gt = cluster.ground_truth
+    model = estimate_hockney_series(DESEngine(cluster), reps=1).model
+    mask = ~np.eye(gt.n, dtype=bool)
+    assert np.allclose(model.alpha[mask], gt.hockney_alpha()[mask], rtol=1e-9)
+    assert np.allclose(model.beta[mask], gt.hockney_beta()[mask], rtol=1e-9)
+
+
+def test_series_estimation_robust_to_one_noisy_size():
+    """With noise, the 6-point fit beats the 2-point design on average."""
+    gt = GroundTruth.random(4, seed=82)
+    noise = NoiseModel(rel_sigma=0.05, spike_prob=0.0)
+
+    def beta_error(estimator, seed):
+        engine = AnalyticEngine(gt, noise=noise, seed=seed)
+        model = estimator(engine)
+        mask = ~np.eye(4, dtype=bool)
+        return np.abs(model.beta[mask] / gt.hockney_beta()[mask] - 1).mean()
+
+    two_point = np.mean([
+        beta_error(lambda e: estimate_heterogeneous_hockney(e, reps=1).model, s)
+        for s in range(8)
+    ])
+    series = np.mean([
+        beta_error(lambda e: estimate_hockney_series(e, reps=1).model, s)
+        for s in range(8)
+    ])
+    assert series < two_point
+
+
+def test_series_validation():
+    cluster = make_cluster(seed=83)
+    with pytest.raises(ValueError, match="two series sizes"):
+        estimate_hockney_series(DESEngine(cluster), sizes=[1024])
+
+
+# ------------------------------------------------------------ adaptive policy
+def test_lmo_estimation_with_policy_matches_fixed_reps_on_quiet_cluster():
+    gt = GroundTruth.random(5, seed=84)
+    fixed = estimate_extended_lmo(AnalyticEngine(gt), reps=1).model
+    adaptive = estimate_extended_lmo(
+        AnalyticEngine(gt), policy=MeasurementPolicy(min_reps=3, max_reps=10)
+    ).model
+    assert np.allclose(fixed.C, adaptive.C, rtol=1e-9)
+
+
+def test_lmo_estimation_with_policy_on_noisy_des():
+    cluster = make_cluster(seed=85, noise=NoiseModel(rel_sigma=0.01, spike_prob=0))
+    gt = cluster.ground_truth
+    model = estimate_extended_lmo(
+        DESEngine(cluster),
+        policy=MeasurementPolicy(min_reps=5, max_reps=30),
+        clamp=True,
+    ).model
+    assert model.p2p_time(0, 1, 32 * KB) == pytest.approx(
+        gt.p2p_time(0, 1, 32 * KB), rel=0.1
+    )
+
+
+# ----------------------------------------------------------------- sensitivity
+def test_probe_sensitivity_stable_on_quiet_cluster():
+    gt = GroundTruth.random(5, seed=86)
+    report = probe_sensitivity(
+        lambda: AnalyticEngine(gt), probes=(4 * KB, 16 * KB, 48 * KB), reps=1
+    )
+    assert report.stable
+    assert report.variation["t"] < 1e-6
+    assert report.recommended_probe() in report.probes
+
+
+def test_probe_sensitivity_flags_noisy_small_probes():
+    """With noise, tiny probes make the per-byte estimates jump around —
+    the variation report shows larger probes are safer."""
+    gt = GroundTruth.random(5, seed=87)
+    noise = NoiseModel(rel_sigma=0.03, spike_prob=0.0)
+    seeds = iter(range(100))
+
+    report = probe_sensitivity(
+        lambda: AnalyticEngine(gt, noise=noise, seed=next(seeds)),
+        probes=(256, 64 * KB),
+        reps=1,
+    )
+    # The t estimates cannot agree across such different probes under
+    # noise: variation blows past the stability threshold.
+    assert report.variation["t"] > 0.10
+    assert not report.stable
+
+
+def test_probe_sensitivity_validation():
+    gt = GroundTruth.random(4, seed=88)
+    with pytest.raises(ValueError):
+        probe_sensitivity(lambda: AnalyticEngine(gt), probes=(KB,))

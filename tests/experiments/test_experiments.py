@@ -1,0 +1,82 @@
+"""Integration tests: every reproduced table/figure passes its shape checks.
+
+These run the real pipeline end to end (estimate models on the simulated
+cluster, measure collectives, compare predictions) in quick mode.  The
+model suite is estimated once per session (module-level cache in
+``repro.experiments.common``).
+"""
+
+import io
+
+import pytest
+
+from repro.experiments import ALL_EXPERIMENTS, run_experiment
+from repro.experiments.common import KB, ExperimentResult, Series
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_experiment_shape_checks_pass(experiment_id):
+    result = run_experiment(experiment_id, quick=True)
+    failed = [name for name, ok in result.checks.items() if not ok]
+    assert not failed, f"{experiment_id} failed checks: {failed}"
+    assert result.checks, f"{experiment_id} defines no checks"
+
+
+def test_unknown_experiment_rejected():
+    with pytest.raises(KeyError, match="available"):
+        run_experiment("fig99")
+
+
+def test_render_contains_title_and_checks():
+    result = run_experiment("fig2")
+    text = result.render()
+    assert "fig2" in text
+    assert "[PASS]" in text
+
+
+def test_series_helpers():
+    s = Series("x", (KB, 2 * KB), (1.0, 2.0))
+    ref = Series("ref", (KB, 2 * KB), (2.0, 2.0))
+    assert s.at(KB) == 1.0
+    assert s.mean_relative_error(ref) == pytest.approx(0.25)
+    with pytest.raises(ValueError):
+        Series("bad", (1,), (1.0, 2.0))
+    with pytest.raises(KeyError):
+        ExperimentResult("id", "t").get("nope")
+
+
+def test_report_generation_quick():
+    from repro.experiments.report import generate_report
+
+    buffer = io.StringIO()
+    ok = generate_report(quick=True, stream=buffer)
+    text = buffer.getvalue()
+    assert ok, "some experiment checks failed in the report"
+    assert "# EXPERIMENTS" in text
+    for experiment_id in ALL_EXPERIMENTS:
+        assert f"## {experiment_id}:" in text
+    assert "ALL SHAPE CHECKS PASS" in text
+
+
+def test_csv_export_of_a_numeric_experiment():
+    result = run_experiment("fig1", quick=True)
+    csv = result.to_csv()
+    lines = csv.strip().splitlines()
+    assert lines[0].startswith("nbytes,observed")
+    assert len(lines) == 1 + len(result.series[0].sizes)
+    first = lines[1].split(",")
+    assert int(first[0]) == result.series[0].sizes[0]
+    assert float(first[1]) == result.series[0].values[0]
+
+
+def test_csv_export_empty_for_structural_experiment():
+    assert run_experiment("fig2").to_csv() == ""
+
+
+def test_checks_hold_at_a_second_seed():
+    """Robustness: the headline figures' shape checks are not a
+    seed-0 artifact."""
+    for experiment_id in ("fig4", "fig6"):
+        result = run_experiment(experiment_id, quick=True, seed=1)
+        failed = [name for name, ok in result.checks.items() if not ok]
+        assert not failed, f"{experiment_id}@seed1 failed: {failed}"

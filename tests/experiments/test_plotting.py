@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.experiments.common import Series
+from repro.experiments.plotting import SYMBOLS, ascii_chart
+
+KB = 1024
+
+
+def make_series():
+    sizes = tuple(KB * m for m in (1, 2, 4, 8))
+    a = Series("a", sizes, (0.001, 0.002, 0.004, 0.008))
+    b = Series("b", sizes, (0.002, 0.004, 0.008, 0.016))
+    return a, b
+
+
+def test_chart_contains_symbols_and_legend():
+    a, b = make_series()
+    text = ascii_chart([a, b], title="demo")
+    assert text.startswith("demo")
+    assert "o=a" in text and "x=b" in text
+    assert "1K" in text and "8K" in text
+    # The max value labels the top of the y axis (in ms).
+    assert "16.00" in text
+
+
+def test_earlier_series_wins_overlaps():
+    sizes = (KB, 2 * KB)
+    a = Series("front", sizes, (0.001, 0.001))
+    b = Series("back", sizes, (0.001, 0.001))  # identical points
+    text = ascii_chart([a, b])
+    assert "o" in text
+    # 'x' only appears in the legend, never on the canvas.
+    canvas = "\n".join(line for line in text.splitlines() if "legend" not in line)
+    assert "x" not in canvas
+
+
+def test_chart_validation():
+    a, b = make_series()
+    with pytest.raises(ValueError, match="nothing to plot"):
+        ascii_chart([])
+    with pytest.raises(ValueError, match="legible"):
+        ascii_chart([a], width=5)
+    with pytest.raises(ValueError, match="share the size grid"):
+        ascii_chart([a, Series("c", (1, 2), (0.1, 0.2))])
+    too_many = [Series(f"s{i}", a.sizes, a.values) for i in range(len(SYMBOLS) + 1)]
+    with pytest.raises(ValueError, match="at most"):
+        ascii_chart(too_many)
+    zero = Series("z", a.sizes, (0.0,) * 4)
+    with pytest.raises(ValueError, match="positive"):
+        ascii_chart([zero])
+
+
+def test_chart_handles_single_point_grid():
+    s = Series("only", (KB,), (0.005,))
+    text = ascii_chart([s])
+    assert "o" in text
+
+
+def test_report_embeds_charts():
+    import io
+
+    from repro.experiments.report import generate_report
+
+    buffer = io.StringIO()
+    generate_report(quick=True, stream=buffer)
+    text = buffer.getvalue()
+    assert "legend: o=observed" in text  # fig1's chart made it in

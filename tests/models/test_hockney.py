@@ -1,0 +1,67 @@
+"""Tests for the Hockney model family."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GroundTruth
+from repro.models import HeterogeneousHockneyModel, HockneyModel
+
+
+def test_homogeneous_p2p_formula():
+    model = HockneyModel(alpha=50e-6, beta=8e-8, n=4)
+    assert model.p2p_time(0, 1, 1000) == pytest.approx(50e-6 + 8e-8 * 1000)
+
+
+def test_homogeneous_ignores_pair():
+    model = HockneyModel(alpha=50e-6, beta=8e-8, n=8)
+    assert model.p2p_time(0, 1, 500) == model.p2p_time(6, 3, 500)
+
+
+def test_homogeneous_validation():
+    with pytest.raises(ValueError):
+        HockneyModel(alpha=-1e-6, beta=8e-8, n=4)
+    with pytest.raises(ValueError):
+        HockneyModel(alpha=1e-6, beta=8e-8, n=1)
+    model = HockneyModel(alpha=1e-6, beta=8e-8, n=4)
+    with pytest.raises(ValueError):
+        model.p2p_time(0, 9, 100)
+    with pytest.raises(ValueError):
+        model.p2p_time(0, 1, -5)
+
+
+def test_heterogeneous_p2p_uses_pair_parameters():
+    gt = GroundTruth.random(5, seed=1)
+    model = HeterogeneousHockneyModel.from_ground_truth(gt)
+    assert model.p2p_time(0, 3, 2048) == pytest.approx(gt.p2p_time(0, 3, 2048))
+    assert model.p2p_time(0, 3, 2048) != model.p2p_time(1, 2, 2048)
+
+
+def test_from_ground_truth_is_exact_view():
+    """alpha_ij = C_i + L_ij + C_j and beta_ij = t_i + 1/b_ij + t_j."""
+    gt = GroundTruth.random(4, seed=2)
+    model = HeterogeneousHockneyModel.from_ground_truth(gt)
+    assert model.alpha[1, 2] == pytest.approx(gt.C[1] + gt.L[1, 2] + gt.C[2])
+    assert model.beta[1, 2] == pytest.approx(gt.t[1] + 1 / gt.beta[1, 2] + gt.t[2])
+
+
+def test_averaged_collapses_to_homogeneous():
+    gt = GroundTruth.random(6, seed=3)
+    het = HeterogeneousHockneyModel.from_ground_truth(gt)
+    hom = het.averaged()
+    off = ~np.eye(6, dtype=bool)
+    assert hom.n == 6
+    assert hom.alpha == pytest.approx(het.alpha[off].mean())
+    assert hom.beta == pytest.approx(het.beta[off].mean())
+    # Averaging bounds: the homogeneous prediction lies within the
+    # heterogeneous extremes for any message size.
+    for M in [0, 10_000]:
+        times = [het.p2p_time(i, j, M) for i in range(6) for j in range(6) if i != j]
+        assert min(times) <= hom.p2p_time(0, 1, M) <= max(times)
+
+
+def test_heterogeneous_validation():
+    with pytest.raises(ValueError):
+        HeterogeneousHockneyModel(np.zeros((3, 2)), np.zeros((3, 2)))
+    alpha = np.full((3, 3), -1.0)
+    with pytest.raises(ValueError):
+        HeterogeneousHockneyModel(alpha, np.zeros((3, 3)))

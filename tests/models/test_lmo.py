@@ -1,0 +1,130 @@
+"""Tests for the original and extended LMO models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import GroundTruth
+from repro.models import (
+    ExtendedLMOModel,
+    GatherIrregularity,
+    LMOModel,
+)
+
+KB = 1024
+
+
+def make_extended(n=5, seed=0):
+    return ExtendedLMOModel.from_ground_truth(GroundTruth.random(n, seed=seed))
+
+
+def test_extended_p2p_formula():
+    model = make_extended()
+    M = 10 * KB
+    expected = (
+        model.C[0] + model.L[0, 3] + model.C[3]
+        + M * (model.t[0] + 1 / model.beta[0, 3] + model.t[3])
+    )
+    assert model.p2p_time(0, 3, M) == pytest.approx(expected)
+
+
+def test_extended_p2p_symmetric_for_symmetric_links():
+    """T_ij(M) == T_ji(M): both directions cross the same switch."""
+    model = make_extended()
+    assert model.p2p_time(1, 4, 5000) == pytest.approx(model.p2p_time(4, 1, 5000))
+
+
+def test_send_cost_and_wire_cost_partition_p2p_time():
+    """C_i + M t_i (serial) + L + M/b + C_j + M t_j (parallel) = T_ij(M)."""
+    model = make_extended()
+    M = 30 * KB
+    total = model.send_cost(0, M) + model.wire_and_remote_cost(0, 2, M)
+    assert total == pytest.approx(model.p2p_time(0, 2, M))
+
+
+def test_to_heterogeneous_hockney_preserves_p2p_times():
+    """Paper Sec. III: the LMO parameters regroup into Hockney's."""
+    model = make_extended(6, seed=2)
+    hockney = model.to_heterogeneous_hockney()
+    for i, j in [(0, 1), (2, 5), (4, 3)]:
+        for M in [0, KB, 100 * KB]:
+            assert hockney.p2p_time(i, j, M) == pytest.approx(model.p2p_time(i, j, M))
+
+
+def test_original_lmo_folds_latency_into_delays():
+    model = make_extended(4, seed=3)
+    original = model.to_original_lmo()
+    assert isinstance(original, LMOModel)
+    # The variable part is untouched...
+    assert np.allclose(original.t, model.t)
+    assert np.allclose(original.beta, model.beta)
+    # ... and fixed delays absorbed roughly the per-node half-latency, so
+    # p2p estimates agree up to link-latency spread.
+    spread = np.ptp(model.L[~np.eye(4, dtype=bool)])
+    diff = abs(original.p2p_time(0, 1, 0) - model.p2p_time(0, 1, 0))
+    assert diff <= 2 * spread + 1e-12
+
+
+def test_original_lmo_p2p_formula():
+    model = LMOModel(
+        C=np.array([10e-6, 20e-6]),
+        t=np.array([1e-9, 2e-9]),
+        beta=np.array([[np.inf, 1e7], [1e7, np.inf]]),
+    )
+    M = 1000
+    assert model.p2p_time(0, 1, M) == pytest.approx(30e-6 + M * (3e-9 + 1e-7))
+
+
+def test_validation_rejects_bad_shapes_and_values():
+    gt = GroundTruth.random(3, seed=4)
+    with pytest.raises(ValueError):
+        ExtendedLMOModel(gt.C[:2], gt.t, gt.L, gt.beta)
+    L = gt.L.copy()
+    L[0, 1] *= 2  # asymmetric
+    with pytest.raises(ValueError):
+        ExtendedLMOModel(gt.C, gt.t, L, gt.beta)
+    C = gt.C.copy()
+    C[0] = -1.0
+    with pytest.raises(ValueError):
+        ExtendedLMOModel(C, gt.t, gt.L, gt.beta)
+
+
+# ------------------------------------------------------ gather irregularity
+def test_irregularity_regimes():
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB)
+    assert irr.regime(1 * KB) == "small"
+    assert irr.regime(30 * KB) == "medium"
+    assert irr.regime(100 * KB) == "large"
+
+
+def test_irregularity_probability_grows_with_size():
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB, p_at_m1=0.0, p_at_m2=0.8)
+    assert irr.escalation_probability(2 * KB) == 0.0
+    p_mid = irr.escalation_probability(30 * KB)
+    p_high = irr.escalation_probability(60 * KB)
+    assert 0 < p_mid < p_high <= 0.8
+    assert irr.escalation_probability(100 * KB) == 0.0  # paced regime
+
+
+def test_irregularity_validation():
+    with pytest.raises(ValueError):
+        GatherIrregularity(m1=10.0, m2=5.0)
+    with pytest.raises(ValueError):
+        GatherIrregularity(m1=1.0, m2=2.0, p_at_m1=0.9, p_at_m2=0.1)
+
+
+def test_with_irregularity_returns_annotated_copy():
+    model = make_extended()
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB)
+    annotated = model.with_irregularity(irr)
+    assert annotated.gather_irregularity is irr
+    assert model.gather_irregularity is None
+    assert np.array_equal(annotated.C, model.C)
+
+
+@settings(max_examples=25, deadline=None)
+@given(n=st.integers(2, 10), seed=st.integers(0, 500), m=st.integers(0, 1 << 20))
+def test_p2p_time_monotone_in_message_size(n, seed, m):
+    model = ExtendedLMOModel.from_ground_truth(GroundTruth.random(n, seed=seed))
+    assert model.p2p_time(0, n - 1, m + 1) > model.p2p_time(0, n - 1, m) - 1e-18

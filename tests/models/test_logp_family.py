@@ -1,0 +1,118 @@
+"""Tests for LogP, LogGP and PLogP models."""
+
+import pytest
+
+from repro.models import LogGPModel, LogPModel, PiecewiseLinear, PLogPModel
+
+
+# --------------------------------------------------------------------- LogP
+def test_logp_small_message_is_L_plus_2o():
+    model = LogPModel(L=30e-6, o=10e-6, g=12e-6, P=8)
+    assert model.p2p_time(0, 1, 100) == pytest.approx(30e-6 + 2 * 10e-6)
+
+
+def test_logp_large_message_pays_gap_per_packet():
+    model = LogPModel(L=30e-6, o=10e-6, g=12e-6, P=8, packet_bytes=1500)
+    t = model.p2p_time(0, 1, 6000)  # 4 packets
+    assert t == pytest.approx(30e-6 + 20e-6 + 3 * 12e-6)
+
+
+def test_logp_packets_and_bandwidth():
+    model = LogPModel(L=30e-6, o=10e-6, g=12e-6, P=8, packet_bytes=1000)
+    assert model.packets(0) == 1
+    assert model.packets(1) == 1
+    assert model.packets(1000) == 1
+    assert model.packets(1001) == 2
+    assert model.bandwidth() == pytest.approx(1000 / 12e-6)
+
+
+def test_logp_validation():
+    with pytest.raises(ValueError):
+        LogPModel(L=-1.0, o=1e-6, g=1e-6, P=4)
+    with pytest.raises(ValueError):
+        LogPModel(L=1e-6, o=1e-6, g=1e-6, P=1)
+    with pytest.raises(ValueError):
+        LogPModel(L=1e-6, o=1e-6, g=1e-6, P=4, packet_bytes=0)
+
+
+# -------------------------------------------------------------------- LogGP
+def test_loggp_p2p_formula():
+    model = LogGPModel(L=30e-6, o=10e-6, g=15e-6, G=8e-8, P=8)
+    M = 10_000
+    assert model.p2p_time(0, 1, M) == pytest.approx(30e-6 + 20e-6 + (M - 1) * 8e-8)
+
+
+def test_loggp_zero_bytes():
+    model = LogGPModel(L=30e-6, o=10e-6, g=15e-6, G=8e-8, P=8)
+    assert model.p2p_time(0, 1, 0) == pytest.approx(50e-6)
+
+
+def test_loggp_message_train():
+    model = LogGPModel(L=30e-6, o=10e-6, g=15e-6, G=8e-8, P=8)
+    single = model.p2p_time(0, 1, 1000)
+    assert model.message_train_time(1000, 4) == pytest.approx(single + 3 * 15e-6)
+    with pytest.raises(ValueError):
+        model.message_train_time(1000, 0)
+
+
+def test_loggp_bandwidth_is_inverse_G():
+    model = LogGPModel(L=0, o=0, g=0, G=8e-8, P=4)
+    assert model.bandwidth() == pytest.approx(1 / 8e-8)
+
+
+# -------------------------------------------------------------------- PLogP
+def test_piecewise_linear_interpolates():
+    f = PiecewiseLinear((0.0, 10.0, 20.0), (0.0, 100.0, 110.0))
+    assert f(0) == 0
+    assert f(5) == pytest.approx(50.0)
+    assert f(10) == pytest.approx(100.0)
+    assert f(15) == pytest.approx(105.0)
+
+
+def test_piecewise_linear_extrapolates_end_segments():
+    f = PiecewiseLinear((10.0, 20.0), (100.0, 110.0))
+    assert f(30) == pytest.approx(120.0)
+    assert f(0) == pytest.approx(90.0)
+
+
+def test_piecewise_linear_single_point_is_constant():
+    f = PiecewiseLinear((5.0,), (42.0,))
+    assert f(0) == f(5) == f(1e9) == 42.0
+
+
+def test_piecewise_linear_from_samples_sorts_and_dedups():
+    f = PiecewiseLinear.from_samples([(10, 1.0), (0, 0.0), (10, 2.0)])
+    assert f.breakpoints() == [(0.0, 0.0), (10.0, 2.0)]
+
+
+def test_piecewise_linear_validation():
+    with pytest.raises(ValueError):
+        PiecewiseLinear((), ())
+    with pytest.raises(ValueError):
+        PiecewiseLinear((0.0, 0.0), (1.0, 2.0))
+
+
+def make_plogp(P=8):
+    g = PiecewiseLinear((0.0, 1024.0, 65536.0), (40e-6, 120e-6, 5.3e-3))
+    o_s = PiecewiseLinear((0.0, 65536.0), (10e-6, 400e-6))
+    o_r = PiecewiseLinear((0.0, 65536.0), (12e-6, 420e-6))
+    return PLogPModel(L=35e-6, o_s=o_s, o_r=o_r, g=g, P=P)
+
+
+def test_plogp_p2p_is_L_plus_gap():
+    model = make_plogp()
+    assert model.p2p_time(0, 1, 1024) == pytest.approx(35e-6 + 120e-6)
+
+
+def test_plogp_gap_covers_overheads():
+    model = make_plogp()
+    assert model.gap_covers_overheads(0)
+    assert model.gap_covers_overheads(65536)
+
+
+def test_plogp_validation():
+    f = PiecewiseLinear((0.0,), (1.0,))
+    with pytest.raises(ValueError):
+        PLogPModel(L=-1.0, o_s=f, o_r=f, g=f, P=4)
+    with pytest.raises(ValueError):
+        PLogPModel(L=1e-6, o_s=f, o_r=f, g=f, P=1)

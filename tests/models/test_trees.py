@@ -1,0 +1,135 @@
+"""Tests for communication trees (paper Fig. 2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.models.collectives.trees import CommTree, binomial_tree, flat_tree
+
+
+def test_fig2_structure_16_nodes():
+    """Root 0's children get 8, 4, 2, 1 blocks; node 8's get 4, 2, 1."""
+    tree = binomial_tree(16, 0)
+    assert tree.children[0] == ((8, 8), (4, 4), (2, 2), (1, 1))
+    assert tree.children[8] == ((12, 4), (10, 2), (9, 1))
+    assert tree.children[12] == ((14, 2), (13, 1))
+    assert tree.children[14] == ((15, 1),)
+    assert tree.children[15] == ()
+
+
+def test_fig2_depth_is_log2_n():
+    assert binomial_tree(16, 0).depth() == 4
+    assert binomial_tree(8, 0).depth() == 3
+    assert binomial_tree(2, 0).depth() == 1
+
+
+def test_blocks_into_matches_subtree_size():
+    tree = binomial_tree(16, 0)
+    for rank in range(16):
+        assert tree.blocks_into(rank) == len(tree.subtree_ranks(rank)) or rank == 0
+    assert tree.blocks_into(0) == 16
+
+
+def test_subtrees_of_same_order_are_disjoint():
+    """Paper: 'the sub-trees of the same order represent non-overlapping
+    sets of processors'."""
+    tree = binomial_tree(16, 0)
+    s0 = set(tree.subtree_ranks(8))
+    s1 = set(tree.subtree_ranks(4))
+    s2 = set(tree.subtree_ranks(2))
+    assert s0 & s1 == set() and s0 & s2 == set() and s1 & s2 == set()
+    assert s0 == {8, 9, 10, 11, 12, 13, 14, 15}
+
+
+def test_rotation_for_nonzero_root():
+    tree = binomial_tree(16, root=3)
+    assert tree.root == 3
+    assert tree.parent[3] is None
+    # Virtual child 8 maps to rank (8+3) % 16 = 11.
+    assert tree.children[3][0] == (11, 8)
+
+
+def test_non_power_of_two_sizes():
+    tree = binomial_tree(6, 0)
+    # Top-level arcs out of the root move every non-root block exactly once.
+    assert sum(b for _c, b in tree.children[0]) == 5
+    assert sorted(tree.subtree_ranks(0)) == list(range(6))
+
+
+def test_single_node_tree():
+    tree = binomial_tree(1, 0)
+    assert tree.children[0] == ()
+    assert tree.depth() == 0
+
+
+def test_flat_tree_structure():
+    tree = flat_tree(5, root=2)
+    assert tree.children[2] == ((3, 1), (4, 1), (0, 1), (1, 1))
+    assert all(tree.parent[r] == 2 for r in [0, 1, 3, 4])
+    assert tree.depth() == 1
+
+
+def test_arcs_parents_before_children():
+    tree = binomial_tree(16, 0)
+    seen = {0}
+    for parent, child, _blocks in tree.arcs():
+        assert parent in seen
+        seen.add(child)
+    assert seen == set(range(16))
+
+
+def test_remap_applies_permutation():
+    tree = binomial_tree(4, 0)
+    perm = [2, 3, 0, 1]  # tree node v becomes rank perm[v]
+    mapped = tree.remap(perm)
+    assert mapped.root == 2
+    assert mapped.children[2] == ((0, 2), (3, 1))
+    assert mapped.parent[0] == 2
+
+
+def test_remap_identity_is_noop():
+    tree = binomial_tree(8, 0)
+    same = tree.remap(list(range(8)))
+    assert same == tree
+
+
+def test_remap_rejects_non_permutation():
+    tree = binomial_tree(4, 0)
+    with pytest.raises(ValueError):
+        tree.remap([0, 0, 1, 2])
+
+
+def test_invalid_trees_rejected():
+    with pytest.raises(ValueError):
+        binomial_tree(0)
+    with pytest.raises(ValueError):
+        binomial_tree(4, root=7)
+    with pytest.raises(ValueError, match="root must have no parent"):
+        CommTree(2, 0, (1, 0), (((1, 1),), ()))
+
+
+def test_render_ascii_mentions_all_ranks():
+    text = binomial_tree(16, 0).render_ascii()
+    for rank in range(16):
+        assert str(rank) in text
+    assert "[8 blocks]" in text
+
+
+@settings(max_examples=40, deadline=None)
+@given(n=st.integers(1, 64), root_frac=st.floats(0, 0.999))
+def test_binomial_tree_invariants(n, root_frac):
+    root = int(n * root_frac)
+    tree = binomial_tree(n, root)
+    # Spans all ranks exactly once.
+    assert sorted(tree.subtree_ranks(root)) == list(range(n))
+    # Total blocks moved equals n-1 (each non-root block crosses into its
+    # owner's sub-tree exactly once at the top).
+    arcs = list(tree.arcs())
+    assert sum(1 for _p, c, _b in arcs) == n - 1
+    # Every arc's block count equals the child's sub-tree size.
+    for _p, child, blocks in arcs:
+        assert blocks == len(tree.subtree_ranks(child))
+    # Depth never exceeds the number of rounds, ceil(log2(n)).
+    assert tree.depth() <= (n - 1).bit_length()
+    # The root's top-level arcs move every non-root block exactly once.
+    assert sum(b for _c, b in tree.children[root]) == n - 1

@@ -1,0 +1,124 @@
+"""Tests for pipeline bcast and recursive-doubling collectives."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.mpi import run_collective
+
+KB = 1024
+
+
+def quiet_cluster(n=8, seed=0):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed),
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+
+
+# ------------------------------------------------------------ pipeline bcast
+def test_pipeline_bcast_delivers_payload_to_everyone():
+    cluster = quiet_cluster(n=6)
+    payload = np.arange(64, dtype=np.uint8)
+    run = run_collective(cluster, "bcast", "pipeline", nbytes=64, root=2, data=payload)
+    for rank in range(6):
+        assert (np.asarray(run.value(rank)) == payload).all()
+
+
+def test_pipeline_bcast_beats_linear_for_large_messages():
+    """Once the pipe fills, every link streams concurrently: the chain
+    beats the root-serialized linear broadcast for big payloads."""
+    cluster = quiet_cluster(n=8, seed=1)
+    M = 256 * KB
+    t_linear = run_collective(cluster, "bcast", "linear", nbytes=M).time
+    t_pipeline = run_collective(
+        cluster, "bcast", "pipeline", nbytes=M, segment_nbytes=16 * KB
+    ).time
+    assert t_pipeline < t_linear
+
+
+def test_pipeline_bcast_segment_tradeoff():
+    """Tiny segments pay per-segment constants; huge segments lose the
+    overlap — a middle segment size beats both extremes."""
+    cluster = quiet_cluster(n=8, seed=2)
+    M = 128 * KB
+    times = {
+        seg: run_collective(cluster, "bcast", "pipeline", nbytes=M,
+                            segment_nbytes=seg).time
+        for seg in (256, 16 * KB, M)
+    }
+    assert times[16 * KB] < times[256]
+    assert times[16 * KB] < times[M]
+
+
+def test_pipeline_bcast_zero_bytes_and_validation():
+    cluster = quiet_cluster(n=4, seed=3)
+    run = run_collective(cluster, "bcast", "pipeline", nbytes=0)
+    assert run.time > 0  # constants only
+    with pytest.raises(Exception, match="segment"):
+        run_collective(cluster, "bcast", "pipeline", nbytes=64, segment_nbytes=0)
+
+
+# ------------------------------------------------- recursive doubling allgather
+def test_rd_allgather_everyone_gets_everything():
+    cluster = quiet_cluster(n=8, seed=4)
+    data = [np.full(4, rank, dtype=np.uint8) for rank in range(8)]
+    run = run_collective(cluster, "allgather", "recursive_doubling", nbytes=4, data=data)
+    for rank in range(8):
+        blocks = run.value(rank)
+        for src, block in enumerate(blocks):
+            assert (np.asarray(block) == src).all()
+
+
+def test_rd_allgather_fewer_rounds_than_ring_for_small_blocks():
+    """log2(n) rounds vs n-1 ring steps: latency-bound sizes favour it."""
+    cluster = quiet_cluster(n=8, seed=5)
+    t_rd = run_collective(cluster, "allgather", "recursive_doubling", nbytes=64).time
+    t_ring = run_collective(cluster, "allgather", "ring", nbytes=64).time
+    assert t_rd < t_ring
+
+
+def test_rd_allgather_requires_power_of_two():
+    cluster = quiet_cluster(n=6, seed=6)
+    with pytest.raises(Exception, match="power-of-two"):
+        run_collective(cluster, "allgather", "recursive_doubling", nbytes=64)
+
+
+# ------------------------------------------------------------------ allreduce
+@pytest.mark.parametrize("algorithm", ["recursive_doubling", "reduce_bcast"])
+def test_allreduce_combines_on_every_rank(algorithm):
+    cluster = quiet_cluster(n=8, seed=7)
+    data = [rank + 1 for rank in range(8)]
+    run = run_collective(
+        cluster, "allreduce", algorithm, nbytes=8, data=data,
+        combine=lambda a, b: (a or 0) + (b or 0),
+    )
+    for rank in range(8):
+        assert run.value(rank) == sum(data)
+
+
+def test_rd_allreduce_requires_power_of_two():
+    cluster = quiet_cluster(n=5, seed=8)
+    with pytest.raises(Exception, match="power-of-two"):
+        run_collective(cluster, "allreduce", "recursive_doubling", nbytes=8)
+
+
+def test_reduce_bcast_works_for_any_size():
+    cluster = quiet_cluster(n=5, seed=9)
+    data = [float(rank) for rank in range(5)]
+    run = run_collective(
+        cluster, "allreduce", "reduce_bcast", nbytes=8, data=data,
+        combine=lambda a, b: max(a or 0.0, b or 0.0),
+    )
+    assert all(run.value(rank) == 4.0 for rank in range(5))
+
+
+def test_rd_allreduce_latency_beats_reduce_bcast():
+    """One butterfly (log n rounds) vs two binomial trees (2 log n)."""
+    cluster = quiet_cluster(n=8, seed=10)
+    t_rd = run_collective(cluster, "allreduce", "recursive_doubling", nbytes=64).time
+    t_rb = run_collective(cluster, "allreduce", "reduce_bcast", nbytes=64).time
+    assert t_rd < t_rb

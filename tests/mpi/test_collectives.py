@@ -1,0 +1,194 @@
+"""Tests for collective algorithms: correctness of data movement and the
+timing structure the paper's formulas rely on."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    IDEAL,
+    GroundTruth,
+    NoiseModel,
+    SimulatedCluster,
+    random_cluster,
+)
+from repro.mpi import run_collective
+from repro.mpi.collectives import ALGORITHMS, get_algorithm
+
+KB = 1024
+
+
+def quiet_cluster(n=8, seed=0):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed),
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+
+
+# ---------------------------------------------------------------- data paths
+@pytest.mark.parametrize("algorithm", ["linear", "binomial"])
+def test_scatter_delivers_correct_blocks(algorithm):
+    cluster = quiet_cluster(n=8)
+    data = [np.full(16, rank, dtype=np.uint8) for rank in range(8)]
+    run = run_collective(cluster, "scatter", algorithm, nbytes=16, root=2, data=data)
+    for rank in range(8):
+        block = run.value(rank)
+        assert block is not None
+        assert (np.asarray(block) == rank).all()
+
+
+@pytest.mark.parametrize("algorithm", ["linear", "binomial"])
+def test_gather_collects_blocks_in_rank_order(algorithm):
+    cluster = quiet_cluster(n=8)
+    data = [np.full(16, rank, dtype=np.uint8) for rank in range(8)]
+    run = run_collective(cluster, "gather", algorithm, nbytes=16, root=3, data=data)
+    gathered = run.value(3)
+    assert gathered is not None and len(gathered) == 8
+    for rank, block in enumerate(gathered):
+        assert (np.asarray(block) == rank).all()
+    for rank in range(8):
+        if rank != 3:
+            assert run.value(rank) is None
+
+
+@pytest.mark.parametrize("algorithm", ["linear", "binomial"])
+def test_bcast_reaches_everyone(algorithm):
+    cluster = quiet_cluster(n=7)  # non-power-of-two
+    payload = np.arange(32, dtype=np.uint8)
+    run = run_collective(cluster, "bcast", algorithm, nbytes=32, root=1, data=payload)
+    for rank in range(7):
+        assert (np.asarray(run.value(rank)) == payload).all()
+
+
+@pytest.mark.parametrize("algorithm", ["linear", "binomial"])
+def test_reduce_combines_all_values(algorithm):
+    cluster = quiet_cluster(n=6)
+    data = [rank + 1 for rank in range(6)]
+    run = run_collective(
+        cluster, "reduce", algorithm, nbytes=8, root=0, data=data,
+        combine=lambda a, b: (a or 0) + (b or 0),
+    )
+    assert run.value(0) == sum(data)
+
+
+def test_allgather_ring_everyone_gets_everything():
+    cluster = quiet_cluster(n=5)
+    data = [np.full(8, rank, dtype=np.uint8) for rank in range(5)]
+    run = run_collective(cluster, "allgather", "ring", nbytes=8, data=data)
+    for rank in range(5):
+        blocks = run.value(rank)
+        for src, block in enumerate(blocks):
+            assert (np.asarray(block) == src).all()
+
+
+def test_alltoall_completes_all_pairs():
+    cluster = quiet_cluster(n=5)
+    run = run_collective(cluster, "alltoall", "linear", nbytes=4 * KB)
+    for rank in range(5):
+        received = run.value(rank)
+        assert sorted(received) == [r for r in range(5) if r != rank]
+
+
+def test_barrier_completes_and_costs_only_constants():
+    cluster = quiet_cluster(n=8)
+    run = run_collective(cluster, "barrier", "binomial", nbytes=0)
+    gt = cluster.ground_truth
+    # Zero-byte tree traversal: bounded by ~2*depth hops of max constants.
+    bound = 2 * 3 * 4 * (gt.C.max() * 2 + gt.L.max())
+    assert 0 < run.time < bound
+
+
+# ------------------------------------------------------------------ timing
+def test_linear_scatter_time_matches_lmo_formula():
+    """DES linear scatter equals the paper's formula (4) exactly when the
+    last-sent message also finishes last (enforced here by construction)."""
+    n = 5
+    gt = GroundTruth.random(n, seed=11)
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=11), ground_truth=gt,
+        profile=IDEAL, noise=NoiseModel.none(), seed=11,
+    )
+    M = 64 * KB
+    run = run_collective(cluster, "scatter", "linear", nbytes=M, root=0)
+    # Formula (4): (n-1)(C_r + M t_r) + max_i over the *pipelined* arrivals:
+    # message k departs after k send slots, so completion is
+    # max_k [ k*(C_r+M t_r) + L_rk + M/beta + C_k + M t_k ].
+    slot = gt.send_cost(0, M)
+    pipeline = max(
+        (k + 1) * slot + gt.L[0, dst] + M / gt.beta[0, dst] + gt.send_cost(dst, M)
+        for k, dst in enumerate([1, 2, 3, 4])
+    )
+    assert run.time == pytest.approx(pipeline, rel=1e-12)
+    # The paper's formula (4) is the pessimistic envelope of the pipeline:
+    formula4 = (n - 1) * slot + max(
+        gt.L[0, i] + M / gt.beta[0, i] + gt.send_cost(i, M) for i in range(1, n)
+    )
+    assert run.time <= formula4 + 1e-15
+    # ... and is tight when the root-CPU term dominates (it does here).
+    assert run.time == pytest.approx(formula4, rel=0.05)
+
+
+def test_linear_scatter_root_time_is_send_slots_only():
+    n = 5
+    cluster = quiet_cluster(n=n, seed=12)
+    gt = cluster.ground_truth
+    M = 8 * KB
+    run = run_collective(cluster, "scatter", "linear", nbytes=M, root=0)
+    assert run.root_time == pytest.approx((n - 1) * gt.send_cost(0, M), rel=1e-12)
+    assert run.time > run.root_time
+
+
+def test_binomial_scatter_faster_than_linear_for_small_messages():
+    """log n constant cost beats (n-1) serial sends when M is small."""
+    cluster = quiet_cluster(n=16, seed=13)
+    t_lin = run_collective(cluster, "scatter", "linear", nbytes=256, root=0).time
+    t_bin = run_collective(cluster, "scatter", "binomial", nbytes=256, root=0).time
+    assert t_bin < t_lin
+
+
+def test_linear_scatter_faster_than_binomial_for_large_messages():
+    """Binomial re-sends data through intermediate nodes: for large M the
+    linear algorithm wins on a switched cluster (paper Fig. 6)."""
+    cluster = quiet_cluster(n=16, seed=14)
+    M = 150 * KB
+    t_lin = run_collective(cluster, "scatter", "linear", nbytes=M, root=0).time
+    t_bin = run_collective(cluster, "scatter", "binomial", nbytes=M, root=0).time
+    assert t_lin < t_bin
+
+
+def test_gather_and_scatter_symmetric_structure():
+    """For the IDEAL profile and small messages, linear gather is within a
+    small factor of linear scatter (same serial root CPU bottleneck).  For
+    larger messages gather grows past scatter: its flows share the root's
+    ingress port, whereas scatter fans out over distinct ports."""
+    cluster = quiet_cluster(n=8, seed=15)
+    t_scatter = run_collective(cluster, "scatter", "linear", nbytes=256).time
+    t_gather = run_collective(cluster, "gather", "linear", nbytes=256).time
+    assert t_gather == pytest.approx(t_scatter, rel=0.6)
+
+    M = 64 * KB
+    t_scatter_big = run_collective(cluster, "scatter", "linear", nbytes=M).time
+    t_gather_big = run_collective(cluster, "gather", "linear", nbytes=M).time
+    assert t_gather_big > t_scatter_big
+
+
+def test_collective_run_deterministic_without_noise():
+    cluster = quiet_cluster(n=8, seed=16)
+    t1 = run_collective(cluster, "scatter", "binomial", nbytes=KB).time
+    t2 = run_collective(cluster, "scatter", "binomial", nbytes=KB).time
+    assert t1 == t2
+
+
+def test_registry_contents_and_errors():
+    assert ("scatter", "linear") in ALGORITHMS
+    assert ("gather", "binomial") in ALGORITHMS
+    with pytest.raises(KeyError, match="available"):
+        get_algorithm("scatter", "hypercube")
+
+
+def test_scatter_data_length_validated():
+    cluster = quiet_cluster(n=4)
+    with pytest.raises(Exception, match="blocks"):
+        run_collective(cluster, "scatter", "linear", nbytes=8, data=[None] * 3)

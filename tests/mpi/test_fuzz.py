@@ -1,0 +1,123 @@
+"""Property-based fuzzing of the MPI layer: random traffic patterns.
+
+Generates random matched send/receive programs and asserts the global
+contracts: no deadlock, every payload arrives intact exactly once, and
+timing is deterministic and monotone under size scaling.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import IDEAL, LAM_7_1_3, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.mpi import run_ranks
+
+KB = 1024
+
+
+def quiet_cluster(n, seed, profile=IDEAL):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed),
+        profile=profile,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+
+
+@st.composite
+def traffic_pattern(draw):
+    """A random list of (src, dst, nbytes, tag) with distinct src/dst."""
+    n = draw(st.integers(3, 8))
+    messages = []
+    count = draw(st.integers(1, 12))
+    for idx in range(count):
+        src = draw(st.integers(0, n - 1))
+        dst = draw(st.integers(0, n - 1).filter(lambda d, s=src: d != s))
+        nbytes = draw(st.sampled_from([0, 1, 100, 4 * KB, 70 * KB]))
+        messages.append((src, dst, nbytes, idx))
+    return n, messages
+
+
+def build_programs(messages):
+    """Matched sender/receiver programs; receivers use per-message tags."""
+    sends: dict[int, list] = {}
+    recvs: dict[int, list] = {}
+    for src, dst, nbytes, tag in messages:
+        sends.setdefault(src, []).append((dst, nbytes, tag))
+        recvs.setdefault(dst, []).append((src, nbytes, tag))
+    received: dict[int, bytes] = {}
+
+    def factory(rank):
+        def program(comm):
+            reqs = []
+            for src, _nbytes, tag in recvs.get(rank, []):
+                reqs.append(comm.irecv(src, tag=tag))
+            for dst, nbytes, tag in sends.get(rank, []):
+                payload = bytes([tag % 256]) * nbytes if nbytes else b""
+                yield from comm.send(dst, payload=payload, nbytes=nbytes, tag=tag)
+            for req in reqs:
+                env = yield from comm.wait(req)
+                received[env.tag] = env.payload
+            return None
+
+        return program
+
+    ranks = set(sends) | set(recvs)
+    return {rank: factory(rank) for rank in ranks}, received
+
+
+@settings(max_examples=30, deadline=None)
+@given(pattern=traffic_pattern(), seed=st.integers(0, 100))
+def test_random_traffic_never_deadlocks_and_delivers_everything(pattern, seed):
+    n, messages = pattern
+    cluster = quiet_cluster(n, seed)
+    programs, received = build_programs(messages)
+    run_ranks(cluster, programs)  # raises DeadlockError on failure
+    assert len(received) == len(messages)
+    for _src, _dst, nbytes, tag in messages:
+        payload = received[tag]
+        expected = bytes([tag % 256]) * nbytes if nbytes else b""
+        assert payload == expected
+
+
+@settings(max_examples=15, deadline=None)
+@given(pattern=traffic_pattern(), seed=st.integers(0, 100))
+def test_random_traffic_is_deterministic(pattern, seed):
+    n, messages = pattern
+
+    def finish_time():
+        cluster = quiet_cluster(n, seed)
+        programs, _received = build_programs(messages)
+        results = run_ranks(cluster, programs)
+        return max(res.finish for res in results.values())
+
+    assert finish_time() == finish_time()
+
+
+@settings(max_examples=15, deadline=None)
+@given(pattern=traffic_pattern(), seed=st.integers(0, 100))
+def test_random_traffic_under_lam_profile_completes(pattern, seed):
+    """Rendezvous gates and escalations must never deadlock any matched
+    pattern (mixed eager/rendezvous sizes included)."""
+    n, messages = pattern
+    cluster = quiet_cluster(n, seed, profile=LAM_7_1_3)
+    programs, received = build_programs(messages)
+    run_ranks(cluster, programs)
+    assert len(received) == len(messages)
+
+
+@settings(max_examples=10, deadline=None)
+@given(seed=st.integers(0, 100), scale=st.integers(2, 8))
+def test_scaling_all_messages_scales_time_monotonically(seed, scale):
+    n = 5
+    messages = [(0, 1, 8 * KB, 0), (2, 3, 8 * KB, 1), (1, 4, 8 * KB, 2)]
+
+    def finish_time(factor):
+        cluster = quiet_cluster(n, seed)
+        scaled = [(s, d, nb * factor, t) for s, d, nb, t in messages]
+        programs, _ = build_programs(scaled)
+        results = run_ranks(cluster, programs)
+        return max(res.finish for res in results.values())
+
+    assert finish_time(scale) > finish_time(1)

@@ -1,0 +1,131 @@
+"""Tests for sub-communicators (GroupComm / run_group_collective)."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.models import ExtendedLMOModel, predict_linear_scatter
+from repro.mpi import MessageLayer, run_collective, run_group_collective, run_ranks
+
+KB = 1024
+
+
+def quiet_cluster(n=8, seed=90):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed),
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+
+
+def test_group_comm_identity_and_translation():
+    cluster = quiet_cluster()
+    layer = MessageLayer(cluster)
+    comm = layer.group_comm([2, 5, 7], member=5)
+    assert comm.size == 3
+    assert comm.rank == 1
+    assert comm.physical_rank == 5
+    assert comm.translate(0) == 2
+    assert comm.translate(2) == 7
+    with pytest.raises(ValueError):
+        comm.translate(3)
+
+
+def test_group_comm_validation():
+    cluster = quiet_cluster()
+    layer = MessageLayer(cluster)
+    with pytest.raises(ValueError, match="distinct"):
+        layer.group_comm([1, 1, 2], member=1)
+    with pytest.raises(ValueError, match="not in the group"):
+        layer.group_comm([1, 2, 3], member=5)
+    with pytest.raises(ValueError, match="out of range"):
+        layer.group_comm([1, 99], member=1)
+
+
+def test_group_scatter_moves_data_between_members_only():
+    cluster = quiet_cluster()
+    members = [1, 4, 6]
+    data = [np.full(8, g, dtype=np.uint8) for g in range(3)]
+    run = run_group_collective(cluster, members, "scatter", "linear",
+                               nbytes=8, root=0, data=data)
+    for g in range(3):
+        assert (np.asarray(run.value(g)) == g).all()
+    # Only the members moved any bytes.
+    assert cluster.stats.messages == 2
+
+
+def test_group_gather_binomial_on_subset():
+    cluster = quiet_cluster()
+    members = [0, 2, 3, 7]
+    data = [np.full(4, g, dtype=np.uint8) for g in range(4)]
+    run = run_group_collective(cluster, members, "gather", "binomial",
+                               nbytes=4, root=0, data=data)
+    gathered = run.value(0)
+    for g, block in enumerate(gathered):
+        assert (np.asarray(block) == g).all()
+
+
+def test_group_collective_timing_matches_world_prediction_on_subset():
+    """A group scatter over members behaves like a world scatter over a
+    cluster restricted to those nodes — the prediction with the
+    ``participants`` argument matches."""
+    cluster = quiet_cluster(seed=91)
+    gt = cluster.ground_truth
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    members = [3, 0, 5, 6]
+    M = 32 * KB
+    run = run_group_collective(cluster, members, "scatter", "linear", nbytes=M, root=0)
+    predicted = predict_linear_scatter(model, M, root=3, participants=members)
+    assert run.time == pytest.approx(predicted, rel=0.1)
+
+
+def test_two_disjoint_groups_run_concurrently():
+    """Two groups on disjoint nodes share only the virtual clock: the
+    combined makespan is the max of the individual ones (the switch does
+    not couple them) — the same property the estimation scheduler uses."""
+    cluster = quiet_cluster(seed=92)
+    M = 16 * KB
+    members_a = [0, 1, 2]
+    members_b = [4, 5, 6]
+
+    def group_program(members):
+        def factory(comm):
+            from repro.mpi.collectives import linear
+
+            group = comm.layer.group_comm(members, comm.rank)
+            return linear.scatter(group, 0, M)
+
+        return factory
+
+    t_a = run_group_collective(cluster, members_a, "scatter", "linear", nbytes=M).time
+    t_b = run_group_collective(cluster, members_b, "scatter", "linear", nbytes=M).time
+    programs = {}
+    for members in (members_a, members_b):
+        for node in members:
+            programs[node] = group_program(members)
+    results = run_ranks(cluster, programs)
+    combined = max(res.finish for res in results.values())
+    assert combined == pytest.approx(max(t_a, t_b), rel=1e-9)
+
+
+def test_group_of_whole_world_matches_world_collective():
+    cluster = quiet_cluster(seed=93)
+    M = 8 * KB
+    world = run_collective(cluster, "scatter", "linear", nbytes=M).time
+    group = run_group_collective(cluster, list(range(8)), "scatter", "linear",
+                                 nbytes=M).time
+    assert group == pytest.approx(world, rel=1e-12)
+
+
+def test_group_root_validation():
+    cluster = quiet_cluster()
+    with pytest.raises(ValueError, match="group root"):
+        run_group_collective(cluster, [0, 1], "scatter", "linear", nbytes=8, root=5)
+
+
+def test_group_unsupported_operation():
+    cluster = quiet_cluster()
+    with pytest.raises(Exception, match="support scatter/gather/bcast"):
+        run_group_collective(cluster, [0, 1, 2], "alltoall", "linear", nbytes=8)

@@ -1,0 +1,188 @@
+"""Tests for scatterv / gatherv and their predictions."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.models import (
+    ExtendedLMOModel,
+    HeterogeneousHockneyModel,
+    predict_linear_gatherv,
+    predict_linear_scatterv,
+)
+from repro.mpi import run_collective
+
+KB = 1024
+
+
+def quiet_cluster(n=6, seed=0):
+    return SimulatedCluster(
+        random_cluster(n, seed=seed),
+        ground_truth=GroundTruth.random(n, seed=seed),
+        profile=IDEAL,
+        noise=NoiseModel.none(),
+        seed=seed,
+    )
+
+
+def test_scatterv_delivers_correct_blocks():
+    cluster = quiet_cluster()
+    counts = [0, 10, 20, 0, 40, 50]
+    data = [
+        None if counts[rank] == 0 else np.full(counts[rank], rank, dtype=np.uint8)
+        for rank in range(6)
+    ]
+    run = run_collective(cluster, "scatterv", "linear", nbytes=0, root=0,
+                         data=data, counts=counts)
+    for rank in range(1, 6):
+        block = run.value(rank)
+        if counts[rank] == 0:
+            assert block is None
+        else:
+            assert (np.asarray(block) == rank).all()
+            assert len(block) == counts[rank]
+
+
+def test_gatherv_collects_blocks():
+    cluster = quiet_cluster()
+    counts = [8, 16, 0, 32, 8, 8]
+    data = [np.full(max(counts[rank], 1), rank, dtype=np.uint8) for rank in range(6)]
+    run = run_collective(cluster, "gatherv", "linear", nbytes=0, root=1,
+                         data=data, counts=counts)
+    blocks = run.value(1)
+    assert blocks is not None
+    assert blocks[2] is None  # zero-count rank sent nothing
+    assert (np.asarray(blocks[3]) == 3).all()
+
+
+def test_scatterv_validation():
+    cluster = quiet_cluster()
+    with pytest.raises(Exception, match="entries"):
+        run_collective(cluster, "scatterv", "linear", nbytes=0, counts=[1, 2])
+    with pytest.raises(Exception, match="negative"):
+        run_collective(cluster, "scatterv", "linear", nbytes=0, counts=[-1] * 6)
+
+
+def test_scatterv_time_matches_uniform_scatter_for_equal_counts():
+    cluster = quiet_cluster(seed=3)
+    M = 16 * KB
+    t_scatterv = run_collective(
+        cluster, "scatterv", "linear", nbytes=0, counts=[M] * 6
+    ).time
+    t_scatter = run_collective(cluster, "scatter", "linear", nbytes=M).time
+    assert t_scatterv == pytest.approx(t_scatter, rel=1e-12)
+
+
+def test_scatterv_prediction_reduces_to_scatter_for_equal_counts():
+    gt = GroundTruth.random(5, seed=4)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    from repro.models import predict_linear_scatter
+
+    M = 8 * KB
+    assert predict_linear_scatterv(model, [M] * 5) == pytest.approx(
+        predict_linear_scatter(model, M)
+    )
+
+
+def test_scatterv_prediction_tracks_des():
+    n = 6
+    gt = GroundTruth.random(n, seed=5)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=5), ground_truth=gt,
+        profile=IDEAL, noise=NoiseModel.none(), seed=5,
+    )
+    counts = [0, 4 * KB, 64 * KB, 16 * KB, 2 * KB, 32 * KB]
+    predicted = predict_linear_scatterv(model, counts)
+    observed = run_collective(cluster, "scatterv", "linear", nbytes=0, counts=counts).time
+    assert predicted == pytest.approx(observed, rel=0.1)
+
+
+def test_scatterv_prediction_skips_zero_counts():
+    gt = GroundTruth.random(4, seed=6)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    only_one = predict_linear_scatterv(model, [0, 10 * KB, 0, 0])
+    assert only_one == pytest.approx(model.p2p_time(0, 1, 10 * KB))
+    assert predict_linear_scatterv(model, [0, 0, 0, 0]) == 0.0
+
+
+def test_hockney_scatterv_is_sum():
+    gt = GroundTruth.random(4, seed=7)
+    model = HeterogeneousHockneyModel.from_ground_truth(gt)
+    counts = [0, KB, 2 * KB, 3 * KB]
+    expected = sum(model.p2p_time(0, i, counts[i]) for i in (1, 2, 3))
+    assert predict_linear_scatterv(model, counts) == pytest.approx(expected)
+
+
+def test_gatherv_prediction_uses_sender_costs():
+    gt = GroundTruth.random(4, seed=8)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    counts = [0, KB, 8 * KB, 2 * KB]
+    value = predict_linear_gatherv(model, counts)
+    serial = sum(model.send_cost(0, counts[i]) for i in (1, 2, 3))
+    parallel = max(
+        model.L[0, i] + counts[i] / model.beta[0, i] + model.C[i] + counts[i] * model.t[i]
+        for i in (1, 2, 3)
+    )
+    assert value == pytest.approx(serial + parallel)
+
+
+def test_scatterv_prediction_validation():
+    gt = GroundTruth.random(4, seed=9)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    with pytest.raises(ValueError):
+        predict_linear_scatterv(model, [1, 2])
+    with pytest.raises(ValueError):
+        predict_linear_scatterv(model, [-1, 1, 1, 1])
+    with pytest.raises(TypeError):
+        predict_linear_scatterv(object(), [1, 2, 3])
+
+
+# ---------------------------------------------------------------- binomial v
+def test_binomial_scatterv_delivers_blocks_and_prunes_zero_subtrees():
+    cluster = quiet_cluster(n=8, seed=12)
+    counts = [0, 10, 0, 0, 40, 50, 0, 8]
+    data = [
+        None if counts[rank] == 0 else np.full(counts[rank], rank, dtype=np.uint8)
+        for rank in range(8)
+    ]
+    run = run_collective(cluster, "scatterv", "binomial", nbytes=0, root=0,
+                         data=data, counts=counts)
+    for rank in range(1, 8):
+        block = run.value(rank)
+        if counts[rank] == 0:
+            assert block is None
+        else:
+            assert (np.asarray(block) == rank).all()
+
+
+def test_binomial_scatterv_matches_uniform_binomial_for_equal_counts():
+    cluster = quiet_cluster(n=8, seed=13)
+    M = 16 * KB
+    t_v = run_collective(cluster, "scatterv", "binomial", nbytes=0,
+                         counts=[M] * 8).time
+    t_u = run_collective(cluster, "scatter", "binomial", nbytes=M).time
+    assert t_v == pytest.approx(t_u, rel=1e-12)
+
+
+def test_binomial_scatterv_prediction_tracks_des():
+    from repro.models import predict_binomial_scatterv
+
+    n = 8
+    gt = GroundTruth.random(n, seed=14, beta_range=(0.9e8, 1.1e8))
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=14), ground_truth=gt,
+        profile=IDEAL, noise=NoiseModel.none(), seed=14,
+    )
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    counts = [0, 4 * KB, 64 * KB, 16 * KB, 2 * KB, 32 * KB, 0, 24 * KB]
+    predicted = predict_binomial_scatterv(model, counts)
+    observed = run_collective(cluster, "scatterv", "binomial", nbytes=0,
+                              counts=counts).time
+    assert predicted == pytest.approx(observed, rel=0.2)
+
+
+def test_binomial_scatterv_validation():
+    cluster = quiet_cluster(n=4, seed=15)
+    with pytest.raises(Exception, match="entries"):
+        run_collective(cluster, "scatterv", "binomial", nbytes=0, counts=[1])

@@ -1,0 +1,209 @@
+"""Tests for model-based optimization: selection, splitting, mapping."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    LAM_7_1_3,
+    GroundTruth,
+    NoiseModel,
+    SimulatedCluster,
+    synthesize_ground_truth,
+    table1_cluster,
+)
+from repro.models import (
+    ExtendedLMOModel,
+    GatherIrregularity,
+    binomial_tree,
+    predict_binomial_scatter,
+)
+from repro.mpi import run_ranks
+from repro.optimize import (
+    crossover_size,
+    optimize_mapping,
+    optimized_gather,
+    predict_algorithms,
+    predict_mapped_time,
+    select_algorithm,
+    split_plan,
+)
+
+KB = 1024
+
+
+def table1_lmo():
+    gt = synthesize_ground_truth(table1_cluster())
+    return ExtendedLMOModel.from_ground_truth(gt)
+
+
+# ----------------------------------------------------------------- selection
+def test_lmo_selects_binomial_for_small_linear_for_large():
+    model = table1_lmo()
+    assert select_algorithm(model, "scatter", 64) == "binomial"
+    assert select_algorithm(model, "scatter", 150 * KB) == "linear"
+
+
+def test_hockney_mispredicts_large_scatter_choice():
+    """Fig. 6: Hockney switches in favour of binomial where the linear
+    algorithm actually wins; LMO decides correctly."""
+    model = table1_lmo()
+    hockney = model.to_heterogeneous_hockney()
+    M = 150 * KB
+    assert select_algorithm(hockney, "scatter", M) == "binomial"
+    assert select_algorithm(model, "scatter", M) == "linear"
+
+
+def test_predict_algorithms_exposes_both_predictions():
+    model = table1_lmo()
+    choice = predict_algorithms(model, "scatter", 150 * KB)
+    assert set(choice.predictions) == {"linear", "binomial"}
+    assert choice.best == "linear"
+    assert choice.predictions["linear"] < choice.predictions["binomial"]
+
+
+def test_crossover_size_found_for_lmo():
+    model = table1_lmo()
+    crossover = crossover_size(model, "scatter", lo=64, hi=1 << 20)
+    assert crossover is not None
+    assert select_algorithm(model, "scatter", crossover - 64) == "binomial"
+    assert select_algorithm(model, "scatter", crossover) == "linear"
+
+
+def test_crossover_none_when_no_flip():
+    model = table1_lmo()
+    assert crossover_size(model, "scatter", lo=200 * KB, hi=400 * KB) is None
+
+
+def test_gather_selection_uses_expected_escalation_cost():
+    """In the escalation region the expected RTO cost dominates: the model
+    must steer away from the single-shot linear gather."""
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB, escalation_value=0.25, p_at_m2=0.8)
+    model = table1_lmo().with_irregularity(irr)
+    choice = predict_algorithms(model, "gather", 32 * KB)
+    assert choice.predictions["linear"] > 0.05  # carries expected escalation
+
+
+# ------------------------------------------------------------------ splitting
+def test_split_plan_outside_region_is_identity():
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB)
+    assert split_plan(KB, irr) == [KB]
+    assert split_plan(100 * KB, irr) == [100 * KB]
+
+
+def test_split_plan_medium_chunks_below_m1():
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB)
+    chunks = split_plan(32 * KB, irr)
+    assert sum(chunks) == 32 * KB
+    assert all(c <= 0.9 * 4 * KB for c in chunks)
+    assert len(chunks) == -(-32 * KB // int(0.9 * 4 * KB))
+
+
+def test_split_plan_validation():
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB)
+    with pytest.raises(ValueError):
+        split_plan(32 * KB, irr, safety=0)
+
+
+def run_gather(cluster, gather_factory, nbytes, root=0):
+    programs = {
+        rank: (lambda r: (lambda comm: gather_factory(comm, root, nbytes)))(rank)
+        for rank in range(cluster.n)
+    }
+    results = run_ranks(cluster, programs)
+    return max(res.finish for res in results.values())
+
+
+def test_optimized_gather_avoids_escalations():
+    """Fig. 7: splitting medium messages eliminates the RTO escalations
+    entirely (and with them the ~0.25 s spikes)."""
+    cluster = SimulatedCluster(
+        table1_cluster(), profile=LAM_7_1_3, noise=NoiseModel.none(), seed=7
+    )
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB, escalation_value=0.25)
+    M = 32 * KB
+
+    from repro.mpi.collectives import linear
+
+    native_times = []
+    optimized_times = []
+    for _rep in range(8):
+        native_times.append(
+            run_gather(cluster, lambda c, r, n: linear.gather(c, r, n), M)
+        )
+        optimized_times.append(
+            run_gather(cluster, lambda c, r, n: optimized_gather(c, r, n, irr), M)
+        )
+    esc_before = cluster.stats.escalations
+    assert esc_before > 0  # native runs escalated
+    assert max(optimized_times) < 0.1  # optimized never pays an RTO
+    # Mean speedup in the escalation region is large (paper: ~10x).
+    assert np.mean(native_times) / np.mean(optimized_times) > 2.0
+
+
+def test_optimized_gather_passthrough_outside_region():
+    cluster = SimulatedCluster(
+        table1_cluster(), profile=LAM_7_1_3, noise=NoiseModel.none(), seed=8
+    )
+    irr = GatherIrregularity(m1=4 * KB, m2=65 * KB)
+    M = 2 * KB
+    from repro.mpi.collectives import linear
+
+    t_opt = run_gather(cluster, lambda c, r, n: optimized_gather(c, r, n, irr), M)
+    t_native = run_gather(cluster, lambda c, r, n: linear.gather(c, r, n), M)
+    assert t_opt == pytest.approx(t_native, rel=1e-9)
+
+
+# -------------------------------------------------------------------- mapping
+def test_mapping_identity_matches_direct_prediction():
+    model = table1_lmo()
+    tree = binomial_tree(8, 0)
+    direct = predict_binomial_scatter(model, 8 * KB, tree=tree)
+    mapped = predict_mapped_time(model, tree, 8 * KB, list(range(16))[:8])
+    assert mapped == pytest.approx(direct)
+
+
+def test_exhaustive_mapping_beats_identity_on_heterogeneous_cluster():
+    gt = GroundTruth.random(6, seed=9)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    tree = binomial_tree(6, 0)
+    result = optimize_mapping(model, tree, 16 * KB, exhaustive_limit=7)
+    identity_time = predict_mapped_time(model, tree, 16 * KB, list(range(6)))
+    assert result.predicted <= identity_time + 1e-15
+    assert result.evaluations >= 120  # 5! permutations plus identity
+
+
+def test_exhaustive_mapping_keeps_root_fixed():
+    gt = GroundTruth.random(5, seed=10)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    tree = binomial_tree(5, 0)
+    result = optimize_mapping(model, tree, 8 * KB)
+    assert result.perm[0] == 0
+    assert result.tree.root == 0
+
+
+def test_local_search_mapping_improves_large_cluster():
+    model = table1_lmo()
+    tree = binomial_tree(16, 0)
+    result = optimize_mapping(model, tree, 16 * KB, exhaustive_limit=7, max_rounds=10)
+    identity_time = predict_mapped_time(model, tree, 16 * KB, list(range(16)))
+    assert result.predicted <= identity_time
+    assert sorted(result.perm) == list(range(16))
+
+
+def test_mapping_homogeneous_model_is_indifferent():
+    """A homogeneous model cannot rank mappings (paper Sec. I): every
+    permutation predicts the same time."""
+    n = 6
+    C = np.full(n, 40e-6)
+    t = np.full(n, 4e-9)
+    L = np.full((n, n), 30e-6)
+    np.fill_diagonal(L, 0.0)
+    beta = np.full((n, n), 12e6)
+    np.fill_diagonal(beta, np.inf)
+    model = ExtendedLMOModel(C=C, t=t, L=L, beta=beta)
+    tree = binomial_tree(n, 0)
+    times = {
+        predict_mapped_time(model, tree, 8 * KB, perm)
+        for perm in ([0, 1, 2, 3, 4, 5], [0, 5, 4, 3, 2, 1], [0, 2, 1, 4, 3, 5])
+    }
+    assert len({round(x, 15) for x in times}) == 1

@@ -1,0 +1,167 @@
+"""Tests for model-based heterogeneous data partitioning."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    IDEAL,
+    GroundTruth,
+    NoiseModel,
+    SimulatedCluster,
+    random_cluster,
+    synthesize_ground_truth,
+    table1_cluster,
+)
+from repro.models import ExtendedLMOModel
+from repro.optimize import (
+    even_partition,
+    optimal_partition,
+    partition_makespan,
+    run_partitioned_workload,
+)
+from repro.optimize.partition import run_partitioned_workload as run_workload
+
+KB = 1024
+
+
+def table1_model():
+    gt = synthesize_ground_truth(table1_cluster())
+    return ExtendedLMOModel.from_ground_truth(gt), gt
+
+
+def test_even_partition_sums_and_balances():
+    counts = even_partition(5, 17)
+    assert sum(counts) == 17
+    assert max(counts) - min(counts) <= 1
+
+
+def test_optimal_partition_preserves_total():
+    model, gt = table1_model()
+    work = np.full(16, 40e-9)
+    part = optimal_partition(model, 1_000_000, work)
+    assert part.total == 1_000_000
+    assert all(c >= 0 for c in part.counts)
+
+
+def test_optimal_never_worse_than_even():
+    model, gt = table1_model()
+    work = 50e-9 * gt.C / gt.C.min()
+    total = 4_000_000
+    part = optimal_partition(model, total, work)
+    even = even_partition(16, total)
+    assert part.predicted_makespan <= partition_makespan(model, even, work) + 1e-12
+
+
+def test_slowest_node_gets_least_fastest_compute_more():
+    """Rank 12 (Celeron) has the highest work rate: it must get the
+    smallest non-root share."""
+    model, gt = table1_model()
+    work = 50e-9 * gt.C / gt.C.min()
+    part = optimal_partition(model, 8_000_000, work)
+    non_root = {i: part.counts[i] for i in range(1, 16)}
+    assert min(non_root, key=non_root.__getitem__) == 12
+
+
+def test_root_gets_extra_it_pays_no_wire():
+    model, _gt = table1_model()
+    work = np.full(16, 40e-9)
+    part = optimal_partition(model, 8_000_000, work)
+    assert part.counts[0] > max(part.counts[1:])
+
+
+def test_homogeneous_cluster_gets_even_ish_split():
+    n = 6
+    C = np.full(n, 50e-6)
+    t = np.full(n, 10e-9)
+    L = np.full((n, n), 55e-6)
+    np.fill_diagonal(L, 0.0)
+    beta = np.full((n, n), 1e8)
+    np.fill_diagonal(beta, np.inf)
+    model = ExtendedLMOModel(C=C, t=t, L=L, beta=beta)
+    work = np.full(n, 100e-9)
+    part = optimal_partition(model, 6_000_000, work)
+    non_root = part.counts[1:]
+    assert max(non_root) - min(non_root) < 0.02 * max(non_root)
+
+
+def test_min_count_respected():
+    model, _gt = table1_model()
+    work = np.full(16, 40e-9)
+    part = optimal_partition(model, 1_000_000, work, min_count=10_000)
+    assert all(c >= 10_000 for c in part.counts)
+    with pytest.raises(ValueError):
+        optimal_partition(model, 10, work, min_count=10_000)
+
+
+def test_validation_of_inputs():
+    model, _gt = table1_model()
+    with pytest.raises(ValueError):
+        optimal_partition(model, 100, np.full(3, 1e-9))
+    with pytest.raises(ValueError):
+        optimal_partition(model, 100, np.full(16, -1e-9))
+    with pytest.raises(ValueError):
+        partition_makespan(model, [1] * 3, [1e-9] * 16)
+
+
+def test_des_validation_optimal_beats_even():
+    """The LP's distribution must win on the simulator too."""
+    n = 8
+    gt = GroundTruth.random(n, seed=21)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=21), ground_truth=gt,
+        profile=IDEAL, noise=NoiseModel.none(), seed=21,
+    )
+    rng = np.random.default_rng(21)
+    work = rng.uniform(30e-9, 150e-9, size=n)
+    total = 2_000_000
+    part = optimal_partition(model, total, work)
+    t_optimal = run_workload(cluster, part.counts, work)
+    t_even = run_workload(cluster, even_partition(n, total), work)
+    assert t_optimal < t_even
+    # Predicted makespan tracks the observed one.
+    assert part.predicted_makespan == pytest.approx(t_optimal, rel=0.15)
+
+
+def test_run_partitioned_workload_validates_lengths():
+    cluster = SimulatedCluster(random_cluster(4, seed=2), profile=IDEAL,
+                               noise=NoiseModel.none(), seed=2)
+    with pytest.raises(ValueError):
+        run_partitioned_workload(cluster, [1, 2], [1e-9] * 4)
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(0, 200), total=st.integers(10_000, 5_000_000))
+def test_partition_invariants(seed, total):
+    n = 6
+    gt = GroundTruth.random(n, seed=seed)
+    model = ExtendedLMOModel.from_ground_truth(gt)
+    rng = np.random.default_rng(seed)
+    work = rng.uniform(10e-9, 200e-9, size=n)
+    part = optimal_partition(model, total, work)
+    assert part.total == total
+    assert all(c >= 0 for c in part.counts)
+    even = even_partition(n, total)
+    assert part.predicted_makespan <= partition_makespan(model, even, work) * (1 + 1e-9)
+
+
+def test_collect_ratio_shifts_bytes_toward_the_root():
+    """With a heavy gatherv return leg, every distributed byte pays the
+    wire twice; the root (which pays neither leg) absorbs more — in the
+    extreme, distribution stops paying for itself entirely."""
+    model, gt = table1_model()
+    work = np.full(16, 50e-9)
+    without = optimal_partition(model, 8_000_000, work, collect_ratio=0.0)
+    with_leg = optimal_partition(model, 8_000_000, work, collect_ratio=2.0)
+    assert with_leg.counts[0] > without.counts[0]
+    assert with_leg.total == without.total == 8_000_000
+    # The LP is honest about it: the collect-inclusive makespan is larger.
+    assert with_leg.predicted_makespan > without.predicted_makespan
+
+
+def test_collect_ratio_validation():
+    model, _gt = table1_model()
+    with pytest.raises(ValueError, match="collect_ratio"):
+        optimal_partition(model, 1000, np.full(16, 1e-9), collect_ratio=-0.5)

@@ -1,0 +1,126 @@
+"""Tests: model-driven selection across the full algorithm menu."""
+
+import pytest
+
+from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
+from repro.models import ExtendedLMOModel
+from repro.mpi import run_collective
+from repro.optimize import predict_algorithms, select_algorithm
+
+KB = 1024
+
+
+def make(n=8, seed=60):
+    gt = GroundTruth.random(n, seed=seed)
+    cluster = SimulatedCluster(
+        random_cluster(n, seed=seed), ground_truth=gt,
+        profile=IDEAL, noise=NoiseModel.none(), seed=seed,
+    )
+    return cluster, ExtendedLMOModel.from_ground_truth(gt)
+
+
+def test_bcast_menu_selection_matches_des():
+    cluster, model = make()
+    for nbytes in (256, 64 * KB):
+        choice = predict_algorithms(
+            model, "bcast", nbytes, algorithms=("linear", "binomial", "pipeline")
+        )
+        observed = {
+            algo: run_collective(cluster, "bcast", algo, nbytes=nbytes).time
+            for algo in ("linear", "binomial", "pipeline")
+        }
+        assert choice.best == min(observed, key=observed.__getitem__)
+
+
+def test_allgather_menu_selection():
+    _cluster, model = make(seed=61)
+    best_small = select_algorithm(
+        model, "allgather", 64, algorithms=("ring", "recursive_doubling")
+    )
+    assert best_small == "recursive_doubling"  # latency-bound: log2 rounds win
+
+
+def test_allreduce_menu_selection():
+    _cluster, model = make(seed=62)
+    best = select_algorithm(
+        model, "allreduce", 64, algorithms=("recursive_doubling", "reduce_bcast")
+    )
+    assert best == "recursive_doubling"
+
+
+def test_unknown_menu_combination_rejected():
+    _cluster, model = make(seed=63)
+    with pytest.raises(KeyError, match="no prediction"):
+        select_algorithm(model, "bcast", KB, algorithms=("telepathic",))
+
+
+def test_non_lmo_model_has_no_menu_formulas():
+    _cluster, model = make(seed=64)
+    hockney = model.to_heterogeneous_hockney()
+    with pytest.raises(KeyError, match="no prediction"):
+        select_algorithm(hockney, "allgather", KB, algorithms=("ring",))
+
+
+# ------------------------------------------------------------------- planner
+def test_planner_builds_a_plan_and_predicts_total():
+    from repro.optimize import CollectiveCall, plan_collectives
+
+    _cluster, model = make(seed=65)
+    calls = [
+        CollectiveCall("bcast", 64, count=10),
+        CollectiveCall("allreduce", 128 * KB, count=3),
+        CollectiveCall("scatter", 150 * KB),
+    ]
+    plan = plan_collectives(model, calls)
+    assert len(plan.calls) == 3
+    assert plan.predicted_total == pytest.approx(
+        sum(p.predicted_each * p.call.count for p in plan.calls)
+    )
+    text = plan.render()
+    assert "predicted communication total" in text
+    # Per-call choices are the per-call argmins (spot check one).
+    from repro.models.collectives.formulas_ext import predict_collective
+
+    first = plan.calls[0]
+    for algo in ("linear", "binomial", "pipeline", "van_de_geijn"):
+        assert first.predicted_each <= predict_collective(
+            model, "bcast", algo, 64
+        ) + 1e-15
+
+
+def test_planner_plan_beats_fixed_single_algorithm_on_des():
+    """Following the plan end to end beats running everything with one
+    fixed algorithm choice."""
+    from repro.optimize import CollectiveCall, plan_collectives
+
+    cluster, model = make(seed=66)
+    calls = [
+        CollectiveCall("bcast", 64, count=5),
+        CollectiveCall("bcast", 512 * KB, count=2),
+    ]
+    plan = plan_collectives(model, calls)
+
+    def run_with(algorithms):
+        total = 0.0
+        for call, algo in zip(calls, algorithms):
+            for _ in range(call.count):
+                total += run_collective(cluster, call.operation, algo,
+                                        nbytes=call.nbytes).time
+        return total
+
+    planned_time = run_with([p.algorithm for p in plan.calls])
+    fixed_linear = run_with(["linear", "linear"])
+    fixed_binomial = run_with(["binomial", "binomial"])
+    assert planned_time <= fixed_linear
+    assert planned_time <= fixed_binomial
+
+
+def test_planner_validation():
+    from repro.optimize import CollectiveCall
+
+    with pytest.raises(ValueError, match="unplannable"):
+        CollectiveCall("barrier", 0)
+    with pytest.raises(ValueError, match="invalid"):
+        CollectiveCall("bcast", -1)
+    with pytest.raises(ValueError, match="invalid"):
+        CollectiveCall("bcast", 8, count=0)

@@ -1,0 +1,392 @@
+"""Unit tests for the DES kernel: clock, events, processes, conditions."""
+
+import pytest
+
+from repro.simlib import Event, Interrupt, SimulationError, Simulator
+
+
+def test_clock_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_clock_custom_start():
+    assert Simulator(start=5.0).now == 5.0
+
+
+def test_timeout_advances_clock():
+    sim = Simulator()
+    times = []
+
+    def proc(sim):
+        yield sim.timeout(2.5)
+        times.append(sim.now)
+        yield sim.timeout(1.0)
+        times.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert times == [2.5, 3.5]
+
+
+def test_negative_timeout_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.timeout(-1.0)
+
+
+def test_timeout_carries_value():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        value = yield sim.timeout(1.0, value="payload")
+        got.append(value)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == ["payload"]
+
+
+def test_two_processes_interleave_deterministically():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name, delay):
+        yield sim.timeout(delay)
+        order.append((name, sim.now))
+
+    sim.spawn(proc(sim, "a", 2.0))
+    sim.spawn(proc(sim, "b", 1.0))
+    sim.run()
+    assert order == [("b", 1.0), ("a", 2.0)]
+
+
+def test_simultaneous_events_fire_in_spawn_order():
+    sim = Simulator()
+    order = []
+
+    def proc(sim, name):
+        yield sim.timeout(1.0)
+        order.append(name)
+
+    for name in "abcd":
+        sim.spawn(proc(sim, name))
+    sim.run()
+    assert order == list("abcd")
+
+
+def test_event_succeed_wakes_waiter():
+    sim = Simulator()
+    evt = sim.event()
+    got = []
+
+    def waiter(sim):
+        value = yield evt
+        got.append((sim.now, value))
+
+    def trigger(sim):
+        yield sim.timeout(3.0)
+        evt.succeed(42)
+
+    sim.spawn(waiter(sim))
+    sim.spawn(trigger(sim))
+    sim.run()
+    assert got == [(3.0, 42)]
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    evt = sim.event()
+    evt.succeed(1)
+    with pytest.raises(SimulationError):
+        evt.succeed(2)
+
+
+def test_event_fail_propagates_into_process():
+    sim = Simulator()
+    evt = sim.event()
+    caught = []
+
+    def waiter(sim):
+        try:
+            yield evt
+        except ValueError as exc:
+            caught.append(str(exc))
+
+    def trigger(sim):
+        yield sim.timeout(1.0)
+        evt.fail(ValueError("boom"))
+
+    sim.spawn(waiter(sim))
+    sim.spawn(trigger(sim))
+    sim.run()
+    assert caught == ["boom"]
+
+
+def test_fail_requires_exception():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_process_return_value_via_run_until():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        return "done"
+
+    result = sim.run(until=sim.spawn(proc(sim)))
+    assert result == "done"
+
+
+def test_process_is_event_waitable_by_other_process():
+    sim = Simulator()
+    got = []
+
+    def child(sim):
+        yield sim.timeout(2.0)
+        return 7
+
+    def parent(sim):
+        value = yield sim.spawn(child(sim))
+        got.append((sim.now, value))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert got == [(2.0, 7)]
+
+
+def test_yield_already_fired_event_resumes_immediately():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        evt = sim.event()
+        evt.succeed("early")
+        yield sim.timeout(1.0)
+        value = yield evt  # fired long ago
+        got.append((sim.now, value))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [(1.0, "early")]
+
+
+def test_unhandled_process_exception_crashes_run():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("unhandled")
+
+    sim.spawn(proc(sim))
+    with pytest.raises(RuntimeError, match="unhandled"):
+        sim.run()
+
+
+def test_watched_process_exception_delivered_to_waiter():
+    sim = Simulator()
+    caught = []
+
+    def child(sim):
+        yield sim.timeout(1.0)
+        raise RuntimeError("child failed")
+
+    def parent(sim):
+        try:
+            yield sim.spawn(child(sim))
+        except RuntimeError as exc:
+            caught.append(str(exc))
+
+    sim.spawn(parent(sim))
+    sim.run()
+    assert caught == ["child failed"]
+
+
+def test_yielding_non_event_is_error():
+    sim = Simulator()
+
+    def proc(sim):
+        yield 42
+
+    sim.spawn(proc(sim))
+    with pytest.raises(SimulationError, match="must yield Event"):
+        sim.run()
+
+
+def test_run_until_time_stops_and_sets_clock():
+    sim = Simulator()
+    fired = []
+
+    def proc(sim):
+        yield sim.timeout(10.0)
+        fired.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    assert fired == []
+    sim.run()
+    assert fired == [10.0]
+
+
+def test_run_until_event_raises_if_starved():
+    sim = Simulator()
+    evt = sim.event()
+    with pytest.raises(SimulationError, match="ran out of events"):
+        sim.run(until=evt)
+
+
+def test_interrupt_wakes_waiting_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper(sim):
+        try:
+            yield sim.timeout(100.0)
+        except Interrupt as intr:
+            log.append((sim.now, intr.cause))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt("wake up")
+
+    victim = sim.spawn(sleeper(sim))
+    sim.spawn(interrupter(sim, victim))
+    sim.run()
+    assert log == [(1.0, "wake up")]
+
+
+def test_interrupt_finished_process_is_error():
+    sim = Simulator()
+
+    def quick(sim):
+        yield sim.timeout(0.0)
+
+    proc = sim.spawn(quick(sim))
+    sim.run()
+    with pytest.raises(SimulationError):
+        proc.interrupt()
+
+
+def test_is_alive_transitions():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1.0)
+
+    p = sim.spawn(proc(sim))
+    assert p.is_alive
+    sim.run()
+    assert not p.is_alive
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        values = yield sim.all_of([sim.timeout(1.0, "a"), sim.timeout(3.0, "b")])
+        got.append((sim.now, values))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [(3.0, ["a", "b"])]
+
+
+def test_all_of_empty_fires_immediately():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        values = yield sim.all_of([])
+        got.append(values)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [[]]
+
+
+def test_any_of_fires_on_first():
+    sim = Simulator()
+    got = []
+
+    def proc(sim):
+        value = yield sim.any_of([sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+        got.append((sim.now, value))
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert got == [(1.0, "fast")]
+
+
+def test_peek_reports_next_event_time():
+    sim = Simulator()
+
+    def empty(sim):
+        return
+        yield  # pragma: no cover - makes this a generator
+
+    sim.spawn(empty(sim))
+    sim.run()
+    assert sim.peek() == float("inf")
+
+
+def test_many_processes_scale_and_order():
+    sim = Simulator()
+    results = []
+
+    def proc(sim, i):
+        yield sim.timeout(float(i % 7))
+        results.append(i)
+
+    for i in range(500):
+        sim.spawn(proc(sim, i))
+    sim.run()
+    assert sorted(results) == list(range(500))
+    # Within equal delays, spawn order is preserved.
+    same_delay = [i for i in results if i % 7 == 3]
+    assert same_delay == sorted(same_delay)
+
+
+def test_event_value_raises_stored_exception():
+    sim = Simulator()
+    evt = Event(sim)
+    evt.fail(KeyError("k"))
+    sim.run()
+    with pytest.raises(KeyError):
+        _ = evt.value
+
+
+def test_all_of_fails_fast_on_child_failure():
+    sim = Simulator()
+    caught = []
+
+    def failer(sim):
+        yield sim.timeout(1.0)
+        raise ValueError("child boom")
+
+    def waiter(sim):
+        try:
+            yield sim.all_of([sim.timeout(5.0), sim.spawn(failer(sim))])
+        except ValueError as exc:
+            caught.append((sim.now, str(exc)))
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert caught == [(1.0, "child boom")]
+
+
+def test_any_of_ignores_later_events_after_first():
+    sim = Simulator()
+    got = []
+
+    def waiter(sim):
+        value = yield sim.any_of([sim.timeout(1.0, "first"), sim.timeout(2.0, "second")])
+        got.append(value)
+        yield sim.timeout(5.0)  # outlive the second timeout
+
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert got == ["first"]

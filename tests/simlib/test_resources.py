@@ -1,0 +1,247 @@
+"""Unit tests for Resource / PriorityResource semantics."""
+
+import pytest
+
+from repro.simlib import PriorityResource, Resource, SimulationError, Simulator
+
+
+def test_capacity_must_be_positive():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        Resource(sim, capacity=0)
+
+
+def test_single_slot_serializes_holders():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    spans = []
+
+    def worker(sim, name):
+        start_req = sim.now
+        usage = res.request()
+        yield usage
+        start = sim.now
+        yield sim.timeout(2.0)
+        res.release(usage)
+        spans.append((name, start_req, start, sim.now))
+
+    for name in ("a", "b", "c"):
+        sim.spawn(worker(sim, name))
+    sim.run()
+    assert spans == [("a", 0.0, 0.0, 2.0), ("b", 0.0, 2.0, 4.0), ("c", 0.0, 4.0, 6.0)]
+
+
+def test_capacity_two_allows_two_concurrent():
+    sim = Simulator()
+    res = Resource(sim, capacity=2)
+    finished = []
+
+    def worker(sim, name):
+        usage = res.request()
+        yield usage
+        yield sim.timeout(1.0)
+        res.release(usage)
+        finished.append((name, sim.now))
+
+    for name in ("a", "b", "c"):
+        sim.spawn(worker(sim, name))
+    sim.run()
+    assert finished == [("a", 1.0), ("b", 1.0), ("c", 2.0)]
+
+
+def test_fifo_order_among_waiters():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    order = []
+
+    def worker(sim, name, arrival):
+        yield sim.timeout(arrival)
+        usage = res.request()
+        yield usage
+        order.append(name)
+        yield sim.timeout(10.0)
+        res.release(usage)
+
+    sim.spawn(worker(sim, "first", 0.0))
+    sim.spawn(worker(sim, "second", 1.0))
+    sim.spawn(worker(sim, "third", 2.0))
+    sim.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_release_of_unheld_usage_is_error():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+
+    def proc(sim):
+        usage = res.request()
+        yield usage
+        res.release(usage)
+        with pytest.raises(SimulationError):
+            res.release(usage)
+
+    sim.spawn(proc(sim))
+    sim.run()
+
+
+def test_hold_helper_acquires_and_releases():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def worker(sim, name):
+        yield from res.hold(sim, 3.0)
+        log.append((name, sim.now))
+
+    sim.spawn(worker(sim, "a"))
+    sim.spawn(worker(sim, "b"))
+    sim.run()
+    assert log == [("a", 3.0), ("b", 6.0)]
+    assert res.count == 0 and res.queue_length == 0
+
+
+def test_count_and_queue_length_track_state():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    snapshots = []
+
+    def holder(sim):
+        usage = res.request()
+        yield usage
+        yield sim.timeout(5.0)
+        res.release(usage)
+
+    def waiter(sim):
+        yield sim.timeout(1.0)
+        usage = res.request()
+        snapshots.append((res.count, res.queue_length))  # held by holder, me waiting
+        yield usage
+        res.release(usage)
+
+    sim.spawn(holder(sim))
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert snapshots == [(1, 1)]
+
+
+def test_busy_flag():
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    assert not res.busy
+
+    def proc(sim):
+        usage = res.request()
+        yield usage
+        assert res.busy
+        res.release(usage)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert not res.busy
+
+
+def test_priority_resource_serves_lowest_priority_first():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def blocker(sim):
+        usage = res.request()
+        yield usage
+        yield sim.timeout(10.0)
+        res.release(usage)
+
+    def worker(sim, name, prio, arrival):
+        yield sim.timeout(arrival)
+        usage = res.request(priority=prio)
+        yield usage
+        order.append(name)
+        res.release(usage)
+
+    sim.spawn(blocker(sim))
+    sim.spawn(worker(sim, "low-prio", 5, 1.0))
+    sim.spawn(worker(sim, "high-prio", 1, 2.0))  # arrives later, served first
+    sim.run()
+    assert order == ["high-prio", "low-prio"]
+
+
+def test_priority_ties_broken_by_arrival():
+    sim = Simulator()
+    res = PriorityResource(sim, capacity=1)
+    order = []
+
+    def blocker(sim):
+        usage = res.request()
+        yield usage
+        yield sim.timeout(10.0)
+        res.release(usage)
+
+    def worker(sim, name, arrival):
+        yield sim.timeout(arrival)
+        usage = res.request(priority=3)
+        yield usage
+        order.append(name)
+        res.release(usage)
+
+    sim.spawn(blocker(sim))
+    sim.spawn(worker(sim, "early", 1.0))
+    sim.spawn(worker(sim, "late", 2.0))
+    sim.run()
+    assert order == ["early", "late"]
+
+
+def test_release_at_time_t_usable_by_request_at_time_t():
+    """A slot released at time t must be grantable to a request issued at t."""
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    granted_at = []
+
+    def holder(sim):
+        usage = res.request()
+        yield usage
+        yield sim.timeout(2.0)
+        res.release(usage)
+
+    def requester(sim):
+        yield sim.timeout(2.0)
+        usage = res.request()
+        yield usage
+        granted_at.append(sim.now)
+        res.release(usage)
+
+    sim.spawn(holder(sim))
+    sim.spawn(requester(sim))
+    sim.run()
+    assert granted_at == [2.0]
+
+
+def test_interrupt_during_hold_releases_resource():
+    """hold() must release its slot even when the holder is interrupted
+    mid-activity (the finally path) — otherwise the resource leaks."""
+    from repro.simlib import Interrupt
+
+    sim = Simulator()
+    res = Resource(sim, capacity=1)
+    log = []
+
+    def holder(sim):
+        try:
+            yield from res.hold(sim, 100.0)
+        except Interrupt:
+            log.append(("interrupted", sim.now))
+
+    def interrupter(sim, victim):
+        yield sim.timeout(1.0)
+        victim.interrupt()
+
+    def waiter(sim):
+        yield from res.hold(sim, 1.0)
+        log.append(("acquired", sim.now))
+
+    victim = sim.spawn(holder(sim))
+    sim.spawn(interrupter(sim, victim))
+    sim.spawn(waiter(sim))
+    sim.run()
+    assert ("interrupted", 1.0) in log
+    assert ("acquired", 2.0) in log  # slot freed at t=1, held 1s
+    assert res.count == 0

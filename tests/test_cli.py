@@ -1,0 +1,166 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.io import load
+from repro.models import ExtendedLMOModel, HeterogeneousHockneyModel
+
+
+def test_describe_prints_cluster(capsys):
+    assert main(["describe"]) == 0
+    out = capsys.readouterr().out
+    assert "16 nodes" in out
+    assert "Celeron" in out
+    assert "M2=" in out
+
+
+def test_describe_other_profile(capsys):
+    assert main(["--profile", "mpich", "describe"]) == 0
+    assert "MPICH" in capsys.readouterr().out
+
+
+def test_estimate_hockney_writes_model(tmp_path, capsys):
+    out_file = tmp_path / "hockney.json"
+    assert main(["estimate", "--model", "hockney", "--out", str(out_file)]) == 0
+    model = load(str(out_file))
+    assert isinstance(model, HeterogeneousHockneyModel)
+    assert model.n == 16
+    assert "estimated hockney" in capsys.readouterr().out
+
+
+def test_estimate_lmo_quick_with_empirical(tmp_path, capsys):
+    out_file = tmp_path / "lmo.json"
+    assert main([
+        "estimate", "--model", "lmo", "--quick", "--empirical",
+        "--reps", "2", "--out", str(out_file),
+    ]) == 0
+    model = load(str(out_file))
+    assert isinstance(model, ExtendedLMOModel)
+    assert model.gather_irregularity is not None
+
+
+def test_predict_from_saved_model(tmp_path, capsys):
+    out_file = tmp_path / "lmo.json"
+    main(["estimate", "--model", "lmo", "--quick", "--reps", "1",
+          "--out", str(out_file)])
+    capsys.readouterr()
+    assert main(["predict", "--model-file", str(out_file),
+                 "--nbytes", "65536"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted scatter/linear" in out
+    assert "ms" in out
+
+
+def test_predict_gather_reports_regime(tmp_path, capsys):
+    out_file = tmp_path / "lmo.json"
+    main(["estimate", "--model", "lmo", "--quick", "--empirical",
+          "--reps", "1", "--out", str(out_file)])
+    capsys.readouterr()
+    assert main(["predict", "--model-file", str(out_file),
+                 "--operation", "gather", "--nbytes", "32768"]) == 0
+    out = capsys.readouterr().out
+    assert "regime: medium" in out
+
+
+def test_predict_unsupported_combination(tmp_path, capsys):
+    out_file = tmp_path / "hockney.json"
+    main(["estimate", "--model", "hockney", "--out", str(out_file)])
+    capsys.readouterr()
+    assert main(["predict", "--model-file", str(out_file),
+                 "--operation", "gather", "--algorithm", "binomial",
+                 "--nbytes", "100"]) == 2
+
+
+def test_measure_reports_ci(capsys):
+    assert main(["measure", "--nbytes", "8192", "--max-reps", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "reps, CI 95%" in out
+
+
+def test_trace_renders_lanes(capsys):
+    assert main(["trace", "--nbytes", "8192", "--max-lanes", "4",
+                 "--width", "40"]) == 0
+    out = capsys.readouterr().out
+    assert "cpu0" in out
+    assert "utilization" in out
+
+
+def test_experiment_subcommand(capsys):
+    assert main(["experiment", "fig2"]) == 0
+    out = capsys.readouterr().out
+    assert "binomial tree" in out
+    assert "[PASS]" in out
+
+
+def test_experiment_unknown_id():
+    with pytest.raises(KeyError):
+        main(["experiment", "fig99"])
+
+
+def test_report_quick_to_file(tmp_path, capsys):
+    out_file = tmp_path / "report.md"
+    assert main(["report", "--quick", "--out", str(out_file)]) == 0
+    text = out_file.read_text()
+    assert "ALL SHAPE CHECKS PASS" in text
+
+
+def test_experiment_csv_flag(tmp_path, capsys):
+    out_file = tmp_path / "fig2.csv"
+    # fig2 has no numeric series: warns, still succeeds.
+    assert main(["experiment", "fig2", "--csv", str(out_file)]) == 0
+    assert "nothing written" in capsys.readouterr().err
+    out_file2 = tmp_path / "fig1.csv"
+    assert main(["experiment", "fig1", "--quick", "--csv", str(out_file2)]) == 0
+    assert out_file2.read_text().startswith("nbytes,observed")
+
+
+def test_suite_subcommand(capsys):
+    assert main(["suite", "--operations", "bcast", "--sizes", "1024",
+                 "--max-reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "bcast" in out and "*" in out
+
+
+def test_partition_subcommand(tmp_path, capsys):
+    out_file = tmp_path / "lmo.json"
+    main(["estimate", "--model", "lmo", "--quick", "--reps", "1",
+          "--out", str(out_file)])
+    capsys.readouterr()
+    assert main(["partition", "--model-file", str(out_file),
+                 "--total", "1000000"]) == 0
+    out = capsys.readouterr().out
+    assert "min-makespan distribution" in out
+    counts = [int(line.split(":")[1]) for line in out.splitlines()
+              if line.strip().startswith("rank")]
+    assert sum(counts) == 1000000
+
+
+def test_partition_subcommand_bad_rates(tmp_path, capsys):
+    out_file = tmp_path / "lmo.json"
+    main(["estimate", "--model", "lmo", "--quick", "--reps", "1",
+          "--out", str(out_file)])
+    capsys.readouterr()
+    assert main(["partition", "--model-file", str(out_file),
+                 "--total", "1000", "--work-rates", "1e-9,2e-9"]) == 2
+
+
+def test_plan_subcommand(tmp_path, capsys):
+    out_file = tmp_path / "lmo.json"
+    main(["estimate", "--model", "lmo", "--quick", "--reps", "1",
+          "--out", str(out_file)])
+    capsys.readouterr()
+    assert main(["plan", "--model-file", str(out_file),
+                 "bcast:65536:10", "allreduce:4096"]) == 0
+    out = capsys.readouterr().out
+    assert "predicted communication total" in out
+    assert "bcast" in out and "allreduce" in out
+
+
+def test_plan_subcommand_bad_spec(tmp_path, capsys):
+    out_file = tmp_path / "lmo.json"
+    main(["estimate", "--model", "lmo", "--quick", "--reps", "1",
+          "--out", str(out_file)])
+    capsys.readouterr()
+    assert main(["plan", "--model-file", str(out_file), "bcast"]) == 2
+    assert "bad call spec" in capsys.readouterr().err

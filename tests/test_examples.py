@@ -1,0 +1,50 @@
+"""Smoke tests: every shipped example runs end to end and says what it
+promises.  (Examples are user-facing documentation; a broken one is a
+bug of the same severity as a failing unit test.)"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+#: Example -> substrings its output must contain.
+EXPECTED = {
+    "quickstart.py": ["LMO prediction", "relative error"],
+    "compare_models.py": ["linear scatter: mean relative prediction error", "LMO"],
+    "optimize_collectives.py": ["gather message-splitting", "x", "binomial-tree",
+                                "predicted communication total"],
+    "heterogeneous_mapping.py": ["straggler", "model's choice"],
+    "mpi_playground.py": ["ping-pong", "rendezvous handshakes"],
+    "timeline_demo.py": ["linear scatter", "TCP retransmission timeout"],
+    "data_partitioning.py": ["observed makespan", "drift check", "re-estimated"],
+    "two_switch_study.py": ["within one switch", "uplink"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, f"{name} failed:\n{result.stderr[-2000:]}"
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED))
+def test_example_runs_and_reports(name):
+    output = run_example(name)
+    for needle in EXPECTED[name]:
+        assert needle in output, f"{name}: {needle!r} missing from output"
+
+
+def test_every_example_file_is_covered():
+    on_disk = {p.name for p in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED), (
+        "examples on disk and smoke-test expectations diverged: "
+        f"{on_disk.symmetric_difference(set(EXPECTED))}"
+    )
