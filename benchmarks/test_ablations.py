@@ -10,7 +10,6 @@
 """
 
 import numpy as np
-import pytest
 
 from conftest import assert_checks
 

@@ -1,0 +1,100 @@
+"""Robustness bench: fault-injection overhead and robust-estimation cost.
+
+Two questions with performance budgets attached: (1) consulting the
+injector on every transfer must be near-free when no fault is active,
+and (2) the hardened estimation path's timeout/retry machinery must not
+dominate the clean-path cost on a healthy cluster.
+"""
+
+import pytest
+
+from repro.cluster import (
+    FaultInjector,
+    FaultPlan,
+    FlakyLink,
+    NodeSlowdown,
+    NoiseModel,
+    SimulatedCluster,
+    random_cluster,
+)
+from repro.estimation import (
+    DESEngine,
+    estimate_extended_lmo,
+    estimate_extended_lmo_robust,
+)
+from repro.mpi import run_collective
+
+KB = 1024
+N = 8
+
+
+def fresh_cluster(injector=None):
+    cluster = SimulatedCluster(
+        random_cluster(N, seed=4), noise=NoiseModel.default(), seed=4
+    )
+    if injector is not None:
+        cluster.attach_injector(injector)
+    return cluster
+
+
+def test_bench_scatter_no_injector(benchmark):
+    """Baseline: a scatter with the injector hook entirely absent."""
+    cluster = fresh_cluster()
+    result = benchmark(lambda: run_collective(cluster, "scatter", "linear", 32 * KB))
+    assert result.time > 0
+
+
+def test_bench_scatter_idle_injector(benchmark):
+    """The per-activity injector consultations on an empty fault plan."""
+    cluster = fresh_cluster(FaultInjector(FaultPlan()))
+    result = benchmark(lambda: run_collective(cluster, "scatter", "linear", 32 * KB))
+    assert result.time > 0
+
+
+def test_bench_scatter_active_faults(benchmark):
+    """Worst case: every transfer consults active slowdown + flaky link."""
+    plan = FaultPlan(faults=(
+        NodeSlowdown(node=1, factor=2.0),
+        FlakyLink(a=0, b=2, loss_prob=0.1),
+    ), seed=7)
+    cluster = fresh_cluster(FaultInjector(plan))
+    result = benchmark(lambda: run_collective(cluster, "scatter", "linear", 32 * KB))
+    assert result.time > 0
+
+
+def test_bench_plain_estimation(benchmark):
+    """Reference: the plain estimation pipeline on a healthy cluster."""
+    engine = DESEngine(fresh_cluster())
+    model = benchmark(lambda: estimate_extended_lmo(engine, reps=1, clamp=True).model)
+    assert model.n == N
+
+
+def test_bench_robust_estimation_clean(benchmark):
+    """The hardened pipeline on the same healthy cluster (overhead check)."""
+    engine = DESEngine(fresh_cluster())
+    result = benchmark(lambda: estimate_extended_lmo_robust(engine, reps=1))
+    assert result.model.n == N
+    assert not result.quarantined
+
+
+def test_bench_robust_estimation_under_faults(benchmark):
+    """The hardened pipeline while a flaky link fires RTO escalations."""
+    plan = FaultPlan(faults=(FlakyLink(a=0, b=3, loss_prob=0.3),), seed=7)
+    engine = DESEngine(fresh_cluster(FaultInjector(plan)))
+    result = benchmark(lambda: estimate_extended_lmo_robust(engine, reps=1))
+    assert result.model.n == N
+    assert (result.model.C >= 0).all()
+
+
+def test_robust_overhead_is_bounded():
+    """Sanity (not a benchmark): on a healthy cluster the robust path costs
+    no more than 2x the plain path in simulated estimation time."""
+    plain_engine = DESEngine(fresh_cluster())
+    estimate_extended_lmo(plain_engine, reps=1, clamp=True)
+    robust_engine = DESEngine(fresh_cluster())
+    estimate_extended_lmo_robust(robust_engine, reps=1)
+    assert robust_engine.estimation_time <= 2.0 * plain_engine.estimation_time
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(pytest.main([__file__, "-q"]))

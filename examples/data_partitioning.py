@@ -16,7 +16,6 @@ Run with::
     python examples/data_partitioning.py
 """
 
-import numpy as np
 
 from repro.cluster import LAM_7_1_3, SimulatedCluster, table1_cluster
 from repro.estimation import DESEngine, detect_model_drift, estimate_extended_lmo

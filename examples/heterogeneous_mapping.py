@@ -15,7 +15,6 @@ Run with::
     python examples/heterogeneous_mapping.py
 """
 
-import numpy as np
 
 from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, homogeneous_cluster
 from repro.models import (

@@ -17,7 +17,6 @@ Run with::
     python examples/two_switch_study.py
 """
 
-import numpy as np
 
 from repro.cluster import (
     IDEAL,

@@ -15,6 +15,8 @@ suite       benchmark the whole algorithm menu as a comparison table
 partition   min-makespan data distribution from a saved LMO model
 plan        choose algorithms for an application's collective calls
 trace       run one collective and print its activity timeline
+drift       spot-check a saved model against the (possibly degraded) cluster
+chaos       fault-injection demo: estimate, inject, self-heal, report
 experiment  regenerate one of the paper's tables/figures (optional CSV)
 report      regenerate all of them (markdown)
 """
@@ -32,6 +34,13 @@ from repro.cluster import (
     MPICH_1_2_7,
     OPEN_MPI,
     IDEAL,
+    ClusterSpec,
+    FaultInjector,
+    FaultPlan,
+    FlakyLink,
+    LinkDegradation,
+    NodeHang,
+    NodeSlowdown,
     NoiseModel,
     SimulatedCluster,
     synthesize_ground_truth,
@@ -39,7 +48,10 @@ from repro.cluster import (
 )
 from repro.estimation import (
     DESEngine,
+    MaintainerPolicy,
+    ModelMaintainer,
     detect_gather_irregularity,
+    detect_model_drift,
     estimate_extended_lmo,
     estimate_heterogeneous_hockney,
     estimate_loggp,
@@ -225,6 +237,111 @@ def cmd_plan(args) -> int:
     return 0
 
 
+def cmd_drift(args) -> int:
+    model = model_io.load(args.model_file)
+    cluster = make_cluster(args)
+    if cluster.n != model.n:
+        print(f"model is for {model.n} nodes, cluster has {cluster.n}", file=sys.stderr)
+        return 2
+    if args.degrade_node is not None:
+        cluster.degrade_node(args.degrade_node, args.degrade_factor)
+        print(f"(injected: node {args.degrade_node} slowed {args.degrade_factor}x)")
+    report = detect_model_drift(
+        model, DESEngine(cluster), probe_nbytes=args.nbytes,
+        threshold=args.threshold, reps=args.reps,
+    )
+    drifted = sorted(
+        (error, pair) for pair, error in report.errors.items()
+        if error > report.threshold
+    )
+    print(f"spot-checked {len(report.errors)} pairs at {args.nbytes} B "
+          f"(threshold {report.threshold:.0%})")
+    for error, (i, j) in reversed(drifted):
+        print(f"  pair ({i:2d},{j:2d}): {error:7.2%} drift")
+    print(f"worst pair {report.worst_pair}: {report.worst_error:.2%}")
+    if report.drifted:
+        nodes = report.drifted_nodes()
+        blame = ", ".join(map(str, nodes)) if nodes else "no single node (link-local?)"
+        print(f"DRIFTED — implicated nodes: {blame}")
+        return 1
+    print("model is still accurate")
+    return 0
+
+
+def _split_spec(text: str, flag: str, parts: int) -> list[str]:
+    fields = text.split(":")
+    if len(fields) != parts:
+        raise ValueError(
+            f"{flag} expects {parts} colon-separated fields, got {text!r}"
+        )
+    return fields
+
+
+def _parse_faults(args) -> FaultPlan:
+    faults = []
+    for text in args.slow_node or []:
+        node, factor = _split_spec(text, "--slow-node NODE:FACTOR", 2)
+        faults.append(NodeSlowdown(node=int(node), factor=float(factor)))
+    for text in args.flaky_link or []:
+        a, b, prob = _split_spec(text, "--flaky-link A:B:PROB", 3)
+        faults.append(FlakyLink(a=int(a), b=int(b), loss_prob=float(prob)))
+    for text in args.degrade_link or []:
+        a, b, lat, rate = _split_spec(text, "--degrade-link A:B:LAT:RATE", 4)
+        faults.append(LinkDegradation(a=int(a), b=int(b),
+                                      latency_factor=float(lat),
+                                      rate_factor=float(rate)))
+    for text in args.hang_node or []:
+        node, start, duration = _split_spec(text, "--hang-node NODE:START:DUR", 3)
+        faults.append(NodeHang(node=int(node), start=float(start),
+                               duration=float(duration)))
+    if not faults:
+        # Default demo plan: one slow node plus one lossy link.
+        faults = [
+            NodeSlowdown(node=1, factor=4.0),
+            FlakyLink(a=0, b=2, loss_prob=0.2),
+        ]
+    return FaultPlan(faults=tuple(faults), seed=args.fault_seed)
+
+
+def cmd_chaos(args) -> int:
+    base = table1_cluster()
+    if not (3 <= args.nodes <= base.n):
+        print(f"--nodes must be in [3, {base.n}]", file=sys.stderr)
+        return 2
+    spec = ClusterSpec(base.nodes[: args.nodes], name=f"{base.name}-{args.nodes}")
+    cluster = SimulatedCluster(
+        spec, profile=PROFILES[args.profile], noise=NoiseModel.default(),
+        seed=args.seed,
+    )
+    try:
+        plan = _parse_faults(args)
+        plan.validate(cluster.n)
+    except ValueError as exc:
+        print(f"bad fault plan: {exc}", file=sys.stderr)
+        return 2
+    print(f"cluster: {spec.n} nodes ({spec.name}), fault plan (seed {plan.seed}):")
+    print(plan.describe())
+
+    maintainer = ModelMaintainer(
+        DESEngine(cluster), MaintainerPolicy(reps=args.reps),
+    )
+    maintainer.bootstrap()
+    print("\nbootstrap (fault-free):")
+    print("  " + maintainer.last_result.summary().replace("\n", "\n  "))
+
+    cluster.attach_injector(FaultInjector(plan))
+    for _ in range(args.cycles):
+        maintainer.cycle()
+    print(f"\nhealth log after {args.cycles} chaos cycles:")
+    print(maintainer.render_log())
+    print(f"\ninjector: {cluster.injector.stats.summary()}")
+    report = maintainer.spot_check()
+    print(f"final spot-check: worst drift {report.worst_error:.2%}")
+    print("verdict: model healed" if not report.drifted else
+          "verdict: drift persists (more cycles needed)")
+    return 0
+
+
 def cmd_experiment(args) -> int:
     from repro.experiments import run_experiment
 
@@ -320,6 +437,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_plan.add_argument("calls", nargs="+",
                         help="call specs op:nbytes[:count], e.g. bcast:65536:10")
 
+    p_drift = sub.add_parser("drift",
+                             help="spot-check a saved model for drift (exit 1 if drifted)")
+    p_drift.add_argument("--model-file", required=True)
+    p_drift.add_argument("--nbytes", type=int, default=32 * KB)
+    p_drift.add_argument("--threshold", type=float, default=0.15)
+    p_drift.add_argument("--reps", type=int, default=3)
+    p_drift.add_argument("--degrade-node", type=int, default=None,
+                         help="slow this node before checking (fault demo)")
+    p_drift.add_argument("--degrade-factor", type=float, default=4.0)
+
+    p_chaos = sub.add_parser("chaos",
+                             help="fault-injection demo: estimate, inject, self-heal")
+    p_chaos.add_argument("--nodes", type=int, default=8,
+                         help="cluster size (prefix of Table I)")
+    p_chaos.add_argument("--cycles", type=int, default=3,
+                         help="maintenance cycles to run under faults")
+    p_chaos.add_argument("--reps", type=int, default=3)
+    p_chaos.add_argument("--fault-seed", type=int, default=0)
+    p_chaos.add_argument("--slow-node", action="append", metavar="NODE:FACTOR",
+                         help="persistent CPU slowdown (repeatable)")
+    p_chaos.add_argument("--flaky-link", action="append", metavar="A:B:PROB",
+                         help="packet loss on a link, RTO per loss (repeatable)")
+    p_chaos.add_argument("--degrade-link", action="append", metavar="A:B:LAT:RATE",
+                         help="latency x LAT, bandwidth x RATE (repeatable)")
+    p_chaos.add_argument("--hang-node", action="append", metavar="NODE:START:DUR",
+                         help="stall a node's transfers for DUR seconds (repeatable)")
+
     p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure")
     p_exp.add_argument("id", help="fig1..fig7, table1, table2, estimation_cost, "
                                   "thresholds, ablations, menu_accuracy")
@@ -341,6 +485,8 @@ COMMANDS = {
     "suite": cmd_suite,
     "partition": cmd_partition,
     "plan": cmd_plan,
+    "drift": cmd_drift,
+    "chaos": cmd_chaos,
     "experiment": cmd_experiment,
     "report": cmd_report,
 }

@@ -6,6 +6,14 @@ LMO parameters, MPI/TCP irregularity profiles, measurement noise, and the
 discrete-event transport tying them together.
 """
 
+from repro.cluster.faults import (
+    FaultInjector,
+    FaultPlan,
+    FlakyLink,
+    LinkDegradation,
+    NodeHang,
+    NodeSlowdown,
+)
 from repro.cluster.machine import SimulatedCluster, TransportStats
 from repro.cluster.noise import NoiseModel
 from repro.cluster.params import GroundTruth, synthesize_ground_truth
@@ -22,11 +30,17 @@ from repro.cluster.spec import (
 
 __all__ = [
     "ClusterSpec",
+    "FaultInjector",
+    "FaultPlan",
+    "FlakyLink",
     "GroundTruth",
     "IDEAL",
     "LAM_7_1_3",
+    "LinkDegradation",
     "MPICH_1_2_7",
     "MpiProfile",
+    "NodeHang",
+    "NodeSlowdown",
     "NodeType",
     "NoiseModel",
     "OPEN_MPI",

@@ -1,0 +1,325 @@
+"""Seeded, deterministic fault injection for the simulated cluster.
+
+The paper's central validation story is that real clusters misbehave:
+linear gather shows non-deterministic RTO escalations "up to 0.25 sec",
+and the M1/M2 threshold regimes exist precisely because hardware and
+TCP stacks depart from the clean analytic model.  A model (and a model
+*estimation pipeline*) is only useful if it survives that reality.
+
+This module turns ad-hoc fault injection (:meth:`SimulatedCluster.degrade_node`)
+into a schedulable subsystem:
+
+* :class:`NodeSlowdown` — a node's processing delays (``C_i``, ``t_i``)
+  multiplied by a factor, optionally time-windowed (a *brownout* that
+  auto-reverts: thermal throttle, a daemon stealing a core for a while);
+* :class:`LinkDegradation` — one link's fixed latency raised and/or its
+  transmission rate lowered (``L_ij`` up, ``beta_ij`` down): duplex
+  renegotiation, a flaky cable, switch-port buffering misconfiguration;
+* :class:`FlakyLink` — probabilistic packet loss on a link; every lost
+  head-of-line burst costs a TCP retransmission timeout, so escalations
+  hit *arbitrary* transfers, not just gather incast;
+* :class:`NodeHang` — a node freezes for a window; transfers touching it
+  stall until the hang clears (kernel lockup, swap storm).
+
+A :class:`FaultPlan` is a frozen, seeded collection of faults over
+*cumulative* simulated time (the clock keeps advancing across the
+back-to-back runs of an estimation schedule).  A :class:`FaultInjector`
+binds a plan to one cluster; the transport consults it on every transfer,
+so two clusters with the same seed and the same plan produce bit-identical
+traces — the property tests rely on this.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FlakyLink",
+    "LinkDegradation",
+    "NodeHang",
+    "NodeSlowdown",
+]
+
+
+def _check_window(start: float, end: float) -> None:
+    if start < 0 or end <= start:
+        raise ValueError(f"need 0 <= start < end, got [{start}, {end})")
+
+
+@dataclass(frozen=True)
+class NodeSlowdown:
+    """Multiply one node's ``C_i``/``t_i`` by ``factor`` during a window.
+
+    With the default infinite window this is exactly
+    :meth:`SimulatedCluster.degrade_node`, but revocable; with a finite
+    window it is a brownout that auto-reverts.
+    """
+
+    node: int
+    factor: float
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.factor <= 0:
+            raise ValueError(f"factor must be positive, got {self.factor}")
+        _check_window(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Raise ``L_ab`` by ``latency_factor`` and scale ``beta_ab`` by
+    ``rate_factor`` (<= 1 slows the link) during a window."""
+
+    a: int
+    b: int
+    latency_factor: float = 1.0
+    rate_factor: float = 1.0
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a link needs two distinct endpoints")
+        if self.latency_factor < 1.0:
+            raise ValueError("latency_factor < 1 would *improve* the link")
+        if not (0 < self.rate_factor <= 1.0):
+            raise ValueError("rate_factor must be in (0, 1]")
+        _check_window(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class FlakyLink:
+    """Packet loss on link ``a-b``: each transfer crossing the link during
+    the window suffers a TCP RTO escalation with probability ``loss_prob``."""
+
+    a: int
+    b: int
+    loss_prob: float
+    start: float = 0.0
+    end: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a link needs two distinct endpoints")
+        if not (0 < self.loss_prob <= 1):
+            raise ValueError(f"loss_prob must be in (0, 1], got {self.loss_prob}")
+        _check_window(self.start, self.end)
+
+
+@dataclass(frozen=True)
+class NodeHang:
+    """Node ``node`` freezes during ``[start, start + duration)``.
+
+    Transfers touching the node during the window stall until it clears
+    (the duration must be finite — an unbounded hang would deadlock the
+    simulation instead of exercising timeout/retry paths).
+    """
+
+    node: int
+    start: float
+    duration: float
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+        if not (0 < self.duration < math.inf):
+            raise ValueError(f"duration must be finite and positive, got {self.duration}")
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+Fault = Union[NodeSlowdown, LinkDegradation, FlakyLink, NodeHang]
+
+_FAULT_TYPES = (NodeSlowdown, LinkDegradation, FlakyLink, NodeHang)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, seeded schedule of faults over cumulative sim time."""
+
+    faults: tuple[Fault, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "faults", tuple(self.faults))
+        for fault in self.faults:
+            if not isinstance(fault, _FAULT_TYPES):
+                raise TypeError(f"not a fault: {fault!r}")
+
+    def __len__(self) -> int:
+        return len(self.faults)
+
+    def nodes_touched(self) -> set[int]:
+        """Every node some fault involves."""
+        touched: set[int] = set()
+        for fault in self.faults:
+            if isinstance(fault, (NodeSlowdown, NodeHang)):
+                touched.add(fault.node)
+            else:
+                touched.update((fault.a, fault.b))
+        return touched
+
+    def validate(self, n: int) -> None:
+        """Raise if any fault references a node outside ``0..n-1``."""
+        bad = sorted(node for node in self.nodes_touched() if not (0 <= node < n))
+        if bad:
+            raise ValueError(f"fault plan references out-of-range nodes {bad}")
+
+    def describe(self) -> str:
+        """Human-readable one-line-per-fault summary."""
+        if not self.faults:
+            return "(no faults)"
+        lines = []
+        for fault in self.faults:
+            if isinstance(fault, NodeSlowdown):
+                window = "" if fault.end == math.inf else f" in [{fault.start:g}, {fault.end:g}) s"
+                lines.append(f"slow node {fault.node} x{fault.factor:g}{window}")
+            elif isinstance(fault, LinkDegradation):
+                window = "" if fault.end == math.inf else f" in [{fault.start:g}, {fault.end:g}) s"
+                lines.append(
+                    f"degrade link {fault.a}-{fault.b} "
+                    f"(latency x{fault.latency_factor:g}, rate x{fault.rate_factor:g}){window}"
+                )
+            elif isinstance(fault, FlakyLink):
+                window = "" if fault.end == math.inf else f" in [{fault.start:g}, {fault.end:g}) s"
+                lines.append(f"flaky link {fault.a}-{fault.b} (loss {fault.loss_prob:.0%}){window}")
+            else:
+                lines.append(
+                    f"hang node {fault.node} in [{fault.start:g}, {fault.end:g}) s"
+                )
+        return "\n".join(lines)
+
+
+@dataclass
+class InjectorStats:
+    """Counters of what the injector actually did (tests, chaos reports)."""
+
+    loss_escalations: int = 0
+    loss_escalation_time: float = 0.0
+    hang_stalls: int = 0
+    hang_stall_time: float = 0.0
+    slowed_activities: int = 0
+    degraded_link_crossings: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"loss escalations: {self.loss_escalations} "
+            f"({self.loss_escalation_time:.3f} s), "
+            f"hang stalls: {self.hang_stalls} ({self.hang_stall_time:.3f} s), "
+            f"slowed activities: {self.slowed_activities}, "
+            f"degraded link crossings: {self.degraded_link_crossings}"
+        )
+
+
+class FaultInjector:
+    """Binds a :class:`FaultPlan` to one cluster and answers, per activity,
+    *what the hardware looks like right now*.
+
+    The injector owns its own random generator (seeded from the plan) so
+    that fault sampling never perturbs the cluster's noise stream: the
+    same plan on the same cluster seed reproduces the same trace, and
+    removing the plan restores the fault-free trace bit-for-bit.
+
+    Time is *cumulative*: the cluster's simulator restarts at zero for
+    every run, so the injector accumulates completed-run durations into an
+    epoch offset (see :meth:`SimulatedCluster.reset`).  Fault windows are
+    expressed on this cumulative clock.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = np.random.default_rng(plan.seed)
+        self.cluster = None
+        self.epoch = 0.0
+        self.stats = InjectorStats()
+        self._slowdowns = [f for f in plan.faults if isinstance(f, NodeSlowdown)]
+        self._link_degradations = [f for f in plan.faults if isinstance(f, LinkDegradation)]
+        self._flaky = [f for f in plan.faults if isinstance(f, FlakyLink)]
+        self._hangs = [f for f in plan.faults if isinstance(f, NodeHang)]
+
+    # -- lifecycle ----------------------------------------------------------
+    def bind(self, cluster) -> None:
+        """Attach to ``cluster`` (called by ``attach_injector``)."""
+        self.plan.validate(cluster.n)
+        self.cluster = cluster
+
+    def advance_epoch(self, elapsed: float) -> None:
+        """Account a completed run's duration into the cumulative clock."""
+        if elapsed > 0:
+            self.epoch += elapsed
+
+    @property
+    def now(self) -> float:
+        """Cumulative simulated time (epoch + current run's clock)."""
+        sim_now = self.cluster.sim.now if self.cluster is not None else 0.0
+        return self.epoch + sim_now
+
+    # -- per-activity queries ------------------------------------------------
+    def cpu_factor(self, node: int) -> float:
+        """Combined slowdown factor on ``node``'s processing right now."""
+        now = self.now
+        factor = 1.0
+        for fault in self._slowdowns:
+            if fault.node == node and fault.start <= now < fault.end:
+                factor *= fault.factor
+        if factor != 1.0:
+            self.stats.slowed_activities += 1
+        return factor
+
+    def link_factors(self, a: int, b: int) -> tuple[float, float]:
+        """(latency_factor, rate_factor) on link ``a-b`` right now."""
+        now = self.now
+        latency, rate = 1.0, 1.0
+        for fault in self._link_degradations:
+            if {fault.a, fault.b} == {a, b} and fault.start <= now < fault.end:
+                latency *= fault.latency_factor
+                rate *= fault.rate_factor
+        if latency != 1.0 or rate != 1.0:
+            self.stats.degraded_link_crossings += 1
+        return latency, rate
+
+    def hang_stall(self, *nodes: int) -> float:
+        """Seconds until every hang involving ``nodes`` clears (0 = none)."""
+        now = self.now
+        release = now
+        for fault in self._hangs:
+            if fault.node in nodes and fault.start <= now < fault.end:
+                release = max(release, fault.end)
+        stall = release - now
+        if stall > 0:
+            self.stats.hang_stalls += 1
+            self.stats.hang_stall_time += stall
+        return stall
+
+    def loss_delay(self, src: int, dst: int) -> float:
+        """RTO escalation delay for a transfer crossing ``src-dst`` (0 = none).
+
+        Each active flaky link on the pair is an independent loss source;
+        a loss costs one full retransmission timeout drawn from the
+        cluster profile's ``rto_base + U(0, rto_jitter)`` — the same
+        magnitude as the paper's incast escalations, which is the point:
+        the robust estimation path cannot tell them apart and must survive
+        both.
+        """
+        now = self.now
+        delay = 0.0
+        for fault in self._flaky:
+            if {fault.a, fault.b} == {src, dst} and fault.start <= now < fault.end:
+                if self.rng.random() < fault.loss_prob:
+                    profile = self.cluster.profile
+                    delay += profile.rto_base + float(
+                        self.rng.uniform(0.0, profile.rto_jitter)
+                    )
+        if delay > 0:
+            self.stats.loss_escalations += 1
+            self.stats.loss_escalation_time += delay
+        return delay

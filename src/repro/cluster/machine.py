@@ -145,6 +145,7 @@ class SimulatedCluster:
         self.rng = np.random.default_rng(seed)
         self.stats = TransportStats()
         self.tracer: Optional[Tracer] = None
+        self.injector = None  # set via attach_injector (fault injection)
         self.topology = None  # set via attach_topology (multi-switch)
         self.uplink: Optional[Resource] = None
         self.sim: Simulator
@@ -160,7 +161,13 @@ class SimulatedCluster:
         return self.spec.n
 
     def reset(self) -> None:
-        """Fresh simulator at time zero (RNG state is preserved)."""
+        """Fresh simulator at time zero (RNG state is preserved).
+
+        The fault injector's cumulative clock absorbs the completed run's
+        duration first, so fault windows span sequences of runs.
+        """
+        if self.injector is not None and hasattr(self, "sim"):
+            self.injector.advance_epoch(self.sim.now)
         self.sim = Simulator()
         n = self.spec.n
         self.cpu = [Resource(self.sim, 1, f"cpu{i}") for i in range(n)]
@@ -187,6 +194,17 @@ class SimulatedCluster:
         """Reset the random generator (full determinism of the next runs)."""
         self.rng = np.random.default_rng(seed)
 
+    def attach_injector(self, injector) -> None:
+        """Arm a :class:`~repro.cluster.faults.FaultInjector` (None disarms).
+
+        The injector is consulted on every transfer from then on; the
+        transport itself is untouched when no injector is attached, so the
+        fault-free fast path costs nothing.
+        """
+        if injector is not None:
+            injector.bind(self)
+        self.injector = injector
+
     def attach_tracer(self, tracer: Optional[Tracer]) -> None:
         """Record activity intervals into ``tracer`` (None detaches).
 
@@ -204,6 +222,28 @@ class SimulatedCluster:
     def noisy(self, duration: float) -> float:
         """Apply the cluster noise model to an activity duration."""
         return self.noise.perturb(duration, self.rng)
+
+    # -- effective (fault-aware) hardware parameters -------------------------
+    def processing_cost(self, node: int, nbytes: float) -> float:
+        """CPU cost ``C + M t`` of ``node``, after any active slowdown."""
+        cost = self.ground_truth.send_cost(node, nbytes)
+        if self.injector is not None:
+            cost *= self.injector.cpu_factor(node)
+        return cost
+
+    def effective_latency(self, src: int, dst: int) -> float:
+        """Link latency ``L_ij``, after any active link degradation."""
+        latency = self.ground_truth.L[src, dst]
+        if self.injector is not None:
+            latency *= self.injector.link_factors(src, dst)[0]
+        return latency
+
+    def effective_rate(self, src: int, dst: int) -> float:
+        """Link rate ``beta_ij``, after any active link degradation."""
+        rate = self.ground_truth.beta[src, dst]
+        if self.injector is not None:
+            rate *= self.injector.link_factors(src, dst)[1]
+        return rate
 
     # -- transport ---------------------------------------------------------
     def transmit(
@@ -239,9 +279,15 @@ class SimulatedCluster:
             raise ValueError("transmit requires distinct src and dst")
         if nbytes < 0:
             raise ValueError(f"negative message size {nbytes}")
-        gt, prof, sim = self.ground_truth, self.profile, self.sim
+        prof, sim = self.profile, self.sim
         self.stats.messages += 1
         self.stats.bytes_sent += nbytes
+
+        if self.injector is not None:
+            # A hung endpoint stalls the transfer before it starts.
+            stall = self.injector.hang_stall(src, dst)
+            if stall > 0:
+                yield sim.timeout(stall)
 
         # -- stage 1: sender CPU -----------------------------------------
         usage = self.cpu[src].request()
@@ -251,10 +297,10 @@ class SimulatedCluster:
             if prof.uses_rendezvous(nbytes):
                 self.stats.rendezvous_handshakes += 1
                 # Request-to-send / clear-to-send round trip over the link.
-                yield sim.timeout(self.noisy(2.0 * gt.L[src, dst]))
+                yield sim.timeout(self.noisy(2.0 * self.effective_latency(src, dst)))
                 if rendezvous_ready is not None and not rendezvous_ready.processed:
                     yield rendezvous_ready
-            cpu_cost = gt.send_cost(src, nbytes) + prof.sender_protocol_overhead(nbytes)
+            cpu_cost = self.processing_cost(src, nbytes) + prof.sender_protocol_overhead(nbytes)
             yield sim.timeout(self.noisy(cpu_cost))
         finally:
             self.cpu[src].release(usage)
@@ -265,7 +311,7 @@ class SimulatedCluster:
             on_sent.succeed(sim.now)
 
         # -- stage 2: switch + destination port ---------------------------
-        yield sim.timeout(self.noisy(gt.L[src, dst]))
+        yield sim.timeout(self.noisy(self.effective_latency(src, dst)))
         if (
             self.uplink is not None
             and self.topology is not None
@@ -279,6 +325,15 @@ class SimulatedCluster:
             self.trace("uplink", uplink_start, sim.now, "u")
         port_state = self._ports[dst]
         escalation = self._sample_escalation(port_state, src, nbytes)
+        if self.injector is not None:
+            # Packet loss on a flaky link costs a retransmission timeout
+            # on this transfer — escalations on *arbitrary* traffic, not
+            # just gather incast.  A hang that started mid-flight stalls
+            # the transfer here, before it enters the destination port.
+            escalation += self.injector.loss_delay(src, dst)
+            stall = self.injector.hang_stall(dst)
+            if stall > 0:
+                yield sim.timeout(stall)
         port_state.enqueue(src, float(nbytes))
         try:
             if escalation > 0.0:
@@ -293,7 +348,7 @@ class SimulatedCluster:
             yield usage
             wire_start = sim.now
             try:
-                yield sim.timeout(self.noisy(nbytes / gt.beta[src, dst]))
+                yield sim.timeout(self.noisy(nbytes / self.effective_rate(src, dst)))
             finally:
                 self.port[dst].release(usage)
                 self.trace(f"port{dst}", wire_start, sim.now, "w")
@@ -340,6 +395,32 @@ class SimulatedCluster:
         t[node] *= factor
         self.ground_truth = GroundTruth(
             C=C, t=t, L=self.ground_truth.L.copy(), beta=self.ground_truth.beta.copy()
+        )
+
+    def degrade_link(
+        self, a: int, b: int, latency_factor: float = 1.0, rate_factor: float = 1.0
+    ) -> None:
+        """Permanently worsen one link: raise ``L_ab``, lower ``beta_ab``.
+
+        The hardware analogue of a duplex renegotiation or a failing
+        cable: ``latency_factor`` (>= 1) multiplies the fixed latency,
+        ``rate_factor`` (in (0, 1]) scales the transmission rate.  For
+        time-windowed, auto-reverting versions use
+        :class:`~repro.cluster.faults.LinkDegradation` via a
+        :class:`~repro.cluster.faults.FaultInjector`.
+        """
+        if not (0 <= a < self.n and 0 <= b < self.n) or a == b:
+            raise ValueError(f"invalid link {a}-{b} for {self.n} nodes")
+        if latency_factor < 1.0:
+            raise ValueError(f"latency_factor must be >= 1, got {latency_factor}")
+        if not (0 < rate_factor <= 1.0):
+            raise ValueError(f"rate_factor must be in (0, 1], got {rate_factor}")
+        L = self.ground_truth.L.copy()
+        beta = self.ground_truth.beta.copy()
+        L[a, b] = L[b, a] = L[a, b] * latency_factor
+        beta[a, b] = beta[b, a] = beta[a, b] * rate_factor
+        self.ground_truth = GroundTruth(
+            C=self.ground_truth.C.copy(), t=self.ground_truth.t.copy(), L=L, beta=beta
         )
 
     # -- convenience -------------------------------------------------------

@@ -19,10 +19,8 @@ exact within each switch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Sequence
+from dataclasses import dataclass
 
-import numpy as np
 
 from repro.cluster.params import GroundTruth
 

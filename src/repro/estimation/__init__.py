@@ -38,6 +38,15 @@ from repro.estimation.lmo_est import (
     star_triplets,
 )
 from repro.estimation.logp_est import LogPEstimationResult, estimate_loggp, estimate_logp
+from repro.estimation.maintainer import HealthRecord, MaintainerPolicy, ModelMaintainer
+from repro.estimation.robust import (
+    EstimationFailure,
+    RetryPolicy,
+    RobustLMOResult,
+    RobustRunStats,
+    estimate_extended_lmo_robust,
+    run_schedule_robust,
+)
 from repro.estimation.plogp_est import PLogPEstimationResult, adaptive_sizes, estimate_plogp
 from repro.estimation.scheduling import (
     pack_rounds,
@@ -51,14 +60,21 @@ __all__ = [
     "AnalyticEngine",
     "DESEngine",
     "DriftReport",
+    "EstimationFailure",
     "Experiment",
     "ExperimentEngine",
     "GatherSweep",
+    "HealthRecord",
     "HockneyEstimationResult",
     "ProbeSensitivity",
     "LMOEstimationResult",
     "LogPEstimationResult",
+    "MaintainerPolicy",
+    "ModelMaintainer",
     "PLogPEstimationResult",
+    "RetryPolicy",
+    "RobustLMOResult",
+    "RobustRunStats",
     "ScatterLeap",
     "adaptive_sizes",
     "all_triplets",
@@ -66,6 +82,7 @@ __all__ = [
     "detect_model_drift",
     "detect_scatter_leap",
     "estimate_extended_lmo",
+    "estimate_extended_lmo_robust",
     "estimate_original_lmo",
     "estimate_heterogeneous_hockney",
     "estimate_hockney",
@@ -82,6 +99,7 @@ __all__ = [
     "roundtrip",
     "run_schedule",
     "run_schedule_adaptive",
+    "run_schedule_robust",
     "saturation",
     "spot_check_pairs",
     "star_triplets",

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import combinations
-from typing import Optional, Sequence
+from typing import Callable, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -37,9 +37,14 @@ from repro.stats.adaptive import MeasurementPolicy
 
 __all__ = [
     "LMOEstimationResult",
+    "TripletSolve",
     "all_triplets",
+    "assemble_model",
+    "build_experiment_set",
+    "collect_parameter_samples",
     "estimate_extended_lmo",
     "estimate_original_lmo",
+    "solve_triplet",
     "star_triplets",
 ]
 
@@ -122,6 +127,183 @@ def _rooted_triplets(n: int, triplets: Optional[Sequence[tuple[int, int, int]]])
     return base, rooted
 
 
+@dataclass(frozen=True)
+class TripletSolve:
+    """The closed-form solution of eqs. (8)/(11) for one unordered triplet.
+
+    Keeping per-triplet solutions as records (instead of flattening them
+    straight into sample lists) is what lets the robust estimation path
+    (:mod:`repro.estimation.robust`) judge whole triplets — a single
+    escalation-contaminated measurement poisons *every* parameter its
+    triplet produces, so rejection must happen at triplet granularity.
+    """
+
+    nodes: tuple[int, int, int]
+    C: dict[int, float]
+    t: dict[int, float]
+    L: dict[tuple[int, int], float]
+    inv_beta: dict[tuple[int, int], float]
+
+    def is_physical(self, tol: float = 0.0) -> bool:
+        """True when every solved value lies in its physical range.
+
+        ``tol`` absorbs measurement noise: delays may dip ``tol`` below
+        zero before the solve counts as unphysical; inverse rates must be
+        strictly positive regardless (a non-positive ``1/beta`` has no
+        noise interpretation at medium probe sizes).
+        """
+        delays = (*self.C.values(), *self.t.values(), *self.L.values())
+        if any(value < -tol for value in delays):
+            return False
+        return all(value > 0 for value in self.inv_beta.values())
+
+
+def build_experiment_set(
+    pairs: Sequence[tuple[int, int]],
+    rooted: Sequence[tuple[int, int, int]],
+    probe_nbytes: int,
+) -> list[Experiment]:
+    """The full measurement set: empty + probe-sized roundtrips and
+    one-to-twos (the paper's ``2 C(n,2) + 2 * 3 C(n,3)`` experiments)."""
+    experiments: list[Experiment] = []
+    for i, j in pairs:
+        experiments.append(roundtrip(i, j, 0))
+        experiments.append(roundtrip(i, j, probe_nbytes))
+    for root, a, b in rooted:
+        experiments.append(one_to_two(root, a, b, 0, 0))
+        experiments.append(one_to_two(root, a, b, probe_nbytes, 0))
+    return experiments
+
+
+def solve_triplet(
+    measured: Mapping[Experiment, float],
+    triple: tuple[int, int, int],
+    probe_nbytes: int,
+) -> TripletSolve:
+    """Solve eqs. (8) and (11) on one triplet's measurements."""
+    i, j, k = triple
+    M = float(probe_nbytes)
+
+    def rt(a: int, b: int, nbytes: int) -> float:
+        key = (min(a, b), max(a, b))
+        return measured[roundtrip(key[0], key[1], nbytes)]
+
+    def ott(root: int, a: int, b: int, nbytes: int) -> float:
+        lo, hi = min(a, b), max(a, b)
+        return measured[one_to_two(root, lo, hi, nbytes, 0)]
+
+    C = {}
+    for root, a, b in ((i, j, k), (j, i, k), (k, i, j)):
+        C[root] = (ott(root, a, b, 0) - max(rt(root, a, 0), rt(root, b, 0))) / 2.0
+    L = {
+        (i, j): rt(i, j, 0) / 2.0 - C[i] - C[j],
+        (j, k): rt(j, k, 0) / 2.0 - C[j] - C[k],
+        (i, k): rt(i, k, 0) / 2.0 - C[i] - C[k],
+    }
+    t = {}
+    for root, a, b in ((i, j, k), (j, i, k), (k, i, j)):
+        best = max(
+            (rt(root, a, 0) + rt(root, a, probe_nbytes)) / 2.0,
+            (rt(root, b, 0) + rt(root, b, probe_nbytes)) / 2.0,
+        )
+        t[root] = (ott(root, a, b, probe_nbytes) - best - 2.0 * C[root]) / M
+    inv_beta = {
+        pair: (rt(*pair, probe_nbytes) / 2.0 - C[pair[0]] - L[pair] - C[pair[1]]) / M
+        - t[pair[0]]
+        - t[pair[1]]
+        for pair in ((i, j), (j, k), (i, k))
+    }
+    return TripletSolve(nodes=(i, j, k), C=C, t=t, L=L, inv_beta=inv_beta)
+
+
+def collect_parameter_samples(
+    solves: Sequence[TripletSolve],
+    n: int,
+    pairs: Sequence[tuple[int, int]],
+):
+    """Flatten triplet solves into per-parameter sample lists (eq. 12 input)."""
+    c_samples: dict[int, list[float]] = {i: [] for i in range(n)}
+    t_samples: dict[int, list[float]] = {i: [] for i in range(n)}
+    l_samples: dict[tuple[int, int], list[float]] = {tuple(p): [] for p in pairs}
+    beta_samples: dict[tuple[int, int], list[float]] = {tuple(p): [] for p in pairs}
+    for solve in solves:
+        for node, value in solve.C.items():
+            c_samples[node].append(value)
+        for node, value in solve.t.items():
+            t_samples[node].append(value)
+        for pair, value in solve.L.items():
+            l_samples[pair].append(value)
+        for pair, value in solve.inv_beta.items():
+            beta_samples[pair].append(1.0 / value if value > 0 else np.inf)
+    return c_samples, t_samples, l_samples, beta_samples
+
+
+def _default_reduce(values: Sequence[float]) -> float:
+    return float(np.mean(values))
+
+
+def assemble_model(
+    n: int,
+    c_samples: dict[int, list[float]],
+    t_samples: dict[int, list[float]],
+    l_samples: dict[tuple[int, int], list[float]],
+    beta_samples: dict[tuple[int, int], list[float]],
+    clamp: bool = False,
+    reduce: Callable[[Sequence[float]], float] = _default_reduce,
+) -> ExtendedLMOModel:
+    """Average redundant samples (eq. 12) into an :class:`ExtendedLMOModel`.
+
+    ``reduce`` collapses each parameter's redundant sample list to one
+    value — plain mean by default, an outlier-screened robust location in
+    the hardened path.  Non-finite rate samples are dropped before
+    reduction (an unphysical triplet contributes ``inf`` for its rates).
+    """
+    C_est = np.array([reduce(c_samples[i]) if c_samples[i] else 0.0 for i in range(n)])
+    t_est = np.array([reduce(t_samples[i]) if t_samples[i] else 0.0 for i in range(n)])
+    L_est = np.zeros((n, n))
+    beta_est = np.full((n, n), np.inf)
+    for (a, b), values in l_samples.items():
+        if values:
+            L_est[a, b] = L_est[b, a] = reduce(values)
+    for (a, b), values in beta_samples.items():
+        finite = [v for v in values if np.isfinite(v)]
+        rate = reduce(finite) if finite else np.inf
+        beta_est[a, b] = beta_est[b, a] = rate
+
+    # Sparse designs may leave some pairs unmeasured.  On a single-switch
+    # cluster the link parameters are near-uniform (one store-and-forward
+    # hop, identical NICs), so complete the matrices with the measured
+    # means rather than silently leaving L=0 / beta=inf — this is what
+    # lets the LMO model generalize to links it never probed, which no
+    # per-pair (Hockney-style) model can do.
+    off = ~np.eye(n, dtype=bool)
+    measured_mask = np.zeros((n, n), dtype=bool)
+    for a, b in l_samples:
+        if l_samples[a, b]:
+            measured_mask[a, b] = measured_mask[b, a] = True
+    unmeasured = off & ~measured_mask
+    if unmeasured.any():
+        link_means = [reduce(v) for v in l_samples.values() if v]
+        if link_means:
+            L_est[unmeasured] = float(np.mean(link_means))
+        finite_rates = [
+            reduce([x for x in v if np.isfinite(x)])
+            for v in beta_samples.values()
+            if any(np.isfinite(x) for x in v)
+        ]
+        if finite_rates:
+            beta_est[unmeasured] = float(np.mean(finite_rates))
+
+    if clamp:
+        C_est = np.maximum(C_est, 0.0)
+        t_est = np.maximum(t_est, 0.0)
+        L_est = np.maximum(L_est, 0.0)
+        np.fill_diagonal(L_est, 0.0)
+        beta_est = np.where(beta_est <= 0, np.inf, beta_est)
+
+    return ExtendedLMOModel(C=C_est, t=t_est, L=L_est, beta=beta_est)
+
+
 def estimate_extended_lmo(
     engine: ExperimentEngine,
     probe_nbytes: int = DEFAULT_PROBE_NBYTES,
@@ -169,13 +351,7 @@ def estimate_extended_lmo(
     pairs = sorted({pair for triple in base_triplets for pair in combinations(triple, 2)})
 
     # -- measure -------------------------------------------------------------
-    experiments: list[Experiment] = []
-    for i, j in pairs:
-        experiments.append(roundtrip(i, j, 0))
-        experiments.append(roundtrip(i, j, probe_nbytes))
-    for root, a, b in rooted:
-        experiments.append(one_to_two(root, a, b, 0, 0))
-        experiments.append(one_to_two(root, a, b, probe_nbytes, 0))
+    experiments = build_experiment_set(pairs, rooted, probe_nbytes)
     t_start = engine.estimation_time
     if policy is not None:
         measured = run_schedule_adaptive(engine, experiments, policy=policy,
@@ -184,92 +360,14 @@ def estimate_extended_lmo(
         measured = run_schedule(engine, experiments, parallel=parallel, reps=reps)
     cost = engine.estimation_time - t_start
 
-    def rt(i: int, j: int, nbytes: int) -> float:
-        key = (min(i, j), max(i, j))
-        return measured[roundtrip(key[0], key[1], nbytes)]
-
-    def ott(root: int, a: int, b: int, nbytes: int) -> float:
-        lo, hi = min(a, b), max(a, b)
-        return measured[one_to_two(root, lo, hi, nbytes, 0)]
-
-    # -- solve per triplet (eqs. 8 and 11) ------------------------------------
-    c_samples: dict[int, list[float]] = {i: [] for i in range(n)}
-    t_samples: dict[int, list[float]] = {i: [] for i in range(n)}
-    l_samples: dict[tuple[int, int], list[float]] = {p: [] for p in pairs}
-    beta_samples: dict[tuple[int, int], list[float]] = {p: [] for p in pairs}
-    M = float(probe_nbytes)
-
-    for i, j, k in base_triplets:
-        C = {}
-        for root, a, b in ((i, j, k), (j, i, k), (k, i, j)):
-            C[root] = (ott(root, a, b, 0) - max(rt(root, a, 0), rt(root, b, 0))) / 2.0
-        L = {
-            (i, j): rt(i, j, 0) / 2.0 - C[i] - C[j],
-            (j, k): rt(j, k, 0) / 2.0 - C[j] - C[k],
-            (i, k): rt(i, k, 0) / 2.0 - C[i] - C[k],
-        }
-        t = {}
-        for root, a, b in ((i, j, k), (j, i, k), (k, i, j)):
-            best = max(
-                (rt(root, a, 0) + rt(root, a, probe_nbytes)) / 2.0,
-                (rt(root, b, 0) + rt(root, b, probe_nbytes)) / 2.0,
-            )
-            t[root] = (ott(root, a, b, probe_nbytes) - best - 2.0 * C[root]) / M
-        inv_beta = {
-            pair: (rt(*pair, probe_nbytes) / 2.0 - C[pair[0]] - L[pair] - C[pair[1]]) / M
-            - t[pair[0]]
-            - t[pair[1]]
-            for pair in ((i, j), (j, k), (i, k))
-        }
-        for node in (i, j, k):
-            c_samples[node].append(C[node])
-            t_samples[node].append(t[node])
-        for pair, value in L.items():
-            l_samples[pair].append(value)
-        for pair, value in inv_beta.items():
-            beta_samples[pair].append(1.0 / value if value > 0 else np.inf)
-
-    # -- average (eq. 12) -----------------------------------------------------
-    C_est = np.array([np.mean(c_samples[i]) for i in range(n)])
-    t_est = np.array([np.mean(t_samples[i]) for i in range(n)])
-    L_est = np.zeros((n, n))
-    beta_est = np.full((n, n), np.inf)
-    for (a, b), values in l_samples.items():
-        L_est[a, b] = L_est[b, a] = float(np.mean(values))
-    for (a, b), values in beta_samples.items():
-        finite = [v for v in values if np.isfinite(v)]
-        rate = float(np.mean(finite)) if finite else np.inf
-        beta_est[a, b] = beta_est[b, a] = rate
-
-    # Sparse designs may leave some pairs unmeasured.  On a single-switch
-    # cluster the link parameters are near-uniform (one store-and-forward
-    # hop, identical NICs), so complete the matrices with the measured
-    # means rather than silently leaving L=0 / beta=inf — this is what
-    # lets the LMO model generalize to links it never probed, which no
-    # per-pair (Hockney-style) model can do.
-    off = ~np.eye(n, dtype=bool)
-    measured_mask = np.zeros((n, n), dtype=bool)
-    for a, b in pairs:
-        measured_mask[a, b] = measured_mask[b, a] = True
-    unmeasured = off & ~measured_mask
-    if unmeasured.any():
-        L_est[unmeasured] = float(np.mean([np.mean(v) for v in l_samples.values()]))
-        finite_rates = [
-            np.mean([x for x in v if np.isfinite(x)])
-            for v in beta_samples.values()
-            if any(np.isfinite(x) for x in v)
-        ]
-        if finite_rates:
-            beta_est[unmeasured] = float(np.mean(finite_rates))
-
-    if clamp:
-        C_est = np.maximum(C_est, 0.0)
-        t_est = np.maximum(t_est, 0.0)
-        L_est = np.maximum(L_est, 0.0)
-        np.fill_diagonal(L_est, 0.0)
-        beta_est = np.where(beta_est <= 0, np.inf, beta_est)
-
-    model = ExtendedLMOModel(C=C_est, t=t_est, L=L_est, beta=beta_est)
+    # -- solve per triplet (eqs. 8 and 11), average (eq. 12) ------------------
+    solves = [solve_triplet(measured, triple, probe_nbytes) for triple in base_triplets]
+    c_samples, t_samples, l_samples, beta_samples = collect_parameter_samples(
+        solves, n, pairs
+    )
+    model = assemble_model(
+        n, c_samples, t_samples, l_samples, beta_samples, clamp=clamp
+    )
     return LMOEstimationResult(
         model=model,
         probe_nbytes=probe_nbytes,

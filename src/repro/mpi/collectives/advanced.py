@@ -16,7 +16,7 @@ matters.  Implemented:
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from repro.mpi.collectives import binomial
 from repro.mpi.comm import COLL_TAG, RankComm

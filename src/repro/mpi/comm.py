@@ -236,7 +236,7 @@ class RankComm:
         env = yield req.done
         if req.kind == "recv":
             cluster = self.layer.cluster
-            cost = cluster.noisy(cluster.ground_truth.send_cost(self.rank, env.nbytes))
+            cost = cluster.noisy(cluster.processing_cost(self.rank, env.nbytes))
             usage = cluster.cpu[self.rank].request()
             yield usage
             start = cluster.sim.now
@@ -344,9 +344,7 @@ class GroupComm(RankComm):
         env = yield req.done
         if req.kind == "recv":
             cluster = self.layer.cluster
-            cost = cluster.noisy(
-                cluster.ground_truth.send_cost(self._physical, env.nbytes)
-            )
+            cost = cluster.noisy(cluster.processing_cost(self._physical, env.nbytes))
             usage = cluster.cpu[self._physical].request()
             yield usage
             start = cluster.sim.now

@@ -12,7 +12,7 @@ performance in the escalation region.
 from __future__ import annotations
 
 import math
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from repro.models.lmo_extended import GatherIrregularity
 from repro.mpi.collectives import linear

@@ -357,6 +357,8 @@ class Simulator:
 
     def step(self) -> None:
         """Process exactly one event."""
+        if not self._queue:
+            raise SimulationError("no events scheduled")
         time, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = time
         event._fire()

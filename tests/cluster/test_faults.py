@@ -1,0 +1,212 @@
+"""Fault-injection subsystem: plans, windows, and transport effects."""
+
+import math
+
+import pytest
+
+from repro.cluster import (
+    FaultInjector,
+    FaultPlan,
+    FlakyLink,
+    IDEAL,
+    LAM_7_1_3,
+    GroundTruth,
+    LinkDegradation,
+    NodeHang,
+    NodeSlowdown,
+    NoiseModel,
+    SimulatedCluster,
+    random_cluster,
+)
+from repro.estimation import DESEngine, roundtrip
+
+KB = 1024
+
+
+def quiet(n=4, seed=5, profile=IDEAL):
+    gt = GroundTruth.random(n, seed=seed)
+    return SimulatedCluster(
+        random_cluster(n, seed=seed), ground_truth=gt,
+        profile=profile, noise=NoiseModel.none(), seed=seed,
+    )
+
+
+def rt(cluster, i, j, nbytes=8 * KB):
+    return DESEngine(cluster).run(roundtrip(i, j, nbytes))
+
+
+# -- fault dataclass validation ----------------------------------------------
+
+def test_slowdown_rejects_nonpositive_factor():
+    with pytest.raises(ValueError, match="factor"):
+        NodeSlowdown(node=0, factor=0.0)
+
+
+def test_slowdown_rejects_inverted_window():
+    with pytest.raises(ValueError, match="start"):
+        NodeSlowdown(node=0, factor=2.0, start=1.0, end=0.5)
+
+
+def test_link_degradation_rejects_self_link():
+    with pytest.raises(ValueError, match="distinct"):
+        LinkDegradation(a=1, b=1, latency_factor=2.0)
+
+
+def test_link_degradation_rejects_improving_factors():
+    with pytest.raises(ValueError, match="latency_factor"):
+        LinkDegradation(a=0, b=1, latency_factor=0.5)
+    with pytest.raises(ValueError, match="rate_factor"):
+        LinkDegradation(a=0, b=1, rate_factor=1.5)
+
+
+def test_flaky_link_rejects_bad_probability():
+    with pytest.raises(ValueError, match="loss_prob"):
+        FlakyLink(a=0, b=1, loss_prob=0.0)
+    with pytest.raises(ValueError, match="loss_prob"):
+        FlakyLink(a=0, b=1, loss_prob=1.5)
+
+
+def test_hang_must_be_finite():
+    with pytest.raises(ValueError, match="finite"):
+        NodeHang(node=0, start=0.0, duration=math.inf)
+    assert NodeHang(node=0, start=1.0, duration=0.5).end == 1.5
+
+
+def test_plan_rejects_non_faults_and_out_of_range_nodes():
+    with pytest.raises(TypeError, match="not a fault"):
+        FaultPlan(faults=("whoops",))
+    plan = FaultPlan(faults=(NodeSlowdown(node=7, factor=2.0),))
+    with pytest.raises(ValueError, match="out-of-range"):
+        plan.validate(4)
+    plan.validate(8)
+
+
+def test_plan_describe_and_nodes_touched():
+    plan = FaultPlan(faults=(
+        NodeSlowdown(node=1, factor=4.0),
+        FlakyLink(a=0, b=2, loss_prob=0.2, start=1.0, end=2.0),
+        LinkDegradation(a=2, b=3, latency_factor=3.0, rate_factor=0.5),
+        NodeHang(node=0, start=0.5, duration=0.25),
+    ))
+    assert plan.nodes_touched() == {0, 1, 2, 3}
+    text = plan.describe()
+    assert "slow node 1 x4" in text
+    assert "flaky link 0-2" in text and "[1, 2)" in text
+    assert "degrade link 2-3" in text
+    assert "hang node 0" in text
+    assert FaultPlan().describe() == "(no faults)"
+    assert len(plan) == 4
+
+
+def test_attach_validates_against_cluster_size():
+    cluster = quiet(n=4)
+    plan = FaultPlan(faults=(NodeSlowdown(node=9, factor=2.0),))
+    with pytest.raises(ValueError, match="out-of-range"):
+        cluster.attach_injector(FaultInjector(plan))
+
+
+# -- transport effects --------------------------------------------------------
+
+def test_node_slowdown_inflates_roundtrips_through_that_node():
+    baseline = rt(quiet(), 0, 1)
+    other = rt(quiet(), 2, 3)
+    cluster = quiet()
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(NodeSlowdown(node=0, factor=4.0),),
+    )))
+    assert rt(cluster, 0, 1) > baseline
+    # A pair not touching node 0 is unaffected, bit-for-bit.
+    assert rt(cluster, 2, 3) == other
+
+
+def test_brownout_auto_reverts_on_the_cumulative_clock():
+    baseline = rt(quiet(), 0, 1)
+    cluster = quiet()
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(NodeSlowdown(node=0, factor=8.0, start=0.0, end=0.004),),
+    )))
+    during = rt(cluster, 0, 1)
+    assert during > baseline
+    # Burn cumulative simulated time past the window's end.
+    while cluster.injector.now < 0.004:
+        rt(cluster, 2, 3)
+    assert rt(cluster, 0, 1) == baseline
+
+
+def test_link_degradation_slows_exactly_that_link():
+    baseline_01 = rt(quiet(), 0, 1)
+    baseline_02 = rt(quiet(), 0, 2)
+    cluster = quiet()
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(LinkDegradation(a=0, b=1, latency_factor=4.0, rate_factor=0.25),),
+    )))
+    assert rt(cluster, 0, 1) > baseline_01
+    assert rt(cluster, 0, 2) == baseline_02
+
+
+def test_flaky_link_costs_full_rto_per_loss():
+    baseline = rt(quiet(profile=LAM_7_1_3), 0, 1)
+    cluster = quiet(profile=LAM_7_1_3)
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(FlakyLink(a=0, b=1, loss_prob=1.0),),
+    )))
+    lossy = rt(cluster, 0, 1)
+    # Two one-way transfers cross the link, each losing its head-of-line
+    # burst: at least two full retransmission timeouts.
+    assert lossy >= baseline + 2 * LAM_7_1_3.rto_base
+    assert cluster.injector.stats.loss_escalations >= 2
+    assert cluster.injector.stats.loss_escalation_time > 0
+
+
+def test_hang_stalls_transfers_until_it_clears():
+    cluster = quiet()
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(NodeHang(node=1, start=0.0, duration=0.05),),
+    )))
+    stalled = rt(cluster, 0, 1)
+    assert stalled >= 0.05  # waited out the hang, then completed
+    assert cluster.injector.stats.hang_stalls >= 1
+
+
+def test_epoch_accumulates_across_runs():
+    cluster = quiet()
+    injector = FaultInjector(FaultPlan())
+    cluster.attach_injector(injector)
+    rt(cluster, 0, 1)
+    rt(cluster, 0, 1)
+    assert injector.epoch > 0.0
+
+
+def test_detaching_injector_restores_fault_free_times():
+    baseline = rt(quiet(), 0, 1)
+    cluster = quiet()
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(NodeSlowdown(node=0, factor=4.0),),
+    )))
+    assert rt(cluster, 0, 1) != baseline
+    cluster.attach_injector(None)
+    assert rt(cluster, 0, 1) == baseline
+
+
+def test_same_plan_same_seed_is_bit_identical():
+    plan = FaultPlan(faults=(
+        NodeSlowdown(node=1, factor=3.0),
+        FlakyLink(a=0, b=2, loss_prob=0.5),
+    ), seed=42)
+    times = []
+    for _ in range(2):
+        cluster = quiet(profile=LAM_7_1_3)
+        cluster.attach_injector(FaultInjector(plan))
+        times.append([rt(cluster, 0, 2), rt(cluster, 0, 2), rt(cluster, 1, 3)])
+    assert times[0] == times[1]
+
+
+def test_different_fault_seeds_diverge():
+    def trace(fault_seed):
+        cluster = quiet(profile=LAM_7_1_3)
+        cluster.attach_injector(FaultInjector(FaultPlan(
+            faults=(FlakyLink(a=0, b=1, loss_prob=0.5),), seed=fault_seed,
+        )))
+        return [rt(cluster, 0, 1) for _ in range(6)]
+
+    assert trace(1) != trace(2)

@@ -7,7 +7,6 @@ literally implements the model the paper proposes, and all irregularities
 are explicit, separately-tested add-ons.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import (

@@ -13,8 +13,8 @@ import pytest
 from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster
 from repro.cluster.topology import TwoSwitchTopology
 from repro.estimation import DESEngine, estimate_extended_lmo
-from repro.models import ExtendedLMOModel, predict_linear_scatter
-from repro.mpi import run_collective, run_ranks
+from repro.models import predict_linear_scatter
+from repro.mpi import run_collective
 
 KB = 1024
 

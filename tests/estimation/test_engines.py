@@ -1,6 +1,5 @@
 """Tests for the DES and analytic experiment engines."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster

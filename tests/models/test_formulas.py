@@ -1,6 +1,5 @@
 """Tests for Table II closed forms and the binomial recursion (eqs. 1-3)."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import GroundTruth

@@ -1,6 +1,5 @@
 """Tests for van de Geijn bcast, reduce-scatter, Rabenseifner allreduce."""
 
-import numpy as np
 import pytest
 
 from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, random_cluster

@@ -5,7 +5,6 @@ contracts: no deadlock, every payload arrives intact exactly once, and
 timing is deterministic and monotone under size scaling.
 """
 
-import numpy as np
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

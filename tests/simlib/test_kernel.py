@@ -390,3 +390,11 @@ def test_any_of_ignores_later_events_after_first():
     sim.spawn(waiter(sim))
     sim.run()
     assert got == ["first"]
+
+
+def test_step_on_empty_queue_raises_simulation_error():
+    sim = Simulator()
+    with pytest.raises(SimulationError, match="no events scheduled"):
+        sim.step()
+    # The clock is untouched by the failed step.
+    assert sim.now == 0.0

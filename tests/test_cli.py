@@ -164,3 +164,52 @@ def test_plan_subcommand_bad_spec(tmp_path, capsys):
     capsys.readouterr()
     assert main(["plan", "--model-file", str(out_file), "bcast"]) == 2
     assert "bad call spec" in capsys.readouterr().err
+
+
+def test_chaos_subcommand_heals(capsys):
+    assert main(["chaos", "--nodes", "5", "--cycles", "2", "--reps", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "fault plan" in out
+    assert "slow node 1" in out  # default demo plan
+    assert "bootstrap" in out
+    assert "health log" in out
+    assert "verdict:" in out
+
+
+def test_chaos_subcommand_custom_plan(capsys):
+    assert main([
+        "chaos", "--nodes", "4", "--cycles", "1", "--reps", "2",
+        "--slow-node", "2:3.0", "--fault-seed", "5",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "slow node 2 x3" in out
+
+
+def test_chaos_rejects_out_of_range_fault(capsys):
+    assert main([
+        "chaos", "--nodes", "4", "--slow-node", "9:2.0",
+    ]) == 2
+    assert "bad fault plan" in capsys.readouterr().err
+
+
+def test_chaos_rejects_bad_cluster_size(capsys):
+    assert main(["chaos", "--nodes", "2"]) == 2
+    assert "--nodes" in capsys.readouterr().err
+
+
+def test_drift_subcommand_healthy_and_degraded(tmp_path, capsys):
+    out_file = tmp_path / "lmo.json"
+    main(["estimate", "--model", "lmo", "--quick", "--reps", "2",
+          "--out", str(out_file)])
+    capsys.readouterr()
+    # Generous threshold: the quick reps=2 estimate is noisy (its worst
+    # pair sits near 60%), but nowhere near a real degradation's 100%+.
+    assert main(["drift", "--model-file", str(out_file),
+                 "--threshold", "0.8"]) == 0
+    assert "still accurate" in capsys.readouterr().out
+    # A degraded node pushes its pairs far past any threshold.
+    assert main(["drift", "--model-file", str(out_file),
+                 "--threshold", "0.8", "--degrade-node", "5"]) == 1
+    out = capsys.readouterr().out
+    assert "implicated nodes: 5" in out
+    assert "DRIFTED" in out

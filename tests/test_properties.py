@@ -148,3 +148,56 @@ def test_estimation_on_homogeneous_cluster_gives_uniform_parameters():
     model = estimate_extended_lmo(AnalyticEngine(gt), reps=1).model
     assert np.ptp(model.C) < 1e-12
     assert np.ptp(model.t) < 1e-15
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(3, 8), seed=st.integers(0, 50), fault_seed=st.integers(0, 50),
+       op=st.sampled_from(["scatter", "gather"]))
+def test_faulted_runs_are_bit_identical_per_seed(n, seed, fault_seed, op):
+    """Same cluster seed + same FaultPlan => bit-identical traces."""
+    from repro.cluster import FaultInjector, FaultPlan, FlakyLink, NodeSlowdown
+
+    plan = FaultPlan(faults=(
+        NodeSlowdown(node=0, factor=3.0),
+        FlakyLink(a=0, b=1, loss_prob=0.5),
+    ), seed=fault_seed)
+    times = []
+    for _ in range(2):
+        cluster, _model = quiet(n, seed)
+        cluster.attach_injector(FaultInjector(plan))
+        times.append([
+            run_collective(cluster, op, "linear", nbytes=4 * KB).time
+            for _ in range(3)
+        ])
+    assert times[0] == times[1]
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(3, 8), seed=st.integers(0, 50))
+def test_empty_fault_plan_is_invisible(n, seed):
+    """An injector with no faults must not perturb the simulation at all."""
+    from repro.cluster import FaultInjector, FaultPlan
+
+    cluster, _model = quiet(n, seed)
+    baseline = run_collective(cluster, "scatter", "linear", nbytes=4 * KB).time
+    cluster.attach_injector(FaultInjector(FaultPlan()))
+    assert run_collective(cluster, "scatter", "linear", nbytes=4 * KB).time == baseline
+
+
+@settings(max_examples=8, deadline=None)
+@given(n=st.integers(3, 8), seed=st.integers(0, 50), fault_seed=st.integers(0, 50))
+def test_robust_estimation_is_deterministic_under_faults(n, seed, fault_seed):
+    """Same seeds + same plan => bit-identical robust estimates."""
+    from repro.cluster import FaultInjector, FaultPlan, FlakyLink
+    from repro.estimation import DESEngine, estimate_extended_lmo_robust
+
+    plan = FaultPlan(faults=(FlakyLink(a=0, b=1, loss_prob=0.4),), seed=fault_seed)
+    models = []
+    for _ in range(2):
+        cluster, _model = quiet(n, seed)
+        cluster.attach_injector(FaultInjector(plan))
+        models.append(estimate_extended_lmo_robust(DESEngine(cluster), reps=2).model)
+    np.testing.assert_array_equal(models[0].C, models[1].C)
+    np.testing.assert_array_equal(models[0].t, models[1].t)
+    np.testing.assert_array_equal(models[0].L, models[1].L)
+    np.testing.assert_array_equal(models[0].beta, models[1].beta)
