@@ -4,18 +4,16 @@ the same simulated cluster and rank their linear scatter/gather accuracy.
 This is the workload of the paper's Section V in miniature: Hockney
 (homogeneous + heterogeneous), LogGP, PLogP and the extended LMO model,
 each estimated by its own published procedure, each predicting the same
-collectives, judged against the same observations.
+collectives through one batched :func:`repro.api.predict_many` call per
+model, judged against the same observations.
 
 Run with::
 
     python examples/compare_models.py
 """
 
-from repro.benchlib import CollectiveBenchmark
-from repro.cluster import LAM_7_1_3, SimulatedCluster, table1_cluster
+from repro import api
 from repro.experiments.common import ModelSuite
-from repro.models import GatherPrediction, predict_linear_gather, predict_linear_scatter
-from repro.stats import MeasurementPolicy
 
 KB = 1024
 #: Sweep spans the eager/rendezvous leap at 64 KB: PLogP is competitive
@@ -23,23 +21,15 @@ KB = 1024
 SIZES = tuple(int(m * KB) for m in (2, 8, 16, 32, 48, 96, 128))
 
 
-def gather_value(model, nbytes: int) -> float:
-    pred = predict_linear_gather(model, nbytes)
-    return pred.expected if isinstance(pred, GatherPrediction) else float(pred)
-
-
 def main() -> None:
-    estimation_cluster = SimulatedCluster(table1_cluster(), profile=LAM_7_1_3, seed=1)
+    estimation_cluster = api.load_cluster(profile="lam", seed=1)
     suite = ModelSuite.estimate(estimation_cluster)
     print("estimation cost per model (simulated cluster seconds):")
     for name, cost in suite.estimation_times.items():
         print(f"  {name:<14} {cost:8.2f} s")
     print()
 
-    observation_cluster = SimulatedCluster(table1_cluster(), profile=LAM_7_1_3, seed=2)
-    bench = CollectiveBenchmark(
-        observation_cluster, policy=MeasurementPolicy(max_reps=15)
-    )
+    observation_cluster = api.load_cluster(profile="lam", seed=2)
     models = {
         "hom-Hockney": suite.hockney_hom,
         "het-Hockney": suite.hockney_het,
@@ -48,16 +38,22 @@ def main() -> None:
         "LMO": suite.lmo,
     }
 
-    for operation, predict in (
-        ("scatter", lambda model, m: float(predict_linear_scatter(model, m))),
-        ("gather", gather_value),
-    ):
+    for operation in ("scatter", "gather"):
         print(f"linear {operation}: mean relative prediction error")
-        observed = {m: bench.measure(operation, "linear", m).mean for m in SIZES}
+        observed = {
+            m: api.measure(observation_cluster, operation, "linear", m,
+                           max_reps=15).mean
+            for m in SIZES
+        }
+        requests = [
+            api.PredictRequest(operation, "linear", float(m)) for m in SIZES
+        ]
         scores = {}
         for name, model in models.items():
+            predictions = api.predict_many(model, requests)
             errors = [
-                abs(predict(model, m) - observed[m]) / observed[m] for m in SIZES
+                abs(predicted - observed[m]) / observed[m]
+                for m, predicted in zip(SIZES, predictions)
             ]
             scores[name] = sum(errors) / len(errors)
         for rank, (name, err) in enumerate(

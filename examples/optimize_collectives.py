@@ -5,7 +5,8 @@ Three optimizations driven by the estimated LMO model:
 1. algorithm selection — switch between linear and binomial scatter where
    the model (not a homogeneous rule of thumb) says so;
 2. gather message-splitting — avoid the TCP-incast escalation region
-   using the estimated empirical parameters (M1, M2);
+   using the estimated empirical parameters (M1, M2), with the expected
+   gain predicted up front by :func:`repro.api.optimize_gather`;
 3. processor-to-tree mapping — place slow processors at leaf positions of
    the binomial tree.
 
@@ -16,7 +17,7 @@ Run with::
 
 import numpy as np
 
-from repro.cluster import LAM_7_1_3, SimulatedCluster, table1_cluster
+from repro import api
 from repro.experiments.common import ModelSuite
 from repro.models import binomial_tree
 from repro.mpi import run_collective, run_ranks
@@ -43,8 +44,8 @@ def measure_gather(cluster, factory, nbytes, reps=10):
 
 
 def main() -> None:
-    cluster = SimulatedCluster(table1_cluster(), profile=LAM_7_1_3, seed=3)
-    suite = ModelSuite.estimate(SimulatedCluster(table1_cluster(), profile=LAM_7_1_3, seed=4))
+    cluster = api.load_cluster(profile="lam", seed=3)
+    suite = ModelSuite.estimate(api.load_cluster(profile="lam", seed=4))
     lmo = suite.lmo
 
     # -- 1. algorithm selection ------------------------------------------
@@ -71,14 +72,18 @@ def main() -> None:
     print(f"   estimated M1={irregularity.m1 / KB:.0f} KB, "
           f"M2={irregularity.m2 / KB:.0f} KB, "
           f"escalations ~{irregularity.escalation_value * 1e3:.0f} ms")
-    for m in (16 * KB, 32 * KB, 48 * KB):
+    split_sizes = (16 * KB, 32 * KB, 48 * KB)
+    plan = api.optimize_gather(lmo, split_sizes)
+    for m, chunks, predicted_gain in zip(split_sizes, plan.chunk_counts,
+                                         plan.speedups):
         native_mean, native_worst = measure_gather(
             cluster, lambda c, r, n: linear.gather(c, r, n), m
         )
         opt_mean, opt_worst = measure_gather(
             cluster, lambda c, r, n: optimized_gather(c, r, n, irregularity), m
         )
-        print(f"   M={m // KB:>3} KB: native {native_mean * 1e3:7.1f} ms "
+        print(f"   M={m // KB:>3} KB ({chunks} chunks, predicted "
+              f"{predicted_gain:4.1f}x): native {native_mean * 1e3:7.1f} ms "
               f"(worst {native_worst * 1e3:7.1f}), optimized {opt_mean * 1e3:6.2f} ms "
               f"-> {native_mean / opt_mean:5.1f}x")
     print()

@@ -1,16 +1,13 @@
 """Quickstart: simulate the paper's cluster, estimate the LMO model,
-predict a collective, and check the prediction against a measurement.
+predict a collective, and check the prediction against a measurement —
+the whole workflow through the :mod:`repro.api` facade.
 
 Run with::
 
     python examples/quickstart.py
 """
 
-from repro.benchlib import CollectiveBenchmark
-from repro.cluster import LAM_7_1_3, SimulatedCluster, table1_cluster
-from repro.estimation import DESEngine, estimate_extended_lmo
-from repro.models import predict_linear_scatter
-from repro.stats import MeasurementPolicy
+from repro import api
 
 KB = 1024
 
@@ -18,17 +15,16 @@ KB = 1024
 def main() -> None:
     # 1. The paper's 16-node heterogeneous cluster behind one switch,
     #    running LAM 7.1.3 over TCP (Table I).
-    cluster = SimulatedCluster(table1_cluster(), profile=LAM_7_1_3, seed=0)
+    cluster = api.load_cluster(profile="lam", seed=0)
     print(cluster.spec.describe())
     print()
 
     # 2. Estimate the extended LMO model: C(n,2) roundtrips plus
     #    3*C(n,3) one-to-two experiments, solved per triplet (eqs. 6-12).
-    engine = DESEngine(cluster)
-    result = estimate_extended_lmo(engine, reps=3, clamp=True)
-    model = result.model
-    print(f"estimated {model.n}-node LMO model "
-          f"in {result.estimation_time:.2f} s of cluster time")
+    outcome = api.estimate(cluster, model="lmo", reps=3)
+    model = outcome.model
+    print(f"estimated {outcome.n}-node LMO model "
+          f"in {outcome.estimation_time:.2f} s of cluster time")
     print(f"  fixed processor delays C: {model.C.min() * 1e6:.0f}"
           f"..{model.C.max() * 1e6:.0f} us")
     print(f"  per-byte delays t:        {model.t.min() * 1e9:.1f}"
@@ -37,18 +33,17 @@ def main() -> None:
 
     # 3. Predict linear scatter with the paper's formula (4) ...
     nbytes = 64 * KB
-    predicted = predict_linear_scatter(model, nbytes)
+    predicted = api.predict(model, "scatter", "linear", nbytes)
 
     # 4. ... and compare against an MPIBlib-style measurement
-    #    (95% confidence, 2.5% relative error).
-    bench = CollectiveBenchmark(cluster, policy=MeasurementPolicy.paper())
-    point = bench.measure("scatter", "linear", nbytes)
+    #    (repeat until the 95% confidence interval closes).
+    measured = api.measure(cluster, "scatter", "linear", nbytes)
     print(f"linear scatter of {nbytes // KB} KB blocks on 16 nodes:")
-    print(f"  LMO prediction: {predicted * 1e3:8.3f} ms")
-    print(f"  measured:       {point.mean * 1e3:8.3f} ms "
-          f"(+-{point.summary.ci_halfwidth * 1e3:.3f} ms, "
-          f"{point.summary.count} reps)")
-    print(f"  relative error: {abs(predicted - point.mean) / point.mean:.1%}")
+    print(f"  LMO prediction: {predicted.seconds * 1e3:8.3f} ms")
+    print(f"  measured:       {measured.mean * 1e3:8.3f} ms "
+          f"(+-{measured.ci_halfwidth * 1e3:.3f} ms, {measured.reps} reps)")
+    error = abs(predicted.seconds - measured.mean) / measured.mean
+    print(f"  relative error: {error:.1%}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,356 @@
+"""The stable high-level API of the reproduction toolkit.
+
+One import gives the whole paper workflow::
+
+    from repro import api
+
+    cluster = api.load_cluster()                 # Table I, LAM 7.1.3
+    outcome = api.estimate(cluster)              # extended LMO (eqs. 6-12)
+    p = api.predict(outcome.model, "scatter", "linear", 65536)
+    m = api.measure(cluster, "scatter", "linear", 65536)
+    print(p.seconds, m.mean)
+
+Every function returns a frozen dataclass with a ``to_dict()`` method, so
+results serialize straight to JSON (this is what ``--format json`` in the
+CLI emits).  Heavy lifting stays in the specialist modules — estimation
+in :mod:`repro.estimation`, vectorized prediction in
+:mod:`repro.predict_service`, measurement in :mod:`repro.benchlib` — the
+facade only composes them and names their results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro import io as model_io
+from repro.benchlib import CollectiveBenchmark
+from repro.cluster import (
+    LAM_7_1_3,
+    MPICH_1_2_7,
+    OPEN_MPI,
+    IDEAL,
+    ClusterSpec,
+    NoiseModel,
+    SimulatedCluster,
+    table1_cluster,
+)
+from repro.estimation import (
+    DESEngine,
+    detect_gather_irregularity,
+    estimate_extended_lmo,
+    estimate_heterogeneous_hockney,
+    estimate_loggp,
+    estimate_plogp,
+    star_triplets,
+    sweep_collective,
+)
+from repro.models.lmo_extended import ExtendedLMOModel
+from repro.optimize.gather_splitting import (
+    predict_optimized_gather_sweep,
+    split_chunk_counts,
+)
+from repro.predict_service import (
+    PredictRequest,
+    available_algorithms,
+    predict_many as _predict_many,
+    predict_one,
+    predict_sweep,
+)
+from repro.stats import MeasurementPolicy
+
+__all__ = [
+    "PROFILES",
+    "PredictRequest",
+    "Prediction",
+    "Measurement",
+    "EstimateOutcome",
+    "GatherOptimization",
+    "available_algorithms",
+    "load_cluster",
+    "load_model",
+    "save_model",
+    "estimate",
+    "predict",
+    "predict_many",
+    "predict_sweep",
+    "measure",
+    "optimize_gather",
+]
+
+KB = 1024
+
+#: MPI implementation profiles selectable by name.
+PROFILES = {
+    "lam": LAM_7_1_3,
+    "mpich": MPICH_1_2_7,
+    "openmpi": OPEN_MPI,
+    "ideal": IDEAL,
+}
+
+
+# -- result types ---------------------------------------------------------------
+@dataclass(frozen=True)
+class Prediction:
+    """One predicted collective (or point-to-point) time."""
+
+    operation: str
+    algorithm: str
+    nbytes: float
+    root: int
+    seconds: float
+    #: Gather regime ("small" / "medium" / "large") when the model carries
+    #: an empirical irregularity; None otherwise.
+    regime: Optional[str] = None
+    escalation_probability: Optional[float] = None
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One benchmarked collective time with its confidence interval."""
+
+    operation: str
+    algorithm: str
+    nbytes: int
+    root: int
+    mean: float
+    ci_halfwidth: float
+    reps: int
+    confidence: float
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+@dataclass(frozen=True)
+class EstimateOutcome:
+    """An estimated model plus what the estimation cost."""
+
+    model: object
+    model_name: str
+    n: int
+    #: Simulated cluster seconds consumed by the estimation procedure.
+    estimation_time: float
+
+    def to_dict(self) -> dict:
+        return {
+            "model_name": self.model_name,
+            "n": self.n,
+            "estimation_time": self.estimation_time,
+        }
+
+
+@dataclass(frozen=True)
+class GatherOptimization:
+    """Predicted effect of model-based gather message-splitting (Fig. 7)."""
+
+    root: int
+    sizes: tuple[float, ...]
+    chunk_counts: tuple[int, ...]
+    native_seconds: tuple[float, ...]
+    optimized_seconds: tuple[float, ...]
+
+    @property
+    def speedups(self) -> tuple[float, ...]:
+        """native / optimized per size (1.0 where no split applies)."""
+        return tuple(
+            native / opt if opt > 0 else 1.0
+            for native, opt in zip(self.native_seconds, self.optimized_seconds)
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "root": self.root,
+            "sizes": list(self.sizes),
+            "chunk_counts": list(self.chunk_counts),
+            "native_seconds": list(self.native_seconds),
+            "optimized_seconds": list(self.optimized_seconds),
+            "speedups": list(self.speedups),
+        }
+
+
+# -- cluster and model I/O ------------------------------------------------------
+def load_cluster(
+    spec: Union[ClusterSpec, str, None] = None,
+    nodes: Optional[int] = None,
+    profile: str = "lam",
+    seed: int = 0,
+    noise: bool = True,
+) -> SimulatedCluster:
+    """Build a simulated cluster.
+
+    ``spec`` is a :class:`ClusterSpec`, a path to a saved spec JSON, or
+    None for the paper's Table I cluster.  ``nodes`` optionally truncates
+    to the first N nodes.  ``profile`` names an MPI implementation
+    (``lam`` / ``mpich`` / ``openmpi`` / ``ideal``).
+    """
+    if spec is None:
+        spec = table1_cluster()
+    elif isinstance(spec, str):
+        spec = model_io.load(spec)
+        if not isinstance(spec, ClusterSpec):
+            raise TypeError(f"{type(spec).__name__} is not a cluster spec")
+    if nodes is not None:
+        if not (2 <= nodes <= spec.n):
+            raise ValueError(f"nodes must be in [2, {spec.n}], got {nodes}")
+        spec = ClusterSpec(spec.nodes[:nodes], name=f"{spec.name}-{nodes}")
+    if profile not in PROFILES:
+        raise KeyError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
+    return SimulatedCluster(
+        spec,
+        profile=PROFILES[profile],
+        noise=NoiseModel.default() if noise else NoiseModel.none(),
+        seed=seed,
+    )
+
+
+def load_model(path: str):
+    """Load a saved model (any schema version :mod:`repro.io` accepts)."""
+    return model_io.load(path)
+
+
+def save_model(model, path: str) -> None:
+    """Save a model as schema-v2 JSON."""
+    model_io.save(model, path)
+
+
+# -- estimation -----------------------------------------------------------------
+def estimate(
+    cluster: SimulatedCluster,
+    model: str = "lmo",
+    reps: int = 3,
+    quick: bool = False,
+    empirical: bool = False,
+) -> EstimateOutcome:
+    """Run a model's published estimation procedure on ``cluster``.
+
+    ``model`` is one of ``lmo`` (extended LMO, eqs. 6-12), ``hockney``
+    (heterogeneous Hockney), ``loggp`` or ``plogp``.  ``quick`` uses the
+    reduced star-triplet design (LMO only); ``empirical`` additionally
+    detects the gather irregularity parameters M1/M2 (LMO only).
+    """
+    engine = DESEngine(cluster)
+    start = engine.estimation_time
+    if model == "lmo":
+        triplets = star_triplets(cluster.n) if quick else None
+        estimated = estimate_extended_lmo(
+            engine, reps=reps, triplets=triplets, clamp=True
+        ).model
+        if empirical:
+            sweep = sweep_collective(
+                engine, "gather", "linear",
+                sizes=[2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 48 * KB,
+                       64 * KB, 80 * KB, 96 * KB],
+                reps=12,
+            )
+            estimated = estimated.with_irregularity(detect_gather_irregularity(sweep))
+    elif model == "hockney":
+        estimated = estimate_heterogeneous_hockney(engine, reps=reps).model
+    elif model == "loggp":
+        estimated = estimate_loggp(engine, reps=reps)
+    elif model == "plogp":
+        estimated = estimate_plogp(engine, reps=reps).model
+    else:
+        raise KeyError(f"unknown model {model!r}; choose from "
+                       "['lmo', 'hockney', 'loggp', 'plogp']")
+    return EstimateOutcome(
+        model=estimated,
+        model_name=model,
+        n=cluster.n,
+        estimation_time=float(engine.estimation_time - start),
+    )
+
+
+# -- prediction -----------------------------------------------------------------
+def predict(
+    model,
+    operation: str,
+    algorithm: str,
+    nbytes: float,
+    root: int = 0,
+    **kwargs,
+) -> Prediction:
+    """One predicted time, via the central batched prediction service.
+
+    Raises ``KeyError`` when the model has no formula for the
+    (operation, algorithm) pair — see :func:`available_algorithms`.
+    """
+    seconds = predict_one(model, operation, algorithm, nbytes, root=root, **kwargs)
+    regime = escalation = None
+    irregularity = getattr(model, "gather_irregularity", None)
+    if operation == "gather" and irregularity is not None:
+        regime = irregularity.regime(nbytes)
+        escalation = irregularity.escalation_probability(nbytes)
+    return Prediction(
+        operation=operation, algorithm=algorithm, nbytes=float(nbytes), root=root,
+        seconds=seconds, regime=regime, escalation_probability=escalation,
+    )
+
+
+def predict_many(model, requests: Sequence[PredictRequest]) -> np.ndarray:
+    """Predicted times for a heterogeneous batch, in request order.
+
+    Thin facade over :func:`repro.predict_service.predict_many`; requests
+    are grouped and evaluated as vectorized sweeps behind one LRU cache.
+    """
+    return _predict_many(model, requests)
+
+
+# -- measurement ----------------------------------------------------------------
+def measure(
+    cluster: SimulatedCluster,
+    operation: str,
+    algorithm: str,
+    nbytes: int,
+    root: int = 0,
+    max_reps: int = 25,
+    policy: Optional[MeasurementPolicy] = None,
+    **kwargs,
+) -> Measurement:
+    """Benchmark one collective (MPIBlib-style: repeat until the CI closes)."""
+    if policy is None:
+        policy = MeasurementPolicy(min_reps=min(5, max_reps), max_reps=max_reps)
+    bench = CollectiveBenchmark(cluster, policy=policy)
+    point = bench.measure(operation, algorithm, int(nbytes), root=root, **kwargs)
+    summary = point.summary
+    return Measurement(
+        operation=operation, algorithm=algorithm, nbytes=int(nbytes), root=root,
+        mean=float(summary.mean), ci_halfwidth=float(summary.ci_halfwidth),
+        reps=int(summary.count), confidence=float(summary.confidence),
+    )
+
+
+# -- optimization ---------------------------------------------------------------
+def optimize_gather(
+    model: ExtendedLMOModel,
+    sizes: Sequence[float],
+    root: int = 0,
+    safety: float = 0.9,
+) -> GatherOptimization:
+    """Predict the gain of gather message-splitting over a size sweep.
+
+    Sizes in the escalation region (M1, M2) are split into chunks below
+    M1; the result compares the native linear gather prediction against
+    the split schedule (both vectorized, one call each).
+    """
+    nb = np.asarray(sizes, dtype=float)
+    native = predict_sweep(model, "gather", "linear", nb, root=root)
+    irregularity = getattr(model, "gather_irregularity", None)
+    if irregularity is None:
+        counts = np.ones_like(nb)
+        optimized = native
+    else:
+        counts = split_chunk_counts(nb, irregularity, safety)
+        optimized = predict_optimized_gather_sweep(model, nb, root=root, safety=safety)
+    return GatherOptimization(
+        root=root,
+        sizes=tuple(float(m) for m in nb),
+        chunk_counts=tuple(int(c) for c in counts),
+        native_seconds=tuple(float(t) for t in native),
+        optimized_seconds=tuple(float(t) for t in optimized),
+    )

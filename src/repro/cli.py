@@ -3,7 +3,11 @@
 Mirrors the workflow of the paper's software tool [13]: describe the
 cluster, estimate a model's parameters (to JSON), predict collectives
 with it, measure them for comparison, visualize a run, and regenerate
-the paper's experiments.
+the paper's experiments.  All model I/O, estimation, prediction and
+measurement route through the :mod:`repro.api` facade.
+
+Every subcommand takes ``--format {text,json}``; JSON goes to stdout,
+errors always go to stderr (see ``docs/cli.md``).
 
 Subcommands
 -----------
@@ -24,16 +28,12 @@ report      regenerate all of them (markdown)
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
-from repro import io as model_io
-from repro.benchlib import CollectiveBenchmark
+from repro import api
 from repro.cluster import (
-    LAM_7_1_3,
-    MPICH_1_2_7,
-    OPEN_MPI,
-    IDEAL,
     ClusterSpec,
     FaultInjector,
     FaultPlan,
@@ -50,118 +50,107 @@ from repro.estimation import (
     DESEngine,
     MaintainerPolicy,
     ModelMaintainer,
-    detect_gather_irregularity,
     detect_model_drift,
-    estimate_extended_lmo,
-    estimate_heterogeneous_hockney,
-    estimate_loggp,
-    estimate_plogp,
-    star_triplets,
-    sweep_collective,
 )
-from repro.models import GatherPrediction, predict_binomial_scatter, predict_linear_gather, predict_linear_scatter
 from repro.mpi import run_collective
 from repro.simlib import Tracer
-from repro.stats import MeasurementPolicy
 
 __all__ = ["main"]
 
-PROFILES = {
-    "lam": LAM_7_1_3,
-    "mpich": MPICH_1_2_7,
-    "openmpi": OPEN_MPI,
-    "ideal": IDEAL,
-}
-
+PROFILES = api.PROFILES
 KB = 1024
+
+#: The full prediction menu the ``predict`` subcommand accepts; which
+#: pairs actually work depends on the model (api.available_algorithms).
+PREDICT_OPERATIONS = [
+    "scatter", "gather", "bcast", "allgather", "allreduce", "reduce_scatter",
+]
+PREDICT_ALGORITHMS = [
+    "linear", "binomial", "pipeline", "van_de_geijn", "ring",
+    "recursive_doubling", "reduce_bcast", "rabenseifner",
+]
+
+
+def _emit(args, text: str, payload: dict) -> None:
+    """Print ``text`` or, under ``--format json``, the payload."""
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps(payload, indent=2))
+    else:
+        print(text)
 
 
 def make_cluster(args) -> SimulatedCluster:
-    return SimulatedCluster(
-        table1_cluster(), profile=PROFILES[args.profile],
-        noise=NoiseModel.default(), seed=args.seed,
-    )
+    return api.load_cluster(profile=args.profile, seed=args.seed)
 
 
 def cmd_describe(args) -> int:
     spec = table1_cluster()
-    print(spec.describe())
     gt = synthesize_ground_truth(spec, seed=args.seed)
-    print()
-    print(f"derived parameters (seed {args.seed}):")
-    for rank, node in enumerate(spec.nodes):
-        print(f"  rank {rank:2d} {node.processor:<18} "
-              f"C={gt.C[rank] * 1e6:6.1f} us  t={gt.t[rank] * 1e9:5.2f} ns/B")
     profile = PROFILES[args.profile]
-    print(f"\nMPI profile {profile.name}: eager limit {profile.eager_threshold} B, "
-          f"M1(15 senders)={profile.m1(15) / KB:.1f} KB, M2={profile.m2 / KB:.1f} KB")
+    lines = [spec.describe(), "", f"derived parameters (seed {args.seed}):"]
+    derived = []
+    for rank, node in enumerate(spec.nodes):
+        lines.append(f"  rank {rank:2d} {node.processor:<18} "
+                     f"C={gt.C[rank] * 1e6:6.1f} us  t={gt.t[rank] * 1e9:5.2f} ns/B")
+        derived.append({"rank": rank, "processor": node.processor,
+                        "C": float(gt.C[rank]), "t": float(gt.t[rank])})
+    lines.append(f"\nMPI profile {profile.name}: eager limit "
+                 f"{profile.eager_threshold} B, M1(15 senders)="
+                 f"{profile.m1(15) / KB:.1f} KB, M2={profile.m2 / KB:.1f} KB")
+    _emit(args, "\n".join(lines), {
+        "cluster": spec.to_dict(),
+        "profile": {"name": profile.name,
+                    "eager_threshold": profile.eager_threshold},
+        "derived": derived,
+    })
     return 0
 
 
 def cmd_estimate(args) -> int:
     cluster = make_cluster(args)
-    engine = DESEngine(cluster)
-    if args.model == "lmo":
-        triplets = star_triplets(cluster.n) if args.quick else None
-        result = estimate_extended_lmo(engine, reps=args.reps, triplets=triplets,
-                                       clamp=True)
-        model = result.model
-        if args.empirical:
-            sweep = sweep_collective(
-                engine, "gather", "linear",
-                sizes=[2 * KB, 4 * KB, 8 * KB, 16 * KB, 32 * KB, 48 * KB,
-                       64 * KB, 80 * KB, 96 * KB],
-                reps=12,
-            )
-            model = model.with_irregularity(detect_gather_irregularity(sweep))
-    elif args.model == "hockney":
-        model = estimate_heterogeneous_hockney(engine, reps=args.reps).model
-    elif args.model == "loggp":
-        model = estimate_loggp(engine, reps=args.reps)
-    elif args.model == "plogp":
-        model = estimate_plogp(engine, reps=args.reps).model
-    else:  # pragma: no cover - argparse restricts choices
-        raise AssertionError(args.model)
-    model_io.save(model, args.out)
-    print(f"estimated {args.model} model on {cluster.n} nodes "
-          f"({engine.estimation_time:.2f} s of cluster time) -> {args.out}")
+    outcome = api.estimate(cluster, model=args.model, reps=args.reps,
+                           quick=args.quick, empirical=args.empirical)
+    api.save_model(outcome.model, args.out)
+    _emit(args,
+          f"estimated {args.model} model on {cluster.n} nodes "
+          f"({outcome.estimation_time:.2f} s of cluster time) -> {args.out}",
+          {**outcome.to_dict(), "out": args.out})
     return 0
 
 
 def cmd_predict(args) -> int:
-    model = model_io.load(args.model_file)
-    if args.operation == "scatter" and args.algorithm == "linear":
-        value = float(predict_linear_scatter(model, args.nbytes, root=args.root))
-    elif args.operation == "scatter" and args.algorithm == "binomial":
-        value = float(predict_binomial_scatter(model, args.nbytes, root=args.root))
-    elif args.operation == "gather" and args.algorithm == "linear":
-        prediction = predict_linear_gather(model, args.nbytes, root=args.root)
-        if isinstance(prediction, GatherPrediction):
-            print(f"regime: {prediction.regime}, "
-                  f"escalation probability {prediction.escalation_probability:.2f}")
-            value = prediction.expected
-        else:
-            value = float(prediction)
-    else:
+    model = api.load_model(args.model_file)
+    kwargs = {"combine": (lambda a, b: a)} if args.operation in (
+        "allreduce", "reduce_scatter") else {}
+    try:
+        prediction = api.predict(model, args.operation, args.algorithm,
+                                 args.nbytes, root=args.root, **kwargs)
+    except (KeyError, AttributeError, TypeError):
         print(f"no prediction formula for {args.operation}/{args.algorithm}",
               file=sys.stderr)
         return 2
-    print(f"predicted {args.operation}/{args.algorithm} of {args.nbytes} B "
-          f"on {model.n} nodes: {value * 1e3:.3f} ms")
+    lines = []
+    if prediction.regime is not None:
+        lines.append(f"regime: {prediction.regime}, escalation probability "
+                     f"{prediction.escalation_probability:.2f}")
+    lines.append(f"predicted {args.operation}/{args.algorithm} of "
+                 f"{args.nbytes} B on {model.n} nodes: "
+                 f"{prediction.seconds * 1e3:.3f} ms")
+    _emit(args, "\n".join(lines), prediction.to_dict())
     return 0
 
 
 def cmd_measure(args) -> int:
     cluster = make_cluster(args)
-    policy = MeasurementPolicy(
-        min_reps=min(5, args.max_reps), max_reps=args.max_reps
-    )
-    bench = CollectiveBenchmark(cluster, policy=policy)
-    point = bench.measure(args.operation, args.algorithm, args.nbytes, root=args.root)
-    summary = point.summary
-    print(f"measured {args.operation}/{args.algorithm} of {args.nbytes} B: "
-          f"{summary.mean * 1e3:.3f} ms +- {summary.ci_halfwidth * 1e3:.3f} ms "
-          f"({summary.count} reps, CI {summary.confidence:.0%})")
+    measurement = api.measure(cluster, args.operation, args.algorithm,
+                              args.nbytes, root=args.root,
+                              max_reps=args.max_reps)
+    _emit(args,
+          f"measured {args.operation}/{args.algorithm} of {args.nbytes} B: "
+          f"{measurement.mean * 1e3:.3f} ms +- "
+          f"{measurement.ci_halfwidth * 1e3:.3f} ms "
+          f"({measurement.reps} reps, CI {measurement.confidence:.0%})",
+          measurement.to_dict())
     return 0
 
 
@@ -174,14 +163,19 @@ def cmd_trace(args) -> int:
     lanes = [f"cpu{args.root}"] + [
         lane for lane in tracer.lanes() if lane != f"cpu{args.root}"
     ]
-    print(tracer.render(width=args.width, lanes=lanes[: args.max_lanes]))
-    print(f"\nroot CPU utilization: {tracer.utilization(f'cpu{args.root}'):.0%} "
-          "(s = send processing, r = receive processing, w = wire, R = TCP RTO)")
+    rendered = tracer.render(width=args.width, lanes=lanes[: args.max_lanes])
+    utilization = tracer.utilization(f"cpu{args.root}")
+    _emit(args,
+          rendered + f"\n\nroot CPU utilization: {utilization:.0%} "
+          "(s = send processing, r = receive processing, w = wire, R = TCP RTO)",
+          {"lanes": lanes[: args.max_lanes], "utilization": float(utilization),
+           "rendered": rendered})
     return 0
 
 
 def cmd_suite(args) -> int:
     from repro.benchlib import BenchmarkSuite
+    from repro.stats import MeasurementPolicy
 
     cluster = make_cluster(args)
     suite = BenchmarkSuite(
@@ -192,7 +186,13 @@ def cmd_suite(args) -> int:
     operations = args.operations.split(",") if args.operations else None
     sizes = [int(s) for s in args.sizes.split(",")]
     result = suite.run(operations=operations, sizes=sizes)
-    print(result.render())
+    _emit(args, result.render(), {
+        "points": [
+            {"operation": op, "algorithm": algo, "nbytes": m,
+             "mean_seconds": point.mean}
+            for (op, algo, m), point in sorted(result.points.items())
+        ],
+    })
     return 0
 
 
@@ -201,7 +201,7 @@ def cmd_partition(args) -> int:
 
     from repro.optimize import optimal_partition
 
-    model = model_io.load(args.model_file)
+    model = api.load_model(args.model_file)
     work = (
         [float(w) for w in args.work_rates.split(",")]
         if args.work_rates
@@ -211,17 +211,22 @@ def cmd_partition(args) -> int:
         print(f"need {model.n} work rates, got {len(work)}", file=sys.stderr)
         return 2
     part = optimal_partition(model, args.total, np.asarray(work), root=args.root)
-    print(f"min-makespan distribution of {args.total} bytes "
-          f"(predicted {part.predicted_makespan * 1e3:.2f} ms):")
+    lines = [f"min-makespan distribution of {args.total} bytes "
+             f"(predicted {part.predicted_makespan * 1e3:.2f} ms):"]
     for rank, count in enumerate(part.counts):
-        print(f"  rank {rank:2d}: {count}")
+        lines.append(f"  rank {rank:2d}: {count}")
+    _emit(args, "\n".join(lines), {
+        "total": args.total,
+        "predicted_makespan_seconds": float(part.predicted_makespan),
+        "counts": [int(c) for c in part.counts],
+    })
     return 0
 
 
 def cmd_plan(args) -> int:
     from repro.optimize import CollectiveCall, plan_collectives
 
-    model = model_io.load(args.model_file)
+    model = api.load_model(args.model_file)
     calls = []
     for spec_str in args.calls:
         parts = spec_str.split(":")
@@ -233,19 +238,29 @@ def cmd_plan(args) -> int:
         count = int(parts[2]) if len(parts) == 3 else 1
         calls.append(CollectiveCall(operation, nbytes, count=count))
     plan = plan_collectives(model, calls)
-    print(plan.render())
+    _emit(args, plan.render(), {
+        "predicted_total_seconds": float(plan.predicted_total),
+        "calls": [
+            {"operation": planned.call.operation, "nbytes": planned.call.nbytes,
+             "count": planned.call.count, "algorithm": planned.algorithm,
+             "predicted_each_seconds": float(planned.predicted_each)}
+            for planned in plan.calls
+        ],
+    })
     return 0
 
 
 def cmd_drift(args) -> int:
-    model = model_io.load(args.model_file)
+    model = api.load_model(args.model_file)
     cluster = make_cluster(args)
     if cluster.n != model.n:
         print(f"model is for {model.n} nodes, cluster has {cluster.n}", file=sys.stderr)
         return 2
+    lines = []
     if args.degrade_node is not None:
         cluster.degrade_node(args.degrade_node, args.degrade_factor)
-        print(f"(injected: node {args.degrade_node} slowed {args.degrade_factor}x)")
+        lines.append(f"(injected: node {args.degrade_node} slowed "
+                     f"{args.degrade_factor}x)")
     report = detect_model_drift(
         model, DESEngine(cluster), probe_nbytes=args.nbytes,
         threshold=args.threshold, reps=args.reps,
@@ -254,18 +269,28 @@ def cmd_drift(args) -> int:
         (error, pair) for pair, error in report.errors.items()
         if error > report.threshold
     )
-    print(f"spot-checked {len(report.errors)} pairs at {args.nbytes} B "
-          f"(threshold {report.threshold:.0%})")
+    lines.append(f"spot-checked {len(report.errors)} pairs at {args.nbytes} B "
+                 f"(threshold {report.threshold:.0%})")
     for error, (i, j) in reversed(drifted):
-        print(f"  pair ({i:2d},{j:2d}): {error:7.2%} drift")
-    print(f"worst pair {report.worst_pair}: {report.worst_error:.2%}")
+        lines.append(f"  pair ({i:2d},{j:2d}): {error:7.2%} drift")
+    lines.append(f"worst pair {report.worst_pair}: {report.worst_error:.2%}")
+    implicated: list[int] = []
     if report.drifted:
-        nodes = report.drifted_nodes()
-        blame = ", ".join(map(str, nodes)) if nodes else "no single node (link-local?)"
-        print(f"DRIFTED — implicated nodes: {blame}")
-        return 1
-    print("model is still accurate")
-    return 0
+        implicated = sorted(report.drifted_nodes())
+        blame = ", ".join(map(str, implicated)) if implicated \
+            else "no single node (link-local?)"
+        lines.append(f"DRIFTED — implicated nodes: {blame}")
+    else:
+        lines.append("model is still accurate")
+    _emit(args, "\n".join(lines), {
+        "probed_pairs": len(report.errors),
+        "threshold": float(report.threshold),
+        "worst_pair": list(report.worst_pair),
+        "worst_error": float(report.worst_error),
+        "drifted": bool(report.drifted),
+        "implicated_nodes": implicated,
+    })
+    return 1 if report.drifted else 0
 
 
 def _split_spec(text: str, flag: str, parts: int) -> list[str]:
@@ -319,26 +344,34 @@ def cmd_chaos(args) -> int:
     except ValueError as exc:
         print(f"bad fault plan: {exc}", file=sys.stderr)
         return 2
-    print(f"cluster: {spec.n} nodes ({spec.name}), fault plan (seed {plan.seed}):")
-    print(plan.describe())
+    lines = [f"cluster: {spec.n} nodes ({spec.name}), "
+             f"fault plan (seed {plan.seed}):", plan.describe()]
 
     maintainer = ModelMaintainer(
         DESEngine(cluster), MaintainerPolicy(reps=args.reps),
     )
     maintainer.bootstrap()
-    print("\nbootstrap (fault-free):")
-    print("  " + maintainer.last_result.summary().replace("\n", "\n  "))
+    lines.append("\nbootstrap (fault-free):")
+    lines.append("  " + maintainer.last_result.summary().replace("\n", "\n  "))
 
     cluster.attach_injector(FaultInjector(plan))
     for _ in range(args.cycles):
         maintainer.cycle()
-    print(f"\nhealth log after {args.cycles} chaos cycles:")
-    print(maintainer.render_log())
-    print(f"\ninjector: {cluster.injector.stats.summary()}")
+    lines.append(f"\nhealth log after {args.cycles} chaos cycles:")
+    lines.append(maintainer.render_log())
+    lines.append(f"\ninjector: {cluster.injector.stats.summary()}")
     report = maintainer.spot_check()
-    print(f"final spot-check: worst drift {report.worst_error:.2%}")
-    print("verdict: model healed" if not report.drifted else
-          "verdict: drift persists (more cycles needed)")
+    healed = not report.drifted
+    lines.append(f"final spot-check: worst drift {report.worst_error:.2%}")
+    lines.append("verdict: model healed" if healed else
+                 "verdict: drift persists (more cycles needed)")
+    _emit(args, "\n".join(lines), {
+        "nodes": spec.n,
+        "cycles": args.cycles,
+        "fault_plan": plan.describe(),
+        "worst_drift": float(report.worst_error),
+        "healed": healed,
+    })
     return 0
 
 
@@ -346,7 +379,13 @@ def cmd_experiment(args) -> int:
     from repro.experiments import run_experiment
 
     result = run_experiment(args.id, quick=args.quick, seed=args.seed)
-    print(result.render())
+    _emit(args, result.render(), {
+        "id": args.id,
+        "title": result.title,
+        "checks": {name: bool(ok) for name, ok in result.checks.items()},
+        "passed": bool(result.all_checks_pass),
+        "text": result.text,
+    })
     if args.csv:
         csv = result.to_csv()
         if not csv:
@@ -355,7 +394,8 @@ def cmd_experiment(args) -> int:
         else:
             with open(args.csv, "w") as handle:
                 handle.write(csv)
-            print(f"series written to {args.csv}")
+            if getattr(args, "format", "text") == "text":
+                print(f"series written to {args.csv}")
     return 0 if result.all_checks_pass else 1
 
 
@@ -368,7 +408,10 @@ def cmd_report(args) -> int:
     if args.out:
         argv.extend(["--out", args.out])
     argv.extend(["--seed", str(args.seed)])
-    return report_main(argv)
+    code = report_main(argv)
+    if getattr(args, "format", "text") == "json":
+        print(json.dumps({"out": args.out, "passed": code == 0}, indent=2))
+    return code
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -378,11 +421,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--profile", choices=sorted(PROFILES), default="lam")
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--format", choices=["text", "json"], default="text",
+                        help="output format (JSON to stdout, errors to stderr)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("describe", help="print the Table I cluster")
+    sub.add_parser("describe", help="print the Table I cluster", parents=[common])
 
-    p_est = sub.add_parser("estimate", help="estimate model parameters")
+    p_est = sub.add_parser("estimate", help="estimate model parameters",
+                           parents=[common])
     p_est.add_argument("--model", choices=["lmo", "hockney", "loggp", "plogp"],
                        default="lmo")
     p_est.add_argument("--out", required=True, help="output JSON path")
@@ -392,21 +439,24 @@ def build_parser() -> argparse.ArgumentParser:
     p_est.add_argument("--empirical", action="store_true",
                        help="also detect gather M1/M2 (LMO only)")
 
-    p_pred = sub.add_parser("predict", help="predict a collective from a model file")
+    p_pred = sub.add_parser("predict", help="predict a collective from a model file",
+                            parents=[common])
     p_pred.add_argument("--model-file", required=True)
-    p_pred.add_argument("--operation", choices=["scatter", "gather"], default="scatter")
-    p_pred.add_argument("--algorithm", choices=["linear", "binomial"], default="linear")
+    p_pred.add_argument("--operation", choices=PREDICT_OPERATIONS, default="scatter")
+    p_pred.add_argument("--algorithm", choices=PREDICT_ALGORITHMS, default="linear")
     p_pred.add_argument("--nbytes", type=int, required=True)
     p_pred.add_argument("--root", type=int, default=0)
 
-    p_meas = sub.add_parser("measure", help="benchmark a collective on the simulator")
+    p_meas = sub.add_parser("measure", help="benchmark a collective on the simulator",
+                            parents=[common])
     p_meas.add_argument("--operation", default="scatter")
     p_meas.add_argument("--algorithm", default="linear")
     p_meas.add_argument("--nbytes", type=int, required=True)
     p_meas.add_argument("--root", type=int, default=0)
     p_meas.add_argument("--max-reps", type=int, default=25)
 
-    p_trace = sub.add_parser("trace", help="print a collective's activity timeline")
+    p_trace = sub.add_parser("trace", help="print a collective's activity timeline",
+                             parents=[common])
     p_trace.add_argument("--operation", default="scatter")
     p_trace.add_argument("--algorithm", default="linear")
     p_trace.add_argument("--nbytes", type=int, default=32 * KB)
@@ -414,7 +464,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--width", type=int, default=72)
     p_trace.add_argument("--max-lanes", type=int, default=12)
 
-    p_suite = sub.add_parser("suite", help="benchmark the whole algorithm menu")
+    p_suite = sub.add_parser("suite", help="benchmark the whole algorithm menu",
+                             parents=[common])
     p_suite.add_argument("--operations", default=None,
                          help="comma-separated (default: all)")
     p_suite.add_argument("--sizes", default=f"{KB},{16 * KB},{128 * KB}",
@@ -422,7 +473,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_suite.add_argument("--max-reps", type=int, default=8)
 
     p_part = sub.add_parser("partition",
-                            help="min-makespan data distribution from a model file")
+                            help="min-makespan data distribution from a model file",
+                            parents=[common])
     p_part.add_argument("--model-file", required=True)
     p_part.add_argument("--total", type=int, required=True)
     p_part.add_argument("--work-rate", type=float, default=100e-9,
@@ -432,13 +484,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--root", type=int, default=0)
 
     p_plan = sub.add_parser("plan",
-                            help="choose algorithms for an application's collectives")
+                            help="choose algorithms for an application's collectives",
+                            parents=[common])
     p_plan.add_argument("--model-file", required=True)
     p_plan.add_argument("calls", nargs="+",
                         help="call specs op:nbytes[:count], e.g. bcast:65536:10")
 
     p_drift = sub.add_parser("drift",
-                             help="spot-check a saved model for drift (exit 1 if drifted)")
+                             help="spot-check a saved model for drift (exit 1 if drifted)",
+                             parents=[common])
     p_drift.add_argument("--model-file", required=True)
     p_drift.add_argument("--nbytes", type=int, default=32 * KB)
     p_drift.add_argument("--threshold", type=float, default=0.15)
@@ -448,7 +502,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_drift.add_argument("--degrade-factor", type=float, default=4.0)
 
     p_chaos = sub.add_parser("chaos",
-                             help="fault-injection demo: estimate, inject, self-heal")
+                             help="fault-injection demo: estimate, inject, self-heal",
+                             parents=[common])
     p_chaos.add_argument("--nodes", type=int, default=8,
                          help="cluster size (prefix of Table I)")
     p_chaos.add_argument("--cycles", type=int, default=3,
@@ -464,13 +519,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_chaos.add_argument("--hang-node", action="append", metavar="NODE:START:DUR",
                          help="stall a node's transfers for DUR seconds (repeatable)")
 
-    p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure")
+    p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure",
+                           parents=[common])
     p_exp.add_argument("id", help="fig1..fig7, table1, table2, estimation_cost, "
                                   "thresholds, ablations, menu_accuracy")
     p_exp.add_argument("--quick", action="store_true")
     p_exp.add_argument("--csv", default=None, help="also dump the series as CSV")
 
-    p_rep = sub.add_parser("report", help="regenerate every experiment (markdown)")
+    p_rep = sub.add_parser("report", help="regenerate every experiment (markdown)",
+                           parents=[common])
     p_rep.add_argument("--quick", action="store_true")
     p_rep.add_argument("--out", default=None)
     return parser

@@ -107,6 +107,22 @@ class GroundTruth:
         np.fill_diagonal(bh, 0.0)
         return bh
 
+    # -- serialization --------------------------------------------------------
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary (see :mod:`repro.io`)."""
+        from repro.models.base import encode_array
+
+        return {"C": encode_array(self.C), "t": encode_array(self.t),
+                "L": encode_array(self.L), "beta": encode_array(self.beta)}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "GroundTruth":
+        """Inverse of :meth:`to_dict`."""
+        from repro.models.base import decode_array
+
+        return cls(C=decode_array(params["C"]), t=decode_array(params["t"]),
+                   L=decode_array(params["L"]), beta=decode_array(params["beta"]))
+
     # -- constructors ---------------------------------------------------------
     @staticmethod
     def random(

@@ -104,6 +104,28 @@ class ClusterSpec:
         """True when every node has the same type."""
         return len(set(self.nodes)) == 1
 
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary (see :mod:`repro.io`)."""
+        return {
+            "name": self.name,
+            "nodes": [
+                {
+                    "model": node.model, "os": node.os, "processor": node.processor,
+                    "cpu_ghz": node.cpu_ghz, "fsb_mhz": node.fsb_mhz,
+                    "l2_cache_kb": node.l2_cache_kb, "arch_factor": node.arch_factor,
+                }
+                for node in self.nodes
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "ClusterSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            nodes=tuple(NodeType(**node) for node in params["nodes"]),
+            name=params["name"],
+        )
+
     def describe(self) -> str:
         """Human-readable table (mirrors the layout of the paper's Table I)."""
         header = (

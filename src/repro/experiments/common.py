@@ -30,6 +30,7 @@ from repro.estimation import (
 from repro.models import ExtendedLMOModel, HeterogeneousHockneyModel, HockneyModel
 from repro.models.loggp import LogGPModel
 from repro.models.plogp import PLogPModel
+from repro.predict_service import predict_sweep
 from repro.stats import MeasurementPolicy
 
 __all__ = [
@@ -42,6 +43,7 @@ __all__ = [
     "get_model_suite",
     "observation_benchmark",
     "paper_cluster",
+    "prediction_series",
 ]
 
 KB = 1024
@@ -138,6 +140,27 @@ class ExperimentResult:
         for note in self.notes:
             lines.append(f"note: {note}")
         return "\n".join(lines)
+
+
+def prediction_series(
+    name: str,
+    model,
+    operation: str,
+    algorithm: str,
+    sizes: tuple[int, ...],
+    root: int = 0,
+    **kwargs,
+) -> Series:
+    """A prediction curve, evaluated as one vectorized sweep.
+
+    All figure prediction series route through
+    :func:`repro.predict_service.predict_sweep`, so each (model,
+    collective, size-grid) combination is computed once per process.
+    """
+    values = predict_sweep(
+        model, operation, algorithm, np.asarray(sizes, dtype=float), root=root, **kwargs
+    )
+    return Series(name, tuple(sizes), tuple(float(v) for v in values))
 
 
 def paper_cluster(

@@ -17,8 +17,8 @@ from repro.experiments.common import (
     get_model_suite,
     observation_benchmark,
     paper_cluster,
+    prediction_series,
 )
-from repro.models import predict_linear_scatter
 
 __all__ = ["run"]
 
@@ -33,30 +33,14 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     observed = [bench.measure("scatter", "linear", m).mean for m in sizes]
     series = [
         Series("observed", sizes, tuple(observed)),
-        Series(
-            "hom-seq",
-            sizes,
-            tuple(predict_linear_scatter(suite.hockney_hom, m, assumption="sequential")
-                  for m in sizes),
-        ),
-        Series(
-            "het-seq",
-            sizes,
-            tuple(predict_linear_scatter(suite.hockney_het, m, assumption="sequential")
-                  for m in sizes),
-        ),
-        Series(
-            "hom-par",
-            sizes,
-            tuple(predict_linear_scatter(suite.hockney_hom, m, assumption="parallel")
-                  for m in sizes),
-        ),
-        Series(
-            "het-par",
-            sizes,
-            tuple(predict_linear_scatter(suite.hockney_het, m, assumption="parallel")
-                  for m in sizes),
-        ),
+        prediction_series("hom-seq", suite.hockney_hom, "scatter", "linear", sizes,
+                          assumption="sequential"),
+        prediction_series("het-seq", suite.hockney_het, "scatter", "linear", sizes,
+                          assumption="sequential"),
+        prediction_series("hom-par", suite.hockney_hom, "scatter", "linear", sizes,
+                          assumption="parallel"),
+        prediction_series("het-par", suite.hockney_het, "scatter", "linear", sizes,
+                          assumption="parallel"),
     ]
     result = ExperimentResult(
         experiment_id="fig1",

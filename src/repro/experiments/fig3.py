@@ -17,8 +17,8 @@ from repro.experiments.common import (
     get_model_suite,
     observation_benchmark,
     paper_cluster,
+    prediction_series,
 )
-from repro.models import predict_binomial_scatter
 
 __all__ = ["run"]
 
@@ -34,14 +34,9 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         "observed", sizes,
         tuple(bench.measure("scatter", "binomial", m).mean for m in sizes),
     )
-    hom = Series(
-        "hom-hockney", sizes,
-        tuple(predict_binomial_scatter(suite.hockney_hom, m, n=cluster.n) for m in sizes),
-    )
-    het = Series(
-        "het-hockney", sizes,
-        tuple(predict_binomial_scatter(suite.hockney_het, m) for m in sizes),
-    )
+    hom = prediction_series("hom-hockney", suite.hockney_hom, "scatter", "binomial",
+                            sizes, n=cluster.n)
+    het = prediction_series("het-hockney", suite.hockney_het, "scatter", "binomial", sizes)
     result = ExperimentResult(
         experiment_id="fig3",
         title="Binomial scatter vs homogeneous and heterogeneous Hockney",

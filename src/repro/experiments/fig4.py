@@ -18,8 +18,8 @@ from repro.experiments.common import (
     get_model_suite,
     observation_benchmark,
     paper_cluster,
+    prediction_series,
 )
-from repro.models import predict_linear_scatter
 
 __all__ = ["run"]
 
@@ -42,7 +42,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         "plogp": suite.plogp,
     }
     series = [observed] + [
-        Series(name, sizes, tuple(predict_linear_scatter(model, m) for m in sizes))
+        prediction_series(name, model, "scatter", "linear", sizes)
         for name, model in predictions.items()
     ]
     result = ExperimentResult(

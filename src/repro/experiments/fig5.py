@@ -20,9 +20,11 @@ from repro.experiments.common import (
     get_model_suite,
     observation_benchmark,
     paper_cluster,
+    prediction_series,
 )
 from repro.models import GatherPrediction, predict_linear_gather
 from repro.mpi import run_collective
+from repro.predict_service import predict_sweep
 
 __all__ = ["run"]
 
@@ -51,23 +53,21 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     observed = Series("observed-median", sizes, tuple(medians))
     observed_clean = Series("observed-min", sizes, tuple(minima))
 
-    lmo_values, lmo_expected = [], []
+    # The base-value curve still needs the per-size GatherPrediction
+    # (regime structure); the expected curve comes from the sweep engine.
+    lmo_values = []
     for m in sizes:
         pred = predict_linear_gather(suite.lmo, m)
         assert isinstance(pred, GatherPrediction)
         lmo_values.append(pred.base)
-        lmo_expected.append(pred.expected)
     series = [
         observed,
         observed_clean,
         Series("lmo", sizes, tuple(lmo_values)),
-        Series("lmo-expected", sizes, tuple(lmo_expected)),
-        Series("het-hockney", sizes,
-               tuple(float(predict_linear_gather(suite.hockney_het, m)) for m in sizes)),
-        Series("loggp", sizes,
-               tuple(float(predict_linear_gather(suite.loggp, m)) for m in sizes)),
-        Series("plogp", sizes,
-               tuple(float(predict_linear_gather(suite.plogp, m)) for m in sizes)),
+        prediction_series("lmo-expected", suite.lmo, "gather", "linear", sizes),
+        prediction_series("het-hockney", suite.hockney_het, "gather", "linear", sizes),
+        prediction_series("loggp", suite.loggp, "gather", "linear", sizes),
+        prediction_series("plogp", suite.plogp, "gather", "linear", sizes),
     ]
     result = ExperimentResult(
         experiment_id="fig5",
@@ -108,7 +108,10 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
         )
     checks["only LMO distinguishes gather from scatter"] = (
         result.get("het-hockney").values == tuple(
-            float(predict_linear_gather(suite.hockney_het, m)) for m in sizes
+            float(v) for v in predict_sweep(
+                suite.hockney_het, "scatter", "linear",
+                [float(m) for m in sizes],
+            )
         )
     )
     result.checks = checks

@@ -12,8 +12,8 @@ against what the simulated cluster actually prefers.
 from __future__ import annotations
 
 from repro.experiments.common import KB, ExperimentResult, get_model_suite, paper_cluster
-from repro.models.collectives.formulas_ext import predict_collective
 from repro.mpi import run_collective
+from repro.predict_service import PredictRequest, predict_many
 
 __all__ = ["run"]
 
@@ -32,6 +32,18 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
     model = suite.lmo
     reps = 3 if quick else 5
 
+    # The whole menu is one batched prediction call.
+    menu_requests = [
+        PredictRequest(operation, algo, float(nbytes))
+        for operation, algorithms in MENU.items()
+        for algo in algorithms
+        for nbytes in SIZES.values()
+    ]
+    menu_predictions = dict(zip(
+        [(r.operation, r.algorithm, r.nbytes) for r in menu_requests],
+        predict_many(model, menu_requests),
+    ))
+
     lines = []
     agreements, regrets = [], []
     for operation, algorithms in MENU.items():
@@ -45,7 +57,7 @@ def run(quick: bool = False, seed: int = 0) -> ExperimentResult:
                     for _ in range(reps)
                 )
             predicted = {
-                algo: predict_collective(model, operation, algo, nbytes)
+                algo: menu_predictions[(operation, algo, float(nbytes))]
                 for algo in algorithms
             }
             best_observed = min(observed, key=observed.__getitem__)

@@ -2,8 +2,17 @@
 
 Estimation is expensive (the paper spends a section minimizing its cost),
 so estimated models are worth persisting: estimate once at cluster-bringup,
-reload at application start.  The format is a tagged JSON document —
-human-inspectable, diff-friendly, and versioned.
+reload at application start.
+
+The current format (schema version 2) is one unified envelope::
+
+    {"model": "ExtendedLMOModel", "schema_version": 2, "params": {...}}
+
+where ``params`` is exactly what the type's own ``to_dict`` produces and
+``from_dict`` consumes — the envelope carries no knowledge of any type's
+internals.  Legacy version-1 documents (``{"format": "repro-model",
+"version": 1, "payload": {...}}``) still load, with a
+``DeprecationWarning``; new documents are always written as version 2.
 
 Example
 -------
@@ -18,6 +27,7 @@ True
 from __future__ import annotations
 
 import json
+import warnings
 from typing import Any
 
 import numpy as np
@@ -31,21 +41,98 @@ from repro.models.lmo import LMOModel
 from repro.models.lmo_extended import ExtendedLMOModel, GatherIrregularity
 from repro.models.plogp import PiecewiseLinear, PLogPModel
 
-__all__ = ["dumps", "loads", "save", "load", "FORMAT_VERSION"]
+__all__ = ["dumps", "loads", "save", "load", "FORMAT_VERSION", "SCHEMA_VERSION"]
 
+#: Legacy envelope version, still readable.
 FORMAT_VERSION = 1
+#: Current envelope version, always written.
+SCHEMA_VERSION = 2
+
+#: Every serializable type, keyed by the name stored in the envelope.
+_TYPES: dict[str, type] = {
+    cls.__name__: cls
+    for cls in (
+        ClusterSpec,
+        GroundTruth,
+        ExtendedLMOModel,
+        LMOModel,
+        GatherIrregularity,
+        HeterogeneousHockneyModel,
+        HockneyModel,
+        LogGPModel,
+        LogPModel,
+        PLogPModel,
+        PiecewiseLinear,
+    )
+}
 
 
-def _matrix(values: np.ndarray) -> list:
-    """JSON-safe nested lists (inf encoded as the string 'inf')."""
-    def encode(x: float):
-        if np.isinf(x):
-            return "inf"
-        return float(x)
+# -- public API -----------------------------------------------------------------
+def dumps(obj: Any, indent: int = 2) -> str:
+    """Serialize a model / ground truth / irregularity to a JSON string."""
+    name = type(obj).__name__
+    if name not in _TYPES or not isinstance(obj, _TYPES[name]):
+        raise TypeError(f"cannot serialize {name}")
+    return json.dumps(
+        {"model": name, "schema_version": SCHEMA_VERSION, "params": obj.to_dict()},
+        indent=indent,
+    )
 
-    if values.ndim == 1:
-        return [encode(x) for x in values]
-    return [[encode(x) for x in row] for row in values]
+
+def loads(text: str) -> Any:
+    """Inverse of :func:`dumps` (validates the envelope).
+
+    Accepts both the current schema-v2 envelope and legacy v1 documents
+    (the latter with a ``DeprecationWarning``).
+    """
+    doc = json.loads(text)
+    if not isinstance(doc, dict):
+        raise ValueError("not a repro-model document")
+    if "schema_version" in doc:
+        return _loads_v2(doc)
+    return _loads_legacy(doc)
+
+
+def save(obj: Any, path: str) -> None:
+    """Serialize to a file."""
+    with open(path, "w") as handle:
+        handle.write(dumps(obj))
+
+
+def load(path: str) -> Any:
+    """Deserialize from a file."""
+    with open(path) as handle:
+        return loads(handle.read())
+
+
+# -- schema v2 ------------------------------------------------------------------
+def _loads_v2(doc: dict) -> Any:
+    version = doc.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema version {version!r}")
+    name = doc.get("model")
+    cls = _TYPES.get(name)
+    if cls is None:
+        raise ValueError(f"unknown document type {name!r}")
+    params = doc.get("params")
+    if not isinstance(params, dict):
+        raise ValueError("schema-v2 document has no params object")
+    return cls.from_dict(params)
+
+
+# -- legacy v1 ------------------------------------------------------------------
+def _loads_legacy(doc: dict) -> Any:
+    if doc.get("format") != "repro-model":
+        raise ValueError("not a repro-model document")
+    if doc.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported format version {doc.get('version')!r}")
+    warnings.warn(
+        "loading a legacy version-1 repro-model document; re-save it to "
+        "upgrade to schema version 2",
+        DeprecationWarning,
+        stacklevel=3,
+    )
+    return _decode_legacy(doc["payload"])
 
 
 def _unmatrix(values: list) -> np.ndarray:
@@ -57,57 +144,8 @@ def _unmatrix(values: list) -> np.ndarray:
     return np.array([decode(x) for x in values])
 
 
-# -- per-type encoders ---------------------------------------------------------
-def _encode(obj: Any) -> dict:
-    if isinstance(obj, ClusterSpec):
-        return {
-            "type": "ClusterSpec",
-            "name": obj.name,
-            "nodes": [
-                {
-                    "model": node.model, "os": node.os, "processor": node.processor,
-                    "cpu_ghz": node.cpu_ghz, "fsb_mhz": node.fsb_mhz,
-                    "l2_cache_kb": node.l2_cache_kb, "arch_factor": node.arch_factor,
-                }
-                for node in obj.nodes
-            ],
-        }
-    if isinstance(obj, GroundTruth):
-        return {"type": "GroundTruth", "C": _matrix(obj.C), "t": _matrix(obj.t),
-                "L": _matrix(obj.L), "beta": _matrix(obj.beta)}
-    if isinstance(obj, ExtendedLMOModel):
-        doc = {"type": "ExtendedLMOModel", "C": _matrix(obj.C), "t": _matrix(obj.t),
-               "L": _matrix(obj.L), "beta": _matrix(obj.beta)}
-        if obj.gather_irregularity is not None:
-            doc["gather_irregularity"] = _encode(obj.gather_irregularity)
-        return doc
-    if isinstance(obj, LMOModel):
-        return {"type": "LMOModel", "C": _matrix(obj.C), "t": _matrix(obj.t),
-                "beta": _matrix(obj.beta)}
-    if isinstance(obj, GatherIrregularity):
-        return {"type": "GatherIrregularity", "m1": obj.m1, "m2": obj.m2,
-                "escalation_value": obj.escalation_value,
-                "p_at_m1": obj.p_at_m1, "p_at_m2": obj.p_at_m2}
-    if isinstance(obj, HeterogeneousHockneyModel):
-        return {"type": "HeterogeneousHockneyModel",
-                "alpha": _matrix(obj.alpha), "beta": _matrix(obj.beta)}
-    if isinstance(obj, HockneyModel):
-        return {"type": "HockneyModel", "alpha": obj.alpha, "beta": obj.beta, "n": obj.n}
-    if isinstance(obj, LogGPModel):
-        return {"type": "LogGPModel", "L": obj.L, "o": obj.o, "g": obj.g,
-                "G": obj.G, "P": obj.P}
-    if isinstance(obj, LogPModel):
-        return {"type": "LogPModel", "L": obj.L, "o": obj.o, "g": obj.g,
-                "P": obj.P, "packet_bytes": obj.packet_bytes}
-    if isinstance(obj, PLogPModel):
-        return {"type": "PLogPModel", "L": obj.L, "P": obj.P,
-                "o_s": _encode(obj.o_s), "o_r": _encode(obj.o_r), "g": _encode(obj.g)}
-    if isinstance(obj, PiecewiseLinear):
-        return {"type": "PiecewiseLinear", "xs": list(obj.xs), "ys": list(obj.ys)}
-    raise TypeError(f"cannot serialize {type(obj).__name__}")
-
-
-def _decode(doc: dict) -> Any:
+def _decode_legacy(doc: dict) -> Any:
+    """Decoder of the v1 'type'-tagged payloads, kept verbatim for old files."""
     kind = doc.get("type")
     if kind == "ClusterSpec":
         return ClusterSpec(
@@ -120,7 +158,7 @@ def _decode(doc: dict) -> Any:
     if kind == "ExtendedLMOModel":
         irregularity = None
         if "gather_irregularity" in doc:
-            irregularity = _decode(doc["gather_irregularity"])
+            irregularity = _decode_legacy(doc["gather_irregularity"])
         return ExtendedLMOModel(C=_unmatrix(doc["C"]), t=_unmatrix(doc["t"]),
                                 L=_unmatrix(doc["L"]), beta=_unmatrix(doc["beta"]),
                                 gather_irregularity=irregularity)
@@ -142,39 +180,8 @@ def _decode(doc: dict) -> Any:
         return LogPModel(L=doc["L"], o=doc["o"], g=doc["g"], P=doc["P"],
                          packet_bytes=doc["packet_bytes"])
     if kind == "PLogPModel":
-        return PLogPModel(L=doc["L"], P=doc["P"], o_s=_decode(doc["o_s"]),
-                          o_r=_decode(doc["o_r"]), g=_decode(doc["g"]))
+        return PLogPModel(L=doc["L"], P=doc["P"], o_s=_decode_legacy(doc["o_s"]),
+                          o_r=_decode_legacy(doc["o_r"]), g=_decode_legacy(doc["g"]))
     if kind == "PiecewiseLinear":
         return PiecewiseLinear(xs=tuple(doc["xs"]), ys=tuple(doc["ys"]))
     raise ValueError(f"unknown document type {kind!r}")
-
-
-# -- public API -----------------------------------------------------------------
-def dumps(obj: Any, indent: int = 2) -> str:
-    """Serialize a model / ground truth / irregularity to a JSON string."""
-    return json.dumps(
-        {"format": "repro-model", "version": FORMAT_VERSION, "payload": _encode(obj)},
-        indent=indent,
-    )
-
-
-def loads(text: str) -> Any:
-    """Inverse of :func:`dumps` (validates the envelope)."""
-    doc = json.loads(text)
-    if doc.get("format") != "repro-model":
-        raise ValueError("not a repro-model document")
-    if doc.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported format version {doc.get('version')!r}")
-    return _decode(doc["payload"])
-
-
-def save(obj: Any, path: str) -> None:
-    """Serialize to a file."""
-    with open(path, "w") as handle:
-        handle.write(dumps(obj))
-
-
-def load(path: str) -> Any:
-    """Deserialize from a file."""
-    with open(path) as handle:
-        return loads(handle.read())

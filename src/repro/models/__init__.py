@@ -16,17 +16,22 @@ from repro.models.plogp import PiecewiseLinear, PLogPModel
 from repro.models.collectives.formulas import (
     GatherPrediction,
     predict_binomial_gather,
+    predict_binomial_gather_sweep,
     predict_binomial_scatter,
+    predict_binomial_scatter_sweep,
     predict_binomial_scatterv,
     predict_linear_gather,
+    predict_linear_gather_sweep,
     predict_linear_gatherv,
     predict_linear_pipelined,
     predict_linear_scatterv,
     predict_linear_scatter,
+    predict_linear_scatter_sweep,
 )
 from repro.models.collectives.formulas_ext import (
     predict_binomial_bcast,
     predict_collective,
+    predict_collective_sweep,
     predict_linear_bcast,
     predict_pipeline_bcast,
     predict_rd_allgather,
@@ -34,7 +39,7 @@ from repro.models.collectives.formulas_ext import (
     predict_reduce_bcast_allreduce,
     predict_ring_allgather,
 )
-from repro.models.collectives.tree_eval import predict_tree_time
+from repro.models.collectives.tree_eval import predict_tree_time, predict_tree_time_batch
 from repro.models.collectives.trees import CommTree, binomial_tree, flat_tree
 
 __all__ = [
@@ -54,14 +59,19 @@ __all__ = [
     "flat_tree",
     "predict_binomial_bcast",
     "predict_binomial_gather",
+    "predict_binomial_gather_sweep",
     "predict_binomial_scatter",
+    "predict_binomial_scatter_sweep",
     "predict_binomial_scatterv",
     "predict_linear_gather",
+    "predict_linear_gather_sweep",
     "predict_linear_gatherv",
     "predict_linear_pipelined",
     "predict_linear_scatter",
+    "predict_linear_scatter_sweep",
     "predict_linear_scatterv",
     "predict_collective",
+    "predict_collective_sweep",
     "predict_linear_bcast",
     "predict_pipeline_bcast",
     "predict_rd_allgather",
@@ -69,4 +79,5 @@ __all__ = [
     "predict_reduce_bcast_allreduce",
     "predict_ring_allgather",
     "predict_tree_time",
+    "predict_tree_time_batch",
 ]

@@ -26,8 +26,10 @@ from dataclasses import dataclass
 from functools import singledispatch
 from typing import Optional, Sequence
 
-from repro.models.base import validate_nbytes, validate_rank
-from repro.models.collectives.tree_eval import predict_tree_time
+import numpy as np
+
+from repro.models.base import ArrayLike, validate_nbytes, validate_nbytes_batch, validate_rank
+from repro.models.collectives.tree_eval import predict_tree_time, predict_tree_time_batch
 from repro.models.collectives.trees import CommTree, binomial_tree, flat_tree
 from repro.models.hockney import HeterogeneousHockneyModel, HockneyModel
 from repro.models.loggp import LogGPModel
@@ -39,13 +41,18 @@ from repro.models.plogp import PLogPModel
 __all__ = [
     "GatherPrediction",
     "predict_linear_scatter",
+    "predict_linear_scatter_sweep",
     "predict_linear_scatterv",
     "predict_linear_gather",
+    "predict_linear_gather_sweep",
     "predict_linear_gatherv",
     "predict_binomial_scatter",
+    "predict_binomial_scatter_sweep",
     "predict_binomial_scatterv",
     "predict_binomial_gather",
+    "predict_binomial_gather_sweep",
     "lmo_serial_parallel_split",
+    "lmo_serial_parallel_split_batch",
 ]
 
 SEQUENTIAL = "sequential"
@@ -72,7 +79,7 @@ class GatherPrediction:
         return self.base + self.escalation_probability * self.escalation_value
 
     def __float__(self) -> float:  # pragma: no cover - convenience
-        return self.expected
+        return float(self.expected)
 
 
 def _participants(model, root: int, participants: Optional[Sequence[int]]) -> list[int]:
@@ -231,6 +238,18 @@ def lmo_serial_parallel_split(model: ExtendedLMOModel):
 
     def parallel(i: int, j: int, nbytes: float) -> float:
         return model.wire_and_remote_cost(i, j, nbytes)
+
+    return serial, parallel
+
+
+def lmo_serial_parallel_split_batch(model: ExtendedLMOModel):
+    """Array-valued :func:`lmo_serial_parallel_split` for sweep evaluation."""
+
+    def serial(i: int, _j: int, nbytes):
+        return model.send_cost_batch(i, nbytes)
+
+    def parallel(i: int, j: int, nbytes):
+        return model.wire_and_remote_cost_batch(i, j, nbytes)
 
     return serial, parallel
 
@@ -413,3 +432,183 @@ def predict_binomial_scatterv(
         return model.wire_and_remote_cost(i, j, volume[j]) if volume[j] > 0 else 0.0
 
     return predict_tree_time(tree, 1.0, serial, parallel)
+
+
+# ====================================================================== sweeps
+# The vectorized prediction engine: each *_sweep function evaluates the
+# matching scalar formula over a whole array of message sizes in one pass
+# of NumPy ops.  Sums and maxima over participants accumulate in the same
+# left-to-right order as the scalar code, so sweep values match the
+# element-wise scalar loop bit for bit.
+@singledispatch
+def predict_linear_scatter_sweep(
+    model,
+    sizes: ArrayLike,
+    root: int = 0,
+    participants: Optional[Sequence[int]] = None,
+    assumption: str = SEQUENTIAL,
+) -> np.ndarray:
+    """Vectorized :func:`predict_linear_scatter` over an array of sizes."""
+    raise TypeError(f"no linear-scatter formula for {type(model).__name__}")
+
+
+@predict_linear_scatter_sweep.register
+def _(model: HockneyModel, sizes, root=0, participants=None, assumption=SEQUENTIAL):
+    nb = validate_nbytes_batch(sizes)
+    ranks = _participants(model, root, participants)
+    per_message = model.alpha + model.beta * nb
+    if assumption == SEQUENTIAL:
+        return (len(ranks) - 1) * per_message
+    if assumption == PARALLEL:
+        return per_message.copy()
+    raise ValueError(f"unknown assumption {assumption!r}")
+
+
+@predict_linear_scatter_sweep.register
+def _(model: HeterogeneousHockneyModel, sizes, root=0, participants=None,
+      assumption=SEQUENTIAL):
+    nb = validate_nbytes_batch(sizes)
+    ranks = _participants(model, root, participants)
+    others = [i for i in ranks if i != root]
+    terms = [model.p2p_time_batch(root, i, nb) for i in others]
+    if assumption == SEQUENTIAL:
+        total = np.zeros(nb.shape)
+        for term in terms:
+            total = total + term
+        return total
+    if assumption == PARALLEL:
+        best = terms[0]
+        for term in terms[1:]:
+            best = np.maximum(best, term)
+        return np.broadcast_to(best, nb.shape).copy()
+    raise ValueError(f"unknown assumption {assumption!r}")
+
+
+@predict_linear_scatter_sweep.register
+def _(model: LogGPModel, sizes, root=0, participants=None, assumption=SEQUENTIAL):
+    nb = validate_nbytes_batch(sizes)
+    n = len(_participants(model, root, participants))
+    return (
+        model.L
+        + 2 * model.o
+        + (n - 1) * np.maximum(nb - 1, 0) * model.G
+        + (n - 2) * model.g
+    )
+
+
+@predict_linear_scatter_sweep.register
+def _(model: LogPModel, sizes, root=0, participants=None, assumption=SEQUENTIAL):
+    nb = validate_nbytes_batch(sizes)
+    n = len(_participants(model, root, participants))
+    packets = model.packets_batch(nb)
+    return model.L + 2 * model.o + ((n - 1) * packets - 1) * model.g
+
+
+@predict_linear_scatter_sweep.register
+def _(model: PLogPModel, sizes, root=0, participants=None, assumption=SEQUENTIAL):
+    nb = validate_nbytes_batch(sizes)
+    n = len(_participants(model, root, participants))
+    return model.L + (n - 1) * model.g.batch(nb)
+
+
+@predict_linear_scatter_sweep.register
+def _(model: LMOModel, sizes, root=0, participants=None, assumption=SEQUENTIAL):
+    nb = validate_nbytes_batch(sizes)
+    ranks = _participants(model, root, participants)
+    others = [i for i in ranks if i != root]
+    serial = len(others) * (model.C[root] + nb * model.t[root])
+    terms = [nb / model.beta[root, i] + model.C[i] + nb * model.t[i] for i in others]
+    parallel = terms[0]
+    for term in terms[1:]:
+        parallel = np.maximum(parallel, term)
+    return serial + parallel
+
+
+@predict_linear_scatter_sweep.register
+def _(model: ExtendedLMOModel, sizes, root=0, participants=None, assumption=SEQUENTIAL):
+    nb = validate_nbytes_batch(sizes)
+    ranks = _participants(model, root, participants)
+    others = [i for i in ranks if i != root]
+    serial = len(others) * model.send_cost_batch(root, nb)
+    parallel = model.wire_and_remote_cost_batch(root, others[0], nb)
+    for i in others[1:]:
+        parallel = np.maximum(parallel, model.wire_and_remote_cost_batch(root, i, nb))
+    return serial + parallel
+
+
+def predict_linear_gather_sweep(
+    model,
+    sizes: ArrayLike,
+    root: int = 0,
+    participants: Optional[Sequence[int]] = None,
+    assumption: str = SEQUENTIAL,
+) -> np.ndarray:
+    """Vectorized :func:`predict_linear_gather` over an array of sizes.
+
+    Returns *expected* times: for the extended LMO model each element is
+    ``float(GatherPrediction)`` — the deterministic branch of formula (5)
+    for its regime plus the expected escalation cost in the medium regime.
+    """
+    if isinstance(model, ExtendedLMOModel):
+        return _lmo_gather_sweep(model, sizes, root, participants)
+    return predict_linear_scatter_sweep(model, sizes, root, participants, assumption)
+
+
+def _lmo_gather_sweep(model: ExtendedLMOModel, sizes, root, participants) -> np.ndarray:
+    nb = validate_nbytes_batch(sizes)
+    ranks = _participants(model, root, participants)
+    others = [i for i in ranks if i != root]
+    serial = len(others) * model.send_cost_batch(root, nb)
+    terms = [
+        model.L[root, i] + nb / model.beta[root, i] + model.C[i] + nb * model.t[i]
+        for i in others
+    ]
+    parallel = terms[0]
+    total = np.zeros(nb.shape)
+    for term in terms[1:]:
+        parallel = np.maximum(parallel, term)
+    for term in terms:
+        total = total + term
+    irr = model.gather_irregularity
+    if irr is None:
+        return np.broadcast_to(serial + parallel, nb.shape).copy()
+    base = np.where(nb > irr.m2, serial + total, serial + parallel)
+    return base + irr.escalation_probability_batch(nb) * irr.escalation_value
+
+
+def predict_binomial_scatter_sweep(
+    model,
+    sizes: ArrayLike,
+    root: int = 0,
+    n: Optional[int] = None,
+    tree: Optional[CommTree] = None,
+) -> np.ndarray:
+    """Vectorized :func:`predict_binomial_scatter` over an array of sizes."""
+    nb = validate_nbytes_batch(sizes)
+    if tree is None:
+        tree = binomial_tree(model.n if n is None else n, root)
+    if isinstance(model, ExtendedLMOModel):
+        serial, parallel = lmo_serial_parallel_split_batch(model)
+        return predict_tree_time_batch(tree, nb, serial, parallel)
+    return predict_tree_time_batch(
+        tree, nb,
+        serial_cost=model.p2p_time_batch,
+        parallel_cost=lambda i, j, b: np.zeros(np.shape(b)),
+    )
+
+
+def predict_binomial_gather_sweep(
+    model,
+    sizes: ArrayLike,
+    root: int = 0,
+    n: Optional[int] = None,
+    tree: Optional[CommTree] = None,
+) -> np.ndarray:
+    """Vectorized :func:`predict_binomial_gather` over an array of sizes."""
+    if isinstance(model, ExtendedLMOModel):
+        nb = validate_nbytes_batch(sizes)
+        if tree is None:
+            tree = binomial_tree(model.n if n is None else n, root)
+        serial, parallel = lmo_serial_parallel_split_batch(model)
+        return predict_tree_time_batch(tree, nb, serial, parallel)
+    return predict_binomial_scatter_sweep(model, sizes, root=root, n=n, tree=tree)

@@ -13,8 +13,10 @@ from __future__ import annotations
 import math
 from typing import Optional
 
-from repro.models.base import validate_nbytes, validate_rank
-from repro.models.collectives.tree_eval import predict_tree_time
+import numpy as np
+
+from repro.models.base import ArrayLike, validate_nbytes, validate_nbytes_batch, validate_rank
+from repro.models.collectives.tree_eval import predict_tree_time, predict_tree_time_batch
 from repro.models.collectives.trees import CommTree, binomial_tree
 from repro.models.lmo_extended import ExtendedLMOModel
 
@@ -27,6 +29,7 @@ __all__ = [
     "predict_rd_allreduce",
     "predict_reduce_bcast_allreduce",
     "predict_collective",
+    "predict_collective_sweep",
 ]
 
 
@@ -248,3 +251,258 @@ _PREDICTORS[("allreduce", "rabenseifner")] = lambda m, nb, **_kw: predict_rabens
 
 __all__.extend(["predict_vdg_bcast", "predict_ring_reduce_scatter",
                 "predict_rabenseifner_allreduce"])
+
+
+# ====================================================================== sweeps
+# Vectorized menu: every predictor above, evaluated over a whole array of
+# message sizes in one pass.  Maxima over ranks/stages accumulate in the
+# same order as the scalar generators, so results match the element-wise
+# scalar loop bit for bit.
+def predict_linear_bcast_sweep(
+    model: ExtendedLMOModel, sizes: ArrayLike, root: int = 0
+) -> np.ndarray:
+    """Vectorized :func:`predict_linear_bcast`."""
+    nb = validate_nbytes_batch(sizes)
+    validate_rank(model.n, root)
+    others = [i for i in range(model.n) if i != root]
+    serial = len(others) * model.send_cost_batch(root, nb)
+    parallel = model.wire_and_remote_cost_batch(root, others[0], nb)
+    for i in others[1:]:
+        parallel = np.maximum(parallel, model.wire_and_remote_cost_batch(root, i, nb))
+    return serial + parallel
+
+
+def predict_binomial_bcast_sweep(
+    model: ExtendedLMOModel,
+    sizes: ArrayLike,
+    root: int = 0,
+    tree: Optional[CommTree] = None,
+) -> np.ndarray:
+    """Vectorized :func:`predict_binomial_bcast`."""
+    nb = validate_nbytes_batch(sizes)
+    if tree is None:
+        tree = binomial_tree(model.n, root)
+
+    # As in the scalar version, arc volumes don't scale with sub-tree
+    # size: the closures ignore the evaluator's per-arc bytes and charge
+    # the full message on every arc.
+    def serial(i: int, _j: int, _arc_nbytes) -> np.ndarray:
+        return model.send_cost_batch(i, nb)
+
+    def parallel(i: int, j: int, _arc_nbytes) -> np.ndarray:
+        return model.wire_and_remote_cost_batch(i, j, nb)
+
+    return predict_tree_time_batch(tree, nb, serial, parallel)
+
+
+def predict_pipeline_bcast_sweep(
+    model: ExtendedLMOModel,
+    sizes: ArrayLike,
+    segment_nbytes: float,
+    root: int = 0,
+) -> np.ndarray:
+    """Vectorized :func:`predict_pipeline_bcast`."""
+    nb = validate_nbytes_batch(sizes)
+    validate_rank(model.n, root)
+    if segment_nbytes <= 0:
+        raise ValueError("segment_nbytes must be positive")
+    n = model.n
+    chain = [(root + k) % n for k in range(n)]
+    segments = np.maximum(1.0, np.ceil(nb / segment_nbytes))
+    seg = np.where(nb == 0, 0.0, np.minimum(segment_nbytes, nb))
+
+    fill = np.zeros(nb.shape)
+    stage_costs = []
+    for u, v in zip(chain, chain[1:]):
+        hop = (
+            model.send_cost_batch(u, seg)
+            + model.L[u, v]
+            + seg / model.beta[u, v]
+            + model.send_cost_batch(v, seg)
+        )
+        fill = fill + hop
+        stage_costs.append(hop)
+    for v in chain[1:-1]:
+        stage_costs.append(2 * model.send_cost_batch(v, seg))
+    bottleneck = stage_costs[0]
+    for cost in stage_costs[1:]:
+        bottleneck = np.maximum(bottleneck, cost)
+    return fill + (segments - 1) * bottleneck
+
+
+def predict_ring_allgather_sweep(model: ExtendedLMOModel, sizes: ArrayLike) -> np.ndarray:
+    """Vectorized :func:`predict_ring_allgather`."""
+    nb = validate_nbytes_batch(sizes)
+    n = model.n
+
+    def exchange(r: int) -> np.ndarray:
+        return (
+            model.send_cost_batch(r, nb)
+            + model.L[r, (r + 1) % n]
+            + nb / model.beta[r, (r + 1) % n]
+            + model.send_cost_batch((r + 1) % n, nb)
+        )
+
+    step = exchange(0)
+    for r in range(1, n):
+        step = np.maximum(step, exchange(r))
+    return (n - 1) * step
+
+
+def _rd_rounds_sweep(model: ExtendedLMOModel, volume_at_round) -> np.ndarray:
+    n = model.n
+    if n & (n - 1):
+        raise ValueError(f"recursive doubling requires a power-of-two n, got {n}")
+    total = None
+    distance = 1
+    round_idx = 0
+    while distance < n:
+        volume = volume_at_round(round_idx)
+
+        def exchange(r: int) -> np.ndarray:
+            return (
+                model.send_cost_batch(r, volume)
+                + model.L[r, r ^ distance]
+                + volume / model.beta[r, r ^ distance]
+                + model.send_cost_batch(r ^ distance, volume)
+            )
+
+        worst = exchange(0)
+        for r in range(1, n):
+            worst = np.maximum(worst, exchange(r))
+        total = worst if total is None else total + worst
+        distance <<= 1
+        round_idx += 1
+    assert total is not None
+    return total
+
+
+def predict_rd_allgather_sweep(model: ExtendedLMOModel, sizes: ArrayLike) -> np.ndarray:
+    """Vectorized :func:`predict_rd_allgather`."""
+    nb = validate_nbytes_batch(sizes)
+    return _rd_rounds_sweep(model, lambda k: (1 << k) * nb)
+
+
+def predict_rd_allreduce_sweep(model: ExtendedLMOModel, sizes: ArrayLike) -> np.ndarray:
+    """Vectorized :func:`predict_rd_allreduce`."""
+    nb = validate_nbytes_batch(sizes)
+    base = _rd_rounds_sweep(model, lambda _k: nb)
+    rounds = int(math.log2(model.n))
+    return base + rounds * nb * float(model.t.max())
+
+
+def predict_reduce_bcast_allreduce_sweep(
+    model: ExtendedLMOModel, sizes: ArrayLike, root: int = 0
+) -> np.ndarray:
+    """Vectorized :func:`predict_reduce_bcast_allreduce`."""
+    nb = validate_nbytes_batch(sizes)
+    tree = binomial_tree(model.n, root)
+
+    def serial(i: int, _j: int, _b) -> np.ndarray:
+        return model.send_cost_batch(i, nb)
+
+    def parallel(i: int, j: int, _b) -> np.ndarray:
+        return model.wire_and_remote_cost_batch(i, j, nb) + nb * float(model.t[j])
+
+    reduce_time = predict_tree_time_batch(tree, nb, serial, parallel)
+    return reduce_time + predict_binomial_bcast_sweep(model, nb, root=root, tree=tree)
+
+
+def predict_vdg_bcast_sweep(
+    model: ExtendedLMOModel, sizes: ArrayLike, root: int = 0
+) -> np.ndarray:
+    """Vectorized :func:`predict_vdg_bcast`."""
+    nb = validate_nbytes_batch(sizes)
+    from repro.models.collectives.formulas import predict_binomial_scatter_sweep
+
+    segment = nb / model.n
+    return (
+        predict_binomial_scatter_sweep(model, segment, root=root)
+        + predict_ring_allgather_sweep(model, segment)
+    )
+
+
+def predict_ring_reduce_scatter_sweep(
+    model: ExtendedLMOModel, sizes: ArrayLike
+) -> np.ndarray:
+    """Vectorized :func:`predict_ring_reduce_scatter`."""
+    nb = validate_nbytes_batch(sizes)
+    n = model.n
+
+    def exchange(r: int) -> np.ndarray:
+        return (
+            model.send_cost_batch(r, nb)
+            + model.L[r, (r + 1) % n]
+            + nb / model.beta[r, (r + 1) % n]
+            + model.send_cost_batch((r + 1) % n, nb)
+            + nb * float(model.t[(r + 1) % n])
+        )
+
+    step = exchange(0)
+    for r in range(1, n):
+        step = np.maximum(step, exchange(r))
+    return (n - 1) * step
+
+
+def predict_rabenseifner_allreduce_sweep(
+    model: ExtendedLMOModel, sizes: ArrayLike
+) -> np.ndarray:
+    """Vectorized :func:`predict_rabenseifner_allreduce`."""
+    nb = validate_nbytes_batch(sizes)
+    block = nb / model.n
+    return predict_ring_reduce_scatter_sweep(model, block) + predict_ring_allgather_sweep(
+        model, block
+    )
+
+
+#: (operation, algorithm) -> vectorized predictor, mirroring ``_PREDICTORS``.
+_SWEEP_PREDICTORS = {
+    ("bcast", "linear"): lambda m, nb, **kw: predict_linear_bcast_sweep(m, nb, **kw),
+    ("bcast", "binomial"): lambda m, nb, **kw: predict_binomial_bcast_sweep(m, nb, **kw),
+    ("bcast", "pipeline"): lambda m, nb, segment_nbytes=8192, **kw: (
+        predict_pipeline_bcast_sweep(m, nb, segment_nbytes, **kw)
+    ),
+    ("bcast", "van_de_geijn"): lambda m, nb, **kw: predict_vdg_bcast_sweep(m, nb, **kw),
+    ("allgather", "ring"): lambda m, nb, **_kw: predict_ring_allgather_sweep(m, nb),
+    ("allgather", "recursive_doubling"): lambda m, nb, **_kw: predict_rd_allgather_sweep(m, nb),
+    ("allreduce", "recursive_doubling"): lambda m, nb, **_kw: predict_rd_allreduce_sweep(m, nb),
+    ("allreduce", "reduce_bcast"): lambda m, nb, **kw: (
+        predict_reduce_bcast_allreduce_sweep(m, nb, **kw)
+    ),
+    ("allreduce", "rabenseifner"): lambda m, nb, **_kw: (
+        predict_rabenseifner_allreduce_sweep(m, nb)
+    ),
+    ("reduce_scatter", "ring"): lambda m, nb, **_kw: predict_ring_reduce_scatter_sweep(m, nb),
+}
+
+
+def predict_collective_sweep(
+    model: ExtendedLMOModel,
+    operation: str,
+    algorithm: str,
+    sizes: ArrayLike,
+    **kwargs,
+) -> np.ndarray:
+    """Vectorized :func:`predict_collective` over an array of sizes."""
+    try:
+        predictor = _SWEEP_PREDICTORS[(operation, algorithm)]
+    except KeyError:
+        known = sorted(f"{op}/{algo}" for op, algo in _SWEEP_PREDICTORS)
+        raise KeyError(
+            f"no predictor for {operation}/{algorithm}; available: {', '.join(known)}"
+        ) from None
+    return predictor(model, validate_nbytes_batch(sizes), **kwargs)
+
+
+__all__.extend([
+    "predict_linear_bcast_sweep",
+    "predict_binomial_bcast_sweep",
+    "predict_pipeline_bcast_sweep",
+    "predict_ring_allgather_sweep",
+    "predict_rd_allgather_sweep",
+    "predict_rd_allreduce_sweep",
+    "predict_reduce_bcast_allreduce_sweep",
+    "predict_vdg_bcast_sweep",
+    "predict_ring_reduce_scatter_sweep",
+    "predict_rabenseifner_allreduce_sweep",
+])

@@ -25,11 +25,15 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
+from repro.models.base import ArrayLike, validate_nbytes_batch
 from repro.models.collectives.trees import CommTree
 
-__all__ = ["predict_tree_time"]
+__all__ = ["predict_tree_time", "predict_tree_time_batch"]
 
 CostFn = Callable[[int, int, float], float]
+BatchCostFn = Callable[[int, int, np.ndarray], np.ndarray]
 
 
 def predict_tree_time(
@@ -74,3 +78,35 @@ def predict_tree_time(
         return chain(0)
 
     return subtree(tree.root)
+
+
+def predict_tree_time_batch(
+    tree: CommTree,
+    block_nbytes: ArrayLike,
+    serial_cost: BatchCostFn,
+    parallel_cost: BatchCostFn,
+) -> np.ndarray:
+    """Vectorized :func:`predict_tree_time` over an array of block sizes.
+
+    The recursion is evaluated once per tree *node* instead of once per
+    (node, size): each cost callback receives the whole per-arc byte
+    array (``blocks * block_nbytes``) and returns the matching cost
+    array, so a 200-point message-size sweep costs one tree walk of
+    NumPy ops — this is the hot path of the batched prediction engine.
+
+    The chain recursion ``serial + max(rest, parallel + subtree)`` is
+    evaluated right-to-left over each node's children, which is exactly
+    the scalar evaluator's nesting.
+    """
+    nb = validate_nbytes_batch(block_nbytes)
+
+    def subtree(rank: int) -> np.ndarray:
+        acc = np.zeros(nb.shape)
+        for child, blocks in reversed(tree.children[rank]):
+            arc_nbytes = blocks * nb
+            acc = serial_cost(rank, child, arc_nbytes) + np.maximum(
+                acc, parallel_cost(rank, child, arc_nbytes) + subtree(child)
+            )
+        return acc
+
+    return np.broadcast_to(subtree(tree.root), nb.shape).copy()

@@ -17,6 +17,7 @@ and sub-trees of equal order cover disjoint rank ranges.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator, Optional, Sequence
 
 __all__ = ["CommTree", "binomial_tree", "flat_tree"]
@@ -137,6 +138,7 @@ class CommTree:
         return "\n".join(lines)
 
 
+@lru_cache(maxsize=256)
 def binomial_tree(n: int, root: int = 0) -> CommTree:
     """The binomial scatter/gather tree of the paper's Figure 2.
 
@@ -145,6 +147,9 @@ def binomial_tree(n: int, root: int = 0) -> CommTree:
     upper half ``[mid, hi)`` to rank ``mid`` and recurses.  Ranks are
     *virtual* (relative to the root) and mapped back by rotation, as MPI
     implementations do.
+
+    Trees are immutable, so results are memoized — collective sweeps
+    re-request the same ``(n, root)`` tree for every algorithm and size.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")
@@ -170,11 +175,13 @@ def binomial_tree(n: int, root: int = 0) -> CommTree:
     return CommTree(n, root, tuple(parent), tuple(tuple(kids) for kids in children))
 
 
+@lru_cache(maxsize=256)
 def flat_tree(n: int, root: int = 0) -> CommTree:
     """The linear (flat) scatter/gather tree: root talks to everyone.
 
     Children are ordered ``root+1, root+2, ... (mod n)`` — the send order
-    of the linear algorithms — each carrying one block.
+    of the linear algorithms — each carrying one block.  Memoized like
+    :func:`binomial_tree`.
     """
     if n < 1:
         raise ValueError(f"n must be >= 1, got {n}")

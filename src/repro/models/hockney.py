@@ -19,7 +19,14 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.models.base import validate_nbytes, validate_rank
+from repro.models.base import (
+    ArrayLike,
+    broadcast_result,
+    decode_array,
+    encode_array,
+    validate_nbytes_batch,
+    validate_rank_batch,
+)
 
 __all__ = ["HockneyModel", "HeterogeneousHockneyModel"]
 
@@ -51,9 +58,22 @@ class HockneyModel:
 
     def p2p_time(self, i: int, j: int, nbytes: float) -> float:
         """``alpha + beta * M``, independent of the pair."""
-        validate_rank(self.n, i, j)
-        validate_nbytes(nbytes)
-        return self.alpha + self.beta * nbytes
+        return float(self.p2p_time_batch(i, j, nbytes))
+
+    def p2p_time_batch(self, i: ArrayLike, j: ArrayLike, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized ``alpha + beta * M`` over broadcastable arrays."""
+        validate_rank_batch(self.n, i, j)
+        nb = validate_nbytes_batch(nbytes)
+        return broadcast_result(self.alpha + self.beta * nb, i, j, nb)
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        return {"alpha": self.alpha, "beta": self.beta, "n": self.n}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "HockneyModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(alpha=params["alpha"], beta=params["beta"], n=params["n"])
 
 
 @dataclass(frozen=True)
@@ -91,9 +111,14 @@ class HeterogeneousHockneyModel:
 
     def p2p_time(self, i: int, j: int, nbytes: float) -> float:
         """``alpha_ij + beta_ij * M``."""
-        validate_rank(self.n, i, j)
-        validate_nbytes(nbytes)
-        return float(self.alpha[i, j] + self.beta[i, j] * nbytes)
+        return float(self.p2p_time_batch(i, j, nbytes))
+
+    def p2p_time_batch(self, i: ArrayLike, j: ArrayLike, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized ``alpha_ij + beta_ij * M`` with broadcast ranks/sizes."""
+        ii, jj = validate_rank_batch(self.n, i, j)
+        nb = validate_nbytes_batch(nbytes)
+        ii, jj = np.broadcast_arrays(ii, jj)
+        return broadcast_result(self.alpha[ii, jj] + self.beta[ii, jj] * nb, ii, nb)
 
     def averaged(self) -> HockneyModel:
         """Collapse to a homogeneous model by averaging over pairs.
@@ -107,6 +132,15 @@ class HeterogeneousHockneyModel:
             beta=float(self.beta[off].mean()),
             n=self.n,
         )
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        return {"alpha": encode_array(self.alpha), "beta": encode_array(self.beta)}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "HeterogeneousHockneyModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(alpha=decode_array(params["alpha"]), beta=decode_array(params["beta"]))
 
     @staticmethod
     def from_ground_truth(ground_truth) -> "HeterogeneousHockneyModel":

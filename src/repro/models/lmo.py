@@ -14,10 +14,18 @@ removes by adding ``L_ij``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 
 import numpy as np
 
-from repro.models.base import validate_nbytes, validate_rank
+from repro.models.base import (
+    ArrayLike,
+    broadcast_result,
+    decode_array,
+    encode_array,
+    validate_nbytes_batch,
+    validate_rank_batch,
+)
 
 __all__ = ["LMOModel"]
 
@@ -57,10 +65,38 @@ class LMOModel:
         """Number of processors."""
         return self.C.shape[0]
 
+    @cached_property
+    def _pair_alpha(self) -> np.ndarray:
+        """Precomputed ``C_i + C_j``, shape ``(n, n)`` (built once, cached)."""
+        return self.C[:, None] + self.C[None, :]
+
+    @cached_property
+    def _pair_beta(self) -> np.ndarray:
+        """Precomputed ``t_i + 1/beta_ij + t_j``, shape ``(n, n)``."""
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / self.beta
+        return (self.t[:, None] + inv) + self.t[None, :]
+
     def p2p_time(self, i: int, j: int, nbytes: float) -> float:
         """``C_i + C_j + M (t_i + 1/beta_ij + t_j)``."""
-        validate_rank(self.n, i, j)
-        validate_nbytes(nbytes)
-        return float(
-            self.C[i] + self.C[j] + nbytes * (self.t[i] + 1.0 / self.beta[i, j] + self.t[j])
+        return float(self.p2p_time_batch(i, j, nbytes))
+
+    def p2p_time_batch(self, i: ArrayLike, j: ArrayLike, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized LMO prediction over broadcastable rank/size arrays."""
+        ii, jj = validate_rank_batch(self.n, i, j)
+        nb = validate_nbytes_batch(nbytes)
+        ii, jj = np.broadcast_arrays(ii, jj)
+        return broadcast_result(
+            self._pair_alpha[ii, jj] + nb * self._pair_beta[ii, jj], ii, nb
         )
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        return {"C": encode_array(self.C), "t": encode_array(self.t),
+                "beta": encode_array(self.beta)}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "LMOModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(C=decode_array(params["C"]), t=decode_array(params["t"]),
+                   beta=decode_array(params["beta"]))

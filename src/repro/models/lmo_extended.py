@@ -20,11 +20,19 @@ and (5), and :class:`GatherIrregularity` for the empirical part of (5).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property
 from typing import Optional
 
 import numpy as np
 
-from repro.models.base import validate_nbytes, validate_rank
+from repro.models.base import (
+    ArrayLike,
+    broadcast_result,
+    decode_array,
+    encode_array,
+    validate_nbytes_batch,
+    validate_rank_batch,
+)
 from repro.models.hockney import HeterogeneousHockneyModel
 from repro.models.lmo import LMOModel
 
@@ -72,6 +80,26 @@ class GatherIrregularity:
             return "large"
         return "medium"
 
+    def escalation_probability_batch(self, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized :meth:`escalation_probability`."""
+        nb = np.asarray(nbytes, dtype=float)
+        frac = (nb - self.m1) / (self.m2 - self.m1)
+        p = self.p_at_m1 + frac * (self.p_at_m2 - self.p_at_m1)
+        return np.where((nb <= self.m1) | (nb > self.m2), 0.0, p)
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        return {"m1": self.m1, "m2": self.m2,
+                "escalation_value": self.escalation_value,
+                "p_at_m1": self.p_at_m1, "p_at_m2": self.p_at_m2}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "GatherIrregularity":
+        """Inverse of :meth:`to_dict`."""
+        return cls(m1=params["m1"], m2=params["m2"],
+                   escalation_value=params["escalation_value"],
+                   p_at_m1=params["p_at_m1"], p_at_m2=params["p_at_m2"])
+
 
 @dataclass(frozen=True)
 class ExtendedLMOModel:
@@ -113,23 +141,42 @@ class ExtendedLMOModel:
         """Number of processors."""
         return self.C.shape[0]
 
+    # -- precomputed pair matrices (built once, cached on the instance) --------
+    @cached_property
+    def _pair_alpha(self) -> np.ndarray:
+        """``C_i + L_ij + C_j``, shape ``(n, n)``."""
+        return (self.C[:, None] + self.L) + self.C[None, :]
+
+    @cached_property
+    def _pair_beta(self) -> np.ndarray:
+        """``t_i + 1/beta_ij + t_j``, shape ``(n, n)``."""
+        with np.errstate(divide="ignore"):
+            inv = 1.0 / self.beta
+        return (self.t[:, None] + inv) + self.t[None, :]
+
     # -- point-to-point --------------------------------------------------------
     def p2p_time(self, i: int, j: int, nbytes: float) -> float:
         """``C_i + L_ij + C_j + M (t_i + 1/beta_ij + t_j)``."""
-        validate_rank(self.n, i, j)
-        validate_nbytes(nbytes)
-        return float(
-            self.C[i]
-            + self.L[i, j]
-            + self.C[j]
-            + nbytes * (self.t[i] + 1.0 / self.beta[i, j] + self.t[j])
+        return float(self.p2p_time_batch(i, j, nbytes))
+
+    def p2p_time_batch(self, i: ArrayLike, j: ArrayLike, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized extended-LMO prediction over broadcastable arrays."""
+        ii, jj = validate_rank_batch(self.n, i, j)
+        nb = validate_nbytes_batch(nbytes)
+        ii, jj = np.broadcast_arrays(ii, jj)
+        return broadcast_result(
+            self._pair_alpha[ii, jj] + nb * self._pair_beta[ii, jj], ii, nb
         )
 
     def send_cost(self, i: int, nbytes: float) -> float:
         """Processor-side cost ``C_i + M t_i`` (serialized on a node)."""
-        validate_rank(self.n, i)
-        validate_nbytes(nbytes)
-        return float(self.C[i] + nbytes * self.t[i])
+        return float(self.send_cost_batch(i, nbytes))
+
+    def send_cost_batch(self, i: ArrayLike, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized :meth:`send_cost` over broadcastable arrays."""
+        (ii,) = validate_rank_batch(self.n, i)
+        nb = validate_nbytes_batch(nbytes)
+        return broadcast_result(self.C[ii] + nb * self.t[ii], ii, nb)
 
     def wire_and_remote_cost(self, i: int, j: int, nbytes: float) -> float:
         """Everything that happens off the sender: ``L + M/beta + C_j + M t_j``.
@@ -137,10 +184,18 @@ class ExtendedLMOModel:
         This is the parallelizable part of a transfer through the switch —
         the term inside the ``max`` of formulas (4) and (5).
         """
-        validate_rank(self.n, i, j)
-        validate_nbytes(nbytes)
-        return float(
-            self.L[i, j] + nbytes / self.beta[i, j] + self.C[j] + nbytes * self.t[j]
+        return float(self.wire_and_remote_cost_batch(i, j, nbytes))
+
+    def wire_and_remote_cost_batch(
+        self, i: ArrayLike, j: ArrayLike, nbytes: ArrayLike
+    ) -> np.ndarray:
+        """Vectorized :meth:`wire_and_remote_cost` over broadcastable arrays."""
+        ii, jj = validate_rank_batch(self.n, i, j)
+        nb = validate_nbytes_batch(nbytes)
+        ii, jj = np.broadcast_arrays(ii, jj)
+        return broadcast_result(
+            self.L[ii, jj] + nb / self.beta[ii, jj] + self.C[jj] + nb * self.t[jj],
+            ii, nb,
         )
 
     # -- conversions ----------------------------------------------------------
@@ -166,6 +221,24 @@ class ExtendedLMOModel:
     def with_irregularity(self, irregularity: GatherIrregularity) -> "ExtendedLMOModel":
         """A copy carrying estimated empirical gather parameters."""
         return ExtendedLMOModel(self.C, self.t, self.L, self.beta, irregularity)
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        params = {"C": encode_array(self.C), "t": encode_array(self.t),
+                  "L": encode_array(self.L), "beta": encode_array(self.beta)}
+        if self.gather_irregularity is not None:
+            params["gather_irregularity"] = self.gather_irregularity.to_dict()
+        return params
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "ExtendedLMOModel":
+        """Inverse of :meth:`to_dict`."""
+        irregularity = None
+        if "gather_irregularity" in params:
+            irregularity = GatherIrregularity.from_dict(params["gather_irregularity"])
+        return cls(C=decode_array(params["C"]), t=decode_array(params["t"]),
+                   L=decode_array(params["L"]), beta=decode_array(params["beta"]),
+                   gather_irregularity=irregularity)
 
     @staticmethod
     def from_ground_truth(ground_truth, irregularity=None) -> "ExtendedLMOModel":

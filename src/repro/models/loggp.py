@@ -12,7 +12,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.models.base import validate_nbytes, validate_rank
+import numpy as np
+
+from repro.models.base import (
+    ArrayLike,
+    broadcast_result,
+    validate_nbytes_batch,
+    validate_rank_batch,
+)
 
 __all__ = ["LogGPModel"]
 
@@ -55,9 +62,15 @@ class LogGPModel:
 
     def p2p_time(self, i: int, j: int, nbytes: float) -> float:
         """``L + 2o + (M-1) G`` (zero-byte messages cost ``L + 2o``)."""
-        validate_rank(self.P, i, j)
-        validate_nbytes(nbytes)
-        return self.L + 2 * self.o + max(nbytes - 1, 0) * self.G
+        return float(self.p2p_time_batch(i, j, nbytes))
+
+    def p2p_time_batch(self, i: ArrayLike, j: ArrayLike, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized ``L + 2o + (M-1) G`` over broadcastable arrays."""
+        validate_rank_batch(self.P, i, j)
+        nb = validate_nbytes_batch(nbytes)
+        return broadcast_result(
+            self.L + 2 * self.o + np.maximum(nb - 1, 0) * self.G, i, j, nb
+        )
 
     def message_train_time(self, nbytes: float, count: int) -> float:
         """``L + 2o + (M-1) G + (m-1) g`` for ``m`` same-size messages."""
@@ -68,3 +81,13 @@ class LogGPModel:
     def bandwidth(self) -> float:
         """Asymptotic bandwidth ``1/G``, bytes/second."""
         return 1.0 / self.G if self.G > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        return {"L": self.L, "o": self.o, "g": self.g, "G": self.G, "P": self.P}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "LogGPModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(L=params["L"], o=params["o"], g=params["g"], G=params["G"],
+                   P=params["P"])

@@ -17,7 +17,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.models.base import validate_nbytes, validate_rank
+import numpy as np
+
+from repro.models.base import (
+    ArrayLike,
+    broadcast_result,
+    validate_nbytes,
+    validate_nbytes_batch,
+    validate_rank_batch,
+)
 
 __all__ = ["LogPModel"]
 
@@ -68,11 +76,34 @@ class LogPModel:
             return 1
         return -(-int(nbytes) // self.packet_bytes)
 
+    def packets_batch(self, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized :meth:`packets` (float array, exact integer values)."""
+        nb = validate_nbytes_batch(nbytes)
+        # ceil(trunc(M) / w) mirrors -(-int(M) // w) for non-negative M.
+        k = np.ceil(np.trunc(nb) / self.packet_bytes)
+        return np.where(nb == 0, 1.0, k)
+
     def p2p_time(self, i: int, j: int, nbytes: float) -> float:
         """``L + 2o + (k-1) g`` for a k-packet message."""
-        validate_rank(self.P, i, j)
-        return self.L + 2 * self.o + (self.packets(nbytes) - 1) * self.g
+        return float(self.p2p_time_batch(i, j, nbytes))
+
+    def p2p_time_batch(self, i: ArrayLike, j: ArrayLike, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized packet-train prediction over broadcastable arrays."""
+        validate_rank_batch(self.P, i, j)
+        packets = self.packets_batch(nbytes)
+        return broadcast_result(self.L + 2 * self.o + (packets - 1) * self.g, i, j, packets)
 
     def bandwidth(self) -> float:
         """End-to-end bandwidth implied by the gap, bytes/second."""
         return self.packet_bytes / self.g if self.g > 0 else float("inf")
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        return {"L": self.L, "o": self.o, "g": self.g, "P": self.P,
+                "packet_bytes": self.packet_bytes}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "LogPModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(L=params["L"], o=params["o"], g=params["g"], P=params["P"],
+                   packet_bytes=params.get("packet_bytes", 1500))

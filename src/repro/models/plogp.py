@@ -19,7 +19,14 @@ import bisect
 from dataclasses import dataclass
 from typing import Sequence
 
-from repro.models.base import validate_nbytes, validate_rank
+import numpy as np
+
+from repro.models.base import (
+    ArrayLike,
+    broadcast_result,
+    validate_nbytes_batch,
+    validate_rank_batch,
+)
 
 __all__ = ["PiecewiseLinear", "PLogPModel"]
 
@@ -64,9 +71,30 @@ class PiecewiseLinear:
         y0, y1 = ys[k], ys[k + 1]
         return y0 + (y1 - y0) * (x - x0) / (x1 - x0)
 
+    def batch(self, x: ArrayLike) -> np.ndarray:
+        """Vectorized ``__call__``: same interpolation/extrapolation rules."""
+        arr = np.asarray(x, dtype=float)
+        xs = np.asarray(self.xs)
+        ys = np.asarray(self.ys)
+        if len(xs) == 1:
+            return np.full(arr.shape, ys[0])
+        k = np.clip(np.searchsorted(xs, arr, side="right") - 1, 0, len(xs) - 2)
+        x0, x1 = xs[k], xs[k + 1]
+        y0, y1 = ys[k], ys[k + 1]
+        return y0 + (y1 - y0) * (arr - x0) / (x1 - x0)
+
     def breakpoints(self) -> list[tuple[float, float]]:
         """The ``(x, y)`` breakpoint list."""
         return list(zip(self.xs, self.ys))
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        return {"xs": list(self.xs), "ys": list(self.ys)}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "PiecewiseLinear":
+        """Inverse of :meth:`to_dict`."""
+        return cls(xs=tuple(params["xs"]), ys=tuple(params["ys"]))
 
 
 @dataclass(frozen=True)
@@ -106,11 +134,28 @@ class PLogPModel:
 
     def p2p_time(self, i: int, j: int, nbytes: float) -> float:
         """``L + g(M)``."""
-        validate_rank(self.P, i, j)
-        validate_nbytes(nbytes)
-        return self.L + self.g(nbytes)
+        return float(self.p2p_time_batch(i, j, nbytes))
+
+    def p2p_time_batch(self, i: ArrayLike, j: ArrayLike, nbytes: ArrayLike) -> np.ndarray:
+        """Vectorized ``L + g(M)`` over broadcastable arrays."""
+        validate_rank_batch(self.P, i, j)
+        nb = validate_nbytes_batch(nbytes)
+        return broadcast_result(self.L + self.g.batch(nb), i, j, nb)
 
     def gap_covers_overheads(self, nbytes: float) -> bool:
         """PLogP's structural assumption ``g(M) >= o_s(M), o_r(M)``."""
         gm = self.g(nbytes)
         return gm >= self.o_s(nbytes) and gm >= self.o_r(nbytes)
+
+    def to_dict(self) -> dict:
+        """Schema-v2 parameter dictionary."""
+        return {"L": self.L, "P": self.P, "o_s": self.o_s.to_dict(),
+                "o_r": self.o_r.to_dict(), "g": self.g.to_dict()}
+
+    @classmethod
+    def from_dict(cls, params: dict) -> "PLogPModel":
+        """Inverse of :meth:`to_dict`."""
+        return cls(L=params["L"], P=params["P"],
+                   o_s=PiecewiseLinear.from_dict(params["o_s"]),
+                   o_r=PiecewiseLinear.from_dict(params["o_r"]),
+                   g=PiecewiseLinear.from_dict(params["g"]))

@@ -59,20 +59,21 @@ def _finish_times(
     """Per-rank finish times of scatterv+compute under the LMO model."""
     n = model.n
     b = np.asarray(counts, dtype=float)
-    serial = sum(model.send_cost(root, b[j]) for j in range(n) if j != root)
-    finishes = np.empty(n)
-    for i in range(n):
-        if i == root:
-            finishes[i] = serial + b[i] * work_rate[i]
-        else:
-            finishes[i] = (
-                serial
-                + model.L[root, i]
-                + b[i] / model.beta[root, i]
-                + model.C[i]
-                + b[i] * model.t[i]
-                + b[i] * work_rate[i]
-            )
+    work = np.asarray(work_rate, dtype=float)
+    others = np.arange(n) != root
+    serial = float(model.send_cost_batch(root, b[others]).sum())
+    # Whole-cluster delivery terms in one vector pass; the root's bogus
+    # self-link term (possibly 0/0) is overwritten right after.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        finishes = (
+            serial
+            + model.L[root]
+            + b / model.beta[root]
+            + model.C
+            + b * model.t
+            + b * work
+        )
+    finishes[root] = serial + b[root] * work[root]
     return finishes
 
 

@@ -12,14 +12,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.models.collectives.formulas import (
-    GatherPrediction,
-    predict_binomial_gather,
-    predict_binomial_scatter,
-    predict_linear_gather,
-    predict_linear_scatter,
-)
-from repro.models.collectives.formulas_ext import _PREDICTORS, predict_collective
 from repro.models.lmo_extended import ExtendedLMOModel
 
 __all__ = ["CollectiveCall", "PlannedCall", "CommunicationPlan", "plan_collectives"]
@@ -88,37 +80,29 @@ class CommunicationPlan:
         return "\n".join(lines)
 
 
-def _predict(model: ExtendedLMOModel, operation: str, algorithm: str,
-             nbytes: int, root: int) -> float:
-    if operation == "scatter":
-        fn = predict_linear_scatter if algorithm == "linear" else predict_binomial_scatter
-        return float(fn(model, nbytes, root=root))
-    if operation == "gather":
-        if algorithm == "linear":
-            value = predict_linear_gather(model, nbytes, root=root)
-            return value.expected if isinstance(value, GatherPrediction) else float(value)
-        return float(predict_binomial_gather(model, nbytes, root=root))
-    if (operation, algorithm) in _PREDICTORS:
-        if operation == "bcast":
-            return float(predict_collective(model, operation, algorithm, nbytes,
-                                            root=root))
-        return float(predict_collective(model, operation, algorithm, nbytes))
-    raise KeyError(f"no predictor for {operation}/{algorithm}")
-
-
 def plan_collectives(
     model: ExtendedLMOModel,
     calls: Sequence[CollectiveCall],
     menu: Optional[dict[str, tuple[str, ...]]] = None,
 ) -> CommunicationPlan:
-    """Choose the predicted-fastest algorithm for every call."""
+    """Choose the predicted-fastest algorithm for every call.
+
+    All candidates of one call are predicted in a single batched request
+    through :func:`repro.predict_service.predict_many`.
+    """
+    from repro.predict_service import PredictRequest, predict_many
+
     chosen_menu = MENU if menu is None else menu
     planned: list[PlannedCall] = []
     for call in calls:
-        candidates = {
-            algorithm: _predict(model, call.operation, algorithm, call.nbytes, call.root)
-            for algorithm in chosen_menu[call.operation]
-        }
+        algorithms = chosen_menu[call.operation]
+        requests = [
+            PredictRequest(call.operation, algorithm, float(call.nbytes),
+                           root=call.root)
+            for algorithm in algorithms
+        ]
+        values = predict_many(model, requests)
+        candidates = dict(zip(algorithms, (float(v) for v in values)))
         best = min(candidates, key=candidates.__getitem__)
         planned.append(PlannedCall(call=call, algorithm=best,
                                    predicted_each=candidates[best]))

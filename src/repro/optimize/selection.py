@@ -14,15 +14,17 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.models.collectives.formulas import (
-    GatherPrediction,
-    predict_binomial_gather,
-    predict_binomial_scatter,
-    predict_linear_gather,
-    predict_linear_scatter,
-)
+import numpy as np
 
-__all__ = ["AlgorithmChoice", "predict_algorithms", "select_algorithm", "crossover_size"]
+from repro.predict_service import predict_sweep
+
+__all__ = [
+    "AlgorithmChoice",
+    "predict_algorithms",
+    "predict_algorithms_sweep",
+    "select_algorithm",
+    "crossover_size",
+]
 
 
 @dataclass(frozen=True)
@@ -39,32 +41,13 @@ class AlgorithmChoice:
 
 
 def _predict(model, operation: str, algorithm: str, nbytes: int, root: int) -> float:
-    if operation == "scatter":
-        if algorithm == "linear":
-            return float(predict_linear_scatter(model, nbytes, root=root))
-        if algorithm == "binomial":
-            return float(predict_binomial_scatter(model, nbytes, root=root))
-    elif operation == "gather":
-        if algorithm == "linear":
-            value = predict_linear_gather(model, nbytes, root=root)
-            return value.expected if isinstance(value, GatherPrediction) else float(value)
-        if algorithm == "binomial":
-            return float(predict_binomial_gather(model, nbytes, root=root))
-    else:
-        # The wider menu (bcast / allgather / allreduce) is predicted by
-        # the extended-LMO formulas; other models have no formula there.
-        from repro.models.collectives.formulas_ext import predict_collective
-        from repro.models.lmo_extended import ExtendedLMOModel
-
-        if isinstance(model, ExtendedLMOModel):
-            try:
-                if operation == "bcast":
-                    return float(predict_collective(model, operation, algorithm,
-                                                    nbytes, root=root))
-                return float(predict_collective(model, operation, algorithm, nbytes))
-            except KeyError:
-                pass
-    raise KeyError(f"no prediction for {operation}/{algorithm}")
+    # All predictions flow through the batched service: scatter/gather
+    # for every model, the wider menu (bcast / allgather / allreduce)
+    # for the extended LMO model only.
+    try:
+        return float(predict_sweep(model, operation, algorithm, float(nbytes), root=root))
+    except (KeyError, AttributeError, TypeError):
+        raise KeyError(f"no prediction for {operation}/{algorithm}") from None
 
 
 def predict_algorithms(
@@ -74,15 +57,32 @@ def predict_algorithms(
     root: int = 0,
     algorithms: Sequence[str] = ("linear", "binomial"),
 ) -> AlgorithmChoice:
-    """Predict every candidate algorithm's time under ``model``."""
-    return AlgorithmChoice(
-        operation=operation,
-        nbytes=nbytes,
-        predictions={
-            algorithm: _predict(model, operation, algorithm, nbytes, root)
-            for algorithm in algorithms
-        },
-    )
+    """Predict every candidate algorithm's time under ``model``.
+
+    Routed through :mod:`repro.predict_service`, so repeated menu
+    evaluations at the same sizes hit the sweep cache.
+    """
+    predictions = {
+        algorithm: _predict(model, operation, algorithm, nbytes, root)
+        for algorithm in algorithms
+    }
+    return AlgorithmChoice(operation=operation, nbytes=nbytes, predictions=predictions)
+
+
+def predict_algorithms_sweep(
+    model,
+    operation: str,
+    sizes: Sequence[float],
+    root: int = 0,
+    algorithms: Sequence[str] = ("linear", "binomial"),
+) -> dict[str, np.ndarray]:
+    """Whole algorithm menu over a whole size sweep, one array per
+    algorithm — the vectorized counterpart of :func:`predict_algorithms`."""
+    arr = np.asarray(sizes, dtype=float)
+    return {
+        algorithm: predict_sweep(model, operation, algorithm, arr, root=root)
+        for algorithm in algorithms
+    }
 
 
 def select_algorithm(

@@ -1,0 +1,150 @@
+"""Tests for the repro.api facade."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.cluster import SimulatedCluster
+from repro.models import ExtendedLMOModel, HeterogeneousHockneyModel
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return api.load_cluster(nodes=5, seed=0)
+
+
+@pytest.fixture(scope="module")
+def outcome(cluster):
+    return api.estimate(cluster, model="lmo", reps=1, quick=True, empirical=True)
+
+
+def test_load_cluster_defaults():
+    cluster = api.load_cluster()
+    assert isinstance(cluster, SimulatedCluster)
+    assert cluster.n == 16
+    assert cluster.spec.name == "ucd-hcl-16"
+
+
+def test_load_cluster_truncates_and_validates():
+    assert api.load_cluster(nodes=4).n == 4
+    with pytest.raises(ValueError, match="nodes"):
+        api.load_cluster(nodes=1)
+    with pytest.raises(KeyError, match="profile"):
+        api.load_cluster(profile="nope")
+
+
+def test_load_cluster_from_saved_spec(tmp_path):
+    spec = api.load_cluster(nodes=3).spec
+    path = tmp_path / "spec.json"
+    from repro.io import save
+
+    save(spec, str(path))
+    cluster = api.load_cluster(spec=str(path))
+    assert cluster.spec == spec
+
+
+def test_load_cluster_rejects_non_spec_file(tmp_path):
+    path = tmp_path / "model.json"
+    api.save_model(HeterogeneousHockneyModel(alpha=np.zeros((2, 2)),
+                                             beta=np.zeros((2, 2))), str(path))
+    with pytest.raises(TypeError, match="not a cluster spec"):
+        api.load_cluster(spec=str(path))
+
+
+def test_estimate_returns_typed_outcome(cluster, outcome):
+    assert isinstance(outcome, api.EstimateOutcome)
+    assert isinstance(outcome.model, ExtendedLMOModel)
+    assert outcome.model_name == "lmo"
+    assert outcome.n == cluster.n
+    assert outcome.estimation_time > 0
+    assert outcome.model.gather_irregularity is not None
+    # The dict form is JSON-clean.
+    json.dumps(outcome.to_dict())
+
+
+def test_estimate_unknown_model(cluster):
+    with pytest.raises(KeyError, match="unknown model"):
+        api.estimate(cluster, model="bogus")
+
+
+def test_predict_returns_prediction(outcome):
+    p = api.predict(outcome.model, "scatter", "linear", 65536)
+    assert isinstance(p, api.Prediction)
+    assert p.seconds > 0
+    assert p.regime is None
+    json.dumps(p.to_dict())
+
+
+def test_predict_gather_carries_regime(outcome):
+    irr = outcome.model.gather_irregularity
+    mid = (irr.m1 + irr.m2) / 2
+    p = api.predict(outcome.model, "gather", "linear", mid)
+    assert p.regime == "medium"
+    assert 0 <= p.escalation_probability <= 1
+
+
+def test_predict_unsupported_pair_raises(outcome):
+    het = HeterogeneousHockneyModel.from_ground_truth(
+        api.load_cluster(nodes=4).ground_truth
+    )
+    with pytest.raises(KeyError):
+        api.predict(het, "bcast", "pipeline", 1024)
+
+
+def test_predict_many_matches_predict(outcome):
+    requests = [
+        api.PredictRequest("scatter", "linear", 1024.0),
+        api.PredictRequest("gather", "linear", 65536.0),
+        api.PredictRequest("bcast", "binomial", 4096.0),
+        api.PredictRequest("scatter", "linear", 65536.0),
+    ]
+    values = api.predict_many(outcome.model, requests)
+    assert values.shape == (4,)
+    for req, value in zip(requests, values):
+        single = api.predict(outcome.model, req.operation, req.algorithm,
+                             req.nbytes, root=req.root)
+        assert value == single.seconds
+
+
+def test_measure_returns_measurement(cluster):
+    m = api.measure(cluster, "scatter", "linear", 4096, max_reps=4)
+    assert isinstance(m, api.Measurement)
+    assert m.mean > 0
+    assert m.reps <= 4
+    assert m.confidence == 0.95
+    json.dumps(m.to_dict())
+
+
+def test_optimize_gather_splits_medium_regime(outcome):
+    irr = outcome.model.gather_irregularity
+    sizes = [irr.m1 / 2, (irr.m1 + irr.m2) / 2, irr.m2 * 2]
+    plan = api.optimize_gather(outcome.model, sizes)
+    assert isinstance(plan, api.GatherOptimization)
+    assert plan.chunk_counts[0] == 1 and plan.chunk_counts[2] == 1
+    assert plan.chunk_counts[1] > 1
+    # Splitting the escalation-regime size must help; the others are untouched.
+    assert plan.speedups[1] > 1.0
+    assert plan.optimized_seconds[0] == plan.native_seconds[0]
+    json.dumps(plan.to_dict())
+
+
+def test_optimize_gather_without_irregularity(outcome):
+    bare = outcome.model.with_irregularity(None)
+    plan = api.optimize_gather(bare, [1024.0, 65536.0])
+    assert plan.chunk_counts == (1, 1)
+    assert plan.optimized_seconds == plan.native_seconds
+
+
+def test_model_roundtrip_through_facade(tmp_path, outcome):
+    path = tmp_path / "model.json"
+    api.save_model(outcome.model, str(path))
+    back = api.load_model(str(path))
+    assert back.p2p_time(0, 1, 1024) == outcome.model.p2p_time(0, 1, 1024)
+
+
+def test_available_algorithms_reexported(outcome):
+    pairs = api.available_algorithms(outcome.model)
+    assert ("scatter", "linear") in pairs
+    assert ("bcast", "pipeline") in pairs

@@ -67,9 +67,11 @@ def test_predict_unsupported_combination(tmp_path, capsys):
     out_file = tmp_path / "hockney.json"
     main(["estimate", "--model", "hockney", "--out", str(out_file)])
     capsys.readouterr()
+    # The full menu (bcast etc.) is extended-LMO only.
     assert main(["predict", "--model-file", str(out_file),
-                 "--operation", "gather", "--algorithm", "binomial",
+                 "--operation", "bcast", "--algorithm", "pipeline",
                  "--nbytes", "100"]) == 2
+    assert "no prediction formula" in capsys.readouterr().err
 
 
 def test_measure_reports_ci(capsys):

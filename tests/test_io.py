@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.cluster import GroundTruth
-from repro.io import FORMAT_VERSION, dumps, load, loads, save
+from repro.io import FORMAT_VERSION, SCHEMA_VERSION, dumps, load, loads, save
 from repro.models import (
     ExtendedLMOModel,
     GatherIrregularity,
@@ -104,6 +104,70 @@ def test_envelope_validation():
 def test_unserializable_type_rejected():
     with pytest.raises(TypeError):
         dumps(object())
+
+
+def test_v2_envelope_shape():
+    import json
+
+    doc = json.loads(dumps(HockneyModel(alpha=1e-4, beta=8e-8, n=8)))
+    assert doc["model"] == "HockneyModel"
+    assert doc["schema_version"] == SCHEMA_VERSION == 2
+    assert isinstance(doc["params"], dict)
+
+
+def test_v2_envelope_validation():
+    with pytest.raises(ValueError, match="schema version"):
+        loads('{"model": "HockneyModel", "schema_version": 99, "params": {}}')
+    with pytest.raises(ValueError, match="unknown document"):
+        loads('{"model": "Nope", "schema_version": 2, "params": {}}')
+    with pytest.raises(ValueError, match="params"):
+        loads('{"model": "HockneyModel", "schema_version": 2}')
+    with pytest.raises(ValueError, match="not a repro-model"):
+        loads("[1, 2, 3]")
+
+
+def test_all_six_models_roundtrip_v2():
+    gt = GroundTruth.random(4, seed=11)
+    f = PiecewiseLinear((0.0, 1024.0), (4e-5, 1e-4))
+    models = [
+        HockneyModel(alpha=1e-4, beta=8e-8, n=4),
+        HeterogeneousHockneyModel.from_ground_truth(gt),
+        LogPModel(L=3e-5, o=1e-5, g=1.2e-5, P=4, packet_bytes=1500),
+        LogGPModel(L=3e-5, o=1e-5, g=1.2e-5, G=9e-9, P=4),
+        PLogPModel(L=3.5e-5, o_s=f, o_r=f, g=f, P=4),
+        ExtendedLMOModel.from_ground_truth(
+            gt, GatherIrregularity(m1=4 * KB, m2=65 * KB, escalation_value=0.2)
+        ),
+    ]
+    for model in models:
+        back = roundtrip(model)
+        assert type(back) is type(model)
+        assert back.p2p_time(0, 1, KB) == pytest.approx(model.p2p_time(0, 1, KB))
+
+
+def test_legacy_v1_loads_with_deprecation_warning():
+    legacy = (
+        '{"format": "repro-model", "version": 1, "payload": '
+        '{"type": "HockneyModel", "alpha": 0.0001, "beta": 8e-08, "n": 8}}'
+    )
+    with pytest.warns(DeprecationWarning, match="legacy"):
+        model = loads(legacy)
+    assert model == HockneyModel(alpha=1e-4, beta=8e-8, n=8)
+
+
+def test_legacy_v1_matrix_payload_loads():
+    legacy = (
+        '{"format": "repro-model", "version": 1, "payload": '
+        '{"type": "GroundTruth",'
+        ' "C": [1e-05, 2e-05], "t": [1e-09, 2e-09],'
+        ' "L": [[0.0, 3e-05], [3e-05, 0.0]],'
+        ' "beta": [["inf", 10000000.0], [10000000.0, "inf"]]}}'
+    )
+    with pytest.warns(DeprecationWarning):
+        gt = loads(legacy)
+    assert isinstance(gt, GroundTruth)
+    assert np.isinf(gt.beta[0, 0])
+    assert gt.beta[0, 1] == 1e7
 
 
 @settings(max_examples=20, deadline=None)
