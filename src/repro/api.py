@@ -38,7 +38,12 @@ from repro.cluster import (
     table1_cluster,
 )
 from repro.estimation import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    CampaignStatus,
     DESEngine,
+    campaign_status as _campaign_status,
     detect_gather_irregularity,
     estimate_extended_lmo,
     estimate_heterogeneous_hockney,
@@ -63,6 +68,9 @@ from repro.stats import MeasurementPolicy
 
 __all__ = [
     "PROFILES",
+    "CampaignConfig",
+    "CampaignResult",
+    "CampaignStatus",
     "PredictRequest",
     "Prediction",
     "Measurement",
@@ -78,6 +86,9 @@ __all__ = [
     "predict_sweep",
     "measure",
     "optimize_gather",
+    "run_campaign",
+    "resume_campaign",
+    "campaign_status",
 ]
 
 KB = 1024
@@ -264,6 +275,52 @@ def estimate(
         n=cluster.n,
         estimation_time=float(engine.estimation_time - start),
     )
+
+
+# -- durable campaigns ----------------------------------------------------------
+def run_campaign(
+    cluster: SimulatedCluster,
+    journal: str,
+    config: Optional[CampaignConfig] = None,
+) -> CampaignResult:
+    """Run the full pair+triplet estimation sweep as a durable campaign.
+
+    Every experiment is journaled write-ahead to ``journal`` (a JSONL
+    file that must not yet exist); a crash, deadline or budget stop
+    leaves the journal resumable with :func:`resume_campaign`.  The
+    result carries the assembled model (or None when stopped early)
+    plus an explicit coverage/degraded report.
+    """
+    return Campaign.start(DESEngine(cluster), journal, config=config).run()
+
+
+def resume_campaign(
+    cluster: SimulatedCluster,
+    journal: str,
+    max_wall_seconds: Optional[float] = None,
+    max_sim_seconds: Optional[float] = None,
+    max_repetitions: Optional[int] = None,
+) -> CampaignResult:
+    """Continue an interrupted campaign from its journal.
+
+    The cluster must match the journal's recorded fingerprint (same
+    spec, ground truth and seed).  Completed experiments are never
+    re-measured; given the same campaign seed, the final model is
+    bit-identical to what the uninterrupted run would have produced.
+    The budget arguments, when given, replace the journaled caps.
+    """
+    return Campaign.resume(
+        DESEngine(cluster),
+        journal,
+        max_wall_seconds=max_wall_seconds,
+        max_sim_seconds=max_sim_seconds,
+        max_repetitions=max_repetitions,
+    ).run()
+
+
+def campaign_status(journal: str) -> CampaignStatus:
+    """Inspect a campaign journal without attaching a cluster."""
+    return _campaign_status(journal)
 
 
 # -- prediction -----------------------------------------------------------------

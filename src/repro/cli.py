@@ -21,6 +21,7 @@ plan        choose algorithms for an application's collective calls
 trace       run one collective and print its activity timeline
 drift       spot-check a saved model against the (possibly degraded) cluster
 chaos       fault-injection demo: estimate, inject, self-heal, report
+campaign    durable estimation sweep: run / resume / status on a journal
 experiment  regenerate one of the paper's tables/figures (optional CSV)
 report      regenerate all of them (markdown)
 """
@@ -39,15 +40,21 @@ from repro.cluster import (
     FaultPlan,
     FlakyLink,
     LinkDegradation,
+    NodeCrash,
     NodeHang,
     NodeSlowdown,
     NoiseModel,
+    ProcessCrash,
     SimulatedCluster,
+    SimulatedCrash,
     synthesize_ground_truth,
     table1_cluster,
 )
 from repro.estimation import (
+    Campaign,
+    CampaignConfig,
     DESEngine,
+    JournalError,
     MaintainerPolicy,
     ModelMaintainer,
     detect_model_drift,
@@ -319,6 +326,16 @@ def _parse_faults(args) -> FaultPlan:
         node, start, duration = _split_spec(text, "--hang-node NODE:START:DUR", 3)
         faults.append(NodeHang(node=int(node), start=float(start),
                                duration=float(duration)))
+    for text in args.crash_node or []:
+        fields = text.split(":")
+        if len(fields) == 1:
+            faults.append(NodeCrash(node=int(fields[0])))
+        elif len(fields) == 2:
+            faults.append(NodeCrash(node=int(fields[0]), start=float(fields[1])))
+        else:
+            raise ValueError(f"--crash-node expects NODE[:START], got {text!r}")
+    if args.crash_after is not None:
+        faults.append(ProcessCrash(after_experiments=args.crash_after))
     if not faults:
         # Default demo plan: one slow node plus one lossy link.
         faults = [
@@ -365,13 +382,130 @@ def cmd_chaos(args) -> int:
     lines.append(f"final spot-check: worst drift {report.worst_error:.2%}")
     lines.append("verdict: model healed" if healed else
                  "verdict: drift persists (more cycles needed)")
-    _emit(args, "\n".join(lines), {
+    payload = {
         "nodes": spec.n,
         "cycles": args.cycles,
         "fault_plan": plan.describe(),
         "worst_drift": float(report.worst_error),
         "healed": healed,
-    })
+    }
+
+    # Crash faults only bite the durable campaign path, so demo it when
+    # the plan carries one (or the user asked for a journal explicitly).
+    has_crash = any(isinstance(f, (NodeCrash, ProcessCrash)) for f in plan.faults)
+    if has_crash or args.journal is not None:
+        campaign_lines, campaign_payload = _chaos_campaign(args, cluster, plan)
+        lines.extend(campaign_lines)
+        payload["campaign"] = campaign_payload
+
+    _emit(args, "\n".join(lines), payload)
+    return 0
+
+
+def _chaos_campaign(args, cluster: SimulatedCluster, plan: FaultPlan):
+    """The chaos demo's durable-campaign stage: run under the fault plan,
+    survive a simulated process crash by resuming, report breaker states."""
+    import os
+    import tempfile
+
+    journal = args.journal
+    if journal is None:
+        # Campaign.start refuses an existing path, so hand it a fresh name
+        # inside a fresh directory rather than a pre-created file.
+        journal = os.path.join(
+            tempfile.mkdtemp(prefix="repro-chaos-"), "campaign.jsonl"
+        )
+    config = CampaignConfig(seed=args.seed, timeout=args.campaign_timeout)
+    lines = [f"\ndurable campaign under faults (journal {journal}):"]
+    crashed = False
+    try:
+        result = Campaign.start(DESEngine(cluster), journal, config=config).run()
+    except SimulatedCrash as exc:
+        crashed = True
+        lines.append(f"  process crash injected: {exc}")
+        lines.append("  resuming from the journal (crash faults persist, "
+                     "the process death does not)")
+        survivors = tuple(f for f in plan.faults if not isinstance(f, ProcessCrash))
+        cluster.attach_injector(
+            FaultInjector(FaultPlan(faults=survivors, seed=plan.seed))
+        )
+        result = Campaign.resume(DESEngine(cluster), journal).run()
+    lines.append("  " + result.summary().replace("\n", "\n  "))
+    breakers = result.breakers
+    for node_state in breakers["nodes"]:
+        if node_state["state"] != "closed" or node_state["total_failures"]:
+            lines.append(
+                f"  breaker node {node_state['node']}: {node_state['state']} "
+                f"({node_state['total_failures']} failures, "
+                f"{node_state['trips']} trips)"
+            )
+    payload = {
+        "journal": journal,
+        "crashed_and_resumed": crashed,
+        **result.to_dict(),
+    }
+    return lines, payload
+
+
+def cmd_campaign(args) -> int:
+    """``repro campaign run|resume|status`` — the durable estimation sweep.
+
+    Exit codes: 0 full-coverage model, 1 degraded (model produced but
+    coverage or quarantine report says so) or budget-stopped (resumable),
+    2 usage / journal errors.
+    """
+    if args.action == "status":
+        try:
+            status = api.campaign_status(args.journal)
+        except JournalError as exc:
+            print(f"cannot read journal: {exc}", file=sys.stderr)
+            return 2
+        _emit(args, status.summary(), status.to_dict())
+        return 0
+
+    nodes = args.nodes
+    if args.action == "resume" and nodes is None:
+        # The journal knows the cluster size; don't make the user repeat it.
+        try:
+            nodes = api.campaign_status(args.journal).n
+        except JournalError as exc:
+            print(f"cannot read journal: {exc}", file=sys.stderr)
+            return 2
+        if nodes >= table1_cluster().n:
+            nodes = None
+    cluster = api.load_cluster(nodes=nodes, profile=args.profile,
+                               seed=args.seed)
+    try:
+        if args.action == "run":
+            config = CampaignConfig(
+                seed=args.seed,
+                reps=args.reps,
+                timeout=args.timeout,
+                coverage_floor=args.coverage_floor,
+                max_wall_seconds=args.max_wall_seconds,
+                max_sim_seconds=args.max_sim_seconds,
+                max_repetitions=args.max_repetitions,
+            )
+            result = api.run_campaign(cluster, args.journal, config)
+        else:
+            result = api.resume_campaign(
+                cluster,
+                args.journal,
+                max_wall_seconds=args.max_wall_seconds,
+                max_sim_seconds=args.max_sim_seconds,
+                max_repetitions=args.max_repetitions,
+            )
+    except (JournalError, ValueError) as exc:
+        print(f"campaign failed: {exc}", file=sys.stderr)
+        return 2
+    if result.model is not None and args.out:
+        api.save_model(result.model, args.out)
+    text = result.summary()
+    if result.model is not None and args.out:
+        text += f"\nmodel written to {args.out}"
+    _emit(args, text, result.to_dict())
+    if result.stopped != "complete" or result.model is None or result.degraded:
+        return 1
     return 0
 
 
@@ -518,6 +652,52 @@ def build_parser() -> argparse.ArgumentParser:
                          help="latency x LAT, bandwidth x RATE (repeatable)")
     p_chaos.add_argument("--hang-node", action="append", metavar="NODE:START:DUR",
                          help="stall a node's transfers for DUR seconds (repeatable)")
+    p_chaos.add_argument("--crash-node", action="append", metavar="NODE[:START]",
+                         help="kill a node permanently at START (repeatable)")
+    p_chaos.add_argument("--crash-after", type=int, default=None, metavar="K",
+                         help="kill the campaign process after K experiments "
+                              "(demos journal resume)")
+    p_chaos.add_argument("--journal", default=None,
+                         help="campaign journal path (default: temp file; the "
+                              "campaign stage runs when a crash fault or this "
+                              "flag is present)")
+    p_chaos.add_argument("--campaign-timeout", type=float, default=1.0,
+                         help="per-experiment timeout in the campaign stage")
+
+    p_camp = sub.add_parser(
+        "campaign",
+        help="durable estimation sweep: run / resume / status on a journal",
+    )
+    camp_sub = p_camp.add_subparsers(dest="action", required=True)
+    camp_budgets = argparse.ArgumentParser(add_help=False)
+    camp_budgets.add_argument("--max-wall-seconds", type=float, default=None,
+                              help="hard wall-clock cap; stops at a checkpoint")
+    camp_budgets.add_argument("--max-sim-seconds", type=float, default=None,
+                              help="hard simulated-cluster-time cap")
+    camp_budgets.add_argument("--max-repetitions", type=int, default=None,
+                              help="hard cap on total experiment repetitions")
+    camp_io = argparse.ArgumentParser(add_help=False)
+    camp_io.add_argument("--journal", required=True,
+                         help="JSONL write-ahead journal path")
+    camp_io.add_argument("--out", default=None,
+                         help="write the assembled model JSON here")
+    camp_io.add_argument("--nodes", type=int, default=None,
+                         help="cluster size (prefix of Table I; default all)")
+    p_camp_run = camp_sub.add_parser(
+        "run", help="start a fresh campaign (journal must not exist)",
+        parents=[common, camp_budgets, camp_io])
+    p_camp_run.add_argument("--reps", type=int, default=3)
+    p_camp_run.add_argument("--timeout", type=float, default=1.0,
+                            help="per-experiment timeout (seconds)")
+    p_camp_run.add_argument("--coverage-floor", type=float, default=0.5,
+                            help="coverage fraction below which the result "
+                                 "is flagged (still produced)")
+    camp_sub.add_parser(
+        "resume", help="continue an interrupted campaign from its journal",
+        parents=[common, camp_budgets, camp_io])
+    camp_sub.add_parser(
+        "status", help="inspect a journal without attaching a cluster",
+        parents=[common, camp_io])
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure",
                            parents=[common])
@@ -544,6 +724,7 @@ COMMANDS = {
     "plan": cmd_plan,
     "drift": cmd_drift,
     "chaos": cmd_chaos,
+    "campaign": cmd_campaign,
     "experiment": cmd_experiment,
     "report": cmd_report,
 }

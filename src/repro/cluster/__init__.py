@@ -11,8 +11,11 @@ from repro.cluster.faults import (
     FaultPlan,
     FlakyLink,
     LinkDegradation,
+    NodeCrash,
     NodeHang,
     NodeSlowdown,
+    ProcessCrash,
+    SimulatedCrash,
 )
 from repro.cluster.machine import SimulatedCluster, TransportStats
 from repro.cluster.noise import NoiseModel
@@ -39,9 +42,12 @@ __all__ = [
     "LinkDegradation",
     "MPICH_1_2_7",
     "MpiProfile",
+    "NodeCrash",
     "NodeHang",
     "NodeSlowdown",
     "NodeType",
+    "ProcessCrash",
+    "SimulatedCrash",
     "NoiseModel",
     "OPEN_MPI",
     "SimulatedCluster",

@@ -19,7 +19,16 @@ into a schedulable subsystem:
   head-of-line burst costs a TCP retransmission timeout, so escalations
   hit *arbitrary* transfers, not just gather incast;
 * :class:`NodeHang` — a node freezes for a window; transfers touching it
-  stall until the hang clears (kernel lockup, swap storm).
+  stall until the hang clears (kernel lockup, swap storm);
+* :class:`NodeCrash` — a node dies outright at ``start`` and never comes
+  back: every transfer touching it from then on stalls a dead-peer
+  timeout (power supply failure, kernel panic) — the fault that forces
+  the campaign layer's circuit breakers to reroute around the node;
+* :class:`ProcessCrash` — not a hardware fault at all: the *measuring
+  process* dies after ``after_experiments`` completed experiments
+  (OOM-kill, wall-clock deadline, operator Ctrl-C), raising
+  :class:`SimulatedCrash` so a durable campaign's write-ahead journal and
+  crash-resume path can be exercised deterministically.
 
 A :class:`FaultPlan` is a frozen, seeded collection of faults over
 *cumulative* simulated time (the clock keeps advancing across the
@@ -38,13 +47,27 @@ from typing import Union
 import numpy as np
 
 __all__ = [
+    "DEAD_PEER_STALL",
     "FaultInjector",
     "FaultPlan",
     "FlakyLink",
     "LinkDegradation",
+    "NodeCrash",
     "NodeHang",
     "NodeSlowdown",
+    "ProcessCrash",
+    "SimulatedCrash",
 ]
+
+#: How long a transfer touching a crashed node stalls before the
+#: initiator gives up (per attempt).  Far above any retry budget the
+#: robust/campaign paths grant, so every attempt against a dead node is
+#: rejected as a timeout — mirroring a TCP dead-peer detection interval.
+DEAD_PEER_STALL = 60.0
+
+
+class SimulatedCrash(RuntimeError):
+    """The measuring process died mid-campaign (see :class:`ProcessCrash`)."""
 
 
 def _check_window(start: float, end: float) -> None:
@@ -137,9 +160,49 @@ class NodeHang:
         return self.start + self.duration
 
 
-Fault = Union[NodeSlowdown, LinkDegradation, FlakyLink, NodeHang]
+@dataclass(frozen=True)
+class NodeCrash:
+    """Node ``node`` dies at ``start`` and stays dead.
 
-_FAULT_TYPES = (NodeSlowdown, LinkDegradation, FlakyLink, NodeHang)
+    Unlike :class:`NodeHang` the window never closes: every transfer
+    touching the node from ``start`` on stalls :data:`DEAD_PEER_STALL`
+    simulated seconds (per attempt) — long enough that any sane timeout
+    policy rejects the sample, short enough that the simulation still
+    terminates.  The campaign layer's circuit breakers exist to stop
+    paying even that.
+    """
+
+    node: int
+    start: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError(f"start must be non-negative, got {self.start}")
+
+
+@dataclass(frozen=True)
+class ProcessCrash:
+    """The measuring *process* dies after ``after_experiments`` experiments.
+
+    The experiment counter is advanced by the campaign runner
+    (:meth:`FaultInjector.note_experiment`); once it reaches the limit the
+    next notification raises :class:`SimulatedCrash`.  Hardware state is
+    untouched — this models an OOM-kill, a deadline, or an operator
+    Ctrl-C, the failure mode the write-ahead journal exists to survive.
+    """
+
+    after_experiments: int
+
+    def __post_init__(self) -> None:
+        if self.after_experiments < 1:
+            raise ValueError(
+                f"after_experiments must be >= 1, got {self.after_experiments}"
+            )
+
+
+Fault = Union[NodeSlowdown, LinkDegradation, FlakyLink, NodeHang, NodeCrash, ProcessCrash]
+
+_FAULT_TYPES = (NodeSlowdown, LinkDegradation, FlakyLink, NodeHang, NodeCrash, ProcessCrash)
 
 
 @dataclass(frozen=True)
@@ -162,8 +225,10 @@ class FaultPlan:
         """Every node some fault involves."""
         touched: set[int] = set()
         for fault in self.faults:
-            if isinstance(fault, (NodeSlowdown, NodeHang)):
+            if isinstance(fault, (NodeSlowdown, NodeHang, NodeCrash)):
                 touched.add(fault.node)
+            elif isinstance(fault, ProcessCrash):
+                continue  # kills the measuring process, not a node
             else:
                 touched.update((fault.a, fault.b))
         return touched
@@ -192,6 +257,12 @@ class FaultPlan:
             elif isinstance(fault, FlakyLink):
                 window = "" if fault.end == math.inf else f" in [{fault.start:g}, {fault.end:g}) s"
                 lines.append(f"flaky link {fault.a}-{fault.b} (loss {fault.loss_prob:.0%}){window}")
+            elif isinstance(fault, NodeCrash):
+                lines.append(f"crash node {fault.node} at {fault.start:g} s (dead from then on)")
+            elif isinstance(fault, ProcessCrash):
+                lines.append(
+                    f"kill measuring process after {fault.after_experiments} experiments"
+                )
             else:
                 lines.append(
                     f"hang node {fault.node} in [{fault.start:g}, {fault.end:g}) s"
@@ -245,6 +316,9 @@ class FaultInjector:
         self._link_degradations = [f for f in plan.faults if isinstance(f, LinkDegradation)]
         self._flaky = [f for f in plan.faults if isinstance(f, FlakyLink)]
         self._hangs = [f for f in plan.faults if isinstance(f, NodeHang)]
+        self._crashes = [f for f in plan.faults if isinstance(f, NodeCrash)]
+        self._process_crashes = [f for f in plan.faults if isinstance(f, ProcessCrash)]
+        self.experiments_completed = 0
 
     # -- lifecycle ----------------------------------------------------------
     def bind(self, cluster) -> None:
@@ -288,17 +362,43 @@ class FaultInjector:
         return latency, rate
 
     def hang_stall(self, *nodes: int) -> float:
-        """Seconds until every hang involving ``nodes`` clears (0 = none)."""
+        """Seconds until every hang involving ``nodes`` clears (0 = none).
+
+        A crashed node never clears: each touch costs one full
+        :data:`DEAD_PEER_STALL` on top of any window hangs, so repeated
+        attempts keep timing out instead of deadlocking the simulation.
+        """
         now = self.now
         release = now
         for fault in self._hangs:
             if fault.node in nodes and fault.start <= now < fault.end:
                 release = max(release, fault.end)
+        for crash in self._crashes:
+            if crash.node in nodes and now >= crash.start:
+                release = max(release, now + DEAD_PEER_STALL)
         stall = release - now
         if stall > 0:
             self.stats.hang_stalls += 1
             self.stats.hang_stall_time += stall
         return stall
+
+    # -- process-level faults -----------------------------------------------
+    def note_experiment(self) -> None:
+        """Account one completed experiment; dies on a due :class:`ProcessCrash`.
+
+        Called by the campaign runner after journaling each experiment.
+        The raise happens *after* the completed experiment is safely on
+        disk — the crash model is "the process died between units", the
+        mid-record case being covered by the journal's torn-write
+        tolerance.
+        """
+        self.experiments_completed += 1
+        for crash in self._process_crashes:
+            if self.experiments_completed >= crash.after_experiments:
+                raise SimulatedCrash(
+                    f"measuring process died after {self.experiments_completed} "
+                    f"experiments (ProcessCrash at {crash.after_experiments})"
+                )
 
     def loss_delay(self, src: int, dst: int) -> float:
         """RTO escalation delay for a transfer crossing ``src-dst`` (0 = none).

@@ -6,6 +6,20 @@ per-triplet closed-form solves, and redundancy averaging — with serial or
 parallel (non-overlapping) experiment schedules.
 """
 
+from repro.estimation.breakers import (
+    BreakerBoard,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+)
+from repro.estimation.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    CampaignStatus,
+    campaign_status,
+    cluster_fingerprint,
+)
 from repro.estimation.empirical import (
     GatherSweep,
     ScatterLeap,
@@ -38,6 +52,15 @@ from repro.estimation.lmo_est import (
     star_triplets,
 )
 from repro.estimation.logp_est import LogPEstimationResult, estimate_loggp, estimate_logp
+from repro.estimation.journal import (
+    CampaignJournal,
+    FingerprintMismatch,
+    JournalCorruption,
+    JournalError,
+    JournalReplay,
+    ScheduleMismatch,
+    replay,
+)
 from repro.estimation.maintainer import HealthRecord, MaintainerPolicy, ModelMaintainer
 from repro.estimation.robust import (
     EstimationFailure,
@@ -58,8 +81,22 @@ from repro.estimation.scheduling import (
 
 __all__ = [
     "AnalyticEngine",
+    "BreakerBoard",
+    "BreakerPolicy",
+    "BreakerState",
+    "Campaign",
+    "CampaignConfig",
+    "CampaignJournal",
+    "CampaignResult",
+    "CampaignStatus",
+    "CircuitBreaker",
     "DESEngine",
     "DriftReport",
+    "FingerprintMismatch",
+    "JournalCorruption",
+    "JournalError",
+    "JournalReplay",
+    "ScheduleMismatch",
     "EstimationFailure",
     "Experiment",
     "ExperimentEngine",
@@ -78,6 +115,8 @@ __all__ = [
     "ScatterLeap",
     "adaptive_sizes",
     "all_triplets",
+    "campaign_status",
+    "cluster_fingerprint",
     "detect_gather_irregularity",
     "detect_model_drift",
     "detect_scatter_leap",
@@ -96,6 +135,7 @@ __all__ = [
     "pack_rounds",
     "pair_rounds",
     "probe_sensitivity",
+    "replay",
     "roundtrip",
     "run_schedule",
     "run_schedule_adaptive",

@@ -1,0 +1,209 @@
+"""Per-node circuit breakers for estimation campaigns.
+
+A dead or dying node makes every experiment touching it burn a full
+timeout-and-retry budget — on a dead node that is ``reps + max_retries``
+dead-peer stalls *per experiment*, across every pair and triplet the node
+appears in.  The classic remedy is a circuit breaker: after a few
+consecutive failures stop trying (OPEN), let the schedule route around
+the node, and periodically re-admit it with a single cheap probe
+(HALF_OPEN) so a recovered node — a brownout that ended, a daemon that
+released the core — rejoins the campaign without operator action.
+
+Time here is *campaign progress*, not wall-clock: an OPEN breaker cools
+down for a fixed number of subsequently processed schedule units, which
+keeps the state machine deterministic — the same failure pattern always
+yields the same reroute, and a resumed campaign reconstructs the exact
+breaker state by replaying journal events in order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+__all__ = ["BreakerPolicy", "BreakerState", "CircuitBreaker", "BreakerBoard"]
+
+
+class BreakerState:
+    """The three classic states, as string constants (JSON-friendly)."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """When to trip, and how long to cool down.
+
+    ``failure_threshold`` consecutive failures open a node's breaker;
+    it stays open while the campaign processes ``cooldown_units`` more
+    schedule units, then goes half-open: the next unit touching the node
+    runs as a probe — success closes the breaker, failure re-opens it
+    for another full cooldown.
+    """
+
+    failure_threshold: int = 3
+    cooldown_units: int = 8
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.cooldown_units < 1:
+            raise ValueError(f"cooldown_units must be >= 1, got {self.cooldown_units}")
+
+    def to_dict(self) -> dict:
+        return {
+            "failure_threshold": self.failure_threshold,
+            "cooldown_units": self.cooldown_units,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "BreakerPolicy":
+        return cls(
+            failure_threshold=int(doc["failure_threshold"]),
+            cooldown_units=int(doc["cooldown_units"]),
+        )
+
+
+@dataclass
+class CircuitBreaker:
+    """One node's breaker.  Driven by the :class:`BreakerBoard`."""
+
+    node: int
+    policy: BreakerPolicy
+    state: str = BreakerState.CLOSED
+    consecutive_failures: int = 0
+    total_failures: int = 0
+    total_successes: int = 0
+    #: Number of times this breaker has tripped OPEN.
+    trips: int = 0
+    #: Unit counter value at which an OPEN breaker may go half-open.
+    _reopen_at: int = 0
+
+    def allows(self, unit_counter: int) -> bool:
+        """May a unit touching this node run right now?
+
+        An OPEN breaker whose cooldown has elapsed transitions to
+        HALF_OPEN here (and admits the unit as its probe).
+        """
+        if self.state == BreakerState.OPEN:
+            if unit_counter >= self._reopen_at:
+                self.state = BreakerState.HALF_OPEN
+                return True
+            return False
+        return True
+
+    def record_success(self) -> None:
+        self.total_successes += 1
+        self.consecutive_failures = 0
+        self.state = BreakerState.CLOSED
+
+    def record_failure(self, unit_counter: int) -> None:
+        self.total_failures += 1
+        self.consecutive_failures += 1
+        if self.state == BreakerState.HALF_OPEN:
+            # The probe failed: straight back to OPEN for a full cooldown.
+            self._trip(unit_counter)
+        elif self.consecutive_failures >= self.policy.failure_threshold:
+            self._trip(unit_counter)
+
+    def _trip(self, unit_counter: int) -> None:
+        self.state = BreakerState.OPEN
+        self.trips += 1
+        self._reopen_at = unit_counter + self.policy.cooldown_units
+
+    def to_dict(self) -> dict:
+        return {
+            "node": self.node,
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "total_failures": self.total_failures,
+            "total_successes": self.total_successes,
+            "trips": self.trips,
+        }
+
+
+@dataclass
+class BreakerBoard:
+    """All per-node breakers of one campaign, plus the unit counter.
+
+    The board is advanced once per processed schedule unit
+    (:meth:`advance`) whether the unit ran, failed or was skipped — the
+    cooldown clock is campaign progress.  Event application is pure and
+    order-deterministic, so a resumed campaign rebuilds the identical
+    board by replaying the journal's outcome sequence.
+    """
+
+    n: int
+    policy: BreakerPolicy = field(default_factory=BreakerPolicy)
+    unit_counter: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise ValueError(f"need n >= 1 nodes, got {self.n}")
+        self.breakers = [CircuitBreaker(node, self.policy) for node in range(self.n)]
+
+    # -- campaign-facing API -------------------------------------------------
+    def allows(self, nodes: Iterable[int]) -> bool:
+        """True when every breaker involved admits the unit."""
+        return all(self.breakers[node].allows(self.unit_counter) for node in nodes)
+
+    def record_success(self, nodes: Iterable[int]) -> None:
+        for node in nodes:
+            self.breakers[node].record_success()
+
+    def record_failure(self, nodes: Iterable[int]) -> None:
+        """Blame the breakers for a failed unit.
+
+        A failure cannot be attributed to one participant — unless some
+        participants are HALF_OPEN: then the unit was their re-admission
+        probe, the prime suspects stay guilty, and closed-breaker
+        bystanders are not charged.  Without this, one dead node opens
+        every breaker it shares probe units with.
+        """
+        involved = [self.breakers[node] for node in nodes]
+        probing = [b for b in involved if b.state == BreakerState.HALF_OPEN]
+        for breaker in probing if probing else involved:
+            breaker.record_failure(self.unit_counter)
+
+    def advance(self) -> None:
+        """Account one processed schedule unit (run, failed or skipped)."""
+        self.unit_counter += 1
+
+    # -- reporting -----------------------------------------------------------
+    def open_nodes(self) -> list[int]:
+        """Nodes currently routed around (OPEN breakers)."""
+        return [b.node for b in self.breakers if b.state == BreakerState.OPEN]
+
+    def state_counts(self) -> dict[str, int]:
+        counts = {BreakerState.CLOSED: 0, BreakerState.OPEN: 0, BreakerState.HALF_OPEN: 0}
+        for breaker in self.breakers:
+            counts[breaker.state] += 1
+        return counts
+
+    def to_dict(self) -> dict:
+        return {
+            "policy": self.policy.to_dict(),
+            "unit_counter": self.unit_counter,
+            "counts": self.state_counts(),
+            "nodes": [b.to_dict() for b in self.breakers],
+        }
+
+    def summary(self) -> str:
+        counts = self.state_counts()
+        lines = [
+            f"breakers: {counts['closed']} closed, {counts['open']} open, "
+            f"{counts['half_open']} half-open"
+        ]
+        for breaker in self.breakers:
+            if breaker.state != BreakerState.CLOSED or breaker.total_failures:
+                lines.append(
+                    f"  node {breaker.node}: {breaker.state} "
+                    f"({breaker.total_failures} failures, "
+                    f"{breaker.total_successes} successes, "
+                    f"{breaker.trips} trips)"
+                )
+        return "\n".join(lines)

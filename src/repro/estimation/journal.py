@@ -1,0 +1,226 @@
+"""Write-ahead journal for durable estimation campaigns.
+
+A campaign's ``C(n,2)`` roundtrips plus ``3 C(n,3)`` one-to-two
+experiments (paper eqs. 6-12) are minutes of cluster time; a crash, a
+deadline or an operator Ctrl-C must not discard completed rounds.  The
+journal makes every unit of work durable *before* its result is used:
+
+* the file is JSONL — one self-describing record per line;
+* the first line is the campaign header (cluster fingerprint, schedule
+  hash, seed, schema version), created with write-temp-fsync-rename
+  (:func:`repro.io.atomic_write_text`) so a half-created journal never
+  exists on disk;
+* every subsequent record is appended with ``flush`` + ``fsync`` before
+  the campaign proceeds — write-ahead discipline;
+* a torn final line (the crash hit mid-``write``) is *expected*, not an
+  error: :func:`replay` drops it and reports the loadable prefix, which
+  by the append-order invariants is always a consistent campaign state.
+
+Corruption that cannot result from a crash at a byte boundary — a
+missing or malformed header, garbage between valid records, a duplicated
+``experiment_done`` — raises a specific, actionable error instead.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.io import atomic_write_text
+
+__all__ = [
+    "CampaignJournal",
+    "FingerprintMismatch",
+    "JournalCorruption",
+    "JournalError",
+    "JournalReplay",
+    "ScheduleMismatch",
+    "JOURNAL_SCHEMA_VERSION",
+    "HEADER_TYPE",
+    "replay",
+    "validate_fingerprint",
+    "validate_schedule",
+]
+
+#: Version stamped into every header; replay refuses anything newer.
+JOURNAL_SCHEMA_VERSION = 1
+
+HEADER_TYPE = "campaign_header"
+
+
+class JournalError(RuntimeError):
+    """Base class of everything the journal layer can raise."""
+
+
+class JournalCorruption(JournalError):
+    """The journal violates an append-order invariant (not a torn tail)."""
+
+
+class FingerprintMismatch(JournalError):
+    """The journal was recorded against a different cluster."""
+
+
+class ScheduleMismatch(JournalError):
+    """The journal's schedule does not match the one derived from its header."""
+
+
+@dataclass
+class JournalReplay:
+    """The loadable prefix of a journal file.
+
+    ``records`` excludes the header.  ``truncated_tail`` is the partial
+    final line a crash left behind (empty when the file ends cleanly) —
+    callers that *resume* treat it as "the in-flight record never
+    happened"; callers that *audit* can inspect it.
+    """
+
+    path: str
+    header: dict[str, Any]
+    records: list[dict[str, Any]] = field(default_factory=list)
+    truncated_tail: str = ""
+
+    def of_type(self, record_type: str) -> list[dict[str, Any]]:
+        """All records of one type, in append order."""
+        return [rec for rec in self.records if rec.get("type") == record_type]
+
+
+class CampaignJournal:
+    """Append-only JSONL journal with write-ahead discipline.
+
+    Use :meth:`create` for a fresh journal (atomic header write) or
+    :meth:`open_append` to continue an existing one after replay.
+    """
+
+    def __init__(self, path: str, handle) -> None:
+        self.path = path
+        self._handle = handle
+
+    # -- lifecycle ----------------------------------------------------------
+    @classmethod
+    def create(cls, path: str, header: dict[str, Any], fsync: bool = True) -> "CampaignJournal":
+        """Start a journal at ``path`` (refuses to overwrite an existing one).
+
+        The header line is written atomically (temp + rename): either the
+        complete one-line journal exists afterwards, or nothing does.
+        """
+        if os.path.exists(path):
+            raise JournalError(
+                f"journal already exists at {path}; resume it or choose a new path"
+            )
+        doc = {"type": HEADER_TYPE, "schema_version": JOURNAL_SCHEMA_VERSION, **header}
+        atomic_write_text(path, json.dumps(doc) + "\n")
+        journal = cls(path, open(path, "a"))
+        journal._fsync = fsync
+        return journal
+
+    @classmethod
+    def open_append(cls, path: str, fsync: bool = True) -> "CampaignJournal":
+        """Open an existing journal for appending (header must be intact)."""
+        replay(path)  # raises if the header is unreadable
+        journal = cls(path, open(path, "a"))
+        journal._fsync = fsync
+        return journal
+
+    _fsync: bool = True
+
+    def append(self, record: dict[str, Any]) -> None:
+        """Durably append one record (newline-framed, flushed, fsynced)."""
+        if "type" not in record:
+            raise ValueError(f"journal records need a 'type' field: {record!r}")
+        line = json.dumps(record)
+        if "\n" in line:
+            raise ValueError("journal records must serialize to a single line")
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        if self._fsync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if not self._handle.closed:
+            self._handle.close()
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def replay(path: str) -> JournalReplay:
+    """Load the consistent prefix of a journal file.
+
+    A partial final line (crash mid-append) is dropped and surfaced as
+    ``truncated_tail``.  A malformed line *followed by* valid records
+    cannot result from an append crash and raises
+    :class:`JournalCorruption` with the offending line number; so does a
+    missing or malformed header.
+    """
+    if not os.path.exists(path):
+        raise JournalError(f"no journal at {path}")
+    with open(path, "r", newline="") as handle:
+        raw = handle.read()
+    lines = raw.split("\n")
+    # A file ending in "\n" splits into [..., ""]; anything else in the
+    # final slot is a torn tail.
+    tail = lines.pop() if lines else ""
+    parsed: list[dict[str, Any]] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            raise JournalCorruption(f"{path}:{lineno}: blank line inside the journal")
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise JournalCorruption(
+                f"{path}:{lineno}: unparseable record mid-journal ({exc.msg}); "
+                "a crash can only tear the final line — this file was damaged, "
+                "restore it from a copy or restart the campaign"
+            ) from None
+        if not isinstance(record, dict) or "type" not in record:
+            raise JournalCorruption(
+                f"{path}:{lineno}: record is not a typed object"
+            )
+        parsed.append(record)
+    if not parsed:
+        raise JournalCorruption(
+            f"{path}: no complete header line (file is empty or fully torn)"
+        )
+    header = parsed[0]
+    if header.get("type") != HEADER_TYPE:
+        raise JournalCorruption(
+            f"{path}: first record has type {header.get('type')!r}, "
+            f"expected {HEADER_TYPE!r}"
+        )
+    version = header.get("schema_version")
+    if not isinstance(version, int) or version > JOURNAL_SCHEMA_VERSION:
+        raise JournalCorruption(
+            f"{path}: unsupported journal schema version {version!r} "
+            f"(this build reads <= {JOURNAL_SCHEMA_VERSION})"
+        )
+    return JournalReplay(
+        path=path, header=header, records=parsed[1:], truncated_tail=tail
+    )
+
+
+def validate_fingerprint(header: dict[str, Any], fingerprint: str, path: str) -> None:
+    """Raise :class:`FingerprintMismatch` unless the header matches."""
+    recorded: Optional[str] = header.get("fingerprint")
+    if recorded != fingerprint:
+        raise FingerprintMismatch(
+            f"{path}: journal was recorded against cluster fingerprint "
+            f"{recorded!r} but the attached cluster has {fingerprint!r}; "
+            "resume on the original cluster (same spec, ground truth and "
+            "seed) or start a fresh campaign"
+        )
+
+
+def validate_schedule(header: dict[str, Any], schedule_hash: str, path: str) -> None:
+    """Raise :class:`ScheduleMismatch` unless the header matches."""
+    recorded: Optional[str] = header.get("schedule_hash")
+    if recorded != schedule_hash:
+        raise ScheduleMismatch(
+            f"{path}: journal schedule hash {recorded!r} does not match the "
+            f"schedule derived from its own header ({schedule_hash!r}); the "
+            "header was edited or the schedule builder changed incompatibly"
+        )

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.estimation.drift import DriftReport, detect_model_drift
 from repro.estimation.engines import ExperimentEngine
+from repro.estimation.journal import CampaignJournal
 from repro.estimation.lmo_est import DEFAULT_PROBE_NBYTES, star_triplets
 from repro.estimation.robust import (
     RetryPolicy,
@@ -103,12 +104,21 @@ class HealthRecord:
 class ModelMaintainer:
     """Keeps an extended-LMO model honest against a changing cluster."""
 
-    def __init__(self, engine: ExperimentEngine, policy: Optional[MaintainerPolicy] = None):
+    def __init__(
+        self,
+        engine: ExperimentEngine,
+        policy: Optional[MaintainerPolicy] = None,
+        journal: Optional[CampaignJournal] = None,
+    ):
         self.engine = engine
         self.policy = policy if policy is not None else MaintainerPolicy()
         self.model: Optional[ExtendedLMOModel] = None
         self.health_log: list[HealthRecord] = []
         self.last_result: Optional[RobustLMOResult] = None
+        #: Optional durable log: every heal cycle is journaled through the
+        #: same write-ahead layer the campaign runner uses, so a crashed
+        #: maintenance loop leaves an auditable history on disk.
+        self.journal = journal
         self._cycle = 0
 
     # -- estimation ----------------------------------------------------------
@@ -246,6 +256,16 @@ class ModelMaintainer:
         )
         self._cycle += 1
         self.health_log.append(record)
+        if self.journal is not None:
+            self.journal.append({
+                "type": "heal_cycle",
+                "cycle": record.cycle,
+                "action": record.action,
+                "worst_error": float(record.worst_error),
+                "implicated": list(record.implicated),
+                "cost": float(record.cost),
+                "detail": record.detail,
+            })
         return record
 
     def render_log(self) -> str:

@@ -52,11 +52,13 @@ from repro.stats.ci import mad_outlier_mask
 __all__ = [
     "EstimationFailure",
     "RetryPolicy",
+    "RobustAssembly",
     "RobustLMOResult",
     "RobustRunStats",
     "estimate_extended_lmo_robust",
     "run_schedule_robust",
     "screened_mean",
+    "solve_and_assemble",
 ]
 
 
@@ -213,6 +215,114 @@ def run_schedule_robust(
 
 
 @dataclass
+class RobustAssembly:
+    """The solve/reject/quarantine/average stage's outcome, measurement-free.
+
+    :func:`solve_and_assemble` is the back half of
+    :func:`estimate_extended_lmo_robust`, split out so callers that
+    already *have* measurements — the durable campaign runner replaying
+    its journal — reuse the identical physicality rejection, quarantine
+    and screened averaging instead of re-implementing eq. (12).
+    """
+
+    model: "object"
+    rejected_triplets: list[tuple[int, int, int]]
+    total_triplets: int
+    quarantined: list[int]
+    fallback_nodes: list[int]
+
+
+def solve_and_assemble(
+    measured,
+    n: int,
+    base_triplets: Sequence[tuple[int, int, int]],
+    pairs: Sequence[tuple[int, int]],
+    probe_nbytes: int,
+    mad_threshold: float = 5.0,
+    physical_tol: float = 5e-5,
+    quarantine_fraction: float = 0.5,
+    extra_quarantined: Sequence[int] = (),
+) -> RobustAssembly:
+    """Solve eqs. (8)/(11) per triplet, reject, quarantine, average (eq. 12).
+
+    ``measured`` maps every experiment of ``base_triplets``'s pairs and
+    rooted configurations to its aggregated duration.  ``pairs`` may be a
+    superset of the measured pairs (a campaign with open breakers leaves
+    links unmeasured); missing links are completed with measured means by
+    :func:`assemble_model`.  ``extra_quarantined`` adds nodes condemned
+    by an outer mechanism (campaign circuit breakers) to the quarantine
+    set before the healthy averaging.
+    """
+    solves = [solve_triplet(measured, triple, probe_nbytes) for triple in base_triplets]
+    physical = [s for s in solves if s.is_physical(tol=physical_tol)]
+    rejected = [s.nodes for s in solves if not s.is_physical(tol=physical_tol)]
+
+    # -- quarantine: who keeps showing up in the wreckage? --------------------
+    triplet_count: dict[int, int] = {i: 0 for i in range(n)}
+    bad_count: dict[int, int] = {i: 0 for i in range(n)}
+    for solve in solves:
+        for node in solve.nodes:
+            triplet_count[node] += 1
+    for nodes in rejected:
+        for node in nodes:
+            bad_count[node] += 1
+    quarantined = sorted(
+        set(extra_quarantined)
+        | {
+            node
+            for node in range(n)
+            if triplet_count[node] > 0
+            and bad_count[node] / triplet_count[node] > quarantine_fraction
+        }
+    )
+
+    healthy = [
+        s for s in physical if not (set(s.nodes) & set(quarantined))
+    ]
+    if not healthy:
+        # Everything implicated: fall back to the physical solves, or to
+        # all solves as the last resort — clamping keeps the result legal.
+        healthy = physical if physical else solves
+
+    reduce = lambda values: screened_mean(values, mad_threshold)  # noqa: E731
+    c_samples, t_samples, l_samples, beta_samples = collect_parameter_samples(
+        healthy, n, pairs
+    )
+
+    # -- recover parameters the healthy subset cannot see ---------------------
+    fallback_nodes: list[int] = []
+    for source in (physical, solves):
+        missing_nodes = [i for i in range(n) if not c_samples[i]]
+        missing_pairs = [p for p in pairs if not l_samples[p]]
+        if not missing_nodes and not missing_pairs:
+            break
+        extra_c, extra_t, extra_l, extra_b = collect_parameter_samples(
+            source, n, pairs
+        )
+        for node in missing_nodes:
+            if extra_c[node]:
+                c_samples[node] = extra_c[node]
+                t_samples[node] = extra_t[node]
+                if node not in fallback_nodes:
+                    fallback_nodes.append(node)
+        for pair in missing_pairs:
+            if extra_l[pair]:
+                l_samples[pair] = extra_l[pair]
+                beta_samples[pair] = extra_b[pair]
+
+    model = assemble_model(
+        n, c_samples, t_samples, l_samples, beta_samples, clamp=True, reduce=reduce
+    )
+    return RobustAssembly(
+        model=model,
+        rejected_triplets=rejected,
+        total_triplets=len(solves),
+        quarantined=quarantined,
+        fallback_nodes=sorted(fallback_nodes),
+    )
+
+
+@dataclass
 class RobustLMOResult:
     """Hardened estimation outcome: a physical model plus a damage report."""
 
@@ -303,70 +413,23 @@ def estimate_extended_lmo_robust(
     )
     cost = engine.estimation_time - t_start
 
-    solves = [solve_triplet(measured, triple, probe_nbytes) for triple in base_triplets]
-    physical = [s for s in solves if s.is_physical(tol=physical_tol)]
-    rejected = [s.nodes for s in solves if not s.is_physical(tol=physical_tol)]
-
-    # -- quarantine: who keeps showing up in the wreckage? --------------------
-    triplet_count: dict[int, int] = {i: 0 for i in range(n)}
-    bad_count: dict[int, int] = {i: 0 for i in range(n)}
-    for solve in solves:
-        for node in solve.nodes:
-            triplet_count[node] += 1
-    for nodes in rejected:
-        for node in nodes:
-            bad_count[node] += 1
-    quarantined = sorted(
-        node
-        for node in range(n)
-        if triplet_count[node] > 0
-        and bad_count[node] / triplet_count[node] > quarantine_fraction
-    )
-
-    healthy = [
-        s for s in physical if not (set(s.nodes) & set(quarantined))
-    ]
-    if not healthy:
-        # Everything implicated: fall back to the physical solves, or to
-        # all solves as the last resort — clamping keeps the result legal.
-        healthy = physical if physical else solves
-
-    reduce = lambda values: screened_mean(values, policy.mad_threshold)  # noqa: E731
-    c_samples, t_samples, l_samples, beta_samples = collect_parameter_samples(
-        healthy, n, pairs
-    )
-
-    # -- recover parameters the healthy subset cannot see ---------------------
-    fallback_nodes: list[int] = []
-    for source in (physical, solves):
-        missing_nodes = [i for i in range(n) if not c_samples[i]]
-        missing_pairs = [p for p in pairs if not l_samples[p]]
-        if not missing_nodes and not missing_pairs:
-            break
-        extra_c, extra_t, extra_l, extra_b = collect_parameter_samples(
-            source, n, pairs
-        )
-        for node in missing_nodes:
-            if extra_c[node]:
-                c_samples[node] = extra_c[node]
-                t_samples[node] = extra_t[node]
-                if node not in fallback_nodes:
-                    fallback_nodes.append(node)
-        for pair in missing_pairs:
-            if extra_l[pair]:
-                l_samples[pair] = extra_l[pair]
-                beta_samples[pair] = extra_b[pair]
-
-    model = assemble_model(
-        n, c_samples, t_samples, l_samples, beta_samples, clamp=True, reduce=reduce
+    assembly = solve_and_assemble(
+        measured,
+        n,
+        base_triplets,
+        pairs,
+        probe_nbytes,
+        mad_threshold=policy.mad_threshold,
+        physical_tol=physical_tol,
+        quarantine_fraction=quarantine_fraction,
     )
     return RobustLMOResult(
-        model=model,
+        model=assembly.model,
         probe_nbytes=probe_nbytes,
         estimation_time=cost,
         run_stats=run_stats,
-        rejected_triplets=rejected,
-        total_triplets=len(solves),
-        quarantined=quarantined,
-        fallback_nodes=sorted(fallback_nodes),
+        rejected_triplets=assembly.rejected_triplets,
+        total_triplets=assembly.total_triplets,
+        quarantined=assembly.quarantined,
+        fallback_nodes=assembly.fallback_nodes,
     )

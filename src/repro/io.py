@@ -27,6 +27,8 @@ True
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 import warnings
 from typing import Any
 
@@ -41,7 +43,16 @@ from repro.models.lmo import LMOModel
 from repro.models.lmo_extended import ExtendedLMOModel, GatherIrregularity
 from repro.models.plogp import PiecewiseLinear, PLogPModel
 
-__all__ = ["dumps", "loads", "save", "load", "FORMAT_VERSION", "SCHEMA_VERSION"]
+__all__ = [
+    "atomic_save",
+    "atomic_write_text",
+    "dumps",
+    "loads",
+    "save",
+    "load",
+    "FORMAT_VERSION",
+    "SCHEMA_VERSION",
+]
 
 #: Legacy envelope version, still readable.
 FORMAT_VERSION = 1
@@ -103,6 +114,33 @@ def load(path: str) -> Any:
     """Deserialize from a file."""
     with open(path) as handle:
         return loads(handle.read())
+
+
+def atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via write-temp-fsync-rename.
+
+    A crash at any point leaves either the old file or the complete new
+    one, never a torn write — the discipline the campaign journal uses
+    for its header and the API uses for model snapshots
+    (:func:`atomic_save`).
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(dir=directory, prefix=".tmp-", suffix=".part")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        if os.path.exists(tmp_path):
+            os.unlink(tmp_path)
+        raise
+
+
+def atomic_save(obj: Any, path: str) -> None:
+    """Like :func:`save`, but crash-safe (write-temp-then-rename)."""
+    atomic_write_text(path, dumps(obj))
 
 
 # -- schema v2 ------------------------------------------------------------------

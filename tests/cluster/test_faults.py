@@ -210,3 +210,66 @@ def test_different_fault_seeds_diverge():
         return [rt(cluster, 0, 1) for _ in range(6)]
 
     assert trace(1) != trace(2)
+
+
+# -- crash faults (campaign durability hooks) ---------------------------------
+
+def test_node_crash_validation():
+    from repro.cluster import NodeCrash
+    with pytest.raises(ValueError, match="start"):
+        NodeCrash(node=0, start=-1.0)
+    assert NodeCrash(node=2).start == 0.0
+
+
+def test_process_crash_validation():
+    from repro.cluster import ProcessCrash
+    with pytest.raises(ValueError, match="after_experiments"):
+        ProcessCrash(after_experiments=0)
+
+
+def test_crash_faults_in_plan_describe_and_nodes_touched():
+    from repro.cluster import NodeCrash, ProcessCrash
+    plan = FaultPlan(faults=(
+        NodeCrash(node=2, start=1.5),
+        ProcessCrash(after_experiments=7),
+    ))
+    assert plan.nodes_touched() == {2}  # process death touches no hardware
+    text = plan.describe()
+    assert "crash node 2 at 1.5 s" in text
+    assert "7 experiments" in text
+
+
+def test_crashed_node_stalls_every_transfer():
+    from repro.cluster import NodeCrash
+    from repro.cluster.faults import DEAD_PEER_STALL
+    cluster = quiet(n=4)
+    baseline = rt(cluster, 0, 1)
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(NodeCrash(node=3),),
+    )))
+    assert rt(cluster, 0, 1) == baseline      # healthy pair untouched
+    dead = rt(cluster, 0, 3)
+    assert dead >= DEAD_PEER_STALL            # every touch costs the stall
+    assert rt(cluster, 0, 3) >= DEAD_PEER_STALL  # and it never clears
+
+
+def test_node_crash_respects_start_time():
+    from repro.cluster import NodeCrash
+    from repro.cluster.faults import DEAD_PEER_STALL
+    cluster = quiet(n=4)
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(NodeCrash(node=1, start=1e9),),
+    )))
+    assert rt(cluster, 0, 1) < DEAD_PEER_STALL  # not dead yet
+
+
+def test_process_crash_raises_on_schedule():
+    from repro.cluster import ProcessCrash, SimulatedCrash
+    injector = FaultInjector(FaultPlan(
+        faults=(ProcessCrash(after_experiments=3),),
+    ))
+    injector.note_experiment()
+    injector.note_experiment()
+    with pytest.raises(SimulatedCrash, match="after 3 experiments"):
+        injector.note_experiment()
+    assert injector.experiments_completed == 3

@@ -1,0 +1,148 @@
+"""Circuit breaker state machine: trip, cooldown, half-open probes, blame."""
+
+import pytest
+
+from repro.estimation.breakers import (
+    BreakerBoard,
+    BreakerPolicy,
+    BreakerState,
+    CircuitBreaker,
+)
+
+pytestmark = pytest.mark.campaign
+
+POLICY = BreakerPolicy(failure_threshold=2, cooldown_units=3)
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError, match="failure_threshold"):
+        BreakerPolicy(failure_threshold=0)
+    with pytest.raises(ValueError, match="cooldown_units"):
+        BreakerPolicy(cooldown_units=0)
+
+
+def test_policy_dict_roundtrip():
+    assert BreakerPolicy.from_dict(POLICY.to_dict()) == POLICY
+
+
+def test_breaker_trips_after_threshold():
+    breaker = CircuitBreaker(0, POLICY)
+    breaker.record_failure(0)
+    assert breaker.state == BreakerState.CLOSED
+    breaker.record_failure(1)
+    assert breaker.state == BreakerState.OPEN
+    assert breaker.trips == 1
+
+
+def test_success_resets_consecutive_failures():
+    breaker = CircuitBreaker(0, POLICY)
+    breaker.record_failure(0)
+    breaker.record_success()
+    breaker.record_failure(1)
+    assert breaker.state == BreakerState.CLOSED
+
+
+def test_open_blocks_until_cooldown_then_half_open():
+    breaker = CircuitBreaker(0, POLICY)
+    breaker.record_failure(0)
+    breaker.record_failure(1)  # trips at counter 1; reopen at 1 + 3 = 4
+    assert not breaker.allows(2)
+    assert not breaker.allows(3)
+    assert breaker.allows(4)
+    assert breaker.state == BreakerState.HALF_OPEN
+
+
+def test_half_open_probe_success_closes():
+    breaker = CircuitBreaker(0, POLICY)
+    breaker.record_failure(0)
+    breaker.record_failure(1)
+    assert breaker.allows(4)
+    breaker.record_success()
+    assert breaker.state == BreakerState.CLOSED
+    assert breaker.consecutive_failures == 0
+
+
+def test_half_open_probe_failure_retrips_immediately():
+    breaker = CircuitBreaker(0, POLICY)
+    breaker.record_failure(0)
+    breaker.record_failure(1)
+    assert breaker.allows(4)
+    breaker.record_failure(4)  # one probe failure suffices, no threshold
+    assert breaker.state == BreakerState.OPEN
+    assert breaker.trips == 2
+    assert not breaker.allows(5)
+    assert breaker.allows(7)  # 4 + cooldown 3
+
+
+def test_board_validation_and_allows():
+    with pytest.raises(ValueError, match="n >= 1"):
+        BreakerBoard(0)
+    board = BreakerBoard(3, policy=POLICY)
+    assert board.allows([0, 1, 2])
+    board.record_failure([1])
+    board.advance()
+    board.record_failure([1])
+    board.advance()
+    assert not board.allows([0, 1])  # one open breaker vetoes the unit
+    assert board.allows([0, 2])
+    assert board.open_nodes() == [1]
+
+
+def test_board_blames_only_half_open_suspects():
+    """A failed probe unit must not charge closed-breaker bystanders."""
+    board = BreakerBoard(3, policy=POLICY)
+    # Open node 2's breaker.
+    for _ in range(2):
+        board.record_failure([2])
+        board.advance()
+    assert board.open_nodes() == [2]
+    # Cool down, then fail the re-admission probe shared with node 0.
+    for _ in range(3):
+        board.advance()
+    assert board.allows([0, 2])  # node 2 goes half-open here
+    board.record_failure([0, 2])
+    assert board.open_nodes() == [2]
+    assert board.breakers[0].total_failures == 0
+    assert board.breakers[0].state == BreakerState.CLOSED
+
+
+def test_board_blames_everyone_when_no_suspect():
+    board = BreakerBoard(3, policy=POLICY)
+    board.record_failure([0, 1])
+    assert board.breakers[0].total_failures == 1
+    assert board.breakers[1].total_failures == 1
+    assert board.breakers[2].total_failures == 0
+
+
+def test_board_counts_and_reports():
+    board = BreakerBoard(3, policy=POLICY)
+    for _ in range(2):
+        board.record_failure([1])
+        board.advance()
+    counts = board.state_counts()
+    assert counts == {"closed": 2, "open": 1, "half_open": 0}
+    doc = board.to_dict()
+    assert doc["counts"] == counts
+    assert doc["nodes"][1]["state"] == BreakerState.OPEN
+    assert "node 1: open" in board.summary()
+
+
+def test_event_replay_reconstructs_identical_board():
+    """Applying the same outcome sequence twice yields identical state —
+    the invariant campaign resume relies on."""
+    events = [("failed", [0, 1]), ("done", [1, 2]), ("failed", [0, 2]),
+              ("failed", [0, 1]), ("skipped", [0]), ("skipped", [0]),
+              ("skipped", [0]), ("failed", [0, 2]), ("done", [1, 2])]
+
+    def play():
+        board = BreakerBoard(3, policy=POLICY)
+        for kind, nodes in events:
+            board.allows(nodes)
+            if kind == "done":
+                board.record_success(nodes)
+            elif kind == "failed":
+                board.record_failure(nodes)
+            board.advance()
+        return board
+
+    assert play().to_dict() == play().to_dict()

@@ -1,0 +1,415 @@
+"""Durable campaigns: crash-resume determinism, breakers, budgets, status."""
+
+import json
+import math
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import (
+    IDEAL,
+    FaultInjector,
+    FaultPlan,
+    GroundTruth,
+    NodeCrash,
+    NoiseModel,
+    ProcessCrash,
+    SimulatedCluster,
+    SimulatedCrash,
+    random_cluster,
+)
+from repro.estimation import (
+    AnalyticEngine,
+    Campaign,
+    CampaignConfig,
+    DESEngine,
+    FingerprintMismatch,
+    JournalCorruption,
+    ScheduleMismatch,
+    campaign_status,
+    cluster_fingerprint,
+)
+from repro.estimation.journal import CampaignJournal, replay
+
+pytestmark = pytest.mark.campaign
+
+CONFIG = CampaignConfig(seed=11, timeout=5.0)
+
+
+def make_engine(faults=(), gt_seed=5):
+    gt = GroundTruth.random(4, seed=gt_seed)
+    cluster = SimulatedCluster(
+        random_cluster(4, seed=5), ground_truth=gt, profile=IDEAL,
+        noise=NoiseModel(rel_sigma=0.02, spike_prob=0.0), seed=7,
+    )
+    if faults:
+        cluster.attach_injector(FaultInjector(FaultPlan(faults=tuple(faults))))
+    return DESEngine(cluster)
+
+
+def models_equal(a, b):
+    return all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name in ("C", "t", "L", "beta")
+    )
+
+
+@pytest.fixture(scope="module")
+def uninterrupted(tmp_path_factory):
+    path = tmp_path_factory.mktemp("base") / "full.jsonl"
+    return Campaign.start(make_engine(), str(path), CONFIG).run()
+
+
+# -- the happy path -------------------------------------------------------------
+def test_full_campaign_completes(uninterrupted):
+    result = uninterrupted
+    assert result.stopped == "complete"
+    assert result.completed == result.total_experiments == 36  # 2C(4,2)+6C(4,3)
+    assert result.coverage == 1.0
+    assert not result.degraded
+    assert result.coverage_ok
+    assert result.model is not None
+    assert result.solved_triplets == result.total_triplets == 4
+    assert result.quarantined == ()
+    assert not result.resumable
+    assert result.estimation_time > 0
+    assert result.repetitions >= 36 * 3
+
+
+def test_result_serializes_to_json(uninterrupted):
+    doc = json.loads(json.dumps(uninterrupted.to_dict()))
+    assert doc["coverage"] == 1.0
+    assert doc["breakers"]["counts"]["closed"] == 4
+
+
+def test_journal_is_audit_complete(uninterrupted):
+    rep = replay(uninterrupted.journal_path)
+    done = rep.of_type("experiment_done")
+    assert len(done) == 36
+    assert all("samples" in rec and rec["samples"] for rec in done)
+    assert rep.of_type("campaign_complete")
+    assert rep.header["fingerprint"] == cluster_fingerprint(make_engine())
+
+
+def test_rerun_of_complete_journal_remeasures_nothing(uninterrupted, tmp_path):
+    engine = make_engine()
+    result = Campaign.resume(engine, uninterrupted.journal_path).run()
+    assert engine.estimation_time == 0.0  # pure journal replay
+    assert models_equal(result.model, uninterrupted.model)
+
+
+# -- crash-resume determinism (the tentpole acceptance) --------------------------
+@pytest.mark.parametrize("k", [2, 7, 12, 20, 30])
+def test_crash_resume_is_bit_identical(k, uninterrupted, tmp_path):
+    """Kill the process after k experiments (pair phase: k < 12, triplet
+    phase: k >= 12), resume, and land on the exact uninterrupted model."""
+    path = str(tmp_path / "crash.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=k)]), path, CONFIG
+        ).run()
+    status = campaign_status(path)
+    assert status.completed == k
+    assert not status.complete
+    resumed = Campaign.resume(make_engine(), path).run()
+    assert resumed.completed == 36
+    assert models_equal(resumed.model, uninterrupted.model)
+    # The journal never re-measures what the crashed run completed.
+    done = replay(path).of_type("experiment_done")
+    assert len(done) == 36
+    assert len({rec["index"] for rec in done}) == 36
+
+
+def test_resume_tolerates_torn_tail(uninterrupted, tmp_path):
+    path = str(tmp_path / "torn.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=9)]), path, CONFIG
+        ).run()
+    with open(path, "a") as handle:
+        handle.write('{"type": "experiment_done", "index": 9, "val')
+    resumed = Campaign.resume(make_engine(), path).run()
+    assert models_equal(resumed.model, uninterrupted.model)
+
+
+# -- resume validation ----------------------------------------------------------
+def test_resume_rejects_different_cluster(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=5)]), path, CONFIG
+        ).run()
+    with pytest.raises(FingerprintMismatch, match="recorded against cluster"):
+        Campaign.resume(make_engine(gt_seed=99), path)
+
+
+def test_resume_rejects_duplicate_done(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=5)]), path, CONFIG
+        ).run()
+    rep = replay(path)
+    with CampaignJournal.open_append(path) as journal:
+        journal.append(rep.of_type("experiment_done")[0])
+    with pytest.raises(JournalCorruption, match="duplicate experiment_done"):
+        Campaign.resume(make_engine(), path)
+
+
+def test_resume_rejects_edited_schedule_hash(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=5)]), path, CONFIG
+        ).run()
+    lines = open(path).read().splitlines()
+    header = json.loads(lines[0])
+    header["schedule_hash"] = "0000000000000000"
+    lines[0] = json.dumps(header)
+    with open(path, "w") as handle:
+        handle.write("\n".join(lines) + "\n")
+    with pytest.raises(ScheduleMismatch, match="schedule hash"):
+        Campaign.resume(make_engine(), path)
+
+
+def test_resume_rejects_out_of_range_index(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=3)]), path, CONFIG
+        ).run()
+    with CampaignJournal.open_append(path) as journal:
+        journal.append({"type": "experiment_done", "index": 99, "value": 1.0})
+    with pytest.raises(JournalCorruption, match="outside the schedule"):
+        Campaign.resume(make_engine(), path)
+
+
+# -- property: any crash point is resumable to the same model --------------------
+@settings(max_examples=8, deadline=None)
+@given(k=st.integers(min_value=1, max_value=35))
+def test_any_crash_point_resumes_identically(k, uninterrupted, tmp_path_factory):
+    tmp_path = tmp_path_factory.mktemp("prop")
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=k)]), path, CONFIG
+        ).run()
+    resumed = Campaign.resume(make_engine(), path).run()
+    assert models_equal(resumed.model, uninterrupted.model)
+
+
+# -- circuit breakers and degraded coverage --------------------------------------
+def test_dead_node_degrades_honestly(tmp_path):
+    path = str(tmp_path / "dead.jsonl")
+    result = Campaign.start(
+        make_engine([NodeCrash(node=3)]), path, CONFIG
+    ).run()
+    assert result.stopped == "complete"
+    assert result.quarantined == (3,)
+    # Without node 3 only pairs/triplets among {0,1,2} are measurable:
+    # 3 pairs x 2 sizes + 1 triplet x 6 experiments = 12 of 36.
+    assert result.completed == 12
+    assert result.coverage == pytest.approx(12 / 36)
+    assert result.degraded
+    assert not result.coverage_ok  # below the 0.5 floor
+    assert result.model is not None  # partial model, not a failure
+    assert result.solved_triplets == 1
+    assert result.breakers["counts"]["open"] == 1
+    assert result.breakers["nodes"][3]["state"] == "open"
+    text = result.summary()
+    assert "DEGRADED" in text
+    assert "quarantined nodes: [3]" in text
+    doc = result.to_dict()
+    assert doc["degraded"] is True and doc["coverage_ok"] is False
+
+
+def test_dead_node_campaign_survives_a_crash_too(tmp_path):
+    path = str(tmp_path / "dead_crash.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([NodeCrash(node=3), ProcessCrash(after_experiments=10)]),
+            path, CONFIG,
+        ).run()
+    result = Campaign.resume(make_engine([NodeCrash(node=3)]), path).run()
+    assert result.quarantined == (3,)
+    assert result.completed == 12
+
+
+def test_breaker_reroute_saves_cluster_time(tmp_path):
+    """With breakers the dead node burns far fewer stall timeouts than
+    the naive all-units sweep would."""
+    path = str(tmp_path / "dead.jsonl")
+    result = Campaign.start(make_engine([NodeCrash(node=3)]), path, CONFIG).run()
+    skipped = [r for r in replay(path).records
+               if r["type"] == "experiment_skipped"]
+    assert len(skipped) >= 15  # most dead units rerouted, not timed out
+    assert result.failed <= 6
+
+
+# -- budgets ---------------------------------------------------------------------
+def test_repetition_budget_stops_resumably(uninterrupted, tmp_path):
+    path = str(tmp_path / "budget.jsonl")
+    config = CampaignConfig(seed=11, timeout=5.0, max_repetitions=30)
+    result = Campaign.start(make_engine(), path, config).run()
+    assert result.stopped == "budget_repetitions"
+    assert result.resumable
+    assert result.model is None
+    assert 0 < result.completed < 36
+    assert replay(path).of_type("checkpoint")[-1]["reason"] == "budget_repetitions"
+    # A bigger budget finishes the campaign to the identical model.
+    resumed = Campaign.resume(make_engine(), path, max_repetitions=10**6).run()
+    assert resumed.stopped == "complete"
+    assert models_equal(resumed.model, uninterrupted.model)
+
+
+def test_sim_time_budget_stops(tmp_path):
+    path = str(tmp_path / "sim.jsonl")
+    config = CampaignConfig(seed=11, timeout=5.0, max_sim_seconds=1e-6)
+    result = Campaign.start(make_engine(), path, config).run()
+    assert result.stopped == "budget_sim"
+    assert result.completed == 1  # checked between units, never mid-unit
+    assert result.resumable
+
+
+def test_wall_clock_budget_stops(tmp_path):
+    path = str(tmp_path / "wall.jsonl")
+    config = CampaignConfig(seed=11, timeout=5.0, max_wall_seconds=1e-12)
+    result = Campaign.start(make_engine(), path, config).run()
+    assert result.stopped == "budget_wall"
+    assert result.completed == 1
+    assert result.resumable
+
+
+def test_periodic_checkpoints_are_journaled(uninterrupted):
+    checkpoints = replay(uninterrupted.journal_path).of_type("checkpoint")
+    assert len(checkpoints) == 2  # 36 units, checkpoint_every=16
+    assert all(rec["reason"] == "periodic" for rec in checkpoints)
+
+
+# -- config validation (satellite: API boundary rejects bad input) ---------------
+@pytest.mark.parametrize("kwargs", [
+    {"reps": 0},
+    {"reps": -3},
+    {"reps": 2.5},
+    {"reps": True},
+    {"probe_nbytes": 0},
+    {"seed": -1},
+    {"timeout": 0.0},
+    {"timeout": -1.0},
+    {"timeout": float("nan")},
+    {"timeout": float("inf")},
+    {"max_retries": -1},
+    {"backoff": 0.5},
+    {"backoff": float("nan")},
+    {"mad_threshold": float("nan")},
+    {"physical_tol": -1e-9},
+    {"quarantine_fraction": 0.0},
+    {"quarantine_fraction": 1.5},
+    {"coverage_floor": 0.0},
+    {"coverage_floor": 2.0},
+    {"checkpoint_every": 0},
+    {"retry_passes": -1},
+    {"max_wall_seconds": 0.0},
+    {"max_wall_seconds": float("nan")},
+    {"max_sim_seconds": -5.0},
+    {"max_sim_seconds": float("inf")},
+    {"max_repetitions": 0},
+    {"max_repetitions": 3.5},
+])
+def test_config_rejects_bad_values(kwargs):
+    with pytest.raises(ValueError):
+        CampaignConfig(**kwargs)
+
+
+def test_config_dict_roundtrip():
+    config = CampaignConfig(seed=3, max_repetitions=500)
+    assert CampaignConfig.from_dict(config.to_dict()) == config
+
+
+def test_resume_validates_budget_overrides(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=3)]), path, CONFIG
+        ).run()
+    with pytest.raises(ValueError, match="max_wall_seconds"):
+        Campaign.resume(make_engine(), path, max_wall_seconds=float("nan"))
+    with pytest.raises(ValueError, match="max_repetitions"):
+        Campaign.resume(make_engine(), path, max_repetitions=0)
+
+
+def test_start_needs_three_nodes(tmp_path):
+    gt = GroundTruth.random(2, seed=0)
+    engine = AnalyticEngine(gt)
+    with pytest.raises(ValueError, match="at least 3"):
+        Campaign.start(engine, str(tmp_path / "j.jsonl"), CampaignConfig())
+
+
+def test_start_refuses_existing_journal(uninterrupted):
+    with pytest.raises(Exception, match="already exists"):
+        Campaign.start(make_engine(), uninterrupted.journal_path, CONFIG)
+
+
+# -- analytic engine + status ----------------------------------------------------
+def test_campaign_on_analytic_engine(tmp_path):
+    """The campaign is engine-agnostic; AnalyticEngine reseeds via .rng."""
+    gt = GroundTruth.random(4, seed=2)
+
+    def engine():
+        return AnalyticEngine(gt, noise=NoiseModel(rel_sigma=0.05, spike_prob=0.0))
+
+    full = Campaign.start(engine(), str(tmp_path / "a.jsonl"), CONFIG).run()
+    assert full.coverage == 1.0
+    path = str(tmp_path / "b.jsonl")
+    config = CampaignConfig(seed=11, timeout=5.0, max_repetitions=40)
+    assert Campaign.start(engine(), path, config).run().resumable
+    resumed = Campaign.resume(engine(), path, max_repetitions=10**6).run()
+    assert models_equal(resumed.model, full.model)
+
+
+def test_status_of_partial_journal(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=4)]), path, CONFIG
+        ).run()
+    status = campaign_status(path)
+    assert status.n == 4
+    assert status.total_experiments == 36
+    assert status.completed == 4
+    assert not status.complete
+    assert status.repetitions >= 12
+    text = status.summary()
+    assert "resumable" in text
+    assert "4/36" in text
+    doc = json.loads(json.dumps(status.to_dict()))
+    assert doc["completed"] == 4
+
+
+def test_status_reports_torn_tail(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=4)]), path, CONFIG
+        ).run()
+    with open(path, "a") as handle:
+        handle.write('{"type": "experiment_sta')
+    status = campaign_status(path)
+    assert status.truncated_tail
+    assert "torn record" in status.summary()
+
+
+def test_status_reports_in_flight(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=4)]), path, CONFIG
+        ).run()
+    with CampaignJournal.open_append(path) as journal:
+        journal.append({"type": "experiment_started", "index": 4})
+    status = campaign_status(path)
+    assert status.in_flight == (4,)
+    assert "re-queued" in status.summary()

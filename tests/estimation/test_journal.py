@@ -1,0 +1,180 @@
+"""Write-ahead journal: append/replay roundtrips and corruption handling."""
+
+import json
+import os
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.estimation.journal import (
+    HEADER_TYPE,
+    JOURNAL_SCHEMA_VERSION,
+    CampaignJournal,
+    FingerprintMismatch,
+    JournalCorruption,
+    JournalError,
+    ScheduleMismatch,
+    replay,
+    validate_fingerprint,
+    validate_schedule,
+)
+
+pytestmark = pytest.mark.campaign
+
+HEADER = {"fingerprint": "abc123", "schedule_hash": "def456", "n": 4}
+
+
+def make_journal(path, records=()):
+    with CampaignJournal.create(str(path), HEADER) as journal:
+        for record in records:
+            journal.append(record)
+    return str(path)
+
+
+def test_create_writes_header_and_replays(tmp_path):
+    path = make_journal(tmp_path / "j.jsonl")
+    rep = replay(path)
+    assert rep.header["type"] == HEADER_TYPE
+    assert rep.header["schema_version"] == JOURNAL_SCHEMA_VERSION
+    assert rep.header["fingerprint"] == "abc123"
+    assert rep.records == []
+    assert rep.truncated_tail == ""
+
+
+def test_create_refuses_existing_path(tmp_path):
+    path = make_journal(tmp_path / "j.jsonl")
+    with pytest.raises(JournalError, match="already exists"):
+        CampaignJournal.create(path, HEADER)
+
+
+def test_append_and_replay_roundtrip(tmp_path):
+    records = [
+        {"type": "experiment_started", "index": 0},
+        {"type": "experiment_done", "index": 0, "value": 1.5},
+    ]
+    path = make_journal(tmp_path / "j.jsonl", records)
+    rep = replay(path)
+    assert rep.records == records
+    assert rep.of_type("experiment_done") == [records[1]]
+
+
+def test_append_requires_type(tmp_path):
+    with CampaignJournal.create(str(tmp_path / "j.jsonl"), HEADER) as journal:
+        with pytest.raises(ValueError, match="'type' field"):
+            journal.append({"index": 0})
+
+
+def test_open_append_continues(tmp_path):
+    path = make_journal(tmp_path / "j.jsonl", [{"type": "a"}])
+    with CampaignJournal.open_append(path) as journal:
+        journal.append({"type": "b"})
+    assert [rec["type"] for rec in replay(path).records] == ["a", "b"]
+
+
+def test_torn_tail_is_tolerated(tmp_path):
+    path = make_journal(tmp_path / "j.jsonl", [{"type": "a"}, {"type": "b"}])
+    with open(path, "a") as handle:
+        handle.write('{"type": "experiment_done", "ind')  # crash mid-append
+    rep = replay(path)
+    assert [rec["type"] for rec in rep.records] == ["a", "b"]
+    assert rep.truncated_tail.startswith('{"type": "experiment_done"')
+
+
+def test_garbage_mid_journal_is_corruption(tmp_path):
+    path = make_journal(tmp_path / "j.jsonl", [{"type": "a"}])
+    with open(path, "a") as handle:
+        handle.write("not json at all\n")
+        handle.write(json.dumps({"type": "b"}) + "\n")
+    with pytest.raises(JournalCorruption, match="unparseable record mid-journal"):
+        replay(path)
+
+
+def test_blank_line_is_corruption(tmp_path):
+    path = make_journal(tmp_path / "j.jsonl", [{"type": "a"}])
+    with open(path, "a") as handle:
+        handle.write("\n" + json.dumps({"type": "b"}) + "\n")
+    with pytest.raises(JournalCorruption, match="blank line"):
+        replay(path)
+
+
+def test_untyped_record_is_corruption(tmp_path):
+    path = make_journal(tmp_path / "j.jsonl")
+    with open(path, "a") as handle:
+        handle.write(json.dumps({"index": 3}) + "\n")
+        handle.write(json.dumps({"type": "b"}) + "\n")
+    with pytest.raises(JournalCorruption, match="not a typed object"):
+        replay(path)
+
+
+def test_missing_journal(tmp_path):
+    with pytest.raises(JournalError, match="no journal"):
+        replay(str(tmp_path / "absent.jsonl"))
+
+
+def test_empty_file_is_corruption(tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    with pytest.raises(JournalCorruption, match="no complete header"):
+        replay(str(path))
+
+
+def test_wrong_first_record_is_corruption(tmp_path):
+    path = tmp_path / "j.jsonl"
+    path.write_text(json.dumps({"type": "experiment_done"}) + "\n")
+    with pytest.raises(JournalCorruption, match="first record has type"):
+        replay(str(path))
+
+
+def test_newer_schema_version_is_refused(tmp_path):
+    path = tmp_path / "j.jsonl"
+    doc = {"type": HEADER_TYPE, "schema_version": JOURNAL_SCHEMA_VERSION + 1}
+    path.write_text(json.dumps(doc) + "\n")
+    with pytest.raises(JournalCorruption, match="unsupported journal schema"):
+        replay(str(path))
+
+
+def test_fingerprint_validation(tmp_path):
+    header = replay(make_journal(tmp_path / "j.jsonl")).header
+    validate_fingerprint(header, "abc123", "j")
+    with pytest.raises(FingerprintMismatch, match="different cluster|recorded against"):
+        validate_fingerprint(header, "zzz", "j")
+
+
+def test_schedule_validation(tmp_path):
+    header = replay(make_journal(tmp_path / "j.jsonl")).header
+    validate_schedule(header, "def456", "j")
+    with pytest.raises(ScheduleMismatch, match="schedule hash"):
+        validate_schedule(header, "zzz", "j")
+
+
+def test_header_write_is_atomic(tmp_path):
+    """No temp debris and no partial journal after creation."""
+    path = tmp_path / "j.jsonl"
+    make_journal(path)
+    assert [p.name for p in tmp_path.iterdir()] == ["j.jsonl"]
+
+
+@settings(max_examples=25, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=400), data=st.data())
+def test_replay_of_any_byte_truncation(tmp_path_factory, cut, data):
+    """Chopping a journal at ANY byte yields a loadable prefix or a
+    header-level corruption error — never a crash, never garbage records."""
+    tmp_path = tmp_path_factory.mktemp("trunc")
+    records = [{"type": "experiment_done", "index": i, "value": float(i)}
+               for i in range(5)]
+    path = make_journal(tmp_path / "j.jsonl", records)
+    raw = open(path, "rb").read()
+    cut = min(cut, len(raw))
+    header_len = raw.index(b"\n") + 1
+    cut_path = str(tmp_path / "cut.jsonl")
+    with open(cut_path, "wb") as handle:
+        handle.write(raw[:cut])
+    if cut < header_len:
+        with pytest.raises(JournalCorruption):
+            replay(cut_path)
+    else:
+        rep = replay(cut_path)
+        # The loadable prefix is exactly the records whose full line fits.
+        assert rep.records == records[: max(0, raw[:cut].count(b"\n") - 1)]
+    os.unlink(cut_path)

@@ -137,3 +137,27 @@ def test_health_log_renders_every_cycle():
     assert ModelMaintainer(DESEngine(fresh_cluster())).render_log() == (
         "(no maintenance cycles recorded)"
     )
+
+
+def test_maintainer_journals_heal_cycles(tmp_path):
+    """With a journal attached, every cycle is durably logged through the
+    campaign's write-ahead layer."""
+    import pytest as _pytest
+    from repro.estimation import CampaignJournal, replay
+
+    path = str(tmp_path / "maintenance.jsonl")
+    journal = CampaignJournal.create(path, {"kind": "maintenance", "n": N})
+    cluster = fresh_cluster()
+    maintainer = ModelMaintainer(DESEngine(cluster), journal=journal)
+    maintainer.bootstrap()
+    cluster.attach_injector(FaultInjector(PLAN))
+    maintainer.cycle()
+    journal.close()
+
+    records = replay(path).of_type("heal_cycle")
+    assert len(records) == len(maintainer.health_log)
+    assert records[0]["action"] == "bootstrap"
+    assert records[-1]["action"] == maintainer.health_log[-1].action
+    assert records[-1]["worst_error"] == _pytest.approx(
+        maintainer.health_log[-1].worst_error
+    )

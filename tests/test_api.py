@@ -148,3 +148,59 @@ def test_available_algorithms_reexported(outcome):
     pairs = api.available_algorithms(outcome.model)
     assert ("scatter", "linear") in pairs
     assert ("bcast", "pipeline") in pairs
+
+
+# -- durable campaigns through the facade --------------------------------------
+
+@pytest.mark.campaign
+def test_run_campaign_roundtrip(tmp_path):
+    cluster = api.load_cluster(nodes=4, seed=0)
+    journal = str(tmp_path / "campaign.jsonl")
+    result = api.run_campaign(cluster, journal, api.CampaignConfig(timeout=5.0))
+    assert isinstance(result, api.CampaignResult)
+    assert result.stopped == "complete"
+    assert result.coverage == 1.0
+    assert isinstance(result.model, ExtendedLMOModel)
+    json.dumps(result.to_dict())  # serializable, model excluded
+    status = api.campaign_status(journal)
+    assert isinstance(status, api.CampaignStatus)
+    assert status.complete
+    assert status.completed == result.completed
+
+
+@pytest.mark.campaign
+def test_resume_campaign_after_budget_stop(tmp_path):
+    journal = str(tmp_path / "campaign.jsonl")
+    config = api.CampaignConfig(timeout=5.0, max_repetitions=20)
+    stopped = api.run_campaign(api.load_cluster(nodes=4, seed=0), journal, config)
+    assert stopped.resumable and stopped.model is None
+    resumed = api.resume_campaign(
+        api.load_cluster(nodes=4, seed=0), journal, max_repetitions=10**6,
+    )
+    assert resumed.stopped == "complete"
+    assert resumed.model is not None
+
+
+@pytest.mark.campaign
+def test_campaign_validates_inputs_at_the_boundary(tmp_path):
+    cluster = api.load_cluster(nodes=4, seed=0)
+    journal = str(tmp_path / "campaign.jsonl")
+    with pytest.raises(ValueError, match="reps"):
+        api.run_campaign(cluster, journal, api.CampaignConfig(reps=-1))
+    with pytest.raises(ValueError, match="timeout"):
+        api.run_campaign(cluster, journal,
+                         api.CampaignConfig(timeout=float("nan")))
+    with pytest.raises(ValueError, match="max_sim_seconds"):
+        api.run_campaign(cluster, journal,
+                         api.CampaignConfig(max_sim_seconds=-1.0))
+    assert not (tmp_path / "campaign.jsonl").exists()  # rejected before I/O
+
+
+@pytest.mark.campaign
+def test_resume_campaign_wrong_cluster_is_actionable(tmp_path):
+    from repro.estimation import FingerprintMismatch
+    journal = str(tmp_path / "campaign.jsonl")
+    config = api.CampaignConfig(timeout=5.0, max_repetitions=20)
+    api.run_campaign(api.load_cluster(nodes=4, seed=0), journal, config)
+    with pytest.raises(FingerprintMismatch, match="same spec, ground truth"):
+        api.resume_campaign(api.load_cluster(nodes=4, seed=1), journal)

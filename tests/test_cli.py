@@ -215,3 +215,103 @@ def test_drift_subcommand_healthy_and_degraded(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "implicated nodes: 5" in out
     assert "DRIFTED" in out
+
+
+# -- campaign subcommand -------------------------------------------------------
+
+@pytest.mark.campaign
+def test_campaign_run_writes_model_and_journal(tmp_path, capsys):
+    journal = tmp_path / "c.jsonl"
+    out_file = tmp_path / "model.json"
+    assert main(["campaign", "run", "--journal", str(journal),
+                 "--nodes", "4", "--timeout", "5.0",
+                 "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    assert "36/36 experiments measured" in out
+    assert "coverage 100.0%" in out
+    assert isinstance(load(str(out_file)), ExtendedLMOModel)
+    assert journal.exists()
+
+
+@pytest.mark.campaign
+def test_campaign_status_subcommand(tmp_path, capsys):
+    journal = tmp_path / "c.jsonl"
+    main(["campaign", "run", "--journal", str(journal),
+          "--nodes", "4", "--timeout", "5.0"])
+    capsys.readouterr()
+    assert main(["campaign", "status", "--journal", str(journal)]) == 0
+    assert "(complete)" in capsys.readouterr().out
+
+
+@pytest.mark.campaign
+def test_campaign_budget_stop_then_resume(tmp_path, capsys):
+    journal = tmp_path / "c.jsonl"
+    assert main(["campaign", "run", "--journal", str(journal),
+                 "--nodes", "4", "--timeout", "5.0",
+                 "--max-repetitions", "20"]) == 1
+    out = capsys.readouterr().out
+    assert "budget_repetitions" in out
+    assert "resumable journal" in out
+    # Resume derives the cluster size from the journal header.
+    assert main(["campaign", "resume", "--journal", str(journal),
+                 "--max-repetitions", "1000000"]) == 0
+    assert "campaign complete" in capsys.readouterr().out
+
+
+@pytest.mark.campaign
+def test_campaign_json_format(tmp_path, capsys):
+    import json as json_mod
+    journal = tmp_path / "c.jsonl"
+    assert main(["campaign", "run", "--journal", str(journal),
+                 "--nodes", "4", "--timeout", "5.0",
+                 "--format", "json"]) == 0
+    doc = json_mod.loads(capsys.readouterr().out)
+    assert doc["coverage"] == 1.0
+    assert doc["degraded"] is False
+    assert doc["breakers"]["counts"]["closed"] == 4
+
+
+@pytest.mark.campaign
+def test_campaign_errors_go_to_stderr(tmp_path, capsys):
+    journal = tmp_path / "c.jsonl"
+    main(["campaign", "run", "--journal", str(journal),
+          "--nodes", "4", "--timeout", "5.0"])
+    capsys.readouterr()
+    # Journal exists -> fresh run refuses it.
+    assert main(["campaign", "run", "--journal", str(journal),
+                 "--nodes", "4"]) == 2
+    assert "already exists" in capsys.readouterr().err
+    # Status of a missing journal.
+    assert main(["campaign", "status", "--journal",
+                 str(tmp_path / "nope.jsonl")]) == 2
+    assert "cannot read journal" in capsys.readouterr().err
+
+
+@pytest.mark.campaign
+def test_campaign_rejects_bad_config_values(tmp_path, capsys):
+    assert main(["campaign", "run", "--journal", str(tmp_path / "c.jsonl"),
+                 "--nodes", "4", "--reps", "-2"]) == 2
+    assert "reps" in capsys.readouterr().err
+
+
+@pytest.mark.campaign
+def test_chaos_crash_stage_reports_breakers(capsys):
+    assert main(["chaos", "--nodes", "4", "--cycles", "1",
+                 "--crash-after", "8", "--crash-node", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "process crash injected" in out
+    assert "resuming from the journal" in out
+    assert "breaker node 3: open" in out
+    assert "quarantined nodes: [3]" in out
+
+
+@pytest.mark.campaign
+def test_chaos_crash_stage_json(capsys):
+    import json as json_mod
+    assert main(["chaos", "--nodes", "4", "--cycles", "1",
+                 "--crash-after", "8", "--format", "json"]) == 0
+    doc = json_mod.loads(capsys.readouterr().out)
+    campaign = doc["campaign"]
+    assert campaign["crashed_and_resumed"] is True
+    assert campaign["coverage"] == 1.0
+    assert campaign["breakers"]["counts"]["closed"] == 4
