@@ -53,6 +53,8 @@ from repro.estimation import (
     sweep_collective,
 )
 from repro.models.lmo_extended import ExtendedLMOModel
+from repro.obs import Telemetry
+from repro.obs import runtime as _obs_runtime
 from repro.optimize.gather_splitting import (
     predict_optimized_gather_sweep,
     split_chunk_counts,
@@ -89,6 +91,7 @@ __all__ = [
     "run_campaign",
     "resume_campaign",
     "campaign_status",
+    "telemetry",
 ]
 
 KB = 1024
@@ -321,6 +324,29 @@ def resume_campaign(
 def campaign_status(journal: str) -> CampaignStatus:
     """Inspect a campaign journal without attaching a cluster."""
     return _campaign_status(journal)
+
+
+# -- telemetry ------------------------------------------------------------------
+def telemetry(enable: bool = True, fresh: bool = False) -> Optional[Telemetry]:
+    """The process-wide telemetry session (:mod:`repro.obs`).
+
+    With ``enable=True`` (default) telemetry is switched on if it is not
+    already, and the active session is returned — every instrumented
+    layer (campaigns, breakers, the prediction cache, the simulated
+    cluster, the maintainer) starts recording into it.  With
+    ``enable=False`` the current session (or None) is returned without
+    side effects.  ``fresh=True`` discards any existing session first.
+
+    Typical use::
+
+        tel = api.telemetry()
+        api.run_campaign(cluster, "campaign.jsonl")
+        print(tel.to_prometheus())
+        escalations = tel.events.events("rto_escalation")
+    """
+    if not enable:
+        return _obs_runtime.active()
+    return _obs_runtime.enable(fresh=fresh)
 
 
 # -- prediction -----------------------------------------------------------------

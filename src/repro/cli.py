@@ -18,12 +18,19 @@ measure     benchmark a collective on the simulated cluster (CI 95%/2.5%)
 suite       benchmark the whole algorithm menu as a comparison table
 partition   min-makespan data distribution from a saved LMO model
 plan        choose algorithms for an application's collective calls
-trace       run one collective and print its activity timeline
+trace       run one collective and print its activity timeline (or export
+            it as Chrome trace JSON: ``trace export --chrome out.json``)
 drift       spot-check a saved model against the (possibly degraded) cluster
 chaos       fault-injection demo: estimate, inject, self-heal, report
 campaign    durable estimation sweep: run / resume / status on a journal
+obs         inspect/export a telemetry snapshot written by --metrics-out
 experiment  regenerate one of the paper's tables/figures (optional CSV)
 report      regenerate all of them (markdown)
+
+``campaign run/resume``, ``chaos`` and ``suite`` accept
+``--metrics-out PATH``: telemetry (:mod:`repro.obs`) is enabled for the
+command and the full snapshot document is written to PATH afterwards,
+ready for ``repro obs report`` / ``repro obs export``.
 """
 
 from __future__ import annotations
@@ -60,6 +67,13 @@ from repro.estimation import (
     detect_model_drift,
 )
 from repro.mpi import run_collective
+from repro.obs import (
+    chrome_trace,
+    render_report,
+    snapshot_prometheus,
+    validate_snapshot,
+)
+from repro.obs import runtime as _obs
 from repro.simlib import Tracer
 
 __all__ = ["main"]
@@ -84,6 +98,26 @@ def _emit(args, text: str, payload: dict) -> None:
         print(json.dumps(payload, indent=2))
     else:
         print(text)
+
+
+def _metrics_begin(args):
+    """Enable telemetry when the command was given ``--metrics-out``."""
+    if getattr(args, "metrics_out", None) is None:
+        return None
+    return _obs.enable(fresh=True)
+
+
+def _metrics_end(args, tel) -> None:
+    """Write the telemetry snapshot document and switch telemetry off."""
+    if tel is None:
+        return
+    try:
+        with open(args.metrics_out, "w") as handle:
+            json.dump(tel.to_dict(), handle, indent=2)
+        if getattr(args, "format", "text") == "text":
+            print(f"telemetry snapshot written to {args.metrics_out}")
+    finally:
+        _obs.disable()
 
 
 def make_cluster(args) -> SimulatedCluster:
@@ -143,7 +177,10 @@ def cmd_predict(args) -> int:
     lines.append(f"predicted {args.operation}/{args.algorithm} of "
                  f"{args.nbytes} B on {model.n} nodes: "
                  f"{prediction.seconds * 1e3:.3f} ms")
-    _emit(args, "\n".join(lines), prediction.to_dict())
+    from repro.predict_service import cache_info
+
+    _emit(args, "\n".join(lines),
+          {**prediction.to_dict(), "cache": cache_info()})
     return 0
 
 
@@ -167,6 +204,19 @@ def cmd_trace(args) -> int:
     tracer = Tracer()
     cluster.attach_tracer(tracer)
     run_collective(cluster, args.operation, args.algorithm, args.nbytes, root=args.root)
+    if args.action == "export":
+        if not args.chrome:
+            print("trace export needs --chrome OUT.json", file=sys.stderr)
+            return 2
+        trace_json = chrome_trace(tracer=tracer)
+        with open(args.chrome, "w") as handle:
+            handle.write(trace_json)
+        _emit(args,
+              f"Chrome trace ({len(tracer.intervals)} intervals, "
+              f"{len(tracer.lanes())} lanes) written to {args.chrome}",
+              {"out": args.chrome, "intervals": len(tracer.intervals),
+               "lanes": tracer.lanes()})
+        return 0
     lanes = [f"cpu{args.root}"] + [
         lane for lane in tracer.lanes() if lane != f"cpu{args.root}"
     ]
@@ -184,15 +234,20 @@ def cmd_suite(args) -> int:
     from repro.benchlib import BenchmarkSuite
     from repro.stats import MeasurementPolicy
 
-    cluster = make_cluster(args)
-    suite = BenchmarkSuite(
-        cluster,
-        policy=MeasurementPolicy(min_reps=min(3, args.max_reps),
-                                 max_reps=args.max_reps),
-    )
-    operations = args.operations.split(",") if args.operations else None
-    sizes = [int(s) for s in args.sizes.split(",")]
-    result = suite.run(operations=operations, sizes=sizes)
+    tel = _metrics_begin(args)
+    try:
+        cluster = make_cluster(args)
+        suite = BenchmarkSuite(
+            cluster,
+            policy=MeasurementPolicy(min_reps=min(3, args.max_reps),
+                                     max_reps=args.max_reps),
+        )
+        operations = args.operations.split(",") if args.operations else None
+        sizes = [int(s) for s in args.sizes.split(",")]
+        result = suite.run(operations=operations, sizes=sizes)
+        cluster.reset()  # flush the final run's kernel counters
+    finally:
+        _metrics_end(args, tel)
     _emit(args, result.render(), {
         "points": [
             {"operation": op, "algorithm": algo, "nbytes": m,
@@ -364,39 +419,46 @@ def cmd_chaos(args) -> int:
     lines = [f"cluster: {spec.n} nodes ({spec.name}), "
              f"fault plan (seed {plan.seed}):", plan.describe()]
 
-    maintainer = ModelMaintainer(
-        DESEngine(cluster), MaintainerPolicy(reps=args.reps),
-    )
-    maintainer.bootstrap()
-    lines.append("\nbootstrap (fault-free):")
-    lines.append("  " + maintainer.last_result.summary().replace("\n", "\n  "))
+    tel = _metrics_begin(args)
+    try:
+        maintainer = ModelMaintainer(
+            DESEngine(cluster), MaintainerPolicy(reps=args.reps),
+        )
+        maintainer.bootstrap()
+        lines.append("\nbootstrap (fault-free):")
+        lines.append("  " + maintainer.last_result.summary().replace("\n", "\n  "))
 
-    cluster.attach_injector(FaultInjector(plan))
-    for _ in range(args.cycles):
-        maintainer.cycle()
-    lines.append(f"\nhealth log after {args.cycles} chaos cycles:")
-    lines.append(maintainer.render_log())
-    lines.append(f"\ninjector: {cluster.injector.stats.summary()}")
-    report = maintainer.spot_check()
-    healed = not report.drifted
-    lines.append(f"final spot-check: worst drift {report.worst_error:.2%}")
-    lines.append("verdict: model healed" if healed else
-                 "verdict: drift persists (more cycles needed)")
-    payload = {
-        "nodes": spec.n,
-        "cycles": args.cycles,
-        "fault_plan": plan.describe(),
-        "worst_drift": float(report.worst_error),
-        "healed": healed,
-    }
+        cluster.attach_injector(FaultInjector(plan))
+        for _ in range(args.cycles):
+            maintainer.cycle()
+        lines.append(f"\nhealth log after {args.cycles} chaos cycles:")
+        lines.append(maintainer.render_log())
+        report = maintainer.spot_check()
+        healed = not report.drifted
+        # Printed after the final spot-check so the counts cover every
+        # simulated transfer of the run (and match the telemetry snapshot).
+        lines.append(f"\ninjector: {cluster.injector.stats.summary()}")
+        lines.append(f"final spot-check: worst drift {report.worst_error:.2%}")
+        lines.append("verdict: model healed" if healed else
+                     "verdict: drift persists (more cycles needed)")
+        payload = {
+            "nodes": spec.n,
+            "cycles": args.cycles,
+            "fault_plan": plan.describe(),
+            "worst_drift": float(report.worst_error),
+            "healed": healed,
+        }
 
-    # Crash faults only bite the durable campaign path, so demo it when
-    # the plan carries one (or the user asked for a journal explicitly).
-    has_crash = any(isinstance(f, (NodeCrash, ProcessCrash)) for f in plan.faults)
-    if has_crash or args.journal is not None:
-        campaign_lines, campaign_payload = _chaos_campaign(args, cluster, plan)
-        lines.extend(campaign_lines)
-        payload["campaign"] = campaign_payload
+        # Crash faults only bite the durable campaign path, so demo it when
+        # the plan carries one (or the user asked for a journal explicitly).
+        has_crash = any(isinstance(f, (NodeCrash, ProcessCrash)) for f in plan.faults)
+        if has_crash or args.journal is not None:
+            campaign_lines, campaign_payload = _chaos_campaign(args, cluster, plan)
+            lines.extend(campaign_lines)
+            payload["campaign"] = campaign_payload
+        cluster.reset()  # flush the final run's kernel counters
+    finally:
+        _metrics_end(args, tel)
 
     _emit(args, "\n".join(lines), payload)
     return 0
@@ -475,6 +537,7 @@ def cmd_campaign(args) -> int:
             nodes = None
     cluster = api.load_cluster(nodes=nodes, profile=args.profile,
                                seed=args.seed)
+    tel = _metrics_begin(args)
     try:
         if args.action == "run":
             config = CampaignConfig(
@@ -495,9 +558,12 @@ def cmd_campaign(args) -> int:
                 max_sim_seconds=args.max_sim_seconds,
                 max_repetitions=args.max_repetitions,
             )
+        cluster.reset()  # flush the final run's kernel counters
     except (JournalError, ValueError) as exc:
         print(f"campaign failed: {exc}", file=sys.stderr)
         return 2
+    finally:
+        _metrics_end(args, tel)
     if result.model is not None and args.out:
         api.save_model(result.model, args.out)
     text = result.summary()
@@ -506,6 +572,38 @@ def cmd_campaign(args) -> int:
     _emit(args, text, result.to_dict())
     if result.stopped != "complete" or result.model is None or result.degraded:
         return 1
+    return 0
+
+
+def cmd_obs(args) -> int:
+    """``repro obs report|export`` — render a snapshot from --metrics-out.
+
+    ``report`` prints a one-screen summary (or the raw document with
+    ``--format json``); ``export`` re-renders it as Prometheus text
+    (``--format prom``), pretty JSON, or Chrome trace JSON of its spans.
+    """
+    try:
+        with open(args.metrics) as handle:
+            doc = json.load(handle)
+        validate_snapshot(doc)
+    except (OSError, ValueError) as exc:
+        print(f"cannot read telemetry snapshot: {exc}", file=sys.stderr)
+        return 2
+    if args.action == "report":
+        _emit(args, render_report(doc), doc)
+        return 0
+    if args.format == "prom":
+        rendered = snapshot_prometheus(doc)
+    elif args.format == "json":
+        rendered = json.dumps(doc, indent=2)
+    else:  # chrome
+        rendered = chrome_trace(doc.get("spans", []))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"{args.format} export written to {args.out}")
+    else:
+        print(rendered)
     return 0
 
 
@@ -558,6 +656,10 @@ def build_parser() -> argparse.ArgumentParser:
     common = argparse.ArgumentParser(add_help=False)
     common.add_argument("--format", choices=["text", "json"], default="text",
                         help="output format (JSON to stdout, errors to stderr)")
+    metrics = argparse.ArgumentParser(add_help=False)
+    metrics.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="enable telemetry and write the snapshot "
+                              "(metrics, spans, events) to this JSON file")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("describe", help="print the Table I cluster", parents=[common])
@@ -591,6 +693,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_trace = sub.add_parser("trace", help="print a collective's activity timeline",
                              parents=[common])
+    p_trace.add_argument("action", nargs="?", default="show",
+                         choices=["show", "export"],
+                         help="show the ASCII timeline (default) or export "
+                              "the simulated-time trace as Chrome trace JSON")
+    p_trace.add_argument("--chrome", default=None, metavar="OUT.json",
+                         help="output path for `trace export` "
+                              "(open in chrome://tracing or Perfetto)")
     p_trace.add_argument("--operation", default="scatter")
     p_trace.add_argument("--algorithm", default="linear")
     p_trace.add_argument("--nbytes", type=int, default=32 * KB)
@@ -599,7 +708,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--max-lanes", type=int, default=12)
 
     p_suite = sub.add_parser("suite", help="benchmark the whole algorithm menu",
-                             parents=[common])
+                             parents=[common, metrics])
     p_suite.add_argument("--operations", default=None,
                          help="comma-separated (default: all)")
     p_suite.add_argument("--sizes", default=f"{KB},{16 * KB},{128 * KB}",
@@ -637,7 +746,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p_chaos = sub.add_parser("chaos",
                              help="fault-injection demo: estimate, inject, self-heal",
-                             parents=[common])
+                             parents=[common, metrics])
     p_chaos.add_argument("--nodes", type=int, default=8,
                          help="cluster size (prefix of Table I)")
     p_chaos.add_argument("--cycles", type=int, default=3,
@@ -685,7 +794,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cluster size (prefix of Table I; default all)")
     p_camp_run = camp_sub.add_parser(
         "run", help="start a fresh campaign (journal must not exist)",
-        parents=[common, camp_budgets, camp_io])
+        parents=[common, camp_budgets, camp_io, metrics])
     p_camp_run.add_argument("--reps", type=int, default=3)
     p_camp_run.add_argument("--timeout", type=float, default=1.0,
                             help="per-experiment timeout (seconds)")
@@ -694,10 +803,31 @@ def build_parser() -> argparse.ArgumentParser:
                                  "is flagged (still produced)")
     camp_sub.add_parser(
         "resume", help="continue an interrupted campaign from its journal",
-        parents=[common, camp_budgets, camp_io])
+        parents=[common, camp_budgets, camp_io, metrics])
     camp_sub.add_parser(
         "status", help="inspect a journal without attaching a cluster",
         parents=[common, camp_io])
+
+    p_obs = sub.add_parser(
+        "obs",
+        help="inspect/convert a telemetry snapshot from --metrics-out",
+    )
+    obs_sub = p_obs.add_subparsers(dest="action", required=True)
+    p_obs_report = obs_sub.add_parser(
+        "report", help="one-screen summary of a telemetry snapshot",
+        parents=[common])
+    p_obs_report.add_argument("--metrics", required=True,
+                              help="snapshot JSON written by --metrics-out")
+    p_obs_export = obs_sub.add_parser(
+        "export", help="re-render a snapshot as prom / json / chrome trace")
+    p_obs_export.add_argument("--metrics", required=True,
+                              help="snapshot JSON written by --metrics-out")
+    p_obs_export.add_argument("--format", choices=["prom", "json", "chrome"],
+                              default="prom",
+                              help="Prometheus text, pretty JSON, or Chrome "
+                                   "trace JSON of the recorded spans")
+    p_obs_export.add_argument("--out", default=None,
+                              help="write here instead of stdout")
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure",
                            parents=[common])
@@ -725,6 +855,7 @@ COMMANDS = {
     "drift": cmd_drift,
     "chaos": cmd_chaos,
     "campaign": cmd_campaign,
+    "obs": cmd_obs,
     "experiment": cmd_experiment,
     "report": cmd_report,
 }

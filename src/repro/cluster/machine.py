@@ -32,6 +32,7 @@ from repro.cluster.noise import NoiseModel
 from repro.cluster.params import GroundTruth, synthesize_ground_truth
 from repro.cluster.profiles import LAM_7_1_3, MpiProfile
 from repro.cluster.spec import ClusterSpec
+from repro.obs import runtime as _obs
 from repro.simlib import Event, Resource, Simulator
 from repro.simlib.trace import Tracer
 
@@ -168,6 +169,13 @@ class SimulatedCluster:
         """
         if self.injector is not None and hasattr(self, "sim"):
             self.injector.advance_epoch(self.sim.now)
+        tel = _obs.ACTIVE
+        if tel is not None and hasattr(self, "sim") and self.sim.events_processed:
+            # Flush the finished run's kernel counter — the kernel itself
+            # keeps a plain int so its step() loop never touches telemetry.
+            tel.registry.counter(
+                "sim_events_total", help="DES kernel events processed"
+            ).inc(self.sim.events_processed)
         self.sim = Simulator()
         n = self.spec.n
         self.cpu = [Resource(self.sim, 1, f"cpu{i}") for i in range(n)]
@@ -324,21 +332,36 @@ class SimulatedCluster:
             )
             self.trace("uplink", uplink_start, sim.now, "u")
         port_state = self._ports[dst]
-        escalation = self._sample_escalation(port_state, src, nbytes)
+        incast_delay = self._sample_escalation(port_state, src, nbytes)
+        loss_delay = 0.0
         if self.injector is not None:
             # Packet loss on a flaky link costs a retransmission timeout
             # on this transfer — escalations on *arbitrary* traffic, not
             # just gather incast.  A hang that started mid-flight stalls
             # the transfer here, before it enters the destination port.
-            escalation += self.injector.loss_delay(src, dst)
+            loss_delay = self.injector.loss_delay(src, dst)
             stall = self.injector.hang_stall(dst)
             if stall > 0:
                 yield sim.timeout(stall)
+        escalation = incast_delay + loss_delay
         port_state.enqueue(src, float(nbytes))
         try:
             if escalation > 0.0:
                 self.stats.escalations += 1
                 self.stats.escalation_time += escalation
+                tel = _obs.ACTIVE
+                if tel is not None:
+                    for cause, delay in (("incast", incast_delay), ("loss", loss_delay)):
+                        if delay > 0.0:
+                            tel.registry.counter(
+                                "rto_escalations_total",
+                                help="TCP RTO escalations by cause",
+                                cause=cause,
+                            ).inc()
+                            tel.events.warning(
+                                "rto_escalation", cause=cause, src=src, dst=dst,
+                                delay=delay, sim_time=sim.now,
+                            )
                 rto_start = sim.now
                 yield sim.timeout(escalation)
                 self.trace(f"port{dst}", rto_start, sim.now, "R")

@@ -21,7 +21,33 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable
 
+from repro.obs import runtime as _obs
+
 __all__ = ["BreakerPolicy", "BreakerState", "CircuitBreaker", "BreakerBoard"]
+
+
+def _note_transition(node: int, old: str, new: str) -> None:
+    """Telemetry for one breaker state change (cold path — trips are rare)."""
+    tel = _obs.ACTIVE
+    if tel is None:
+        return
+    level = "warning" if new == BreakerState.OPEN else "info"
+    tel.events.emit("breaker_transition", level=level, node=node, old=old, new=new)
+    tel.registry.counter(
+        "breaker_transitions_total",
+        help="circuit-breaker state transitions",
+        to=new,
+    ).inc()
+    if new == BreakerState.OPEN:
+        tel.registry.counter(
+            "breaker_opens_total", help="breaker trips to OPEN, per node",
+            node=str(node),
+        ).inc()
+    elif new == BreakerState.HALF_OPEN:
+        tel.registry.counter(
+            "breaker_half_opens_total", help="breaker probes (HALF_OPEN), per node",
+            node=str(node),
+        ).inc()
 
 
 class BreakerState:
@@ -92,6 +118,8 @@ class CircuitBreaker:
         if self.state == BreakerState.OPEN:
             if unit_counter >= self._reopen_at:
                 self.state = BreakerState.HALF_OPEN
+                if _obs.ACTIVE is not None:
+                    _note_transition(self.node, BreakerState.OPEN, BreakerState.HALF_OPEN)
                 return True
             return False
         return True
@@ -99,6 +127,8 @@ class CircuitBreaker:
     def record_success(self) -> None:
         self.total_successes += 1
         self.consecutive_failures = 0
+        if self.state != BreakerState.CLOSED and _obs.ACTIVE is not None:
+            _note_transition(self.node, self.state, BreakerState.CLOSED)
         self.state = BreakerState.CLOSED
 
     def record_failure(self, unit_counter: int) -> None:
@@ -111,9 +141,12 @@ class CircuitBreaker:
             self._trip(unit_counter)
 
     def _trip(self, unit_counter: int) -> None:
+        old = self.state
         self.state = BreakerState.OPEN
         self.trips += 1
         self._reopen_at = unit_counter + self.policy.cooldown_units
+        if _obs.ACTIVE is not None:
+            _note_transition(self.node, old, BreakerState.OPEN)
 
     def to_dict(self) -> dict:
         return {

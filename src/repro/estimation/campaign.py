@@ -54,6 +54,7 @@ from repro.estimation.lmo_est import (
 )
 from repro.estimation.robust import screened_mean, solve_and_assemble
 from repro.mpi.runtime import DeadlockError
+from repro.obs import runtime as _obs
 
 __all__ = [
     "Campaign",
@@ -378,6 +379,13 @@ class CampaignStatus:
     complete: bool
     stopped_reason: Optional[str]
     truncated_tail: bool
+    #: Fraction of scheduled experiments with a journaled measurement.
+    coverage: float = 0.0
+    #: Nodes whose breakers the replayed outcome sequence leaves OPEN.
+    quarantined: tuple[int, ...] = ()
+    #: Triplets whose full eight-experiment set is already measured.
+    solved_triplets: int = 0
+    total_triplets: int = 0
 
     def to_dict(self) -> dict[str, Any]:
         return {
@@ -394,6 +402,10 @@ class CampaignStatus:
             "complete": self.complete,
             "stopped_reason": self.stopped_reason,
             "truncated_tail": self.truncated_tail,
+            "coverage": self.coverage,
+            "quarantined": list(self.quarantined),
+            "solved_triplets": self.solved_triplets,
+            "total_triplets": self.total_triplets,
         }
 
     def summary(self) -> str:
@@ -404,7 +416,11 @@ class CampaignStatus:
             f"on {self.n} nodes",
             f"cost so far: {self.estimation_time:.2f} s cluster time, "
             f"{self.repetitions} repetitions",
+            f"coverage {self.coverage:.1%}; triplets solvable: "
+            f"{self.solved_triplets}/{self.total_triplets}",
         ]
+        if self.quarantined:
+            lines.append(f"quarantined nodes (open breakers): {list(self.quarantined)}")
         if self.failed:
             lines.append(f"failed experiments: {self.failed}")
         if self.in_flight:
@@ -624,7 +640,8 @@ class Campaign:
         validate_fingerprint(header, cluster_fingerprint(engine), path)
         validate_schedule(header, _schedule_hash(experiments, config), path)
         state = _replay_state(rep, len(experiments))
-        board = _rebuild_board(n, config.breaker, state.events, experiments)
+        with _obs.suppressed():  # replay is history, not live breaker activity
+            board = _rebuild_board(n, config.breaker, state.events, experiments)
         journal = CampaignJournal.open_append(path, fsync=config.fsync)
         return cls(
             engine, journal, config, pairs, base_triplets, experiments, state, board
@@ -644,7 +661,48 @@ class Campaign:
             return "budget_wall"
         return None
 
+    # -- telemetry -----------------------------------------------------------
+    def _flush_telemetry(self) -> None:
+        """Publish campaign-level gauges (cold path: checkpoints and exits)."""
+        tel = _obs.ACTIVE
+        if tel is None:
+            return
+        state, cfg = self.state, self.config
+        reg = tel.registry
+        reg.gauge(
+            "campaign_budget_wall_seconds_used", help="wall-clock budget consumed"
+        ).set(state.wall_time)
+        reg.gauge(
+            "campaign_budget_sim_seconds_used", help="simulated-time budget consumed"
+        ).set(state.sim_time)
+        reg.gauge(
+            "campaign_budget_repetitions_used", help="repetition budget consumed"
+        ).set(float(state.repetitions))
+        for name, limit in (
+            ("campaign_budget_wall_seconds_limit", cfg.max_wall_seconds),
+            ("campaign_budget_sim_seconds_limit", cfg.max_sim_seconds),
+            ("campaign_budget_repetitions_limit", cfg.max_repetitions),
+        ):
+            if limit is not None:
+                reg.gauge(name, help="configured budget cap").set(float(limit))
+        for state_name, count in self.board.state_counts().items():
+            reg.gauge(
+                "breaker_nodes", help="nodes per breaker state", state=state_name
+            ).set(float(count))
+        reg.gauge(
+            "campaign_coverage", help="fraction of scheduled experiments measured"
+        ).set(len(state.completed) / max(1, len(self.experiments)))
+
     def _checkpoint(self, reason: str) -> None:
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.events.info(
+                "campaign_checkpoint",
+                reason=reason,
+                completed=len(self.state.completed),
+                repetitions=self.state.repetitions,
+            )
+            self._flush_telemetry()
         self.journal.append({
             "type": "checkpoint",
             "reason": reason,
@@ -665,6 +723,17 @@ class Campaign:
             injector.note_experiment()
 
     def _process_unit(self, index: int) -> str:
+        with _obs.span("campaign.unit", index=index):
+            outcome = self._process_unit_inner(index)
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.registry.counter(
+                "campaign_units_total", help="campaign units by final outcome",
+                outcome=outcome,
+            ).inc()
+        return outcome
+
+    def _process_unit_inner(self, index: int) -> str:
         exp = self.experiments[index]
         state, config, journal = self.state, self.config, self.journal
         if not self.board.allows(exp.nodes):
@@ -678,6 +747,11 @@ class Campaign:
             self.board.advance()
             return "skipped"
 
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.registry.counter(
+                "campaign_units_started_total", help="campaign units started"
+            ).inc()
         journal.append({
             "type": "experiment_started",
             "index": index,
@@ -719,6 +793,16 @@ class Campaign:
         state.repetitions += attempts
         state.sim_time += sim_cost
         state.wall_time += wall_cost
+        if tel is not None:
+            retries = attempts - config.reps
+            if retries > 0:
+                tel.registry.counter(
+                    "campaign_unit_retries_total",
+                    help="backoff retry attempts beyond the scheduled reps",
+                ).inc(retries)
+            tel.registry.histogram(
+                "campaign_unit_wall_seconds", help="wall-clock cost of one unit"
+            ).observe(wall_cost)
 
         common = {
             "index": index,
@@ -768,28 +852,37 @@ class Campaign:
         re-assembles the final model from the journal — no measurement.
         """
         try:
-            if self.state.complete:
-                return self._finalize(write_record=False)
-            total = len(self.experiments)
-            for pass_no in range(1 + self.config.retry_passes):
-                missing = [i for i in range(total) if i not in self.state.completed]
-                if not missing:
-                    break
-                successes = 0
-                for index in missing:
-                    reason = self._budget_exceeded()
-                    if reason is not None:
-                        self._checkpoint(reason)
-                        return self._stopped(reason)
-                    if self._process_unit(index) == "done":
-                        successes += 1
-                if successes == 0:
-                    break
-            return self._finalize(write_record=True)
+            with _obs.span("campaign.run", n=self.engine.n,
+                           total=len(self.experiments)):
+                if self.state.complete:
+                    return self._finalize(write_record=False)
+                total = len(self.experiments)
+                for pass_no in range(1 + self.config.retry_passes):
+                    missing = [i for i in range(total) if i not in self.state.completed]
+                    if not missing:
+                        break
+                    successes = 0
+                    for index in missing:
+                        reason = self._budget_exceeded()
+                        if reason is not None:
+                            tel = _obs.ACTIVE
+                            if tel is not None:
+                                tel.events.warning(
+                                    "campaign_budget_stop", reason=reason,
+                                    completed=len(self.state.completed), total=total,
+                                )
+                            self._checkpoint(reason)
+                            return self._stopped(reason)
+                        if self._process_unit(index) == "done":
+                            successes += 1
+                    if successes == 0:
+                        break
+                return self._finalize(write_record=True)
         finally:
             self.journal.close()
 
     def _stopped(self, reason: str) -> CampaignResult:
+        self._flush_telemetry()
         state = self.state
         return CampaignResult(
             model=None,
@@ -815,6 +908,7 @@ class Campaign:
         )
 
     def _finalize(self, write_record: bool) -> CampaignResult:
+        self._flush_telemetry()
         state, config = self.state, self.config
         total = len(self.experiments)
         measured = {
@@ -881,10 +975,40 @@ class Campaign:
 
 
 def campaign_status(path: str) -> CampaignStatus:
-    """Inspect a journal without touching any cluster."""
+    """Inspect a journal without touching any cluster.
+
+    Everything here is re-derived from the journal alone: the schedule is
+    rebuilt from the header's config (so triplet solvability can be
+    checked against completed indices) and the breaker board is replayed
+    from the outcome sequence (so "quarantined" means exactly what a
+    resume would see).  Journals whose header predates the config field
+    fall back to counts only.
+    """
     rep = replay(path)
     total = int(rep.header.get("total_experiments", 0))
     state = _replay_state(rep, total)
+    coverage = len(state.completed) / total if total else 0.0
+    quarantined: tuple[int, ...] = ()
+    solved = total_triplets = 0
+    header_config = rep.header.get("config")
+    if header_config is not None:
+        config = CampaignConfig.from_dict(header_config)
+        n = int(rep.header["n"])
+        triplets = rep.header.get("triplets")
+        _, base_triplets, experiments = _build_schedule(
+            n, config.probe_nbytes,
+            [tuple(t) for t in triplets] if triplets is not None else None,
+        )
+        with _obs.suppressed():
+            board = _rebuild_board(n, config.breaker, state.events, experiments)
+        quarantined = tuple(board.open_nodes())
+        exp_index = {exp: idx for idx, exp in enumerate(experiments)}
+        total_triplets = len(base_triplets)
+        solved = sum(
+            1 for triple in base_triplets
+            if all(exp_index[exp] in state.completed
+                   for exp in _triplet_experiments(triple, config.probe_nbytes))
+        )
     return CampaignStatus(
         journal_path=path,
         n=int(rep.header.get("n", 0)),
@@ -899,4 +1023,8 @@ def campaign_status(path: str) -> CampaignStatus:
         complete=state.complete,
         stopped_reason=state.stop_reason,
         truncated_tail=bool(rep.truncated_tail),
+        coverage=coverage,
+        quarantined=quarantined,
+        solved_triplets=solved,
+        total_triplets=total_triplets,
     )

@@ -25,10 +25,12 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.io import atomic_write_text
+from repro.obs import runtime as _obs
 
 __all__ = [
     "CampaignJournal",
@@ -132,10 +134,22 @@ class CampaignJournal:
         line = json.dumps(record)
         if "\n" in line:
             raise ValueError("journal records must serialize to a single line")
+        tel = _obs.ACTIVE
+        start = time.perf_counter() if tel is not None else 0.0
         self._handle.write(line + "\n")
         self._handle.flush()
         if self._fsync:
             os.fsync(self._handle.fileno())
+        if tel is not None:
+            tel.registry.histogram(
+                "journal_append_seconds",
+                help="write+flush+fsync latency of one journal record",
+            ).observe(time.perf_counter() - start)
+            tel.registry.counter(
+                "journal_appends_total",
+                help="journal records durably appended",
+                record_type=str(record["type"]),
+            ).inc()
 
     def close(self) -> None:
         if not self._handle.closed:

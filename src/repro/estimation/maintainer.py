@@ -27,6 +27,7 @@ maintainer gives up on splicing and re-estimates everything.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -42,6 +43,8 @@ from repro.estimation.robust import (
     estimate_extended_lmo_robust,
 )
 from repro.models.lmo_extended import ExtendedLMOModel
+from repro.obs import runtime as _obs
+from repro.obs.events import EventLog
 
 __all__ = ["HealthRecord", "MaintainerPolicy", "ModelMaintainer"]
 
@@ -113,7 +116,9 @@ class ModelMaintainer:
         self.engine = engine
         self.policy = policy if policy is not None else MaintainerPolicy()
         self.model: Optional[ExtendedLMOModel] = None
-        self.health_log: list[HealthRecord] = []
+        #: Canonical history: every cycle is one structured event here,
+        #: regardless of whether process-wide telemetry is enabled.
+        self.health_events = EventLog(capacity=4096)
         self.last_result: Optional[RobustLMOResult] = None
         #: Optional durable log: every heal cycle is journaled through the
         #: same write-ahead layer the campaign runner uses, so a crashed
@@ -134,7 +139,8 @@ class ModelMaintainer:
 
     def bootstrap(self) -> ExtendedLMOModel:
         """Full robust estimation; the starting point of the loop."""
-        result = self._estimate()
+        with _obs.span("maintainer.bootstrap"):
+            result = self._estimate()
         self.model = result.model
         self.last_result = result
         self._record("bootstrap", worst_error=0.0, implicated=(),
@@ -187,7 +193,8 @@ class ModelMaintainer:
             return self.model
         n = self.engine.n
         if len(implicated) / n > self.policy.full_refresh_fraction:
-            result = self._estimate()
+            with _obs.span("maintainer.refresh", implicated=len(implicated)):
+                result = self._estimate()
             self.model = result.model
             self.last_result = result
             self._record("refresh", report.worst_error, tuple(implicated),
@@ -197,7 +204,9 @@ class ModelMaintainer:
         triplets = sorted({
             triple for node in implicated for triple in star_triplets(n, node)
         })
-        result = self._estimate(triplets=triplets)
+        with _obs.span("maintainer.heal", implicated=len(implicated),
+                       triplets=len(triplets)):
+            result = self._estimate(triplets=triplets)
         self.model = self._splice(self.model, result.model, implicated)
         self.last_result = result
         self._record(
@@ -233,17 +242,18 @@ class ModelMaintainer:
 
     def cycle(self) -> HealthRecord:
         """One monitor-and-repair pass: spot-check, heal if needed, log."""
-        if self.model is None:
-            self.bootstrap()
-        t_start = self.engine.estimation_time
-        report = self.spot_check()
-        check_cost = self.engine.estimation_time - t_start
-        if not report.drifted:
-            return self._record("ok", report.worst_error, (), check_cost)
-        self.heal(report)
-        # The heal() call appended its own record; fold the spot-check
-        # cost in and surface the post-heal state as the cycle's record.
-        return self.health_log[-1]
+        with _obs.span("maintainer.cycle", cycle=self._cycle):
+            if self.model is None:
+                self.bootstrap()
+            t_start = self.engine.estimation_time
+            report = self.spot_check()
+            check_cost = self.engine.estimation_time - t_start
+            if not report.drifted:
+                return self._record("ok", report.worst_error, (), check_cost)
+            self.heal(report)
+            # The heal() call appended its own record; fold the spot-check
+            # cost in and surface the post-heal state as the cycle's record.
+            return self.health_records()[-1]
 
     def _record(self, action, worst_error, implicated, cost, detail="") -> HealthRecord:
         record = HealthRecord(
@@ -255,7 +265,26 @@ class ModelMaintainer:
             detail=detail,
         )
         self._cycle += 1
-        self.health_log.append(record)
+        fields = {
+            "cycle": record.cycle,
+            "action": record.action,
+            "worst_error": float(record.worst_error),
+            "implicated": list(record.implicated),
+            "cost": float(record.cost),
+            "detail": record.detail,
+        }
+        self.health_events.info("heal_cycle", **fields)
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.events.info("heal_cycle", **fields)
+            tel.registry.counter(
+                "maintainer_cycles_total", help="maintenance cycles by action",
+                action=record.action,
+            ).inc()
+            tel.registry.gauge(
+                "maintainer_worst_drift",
+                help="worst relative drift seen by the latest cycle",
+            ).set(float(record.worst_error))
         if self.journal is not None:
             self.journal.append({
                 "type": "heal_cycle",
@@ -268,8 +297,41 @@ class ModelMaintainer:
             })
         return record
 
+    # -- history -------------------------------------------------------------
+
+    def health_records(self) -> list[HealthRecord]:
+        """Every recorded cycle, rebuilt from the structured event log."""
+        return [
+            HealthRecord(
+                cycle=evt["cycle"],
+                action=evt["action"],
+                worst_error=evt["worst_error"],
+                implicated=tuple(evt["implicated"]),
+                cost=evt["cost"],
+                detail=evt["detail"],
+            )
+            for evt in self.health_events.events("heal_cycle")
+        ]
+
+    @property
+    def health_log(self) -> list[HealthRecord]:
+        """Deprecated accessor kept for PR-1-era callers.
+
+        The canonical storage is now ``health_events`` (an
+        :class:`repro.obs.events.EventLog`); this shim rebuilds the old
+        list-of-records view from it.
+        """
+        warnings.warn(
+            "ModelMaintainer.health_log is deprecated; use health_records() "
+            "or the structured health_events log",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.health_records()
+
     def render_log(self) -> str:
         """The health log as a human-readable block."""
-        if not self.health_log:
+        records = self.health_records()
+        if not records:
             return "(no maintenance cycles recorded)"
-        return "\n".join(record.render() for record in self.health_log)
+        return "\n".join(record.render() for record in records)

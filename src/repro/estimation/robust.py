@@ -47,6 +47,7 @@ from repro.estimation.lmo_est import (
 )
 from repro.estimation.scheduling import _grouped_rounds
 from repro.mpi.runtime import DeadlockError
+from repro.obs import runtime as _obs
 from repro.stats.ci import mad_outlier_mask
 
 __all__ = [
@@ -211,6 +212,22 @@ def run_schedule_robust(
             inliers = arr[~mask]
             arr = inliers if inliers.size else arr
         results[exp] = float(arr.mean())
+    tel = _obs.ACTIVE
+    if tel is not None:
+        # One flush per schedule run — the hot measurement loop stays clean.
+        for reason, count in (
+            ("timeout", stats.timeouts),
+            ("retry", stats.retries),
+            ("deadlock", stats.deadlocks),
+            ("mad_rejection", stats.dropped_outliers),
+            ("degraded", len(stats.degraded)),
+        ):
+            if count:
+                tel.registry.counter(
+                    "robust_samples_total",
+                    help="robust-runner interventions by reason",
+                    reason=reason,
+                ).inc(count)
     return results, stats
 
 

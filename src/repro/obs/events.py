@@ -1,0 +1,138 @@
+"""Structured event log: leveled records, bounded ring, optional JSONL sink.
+
+The third leg of :mod:`repro.obs`: where metrics aggregate and spans
+time, events *narrate* — a breaker tripping open on node 5, an RTO
+escalation on link 2→0 at sim-time 0.41 s, a heal cycle splicing three
+triplets.  Each event is one flat dict:
+
+``{"seq": 12, "ts": <unix seconds>, "level": "warning",
+   "name": "rto_escalation", ...fields}``
+
+Events are kept in a bounded ring buffer (oldest dropped first, with a
+drop counter — telemetry must never grow without bound) and optionally
+streamed to a JSONL sink as they happen, so a crash loses nothing that
+was already emitted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Any, IO, Optional
+
+__all__ = ["EventLog", "LEVELS"]
+
+#: Severity order; query ``min_level`` filters against this.
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class EventLog:
+    """Bounded, leveled, structured event log."""
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        jsonl_path: Optional[str] = None,
+        clock=time.time,
+    ):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._ring: deque[dict[str, Any]] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped = 0
+        self._clock = clock
+        self._sink: Optional[IO[str]] = None
+        self._sink_path = jsonl_path
+        if jsonl_path is not None:
+            self._sink = open(jsonl_path, "a")
+
+    # -- emission ------------------------------------------------------------
+    def emit(self, name: str, level: str = "info", **fields: Any) -> dict[str, Any]:
+        """Record one event; returns the stored record."""
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; choose from {sorted(LEVELS)}")
+        record = {"seq": self._seq, "ts": self._clock(), "level": level,
+                  "name": name, **fields}
+        self._seq += 1
+        if len(self._ring) == self._ring.maxlen:
+            self.dropped += 1
+        self._ring.append(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record, default=str) + "\n")
+            self._sink.flush()
+        return record
+
+    def debug(self, name: str, **fields: Any) -> dict[str, Any]:
+        return self.emit(name, level="debug", **fields)
+
+    def info(self, name: str, **fields: Any) -> dict[str, Any]:
+        return self.emit(name, level="info", **fields)
+
+    def warning(self, name: str, **fields: Any) -> dict[str, Any]:
+        return self.emit(name, level="warning", **fields)
+
+    def error(self, name: str, **fields: Any) -> dict[str, Any]:
+        return self.emit(name, level="error", **fields)
+
+    # -- querying ------------------------------------------------------------
+    def events(
+        self,
+        name: Optional[str] = None,
+        min_level: str = "debug",
+        **field_filters: Any,
+    ) -> list[dict[str, Any]]:
+        """Events still in the ring, oldest first, filtered.
+
+        ``name`` matches the event name exactly; ``min_level`` drops
+        anything less severe; extra keyword filters must match the
+        event's fields exactly (missing field = no match).
+        """
+        floor = LEVELS[min_level]
+        out = []
+        for record in self._ring:
+            if name is not None and record["name"] != name:
+                continue
+            if LEVELS[record["level"]] < floor:
+                continue
+            if any(record.get(k, _MISSING) != v for k, v in field_filters.items()):
+                continue
+            out.append(record)
+        return out
+
+    def count(self, name: Optional[str] = None, **field_filters: Any) -> int:
+        return len(self.events(name=name, **field_filters))
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def clear(self) -> None:
+        self._ring.clear()
+        self.dropped = 0
+
+    # -- serialization -------------------------------------------------------
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [dict(record) for record in self._ring]
+
+    def to_jsonl(self) -> str:
+        """The ring's contents as JSON Lines (one event per line)."""
+        return "".join(json.dumps(rec, default=str) + "\n" for rec in self._ring)
+
+    def close(self) -> None:
+        if self._sink is not None and not self._sink.closed:
+            self._sink.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _Missing:
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<missing>"
+
+
+_MISSING = _Missing()

@@ -1,0 +1,155 @@
+"""Wall-clock span tracing with contextvars nesting.
+
+A *span* is a named wall-time interval with attributes and a parent —
+the observability twin of the simulated-time intervals
+:class:`repro.simlib.trace.Tracer` records.  Both export to the same
+Chrome trace-event JSON (``chrome://tracing`` / Perfetto), so one file
+can show "what the process did" (wall spans: campaign units, heal
+cycles, sweep evaluations) above "what the simulated hardware did"
+(sim-time lanes: CPU holds, wire occupancy, RTO gaps) — see
+:func:`repro.obs.export.chrome_trace`.
+
+Usage::
+
+    recorder = SpanRecorder()
+    with recorder.span("campaign.unit", index=17):
+        ...
+
+Nesting is tracked with a :mod:`contextvars` variable, so spans nest
+correctly across generators and threads without any explicit parent
+bookkeeping.  The recorder keeps a bounded ring of finished spans
+(oldest dropped first) — telemetry must never grow without bound.
+"""
+
+from __future__ import annotations
+
+import contextvars
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = ["Span", "SpanRecorder"]
+
+_CURRENT_SPAN: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) wall-clock interval."""
+
+    name: str
+    start: float
+    end: Optional[float] = None
+    span_id: int = 0
+    parent_id: Optional[int] = None
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return (self.end if self.end is not None else self.start) - self.start
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "Span":
+        return cls(
+            name=doc["name"],
+            start=float(doc["start"]),
+            end=None if doc.get("end") is None else float(doc["end"]),
+            span_id=int(doc.get("span_id", 0)),
+            parent_id=doc.get("parent_id"),
+            attrs=dict(doc.get("attrs", {})),
+        )
+
+
+class _SpanContext:
+    """Context manager driving one span's lifetime."""
+
+    __slots__ = ("_recorder", "_span", "_token")
+
+    def __init__(self, recorder: "SpanRecorder", span: Span):
+        self._recorder = recorder
+        self._span = span
+        self._token: Optional[contextvars.Token] = None
+
+    def __enter__(self) -> Span:
+        self._token = _CURRENT_SPAN.set(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._span.end = self._recorder.clock()
+        if exc_type is not None:
+            self._span.attrs.setdefault("error", exc_type.__name__)
+        if self._token is not None:
+            _CURRENT_SPAN.reset(self._token)
+        self._recorder._finish(self._span)
+
+
+class SpanRecorder:
+    """Collects finished spans into a bounded ring buffer.
+
+    The clock is :func:`time.perf_counter` rebased to zero at recorder
+    creation, so span timestamps are small, stable numbers independent
+    of process start time (and Chrome-trace friendly).
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._epoch = time.perf_counter()
+        self._finished: deque[Span] = deque(maxlen=capacity)
+        self._next_id = 1
+        self.dropped = 0
+
+    def clock(self) -> float:
+        """Seconds since this recorder was created."""
+        return time.perf_counter() - self._epoch
+
+    def span(self, name: str, **attrs: Any) -> _SpanContext:
+        """Open a span; use as ``with recorder.span("name", k=v):``."""
+        parent = _CURRENT_SPAN.get()
+        span = Span(
+            name=name,
+            start=self.clock(),
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            attrs=attrs,
+        )
+        self._next_id += 1
+        return _SpanContext(self, span)
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span in this context (None outside any)."""
+        return _CURRENT_SPAN.get()
+
+    def _finish(self, span: Span) -> None:
+        if len(self._finished) == self._finished.maxlen:
+            self.dropped += 1
+        self._finished.append(span)
+
+    # -- reading -------------------------------------------------------------
+    def finished(self, name: Optional[str] = None) -> list[Span]:
+        """Finished spans in completion order (optionally one name only)."""
+        spans = list(self._finished)
+        if name is not None:
+            spans = [s for s in spans if s.name == name]
+        return spans
+
+    def clear(self) -> None:
+        self._finished.clear()
+        self.dropped = 0
+
+    def to_dicts(self) -> list[dict[str, Any]]:
+        return [span.to_dict() for span in self._finished]

@@ -24,11 +24,14 @@ from __future__ import annotations
 
 import hashlib
 import json
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 import numpy as np
+
+from repro.obs import runtime as _obs
 
 from repro.models.base import ArrayLike, validate_nbytes_batch
 from repro.models.collectives.formulas import (
@@ -65,6 +68,7 @@ _CACHE_MAXSIZE = 256
 _cache: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
 _hits = 0
 _misses = 0
+_evictions = 0
 
 
 @dataclass(frozen=True)
@@ -112,15 +116,16 @@ def available_algorithms(model) -> list[tuple[str, str]]:
 
 def clear_cache() -> None:
     """Drop all memoized sweeps (e.g. after re-estimating models)."""
-    global _hits, _misses
+    global _hits, _misses, _evictions
     _cache.clear()
     _hits = 0
     _misses = 0
+    _evictions = 0
 
 
 def cache_info() -> dict:
-    """Hit/miss/size counters of the sweep cache."""
-    return {"hits": _hits, "misses": _misses,
+    """Hit/miss/eviction/size counters of the sweep cache."""
+    return {"hits": _hits, "misses": _misses, "evictions": _evictions,
             "size": len(_cache), "maxsize": _CACHE_MAXSIZE}
 
 
@@ -156,7 +161,9 @@ def predict_sweep(
     mutate.  Extra ``kwargs`` (e.g. ``segment_nbytes`` for pipelined
     bcast, ``dest`` for p2p) become part of the cache key.
     """
-    global _hits, _misses
+    global _hits, _misses, _evictions
+    tel = _obs.ACTIVE
+    start = time.perf_counter() if tel is not None else 0.0
     nb = validate_nbytes_batch(sizes)
     key = (
         model_fingerprint(model),
@@ -171,6 +178,10 @@ def predict_sweep(
     if hit is not None:
         _hits += 1
         _cache.move_to_end(key)
+        if tel is not None:
+            tel.registry.counter(
+                "predict_cache_total", help="sweep cache lookups", result="hit"
+            ).inc()
         return hit.copy()
     _misses += 1
     result = np.asarray(_compute_sweep(model, operation, algorithm, nb, root, kwargs),
@@ -178,6 +189,22 @@ def predict_sweep(
     _cache[key] = result
     if len(_cache) > _CACHE_MAXSIZE:
         _cache.popitem(last=False)
+        _evictions += 1
+        if tel is not None:
+            tel.registry.counter(
+                "predict_cache_evictions_total", help="sweep cache LRU evictions"
+            ).inc()
+    if tel is not None:
+        tel.registry.counter(
+            "predict_cache_total", help="sweep cache lookups", result="miss"
+        ).inc()
+        tel.registry.histogram(
+            "predict_sweep_batch_size", help="sizes per sweep evaluation",
+            lo=0, hi=20,
+        ).observe(float(nb.size))
+        tel.registry.histogram(
+            "predict_sweep_seconds", help="wall latency of one uncached sweep"
+        ).observe(time.perf_counter() - start)
     return result.copy()
 
 

@@ -311,6 +311,10 @@ class Simulator:
         self._seq = 0
         self._active_process: Optional[Process] = None
         self._crashed: Optional[BaseException] = None
+        #: Events popped and fired so far.  A plain int, always maintained:
+        #: the kernel is the hottest loop in the repo, so telemetry reads
+        #: this after the fact instead of hooking every step.
+        self.events_processed = 0
 
     # -- clock ----------------------------------------------------------
     @property
@@ -361,6 +365,7 @@ class Simulator:
             raise SimulationError("no events scheduled")
         time, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = time
+        self.events_processed += 1
         event._fire()
         if self._crashed is not None:
             exc, self._crashed = self._crashed, None

@@ -133,10 +133,32 @@ def test_health_log_renders_every_cycle():
     text = maintainer.render_log()
     assert "bootstrap" in text
     assert "heal" in text
-    assert text.count("\n") == len(maintainer.health_log) - 1
+    assert text.count("\n") == len(maintainer.health_records()) - 1
     assert ModelMaintainer(DESEngine(fresh_cluster())).render_log() == (
         "(no maintenance cycles recorded)"
     )
+
+
+def test_health_history_is_a_structured_event_log():
+    """The canonical history is an EventLog; records rebuild from it."""
+    maintainer, _records = run_scenario(with_faults=True)
+    events = maintainer.health_events.events("heal_cycle")
+    records = maintainer.health_records()
+    assert len(events) == len(records) == 1 + CYCLES  # bootstrap + cycles
+    assert events[0]["action"] == "bootstrap"
+    assert [e["cycle"] for e in events] == list(range(len(events)))
+    # Field-filtered queries work on the maintenance history.
+    heals = maintainer.health_events.events("heal_cycle", action="heal")
+    assert all(e["action"] == "heal" for e in heals)
+
+
+def test_health_log_accessor_is_deprecated_but_equivalent():
+    import pytest as _pytest
+
+    maintainer, _records = run_scenario(with_faults=False)
+    with _pytest.deprecated_call():
+        legacy = maintainer.health_log
+    assert legacy == maintainer.health_records()
 
 
 def test_maintainer_journals_heal_cycles(tmp_path):
@@ -155,9 +177,8 @@ def test_maintainer_journals_heal_cycles(tmp_path):
     journal.close()
 
     records = replay(path).of_type("heal_cycle")
-    assert len(records) == len(maintainer.health_log)
+    history = maintainer.health_records()
+    assert len(records) == len(history)
     assert records[0]["action"] == "bootstrap"
-    assert records[-1]["action"] == maintainer.health_log[-1].action
-    assert records[-1]["worst_error"] == _pytest.approx(
-        maintainer.health_log[-1].worst_error
-    )
+    assert records[-1]["action"] == history[-1].action
+    assert records[-1]["worst_error"] == _pytest.approx(history[-1].worst_error)

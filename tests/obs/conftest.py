@@ -1,0 +1,12 @@
+"""Telemetry is a process-global switch; never let it leak across tests."""
+
+import pytest
+
+from repro.obs import runtime as _obs
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    _obs.disable()
+    yield
+    _obs.disable()

@@ -1,0 +1,106 @@
+"""Unit tests for the structured event log and snapshot exposition."""
+
+import json
+
+import pytest
+
+from repro.obs.events import LEVELS, EventLog
+from repro.obs.export import (
+    render_report,
+    snapshot_prometheus,
+    validate_snapshot,
+)
+from repro.obs.runtime import Telemetry
+
+
+def test_emit_levels_and_sequencing():
+    log = EventLog()
+    log.debug("fine")
+    log.info("started", unit=1)
+    log.warning("breaker_transition", node=5, to="open")
+    log.error("gave_up")
+    assert [e["seq"] for e in log.events()] == [0, 1, 2, 3]
+    assert [e["level"] for e in log.events()] == [
+        "debug", "info", "warning", "error",
+    ]
+    with pytest.raises(ValueError, match="unknown level"):
+        log.emit("x", level="fatal")
+
+
+def test_query_by_name_level_and_fields():
+    log = EventLog()
+    log.info("unit_done", outcome="done")
+    log.info("unit_done", outcome="failed")
+    log.warning("rto_escalation", cause="loss")
+    assert log.count("unit_done") == 2
+    assert log.count("unit_done", outcome="failed") == 1
+    assert [e["name"] for e in log.events(min_level="warning")] == [
+        "rto_escalation",
+    ]
+    # A filter on a field the event lacks never matches.
+    assert log.count("rto_escalation", outcome="done") == 0
+    assert sorted(LEVELS) == ["debug", "error", "info", "warning"]
+
+
+def test_ring_bounds_and_drop_counter():
+    log = EventLog(capacity=3)
+    for i in range(5):
+        log.info("tick", i=i)
+    assert len(log) == 3
+    assert log.dropped == 2
+    assert [e["i"] for e in log.events("tick")] == [2, 3, 4]
+    log.clear()
+    assert len(log) == 0 and log.dropped == 0
+    with pytest.raises(ValueError):
+        EventLog(capacity=0)
+
+
+def test_jsonl_sink_streams_every_event(tmp_path):
+    path = str(tmp_path / "events.jsonl")
+    with EventLog(jsonl_path=path) as log:
+        log.info("a", x=1)
+        log.warning("b")
+    lines = [json.loads(line) for line in open(path)]
+    assert [rec["name"] for rec in lines] == ["a", "b"]
+    assert lines[0]["x"] == 1
+    # to_jsonl mirrors what was streamed.
+    assert log.to_jsonl().count("\n") == 2
+
+
+def test_snapshot_document_validates_and_renders():
+    tel = Telemetry()
+    tel.registry.counter("units_total", help="units", outcome="done").inc(2)
+    tel.registry.histogram("lat_seconds", lo=-4, hi=0).observe(0.05)
+    tel.events.warning("rto_escalation", cause="loss")
+    with tel.spans.span("campaign.run"):
+        pass
+    doc = json.loads(json.dumps(tel.to_dict()))
+    assert validate_snapshot(doc) is doc
+    assert doc["version"] == 1
+    assert doc["dropped"] == {"spans": 0, "events": 0}
+
+    prom = snapshot_prometheus(doc)
+    assert 'units_total{outcome="done"} 2' in prom
+
+    report = render_report(doc)
+    assert "units_total{outcome=done}: 2" in report
+    assert "rto_escalation: 1" in report
+    assert "campaign.run: 1 x" in report
+
+
+def test_validate_snapshot_rejects_foreign_documents():
+    with pytest.raises(ValueError, match="not a telemetry snapshot"):
+        validate_snapshot({"format": "something-else"})
+    with pytest.raises(ValueError, match="unsupported"):
+        validate_snapshot({"format": "repro-telemetry", "version": 99})
+
+
+def test_telemetry_reset_clears_all_three_legs():
+    tel = Telemetry()
+    tel.registry.counter("c_total").inc()
+    tel.events.info("e")
+    with tel.spans.span("s"):
+        pass
+    tel.reset()
+    doc = tel.to_dict()
+    assert doc["metrics"] == {} and doc["spans"] == [] and doc["events"] == []

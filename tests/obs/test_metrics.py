@@ -1,0 +1,150 @@
+"""Unit tests for the metrics registry and Prometheus exposition."""
+
+import json
+import math
+import re
+
+import pytest
+
+from repro.obs.metrics import (
+    Histogram,
+    MetricsRegistry,
+    prometheus_text,
+)
+
+# A strict line-level validator for the Prometheus text exposition format
+# (what promtool's parser accepts for names, labels and values).
+_PROM_HELP = re.compile(r"^# HELP [a-zA-Z_:][a-zA-Z0-9_:]* .*$")
+_PROM_TYPE = re.compile(r"^# TYPE [a-zA-Z_:][a-zA-Z0-9_:]* (counter|gauge|histogram)$")
+_PROM_SAMPLE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"  # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\""
+    r"(,[a-zA-Z_][a-zA-Z0-9_]*=\"(?:[^\"\\]|\\.)*\")*\})?"  # labels
+    r" (\+Inf|-Inf|NaN|[+-]?[0-9]*\.?[0-9]+([eE][+-]?[0-9]+)?)$"  # value
+)
+
+
+def assert_valid_prometheus(text):
+    """Every line must be a HELP/TYPE comment or a well-formed sample."""
+    assert text.endswith("\n")
+    for line in text.rstrip("\n").split("\n"):
+        ok = (
+            _PROM_HELP.match(line)
+            or _PROM_TYPE.match(line)
+            or _PROM_SAMPLE.match(line)
+        )
+        assert ok, f"invalid Prometheus exposition line: {line!r}"
+
+
+def test_counter_inc_and_total():
+    reg = MetricsRegistry()
+    reg.counter("units_total", help="units", outcome="done").inc()
+    reg.counter("units_total", outcome="done").inc(2)
+    reg.counter("units_total", outcome="failed").inc()
+    assert reg.value("units_total", outcome="done") == 3
+    assert reg.value("units_total", outcome="failed") == 1
+    assert reg.total("units_total") == 4
+    # Untouched children and unknown families read zero, not KeyError.
+    assert reg.value("units_total", outcome="skipped") == 0
+    assert reg.value("no_such_metric") == 0
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="only go up"):
+        reg.counter("c_total").inc(-1)
+
+
+def test_gauge_set_inc_dec():
+    g = MetricsRegistry().gauge("coverage")
+    g.set(0.5)
+    g.inc(0.25)
+    g.dec(0.5)
+    assert g.value == pytest.approx(0.25)
+
+
+def test_metric_kind_conflict_is_an_error():
+    reg = MetricsRegistry()
+    reg.counter("x_total")
+    with pytest.raises(ValueError, match="already registered"):
+        reg.gauge("x_total")
+
+
+def test_bad_metric_and_label_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError, match="bad metric name"):
+        reg.counter("2bad")
+    with pytest.raises(ValueError, match="bad label name"):
+        reg.counter("ok_total", **{"bad-label": 1})
+
+
+def test_histogram_log2_buckets_and_overflow():
+    h = Histogram(lo=-2, hi=2)  # bounds 0.25, 0.5, 1, 2, 4
+    assert h.bounds == [0.25, 0.5, 1.0, 2.0, 4.0]
+    h.observe(0.2)   # first bucket
+    h.observe(1.0)   # exact bound lands in that bucket
+    h.observe(3.0)
+    h.observe(100.0)  # +Inf overflow
+    assert h.count == 4
+    assert h.sum == pytest.approx(104.2)
+    assert h.bucket_counts[0] == 1
+    assert h.bucket_counts[2] == 1
+    assert h.bucket_counts[4] == 1
+    assert h.bucket_counts[5] == 1  # +Inf
+    with pytest.raises(ValueError):
+        h.observe(float("nan"))
+
+
+def test_histogram_quantile_is_bucket_resolution():
+    h = Histogram(lo=-2, hi=2)
+    for v in [0.2, 0.2, 0.2, 3.0]:
+        h.observe(v)
+    assert h.quantile(0.5) == 0.25   # upper bound of the holding bucket
+    assert h.quantile(1.0) == 4.0
+    assert math.isnan(Histogram().quantile(0.5))
+    with pytest.raises(ValueError):
+        h.quantile(1.5)
+
+
+def test_snapshot_roundtrips_through_json():
+    reg = MetricsRegistry()
+    reg.counter("units_total", help="units", outcome="done").inc(3)
+    reg.gauge("coverage").set(0.75)
+    reg.histogram("lat_seconds", lo=-4, hi=0).observe(0.1)
+    snap = json.loads(json.dumps(reg.snapshot()))
+    assert snap["units_total"]["type"] == "counter"
+    assert snap["units_total"]["samples"][0]["labels"] == {"outcome": "done"}
+    assert snap["units_total"]["samples"][0]["value"] == 3
+    hist = snap["lat_seconds"]["samples"][0]
+    assert hist["count"] == 1
+    assert hist["buckets"][-1][0] == "+Inf"
+    # And the rendered text from the JSON round-trip is identical.
+    assert prometheus_text(snap) == reg.to_prometheus()
+
+
+def test_prometheus_text_is_valid_exposition():
+    reg = MetricsRegistry()
+    reg.counter("units_total", help="finished units", outcome="done").inc(3)
+    reg.counter("units_total", outcome='we "quote"\nnewline\\slash').inc()
+    reg.gauge("coverage", help="fraction solved").set(0.75)
+    reg.histogram("lat_seconds", help="latencies", lo=-2, hi=2).observe(0.3)
+    text = reg.to_prometheus()
+    assert_valid_prometheus(text)
+    # Histogram convention: cumulative buckets ending at +Inf, sum, count.
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_sum 0.3" in text
+    assert "lat_seconds_count 1" in text
+    cumulative = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("lat_seconds_bucket")
+    ]
+    assert cumulative == sorted(cumulative)
+
+
+def test_reset_drops_all_families():
+    reg = MetricsRegistry()
+    reg.counter("a_total").inc()
+    reg.reset()
+    assert reg.families() == []
+    assert reg.total("a_total") == 0

@@ -204,3 +204,25 @@ def test_resume_campaign_wrong_cluster_is_actionable(tmp_path):
     api.run_campaign(api.load_cluster(nodes=4, seed=0), journal, config)
     with pytest.raises(FingerprintMismatch, match="same spec, ground truth"):
         api.resume_campaign(api.load_cluster(nodes=4, seed=1), journal)
+
+
+def test_telemetry_facade_controls_the_global_session(outcome):
+    from repro.obs import runtime as _obs
+    from repro.predict_service import clear_cache
+
+    _obs.disable()
+    try:
+        assert api.telemetry(enable=False) is None  # peek has no side effects
+        tel = api.telemetry()
+        assert api.telemetry() is tel  # idempotent
+        clear_cache()
+        api.predict(outcome.model, "scatter", "linear", 65536)
+        assert tel.registry.value("predict_cache_total", result="miss") == 1
+        fresh = api.telemetry(fresh=True)
+        assert fresh is not tel
+        assert fresh.registry.total("predict_cache_total") == 0
+        snapshot = fresh.to_dict()
+        assert snapshot["format"] == "repro-telemetry"
+    finally:
+        _obs.disable()
+        clear_cache()

@@ -1,0 +1,186 @@
+"""CLI surface of the telemetry layer: --metrics-out, obs, trace export.
+
+These are the acceptance paths from the observability issue: a campaign
+run must leave a queryable snapshot behind, ``repro obs`` must re-render
+it (including valid Prometheus text exposition), ``repro trace export``
+must round-trip through Chrome trace JSON, and a chaos run over a flaky
+link must narrate exactly the RTO escalations the injector reports.
+"""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.obs import runtime as _obs
+from tests.obs.test_metrics import assert_valid_prometheus
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    _obs.disable()
+    yield
+    _obs.disable()
+
+
+@pytest.fixture()
+def snapshot(tmp_path, capsys):
+    """One finished 4-node campaign and its telemetry snapshot."""
+    journal = str(tmp_path / "camp.jsonl")
+    metrics = str(tmp_path / "metrics.json")
+    assert main(["campaign", "run", "--journal", journal, "--nodes", "4",
+                 "--metrics-out", metrics]) == 0
+    capsys.readouterr()
+    return journal, metrics
+
+
+def _value(doc, name, **labels):
+    total = 0.0
+    for sample in doc["metrics"].get(name, {}).get("samples", []):
+        if all(sample["labels"].get(k) == v for k, v in labels.items()):
+            total += sample["value"]
+    return total
+
+
+def test_campaign_metrics_out_writes_live_snapshot(snapshot):
+    _journal, metrics = snapshot
+    doc = json.load(open(metrics))
+    assert doc["format"] == "repro-telemetry" and doc["version"] == 1
+    # Non-zero unit, journal and breaker metrics — the acceptance bar.
+    assert _value(doc, "campaign_units_total", outcome="done") == 36
+    assert _value(doc, "journal_appends_total") >= 72
+    assert _value(doc, "breaker_nodes", state="closed") == 4
+    assert _value(doc, "sim_events_total") > 0
+    assert doc["metrics"]["journal_append_seconds"]["samples"][0]["count"] >= 72
+    assert any(s["name"] == "campaign.run" for s in doc["spans"])
+    # The CLI turned telemetry off again on the way out.
+    assert _obs.ACTIVE is None
+
+
+def test_obs_report_summarizes_snapshot(snapshot, capsys):
+    _journal, metrics = snapshot
+    assert main(["obs", "report", "--metrics", metrics]) == 0
+    out = capsys.readouterr().out
+    assert "campaign_units_total{outcome=done}: 36" in out
+    assert "journal_append_seconds" in out
+    assert "campaign.run: 1 x" in out
+
+    assert main(["obs", "report", "--metrics", metrics,
+                 "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["format"] == "repro-telemetry"
+
+
+def test_obs_export_prom_is_valid_exposition(snapshot, capsys):
+    _journal, metrics = snapshot
+    assert main(["obs", "export", "--metrics", metrics]) == 0
+    text = capsys.readouterr().out
+    assert_valid_prometheus(text)
+    assert re.search(r'campaign_units_total\{outcome="done"\} 36', text)
+    assert 'journal_append_seconds_bucket{le="+Inf"}' in text
+
+
+def test_obs_export_chrome_and_json(snapshot, tmp_path, capsys):
+    _journal, metrics = snapshot
+    out = str(tmp_path / "trace.json")
+    assert main(["obs", "export", "--metrics", metrics,
+                 "--format", "chrome", "--out", out]) == 0
+    capsys.readouterr()
+    doc = json.load(open(out))
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "campaign.run" in names and "campaign.unit" in names
+
+    assert main(["obs", "export", "--metrics", metrics,
+                 "--format", "json"]) == 0
+    assert json.loads(capsys.readouterr().out)["version"] == 1
+
+
+def test_obs_rejects_non_snapshot_files(tmp_path, capsys):
+    bogus = tmp_path / "model.json"
+    bogus.write_text(json.dumps({"format": "lmo-model"}))
+    assert main(["obs", "report", "--metrics", str(bogus)]) == 2
+    assert "not a telemetry snapshot" in capsys.readouterr().err
+    assert main(["obs", "report", "--metrics", str(tmp_path / "absent.json")]) == 2
+
+
+def test_campaign_status_json_schema(snapshot, capsys):
+    journal, _metrics = snapshot
+    assert main(["campaign", "status", "--journal", journal,
+                 "--format", "json"]) == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["coverage"] == 1.0
+    assert status["quarantined"] == []
+    assert status["solved_triplets"] == status["total_triplets"] == 4
+    assert status["completed"] == status["total_experiments"] == 36
+    assert status["complete"] is True
+
+
+def test_predict_json_reports_cache_stats(tmp_path, capsys):
+    model_file = str(tmp_path / "lmo.json")
+    main(["estimate", "--model", "lmo", "--quick", "--reps", "1",
+          "--out", model_file])
+    capsys.readouterr()
+    for expected_hits in (0, 1):
+        assert main(["predict", "--model-file", model_file,
+                     "--nbytes", "65536", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        cache = payload["cache"]
+        assert cache["hits"] >= expected_hits
+        assert cache["misses"] >= 1
+        assert set(cache) == {"hits", "misses", "evictions", "size", "maxsize"}
+
+
+def test_trace_export_chrome_roundtrip(tmp_path, capsys):
+    out = str(tmp_path / "trace.json")
+    assert main(["trace", "export", "--chrome", out, "--nbytes", "4096",
+                 "--format", "json"]) == 0
+    meta = json.loads(capsys.readouterr().out)
+    assert meta["out"] == out
+    doc = json.load(open(out))
+    sim_lanes = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert any(name.startswith("sim:cpu") for name in sim_lanes)
+    slices = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert len(slices) == meta["intervals"]
+    assert len(sim_lanes) == len(meta["lanes"])
+    assert all(e["dur"] >= 0 for e in slices)
+
+
+def test_trace_export_requires_chrome_path(capsys):
+    assert main(["trace", "export", "--nbytes", "4096"]) == 2
+    assert "--chrome" in capsys.readouterr().err
+
+
+def test_trace_show_still_default(capsys):
+    assert main(["trace", "--nbytes", "4096"]) == 0
+    assert "root CPU utilization" in capsys.readouterr().out
+
+
+def test_chaos_narrates_every_injected_escalation(tmp_path, capsys):
+    metrics = str(tmp_path / "chaos.json")
+    assert main(["chaos", "--nodes", "4", "--cycles", "1", "--reps", "2",
+                 "--flaky-link", "0:3:0.3", "--metrics-out", metrics]) == 0
+    out = capsys.readouterr().out
+    match = re.search(r"loss escalations: (\d+)", out)
+    assert match, out
+    injected = int(match.group(1))
+    assert injected > 0
+
+    doc = json.load(open(metrics))
+    assert _value(doc, "rto_escalations_total", cause="loss") == injected
+    events = [e for e in doc["events"]
+              if e["name"] == "rto_escalation" and e["cause"] == "loss"]
+    assert len(events) == injected
+    assert all(e["level"] == "warning" and e["delay"] > 0 for e in events)
+    # Heal-cycle narration rides in the same snapshot.
+    assert any(e["name"] == "heal_cycle" for e in doc["events"])
+
+
+def test_suite_metrics_out(tmp_path, capsys):
+    metrics = str(tmp_path / "suite.json")
+    assert main(["suite", "--sizes", "1024", "--max-reps", "2",
+                 "--metrics-out", metrics]) == 0
+    capsys.readouterr()
+    doc = json.load(open(metrics))
+    assert doc["format"] == "repro-telemetry"
+    assert _value(doc, "sim_events_total") > 0
