@@ -51,6 +51,29 @@ class SuiteResult:
             if self.points[key].mean > 0
         }
 
+    def record_residuals(self, models: dict[str, object]) -> int:
+        """Feed every (prediction, measurement) pair to the residual monitor.
+
+        One batched prediction pass per model; pairs land in the active
+        telemetry session's ``residual_*`` metrics
+        (:mod:`repro.obs.insight.residuals`) keyed by model name and
+        ``operation/algorithm``.  A no-op returning 0 when telemetry is
+        off.  Returns the number of pairs ingested.
+        """
+        from repro.obs.insight.residuals import ResidualMonitor
+
+        monitor = ResidualMonitor()
+        ingested = 0
+        for name, model in models.items():
+            for (op, algo, nbytes), predicted in self.predictions(model).items():
+                record = monitor.record(
+                    name, f"{op}/{algo}", nbytes, predicted,
+                    self.points[(op, algo, nbytes)].mean,
+                )
+                if record is not None:
+                    ingested += 1
+        return ingested
+
     def best_algorithm(self, operation: str, nbytes: int) -> str:
         """The measured winner for one (operation, size)."""
         candidates = {

@@ -24,6 +24,8 @@ drift       spot-check a saved model against the (possibly degraded) cluster
 chaos       fault-injection demo: estimate, inject, self-heal, report
 campaign    durable estimation sweep: run / resume / status on a journal
 obs         inspect/export a telemetry snapshot written by --metrics-out
+            (report / export / dashboard / watch — the dashboard is one
+            self-contained HTML file, the model-fidelity observatory)
 experiment  regenerate one of the paper's tables/figures (optional CSV)
 report      regenerate all of them (markdown)
 
@@ -73,6 +75,7 @@ from repro.obs import (
     snapshot_prometheus,
     validate_snapshot,
 )
+from repro.obs import insight as _insight
 from repro.obs import runtime as _obs
 from repro.simlib import Tracer
 
@@ -575,13 +578,50 @@ def cmd_campaign(args) -> int:
     return 0
 
 
+def _load_bench_files(paths) -> list:
+    """(name, parsed) pairs for the dashboard's bench-trajectory section."""
+    import glob as _glob
+    import os
+
+    chosen = list(paths) if paths else sorted(_glob.glob("BENCH_*.json"))
+    bench = []
+    for path in chosen:
+        try:
+            with open(path) as handle:
+                data = json.load(handle)
+        except (OSError, ValueError) as exc:
+            print(f"skipping bench file {path}: {exc}", file=sys.stderr)
+            continue
+        if isinstance(data, dict):
+            bench.append((os.path.basename(path), data))
+    return bench
+
+
 def cmd_obs(args) -> int:
-    """``repro obs report|export`` — render a snapshot from --metrics-out.
+    """``repro obs report|export|dashboard|watch`` — snapshot inspection.
 
     ``report`` prints a one-screen summary (or the raw document with
     ``--format json``); ``export`` re-renders it as Prometheus text
-    (``--format prom``), pretty JSON, or Chrome trace JSON of its spans.
+    (``--format prom``), pretty JSON, or Chrome trace JSON of its spans;
+    ``dashboard`` writes the self-contained HTML observatory and prints
+    the terminal view; ``watch`` re-renders the terminal view
+    periodically.
     """
+    if args.action == "watch":
+        as_json = getattr(args, "format", "text") == "json"
+        try:
+            _insight.watch(
+                args.metrics, interval=args.interval, count=args.count,
+                formatter=(
+                    (lambda data: json.dumps(data, indent=2)) if as_json else None
+                ),
+            )
+        except (OSError, ValueError) as exc:
+            print(f"cannot read telemetry snapshot: {exc}", file=sys.stderr)
+            return 2
+        except KeyboardInterrupt:
+            pass
+        return 0
     try:
         with open(args.metrics) as handle:
             doc = json.load(handle)
@@ -591,6 +631,14 @@ def cmd_obs(args) -> int:
         return 2
     if args.action == "report":
         _emit(args, render_report(doc), doc)
+        return 0
+    if args.action == "dashboard":
+        data = _insight.build_dashboard(doc, bench=_load_bench_files(args.bench))
+        with open(args.out, "w") as handle:
+            handle.write(_insight.render_html(data))
+        text = _insight.render_terminal(data)
+        text += f"\n\ndashboard written to {args.out}"
+        _emit(args, text, data)
         return 0
     if args.format == "prom":
         rendered = snapshot_prometheus(doc)
@@ -828,6 +876,27 @@ def build_parser() -> argparse.ArgumentParser:
                                    "trace JSON of the recorded spans")
     p_obs_export.add_argument("--out", default=None,
                               help="write here instead of stdout")
+    p_obs_dash = obs_sub.add_parser(
+        "dashboard",
+        help="self-contained HTML observatory + terminal summary",
+        parents=[common])
+    p_obs_dash.add_argument("--metrics", required=True,
+                            help="snapshot JSON written by --metrics-out")
+    p_obs_dash.add_argument("--out", default="dash.html",
+                            help="HTML output path (default dash.html)")
+    p_obs_dash.add_argument("--bench", action="append", default=None,
+                            help="BENCH_*.json file to include in the "
+                                 "trajectory section (repeatable; default: "
+                                 "every BENCH_*.json in the cwd)")
+    p_obs_watch = obs_sub.add_parser(
+        "watch", help="periodic terminal re-render of a snapshot file",
+        parents=[common])
+    p_obs_watch.add_argument("--metrics", required=True,
+                             help="snapshot JSON written by --metrics-out")
+    p_obs_watch.add_argument("--interval", type=float, default=2.0,
+                             help="seconds between refreshes")
+    p_obs_watch.add_argument("--count", type=int, default=None,
+                             help="stop after N refreshes (default: forever)")
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure",
                            parents=[common])

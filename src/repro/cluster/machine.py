@@ -344,12 +344,26 @@ class SimulatedCluster:
             if stall > 0:
                 yield sim.timeout(stall)
         escalation = incast_delay + loss_delay
+        tel = _obs.ACTIVE
+        if tel is not None:
+            # Size telemetry feeds the online M1/M2 detector
+            # (repro.obs.insight.detectors): every transfer's size, plus
+            # the sizes of those that ate a *natural* incast escalation.
+            tel.registry.histogram(
+                "sim_transfer_bytes", help="transfer sizes through the switch",
+                lo=0, hi=28,
+            ).observe(max(float(nbytes), 1.0))
+            if incast_delay > 0.0:
+                tel.registry.histogram(
+                    "sim_escalated_transfer_bytes",
+                    help="sizes of transfers that ate a natural incast RTO",
+                    lo=0, hi=28,
+                ).observe(max(float(nbytes), 1.0))
         port_state.enqueue(src, float(nbytes))
         try:
             if escalation > 0.0:
                 self.stats.escalations += 1
                 self.stats.escalation_time += escalation
-                tel = _obs.ACTIVE
                 if tel is not None:
                     for cause, delay in (("incast", incast_delay), ("loss", loss_delay)):
                         if delay > 0.0:
@@ -358,9 +372,14 @@ class SimulatedCluster:
                                 help="TCP RTO escalations by cause",
                                 cause=cause,
                             ).inc()
+                            tel.registry.histogram(
+                                "rto_escalation_seconds",
+                                help="RTO escalation delay by cause",
+                                cause=cause,
+                            ).observe(delay)
                             tel.events.warning(
                                 "rto_escalation", cause=cause, src=src, dst=dst,
-                                delay=delay, sim_time=sim.now,
+                                nbytes=nbytes, delay=delay, sim_time=sim.now,
                             )
                 rto_start = sim.now
                 yield sim.timeout(escalation)

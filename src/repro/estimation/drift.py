@@ -11,7 +11,7 @@ imply: estimate, monitor, re-estimate when drift crosses a threshold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 import numpy as np
@@ -33,6 +33,10 @@ class DriftReport:
     errors: dict[tuple[int, int], float]
     threshold: float
     probe_nbytes: int
+    #: Raw per-pair roundtrip values behind ``errors`` — what residual
+    #: monitors ingest (signed errors need both sides, not just |err|).
+    measured: dict[tuple[int, int], float] = field(default_factory=dict)
+    predicted: dict[tuple[int, int], float] = field(default_factory=dict)
 
     @property
     def worst_pair(self) -> tuple[int, int]:
@@ -111,7 +115,12 @@ def detect_model_drift(
     measured = run_schedule(engine, experiments, parallel=True, reps=reps,
                             aggregate=aggregate)
     errors: dict[tuple[int, int], float] = {}
+    raw_measured: dict[tuple[int, int], float] = {}
+    raw_predicted: dict[tuple[int, int], float] = {}
     for (i, j), exp in zip(chosen, experiments):
         predicted = 2.0 * model.p2p_time(i, j, probe_nbytes)
         errors[(i, j)] = abs(measured[exp] - predicted) / predicted
-    return DriftReport(errors=errors, threshold=threshold, probe_nbytes=probe_nbytes)
+        raw_measured[(i, j)] = float(measured[exp])
+        raw_predicted[(i, j)] = float(predicted)
+    return DriftReport(errors=errors, threshold=threshold, probe_nbytes=probe_nbytes,
+                       measured=raw_measured, predicted=raw_predicted)

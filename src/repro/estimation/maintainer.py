@@ -45,6 +45,7 @@ from repro.estimation.robust import (
 from repro.models.lmo_extended import ExtendedLMOModel
 from repro.obs import runtime as _obs
 from repro.obs.events import EventLog
+from repro.obs.insight.residuals import ResidualMonitor
 
 __all__ = ["HealthRecord", "MaintainerPolicy", "ModelMaintainer"]
 
@@ -154,7 +155,7 @@ class ModelMaintainer:
         """Cheap roundtrip sweep of the standing model's predictions."""
         if self.model is None:
             raise RuntimeError("no model yet — call bootstrap() first")
-        return detect_model_drift(
+        report = detect_model_drift(
             self.model,
             self.engine,
             probe_nbytes=self.policy.probe_nbytes,
@@ -162,6 +163,17 @@ class ModelMaintainer:
             reps=self.policy.spot_reps,
             aggregate=np.min,
         )
+        if _obs.ACTIVE is not None:
+            # Spot-checks double as (prediction, measurement) pairs for
+            # the residual monitor: every cycle refreshes the lmo/roundtrip
+            # scorecard for free.
+            monitor = ResidualMonitor()
+            for pair, predicted in report.predicted.items():
+                monitor.record(
+                    "lmo", "roundtrip", report.probe_nbytes,
+                    predicted, report.measured[pair],
+                )
+        return report
 
     @staticmethod
     def implicated_nodes(report: DriftReport) -> list[int]:

@@ -42,6 +42,7 @@ from repro.obs.metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     prometheus_text,
 )
 from repro.obs.runtime import Telemetry, active, disable, enable, span, suppressed
@@ -59,9 +60,11 @@ __all__ = [
     "SpanRecorder",
     "Telemetry",
     "active",
+    "bucket_quantile",
     "chrome_trace",
     "disable",
     "enable",
+    "insight",
     "prometheus_text",
     "render_report",
     "snapshot_prometheus",
@@ -69,3 +72,5 @@ __all__ = [
     "suppressed",
     "validate_snapshot",
 ]
+
+from repro.obs import insight  # noqa: E402  (subpackage re-export)

@@ -22,7 +22,7 @@ from __future__ import annotations
 import json
 from typing import Any, Mapping, Optional, Sequence
 
-from repro.obs.metrics import prometheus_text
+from repro.obs.metrics import bucket_quantile, prometheus_text
 
 __all__ = [
     "SNAPSHOT_FORMAT",
@@ -38,8 +38,9 @@ SNAPSHOT_FORMAT = "repro-telemetry"
 def validate_snapshot(doc: Mapping[str, Any]) -> Mapping[str, Any]:
     """Check a loaded snapshot document's frame; returns it unchanged."""
     if not isinstance(doc, Mapping) or doc.get("format") != SNAPSHOT_FORMAT:
+        found = doc.get("format") if isinstance(doc, Mapping) else doc
         raise ValueError(
-            f"not a telemetry snapshot (format={doc.get('format') if isinstance(doc, Mapping) else doc!r}); "
+            f"not a telemetry snapshot (format={found!r}); "
             "expected a file written by --metrics-out"
         )
     version = doc.get("version")
@@ -112,7 +113,12 @@ def _histogram_line(name: str, labels: Mapping[str, str], sample: Mapping[str, A
     count = sample["count"]
     mean = sample["sum"] / count if count else 0.0
     tag = _label_tag(labels)
-    return f"  {name}{tag}: count {count}, mean {mean:.3g}, sum {sample['sum']:.3g}"
+    line = f"  {name}{tag}: count {count}, mean {mean:.3g}, sum {sample['sum']:.3g}"
+    if count:
+        p50 = bucket_quantile(sample["buckets"], count, 0.50)
+        p95 = bucket_quantile(sample["buckets"], count, 0.95)
+        line += f", p50 {p50:.3g}, p95 {p95:.3g}"
+    return line
 
 
 def _label_tag(labels: Mapping[str, str]) -> str:

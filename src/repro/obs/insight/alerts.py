@@ -1,0 +1,249 @@
+"""Declarative alert rules over metric snapshots.
+
+An :class:`AlertRule` names a scalar derived from the metrics section of
+a snapshot document and a threshold for it; an :class:`AlertEngine`
+evaluates a rule set against successive snapshots, tracks the
+firing/resolved lifecycle, narrates transitions into the event log, and
+can invoke a hook — e.g. :func:`heal_hook` wrapping a
+:class:`repro.estimation.maintainer.ModelMaintainer` — when a rule with
+``trigger_heal`` starts firing.
+
+Four rule kinds cover the observatory's needs without a query language:
+
+* ``metric_value`` — sum of one family's samples whose labels include
+  ``rule.labels`` (e.g. ``breaker_nodes{state=open}``);
+* ``metric_total`` — sum across the whole family (histograms count
+  observations);
+* ``escalation_rate`` — escalated / total transfers from the
+  :mod:`detector <repro.obs.insight.detectors>` histograms;
+* ``residual`` — a scorecard statistic (``p95``/``mean``/``max``/``bias``)
+  for a model/operation selection, worst-case across matching cards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Mapping, Optional
+
+from repro.obs import runtime as _runtime
+from repro.obs.events import LEVELS as _LEVELS
+from repro.obs.insight.detectors import ESCALATED_METRIC, TRANSFER_METRIC
+from repro.obs.insight.residuals import Scorecard, scorecards
+
+__all__ = [
+    "AlertEngine",
+    "AlertRule",
+    "AlertState",
+    "default_rules",
+    "heal_hook",
+]
+
+_OPS: dict[str, Callable[[float, float], bool]] = {
+    ">": lambda v, t: v > t,
+    ">=": lambda v, t: v >= t,
+    "<": lambda v, t: v < t,
+    "<=": lambda v, t: v <= t,
+}
+
+_RESIDUAL_STATS = {
+    "p50": lambda c: c.p50,
+    "p95": lambda c: c.p95,
+    "mean": lambda c: c.mean_abs_error,
+    "max": lambda c: c.max_abs_error,
+    "bias": lambda c: abs(c.bias),
+}
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative threshold over a metrics snapshot."""
+
+    name: str
+    kind: str  # metric_value | metric_total | escalation_rate | residual
+    threshold: float
+    op: str = ">"
+    level: str = "warning"
+    metric: str = ""
+    labels: tuple[tuple[str, str], ...] = ()
+    stat: str = "p95"  # residual rules: p50|p95|mean|max|bias
+    model: str = ""  # residual rules: "" = any model
+    operation: str = ""  # residual rules: "" = any operation
+    description: str = ""
+    trigger_heal: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("metric_value", "metric_total", "escalation_rate",
+                             "residual"):
+            raise ValueError(f"unknown rule kind {self.kind!r}")
+        if self.op not in _OPS:
+            raise ValueError(f"unknown comparison {self.op!r}")
+        if self.kind == "residual" and self.stat not in _RESIDUAL_STATS:
+            raise ValueError(f"unknown residual stat {self.stat!r}")
+        if self.kind in ("metric_value", "metric_total") and not self.metric:
+            raise ValueError(f"rule {self.name!r} needs a metric name")
+        if self.level not in _LEVELS:
+            raise ValueError(f"unknown level {self.level!r}")
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "kind": self.kind, "threshold": self.threshold,
+            "op": self.op, "level": self.level, "metric": self.metric,
+            "labels": dict(self.labels), "stat": self.stat, "model": self.model,
+            "operation": self.operation, "description": self.description,
+            "trigger_heal": self.trigger_heal,
+        }
+
+
+@dataclass(frozen=True)
+class AlertState:
+    """One rule's verdict against one snapshot."""
+
+    rule: AlertRule
+    value: float
+    firing: bool
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule.to_dict(), "value": self.value,
+            "firing": self.firing,
+        }
+
+
+def _sample_value(family_type: str, sample: Mapping[str, Any]) -> float:
+    if family_type == "histogram":
+        return float(sample["count"])
+    return float(sample["value"])
+
+
+def _labels_match(sample: Mapping[str, Any], wanted: tuple[tuple[str, str], ...]) -> bool:
+    labels = sample.get("labels", {})
+    return all(str(labels.get(k)) == v for k, v in wanted)
+
+
+def _evaluate(rule: AlertRule, metrics: Mapping[str, Any],
+              cards: list[Scorecard]) -> float:
+    if rule.kind in ("metric_value", "metric_total"):
+        family = metrics.get(rule.metric)
+        if not family:
+            return 0.0
+        total = 0.0
+        for sample in family.get("samples", ()):
+            if rule.kind == "metric_total" or _labels_match(sample, rule.labels):
+                total += _sample_value(family["type"], sample)
+        return total
+    if rule.kind == "escalation_rate":
+        transfers = sum(
+            float(s["count"])
+            for s in metrics.get(TRANSFER_METRIC, {}).get("samples", ())
+        )
+        escalated = sum(
+            float(s["count"])
+            for s in metrics.get(ESCALATED_METRIC, {}).get("samples", ())
+        )
+        return escalated / transfers if transfers else 0.0
+    # residual
+    stat = _RESIDUAL_STATS[rule.stat]
+    selected = [
+        stat(card) for card in cards
+        if (not rule.model or card.model == rule.model)
+        and (not rule.operation or card.operation == rule.operation)
+    ]
+    return max(selected) if selected else 0.0
+
+
+class AlertEngine:
+    """Evaluates a rule set against snapshots, with lifecycle tracking.
+
+    ``on_fire(rule, value)`` is called once per rule on the transition
+    into *firing* (never on re-evaluation while still firing).
+    """
+
+    def __init__(
+        self,
+        rules: Optional[list[AlertRule]] = None,
+        on_fire: Optional[Callable[[AlertRule, float], None]] = None,
+    ) -> None:
+        self.rules = list(rules) if rules is not None else default_rules()
+        names = [r.name for r in self.rules]
+        if len(names) != len(set(names)):
+            raise ValueError(f"duplicate rule names in {names}")
+        self.on_fire = on_fire
+        self._firing: dict[str, bool] = {}
+
+    def evaluate(self, metrics: Mapping[str, Any]) -> list[AlertState]:
+        """One pass over the rule set; narrates transitions, runs hooks."""
+        cards = scorecards(metrics)
+        tel = _runtime.ACTIVE
+        states: list[AlertState] = []
+        for rule in self.rules:
+            value = _evaluate(rule, metrics, cards)
+            firing = _OPS[rule.op](value, rule.threshold)
+            was = self._firing.get(rule.name, False)
+            self._firing[rule.name] = firing
+            states.append(AlertState(rule=rule, value=value, firing=firing))
+            if firing and not was:
+                if tel is not None:
+                    tel.registry.counter(
+                        "alerts_fired_total", "alert rule firing transitions",
+                        rule=rule.name,
+                    ).inc()
+                    tel.events.emit(
+                        "alert_firing", level=rule.level, rule=rule.name,
+                        value=value, threshold=rule.threshold,
+                    )
+                if self.on_fire is not None:
+                    self.on_fire(rule, value)
+            elif was and not firing and tel is not None:
+                tel.events.info(
+                    "alert_resolved", rule=rule.name,
+                    value=value, threshold=rule.threshold,
+                )
+        return states
+
+    def firing(self) -> list[str]:
+        """Names of currently-firing rules (after the last evaluate)."""
+        return [name for name, on in sorted(self._firing.items()) if on]
+
+
+def default_rules() -> list[AlertRule]:
+    """The stock observatory rule set (docs/observability.md catalog)."""
+    return [
+        AlertRule(
+            name="escalation_rate_high", kind="escalation_rate",
+            threshold=0.02, op=">", level="warning",
+            description="natural RTO escalations exceed 2% of transfers "
+                        "(traffic is living inside the M1..M2 region)",
+        ),
+        AlertRule(
+            name="breaker_open", kind="metric_value",
+            metric="breaker_nodes", labels=(("state", "open"),),
+            threshold=0.0, op=">", level="error",
+            description="at least one node's circuit breaker is OPEN",
+        ),
+        AlertRule(
+            name="model_drift_high", kind="metric_value",
+            metric="maintainer_worst_drift", threshold=0.15, op=">",
+            level="warning", trigger_heal=True,
+            description="maintainer spot-check drift above 15% — "
+                        "re-estimation warranted",
+        ),
+        AlertRule(
+            name="residual_p95_high", kind="residual", stat="p95",
+            threshold=0.25, op=">", level="warning",
+            description="95th-percentile |relative prediction error| "
+                        "above 25% for some model/operation",
+        ),
+    ]
+
+
+def heal_hook(maintainer: Any) -> Callable[[AlertRule, float], None]:
+    """An ``on_fire`` hook that runs a maintainer cycle on heal-rules.
+
+    Wire it as ``AlertEngine(rules, on_fire=heal_hook(maintainer))`` —
+    any rule with ``trigger_heal=True`` entering the firing state runs
+    one monitor-and-repair cycle.
+    """
+    def _hook(rule: AlertRule, value: float) -> None:
+        if rule.trigger_heal:
+            maintainer.cycle()
+    return _hook

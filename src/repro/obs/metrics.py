@@ -28,13 +28,14 @@ import math
 import re
 import threading
 from bisect import bisect_left
-from typing import Any, Iterable, Mapping, Optional
+from typing import Any, Iterable, Mapping, Optional, Sequence
 
 __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "bucket_quantile",
     "prometheus_text",
 ]
 
@@ -130,6 +131,47 @@ class Histogram:
             if seen >= rank and n:
                 return self.bounds[idx] if idx < len(self.bounds) else float("inf")
         return float("inf")
+
+    def quantile_interpolated(self, q: float) -> float:
+        """Linearly interpolated quantile (Prometheus ``histogram_quantile``
+        semantics) — see :func:`bucket_quantile`."""
+        buckets = [
+            [bound, count] for bound, count in zip(self.bounds, self.bucket_counts)
+        ] + [["+Inf", self.bucket_counts[-1]]]
+        return bucket_quantile(buckets, self.count, q)
+
+
+def bucket_quantile(buckets: Sequence[Sequence[Any]], count: int, q: float) -> float:
+    """Interpolated quantile from snapshot-form buckets.
+
+    ``buckets`` is the snapshot encoding: ``[[bound, n], ..., ["+Inf", n]]``
+    with *per-bucket* (non-cumulative) counts.  The estimate assumes
+    observations are uniformly spread within their bucket (the
+    ``histogram_quantile`` convention): the q-th observation is placed by
+    linear interpolation between the bucket's lower and upper bound.  The
+    first bucket's lower edge is 0; a quantile landing in the ``+Inf``
+    bucket clamps to the highest finite bound.  Returns NaN for an empty
+    histogram.
+    """
+    if not (0.0 <= q <= 1.0):
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    if count <= 0:
+        return float("nan")
+    rank = q * count
+    seen = 0.0
+    lower = 0.0
+    for bound, n in buckets:
+        if bound == "+Inf":
+            # Everything left is above the last finite edge: clamp.
+            return lower
+        upper = float(bound)
+        n = float(n)
+        if n and seen + n >= rank:
+            frac = (rank - seen) / n
+            return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+        seen += n
+        lower = upper
+    return lower
 
 
 class _Family:
@@ -252,20 +294,25 @@ class MetricsRegistry:
         return prometheus_text(self.snapshot())
 
 
-def _fmt_labels(labels: Mapping[str, str], extra: Optional[tuple[str, str]] = None) -> str:
-    items: Iterable[tuple[str, str]] = list(labels.items())
+def _fmt_labels(labels: Mapping[str, Any], extra: Optional[tuple[str, str]] = None) -> str:
+    items: Iterable[tuple[str, Any]] = list(labels.items())
     if extra is not None:
         items = list(items) + [extra]
     if not items:
         return ""
     body = ",".join(
-        '%s="%s"' % (k, v.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"))
+        '%s="%s"' % (
+            k,
+            str(v).replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n"),
+        )
         for k, v in items
     )
     return "{" + body + "}"
 
 
 def _fmt_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
     if value == math.inf:
         return "+Inf"
     if value == -math.inf:

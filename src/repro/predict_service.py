@@ -51,6 +51,7 @@ __all__ = [
     "cache_info",
     "clear_cache",
     "model_fingerprint",
+    "model_label",
     "predict_many",
     "predict_one",
     "predict_sweep",
@@ -104,6 +105,18 @@ def model_fingerprint(model) -> str:
     # as functools.cached_property).
     model.__dict__["_repro_fingerprint"] = digest
     return digest
+
+
+def model_label(model) -> str:
+    """Short, stable, human-readable identity for one model instance.
+
+    ``<class>:<fingerprint prefix>`` — distinct parameter values get
+    distinct labels, so residual scorecards keyed on it never mix a
+    re-estimated model with its predecessor.  Used by
+    :func:`repro.api.measure`/:func:`repro.api.check_fidelity` when the
+    caller passes models without naming them.
+    """
+    return f"{type(model).__name__}:{model_fingerprint(model)[:8]}"
 
 
 def available_algorithms(model) -> list[tuple[str, str]]:

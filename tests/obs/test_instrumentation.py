@@ -212,6 +212,110 @@ def test_maintainer_cycles_feed_metrics_events_and_spans():
     assert len(tel.spans.finished("maintainer.cycle")) == 1
 
 
+# -- transfer-size telemetry (the escalation detector's feed) -------------------
+def lam_cluster(n=6, seed=3):
+    gt = GroundTruth.random(n, seed=seed)
+    return SimulatedCluster(
+        random_cluster(n, seed=seed), ground_truth=gt, profile=LAM_7_1_3,
+        noise=NoiseModel(rel_sigma=0.02, spike_prob=0.0), seed=7,
+    )
+
+
+def test_transfers_feed_size_histograms_and_incast_marks_escalated():
+    import repro.api as api
+
+    tel = _obs.enable(fresh=True)
+    cluster = lam_cluster()
+    # Gather in the irregularity region: incast escalations are natural.
+    api.measure(cluster, "gather", "linear", 32 * KB, max_reps=8)
+    reg = tel.registry
+    transfers = reg.total("sim_transfer_bytes")
+    escalated = reg.total("sim_escalated_transfer_bytes")
+    incasts = reg.value("rto_escalations_total", cause="incast")
+    assert transfers > 0
+    # Every natural escalation marked exactly one sized transfer.
+    assert escalated == incasts > 0
+    # The narrated escalation events now carry the transfer size.
+    events = tel.events.events("rto_escalation", cause="incast")
+    assert events and all(e["nbytes"] == 32 * KB for e in events)
+    # Delay samples landed in the cause-labeled histogram.
+    snap = reg.snapshot()
+    delay_samples = snap["rto_escalation_seconds"]["samples"]
+    assert any(s["labels"] == {"cause": "incast"} and s["count"] == incasts
+               for s in delay_samples)
+
+
+def test_loss_escalations_do_not_count_as_escalated_transfers():
+    tel = _obs.enable(fresh=True)
+    cluster = quiet_cluster(n=4, seed=3)
+    cluster.profile = LAM_7_1_3
+    cluster.attach_injector(FaultInjector(FaultPlan(
+        faults=(FlakyLink(a=0, b=1, loss_prob=0.6),), seed=9,
+    )))
+    engine = DESEngine(cluster)
+    for _ in range(20):
+        engine.run(roundtrip(0, 1, KB))  # far below M1: no incast
+    reg = tel.registry
+    losses = reg.value("rto_escalations_total", cause="loss")
+    assert losses > 0
+    # Injected-fault escalations are size-independent noise: they must
+    # not pollute the escalation-region estimate.
+    assert reg.total("sim_escalated_transfer_bytes") == 0
+    assert reg.total("sim_transfer_bytes") > 0
+
+
+# -- residual feeds --------------------------------------------------------------
+def test_api_measure_feeds_residual_monitor():
+    import repro.api as api
+    from repro.obs.insight import scorecards
+
+    cluster = quiet_cluster()
+    outcome = api.estimate(cluster, "lmo", quick=True)
+    tel = _obs.enable(fresh=True)
+    api.measure(cluster, "gather", "linear", 4 * KB, models={"lmo": outcome.model})
+    cards = scorecards(tel.registry.snapshot())
+    assert [(c.model, c.operation) for c in cards] == [("lmo", "gather/linear")]
+    assert cards[0].count == 1
+
+
+def test_suite_record_residuals_feeds_monitor_per_point():
+    from repro.benchlib import BenchmarkSuite
+    from repro.obs.insight import scorecards
+    from repro.stats import MeasurementPolicy
+
+    cluster = quiet_cluster()
+    import repro.api as api
+
+    model = api.estimate(cluster, "lmo", quick=True).model
+    suite = BenchmarkSuite(cluster, policy=MeasurementPolicy(min_reps=2, max_reps=2))
+    result = suite.run(operations=["scatter"], sizes=[KB])
+
+    # Telemetry off: a silent no-op.
+    assert _obs.ACTIVE is None
+    assert result.record_residuals({"lmo": model}) == 0
+
+    tel = _obs.enable(fresh=True)
+    ingested = result.record_residuals({"lmo": model})
+    assert ingested == len(result.predictions(model))
+    cards = scorecards(tel.registry.snapshot())
+    assert {c.operation for c in cards} == {
+        f"scatter/{algo}" for (_op, algo, _n) in result.predictions(model)
+    }
+
+
+def test_maintainer_spot_checks_feed_residuals():
+    from repro.obs.insight.residuals import ABS_ERROR_METRIC
+
+    tel = _obs.enable(fresh=True)
+    maintainer = ModelMaintainer(DESEngine(quiet_cluster()))
+    maintainer.bootstrap()
+    maintainer.cycle()
+    snap = tel.registry.snapshot()
+    assert ABS_ERROR_METRIC in snap
+    labels = snap[ABS_ERROR_METRIC]["samples"][0]["labels"]
+    assert labels["model"] == "lmo" and labels["operation"] == "roundtrip"
+
+
 # -- the off switch -------------------------------------------------------------
 def test_everything_is_silent_when_disabled(tmp_path):
     assert _obs.ACTIVE is None

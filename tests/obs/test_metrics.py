@@ -9,6 +9,7 @@ import pytest
 from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
+    bucket_quantile,
     prometheus_text,
 )
 
@@ -106,6 +107,60 @@ def test_histogram_quantile_is_bucket_resolution():
         h.quantile(1.5)
 
 
+def _exact_quantile(values, q):
+    """Nearest-rank quantile of a sorted sample (the reference)."""
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def test_bucket_quantile_interpolates_within_a_bucket():
+    # 2 obs in (0, 1], 2 in (1, 2]: the median sits at the top of the
+    # first bucket, the 75th percentile halfway through the second.
+    buckets = [[1.0, 2], [2.0, 2], ["+Inf", 0]]
+    assert bucket_quantile(buckets, 4, 0.5) == pytest.approx(1.0)
+    assert bucket_quantile(buckets, 4, 0.75) == pytest.approx(1.5)
+    assert bucket_quantile(buckets, 4, 0.0) == pytest.approx(0.0)
+    assert bucket_quantile(buckets, 4, 1.0) == pytest.approx(2.0)
+
+
+def test_bucket_quantile_edge_cases():
+    assert math.isnan(bucket_quantile([[1.0, 0], ["+Inf", 0]], 0, 0.5))
+    with pytest.raises(ValueError):
+        bucket_quantile([[1.0, 1], ["+Inf", 0]], 1, 1.5)
+    # Mass in the +Inf bucket clamps to the highest finite bound.
+    assert bucket_quantile([[1.0, 0], [2.0, 0], ["+Inf", 5]], 5, 0.5) == 2.0
+
+
+def test_interpolated_quantiles_track_exact_quantiles():
+    # A known sample set: uniform on (0, 10] at 0.01 resolution.  Within
+    # each log2 bucket the distribution really is uniform, so the
+    # interpolation assumption holds and p50 is near-exact; the top
+    # bucket (8, 16] is only filled to 10, so higher quantiles drift —
+    # but must stay inside the holding bucket (within 2x of exact).
+    values = [i / 100.0 for i in range(1, 1001)]
+    h = Histogram(lo=-10, hi=4)
+    for v in values:
+        h.observe(v)
+    for q in (0.50, 0.90, 0.95, 0.99):
+        exact = _exact_quantile(values, q)
+        interpolated = h.quantile_interpolated(q)
+        ratio = interpolated / exact
+        assert 0.5 <= ratio <= 2.0, (q, exact, interpolated)
+    assert h.quantile_interpolated(0.50) == pytest.approx(5.0, rel=0.01)
+    # And it refines the coarse bucket-resolution estimate: the old
+    # quantile() reports the bucket's upper bound (8.0) for the median.
+    assert h.quantile(0.5) == 8.0
+    assert abs(h.quantile_interpolated(0.5) - 5.0) < abs(h.quantile(0.5) - 5.0)
+
+
+def test_interpolated_quantile_empty_and_bounds():
+    h = Histogram()
+    assert math.isnan(h.quantile_interpolated(0.5))
+    with pytest.raises(ValueError):
+        h.quantile_interpolated(-0.1)
+
+
 def test_snapshot_roundtrips_through_json():
     reg = MetricsRegistry()
     reg.counter("units_total", help="units", outcome="done").inc(3)
@@ -140,6 +195,47 @@ def test_prometheus_text_is_valid_exposition():
         if line.startswith("lat_seconds_bucket")
     ]
     assert cumulative == sorted(cumulative)
+
+
+def test_prometheus_nonfinite_values_render_canonically():
+    # Regression: NaN gauges used to render as lowercase 'nan' (repr),
+    # which the exposition-format parser rejects.
+    reg = MetricsRegistry()
+    reg.gauge("g_nan").set(float("nan"))
+    reg.gauge("g_inf").set(float("inf"))
+    reg.gauge("g_ninf").set(float("-inf"))
+    text = reg.to_prometheus()
+    assert_valid_prometheus(text)
+    assert "g_nan NaN" in text
+    assert "g_inf +Inf" in text
+    assert "g_ninf -Inf" in text
+    assert "g_nan nan" not in text  # the old lowercase-repr bug
+
+
+def test_prometheus_numeric_label_values_are_coerced():
+    # Regression: non-string label values crashed the escaping path
+    # (int has no .replace); they must render as quoted strings.
+    reg = MetricsRegistry()
+    reg.counter("units_total", node=3).inc()
+    reg.gauge("load", ratio=0.5).set(1.0)
+    text = reg.to_prometheus()
+    assert_valid_prometheus(text)
+    assert 'units_total{node="3"} 1' in text
+    assert 'load{ratio="0.5"} 1' in text
+
+
+def test_prometheus_label_escaping_covers_all_specials():
+    reg = MetricsRegistry()
+    reg.counter("c_total", path='a\\b "q"\nend').inc()
+    text = reg.to_prometheus()
+    assert_valid_prometheus(text)
+    assert r'path="a\\b \"q\"\nend"' in text
+    # Help text escapes backslash and newline too.
+    reg2 = MetricsRegistry()
+    reg2.counter("d_total", help="line1\nline2\\tail").inc()
+    text2 = reg2.to_prometheus()
+    assert_valid_prometheus(text2)
+    assert r"# HELP d_total line1\nline2\\tail" in text2
 
 
 def test_reset_drops_all_families():

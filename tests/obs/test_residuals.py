@@ -1,0 +1,152 @@
+"""Unit tests for the streaming residual monitor and its scorecards."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import runtime as _obs
+from repro.obs.insight.residuals import (
+    ABS_ERROR_METRIC,
+    MAX_ERROR_METRIC,
+    SIGNED_SUM_METRIC,
+    ResidualMonitor,
+    render_scorecards,
+    scorecards,
+    size_bucket,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_size_bucket_is_next_power_of_two():
+    assert size_bucket(0) == "1"
+    assert size_bucket(1) == "1"
+    assert size_bucket(2) == "2"
+    assert size_bucket(3) == "4"
+    assert size_bucket(1024) == "1024"
+    assert size_bucket(1025) == "2048"
+    assert size_bucket(1536.5) == "2048"  # float sizes round up
+
+
+def test_monitor_is_a_noop_while_telemetry_is_off():
+    monitor = ResidualMonitor()  # targets the active session: none
+    assert monitor.record("lmo", "gather/linear", 4096, 1.0, 1.1) is None
+
+
+def test_monitor_targets_active_session_at_ingest_time():
+    monitor = ResidualMonitor()  # constructed before enable()
+    tel = _obs.enable(fresh=True)
+    record = monitor.record("lmo", "gather/linear", 4096, 1.2, 1.0)
+    assert record is not None
+    assert record.signed_error == pytest.approx(0.2)
+    assert record.abs_error == pytest.approx(0.2)
+    assert record.bucket == "4096"
+    snap = tel.registry.snapshot()
+    assert ABS_ERROR_METRIC in snap
+    assert SIGNED_SUM_METRIC in snap
+    assert MAX_ERROR_METRIC in snap
+    labels = snap[ABS_ERROR_METRIC]["samples"][0]["labels"]
+    assert labels == {"model": "lmo", "operation": "gather/linear",
+                      "bucket": "4096"}
+
+
+def test_monitor_drops_undefined_pairs():
+    monitor = ResidualMonitor(MetricsRegistry())
+    assert monitor.record("m", "op", 1, 1.0, 0.0) is None  # measured == 0
+    assert monitor.record("m", "op", 1, 1.0, -2.0) is None
+    assert monitor.record("m", "op", 1, float("nan"), 1.0) is None
+    assert monitor.record("m", "op", 1, float("inf"), 1.0) is None
+    assert monitor.record("m", "op", 1, 1.0, float("nan")) is None
+
+
+def test_signed_error_convention_matches_accuracy_module():
+    # positive = pessimistic (over-prediction), negative = optimistic.
+    monitor = ResidualMonitor(MetricsRegistry())
+    over = monitor.record("m", "op", 8, 2.0, 1.0)
+    under = monitor.record("m", "op", 8, 0.5, 1.0)
+    assert over.signed_error == pytest.approx(1.0)
+    assert under.signed_error == pytest.approx(-0.5)
+
+
+def _ingest_sample_pairs(registry):
+    monitor = ResidualMonitor(registry)
+    # lmo/gather: two size buckets, consistent pessimistic 10% and 30%.
+    for predicted, measured, nbytes in (
+        (1.10, 1.0, 1024), (1.10, 1.0, 1000),
+        (1.30, 1.0, 65536), (1.30, 1.0, 60000),
+    ):
+        assert monitor.record("lmo", "gather/linear", nbytes, predicted, measured)
+    # hockney/scatter: one bucket, optimistic 50%.
+    assert monitor.record("hockney", "scatter/binomial", 4096, 0.5, 1.0)
+    return monitor
+
+
+def test_scorecards_rebuild_from_snapshot():
+    registry = MetricsRegistry()
+    _ingest_sample_pairs(registry)
+    # Snapshots round-trip through JSON without changing the cards.
+    metrics = json.loads(json.dumps(registry.snapshot()))
+    cards = scorecards(metrics)
+    assert [(c.model, c.operation) for c in cards] == [
+        ("hockney", "scatter/binomial"), ("lmo", "gather/linear"),
+    ]
+    hockney, lmo = cards
+    assert lmo.count == 4
+    assert lmo.mean_abs_error == pytest.approx(0.2)
+    assert lmo.bias == pytest.approx(0.2)  # pessimistic
+    assert lmo.max_abs_error == pytest.approx(0.3)
+    assert [b.bucket for b in lmo.buckets] == ["1024", "65536"]
+    small, large = lmo.buckets
+    assert small.count == 2 and large.count == 2
+    assert small.mean_abs_error == pytest.approx(0.1)
+    assert large.mean_abs_error == pytest.approx(0.3)
+    assert small.p50 <= small.p95
+    assert hockney.count == 1
+    assert hockney.bias == pytest.approx(-0.5)  # optimistic
+    # Quantiles are interpolated within the error histogram's buckets, so
+    # they sit within a factor of two of the true error.
+    assert 0.05 <= small.p50 <= 0.2
+    assert 0.15 <= large.p95 <= 0.6
+
+
+def test_scorecards_of_empty_snapshot():
+    assert scorecards({}) == []
+    assert scorecards(MetricsRegistry().snapshot()) == []
+
+
+def test_scorecard_to_dict_roundtrips():
+    registry = MetricsRegistry()
+    _ingest_sample_pairs(registry)
+    cards = scorecards(registry.snapshot())
+    doc = json.loads(json.dumps([c.to_dict() for c in cards]))
+    assert doc[1]["model"] == "lmo"
+    assert doc[1]["buckets"][0]["bucket"] == "1024"
+    assert doc[1]["count"] == 4
+
+
+def test_render_scorecards_table():
+    registry = MetricsRegistry()
+    _ingest_sample_pairs(registry)
+    text = render_scorecards(scorecards(registry.snapshot()))
+    assert "lmo" in text and "gather/linear" in text
+    assert "(pess" in text and "(opti" in text
+    assert render_scorecards([]) == "residual scorecards: (no pairs ingested)"
+
+
+def test_max_error_gauge_only_moves_up():
+    registry = MetricsRegistry()
+    monitor = ResidualMonitor(registry)
+    monitor.record("m", "op", 64, 1.4, 1.0)
+    monitor.record("m", "op", 64, 1.1, 1.0)  # smaller error, worst stays
+    labels = {"model": "m", "operation": "op", "bucket": "64"}
+    assert registry.gauge(MAX_ERROR_METRIC, **labels).value == pytest.approx(0.4)
+
+
+def test_monitor_math_is_finite_for_tiny_errors():
+    registry = MetricsRegistry()
+    monitor = ResidualMonitor(registry)
+    record = monitor.record("m", "op", 64, 1.0, 1.0)  # exact prediction
+    assert record.abs_error == 0.0
+    cards = scorecards(registry.snapshot())
+    assert cards[0].mean_abs_error == 0.0
+    assert math.isfinite(cards[0].p95)

@@ -176,6 +176,70 @@ def test_chaos_narrates_every_injected_escalation(tmp_path, capsys):
     assert any(e["name"] == "heal_cycle" for e in doc["events"])
 
 
+def test_obs_dashboard_writes_self_contained_html(snapshot, tmp_path, capsys):
+    _journal, metrics = snapshot
+    out = str(tmp_path / "dash.html")
+    bench = tmp_path / "BENCH_fake.json"
+    bench.write_text(json.dumps({"overhead_fraction": 0.003}))
+    assert main(["obs", "dashboard", "--metrics", metrics, "--out", out,
+                 "--bench", str(bench)]) == 0
+    text = capsys.readouterr().out
+    assert "repro model-fidelity observatory" in text
+    assert f"dashboard written to {out}" in text
+    html = open(out).read()
+    assert html.startswith("<!DOCTYPE html>")
+    lowered = html.lower()
+    assert "<script" not in lowered
+    assert "http://" not in lowered and "https://" not in lowered
+    assert "<link" not in lowered
+    assert "BENCH_fake.json" in html
+    assert "escalation_rate_high" in html  # the alert catalog rendered
+
+
+def test_obs_dashboard_format_json_roundtrips(snapshot, tmp_path, capsys):
+    _journal, metrics = snapshot
+    out = str(tmp_path / "dash.html")
+    assert main(["obs", "dashboard", "--metrics", metrics, "--out", out,
+                 "--format", "json", "--bench", str(tmp_path / "none.json")]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["title"] == "repro model-fidelity observatory"
+    assert {a["rule"]["name"] for a in data["alerts"]} >= {
+        "escalation_rate_high", "breaker_open", "model_drift_high",
+        "residual_p95_high",
+    }
+    assert open(out).read().startswith("<!DOCTYPE html>")
+
+
+def test_obs_dashboard_rejects_bad_snapshot(tmp_path, capsys):
+    bogus = tmp_path / "x.json"
+    bogus.write_text(json.dumps({"format": "nope"}))
+    assert main(["obs", "dashboard", "--metrics", str(bogus),
+                 "--out", str(tmp_path / "d.html")]) == 2
+    assert "not a telemetry snapshot" in capsys.readouterr().err
+
+
+def test_obs_watch_bounded_refreshes(snapshot, capsys):
+    _journal, metrics = snapshot
+    assert main(["obs", "watch", "--metrics", metrics, "--count", "2",
+                 "--interval", "0"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("repro model-fidelity observatory") == 2
+
+
+def test_obs_watch_format_json_roundtrips(snapshot, capsys):
+    _journal, metrics = snapshot
+    assert main(["obs", "watch", "--metrics", metrics, "--count", "1",
+                 "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["title"] == "repro model-fidelity observatory"
+
+
+def test_obs_watch_missing_file_is_an_error(tmp_path, capsys):
+    assert main(["obs", "watch", "--metrics", str(tmp_path / "absent.json"),
+                 "--count", "1"]) == 2
+    assert "cannot" in capsys.readouterr().err.lower()
+
+
 def test_suite_metrics_out(tmp_path, capsys):
     metrics = str(tmp_path / "suite.json")
     assert main(["suite", "--sizes", "1024", "--max-reps", "2",
