@@ -20,6 +20,7 @@ facade only composes them and names their results.
 
 from __future__ import annotations
 
+import os
 from dataclasses import asdict, dataclass
 from typing import Optional, Sequence, Union
 
@@ -43,12 +44,16 @@ from repro.estimation import (
     CampaignResult,
     CampaignStatus,
     DESEngine,
+    ParallelCampaign,
+    ParallelConfig,
     campaign_status as _campaign_status,
     detect_gather_irregularity,
     estimate_extended_lmo,
     estimate_heterogeneous_hockney,
     estimate_loggp,
     estimate_plogp,
+    parallel_shards_exist,
+    recipe_for_cluster,
     star_triplets,
     sweep_collective,
 )
@@ -81,6 +86,7 @@ __all__ = [
     "CampaignConfig",
     "CampaignResult",
     "CampaignStatus",
+    "ParallelConfig",
     "PredictRequest",
     "Prediction",
     "Measurement",
@@ -295,6 +301,8 @@ def run_campaign(
     cluster: SimulatedCluster,
     journal: str,
     config: Optional[CampaignConfig] = None,
+    workers: int = 1,
+    parallel: Optional[ParallelConfig] = None,
 ) -> CampaignResult:
     """Run the full pair+triplet estimation sweep as a durable campaign.
 
@@ -303,7 +311,21 @@ def run_campaign(
     leaves the journal resumable with :func:`resume_campaign`.  The
     result carries the assembled model (or None when stopped early)
     plus an explicit coverage/degraded report.
+
+    With ``workers > 1`` (or an explicit ``parallel`` config) the sweep
+    is sharded across supervised worker processes
+    (:mod:`repro.estimation.parallel`): units run under time-bounded
+    leases, crashed or straggling workers are reclaimed, and the
+    per-worker journals are deterministically merged back into the
+    canonical journal at ``journal`` — the result is bit-identical to
+    the serial run with the same seed.
     """
+    if workers > 1 or parallel is not None:
+        if parallel is None:
+            parallel = ParallelConfig(workers=workers)
+        return ParallelCampaign.start(
+            recipe_for_cluster(cluster), journal, config=config, parallel=parallel
+        ).run()
     return Campaign.start(DESEngine(cluster), journal, config=config).run()
 
 
@@ -313,6 +335,8 @@ def resume_campaign(
     max_wall_seconds: Optional[float] = None,
     max_sim_seconds: Optional[float] = None,
     max_repetitions: Optional[int] = None,
+    workers: int = 1,
+    parallel: Optional[ParallelConfig] = None,
 ) -> CampaignResult:
     """Continue an interrupted campaign from its journal.
 
@@ -321,7 +345,24 @@ def resume_campaign(
     re-measured; given the same campaign seed, the final model is
     bit-identical to what the uninterrupted run would have produced.
     The budget arguments, when given, replace the journaled caps.
+
+    A parallel campaign's sharded journal set (no canonical file yet,
+    but a ``.coord`` journal next to it) is resumed through the
+    parallel executor — ``workers`` then sizes the fresh fleet.  A
+    serial (or already-merged) journal resumes serially; its remaining
+    units are the stragglers, not worth a fleet.
     """
+    if parallel_shards_exist(journal) and not os.path.exists(journal):
+        if parallel is None:
+            parallel = ParallelConfig(workers=max(1, workers))
+        return ParallelCampaign.resume(
+            recipe_for_cluster(cluster),
+            journal,
+            parallel=parallel,
+            max_wall_seconds=max_wall_seconds,
+            max_sim_seconds=max_sim_seconds,
+            max_repetitions=max_repetitions,
+        ).run()
     return Campaign.resume(
         DESEngine(cluster),
         journal,

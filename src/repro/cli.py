@@ -552,7 +552,8 @@ def cmd_campaign(args) -> int:
                 max_sim_seconds=args.max_sim_seconds,
                 max_repetitions=args.max_repetitions,
             )
-            result = api.run_campaign(cluster, args.journal, config)
+            result = api.run_campaign(cluster, args.journal, config,
+                                      workers=args.workers)
         else:
             result = api.resume_campaign(
                 cluster,
@@ -560,6 +561,7 @@ def cmd_campaign(args) -> int:
                 max_wall_seconds=args.max_wall_seconds,
                 max_sim_seconds=args.max_sim_seconds,
                 max_repetitions=args.max_repetitions,
+                workers=args.workers,
             )
         cluster.reset()  # flush the final run's kernel counters
     except (JournalError, ValueError) as exc:
@@ -840,9 +842,15 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the assembled model JSON here")
     camp_io.add_argument("--nodes", type=int, default=None,
                          help="cluster size (prefix of Table I; default all)")
+    camp_workers = argparse.ArgumentParser(add_help=False)
+    camp_workers.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the sweep (default 1 = serial in-process; "
+             "N > 1 shards units by node-triplet across supervised workers "
+             "under time-bounded leases — same model bit-for-bit)")
     p_camp_run = camp_sub.add_parser(
         "run", help="start a fresh campaign (journal must not exist)",
-        parents=[common, camp_budgets, camp_io, metrics])
+        parents=[common, camp_budgets, camp_io, camp_workers, metrics])
     p_camp_run.add_argument("--reps", type=int, default=3)
     p_camp_run.add_argument("--timeout", type=float, default=1.0,
                             help="per-experiment timeout (seconds)")
@@ -851,7 +859,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "is flagged (still produced)")
     camp_sub.add_parser(
         "resume", help="continue an interrupted campaign from its journal",
-        parents=[common, camp_budgets, camp_io, metrics])
+        parents=[common, camp_budgets, camp_io, camp_workers, metrics])
     camp_sub.add_parser(
         "status", help="inspect a journal without attaching a cluster",
         parents=[common, camp_io])

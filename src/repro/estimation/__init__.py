@@ -62,6 +62,20 @@ from repro.estimation.journal import (
     replay,
 )
 from repro.estimation.maintainer import HealthRecord, MaintainerPolicy, ModelMaintainer
+from repro.estimation.parallel import (
+    AnalyticEngineRecipe,
+    ChaosKill,
+    DESEngineRecipe,
+    EngineRecipe,
+    LeasePolicy,
+    ParallelCampaign,
+    ParallelConfig,
+    merge_worker_journals,
+    parallel_shards_exist,
+    parallel_status,
+    recipe_for_cluster,
+    worker_journal_paths,
+)
 from repro.estimation.robust import (
     EstimationFailure,
     RetryPolicy,
@@ -81,6 +95,7 @@ from repro.estimation.scheduling import (
 
 __all__ = [
     "AnalyticEngine",
+    "AnalyticEngineRecipe",
     "BreakerBoard",
     "BreakerPolicy",
     "BreakerState",
@@ -89,9 +104,12 @@ __all__ = [
     "CampaignJournal",
     "CampaignResult",
     "CampaignStatus",
+    "ChaosKill",
     "CircuitBreaker",
     "DESEngine",
+    "DESEngineRecipe",
     "DriftReport",
+    "EngineRecipe",
     "FingerprintMismatch",
     "JournalCorruption",
     "JournalError",
@@ -105,10 +123,13 @@ __all__ = [
     "HockneyEstimationResult",
     "ProbeSensitivity",
     "LMOEstimationResult",
+    "LeasePolicy",
     "LogPEstimationResult",
     "MaintainerPolicy",
     "ModelMaintainer",
     "PLogPEstimationResult",
+    "ParallelCampaign",
+    "ParallelConfig",
     "RetryPolicy",
     "RobustLMOResult",
     "RobustRunStats",
@@ -129,12 +150,16 @@ __all__ = [
     "estimate_loggp",
     "estimate_logp",
     "estimate_plogp",
+    "merge_worker_journals",
     "one_to_two",
     "overhead_recv",
     "overhead_send",
     "pack_rounds",
     "pair_rounds",
+    "parallel_shards_exist",
+    "parallel_status",
     "probe_sensitivity",
+    "recipe_for_cluster",
     "replay",
     "roundtrip",
     "run_schedule",
@@ -145,4 +170,5 @@ __all__ = [
     "star_triplets",
     "sweep_collective",
     "triplet_rounds",
+    "worker_journal_paths",
 ]

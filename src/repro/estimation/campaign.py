@@ -29,7 +29,9 @@ from __future__ import annotations
 import hashlib
 import json
 import math
+import os
 import time
+import warnings
 from dataclasses import dataclass, field
 from itertools import combinations
 from typing import Any, Optional, Sequence
@@ -415,7 +417,7 @@ class CampaignStatus:
             f"{self.completed}/{self.total_experiments} experiments done "
             f"on {self.n} nodes",
             f"cost so far: {self.estimation_time:.2f} s cluster time, "
-            f"{self.repetitions} repetitions",
+            f"{self.wall_time:.2f} s wall clock, {self.repetitions} repetitions",
             f"coverage {self.coverage:.1%}; triplets solvable: "
             f"{self.solved_triplets}/{self.total_triplets}",
         ]
@@ -463,8 +465,23 @@ class _ReplayedState:
         )
 
 
+#: Unit-record fields excluded when deciding whether two records for the
+#: same unit are the same measurement.  Wall clock is not deterministic
+#: across processes or runs; ``sim_cost`` is a *delta* of the engine's
+#: accumulated estimation time, so its trailing float bits depend on what
+#: the measuring process ran beforehand.  The physics — ``samples``,
+#: ``value``, ``attempts``, ``timeouts`` — is what unit determinism
+#: guarantees, and is what identity compares.
+_VOLATILE_RECORD_KEYS = ("wall_cost", "sim_cost")
+
+
+def _record_identity(rec: dict[str, Any]) -> dict[str, Any]:
+    return {k: v for k, v in rec.items() if k not in _VOLATILE_RECORD_KEYS}
+
+
 def _replay_state(rep: JournalReplay, total: int) -> _ReplayedState:
     state = _ReplayedState()
+    done_records: dict[int, dict[str, Any]] = {}
     for rec in rep.records:
         rtype = rec.get("type")
         if rtype in ("experiment_started", "experiment_done", "experiment_failed",
@@ -483,11 +500,25 @@ def _replay_state(rep: JournalReplay, total: int) -> _ReplayedState:
                 state.in_flight.remove(idx)
             if rtype == "experiment_done":
                 if idx in state.completed:
-                    raise JournalCorruption(
-                        f"{rep.path}: duplicate experiment_done for index {idx}; "
-                        "each unit is journaled exactly once — this journal was "
-                        "concatenated or hand-edited, restart the campaign"
+                    # Unit results are pure functions of (campaign seed,
+                    # unit index), so an identical duplicate (up to wall
+                    # clock) is a benign replay — keep the first record
+                    # and skip the duplicate's accounting.  A *differing*
+                    # payload cannot come from the same campaign.
+                    if _record_identity(done_records[idx]) != _record_identity(rec):
+                        raise JournalCorruption(
+                            f"{rep.path}: conflicting experiment_done records "
+                            f"for index {idx}; unit results are deterministic "
+                            "— differing payloads mean this journal was "
+                            "concatenated or hand-edited, restart the campaign"
+                        )
+                    warnings.warn(
+                        f"{rep.path}: duplicate experiment_done for index "
+                        f"{idx} (identical payload); keeping the first record",
+                        stacklevel=2,
                     )
+                    continue
+                done_records[idx] = rec
                 state.completed[idx] = float(rec["value"])
                 state.events.append(("done", idx))
                 state.last_outcome[idx] = "done"
@@ -983,7 +1014,16 @@ def campaign_status(path: str) -> CampaignStatus:
     from the outcome sequence (so "quarantined" means exactly what a
     resume would see).  Journals whose header predates the config field
     fall back to counts only.
+
+    A path with no canonical journal but a parallel shard set (a
+    coordinator journal from :mod:`repro.estimation.parallel`) is
+    reported by folding the worker journals instead.
     """
+    if not os.path.exists(path):
+        from repro.estimation.parallel import parallel_shards_exist, parallel_status
+
+        if parallel_shards_exist(path):
+            return parallel_status(path)
     rep = replay(path)
     total = int(rep.header.get("total_experiments", 0))
     state = _replay_state(rep, total)

@@ -119,8 +119,17 @@ class CampaignJournal:
 
     @classmethod
     def open_append(cls, path: str, fsync: bool = True) -> "CampaignJournal":
-        """Open an existing journal for appending (header must be intact)."""
-        replay(path)  # raises if the header is unreadable
+        """Open an existing journal for appending (header must be intact).
+
+        A torn tail (crash mid-append) is truncated away first: appending
+        after a partial line would weld the new record onto it, turning a
+        recoverable tail into mid-journal corruption.
+        """
+        rep = replay(path)  # raises if the header is unreadable
+        if rep.truncated_tail:
+            with open(path, "rb+") as handle:
+                data = handle.read()
+                handle.truncate(data.rindex(b"\n") + 1)
         journal = cls(path, open(path, "a"))
         journal._fsync = fsync
         return journal

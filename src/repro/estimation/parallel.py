@@ -1,0 +1,1272 @@
+"""Fault-tolerant parallel campaign executor: supervised workers, leases,
+deterministic journal merge.
+
+The estimation sweep (paper eqs. 6-12) is a set of *independent* units —
+pair roundtrips and triplet one-to-two experiments — each of which draws
+its measurement noise from a seed derived purely from ``(campaign seed,
+unit index)`` (:func:`repro.estimation.campaign._unit_seed`).  That
+purity is what PR 3's crash-resume determinism rests on, and it is also
+what makes the sweep parallelizable without losing it: *which process*
+measures a unit, and *when*, cannot change its value.
+
+This module runs the sweep across worker processes while keeping every
+durability property of the serial path:
+
+* the **coordinator** shards units into node-locality groups (the units
+  of one pair or one triplet stay together — mirroring the logical-
+  cluster decomposition of Estefanel & Mounié) and hands groups to
+  workers under time-bounded **leases** that are renewed by progress;
+* each **worker** is a separate process that rebuilds its engine from a
+  picklable :class:`EngineRecipe`, executes leased units through the
+  *same* :class:`~repro.estimation.campaign.Campaign` unit executor the
+  serial path uses, and appends to its own write-ahead journal
+  (:mod:`repro.estimation.journal`, unchanged — torn tails included);
+* a **supervisor** loop tracks worker liveness and lease progress: a
+  dead worker (crashed process) or an expired lease (hung or straggling
+  worker) has its in-flight units reclaimed and reassigned with bounded
+  retry and exponential backoff; units that keep burning workers are
+  quarantined through the breaker board instead of being retried
+  forever;
+* a deterministic **merge** step orders the per-worker journals back
+  into canonical unit order, deduplicates double-measured units (their
+  payloads are bit-identical by construction; differing payloads are
+  corruption), and writes a canonical journal at the campaign path that
+  replays exactly like a serial run's.  The final model, coverage
+  report and breaker board are then *re-derived from that journal* by
+  the serial replay path, so the merged result is bit-identical to an
+  uninterrupted serial run with the same seed — by construction, not by
+  bookkeeping.
+
+Crash-resume works on the sharded set: if the coordinator dies, the
+coordinator journal plus the per-worker journals are enough for
+:meth:`ParallelCampaign.resume` (``repro campaign resume --workers N``)
+to fold what was measured and finish the rest with a fresh fleet.
+"""
+
+from __future__ import annotations
+
+import glob as _glob
+import json
+import multiprocessing as mp
+import os
+import queue as _queue
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import Any, Optional, Sequence
+
+from repro.cluster.faults import FaultInjector, FaultPlan, SimulatedCrash
+from repro.cluster.machine import SimulatedCluster
+from repro.estimation.breakers import BreakerBoard
+from repro.estimation.campaign import (
+    Campaign,
+    CampaignConfig,
+    CampaignResult,
+    CampaignStatus,
+    _build_schedule,
+    _experiment_to_dict,
+    _rebuild_board,
+    _record_identity,
+    _ReplayedState,
+    _schedule_hash,
+    _triplet_experiments,
+    cluster_fingerprint,
+)
+from repro.estimation.engines import AnalyticEngine, DESEngine, ExperimentEngine
+from repro.estimation.journal import (
+    CampaignJournal,
+    JournalCorruption,
+    JournalError,
+    replay,
+    validate_fingerprint,
+    validate_schedule,
+)
+from repro.io import atomic_write_text
+from repro.obs import runtime as _obs
+
+__all__ = [
+    "AnalyticEngineRecipe",
+    "ChaosKill",
+    "DESEngineRecipe",
+    "EngineRecipe",
+    "LeasePolicy",
+    "ParallelCampaign",
+    "ParallelConfig",
+    "coordinator_path",
+    "merge_worker_journals",
+    "parallel_shards_exist",
+    "parallel_status",
+    "recipe_for_cluster",
+    "worker_journal_paths",
+]
+
+#: Exit code a chaos-killed worker dies with (distinguishable in tests).
+CHAOS_EXIT_CODE = 137
+
+_UNIT_RECORD_TYPES = ("experiment_done", "experiment_failed", "experiment_skipped")
+
+
+# -- engine recipes --------------------------------------------------------------
+class EngineRecipe:
+    """A picklable recipe for rebuilding an engine inside a worker process.
+
+    Engines carry live simulator state (event heaps, generator frames)
+    that must not cross a process boundary; recipes carry only the frozen
+    inputs — spec, ground truth, profile, noise, fault plan — and rebuild
+    a fresh engine per process.  Because every campaign unit reseeds the
+    engine from ``(campaign seed, unit index)`` before measuring, a
+    freshly built engine produces bit-identical measurements to any other
+    engine built from the same recipe.
+    """
+
+    def build(self) -> ExperimentEngine:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DESEngineRecipe(EngineRecipe):
+    """Rebuild a :class:`~repro.estimation.engines.DESEngine`."""
+
+    spec: Any
+    ground_truth: Any
+    profile: Any
+    noise: Any
+    seed: int = 0
+    plan: Optional[FaultPlan] = None
+
+    def build(self) -> DESEngine:
+        cluster = SimulatedCluster(
+            self.spec,
+            ground_truth=self.ground_truth,
+            profile=self.profile,
+            noise=self.noise,
+            seed=self.seed,
+        )
+        if self.plan is not None and len(self.plan):
+            cluster.attach_injector(FaultInjector(self.plan))
+        return DESEngine(cluster)
+
+
+@dataclass(frozen=True)
+class AnalyticEngineRecipe(EngineRecipe):
+    """Rebuild an :class:`~repro.estimation.engines.AnalyticEngine`."""
+
+    ground_truth: Any
+    noise: Any = None
+    seed: int = 0
+
+    def build(self) -> AnalyticEngine:
+        return AnalyticEngine(self.ground_truth, noise=self.noise, seed=self.seed)
+
+
+def recipe_for_cluster(cluster: SimulatedCluster) -> DESEngineRecipe:
+    """The recipe that rebuilds ``DESEngine(cluster)`` in a worker.
+
+    The cluster's live state (simulator, RNG position) is deliberately
+    *not* captured: campaign units reseed per unit, so only the frozen
+    identity — spec, ground truth, profile, noise, fault plan — matters.
+    """
+    injector = getattr(cluster, "injector", None)
+    plan = injector.plan if injector is not None else None
+    return DESEngineRecipe(
+        spec=cluster.spec,
+        ground_truth=cluster.ground_truth,
+        profile=cluster.profile,
+        noise=cluster.noise,
+        plan=plan,
+    )
+
+
+# -- configuration ---------------------------------------------------------------
+@dataclass(frozen=True)
+class LeasePolicy:
+    """How leases are granted, renewed, expired and retried.
+
+    A lease covers up to ``groups_per_lease`` unit groups and must show
+    *progress* (a completed unit) every ``lease_seconds`` — progress
+    renews the deadline, so a long lease on a healthy worker never
+    expires, while a hung worker (heartbeats fine, no units landing)
+    does.  Workers heartbeat every ``heartbeat_seconds``; a heartbeat
+    older than ``stale_after`` marks the worker stale on the metrics and
+    alerting side.  Reclaimed units are reassigned at most
+    ``max_unit_retries`` times, with exponential backoff
+    (``reassign_backoff * 2**(retries-1)`` seconds) between attempts;
+    beyond that the unit is quarantined through the breaker board.  Dead
+    workers are replaced while unassigned work remains, up to
+    ``max_worker_respawns`` replacements.
+    """
+
+    lease_seconds: float = 30.0
+    heartbeat_seconds: float = 0.5
+    stale_after: float = 3.0
+    groups_per_lease: int = 2
+    max_unit_retries: int = 3
+    reassign_backoff: float = 0.1
+    max_worker_respawns: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("lease_seconds", "heartbeat_seconds", "stale_after"):
+            value = getattr(self, name)
+            if not value > 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if self.groups_per_lease < 1:
+            raise ValueError(
+                f"groups_per_lease must be >= 1, got {self.groups_per_lease}"
+            )
+        if self.max_unit_retries < 0:
+            raise ValueError(
+                f"max_unit_retries must be >= 0, got {self.max_unit_retries}"
+            )
+        if self.reassign_backoff < 0:
+            raise ValueError(
+                f"reassign_backoff must be >= 0, got {self.reassign_backoff}"
+            )
+        if self.max_worker_respawns < 0:
+            raise ValueError(
+                f"max_worker_respawns must be >= 0, got {self.max_worker_respawns}"
+            )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "lease_seconds": self.lease_seconds,
+            "heartbeat_seconds": self.heartbeat_seconds,
+            "stale_after": self.stale_after,
+            "groups_per_lease": self.groups_per_lease,
+            "max_unit_retries": self.max_unit_retries,
+            "reassign_backoff": self.reassign_backoff,
+            "max_worker_respawns": self.max_worker_respawns,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "LeasePolicy":
+        return cls(**doc)
+
+
+@dataclass(frozen=True)
+class ChaosKill:
+    """Test-only chaos: worker ``worker`` dies mid-unit after ``after_units``.
+
+    The worker journals ``experiment_started`` for its next unit (plus an
+    optional torn half-record) and then ``os._exit``\\ s — the hardest
+    crash shape the merge and resume paths must survive.
+    """
+
+    worker: int
+    after_units: int
+    torn_tail: bool = False
+
+    def __post_init__(self) -> None:
+        if self.worker < 0:
+            raise ValueError(f"worker must be >= 0, got {self.worker}")
+        if self.after_units < 0:
+            raise ValueError(f"after_units must be >= 0, got {self.after_units}")
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the parallel executor itself.  The campaign's measurement
+    discipline lives in :class:`~repro.estimation.campaign.CampaignConfig`
+    and is shared verbatim with every worker."""
+
+    workers: int = 2
+    lease: LeasePolicy = field(default_factory=LeasePolicy)
+    #: multiprocessing start method; None picks "fork" where available
+    #: (much cheaper) with "spawn" as the portable fallback.
+    start_method: Optional[str] = None
+    #: Test-only chaos: kill specific workers mid-unit.
+    chaos_kills: tuple[ChaosKill, ...] = ()
+    #: Test-only chaos: the *coordinator* dies (SimulatedCrash) after this
+    #: many unit completions reach it, leaving the sharded set behind.
+    chaos_coordinator_crash_after: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        object.__setattr__(self, "chaos_kills", tuple(self.chaos_kills))
+        if (
+            self.chaos_coordinator_crash_after is not None
+            and self.chaos_coordinator_crash_after < 1
+        ):
+            raise ValueError("chaos_coordinator_crash_after must be >= 1")
+
+
+# -- journal layout --------------------------------------------------------------
+def coordinator_path(path: str) -> str:
+    """The coordinator's supervision journal for campaign ``path``."""
+    return path + ".coord"
+
+
+def worker_journal_paths(path: str) -> list[str]:
+    """Every per-worker journal of campaign ``path``, in spawn order."""
+    prefix = path + ".w"
+    found = []
+    for candidate in _glob.glob(_glob.escape(prefix) + "*"):
+        suffix = candidate[len(prefix):]
+        if suffix.isdigit():
+            found.append((int(suffix), candidate))
+    return [candidate for _seq, candidate in sorted(found)]
+
+
+def parallel_shards_exist(path: str) -> bool:
+    """True when ``path`` has a parallel shard set on disk (a coordinator
+    journal, with or without worker journals yet)."""
+    return os.path.exists(coordinator_path(path))
+
+
+def _shard_groups(experiments: Sequence[Any]) -> list[list[int]]:
+    """Shard the schedule into unit groups by node locality.
+
+    The two roundtrips of a pair, and the six rooted one-to-two probes of
+    a triplet, land in one group — the same locality the logical-cluster
+    decomposition gives — and the group is the atom of lease assignment.
+    Every experiment index appears in exactly one group; groups and their
+    members preserve canonical unit order.
+    """
+    groups: dict[tuple[int, ...], list[int]] = {}
+    for index, exp in enumerate(experiments):
+        groups.setdefault(tuple(sorted(exp.nodes)), []).append(index)
+    return list(groups.values())
+
+
+# -- the worker process ----------------------------------------------------------
+def _worker_main(
+    worker_id: int,
+    recipe: EngineRecipe,
+    journal_path: str,
+    header: dict[str, Any],
+    config_doc: dict[str, Any],
+    task_q: Any,
+    result_q: Any,
+    heartbeat_seconds: float,
+    chaos: Optional[ChaosKill],
+) -> None:
+    """Run leased unit groups until told to stop (module-level for spawn).
+
+    Units are executed through the serial :class:`Campaign` unit executor
+    — the same measurement, journaling and screening code path — against
+    the worker's own write-ahead journal and a worker-local breaker
+    board.  Telemetry is disabled in the worker: the coordinator owns the
+    campaign's metrics, and the worker journals are the durable truth.
+    """
+    _obs.disable()
+    config = CampaignConfig.from_dict(config_doc)
+    engine = recipe.build()
+    n = int(header["n"])
+    triplets = header.get("triplets")
+    pairs, base_triplets, experiments = _build_schedule(
+        n, config.probe_nbytes,
+        [tuple(t) for t in triplets] if triplets is not None else None,
+    )
+    journal = CampaignJournal.create(
+        journal_path, {**header, "worker": worker_id}, fsync=config.fsync
+    )
+    runner = Campaign(
+        engine, journal, config, pairs, base_triplets, experiments,
+        _ReplayedState(), BreakerBoard(n, policy=config.breaker),
+    )
+
+    stop_beat = threading.Event()
+
+    def _beat() -> None:
+        while not stop_beat.wait(heartbeat_seconds):
+            try:
+                result_q.put(("heartbeat", worker_id, time.time()))
+            except Exception:  # queue torn down under us: we are dying anyway
+                return
+
+    threading.Thread(target=_beat, daemon=True).start()
+    result_q.put(("hello", worker_id, os.getpid(), time.time()))
+    units_done = 0
+    try:
+        while True:
+            msg = task_q.get()
+            if msg[0] == "stop":
+                break
+            _kind, lease_id, indices = msg
+            for index in indices:
+                if (
+                    chaos is not None
+                    and chaos.worker == worker_id
+                    and units_done >= chaos.after_units
+                ):
+                    # Die mid-unit: the intent record is durably journaled,
+                    # the outcome never lands — exactly an OOM kill between
+                    # write-ahead and completion.
+                    journal.append({
+                        "type": "experiment_started",
+                        "index": index,
+                        "experiment": _experiment_to_dict(experiments[index]),
+                    })
+                    if chaos.torn_tail:
+                        with open(journal_path, "a") as handle:
+                            handle.write('{"type": "experiment_done", "ind')
+                    os._exit(CHAOS_EXIT_CODE)
+                state = runner.state
+                before = (state.repetitions, state.sim_time, state.wall_time)
+                outcome = runner._process_unit(index)
+                units_done += 1
+                result_q.put((
+                    "unit", worker_id, lease_id, index, outcome,
+                    {
+                        "attempts": state.repetitions - before[0],
+                        "sim_cost": state.sim_time - before[1],
+                        "wall_cost": state.wall_time - before[2],
+                    },
+                    time.time(),
+                ))
+            result_q.put(("lease_done", worker_id, lease_id, time.time()))
+    except SimulatedCrash:
+        # A ProcessCrash fault plan in the worker's recipe fired: die the
+        # way a real OOM-killed worker would, journal intact.
+        os._exit(CHAOS_EXIT_CODE)
+    finally:
+        stop_beat.set()
+        journal.close()
+    result_q.put(("bye", worker_id, time.time()))
+
+
+# -- merge -----------------------------------------------------------------------
+@dataclass
+class _MergedUnits:
+    """Per-unit outcome records folded across worker journals."""
+
+    done: dict[int, dict[str, Any]] = field(default_factory=dict)
+    failed: dict[int, dict[str, Any]] = field(default_factory=dict)
+    skipped: dict[int, dict[str, Any]] = field(default_factory=dict)
+    #: Units with a journaled intent but no outcome (crash mid-unit).
+    in_flight: set[int] = field(default_factory=set)
+    duplicates: int = 0
+
+    def outcome(self, index: int) -> Optional[str]:
+        if index in self.done:
+            return "done"
+        if index in self.failed:
+            return "failed"
+        if index in self.skipped:
+            return "skipped"
+        return None
+
+
+def _collect_worker_units(path: str, header: dict[str, Any]) -> _MergedUnits:
+    """Fold every worker journal of ``path`` into per-unit outcomes.
+
+    Worker journals are replayed with the standard torn-tail-tolerant
+    replay; duplicate ``experiment_done`` records for the same unit are
+    legal across journals (a reclaimed lease re-measured the unit) *iff*
+    their payloads are identical up to the volatile cost fields (wall
+    clock, accumulated-time deltas) — determinism makes them so.  A
+    differing payload means two journals disagree about physics, which
+    is corruption, not a race.
+    """
+    merged = _MergedUnits()
+    for wpath in worker_journal_paths(path):
+        try:
+            rep = replay(wpath)
+        except JournalCorruption:
+            raise
+        except JournalError:
+            continue  # shard created-then-crashed before its header landed
+        validate_fingerprint(rep.header, header["fingerprint"], wpath)
+        validate_schedule(rep.header, header["schedule_hash"], wpath)
+        started: set[int] = set()
+        for rec in rep.records:
+            rtype = rec.get("type")
+            if rtype == "experiment_started":
+                started.add(int(rec["index"]))
+                continue
+            if rtype not in _UNIT_RECORD_TYPES:
+                continue
+            index = int(rec["index"])
+            started.discard(index)
+            if rtype == "experiment_done":
+                if index in merged.done:
+                    if _record_identity(merged.done[index]) != _record_identity(rec):
+                        raise JournalCorruption(
+                            f"{wpath}: experiment_done for unit {index} "
+                            "disagrees with another worker journal's record; "
+                            "unit results are deterministic, so differing "
+                            "payloads mean a journal was damaged or the "
+                            "shards come from different campaigns"
+                        )
+                    merged.duplicates += 1
+                else:
+                    merged.done[index] = dict(rec)
+            elif rtype == "experiment_failed":
+                merged.failed.setdefault(index, dict(rec))
+            else:
+                merged.skipped.setdefault(index, dict(rec))
+        merged.in_flight.update(started)
+    merged.in_flight -= set(merged.done)
+    return merged
+
+
+def merge_worker_journals(path: str) -> tuple[int, int]:
+    """Deterministically merge ``path``'s worker journals into ``path``.
+
+    Re-orders every *measured* unit into canonical (serial) unit order
+    and writes the canonical journal atomically.  Worker-local skip
+    records are dropped: a skip encodes one worker's breaker history,
+    not physics, so those units are left missing for the serial
+    assembly pass to re-decide against the canonical board.  The result
+    replays exactly like a serial journal — same completed map, same
+    outcome event sequence, same final assembly.
+
+    Returns ``(units_merged, duplicates_dropped)``.
+    """
+    rep = replay(coordinator_path(path))
+    header = rep.header
+    with _obs.span("campaign.parallel.merge", path=path):
+        merged = _collect_worker_units(path, header)
+        config = CampaignConfig.from_dict(header["config"])
+        triplets = header.get("triplets")
+        _pairs, _base, experiments = _build_schedule(
+            int(header["n"]), config.probe_nbytes,
+            [tuple(t) for t in triplets] if triplets is not None else None,
+        )
+        canonical_header = {
+            k: v for k, v in header.items() if k not in ("role", "parallel")
+        }
+        canonical_header["merged_from_workers"] = len(worker_journal_paths(path))
+        lines = [json.dumps(canonical_header)]
+        units_merged = 0
+        for index in range(len(experiments)):
+            record = merged.done.get(index) or merged.failed.get(index)
+            if record is None:
+                continue
+            lines.append(json.dumps({
+                "type": "experiment_started",
+                "index": index,
+                "experiment": _experiment_to_dict(experiments[index]),
+            }))
+            lines.append(json.dumps(record))
+            units_merged += 1
+        atomic_write_text(path, "\n".join(lines) + "\n")
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.registry.counter(
+                "parallel_merge_units_total",
+                help="units merged into the canonical journal",
+            ).inc(units_merged)
+            if merged.duplicates:
+                tel.registry.counter(
+                    "parallel_merge_duplicates_total",
+                    help="double-measured units dropped at merge "
+                         "(identical payloads)",
+                ).inc(merged.duplicates)
+        if merged.duplicates:
+            warnings.warn(
+                f"{path}: merge dropped {merged.duplicates} duplicate unit "
+                "record(s) (re-measured after lease reclamation; payloads "
+                "identical)",
+                stacklevel=2,
+            )
+        return units_merged, merged.duplicates
+
+
+# -- coordinator state -----------------------------------------------------------
+@dataclass
+class _PendingGroup:
+    indices: list[int]
+    retries: int = 0
+    not_before: float = 0.0
+
+
+@dataclass
+class _Lease:
+    lease_id: int
+    worker_id: int
+    remaining: set[int]
+    deadline: float
+    granted_at: float
+    groups: list[_PendingGroup]
+
+
+@dataclass
+class _WorkerHandle:
+    worker_id: int
+    process: Any
+    task_q: Any
+    last_seen: float
+    lease: Optional[_Lease] = None
+    units_completed: int = 0
+
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+
+# -- the parallel campaign -------------------------------------------------------
+class ParallelCampaign:
+    """Coordinator of a sharded, supervised, lease-based campaign.
+
+    Build with :meth:`start` (fresh shard set) or :meth:`resume`
+    (continue one — after a budget stop, a coordinator crash, or any
+    pattern of worker deaths), then call :meth:`run`.
+    """
+
+    def __init__(
+        self,
+        recipe: EngineRecipe,
+        path: str,
+        config: CampaignConfig,
+        parallel: ParallelConfig,
+        header: dict[str, Any],
+        coord: CampaignJournal,
+        done: dict[int, dict[str, Any]],
+    ) -> None:
+        self.recipe = recipe
+        self.path = path
+        self.config = config
+        self.parallel = parallel
+        self.header = header
+        self.coord = coord
+        triplets = header.get("triplets")
+        self.pairs, self.base_triplets, self.experiments = _build_schedule(
+            int(header["n"]), config.probe_nbytes,
+            [tuple(t) for t in triplets] if triplets is not None else None,
+        )
+        self.n = int(header["n"])
+        self.board = BreakerBoard(self.n, policy=config.breaker)
+        self._ctx = mp.get_context(self._start_method())
+        self.result_q = self._ctx.Queue()
+        self.workers: dict[int, _WorkerHandle] = {}
+        self.pending: list[_PendingGroup] = []
+        self.quarantined_units: set[int] = set()
+        self._spawn_seq = 0
+        self._lease_seq = 0
+        self._fleet_size = 0
+        self._completed = set(done)
+        # Budget counters start from what prior runs already spent.
+        self.repetitions = sum(int(r.get("attempts", 0)) for r in done.values())
+        self.sim_time = sum(float(r.get("sim_cost", 0.0)) for r in done.values())
+        self.wall_time = sum(float(r.get("wall_cost", 0.0)) for r in done.values())
+        self._unit_messages = 0
+
+    # -- construction --------------------------------------------------------
+    def _start_method(self) -> str:
+        if self.parallel.start_method is not None:
+            return self.parallel.start_method
+        return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+    @classmethod
+    def start(
+        cls,
+        recipe: EngineRecipe,
+        path: str,
+        config: Optional[CampaignConfig] = None,
+        parallel: Optional[ParallelConfig] = None,
+        triplets: Optional[Sequence[tuple[int, int, int]]] = None,
+    ) -> "ParallelCampaign":
+        """Create a fresh shard set for campaign ``path``.
+
+        Refuses to start over an existing canonical journal or shard set —
+        resume those instead.
+        """
+        config = config if config is not None else CampaignConfig()
+        parallel = parallel if parallel is not None else ParallelConfig()
+        if os.path.exists(path):
+            raise JournalError(
+                f"journal already exists at {path}; resume it or pick a new path"
+            )
+        if parallel_shards_exist(path):
+            raise JournalError(
+                f"parallel shard set already exists for {path}; resume it "
+                "or pick a new path"
+            )
+        engine = recipe.build()
+        _pairs, _base, experiments = _build_schedule(
+            engine.n, config.probe_nbytes, triplets
+        )
+        header = {
+            "fingerprint": cluster_fingerprint(engine),
+            "schedule_hash": _schedule_hash(experiments, config),
+            "n": engine.n,
+            "total_experiments": len(experiments),
+            "triplets": [list(t) for t in triplets] if triplets is not None else None,
+            "config": config.to_dict(),
+        }
+        coord = CampaignJournal.create(
+            coordinator_path(path),
+            {**header, "role": "coordinator",
+             "parallel": {"workers": parallel.workers,
+                          "lease": parallel.lease.to_dict()}},
+            fsync=config.fsync,
+        )
+        campaign = cls(recipe, path, config, parallel, header, coord, {})
+        campaign._seed_pending(exclude=set())
+        return campaign
+
+    @classmethod
+    def resume(
+        cls,
+        recipe: EngineRecipe,
+        path: str,
+        parallel: Optional[ParallelConfig] = None,
+        max_wall_seconds: Optional[float] = None,
+        max_sim_seconds: Optional[float] = None,
+        max_repetitions: Optional[int] = None,
+    ) -> "ParallelCampaign":
+        """Continue a sharded campaign from its coordinator + worker journals.
+
+        Validates the cluster fingerprint, folds every worker journal's
+        completed units (idempotently — double-measured units are
+        deduplicated), re-queues everything else, and spawns a fresh
+        fleet.  The budget arguments, when given, *replace* the journaled
+        caps, exactly as serial :meth:`Campaign.resume` does.
+        """
+        parallel = parallel if parallel is not None else ParallelConfig()
+        coord_file = coordinator_path(path)
+        rep = replay(coord_file)
+        header = {
+            k: v for k, v in rep.header.items()
+            if k not in ("type", "schema_version", "role", "parallel")
+        }
+        config = CampaignConfig.from_dict(header["config"])
+        overrides: dict[str, Any] = {}
+        if max_wall_seconds is not None:
+            overrides["max_wall_seconds"] = max_wall_seconds
+        if max_sim_seconds is not None:
+            overrides["max_sim_seconds"] = max_sim_seconds
+        if max_repetitions is not None:
+            overrides["max_repetitions"] = max_repetitions
+        if overrides:
+            doc = config.to_dict()
+            doc.update(overrides)
+            config = CampaignConfig.from_dict(doc)
+            header["config"] = config.to_dict()
+        engine = recipe.build()
+        validate_fingerprint(header, cluster_fingerprint(engine), coord_file)
+        merged = _collect_worker_units(path, header)
+        coord = CampaignJournal.open_append(coord_file, fsync=config.fsync)
+        coord.append({
+            "type": "coordinator_resumed",
+            "completed_units": len(merged.done),
+            "worker_journals": len(worker_journal_paths(path)),
+        })
+        campaign = cls(recipe, path, config, parallel, header, coord, merged.done)
+        campaign._seed_pending(exclude=set(merged.done))
+        return campaign
+
+    def _seed_pending(self, exclude: set[int]) -> None:
+        for indices in _shard_groups(self.experiments):
+            remaining = [idx for idx in indices if idx not in exclude]
+            if remaining:
+                self.pending.append(_PendingGroup(indices=remaining))
+
+    # -- telemetry -----------------------------------------------------------
+    def _count(self, name: str, help_text: str, value: float = 1.0,
+               **labels: str) -> None:
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.registry.counter(name, help=help_text, **labels).inc(value)
+
+    def _gauge(self, name: str, help_text: str, value: float,
+               **labels: str) -> None:
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.registry.gauge(name, help=help_text, **labels).set(value)
+
+    def _flush_worker_gauges(self) -> None:
+        now = time.time()
+        alive = stale = 0
+        for handle in self.workers.values():
+            if not handle.alive():
+                continue
+            alive += 1
+            age = max(0.0, now - handle.last_seen)
+            self._gauge(
+                "parallel_worker_heartbeat_age_seconds",
+                "seconds since each live worker was last heard from",
+                age, worker=str(handle.worker_id),
+            )
+            if age > self.parallel.lease.stale_after:
+                stale += 1
+        self._gauge("parallel_workers_alive", "live campaign workers", float(alive))
+        self._gauge(
+            "parallel_worker_heartbeat_stale",
+            "live workers whose heartbeat is older than stale_after",
+            float(stale),
+        )
+
+    # -- worker lifecycle ----------------------------------------------------
+    def _spawn_worker(self) -> _WorkerHandle:
+        # Skip ids whose journal already exists (a prior run's fleet):
+        # worker journals are create-once per process generation.
+        while os.path.exists(f"{self.path}.w{self._spawn_seq}"):
+            self._spawn_seq += 1
+        worker_id = self._spawn_seq
+        self._spawn_seq += 1
+        task_q = self._ctx.Queue()
+        chaos = next(
+            (c for c in self.parallel.chaos_kills if c.worker == worker_id), None
+        )
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                worker_id, self.recipe, f"{self.path}.w{worker_id}", self.header,
+                self.config.to_dict(), task_q, self.result_q,
+                self.parallel.lease.heartbeat_seconds, chaos,
+            ),
+            daemon=True,
+        )
+        process.start()
+        handle = _WorkerHandle(
+            worker_id=worker_id, process=process, task_q=task_q,
+            last_seen=time.time(),
+        )
+        self.workers[worker_id] = handle
+        self.coord.append({
+            "type": "worker_spawned", "worker": worker_id, "pid": process.pid,
+        })
+        self._count("parallel_workers_spawned_total", "workers spawned")
+        return handle
+
+    def _grant_lease(self, handle: _WorkerHandle) -> bool:
+        """Hand the next due unit groups to ``handle``; False when none are."""
+        now = time.time()
+        due = [g for g in self.pending if g.not_before <= now]
+        if not due:
+            return False
+        batch = due[: self.parallel.lease.groups_per_lease]
+        for group in batch:
+            self.pending.remove(group)
+        indices = [idx for group in batch for idx in group.indices]
+        self._lease_seq += 1
+        lease = _Lease(
+            lease_id=self._lease_seq,
+            worker_id=handle.worker_id,
+            remaining=set(indices),
+            deadline=now + self.parallel.lease.lease_seconds,
+            granted_at=now,
+            groups=batch,
+        )
+        handle.lease = lease
+        handle.task_q.put(("lease", lease.lease_id, indices))
+        self.coord.append({
+            "type": "lease_granted", "lease": lease.lease_id,
+            "worker": handle.worker_id, "units": indices,
+        })
+        self._count("parallel_leases_granted_total", "leases granted to workers")
+        return True
+
+    def _reclaim(self, handle: _WorkerHandle, reason: str) -> None:
+        """Take a dead or expired worker's unfinished units back.
+
+        Completed units are safe — their worker-journal records survive
+        the crash, and the merge deduplicates any re-measurement.
+        Unfinished units go back to pending with one more retry and
+        exponential backoff, until the retry budget sends them to
+        quarantine through the breaker board.
+        """
+        lease = handle.lease
+        handle.lease = None
+        if lease is None:
+            return
+        if not lease.remaining:
+            self.coord.append({
+                "type": "lease_closed", "lease": lease.lease_id,
+                "worker": handle.worker_id, "reason": reason,
+            })
+            return
+        reclaimed = sorted(lease.remaining)
+        policy = self.parallel.lease
+        retries = max((g.retries for g in lease.groups), default=0) + 1
+        requeued: list[int] = []
+        quarantined: list[int] = []
+        for index in reclaimed:
+            if retries > policy.max_unit_retries:
+                self._quarantine_unit(index)
+                quarantined.append(index)
+            else:
+                requeued.append(index)
+        if requeued:
+            self.pending.append(_PendingGroup(
+                indices=requeued, retries=retries,
+                not_before=time.time()
+                + policy.reassign_backoff * (2 ** (retries - 1)),
+            ))
+        self.coord.append({
+            "type": "units_reclaimed", "lease": lease.lease_id,
+            "worker": handle.worker_id, "reason": reason,
+            "requeued": requeued, "quarantined": quarantined,
+            "retries": retries,
+        })
+        self._count(
+            "parallel_units_reclaimed_total",
+            "in-flight units reclaimed from dead or expired leases",
+            float(len(reclaimed)),
+        )
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.events.warning(
+                "parallel_units_reclaimed", worker=handle.worker_id,
+                reason=reason, requeued=len(requeued),
+                quarantined=len(quarantined),
+            )
+
+    def _quarantine_unit(self, index: int) -> None:
+        self.quarantined_units.add(index)
+        self.board.record_failure(self.experiments[index].nodes)
+        self.board.advance()
+        self._count(
+            "parallel_units_quarantined_total",
+            "units quarantined after exhausting their retry budget",
+        )
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.events.error(
+                "parallel_unit_quarantined", unit=index,
+                nodes=list(self.experiments[index].nodes),
+            )
+
+    def _kill_worker(self, handle: _WorkerHandle, reason: str) -> None:
+        if handle.alive():
+            handle.process.kill()
+            handle.process.join(timeout=5.0)
+        self.coord.append({
+            "type": "worker_dead", "worker": handle.worker_id, "reason": reason,
+        })
+        self._count("parallel_workers_dead_total", "workers lost", reason=reason)
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.events.warning(
+                "parallel_worker_dead", worker=handle.worker_id, reason=reason,
+            )
+        self._reclaim(handle, reason)
+        del self.workers[handle.worker_id]
+
+    def _shutdown_workers(self) -> None:
+        for handle in self.workers.values():
+            try:
+                handle.task_q.put(("stop",))
+            except Exception:
+                pass
+        deadline = time.time() + 10.0
+        for handle in self.workers.values():
+            handle.process.join(timeout=max(0.1, deadline - time.time()))
+            if handle.alive():
+                handle.process.kill()
+                handle.process.join(timeout=5.0)
+        self.workers.clear()
+
+    # -- supervision ---------------------------------------------------------
+    def _budget_exceeded(self) -> Optional[str]:
+        cfg = self.config
+        if cfg.max_sim_seconds is not None and self.sim_time >= cfg.max_sim_seconds:
+            return "budget_sim"
+        if (
+            cfg.max_repetitions is not None
+            and self.repetitions >= cfg.max_repetitions
+        ):
+            return "budget_repetitions"
+        if cfg.max_wall_seconds is not None and self.wall_time >= cfg.max_wall_seconds:
+            return "budget_wall"
+        return None
+
+    def _handle_message(self, msg: tuple) -> None:
+        kind, worker_id = msg[0], msg[1]
+        handle = self.workers.get(worker_id)
+        if handle is not None:
+            handle.last_seen = time.time()
+        if kind == "unit":
+            _, _, lease_id, index, outcome, costs, _t = msg
+            self._unit_messages += 1
+            self.repetitions += int(costs.get("attempts", 0))
+            self.sim_time += float(costs.get("sim_cost", 0.0))
+            self.wall_time += float(costs.get("wall_cost", 0.0))
+            if handle is not None and handle.lease is not None:
+                handle.lease.remaining.discard(index)
+                # Progress renews the lease: a straggler is a worker that
+                # stops landing units, not a worker with a long lease.
+                handle.lease.deadline = (
+                    time.time() + self.parallel.lease.lease_seconds
+                )
+                handle.units_completed += 1
+            if outcome == "done":
+                self._completed.add(index)
+            elif outcome == "failed":
+                self.board.record_failure(self.experiments[index].nodes)
+                self.board.advance()
+            self._count(
+                "parallel_worker_units_total", "units executed per worker",
+                outcome=outcome, worker=str(worker_id),
+            )
+            if (
+                self.parallel.chaos_coordinator_crash_after is not None
+                and self._unit_messages
+                >= self.parallel.chaos_coordinator_crash_after
+            ):
+                for h in list(self.workers.values()):
+                    if h.alive():
+                        h.process.kill()
+                        h.process.join(timeout=5.0)
+                self.workers.clear()
+                self.coord.close()
+                raise SimulatedCrash(
+                    f"coordinator died after {self._unit_messages} unit "
+                    "completions (chaos_coordinator_crash_after)"
+                )
+        elif kind == "lease_done":
+            _, _, lease_id, _t = msg
+            if (
+                handle is not None
+                and handle.lease is not None
+                and handle.lease.lease_id == lease_id
+            ):
+                lease = handle.lease
+                handle.lease = None
+                self.coord.append({
+                    "type": "lease_completed", "lease": lease_id,
+                    "worker": worker_id,
+                })
+                tel = _obs.ACTIVE
+                if tel is not None:
+                    tel.registry.histogram(
+                        "parallel_lease_seconds",
+                        help="wall clock from lease grant to completion",
+                    ).observe(time.time() - lease.granted_at)
+        # hello / heartbeat / bye only refresh last_seen, handled above.
+
+    def _drain_queue(self, timeout: float) -> None:
+        try:
+            msg = self.result_q.get(timeout=timeout)
+        except _queue.Empty:
+            return
+        self._handle_message(msg)
+        while True:
+            try:
+                msg = self.result_q.get_nowait()
+            except _queue.Empty:
+                return
+            self._handle_message(msg)
+
+    def _supervise_once(self) -> None:
+        """One supervision pass: liveness, lease expiry, respawns, grants."""
+        now = time.time()
+        for handle in list(self.workers.values()):
+            if not handle.alive():
+                self._kill_worker(handle, "worker_died")
+                continue
+            lease = handle.lease
+            if lease is not None and now > lease.deadline:
+                self.coord.append({
+                    "type": "lease_expired", "lease": lease.lease_id,
+                    "worker": handle.worker_id,
+                })
+                self._count(
+                    "parallel_leases_expired_total",
+                    "leases that missed their progress deadline",
+                )
+                tel = _obs.ACTIVE
+                if tel is not None:
+                    tel.events.warning(
+                        "parallel_lease_expired", worker=handle.worker_id,
+                        lease=lease.lease_id,
+                    )
+                self._kill_worker(handle, "lease_expired")
+        # Replace lost workers while unassigned work remains and the
+        # respawn budget allows.
+        respawns_used = max(0, self._spawn_seq - self._fleet_size)
+        while (
+            self.pending
+            and len(self.workers) < self.parallel.workers
+            and respawns_used < self.parallel.lease.max_worker_respawns
+        ):
+            self._spawn_worker()
+            respawns_used += 1
+        for handle in self.workers.values():
+            if handle.lease is None:
+                self._grant_lease(handle)
+        self._flush_worker_gauges()
+
+    # -- the sweep -----------------------------------------------------------
+    def run(self) -> CampaignResult:
+        """Execute the sharded sweep, merge, and assemble the final result.
+
+        On a budget stop the shard set is left resumable (no canonical
+        journal yet; :meth:`resume` continues it).  On completion the
+        merge writes the canonical journal at the campaign path and the
+        result is re-derived from it by the serial replay-and-assemble
+        path — bit-identical to an uninterrupted serial run.
+        """
+        wall_start = time.perf_counter()
+        try:
+            with _obs.span(
+                "campaign.parallel.run", n=self.n,
+                total=len(self.experiments), workers=self.parallel.workers,
+            ):
+                stopped = self._run_loop()
+        finally:
+            self._shutdown_workers()
+        if stopped is not None:
+            merged = _collect_worker_units(self.path, self.header)
+            self.coord.append({
+                "type": "checkpoint", "reason": stopped,
+                "completed": len(merged.done),
+            })
+            self.coord.close()
+            return self._stopped_result(stopped, merged, wall_start)
+        units_merged, duplicates = merge_worker_journals(self.path)
+        self.coord.append({
+            "type": "merge_complete",
+            "units": units_merged,
+            "duplicates": duplicates,
+        })
+        result = self._assemble(wall_start)
+        self.coord.append({
+            "type": "campaign_complete", "coverage": result.coverage,
+        })
+        self.coord.close()
+        return result
+
+    def _run_loop(self) -> Optional[str]:
+        if self.pending:
+            for _ in range(min(self.parallel.workers, len(self.pending))):
+                self._spawn_worker()
+        self._fleet_size = self._spawn_seq
+        while True:
+            reason = self._budget_exceeded()
+            if reason is not None:
+                tel = _obs.ACTIVE
+                if tel is not None:
+                    tel.events.warning(
+                        "campaign_budget_stop", reason=reason,
+                        completed=len(self._completed),
+                        total=len(self.experiments),
+                    )
+                return reason
+            self._drain_queue(timeout=0.05)
+            self._supervise_once()
+            in_flight = any(h.lease is not None for h in self.workers.values())
+            if not self.pending and not in_flight:
+                return None
+            if not self.workers and self.pending:
+                # Respawn budget exhausted with work still unassigned (the
+                # supervision pass would have replaced the fleet otherwise):
+                # quarantine the leftovers so the campaign terminates with
+                # an honest degraded report instead of spinning forever.
+                leftovers = sorted(
+                    idx for group in self.pending for idx in group.indices
+                )
+                for index in leftovers:
+                    self._quarantine_unit(index)
+                self.coord.append({
+                    "type": "units_reclaimed", "lease": None, "worker": None,
+                    "reason": "fleet_exhausted", "requeued": [],
+                    "quarantined": leftovers, "retries": -1,
+                })
+                self.pending.clear()
+                return None
+
+    # -- results -------------------------------------------------------------
+    def _stopped_result(
+        self, reason: str, merged: _MergedUnits, wall_start: float
+    ) -> CampaignResult:
+        records = list(merged.done.values()) + list(merged.failed.values())
+        return CampaignResult(
+            model=None,
+            n=self.n,
+            total_experiments=len(self.experiments),
+            completed=len(merged.done),
+            failed=len(merged.failed),
+            skipped=len(merged.skipped),
+            coverage=len(merged.done) / max(1, len(self.experiments)),
+            coverage_floor=self.config.coverage_floor,
+            degraded=True,
+            quarantined=tuple(self.board.open_nodes()),
+            solved_triplets=0,
+            total_triplets=len(self.base_triplets),
+            rejected_triplets=0,
+            stopped=reason,
+            resumable=True,
+            estimation_time=sum(float(r.get("sim_cost", 0.0)) for r in records),
+            wall_time=time.perf_counter() - wall_start,
+            repetitions=sum(int(r.get("attempts", 0)) for r in records),
+            breakers=self.board.to_dict(),
+            journal_path=self.path,
+        )
+
+    def _assemble(self, wall_start: float) -> CampaignResult:
+        """Re-derive the final result from the canonical merged journal.
+
+        This goes through the serial replay-resume-assemble path: a
+        canonical journal with every unit measured re-measures nothing,
+        and one with gaps (units a dying fleet never landed) finishes
+        them serially against the canonical breaker board — the same
+        passes an interrupted serial run would make on resume.  That is
+        what makes the parallel result bit-identical to the serial one
+        by construction rather than by careful bookkeeping.
+        """
+        engine = self.recipe.build()
+        result = Campaign.resume(engine, self.path).run()
+        # Report the fleet's real elapsed time, not the replay's.
+        return replace(result, wall_time=time.perf_counter() - wall_start)
+
+
+# -- status over a shard set -----------------------------------------------------
+def parallel_status(path: str) -> CampaignStatus:
+    """A :class:`CampaignStatus` computed from a sharded journal set.
+
+    Folds every worker journal (idempotently, torn tails tolerated)
+    without touching a cluster, exactly as
+    :func:`repro.estimation.campaign.campaign_status` does for a serial
+    journal.
+    """
+    rep = replay(coordinator_path(path))
+    header = rep.header
+    merged = _collect_worker_units(path, header)
+    total = int(header.get("total_experiments", 0))
+    records = list(merged.done.values()) + list(merged.failed.values())
+    stop_reason = None
+    complete = False
+    for record in rep.records:
+        if record.get("type") == "checkpoint":
+            stop_reason = record.get("reason")
+        elif record.get("type") == "campaign_complete":
+            complete = True
+    solved = total_triplets = 0
+    quarantined: tuple[int, ...] = ()
+    header_config = header.get("config")
+    if header_config is not None:
+        config = CampaignConfig.from_dict(header_config)
+        triplets = header.get("triplets")
+        _pairs, base_triplets, experiments = _build_schedule(
+            int(header["n"]), config.probe_nbytes,
+            [tuple(t) for t in triplets] if triplets is not None else None,
+        )
+        exp_index = {exp: idx for idx, exp in enumerate(experiments)}
+        total_triplets = len(base_triplets)
+        solved = sum(
+            1 for triple in base_triplets
+            if all(exp_index[exp] in merged.done
+                   for exp in _triplet_experiments(triple, config.probe_nbytes))
+        )
+        events = []
+        for index in range(len(experiments)):
+            outcome = merged.outcome(index)
+            if outcome is not None:
+                events.append((outcome, index))
+        with _obs.suppressed():
+            board = _rebuild_board(
+                int(header["n"]), config.breaker, events, experiments
+            )
+        quarantined = tuple(board.open_nodes())
+    return CampaignStatus(
+        journal_path=path,
+        n=int(header.get("n", 0)),
+        total_experiments=total,
+        completed=len(merged.done),
+        failed=len(merged.failed),
+        skipped=len(merged.skipped),
+        in_flight=tuple(sorted(merged.in_flight)),
+        repetitions=sum(int(r.get("attempts", 0)) for r in records),
+        estimation_time=sum(float(r.get("sim_cost", 0.0)) for r in records),
+        wall_time=sum(float(r.get("wall_cost", 0.0)) for r in records),
+        complete=complete,
+        stopped_reason=stop_reason,
+        truncated_tail=False,
+        coverage=len(merged.done) / total if total else 0.0,
+        quarantined=quarantined,
+        solved_triplets=solved,
+        total_triplets=total_triplets,
+    )

@@ -8,12 +8,15 @@ can invoke a hook — e.g. :func:`heal_hook` wrapping a
 :class:`repro.estimation.maintainer.ModelMaintainer` — when a rule with
 ``trigger_heal`` starts firing.
 
-Four rule kinds cover the observatory's needs without a query language:
+Five rule kinds cover the observatory's needs without a query language:
 
 * ``metric_value`` — sum of one family's samples whose labels include
   ``rule.labels`` (e.g. ``breaker_nodes{state=open}``);
 * ``metric_total`` — sum across the whole family (histograms count
   observations);
+* ``metric_ratio`` — ``metric`` summed over ``metric_denom`` summed
+  (0 when the denominator is absent or zero), e.g. lease reclamations
+  per lease granted;
 * ``escalation_rate`` — escalated / total transfers from the
   :mod:`detector <repro.obs.insight.detectors>` histograms;
 * ``residual`` — a scorecard statistic (``p95``/``mean``/``max``/``bias``)
@@ -59,11 +62,13 @@ class AlertRule:
     """One declarative threshold over a metrics snapshot."""
 
     name: str
-    kind: str  # metric_value | metric_total | escalation_rate | residual
+    kind: str  # metric_value | metric_total | metric_ratio | escalation_rate | residual
     threshold: float
     op: str = ">"
     level: str = "warning"
     metric: str = ""
+    #: metric_ratio rules: the denominator family (numerator is ``metric``).
+    metric_denom: str = ""
     labels: tuple[tuple[str, str], ...] = ()
     stat: str = "p95"  # residual rules: p50|p95|mean|max|bias
     model: str = ""  # residual rules: "" = any model
@@ -72,15 +77,17 @@ class AlertRule:
     trigger_heal: bool = False
 
     def __post_init__(self) -> None:
-        if self.kind not in ("metric_value", "metric_total", "escalation_rate",
-                             "residual"):
+        if self.kind not in ("metric_value", "metric_total", "metric_ratio",
+                             "escalation_rate", "residual"):
             raise ValueError(f"unknown rule kind {self.kind!r}")
         if self.op not in _OPS:
             raise ValueError(f"unknown comparison {self.op!r}")
         if self.kind == "residual" and self.stat not in _RESIDUAL_STATS:
             raise ValueError(f"unknown residual stat {self.stat!r}")
-        if self.kind in ("metric_value", "metric_total") and not self.metric:
+        if self.kind in ("metric_value", "metric_total", "metric_ratio") and not self.metric:
             raise ValueError(f"rule {self.name!r} needs a metric name")
+        if self.kind == "metric_ratio" and not self.metric_denom:
+            raise ValueError(f"rule {self.name!r} needs a denominator metric")
         if self.level not in _LEVELS:
             raise ValueError(f"unknown level {self.level!r}")
 
@@ -88,6 +95,7 @@ class AlertRule:
         return {
             "name": self.name, "kind": self.kind, "threshold": self.threshold,
             "op": self.op, "level": self.level, "metric": self.metric,
+            "metric_denom": self.metric_denom,
             "labels": dict(self.labels), "stat": self.stat, "model": self.model,
             "operation": self.operation, "description": self.description,
             "trigger_heal": self.trigger_heal,
@@ -120,17 +128,29 @@ def _labels_match(sample: Mapping[str, Any], wanted: tuple[tuple[str, str], ...]
     return all(str(labels.get(k)) == v for k, v in wanted)
 
 
+def _family_sum(metrics: Mapping[str, Any], name: str,
+                labels: tuple[tuple[str, str], ...] = ()) -> float:
+    family = metrics.get(name)
+    if not family:
+        return 0.0
+    return sum(
+        _sample_value(family["type"], sample)
+        for sample in family.get("samples", ())
+        if _labels_match(sample, labels)
+    )
+
+
 def _evaluate(rule: AlertRule, metrics: Mapping[str, Any],
               cards: list[Scorecard]) -> float:
-    if rule.kind in ("metric_value", "metric_total"):
-        family = metrics.get(rule.metric)
-        if not family:
+    if rule.kind == "metric_value":
+        return _family_sum(metrics, rule.metric, rule.labels)
+    if rule.kind == "metric_total":
+        return _family_sum(metrics, rule.metric)
+    if rule.kind == "metric_ratio":
+        denominator = _family_sum(metrics, rule.metric_denom)
+        if not denominator:
             return 0.0
-        total = 0.0
-        for sample in family.get("samples", ()):
-            if rule.kind == "metric_total" or _labels_match(sample, rule.labels):
-                total += _sample_value(family["type"], sample)
-        return total
+        return _family_sum(metrics, rule.metric, rule.labels) / denominator
     if rule.kind == "escalation_rate":
         transfers = sum(
             float(s["count"])
@@ -232,6 +252,22 @@ def default_rules() -> list[AlertRule]:
             threshold=0.25, op=">", level="warning",
             description="95th-percentile |relative prediction error| "
                         "above 25% for some model/operation",
+        ),
+        AlertRule(
+            name="lease_reclamations_high", kind="metric_ratio",
+            metric="parallel_units_reclaimed_total",
+            metric_denom="parallel_leases_granted_total",
+            threshold=0.5, op=">", level="warning",
+            description="parallel campaign reclaimed more than 0.5 units "
+                        "per granted lease — workers are dying or "
+                        "stragglers are being harvested",
+        ),
+        AlertRule(
+            name="worker_heartbeat_stale", kind="metric_value",
+            metric="parallel_worker_heartbeat_stale",
+            threshold=0.0, op=">", level="error",
+            description="a live campaign worker has not been heard from "
+                        "within the stale_after window",
         ),
     ]
 

@@ -146,16 +146,38 @@ def test_resume_rejects_different_cluster(tmp_path):
         Campaign.resume(make_engine(gt_seed=99), path)
 
 
-def test_resume_rejects_duplicate_done(tmp_path):
+def test_identical_duplicate_done_is_tolerated(uninterrupted, tmp_path):
+    """Replay is idempotent: a re-appended unit record with an identical
+    payload (up to the volatile cost fields) warns and keeps the first."""
     path = str(tmp_path / "j.jsonl")
     with pytest.raises(SimulatedCrash):
         Campaign.start(
             make_engine([ProcessCrash(after_experiments=5)]), path, CONFIG
         ).run()
     rep = replay(path)
+    dup = dict(rep.of_type("experiment_done")[0])
+    dup["wall_cost"] = 999.0  # wall clock is volatile, not identity
     with CampaignJournal.open_append(path) as journal:
-        journal.append(rep.of_type("experiment_done")[0])
-    with pytest.raises(JournalCorruption, match="duplicate experiment_done"):
+        journal.append(dup)
+    with pytest.warns(UserWarning, match="duplicate experiment_done"):
+        resumed = Campaign.resume(make_engine(), path).run()
+    assert models_equal(resumed.model, uninterrupted.model)
+    # The duplicate contributed nothing to the accounting.
+    assert resumed.completed == 36
+
+
+def test_conflicting_duplicate_done_is_corruption(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=5)]), path, CONFIG
+        ).run()
+    rep = replay(path)
+    evil = dict(rep.of_type("experiment_done")[0])
+    evil["value"] = evil["value"] * 2
+    with CampaignJournal.open_append(path) as journal:
+        journal.append(evil)
+    with pytest.raises(JournalCorruption, match="conflicting experiment_done"):
         Campaign.resume(make_engine(), path)
 
 
@@ -400,6 +422,44 @@ def test_status_reports_torn_tail(tmp_path):
     status = campaign_status(path)
     assert status.truncated_tail
     assert "torn record" in status.summary()
+
+
+def test_open_append_truncates_torn_tail(uninterrupted, tmp_path):
+    """Appending after a crash must not weld the new record onto the torn
+    line — that used to turn a recoverable tail into mid-journal
+    corruption the next time status or resume replayed the file."""
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=6)]), path, CONFIG
+        ).run()
+    with open(path, "a") as handle:
+        handle.write('{"type": "experiment_done", "index": 6, "val')
+    with CampaignJournal.open_append(path) as journal:
+        journal.append({"type": "checkpoint", "reason": "test"})
+    rep = replay(path)  # would raise JournalCorruption before the fix
+    assert not rep.truncated_tail
+    assert rep.of_type("checkpoint")[-1]["reason"] == "test"
+    status = campaign_status(path)
+    assert status.completed == 6
+    resumed = Campaign.resume(make_engine(), path).run()
+    assert models_equal(resumed.model, uninterrupted.model)
+
+
+def test_status_summary_reports_wall_clock(tmp_path):
+    path = str(tmp_path / "j.jsonl")
+    with pytest.raises(SimulatedCrash):
+        Campaign.start(
+            make_engine([ProcessCrash(after_experiments=4)]), path, CONFIG
+        ).run()
+    # Wall clock survives a torn tail: only loadable records are counted.
+    with open(path, "a") as handle:
+        handle.write('{"type": "experiment_done", "index": 4, "wall_cost": 1e9')
+    status = campaign_status(path)
+    assert status.wall_time > 0
+    assert status.wall_time < 1e9  # the torn record's cost never lands
+    assert "s wall clock" in status.summary()
+    assert status.coverage == pytest.approx(4 / 36)
 
 
 def test_status_reports_in_flight(tmp_path):

@@ -1,0 +1,455 @@
+"""Parallel campaigns: supervised workers, leases, deterministic merge.
+
+The tentpole acceptance: the parallel executor's output — model
+parameters, coverage, breaker board — is bit-identical to a serial run
+with the same seed, including under chaos-injected worker kills (torn
+tails included) and a coordinator crash followed by resume.
+"""
+
+import json
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import GroundTruth, NoiseModel, SimulatedCrash
+from repro.estimation import (
+    AnalyticEngineRecipe,
+    Campaign,
+    CampaignConfig,
+    ChaosKill,
+    DESEngineRecipe,
+    JournalCorruption,
+    JournalError,
+    LeasePolicy,
+    ParallelCampaign,
+    ParallelConfig,
+    campaign_status,
+    merge_worker_journals,
+    parallel_shards_exist,
+    parallel_status,
+    recipe_for_cluster,
+    worker_journal_paths,
+)
+from repro.estimation.journal import replay
+from repro.estimation.parallel import coordinator_path
+from repro.obs import runtime as _obs
+
+pytestmark = pytest.mark.campaign
+
+CONFIG = CampaignConfig(seed=11, timeout=5.0)
+
+#: Fast-reclaim lease policy so chaos tests don't wait out real deadlines.
+FAST_LEASE = LeasePolicy(
+    lease_seconds=10.0, heartbeat_seconds=0.1, stale_after=2.0,
+    groups_per_lease=2, reassign_backoff=0.01,
+)
+
+
+def make_recipe(gt_seed=2):
+    gt = GroundTruth.random(4, seed=gt_seed)
+    return AnalyticEngineRecipe(
+        gt, noise=NoiseModel(rel_sigma=0.05, spike_prob=0.0), seed=0
+    )
+
+
+def models_equal(a, b):
+    return all(
+        np.array_equal(getattr(a, name), getattr(b, name))
+        for name in ("C", "t", "L", "beta")
+    )
+
+
+def assert_same_output(serial, parallel_result):
+    """The ISSUE's byte-identical acceptance: model, coverage, breakers."""
+    assert models_equal(serial.model, parallel_result.model)
+    assert parallel_result.coverage == serial.coverage
+    assert parallel_result.breakers == serial.breakers
+    assert parallel_result.completed == serial.completed
+    assert parallel_result.failed == serial.failed
+
+
+@pytest.fixture(scope="module")
+def serial_run(tmp_path_factory):
+    path = tmp_path_factory.mktemp("serial") / "serial.jsonl"
+    recipe = make_recipe()
+    return Campaign.start(recipe.build(), str(path), CONFIG).run()
+
+
+# -- the happy path --------------------------------------------------------------
+def test_parallel_is_bit_identical_to_serial(serial_run, tmp_path):
+    path = str(tmp_path / "par.jsonl")
+    result = ParallelCampaign.start(
+        make_recipe(), path, config=CONFIG,
+        parallel=ParallelConfig(workers=2, lease=FAST_LEASE),
+    ).run()
+    assert result.stopped == "complete"
+    assert result.completed == 36
+    assert not result.degraded
+    assert_same_output(serial_run, result)
+    # The canonical merged journal exists and replays cleanly in unit order.
+    rep = replay(path)
+    done = rep.of_type("experiment_done")
+    assert [rec["index"] for rec in done] == sorted(rec["index"] for rec in done)
+    assert len(done) == 36
+    assert rep.header["merged_from_workers"] == len(worker_journal_paths(path))
+
+
+def test_single_worker_degenerates_to_serial(serial_run, tmp_path):
+    path = str(tmp_path / "one.jsonl")
+    result = ParallelCampaign.start(
+        make_recipe(), path, config=CONFIG,
+        parallel=ParallelConfig(workers=1, lease=FAST_LEASE),
+    ).run()
+    assert_same_output(serial_run, result)
+
+
+def test_start_refuses_existing_journal_or_shards(serial_run, tmp_path):
+    with pytest.raises(JournalError, match="already exists"):
+        ParallelCampaign.start(make_recipe(), serial_run.journal_path, CONFIG)
+    path = str(tmp_path / "shards.jsonl")
+    lease = LeasePolicy(heartbeat_seconds=0.1)
+    with pytest.raises(SimulatedCrash):
+        ParallelCampaign.start(
+            make_recipe(), path, config=CONFIG,
+            parallel=ParallelConfig(workers=1, lease=lease,
+                                    chaos_coordinator_crash_after=2),
+        ).run()
+    with pytest.raises(JournalError, match="shard set already exists"):
+        ParallelCampaign.start(make_recipe(), path, CONFIG)
+
+
+# -- chaos: worker kills ---------------------------------------------------------
+def test_killed_worker_is_reclaimed_and_result_identical(serial_run, tmp_path):
+    path = str(tmp_path / "kill.jsonl")
+    result = ParallelCampaign.start(
+        make_recipe(), path, config=CONFIG,
+        parallel=ParallelConfig(
+            workers=2, lease=FAST_LEASE,
+            chaos_kills=(ChaosKill(worker=0, after_units=2, torn_tail=True),),
+        ),
+    ).run()
+    assert result.stopped == "complete"
+    assert_same_output(serial_run, result)
+    coord = replay(coordinator_path(path))
+    assert coord.of_type("worker_dead"), "the chaos kill must be supervised"
+    assert coord.of_type("units_reclaimed"), "in-flight units must be reclaimed"
+    # The torn tail the dying worker left is tolerated everywhere.
+    assert len(replay(path).of_type("experiment_done")) == 36
+
+
+def test_both_initial_workers_killed_still_completes(serial_run, tmp_path):
+    path = str(tmp_path / "kill2.jsonl")
+    result = ParallelCampaign.start(
+        make_recipe(), path, config=CONFIG,
+        parallel=ParallelConfig(
+            workers=2, lease=FAST_LEASE,
+            chaos_kills=(
+                ChaosKill(worker=0, after_units=1, torn_tail=True),
+                ChaosKill(worker=1, after_units=3),
+            ),
+        ),
+    ).run()
+    assert result.stopped == "complete"
+    assert_same_output(serial_run, result)
+    dead = replay(coordinator_path(path)).of_type("worker_dead")
+    assert len(dead) >= 2
+
+
+def test_fleet_exhaustion_finishes_serially(serial_run, tmp_path):
+    """Every worker dies instantly and the respawn budget runs out: the
+    leftovers are quarantined, then the assembly pass finishes them
+    serially — the result still lands, still bit-identical."""
+    path = str(tmp_path / "exhaust.jsonl")
+    lease = LeasePolicy(
+        lease_seconds=10.0, heartbeat_seconds=0.1, stale_after=2.0,
+        reassign_backoff=0.01, max_worker_respawns=1,
+    )
+    result = ParallelCampaign.start(
+        make_recipe(), path, config=CONFIG,
+        parallel=ParallelConfig(
+            workers=1, lease=lease,
+            chaos_kills=tuple(
+                ChaosKill(worker=w, after_units=0) for w in range(4)
+            ),
+        ),
+    ).run()
+    coord = replay(coordinator_path(path))
+    reasons = [rec["reason"] for rec in coord.of_type("units_reclaimed")]
+    assert "fleet_exhausted" in reasons
+    assert result.stopped == "complete"
+    assert_same_output(serial_run, result)
+
+
+# -- chaos: coordinator crash + resume -------------------------------------------
+def test_coordinator_crash_resumes_bit_identical(serial_run, tmp_path):
+    path = str(tmp_path / "coord.jsonl")
+    with pytest.raises(SimulatedCrash):
+        ParallelCampaign.start(
+            make_recipe(), path, config=CONFIG,
+            parallel=ParallelConfig(workers=2, lease=FAST_LEASE,
+                                    chaos_coordinator_crash_after=5),
+        ).run()
+    assert parallel_shards_exist(path)
+    assert not os.path.exists(path)  # no canonical journal yet
+    status = campaign_status(path)  # the status fallback reads the shard set
+    assert 0 < status.completed < 36
+    assert not status.complete
+    resumed = ParallelCampaign.resume(
+        make_recipe(), path, parallel=ParallelConfig(workers=2, lease=FAST_LEASE)
+    ).run()
+    assert resumed.stopped == "complete"
+    assert_same_output(serial_run, resumed)
+    coord = replay(coordinator_path(path))
+    assert coord.of_type("coordinator_resumed")
+    # Nothing measured before the crash was re-measured after it... except
+    # units that were in flight when the fleet died (deduplicated anyway).
+    done = replay(path).of_type("experiment_done")
+    assert len(done) == 36
+    assert len({rec["index"] for rec in done}) == 36
+
+
+def test_worker_kill_then_coordinator_crash_then_resume(serial_run, tmp_path):
+    """The compound failure: one worker dies mid-unit with a torn tail,
+    then the coordinator dies, then a fresh coordinator resumes."""
+    path = str(tmp_path / "compound.jsonl")
+    with pytest.raises(SimulatedCrash):
+        ParallelCampaign.start(
+            make_recipe(), path, config=CONFIG,
+            parallel=ParallelConfig(
+                workers=2, lease=FAST_LEASE,
+                chaos_kills=(ChaosKill(worker=0, after_units=1, torn_tail=True),),
+                chaos_coordinator_crash_after=8,
+            ),
+        ).run()
+    resumed = ParallelCampaign.resume(
+        make_recipe(), path, parallel=ParallelConfig(workers=2, lease=FAST_LEASE)
+    ).run()
+    assert_same_output(serial_run, resumed)
+
+
+def test_budget_stop_is_resumable_through_parallel_path(serial_run, tmp_path):
+    path = str(tmp_path / "budget.jsonl")
+    config = CampaignConfig(seed=11, timeout=5.0, max_repetitions=30)
+    result = ParallelCampaign.start(
+        make_recipe(), path, config=config,
+        parallel=ParallelConfig(workers=2, lease=FAST_LEASE),
+    ).run()
+    assert result.stopped == "budget_repetitions"
+    assert result.resumable
+    assert result.model is None
+    assert not os.path.exists(path)  # still sharded, no canonical journal
+    resumed = ParallelCampaign.resume(
+        make_recipe(), path,
+        parallel=ParallelConfig(workers=2, lease=FAST_LEASE),
+        max_repetitions=10**6,
+    ).run()
+    assert resumed.stopped == "complete"
+    assert_same_output(serial_run, resumed)
+
+
+# -- merge semantics -------------------------------------------------------------
+def _shard_set_with_crash(tmp_path):
+    path = str(tmp_path / "m.jsonl")
+    with pytest.raises(SimulatedCrash):
+        ParallelCampaign.start(
+            make_recipe(), path, config=CONFIG,
+            parallel=ParallelConfig(workers=2, lease=FAST_LEASE,
+                                    chaos_coordinator_crash_after=6),
+        ).run()
+    return path
+
+
+def test_merge_deduplicates_identical_records(tmp_path):
+    path = _shard_set_with_crash(tmp_path)
+    shards = worker_journal_paths(path)
+    assert len(shards) == 2
+    donor = replay(shards[0]).of_type("experiment_done")[0]
+    dup = dict(donor)
+    dup["wall_cost"] = 123.456  # wall clock is volatile, not identity
+    with open(shards[1], "a") as handle:
+        handle.write(json.dumps(dup) + "\n")
+    with pytest.warns(UserWarning, match="duplicate unit record"):
+        units, duplicates = merge_worker_journals(path)
+    assert duplicates == 1
+    done = replay(path).of_type("experiment_done")
+    assert len({rec["index"] for rec in done}) == len(done) == units
+
+
+def test_merge_rejects_conflicting_records(tmp_path):
+    path = _shard_set_with_crash(tmp_path)
+    shards = worker_journal_paths(path)
+    donor = replay(shards[0]).of_type("experiment_done")[0]
+    evil = dict(donor)
+    evil["samples"] = [s * 2 for s in evil["samples"]]
+    with open(shards[1], "a") as handle:
+        handle.write(json.dumps(evil) + "\n")
+    with pytest.raises(JournalCorruption, match="disagrees"):
+        merge_worker_journals(path)
+
+
+def test_merge_rejects_headerless_shard(tmp_path):
+    """Shard headers are written atomically, so an empty worker journal
+    cannot be a crash artifact — it is damage, and merge says so."""
+    path = _shard_set_with_crash(tmp_path)
+    open(path + ".w7", "w").close()
+    with pytest.raises(JournalCorruption, match="no complete header"):
+        merge_worker_journals(path)
+
+
+# -- status over a shard set -----------------------------------------------------
+def test_parallel_status_reports_progress(tmp_path):
+    path = _shard_set_with_crash(tmp_path)
+    status = parallel_status(path)
+    assert status.total_experiments == 36
+    assert 0 < status.completed < 36
+    assert status.coverage == pytest.approx(status.completed / 36)
+    assert status.repetitions > 0
+    assert status.estimation_time > 0
+    assert not status.complete
+    text = status.summary()
+    assert "s wall clock" in text
+    # campaign_status falls through to the shard set when the canonical
+    # journal does not exist yet.
+    assert campaign_status(path).completed == status.completed
+
+
+# -- recipes and config ----------------------------------------------------------
+def test_recipe_for_cluster_round_trips_identity(tmp_path):
+    import pickle
+
+    from repro.cluster import (
+        IDEAL, FaultInjector, FaultPlan, NodeCrash, SimulatedCluster,
+        random_cluster,
+    )
+
+    gt = GroundTruth.random(4, seed=5)
+    cluster = SimulatedCluster(
+        random_cluster(4, seed=5), ground_truth=gt, profile=IDEAL,
+        noise=NoiseModel(rel_sigma=0.02, spike_prob=0.0), seed=7,
+    )
+    cluster.attach_injector(
+        FaultInjector(FaultPlan(faults=(NodeCrash(node=3),)))
+    )
+    recipe = recipe_for_cluster(cluster)
+    assert isinstance(recipe, DESEngineRecipe)
+    rebuilt = pickle.loads(pickle.dumps(recipe)).build()
+    assert rebuilt.n == 4
+    assert rebuilt.cluster.injector is not None
+
+
+def test_lease_policy_validation_and_roundtrip():
+    policy = LeasePolicy(lease_seconds=5.0, groups_per_lease=3)
+    assert LeasePolicy.from_dict(policy.to_dict()) == policy
+    with pytest.raises(ValueError, match="lease_seconds"):
+        LeasePolicy(lease_seconds=0.0)
+    with pytest.raises(ValueError, match="groups_per_lease"):
+        LeasePolicy(groups_per_lease=0)
+    with pytest.raises(ValueError, match="max_unit_retries"):
+        LeasePolicy(max_unit_retries=-1)
+    with pytest.raises(ValueError, match="workers"):
+        ParallelConfig(workers=0)
+    with pytest.raises(ValueError, match="chaos_coordinator_crash_after"):
+        ParallelConfig(chaos_coordinator_crash_after=0)
+    with pytest.raises(ValueError, match="worker"):
+        ChaosKill(worker=-1, after_units=0)
+
+
+# -- telemetry -------------------------------------------------------------------
+def test_parallel_run_emits_lease_and_worker_metrics(tmp_path):
+    path = str(tmp_path / "tel.jsonl")
+    tel = _obs.enable(fresh=True)
+    try:
+        ParallelCampaign.start(
+            make_recipe(), path, config=CONFIG,
+            parallel=ParallelConfig(
+                workers=2, lease=FAST_LEASE,
+                chaos_kills=(ChaosKill(worker=0, after_units=1),),
+            ),
+        ).run()
+        reg = tel.registry
+        assert reg.total("parallel_workers_spawned_total") >= 2
+        assert reg.total("parallel_leases_granted_total") > 0
+        assert reg.total("parallel_workers_dead_total") >= 1
+        assert reg.total("parallel_units_reclaimed_total") >= 1
+        assert reg.total("parallel_merge_units_total") == 36
+        names = {span.name for span in tel.spans.finished()}
+        assert "campaign.parallel.run" in names
+        assert "campaign.parallel.merge" in names
+        assert tel.events.events(name="parallel_worker_dead")
+    finally:
+        _obs.disable()
+
+
+# -- the api front door ----------------------------------------------------------
+def test_api_run_campaign_workers_matches_serial(tmp_path):
+    from repro import api
+    from repro.cluster import IDEAL, SimulatedCluster, random_cluster
+
+    def cluster():
+        gt = GroundTruth.random(4, seed=5)
+        return SimulatedCluster(
+            random_cluster(4, seed=5), ground_truth=gt, profile=IDEAL,
+            noise=NoiseModel(rel_sigma=0.02, spike_prob=0.0), seed=7,
+        )
+
+    serial = api.run_campaign(cluster(), str(tmp_path / "s.jsonl"), CONFIG)
+    par = api.run_campaign(
+        cluster(), str(tmp_path / "p.jsonl"), CONFIG, workers=2,
+        parallel=ParallelConfig(workers=2, lease=FAST_LEASE),
+    )
+    assert_same_output(serial, par)
+
+
+def test_api_resume_campaign_detects_shard_set(tmp_path):
+    from repro import api
+    from repro.cluster import IDEAL, SimulatedCluster, random_cluster
+
+    def cluster():
+        gt = GroundTruth.random(4, seed=5)
+        return SimulatedCluster(
+            random_cluster(4, seed=5), ground_truth=gt, profile=IDEAL,
+            noise=NoiseModel(rel_sigma=0.02, spike_prob=0.0), seed=7,
+        )
+
+    serial = api.run_campaign(cluster(), str(tmp_path / "s.jsonl"), CONFIG)
+    path = str(tmp_path / "p.jsonl")
+    recipe = recipe_for_cluster(cluster())
+    with pytest.raises(SimulatedCrash):
+        ParallelCampaign.start(
+            recipe, path, config=CONFIG,
+            parallel=ParallelConfig(workers=2, lease=FAST_LEASE,
+                                    chaos_coordinator_crash_after=4),
+        ).run()
+    resumed = api.resume_campaign(
+        cluster(), path, workers=2,
+        parallel=ParallelConfig(workers=2, lease=FAST_LEASE),
+    )
+    assert_same_output(serial, resumed)
+
+
+# -- property: determinism under random schedules, fleets and kill points --------
+@settings(max_examples=5, deadline=None)
+@given(
+    workers=st.integers(min_value=1, max_value=3),
+    kill_after=st.integers(min_value=0, max_value=12),
+    torn=st.booleans(),
+)
+def test_any_kill_point_merges_identically(
+    workers, kill_after, torn, serial_run, tmp_path_factory
+):
+    tmp_path = tmp_path_factory.mktemp("prop")
+    path = str(tmp_path / "j.jsonl")
+    result = ParallelCampaign.start(
+        make_recipe(), path, config=CONFIG,
+        parallel=ParallelConfig(
+            workers=workers, lease=FAST_LEASE,
+            chaos_kills=(
+                ChaosKill(worker=0, after_units=kill_after, torn_tail=torn),
+            ),
+        ),
+    ).run()
+    assert result.stopped == "complete"
+    assert_same_output(serial_run, result)

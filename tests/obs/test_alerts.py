@@ -177,14 +177,54 @@ def test_default_rules_catalog():
     rules = default_rules()
     names = [r.name for r in rules]
     assert names == ["escalation_rate_high", "breaker_open",
-                     "model_drift_high", "residual_p95_high"]
+                     "model_drift_high", "residual_p95_high",
+                     "lease_reclamations_high", "worker_heartbeat_stale"]
     assert len(set(names)) == len(names)
     assert all(r.description for r in rules)
     heal = [r.name for r in rules if r.trigger_heal]
     assert heal == ["model_drift_high"]
     # The stock set evaluates cleanly against an empty snapshot.
     states = AlertEngine().evaluate({})
-    assert [s.firing for s in states] == [False] * 4
+    assert [s.firing for s in states] == [False] * len(rules)
+
+
+def test_metric_ratio_rule_divides_family_sums():
+    reg = MetricsRegistry()
+    reg.counter("reclaims").inc(3)
+    reg.counter("grants", worker="0").inc(2)
+    reg.counter("grants", worker="1").inc(2)
+    rule = AlertRule(name="r", kind="metric_ratio", metric="reclaims",
+                     metric_denom="grants", threshold=0.5, op=">")
+    states = AlertEngine(rules=[rule]).evaluate(reg.snapshot())
+    assert states[0].value == pytest.approx(0.75)
+    assert states[0].firing
+
+
+def test_metric_ratio_rule_is_zero_when_denominator_absent():
+    reg = MetricsRegistry()
+    reg.counter("reclaims").inc(5)
+    rule = AlertRule(name="r", kind="metric_ratio", metric="reclaims",
+                     metric_denom="grants", threshold=0.5, op=">")
+    states = AlertEngine(rules=[rule]).evaluate(reg.snapshot())
+    assert states[0].value == 0.0 and not states[0].firing
+
+
+def test_metric_ratio_rule_requires_denominator():
+    with pytest.raises(ValueError, match="denominator"):
+        AlertRule(name="r", kind="metric_ratio", metric="a", threshold=0.5)
+
+
+def test_default_lease_reclamation_rule_fires_on_churny_campaign():
+    reg = MetricsRegistry()
+    reg.counter("parallel_leases_granted_total").inc(10)
+    reg.counter("parallel_units_reclaimed_total").inc(8)
+    reg.gauge("parallel_worker_heartbeat_stale").set(1)
+    states = AlertEngine().evaluate(reg.snapshot())
+    by_name = {s.rule.name: s for s in states}
+    assert by_name["lease_reclamations_high"].firing
+    assert by_name["lease_reclamations_high"].value == pytest.approx(0.8)
+    assert by_name["worker_heartbeat_stale"].firing
+    assert by_name["worker_heartbeat_stale"].rule.level == "error"
 
 
 def test_default_escalation_rate_rule_fires_on_hot_region():
