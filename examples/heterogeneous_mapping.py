@@ -16,12 +16,12 @@ Run with::
 """
 
 
+from repro import api
 from repro.cluster import IDEAL, GroundTruth, NoiseModel, SimulatedCluster, homogeneous_cluster
 from repro.models import (
     ExtendedLMOModel,
     HeterogeneousHockneyModel,
-    predict_linear_pipelined,
-    predict_linear_scatter,
+    predict_linear_pipelined,  # formula-level: no facade equivalent
 )
 from repro.mpi import run_collective
 
@@ -57,10 +57,13 @@ def main() -> None:
             cluster.ground_truth
         ).averaged()
         observed = run_collective(cluster, "scatter", "linear", nbytes=nbytes).time
+        lmo_ms = api.predict(lmo, "scatter", "linear", nbytes).seconds * 1e3
+        hom_ms = api.predict(hockney, "scatter", "linear", nbytes,
+                             assumption="parallel").seconds * 1e3
         print(f"{factor:7.1f} {observed * 1e3:9.2f}ms "
-              f"{predict_linear_scatter(lmo, nbytes) * 1e3:9.2f}ms "
+              f"{lmo_ms:9.2f}ms "
               f"{predict_linear_pipelined(lmo, nbytes) * 1e3:9.2f}ms "
-              f"{predict_linear_scatter(hockney, nbytes, assumption='parallel') * 1e3:9.2f}ms"
+              f"{hom_ms:9.2f}ms"
               )
     print("   (formula (4) charges the straggler after all send slots —")
     print("    pessimistic; the pipelined tree evaluation is exact.")
@@ -74,7 +77,8 @@ def main() -> None:
     lmo = ExtendedLMOModel.from_ground_truth(cluster.ground_truth)
     print("choosing the scatter root with the LMO model (straggler = node 3):")
     predictions = {
-        root: predict_linear_scatter(lmo, nbytes, root=root) for root in range(N)
+        root: api.predict(lmo, "scatter", "linear", nbytes, root=root).seconds
+        for root in range(N)
     }
     best_root = min(predictions, key=predictions.__getitem__)
     worst_root = max(predictions, key=predictions.__getitem__)

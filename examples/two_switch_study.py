@@ -26,8 +26,8 @@ from repro.cluster import (
     TwoSwitchTopology,
     random_cluster,
 )
+from repro import api
 from repro.estimation import DESEngine, estimate_extended_lmo
-from repro.models import predict_linear_scatter
 from repro.mpi import run_collective, run_group_collective
 from repro.simlib import Tracer
 
@@ -53,10 +53,11 @@ def main() -> None:
     observed_intra = run_group_collective(
         cluster, intra_members, "scatter", "linear", nbytes=M
     ).time
-    predicted_intra = predict_linear_scatter(model, M, root=intra_members[0],
-                                             participants=intra_members)
+    predicted_intra = api.predict(model, "scatter", "linear", M,
+                                  root=intra_members[0],
+                                  participants=tuple(intra_members)).seconds
     observed_full = run_collective(cluster, "scatter", "linear", nbytes=M).time
-    predicted_full = predict_linear_scatter(model, M)
+    predicted_full = api.predict(model, "scatter", "linear", M).seconds
 
     print(f"linear scatter of {M // KB} KB blocks (estimated-model predictions):")
     print(f"  within one switch : predicted {predicted_intra * 1e3:6.2f} ms, "

@@ -19,19 +19,21 @@ communication performance models for computational clusters* (IPDPS
 - :mod:`repro.analysis` — prediction-accuracy scoring
 - :mod:`repro.experiments` — one harness per paper table/figure
 - :mod:`repro.io` — JSON model serialization
+- :mod:`repro.api` — the stable facade (schema-v3 result types, error
+  taxonomy); start here
+- :mod:`repro.serve` — always-on prediction service daemon (NDJSON over
+  TCP / Unix socket) speaking the same schema-v3 payloads
 - :mod:`repro.cli` — ``python -m repro`` command-line interface
 
 Quickstart::
 
-    from repro.cluster import LAM_7_1_3, SimulatedCluster, table1_cluster
-    from repro.estimation import DESEngine, estimate_extended_lmo
-    from repro.models import predict_linear_scatter
-    from repro.mpi import run_collective
+    from repro import api
 
-    cluster = SimulatedCluster(table1_cluster(), profile=LAM_7_1_3, seed=0)
-    model = estimate_extended_lmo(DESEngine(cluster), reps=3, clamp=True).model
-    predicted = predict_linear_scatter(model, 64 * 1024)
-    observed = run_collective(cluster, "scatter", "linear", 64 * 1024).time
+    cluster = api.load_cluster()                # Table I, LAM 7.1.3
+    outcome = api.estimate(cluster)             # extended LMO (eqs. 6-12)
+    predicted = api.predict(outcome.model, "scatter", "linear", 64 * 1024)
+    observed = api.measure(cluster, "scatter", "linear", 64 * 1024)
+    print(predicted.seconds, observed.mean)
 """
 
 __version__ = "1.0.0"

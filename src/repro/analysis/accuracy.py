@@ -15,15 +15,10 @@ from typing import Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.api.errors import ModelNotLoaded
 from repro.benchlib import CollectiveBenchmark
 from repro.cluster.machine import SimulatedCluster
-from repro.models.collectives.formulas import (
-    GatherPrediction,
-    predict_binomial_gather,
-    predict_binomial_scatter,
-    predict_linear_gather,
-    predict_linear_scatter,
-)
+from repro.predict_service import predict_one
 from repro.stats import MeasurementPolicy
 
 __all__ = ["AccuracyReport", "ModelScore", "score_models"]
@@ -74,16 +69,18 @@ class AccuracyReport:
 
 
 def _predict_point(model, operation: str, algorithm: str, nbytes: int) -> float:
-    if operation == "scatter" and algorithm == "linear":
-        return float(predict_linear_scatter(model, nbytes))
-    if operation == "scatter" and algorithm == "binomial":
-        return float(predict_binomial_scatter(model, nbytes))
-    if operation == "gather" and algorithm == "linear":
-        value = predict_linear_gather(model, nbytes)
-        return value.expected if isinstance(value, GatherPrediction) else float(value)
-    if operation == "gather" and algorithm == "binomial":
-        return float(predict_binomial_gather(model, nbytes))
-    raise KeyError(f"no prediction for {operation}/{algorithm}")
+    """One expected time via the central prediction service.
+
+    Same vectorized path (and cache) as :func:`repro.api.predict` —
+    gather predictions are expected times including the escalation term.
+    """
+    try:
+        return predict_one(model, operation, algorithm, float(nbytes))
+    except KeyError as exc:
+        raise ModelNotLoaded(
+            f"no prediction for {operation}/{algorithm}: "
+            f"{exc.args[0] if exc.args else exc}"
+        ) from exc
 
 
 def score_models(

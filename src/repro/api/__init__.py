@@ -10,10 +10,16 @@ One import gives the whole paper workflow::
     m = api.measure(cluster, "scatter", "linear", 65536)
     print(p.seconds, m.mean)
 
-Every function returns a frozen dataclass with a ``to_dict()`` method, so
-results serialize straight to JSON (this is what ``--format json`` in the
-CLI emits).  Heavy lifting stays in the specialist modules — estimation
-in :mod:`repro.estimation`, vectorized prediction in
+Every function returns a frozen dataclass from :mod:`repro.api.schema`
+(schema version 3) with ``to_dict()``/``from_dict()`` — the same
+serialization the CLI's ``--format json`` prints and the
+:mod:`repro.serve` wire protocol speaks, so an in-process result and a
+wire reply round-trip to identical JSON.  Failures raise the unified
+taxonomy of :mod:`repro.api.errors` (``InvalidRequest`` /
+``ModelNotLoaded`` / ``Overloaded`` / ``InternalError``, with stable
+string codes that map 1:1 onto wire and CLI error payloads).  Heavy
+lifting stays in the specialist modules — estimation in
+:mod:`repro.estimation`, vectorized prediction in
 :mod:`repro.predict_service`, measurement in :mod:`repro.benchlib` — the
 facade only composes them and names their results.
 """
@@ -21,12 +27,28 @@ facade only composes them and names their results.
 from __future__ import annotations
 
 import os
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 import numpy as np
 
 from repro import io as model_io
+from repro.api import errors, schema
+from repro.api.errors import (
+    ApiError,
+    InternalError,
+    InvalidRequest,
+    ModelNotLoaded,
+    Overloaded,
+)
+from repro.api.schema import (
+    SCHEMA_VERSION,
+    EstimateOutcome,
+    GatherOptimization,
+    Measurement,
+    Prediction,
+    PredictionBatch,
+)
 from repro.benchlib import CollectiveBenchmark
 from repro.cluster import (
     LAM_7_1_3,
@@ -83,12 +105,21 @@ from repro.stats import MeasurementPolicy
 
 __all__ = [
     "PROFILES",
+    "SCHEMA_VERSION",
+    "ApiError",
+    "InternalError",
+    "InvalidRequest",
+    "ModelNotLoaded",
+    "Overloaded",
+    "errors",
+    "schema",
     "CampaignConfig",
     "CampaignResult",
     "CampaignStatus",
     "ParallelConfig",
     "PredictRequest",
     "Prediction",
+    "PredictionBatch",
     "Measurement",
     "EstimateOutcome",
     "FidelityCheck",
@@ -121,87 +152,8 @@ PROFILES = {
 }
 
 
-# -- result types ---------------------------------------------------------------
-@dataclass(frozen=True)
-class Prediction:
-    """One predicted collective (or point-to-point) time."""
-
-    operation: str
-    algorithm: str
-    nbytes: float
-    root: int
-    seconds: float
-    #: Gather regime ("small" / "medium" / "large") when the model carries
-    #: an empirical irregularity; None otherwise.
-    regime: Optional[str] = None
-    escalation_probability: Optional[float] = None
-
-    def to_dict(self) -> dict:
-        return asdict(self)
-
-
-@dataclass(frozen=True)
-class Measurement:
-    """One benchmarked collective time with its confidence interval."""
-
-    operation: str
-    algorithm: str
-    nbytes: int
-    root: int
-    mean: float
-    ci_halfwidth: float
-    reps: int
-    confidence: float
-
-    def to_dict(self) -> dict:
-        return asdict(self)
-
-
-@dataclass(frozen=True)
-class EstimateOutcome:
-    """An estimated model plus what the estimation cost."""
-
-    model: object
-    model_name: str
-    n: int
-    #: Simulated cluster seconds consumed by the estimation procedure.
-    estimation_time: float
-
-    def to_dict(self) -> dict:
-        return {
-            "model_name": self.model_name,
-            "n": self.n,
-            "estimation_time": self.estimation_time,
-        }
-
-
-@dataclass(frozen=True)
-class GatherOptimization:
-    """Predicted effect of model-based gather message-splitting (Fig. 7)."""
-
-    root: int
-    sizes: tuple[float, ...]
-    chunk_counts: tuple[int, ...]
-    native_seconds: tuple[float, ...]
-    optimized_seconds: tuple[float, ...]
-
-    @property
-    def speedups(self) -> tuple[float, ...]:
-        """native / optimized per size (1.0 where no split applies)."""
-        return tuple(
-            native / opt if opt > 0 else 1.0
-            for native, opt in zip(self.native_seconds, self.optimized_seconds)
-        )
-
-    def to_dict(self) -> dict:
-        return {
-            "root": self.root,
-            "sizes": list(self.sizes),
-            "chunk_counts": list(self.chunk_counts),
-            "native_seconds": list(self.native_seconds),
-            "optimized_seconds": list(self.optimized_seconds),
-            "speedups": list(self.speedups),
-        }
+# -- result types live in repro.api.schema (one serialization for the facade,
+# -- the CLI and the wire protocol); re-exported above for compatibility.
 
 
 # -- cluster and model I/O ------------------------------------------------------
@@ -227,10 +179,12 @@ def load_cluster(
             raise TypeError(f"{type(spec).__name__} is not a cluster spec")
     if nodes is not None:
         if not (2 <= nodes <= spec.n):
-            raise ValueError(f"nodes must be in [2, {spec.n}], got {nodes}")
+            raise InvalidRequest(f"nodes must be in [2, {spec.n}], got {nodes}")
         spec = ClusterSpec(spec.nodes[:nodes], name=f"{spec.name}-{nodes}")
     if profile not in PROFILES:
-        raise KeyError(f"unknown profile {profile!r}; choose from {sorted(PROFILES)}")
+        raise InvalidRequest(
+            f"unknown profile {profile!r}; choose from {sorted(PROFILES)}"
+        )
     return SimulatedCluster(
         spec,
         profile=PROFILES[profile],
@@ -286,8 +240,8 @@ def estimate(
     elif model == "plogp":
         estimated = estimate_plogp(engine, reps=reps).model
     else:
-        raise KeyError(f"unknown model {model!r}; choose from "
-                       "['lmo', 'hockney', 'loggp', 'plogp']")
+        raise InvalidRequest(f"unknown model {model!r}; choose from "
+                             "['lmo', 'hockney', 'loggp', 'plogp']")
     return EstimateOutcome(
         model=estimated,
         model_name=model,
@@ -411,10 +365,31 @@ def predict(
 ) -> Prediction:
     """One predicted time, via the central batched prediction service.
 
-    Raises ``KeyError`` when the model has no formula for the
-    (operation, algorithm) pair — see :func:`available_algorithms`.
+    Raises :class:`~repro.api.errors.ModelNotLoaded` (a ``KeyError``)
+    when the model has no formula for the (operation, algorithm) pair —
+    see :func:`available_algorithms` — and
+    :class:`~repro.api.errors.InvalidRequest` (a ``ValueError``) for bad
+    parameters.
     """
-    seconds = predict_one(model, operation, algorithm, nbytes, root=root, **kwargs)
+    try:
+        seconds = predict_one(model, operation, algorithm, nbytes, root=root, **kwargs)
+    except ApiError:
+        raise
+    except KeyError as exc:
+        raise ModelNotLoaded(exc.args[0] if exc.args else str(exc)) from exc
+    except ValueError as exc:
+        raise InvalidRequest(str(exc)) from exc
+    return _as_prediction(model, operation, algorithm, nbytes, root, seconds)
+
+
+def _as_prediction(
+    model, operation: str, algorithm: str, nbytes: float, root: int, seconds: float
+) -> Prediction:
+    """Annotate a predicted time exactly as :func:`predict` does.
+
+    Shared with :mod:`repro.serve`, whose batched evaluations must yield
+    responses bit-identical to an in-process :func:`predict` call.
+    """
     regime = escalation = None
     irregularity = getattr(model, "gather_irregularity", None)
     if operation == "gather" and irregularity is not None:
@@ -422,7 +397,7 @@ def predict(
         escalation = irregularity.escalation_probability(nbytes)
     return Prediction(
         operation=operation, algorithm=algorithm, nbytes=float(nbytes), root=root,
-        seconds=seconds, regime=regime, escalation_probability=escalation,
+        seconds=float(seconds), regime=regime, escalation_probability=escalation,
     )
 
 
@@ -530,7 +505,7 @@ def check_fidelity(
     models lacking a formula for a point skip it.
     """
     if not points:
-        raise ValueError("need at least one evaluation point")
+        raise InvalidRequest("need at least one evaluation point")
     registry = MetricsRegistry()
     monitor = ResidualMonitor(registry)
     live = ResidualMonitor()  # feeds process telemetry too, when enabled

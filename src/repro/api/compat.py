@@ -1,0 +1,50 @@
+"""Legacy-surface deprecation, consolidated.
+
+Two pre-``repro.api`` surfaces are deprecated since the schema-v2 work:
+legacy version-1 ``repro-model`` JSON documents, and calling the scalar
+Table II formula entry points directly where :func:`repro.api.predict`
+(or :func:`repro.api.predict_many`) is the supported route.  Instead of
+nagging on every touch, :func:`warn_legacy` emits **one** consolidated
+``DeprecationWarning`` per process — the first legacy touch names what
+was used and where to migrate; subsequent touches stay silent.
+
+Tests exercising the warning call :func:`reset_legacy_warnings` first.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+__all__ = ["warn_legacy", "reset_legacy_warnings"]
+
+_MIGRATION_HINT = (
+    "migrate to the repro.api facade: api.load_model/api.save_model for "
+    "schema-v2 model JSON, api.predict/api.predict_many for predictions "
+    "(one serialization, one cache — see docs/cli.md)"
+)
+
+_warned = False
+
+
+def warn_legacy(feature: str, stacklevel: int = 3) -> None:
+    """Emit the single consolidated legacy-surface DeprecationWarning.
+
+    ``feature`` names what was touched (e.g. ``"schema-v1 model
+    document"``); only the first call per process warns.
+    """
+    global _warned
+    if _warned:
+        return
+    _warned = True
+    warnings.warn(
+        f"legacy interface used: {feature}; {_MIGRATION_HINT} "
+        "(this warning is emitted once per process)",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def reset_legacy_warnings() -> None:
+    """Re-arm :func:`warn_legacy` (test helper)."""
+    global _warned
+    _warned = False

@@ -1,0 +1,124 @@
+"""Unified error taxonomy of the API surface.
+
+Every failure the facade, the CLI and the wire protocol can report is
+one of four :class:`ApiError` subclasses with a *stable string code*:
+
+================  ===================  =====================================
+class             code                 meaning
+================  ===================  =====================================
+InvalidRequest    ``invalid_request``  malformed or out-of-range parameters
+ModelNotLoaded    ``model_not_loaded`` unknown model name, or the model
+                                       carries no formula for the requested
+                                       (operation, algorithm) pair
+Overloaded        ``overloaded``       a bounded service queue is full —
+                                       back off and retry
+InternalError     ``internal_error``   anything else (a bug, not the caller)
+================  ===================  =====================================
+
+The same taxonomy appears in three shapes that map 1:1:
+
+* raised by :mod:`repro.api` functions (``InvalidRequest`` is also a
+  ``ValueError`` and ``ModelNotLoaded`` a ``KeyError``, so callers written
+  against the pre-taxonomy facade keep working);
+* as wire error payloads ``{"code": ..., "message": ...}`` produced by
+  :func:`error_payload` and re-raised client-side by :func:`from_payload`;
+* as CLI error messages on stderr.
+"""
+
+from __future__ import annotations
+
+from typing import Any, ClassVar, Mapping
+
+__all__ = [
+    "ApiError",
+    "InvalidRequest",
+    "ModelNotLoaded",
+    "Overloaded",
+    "InternalError",
+    "ERROR_TYPES",
+    "error_payload",
+    "from_payload",
+]
+
+
+class ApiError(Exception):
+    """Base of the taxonomy; ``code`` is the stable wire identifier."""
+
+    code: ClassVar[str] = "internal_error"
+
+    def __init__(self, message: str = ""):
+        self.message = str(message)
+        super().__init__(self.message)
+
+    def __str__(self) -> str:
+        # KeyError quotes its sole argument; the taxonomy never does.
+        return self.message
+
+    def to_payload(self) -> dict[str, str]:
+        """The wire/CLI form: ``{"code": ..., "message": ...}``."""
+        return {"code": self.code, "message": self.message}
+
+
+class InvalidRequest(ApiError, ValueError):
+    """The request itself is wrong: bad parameter, unknown profile, ..."""
+
+    code = "invalid_request"
+
+
+class ModelNotLoaded(ApiError, KeyError):
+    """No such model, or no formula for the requested pair on it."""
+
+    code = "model_not_loaded"
+
+
+class Overloaded(ApiError):
+    """A bounded queue rejected the request; retry after backing off."""
+
+    code = "overloaded"
+
+
+class InternalError(ApiError):
+    """Unexpected server-side failure — a bug, not the caller's fault."""
+
+    code = "internal_error"
+
+
+#: code -> exception class, for both directions of the wire mapping.
+ERROR_TYPES: dict[str, type[ApiError]] = {
+    cls.code: cls for cls in (InvalidRequest, ModelNotLoaded, Overloaded, InternalError)
+}
+
+
+def error_payload(exc: BaseException) -> dict[str, str]:
+    """Map any exception onto the taxonomy's wire form.
+
+    :class:`ApiError` instances keep their code; plain ``ValueError`` /
+    ``TypeError`` become ``invalid_request``, ``KeyError`` / ``LookupError``
+    become ``model_not_loaded`` (the facade's historical exception types),
+    everything else is an ``internal_error`` carrying the exception type
+    name so server logs and client reports line up.
+    """
+    if isinstance(exc, ApiError):
+        return exc.to_payload()
+    if isinstance(exc, (ValueError, TypeError)):
+        return InvalidRequest(str(exc)).to_payload()
+    if isinstance(exc, LookupError):
+        message = exc.args[0] if exc.args else str(exc)
+        return ModelNotLoaded(str(message)).to_payload()
+    return InternalError(f"{type(exc).__name__}: {exc}").to_payload()
+
+
+def from_payload(payload: Mapping[str, Any]) -> ApiError:
+    """Inverse of :func:`error_payload`: rebuild the typed exception.
+
+    Unknown codes degrade to :class:`InternalError` (never raises on a
+    malformed payload — the wire already failed; don't fail the report).
+    """
+    if not isinstance(payload, Mapping):
+        return InternalError(f"malformed error payload: {payload!r}")
+    code = payload.get("code")
+    message = str(payload.get("message", ""))
+    cls = ERROR_TYPES.get(str(code), InternalError)
+    if cls is InternalError and code not in (InternalError.code, None):
+        message = f"[{code}] {message}"
+    return cls(message)

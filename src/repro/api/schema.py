@@ -1,0 +1,360 @@
+"""Versioned request/response schema — the one serialization of the API.
+
+Every typed result :mod:`repro.api` returns, every ``--format json``
+payload the CLI prints, and every line of the :mod:`repro.serve` wire
+protocol is the ``to_dict()`` form of a dataclass in this module, so a
+wire reply and an in-process result round-trip to the *same* JSON
+(golden-file tested in ``tests/api/test_schema.py``).
+
+Documents are self-describing::
+
+    {"kind": "prediction", "schema_version": 3, "operation": ..., ...}
+
+``schema_version`` counts the whole API surface (v1 was the legacy
+``repro-model`` envelope, v2 the model JSON of :mod:`repro.io`; v3 adds
+the request/response documents).  :func:`parse` dispatches any document
+on its ``kind``; ``from_dict`` on each class validates the envelope and
+rejects version mismatches with :class:`~repro.api.errors.InvalidRequest`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import MISSING, dataclass, fields
+from typing import Any, ClassVar, Mapping, Optional, Sequence
+
+from repro.api.errors import InvalidRequest
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaDocument",
+    "Prediction",
+    "PredictionBatch",
+    "Measurement",
+    "EstimateOutcome",
+    "GatherOptimization",
+    "PredictParams",
+    "PredictManyParams",
+    "EstimateParams",
+    "OptimizeParams",
+    "parse",
+]
+
+#: Version stamped into (and required of) every document.
+SCHEMA_VERSION = 3
+
+#: kind -> dataclass, populated by ``__init_subclass__``.
+_KINDS: dict[str, type["SchemaDocument"]] = {}
+
+
+@dataclass(frozen=True)
+class SchemaDocument:
+    """Base for every versioned document: one ``kind``, one dict shape.
+
+    ``to_dict()`` emits ``kind`` + ``schema_version`` + the dataclass
+    fields (in declaration order); ``from_dict`` validates the envelope,
+    fills defaults, and ignores unknown keys (forward compatibility —
+    derived keys like ``speedups`` stay re-computable properties).
+    """
+
+    kind: ClassVar[str] = ""
+    #: Fields excluded from the dict form (non-serializable payloads).
+    _exclude: ClassVar[tuple[str, ...]] = ()
+
+    def __init_subclass__(cls, **kwargs: Any) -> None:
+        super().__init_subclass__(**kwargs)
+        if cls.kind:
+            _KINDS[cls.kind] = cls
+
+    def to_dict(self) -> dict[str, Any]:
+        doc: dict[str, Any] = {"kind": self.kind, "schema_version": SCHEMA_VERSION}
+        for field in fields(self):
+            if field.name in self._exclude:
+                continue
+            value = getattr(self, field.name)
+            doc[field.name] = _plain(value)
+        return doc
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> Any:
+        if not isinstance(doc, Mapping):
+            raise InvalidRequest(f"{cls.kind} document must be an object, "
+                                 f"got {type(doc).__name__}")
+        version = doc.get("schema_version", SCHEMA_VERSION)
+        if version != SCHEMA_VERSION:
+            raise InvalidRequest(
+                f"unsupported schema_version {version!r} (this build speaks "
+                f"{SCHEMA_VERSION})"
+            )
+        got_kind = doc.get("kind", cls.kind)
+        if got_kind != cls.kind:
+            raise InvalidRequest(f"expected a {cls.kind!r} document, got {got_kind!r}")
+        kwargs: dict[str, Any] = {}
+        for field in fields(cls):
+            if field.name in cls._exclude:
+                continue
+            if field.name in doc:
+                kwargs[field.name] = doc[field.name]
+            elif field.default is MISSING and field.default_factory is MISSING:
+                raise InvalidRequest(f"{cls.kind} document missing field "
+                                     f"{field.name!r}")
+        try:
+            return cls(**cls._coerce(kwargs))
+        except InvalidRequest:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise InvalidRequest(f"bad {cls.kind} document: {exc}") from exc
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        """Hook for per-class field coercion (lists -> tuples, ...)."""
+        return kwargs
+
+
+def _plain(value: Any) -> Any:
+    """JSON-ready view of a field value (tuples become lists)."""
+    if isinstance(value, tuple):
+        return [_plain(v) for v in value]
+    if isinstance(value, SchemaDocument):
+        return value.to_dict()
+    return value
+
+
+def parse(doc: Mapping[str, Any]) -> Any:
+    """Dispatch any schema-v3 document on its ``kind``."""
+    if not isinstance(doc, Mapping):
+        raise InvalidRequest(f"schema document must be an object, "
+                             f"got {type(doc).__name__}")
+    kind = doc.get("kind")
+    cls = _KINDS.get(kind) if isinstance(kind, str) else None
+    if cls is None:
+        raise InvalidRequest(f"unknown document kind {kind!r}; "
+                             f"known: {sorted(_KINDS)}")
+    return cls.from_dict(doc)
+
+
+# -- responses ------------------------------------------------------------------
+@dataclass(frozen=True)
+class Prediction(SchemaDocument):
+    """One predicted collective (or point-to-point) time."""
+
+    kind: ClassVar[str] = "prediction"
+
+    operation: str
+    algorithm: str
+    nbytes: float
+    root: int
+    seconds: float
+    #: Gather regime ("small" / "medium" / "large") when the model carries
+    #: an empirical irregularity; None otherwise.
+    regime: Optional[str] = None
+    escalation_probability: Optional[float] = None
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        kwargs["nbytes"] = float(kwargs["nbytes"])
+        kwargs["seconds"] = float(kwargs["seconds"])
+        kwargs["root"] = int(kwargs["root"])
+        return kwargs
+
+
+@dataclass(frozen=True)
+class PredictionBatch(SchemaDocument):
+    """Predicted times for a heterogeneous batch, in request order."""
+
+    kind: ClassVar[str] = "prediction_batch"
+
+    seconds: tuple[float, ...]
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        kwargs["seconds"] = tuple(float(s) for s in kwargs["seconds"])
+        return kwargs
+
+
+@dataclass(frozen=True)
+class Measurement(SchemaDocument):
+    """One benchmarked collective time with its confidence interval."""
+
+    kind: ClassVar[str] = "measurement"
+
+    operation: str
+    algorithm: str
+    nbytes: int
+    root: int
+    mean: float
+    ci_halfwidth: float
+    reps: int
+    confidence: float
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        kwargs["nbytes"] = int(kwargs["nbytes"])
+        return kwargs
+
+
+@dataclass(frozen=True)
+class EstimateOutcome(SchemaDocument):
+    """An estimated model plus what the estimation cost.
+
+    The model object itself never serializes here (model JSON is the
+    schema-v2 envelope of :mod:`repro.io`); a document round-tripped
+    through ``from_dict`` carries ``model=None``.
+    """
+
+    kind: ClassVar[str] = "estimate_outcome"
+    _exclude: ClassVar[tuple[str, ...]] = ("model",)
+
+    model: object
+    model_name: str
+    n: int
+    #: Simulated cluster seconds consumed by the estimation procedure.
+    estimation_time: float
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        kwargs.setdefault("model", None)
+        return kwargs
+
+
+@dataclass(frozen=True)
+class GatherOptimization(SchemaDocument):
+    """Predicted effect of model-based gather message-splitting (Fig. 7)."""
+
+    kind: ClassVar[str] = "gather_optimization"
+
+    root: int
+    sizes: tuple[float, ...]
+    chunk_counts: tuple[int, ...]
+    native_seconds: tuple[float, ...]
+    optimized_seconds: tuple[float, ...]
+
+    @property
+    def speedups(self) -> tuple[float, ...]:
+        """native / optimized per size (1.0 where no split applies)."""
+        return tuple(
+            native / opt if opt > 0 else 1.0
+            for native, opt in zip(self.native_seconds, self.optimized_seconds)
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        doc = super().to_dict()
+        doc["speedups"] = list(self.speedups)  # derived, re-computed on load
+        return doc
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        kwargs["sizes"] = tuple(float(v) for v in kwargs["sizes"])
+        kwargs["chunk_counts"] = tuple(int(v) for v in kwargs["chunk_counts"])
+        kwargs["native_seconds"] = tuple(float(v) for v in kwargs["native_seconds"])
+        kwargs["optimized_seconds"] = tuple(
+            float(v) for v in kwargs["optimized_seconds"]
+        )
+        return kwargs
+
+
+# -- requests -------------------------------------------------------------------
+@dataclass(frozen=True)
+class PredictParams(SchemaDocument):
+    """Parameters of one ``predict`` request.
+
+    ``model`` names a model in the server's registry (in-process callers
+    pass the object itself to :func:`repro.api.predict` instead).
+    """
+
+    kind: ClassVar[str] = "predict_params"
+
+    model: str
+    operation: str
+    algorithm: str
+    nbytes: float
+    root: int = 0
+    dest: Optional[int] = None
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        if not isinstance(kwargs.get("model"), str):
+            raise InvalidRequest("predict_params.model must be a string name")
+        kwargs["nbytes"] = float(kwargs["nbytes"])
+        kwargs["root"] = int(kwargs.get("root", 0))
+        if kwargs.get("dest") is not None:
+            kwargs["dest"] = int(kwargs["dest"])
+        return kwargs
+
+
+@dataclass(frozen=True)
+class PredictManyParams(SchemaDocument):
+    """Parameters of one ``predict_many`` request: a request batch."""
+
+    kind: ClassVar[str] = "predict_many_params"
+
+    model: str
+    requests: tuple["PredictParams", ...]
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        if not isinstance(kwargs.get("model"), str):
+            raise InvalidRequest("predict_many_params.model must be a string name")
+        reqs = kwargs.get("requests")
+        if not isinstance(reqs, Sequence) or isinstance(reqs, (str, bytes)):
+            raise InvalidRequest("predict_many_params.requests must be a list")
+        out = []
+        for item in reqs:
+            if isinstance(item, PredictParams):
+                out.append(item)
+            else:
+                merged = dict(item) if isinstance(item, Mapping) else None
+                if merged is None:
+                    raise InvalidRequest("each request must be an object")
+                merged.setdefault("model", kwargs["model"])
+                out.append(PredictParams.from_dict(merged))
+        kwargs["requests"] = tuple(out)
+        return kwargs
+
+
+@dataclass(frozen=True)
+class EstimateParams(SchemaDocument):
+    """Parameters of one ``estimate`` request (server-side estimation)."""
+
+    kind: ClassVar[str] = "estimate_params"
+
+    model: str = "lmo"
+    profile: str = "lam"
+    nodes: Optional[int] = None
+    seed: int = 0
+    reps: int = 3
+    quick: bool = False
+    empirical: bool = False
+    #: Registry name for the estimated model (default ``<model>-<n>``).
+    register_as: Optional[str] = None
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        kwargs["seed"] = int(kwargs.get("seed", 0))
+        kwargs["reps"] = int(kwargs.get("reps", 3))
+        if kwargs.get("nodes") is not None:
+            kwargs["nodes"] = int(kwargs["nodes"])
+        return kwargs
+
+
+@dataclass(frozen=True)
+class OptimizeParams(SchemaDocument):
+    """Parameters of one ``optimize`` (gather-splitting) request."""
+
+    kind: ClassVar[str] = "optimize_params"
+
+    model: str
+    sizes: tuple[float, ...]
+    root: int = 0
+    safety: float = 0.9
+
+    @classmethod
+    def _coerce(cls, kwargs: dict[str, Any]) -> dict[str, Any]:
+        if not isinstance(kwargs.get("model"), str):
+            raise InvalidRequest("optimize_params.model must be a string name")
+        sizes = kwargs.get("sizes")
+        if not isinstance(sizes, Sequence) or isinstance(sizes, (str, bytes)):
+            raise InvalidRequest("optimize_params.sizes must be a list of numbers")
+        kwargs["sizes"] = tuple(float(v) for v in sizes)
+        kwargs["root"] = int(kwargs.get("root", 0))
+        kwargs["safety"] = float(kwargs.get("safety", 0.9))
+        return kwargs

@@ -23,6 +23,8 @@ trace       run one collective and print its activity timeline (or export
 drift       spot-check a saved model against the (possibly degraded) cluster
 chaos       fault-injection demo: estimate, inject, self-heal, report
 campaign    durable estimation sweep: run / resume / status on a journal
+serve       run the always-on prediction daemon (NDJSON over TCP/Unix)
+client      send one request to a running daemon and print the reply
 obs         inspect/export a telemetry snapshot written by --metrics-out
             (report / export / dashboard / watch — the dashboard is one
             self-contained HTML file, the model-fidelity observatory)
@@ -599,6 +601,90 @@ def _load_bench_files(paths) -> list:
     return bench
 
 
+def cmd_serve(args) -> int:
+    """``repro serve`` — the always-on prediction daemon (docs/service.md).
+
+    Prints one ``listening on <endpoint>`` line once the socket is bound
+    (with ``--port 0`` this is where the ephemeral port appears), then
+    blocks until drained (SIGTERM, the ``drain`` verb, or Ctrl-C).
+    """
+    import asyncio
+
+    from repro.serve import PredictionServer, ServeConfig
+
+    models = {}
+    for spec_str in args.model or []:
+        name, sep, path = spec_str.partition("=")
+        if not sep or not name or not path:
+            print(f"bad --model spec {spec_str!r}; use NAME=PATH", file=sys.stderr)
+            return 2
+        models[name] = path
+
+    config = ServeConfig(
+        host=args.host, port=args.port, unix_path=args.unix, models=models,
+        workers=args.workers, batch_window=args.batch_window,
+        queue_limit=args.queue_limit, telemetry=not args.no_telemetry,
+    )
+
+    async def _run() -> None:
+        server = PredictionServer(config)
+        await server.start()
+        _emit(args, f"listening on {server.endpoint}",
+              {"listening": server.endpoint, "models": server.registry.names()})
+        sys.stdout.flush()
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            await server.drain()
+            raise
+
+    try:
+        asyncio.run(_run())
+    except (ValueError, OSError) as exc:
+        print(f"cannot serve: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_client(args) -> int:
+    """``repro client VERB`` — one request to a running daemon.
+
+    Request parameters come from ``--params`` (a JSON object matching
+    the verb's schema-v3 params document); the reply's ``result`` is
+    printed as JSON.  Error replies land on stderr as ``code: message``
+    with exit code 1 (3 for ``overloaded`` — retryable) — the same
+    stable codes :mod:`repro.api` raises in-process.
+    """
+    from repro.serve import ServiceClient
+
+    try:
+        params = json.loads(args.params) if args.params else {}
+    except ValueError as exc:
+        print(f"--params is not valid JSON: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(params, dict):
+        print("--params must be a JSON object", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(host=args.host, port=args.port,
+                           unix_path=args.unix, timeout=args.timeout) as client:
+            result = client.call(args.verb, params)
+    except api.Overloaded as exc:
+        print(f"overloaded: {exc}", file=sys.stderr)
+        return 3
+    except api.ApiError as exc:
+        payload = exc.to_payload()
+        print(f"{payload['code']}: {payload['message']}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(f"cannot reach the daemon: {exc}", file=sys.stderr)
+        return 2
+    _emit(args, json.dumps(result, indent=2), result)
+    return 0
+
+
 def cmd_obs(args) -> int:
     """``repro obs report|export|dashboard|watch`` — snapshot inspection.
 
@@ -864,6 +950,47 @@ def build_parser() -> argparse.ArgumentParser:
         "status", help="inspect a journal without attaching a cluster",
         parents=[common, camp_io])
 
+    p_serve = sub.add_parser(
+        "serve", help="run the always-on prediction daemon",
+        parents=[common])
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7725,
+                         help="TCP port (0 = ephemeral; the bound endpoint "
+                              "is printed at startup)")
+    p_serve.add_argument("--unix", default=None, metavar="PATH",
+                         help="serve on a Unix socket instead of TCP")
+    p_serve.add_argument("--model", action="append", metavar="NAME=PATH",
+                         help="preload a model JSON under NAME (repeatable; "
+                              "SIGHUP re-reads every file)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="predict worker shards (models are routed by "
+                              "fingerprint)")
+    p_serve.add_argument("--batch-window", type=float, default=0.002,
+                         help="seconds concurrent predicts coalesce over "
+                              "(0 = no batching)")
+    p_serve.add_argument("--queue-limit", type=int, default=64,
+                         help="per-worker queue bound; beyond it requests "
+                              "are rejected as `overloaded`")
+    p_serve.add_argument("--no-telemetry", action="store_true",
+                         help="start without process telemetry (obs verb "
+                              "reports enabled: false)")
+
+    p_client = sub.add_parser(
+        "client", help="send one request to a running repro serve daemon",
+        parents=[common])
+    p_client.add_argument("verb",
+                          choices=["drain", "estimate", "health", "obs",
+                                   "optimize", "predict", "predict_many"])
+    p_client.add_argument("--params", default=None,
+                          help="request params as a JSON object, e.g. "
+                               "'{\"model\": \"lmo\", \"operation\": "
+                               "\"scatter\", \"algorithm\": \"linear\", "
+                               "\"nbytes\": 65536}'")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7725)
+    p_client.add_argument("--unix", default=None, metavar="PATH")
+    p_client.add_argument("--timeout", type=float, default=60.0)
+
     p_obs = sub.add_parser(
         "obs",
         help="inspect/convert a telemetry snapshot from --metrics-out",
@@ -932,6 +1059,8 @@ COMMANDS = {
     "drift": cmd_drift,
     "chaos": cmd_chaos,
     "campaign": cmd_campaign,
+    "serve": cmd_serve,
+    "client": cmd_client,
     "obs": cmd_obs,
     "experiment": cmd_experiment,
     "report": cmd_report,

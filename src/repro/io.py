@@ -11,8 +11,9 @@ The current format (schema version 2) is one unified envelope::
 where ``params`` is exactly what the type's own ``to_dict`` produces and
 ``from_dict`` consumes — the envelope carries no knowledge of any type's
 internals.  Legacy version-1 documents (``{"format": "repro-model",
-"version": 1, "payload": {...}}``) still load, with a
-``DeprecationWarning``; new documents are always written as version 2.
+"version": 1, "payload": {...}}``) still load, with the process-wide
+consolidated ``DeprecationWarning`` of :mod:`repro.api.compat`; new
+documents are always written as version 2.
 
 Example
 -------
@@ -29,7 +30,6 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-import warnings
 from typing import Any
 
 import numpy as np
@@ -164,12 +164,10 @@ def _loads_legacy(doc: dict) -> Any:
         raise ValueError("not a repro-model document")
     if doc.get("version") != FORMAT_VERSION:
         raise ValueError(f"unsupported format version {doc.get('version')!r}")
-    warnings.warn(
-        "loading a legacy version-1 repro-model document; re-save it to "
-        "upgrade to schema version 2",
-        DeprecationWarning,
-        stacklevel=3,
-    )
+    from repro.api.compat import warn_legacy  # local: io must not import api eagerly
+
+    warn_legacy("legacy version-1 repro-model document (re-save it to "
+                "upgrade to schema version 2)", stacklevel=4)
     return _decode_legacy(doc["payload"])
 
 

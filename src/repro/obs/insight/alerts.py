@@ -8,7 +8,7 @@ can invoke a hook — e.g. :func:`heal_hook` wrapping a
 :class:`repro.estimation.maintainer.ModelMaintainer` — when a rule with
 ``trigger_heal`` starts firing.
 
-Five rule kinds cover the observatory's needs without a query language:
+Six rule kinds cover the observatory's needs without a query language:
 
 * ``metric_value`` — sum of one family's samples whose labels include
   ``rule.labels`` (e.g. ``breaker_nodes{state=open}``);
@@ -17,6 +17,9 @@ Five rule kinds cover the observatory's needs without a query language:
 * ``metric_ratio`` — ``metric`` summed over ``metric_denom`` summed
   (0 when the denominator is absent or zero), e.g. lease reclamations
   per lease granted;
+* ``metric_quantile`` — an interpolated quantile (``rule.quantile``) of
+  one histogram family, buckets merged across matching samples — e.g.
+  the service's p99 request latency across all verbs;
 * ``escalation_rate`` — escalated / total transfers from the
   :mod:`detector <repro.obs.insight.detectors>` histograms;
 * ``residual`` — a scorecard statistic (``p95``/``mean``/``max``/``bias``)
@@ -31,6 +34,7 @@ from typing import Any, Callable, Mapping, Optional
 from repro.obs import runtime as _runtime
 from repro.obs.events import LEVELS as _LEVELS
 from repro.obs.insight.detectors import ESCALATED_METRIC, TRANSFER_METRIC
+from repro.obs.metrics import bucket_quantile
 from repro.obs.insight.residuals import Scorecard, scorecards
 
 __all__ = [
@@ -62,7 +66,8 @@ class AlertRule:
     """One declarative threshold over a metrics snapshot."""
 
     name: str
-    kind: str  # metric_value | metric_total | metric_ratio | escalation_rate | residual
+    kind: str  # metric_value | metric_total | metric_ratio | metric_quantile |
+    #            escalation_rate | residual
     threshold: float
     op: str = ">"
     level: str = "warning"
@@ -71,6 +76,8 @@ class AlertRule:
     metric_denom: str = ""
     labels: tuple[tuple[str, str], ...] = ()
     stat: str = "p95"  # residual rules: p50|p95|mean|max|bias
+    #: metric_quantile rules: which quantile of the histogram to take.
+    quantile: float = 0.99
     model: str = ""  # residual rules: "" = any model
     operation: str = ""  # residual rules: "" = any operation
     description: str = ""
@@ -78,16 +85,20 @@ class AlertRule:
 
     def __post_init__(self) -> None:
         if self.kind not in ("metric_value", "metric_total", "metric_ratio",
-                             "escalation_rate", "residual"):
+                             "metric_quantile", "escalation_rate", "residual"):
             raise ValueError(f"unknown rule kind {self.kind!r}")
         if self.op not in _OPS:
             raise ValueError(f"unknown comparison {self.op!r}")
         if self.kind == "residual" and self.stat not in _RESIDUAL_STATS:
             raise ValueError(f"unknown residual stat {self.stat!r}")
-        if self.kind in ("metric_value", "metric_total", "metric_ratio") and not self.metric:
+        if self.kind in ("metric_value", "metric_total", "metric_ratio",
+                         "metric_quantile") and not self.metric:
             raise ValueError(f"rule {self.name!r} needs a metric name")
         if self.kind == "metric_ratio" and not self.metric_denom:
             raise ValueError(f"rule {self.name!r} needs a denominator metric")
+        if self.kind == "metric_quantile" and not (0.0 < self.quantile <= 1.0):
+            raise ValueError(f"rule {self.name!r} needs a quantile in (0, 1], "
+                             f"got {self.quantile}")
         if self.level not in _LEVELS:
             raise ValueError(f"unknown level {self.level!r}")
 
@@ -96,7 +107,8 @@ class AlertRule:
             "name": self.name, "kind": self.kind, "threshold": self.threshold,
             "op": self.op, "level": self.level, "metric": self.metric,
             "metric_denom": self.metric_denom,
-            "labels": dict(self.labels), "stat": self.stat, "model": self.model,
+            "labels": dict(self.labels), "stat": self.stat,
+            "quantile": self.quantile, "model": self.model,
             "operation": self.operation, "description": self.description,
             "trigger_heal": self.trigger_heal,
         }
@@ -140,6 +152,29 @@ def _family_sum(metrics: Mapping[str, Any], name: str,
     )
 
 
+def _histogram_quantile(metrics: Mapping[str, Any], name: str,
+                        labels: tuple[tuple[str, str], ...], q: float) -> float:
+    """Interpolated quantile of one histogram family, matching samples'
+    buckets merged (all samples of a family share one bucket layout)."""
+    family = metrics.get(name)
+    if not family or family.get("type") != "histogram":
+        return 0.0
+    merged: list[list[Any]] = []
+    total = 0
+    for sample in family.get("samples", ()):
+        if not _labels_match(sample, labels):
+            continue
+        total += int(sample["count"])
+        if not merged:
+            merged = [[bound, int(n)] for bound, n in sample["buckets"]]
+        else:
+            for slot, (_, n) in zip(merged, sample["buckets"]):
+                slot[1] += int(n)
+    if not total:
+        return 0.0
+    return bucket_quantile(merged, total, q)
+
+
 def _evaluate(rule: AlertRule, metrics: Mapping[str, Any],
               cards: list[Scorecard]) -> float:
     if rule.kind == "metric_value":
@@ -151,6 +186,8 @@ def _evaluate(rule: AlertRule, metrics: Mapping[str, Any],
         if not denominator:
             return 0.0
         return _family_sum(metrics, rule.metric, rule.labels) / denominator
+    if rule.kind == "metric_quantile":
+        return _histogram_quantile(metrics, rule.metric, rule.labels, rule.quantile)
     if rule.kind == "escalation_rate":
         transfers = sum(
             float(s["count"])
@@ -268,6 +305,21 @@ def default_rules() -> list[AlertRule]:
             threshold=0.0, op=">", level="error",
             description="a live campaign worker has not been heard from "
                         "within the stale_after window",
+        ),
+        AlertRule(
+            name="service_queue_depth_high", kind="metric_value",
+            metric="service_queue_depth", threshold=48.0, op=">",
+            level="warning",
+            description="prediction-service worker queues hold more than 48 "
+                        "requests in total — nearing the bounded-queue limit "
+                        "where new work is rejected as `overloaded`",
+        ),
+        AlertRule(
+            name="service_p99_latency_high", kind="metric_quantile",
+            metric="service_request_seconds", quantile=0.99,
+            threshold=0.25, op=">", level="warning",
+            description="99th-percentile service request latency above "
+                        "250 ms across all verbs",
         ),
     ]
 

@@ -1,0 +1,47 @@
+"""repro.serve — the always-on prediction service daemon.
+
+An asyncio server speaking newline-delimited JSON over TCP or a Unix
+socket, answering the verbs ``predict`` / ``predict_many`` /
+``estimate`` / ``optimize`` / ``obs`` / ``health`` / ``drain`` with the
+same schema-v3 payloads and error codes as :mod:`repro.api` — one
+serialization in-process and on the wire.  See ``docs/service.md`` for
+the protocol reference and ``repro serve`` / ``repro client`` for the
+command-line entry points.
+
+Layout:
+
+* :mod:`~repro.serve.protocol` — pure framing: en/decode request and
+  response lines, line-size limit, verb table;
+* :mod:`~repro.serve.service` — stateful worker tasks (bounded queues,
+  coalescing predict batches, threaded estimation);
+* :mod:`~repro.serve.server` — the daemon: routing, model registry,
+  SIGHUP reload, graceful drain, telemetry;
+* :mod:`~repro.serve.client` — blocking client raising the same typed
+  errors the facade raises;
+* :mod:`~repro.serve.runner` — in-process server hosting for tests and
+  the load benchmark.
+"""
+
+from repro.serve.client import EstimateReply, ServiceClient
+from repro.serve.protocol import MAX_LINE_BYTES, VERBS
+from repro.serve.runner import ServerThread
+from repro.serve.server import (
+    ModelRegistry,
+    PredictionServer,
+    ServeConfig,
+    run_server,
+    serve,
+)
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "VERBS",
+    "EstimateReply",
+    "ModelRegistry",
+    "PredictionServer",
+    "ServeConfig",
+    "ServerThread",
+    "ServiceClient",
+    "run_server",
+    "serve",
+]

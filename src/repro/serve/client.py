@@ -1,0 +1,166 @@
+"""Blocking client for the prediction daemon.
+
+One socket, one request line per call, one response line back.  Error
+replies re-raise as the *same* typed exceptions :mod:`repro.api` raises
+in-process (:func:`repro.api.errors.from_payload`), and result payloads
+parse back into the same schema-v3 dataclasses — code written against
+the facade ports to the wire by swapping ``api.predict(model_obj, ...)``
+for ``client.predict("model-name", ...)``::
+
+    with ServiceClient(port=7725) as client:
+        p = client.predict("lmo", "scatter", "linear", 65536)
+        print(p.seconds)
+
+The client is deliberately synchronous (benchmarks drive concurrency by
+running many clients, as real callers would); it is not thread-safe —
+use one client per thread.
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Mapping, NamedTuple, Optional, Sequence, Union
+
+from repro.api import errors, schema
+from repro.api.errors import InternalError
+from repro.predict_service import PredictRequest
+from repro.serve import protocol
+
+__all__ = ["EstimateReply", "ServiceClient"]
+
+
+class EstimateReply(NamedTuple):
+    """An ``estimate`` verb's reply: the outcome document (``model`` is
+    ``None`` — the model lives server-side) and its registry name."""
+
+    outcome: schema.EstimateOutcome
+    registered_as: str
+
+
+class ServiceClient:
+    """One connection to a running ``repro serve`` daemon."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7725,
+        unix_path: Optional[str] = None,
+        timeout: float = 60.0,
+    ) -> None:
+        if unix_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(timeout)
+            sock.connect(unix_path)
+            self.endpoint = unix_path
+        else:
+            sock = socket.create_connection((host, port), timeout=timeout)
+            self.endpoint = f"{host}:{port}"
+        self._sock = sock
+        self._file = sock.makefile("rwb")
+        self._next_id = 0
+
+    # -- plumbing -----------------------------------------------------------------
+    def call(self, verb: str, params: Optional[Mapping[str, Any]] = None) -> dict:
+        """One request/response round trip; raises the typed taxonomy."""
+        self._next_id += 1
+        request_id = self._next_id
+        self._file.write(protocol.encode_request(verb, params or {}, request_id))
+        self._file.flush()
+        doc = protocol.decode_response(self._file.readline())
+        got_id = doc.get("id")
+        if got_id is not None and got_id != request_id:
+            raise InternalError(
+                f"response id {got_id!r} does not match request id {request_id}"
+            )
+        if not doc.get("ok"):
+            raise errors.from_payload(doc.get("error", {}))
+        result = doc.get("result", {})
+        if not isinstance(result, dict):
+            raise InternalError(f"malformed result payload: {result!r}")
+        return result
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- verbs --------------------------------------------------------------------
+    def predict(
+        self,
+        model: str,
+        operation: str,
+        algorithm: str,
+        nbytes: float,
+        root: int = 0,
+        dest: Optional[int] = None,
+    ) -> schema.Prediction:
+        params: dict[str, Any] = {
+            "model": model, "operation": operation, "algorithm": algorithm,
+            "nbytes": nbytes, "root": root,
+        }
+        if dest is not None:
+            params["dest"] = dest
+        return schema.Prediction.from_dict(self.call("predict", params))
+
+    def predict_many(
+        self,
+        model: str,
+        requests: Sequence[Union[Mapping[str, Any], PredictRequest,
+                                 schema.PredictParams]],
+    ) -> schema.PredictionBatch:
+        items = []
+        for request in requests:
+            if isinstance(request, PredictRequest):
+                item: dict[str, Any] = {
+                    "model": model, "operation": request.operation,
+                    "algorithm": request.algorithm, "nbytes": request.nbytes,
+                    "root": request.root,
+                }
+                if request.dest is not None:
+                    item["dest"] = request.dest
+            elif isinstance(request, schema.PredictParams):
+                item = request.to_dict()
+            else:
+                item = dict(request)
+            items.append(item)
+        return schema.PredictionBatch.from_dict(
+            self.call("predict_many", {"model": model, "requests": items})
+        )
+
+    def estimate(self, **params: Any) -> EstimateReply:
+        """Server-side estimation; see :class:`repro.api.schema.EstimateParams`
+        for the keyword menu (model, profile, nodes, seed, reps, quick,
+        empirical, register_as)."""
+        result = self.call("estimate", params)
+        return EstimateReply(
+            outcome=schema.EstimateOutcome.from_dict(result),
+            registered_as=str(result.get("registered_as", "")),
+        )
+
+    def optimize(
+        self,
+        model: str,
+        sizes: Sequence[float],
+        root: int = 0,
+        safety: float = 0.9,
+    ) -> schema.GatherOptimization:
+        return schema.GatherOptimization.from_dict(self.call("optimize", {
+            "model": model, "sizes": list(sizes), "root": root,
+            "safety": safety,
+        }))
+
+    def health(self) -> dict:
+        return self.call("health")
+
+    def obs(self) -> dict:
+        return self.call("obs")
+
+    def drain(self) -> dict:
+        return self.call("drain")

@@ -1,0 +1,192 @@
+"""The NDJSON wire protocol of the prediction service.
+
+One request per line, one response line per request, UTF-8 JSON with a
+trailing ``\\n`` (newline-delimited JSON).  A request is::
+
+    {"id": 1, "verb": "predict", "params": {...}, "schema_version": 3}
+
+``id`` is echoed verbatim in the response (string, integer or null);
+``params`` is the ``to_dict()`` form of the verb's request dataclass in
+:mod:`repro.api.schema` (the envelope keys ``kind``/``schema_version``
+may be omitted — :meth:`from_dict` fills them in).  A response is one
+of::
+
+    {"id": 1, "ok": true,  "result": {...}, "schema_version": 3}
+    {"id": 1, "ok": false, "error": {"code": ..., "message": ...},
+     "schema_version": 3}
+
+where ``result`` is again a schema-v3 document and ``error`` is the
+taxonomy payload of :func:`repro.api.errors.error_payload` — the same
+codes :mod:`repro.api` raises in-process.  Requests longer than
+:data:`MAX_LINE_BYTES` are rejected (the stream cannot be resynchronized
+after an oversized line, so the server answers with ``id: null`` and
+closes the connection).
+
+Everything here is a pure function over bytes/str — no I/O — so the
+framing is testable without a socket.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Mapping, Optional, Union
+
+from repro.api.errors import InternalError, InvalidRequest, error_payload
+from repro.api.schema import SCHEMA_VERSION
+
+__all__ = [
+    "MAX_LINE_BYTES",
+    "VERBS",
+    "Request",
+    "decode_request",
+    "decode_response",
+    "encode_error",
+    "encode_request",
+    "encode_response",
+    "peek_id",
+]
+
+#: Hard cap on one request line (1 MiB); past it the stream is broken.
+MAX_LINE_BYTES = 1 << 20
+
+#: Every verb the server answers.  ``health``/``obs``/``drain`` are
+#: handled inline by the server; the rest are queued onto workers.
+VERBS = (
+    "drain",
+    "estimate",
+    "health",
+    "obs",
+    "optimize",
+    "predict",
+    "predict_many",
+)
+
+RequestId = Union[str, int, None]
+
+
+@dataclass(frozen=True)
+class Request:
+    """One decoded request line."""
+
+    id: RequestId
+    verb: str
+    params: Mapping[str, Any]
+
+
+def _dumps(doc: Mapping[str, Any]) -> bytes:
+    # Compact separators keep the common predict reply well under one
+    # network segment; ensure_ascii guarantees the line has no raw
+    # newline bytes regardless of payload strings.
+    return json.dumps(doc, separators=(",", ":"), ensure_ascii=True).encode() + b"\n"
+
+
+def encode_request(verb: str, params: Mapping[str, Any],
+                   request_id: RequestId = None) -> bytes:
+    """One request line (client side)."""
+    return _dumps({
+        "id": request_id, "verb": verb, "params": dict(params),
+        "schema_version": SCHEMA_VERSION,
+    })
+
+
+def encode_response(request_id: RequestId, result: Mapping[str, Any]) -> bytes:
+    """One success line (server side)."""
+    return _dumps({
+        "id": request_id, "ok": True, "result": result,
+        "schema_version": SCHEMA_VERSION,
+    })
+
+
+def encode_error(request_id: RequestId, exc: BaseException) -> bytes:
+    """One error line (server side); any exception maps onto the taxonomy."""
+    return _dumps({
+        "id": request_id, "ok": False, "error": error_payload(exc),
+        "schema_version": SCHEMA_VERSION,
+    })
+
+
+def decode_request(line: Union[bytes, bytearray, str]) -> Request:
+    """Parse and validate one request line.
+
+    Raises :class:`~repro.api.errors.InvalidRequest` for every way a
+    line can be wrong: oversized, not UTF-8, not JSON, not an object,
+    wrong ``schema_version``, unknown ``verb``, non-object ``params``,
+    non-scalar ``id``.
+    """
+    if isinstance(line, (bytes, bytearray)):
+        if len(line) > MAX_LINE_BYTES:
+            raise InvalidRequest(
+                f"request line of {len(line)} bytes exceeds the "
+                f"{MAX_LINE_BYTES}-byte limit"
+            )
+        try:
+            text = bytes(line).decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise InvalidRequest(f"request line is not valid UTF-8: {exc}") from exc
+    else:
+        text = line
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        raise InvalidRequest(f"request line is not valid JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise InvalidRequest(
+            f"request must be a JSON object, got {type(doc).__name__}"
+        )
+    version = doc.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise InvalidRequest(
+            f"unsupported schema_version {version!r} (this server speaks "
+            f"{SCHEMA_VERSION})"
+        )
+    verb = doc.get("verb")
+    if not isinstance(verb, str) or verb not in VERBS:
+        raise InvalidRequest(f"unknown verb {verb!r}; supported: {list(VERBS)}")
+    params = doc.get("params", {})
+    if not isinstance(params, dict):
+        raise InvalidRequest(
+            f"params must be an object, got {type(params).__name__}"
+        )
+    request_id = doc.get("id")
+    if request_id is not None and not isinstance(request_id, (str, int)):
+        raise InvalidRequest("id must be a string, an integer or null")
+    return Request(id=request_id, verb=verb, params=params)
+
+
+def peek_id(line: Union[bytes, bytearray, str]) -> RequestId:
+    """Best-effort ``id`` extraction from a line that failed to decode,
+    so even an error reply for a malformed request can be correlated."""
+    try:
+        doc = json.loads(line if isinstance(line, str) else bytes(line).decode(
+            "utf-8", errors="replace"))
+    except ValueError:
+        return None
+    if isinstance(doc, dict):
+        request_id = doc.get("id")
+        if request_id is None or isinstance(request_id, (str, int)):
+            return request_id
+    return None
+
+
+def decode_response(line: Union[bytes, bytearray, str],
+                    preview_bytes: int = 120) -> dict[str, Any]:
+    """Parse one response line (client side).
+
+    Raises :class:`~repro.api.errors.InternalError` when the line is
+    empty (connection closed) or unparseable; the caller decides what to
+    do with ``ok: false`` payloads (see
+    :meth:`repro.serve.client.ServiceClient.call`).
+    """
+    stripped = bytes(line).strip() if isinstance(line, (bytes, bytearray)) \
+        else line.strip()
+    if not stripped:
+        raise InternalError("connection closed before a response arrived")
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        preview: Any = line[:preview_bytes]
+        raise InternalError(f"malformed response line {preview!r}: {exc}") from exc
+    if not isinstance(doc, dict) or "ok" not in doc:
+        raise InternalError(f"malformed response (no 'ok' field): {doc!r}")
+    return doc

@@ -1,0 +1,77 @@
+"""Tests for the unified error taxonomy (repro.api.errors)."""
+
+import pytest
+
+from repro.api.errors import (
+    ERROR_TYPES,
+    ApiError,
+    InternalError,
+    InvalidRequest,
+    ModelNotLoaded,
+    Overloaded,
+    error_payload,
+    from_payload,
+)
+
+
+def test_codes_are_stable():
+    assert ERROR_TYPES == {
+        "invalid_request": InvalidRequest,
+        "model_not_loaded": ModelNotLoaded,
+        "overloaded": Overloaded,
+        "internal_error": InternalError,
+    }
+
+
+def test_taxonomy_keeps_the_historical_exception_contracts():
+    # Pre-taxonomy callers caught ValueError / KeyError; they still can.
+    assert issubclass(InvalidRequest, ValueError)
+    assert issubclass(ModelNotLoaded, KeyError)
+    with pytest.raises(ValueError):
+        raise InvalidRequest("bad nodes")
+    with pytest.raises(KeyError):
+        raise ModelNotLoaded("no such model")
+
+
+def test_str_is_the_message_even_for_the_keyerror_subclass():
+    # KeyError.__str__ repr-quotes its argument; the taxonomy must not.
+    assert str(ModelNotLoaded("no model named 'x'")) == "no model named 'x'"
+    assert str(InvalidRequest("bad")) == "bad"
+
+
+def test_payload_round_trip_preserves_type_and_message():
+    for cls in (InvalidRequest, ModelNotLoaded, Overloaded, InternalError):
+        exc = cls("what went wrong")
+        back = from_payload(error_payload(exc))
+        assert type(back) is cls
+        assert back.message == "what went wrong"
+        assert back.to_payload() == {"code": cls.code,
+                                     "message": "what went wrong"}
+
+
+def test_error_payload_maps_plain_exceptions_onto_the_taxonomy():
+    assert error_payload(ValueError("v"))["code"] == "invalid_request"
+    assert error_payload(TypeError("t"))["code"] == "invalid_request"
+    assert error_payload(KeyError("k"))["code"] == "model_not_loaded"
+    assert error_payload(LookupError("l"))["code"] == "model_not_loaded"
+    payload = error_payload(RuntimeError("boom"))
+    assert payload["code"] == "internal_error"
+    assert "RuntimeError" in payload["message"]  # logs and reports line up
+
+
+def test_error_payload_unquotes_keyerror_messages():
+    assert error_payload(KeyError("gather/ring"))["message"] == "gather/ring"
+
+
+def test_from_payload_degrades_instead_of_raising():
+    unknown = from_payload({"code": "quota_exceeded", "message": "later"})
+    assert isinstance(unknown, InternalError)
+    assert "[quota_exceeded]" in unknown.message and "later" in unknown.message
+    assert isinstance(from_payload("garbage"), InternalError)
+    assert isinstance(from_payload({}), InternalError)
+
+
+def test_every_taxonomy_error_is_an_api_error():
+    for cls in ERROR_TYPES.values():
+        assert issubclass(cls, ApiError)
+        assert cls("x").code == cls.code

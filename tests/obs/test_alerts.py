@@ -178,7 +178,8 @@ def test_default_rules_catalog():
     names = [r.name for r in rules]
     assert names == ["escalation_rate_high", "breaker_open",
                      "model_drift_high", "residual_p95_high",
-                     "lease_reclamations_high", "worker_heartbeat_stale"]
+                     "lease_reclamations_high", "worker_heartbeat_stale",
+                     "service_queue_depth_high", "service_p99_latency_high"]
     assert len(set(names)) == len(names)
     assert all(r.description for r in rules)
     heal = [r.name for r in rules if r.trigger_heal]
@@ -245,3 +246,73 @@ def test_rule_to_dict_is_json_ready():
     assert doc["name"] == "breaker_open"
     assert doc["labels"] == {"state": "open"}
     assert doc["level"] == "error"
+
+
+def test_metric_quantile_rule_validation():
+    with pytest.raises(ValueError, match="needs a metric name"):
+        AlertRule(name="q", kind="metric_quantile", threshold=1.0)
+    with pytest.raises(ValueError, match="quantile"):
+        AlertRule(name="q", kind="metric_quantile", metric="m",
+                  threshold=1.0, quantile=0.0)
+    with pytest.raises(ValueError, match="quantile"):
+        AlertRule(name="q", kind="metric_quantile", metric="m",
+                  threshold=1.0, quantile=1.5)
+    rule = AlertRule(name="q", kind="metric_quantile", metric="m",
+                     threshold=1.0, quantile=0.99)
+    assert rule.to_dict()["quantile"] == 0.99
+
+
+def test_metric_quantile_rule_merges_buckets_across_samples():
+    reg = MetricsRegistry()
+    # 99 fast requests on one verb, 9 slow ones on another: the p50 sits
+    # in the fast bucket, the p99 in the slow bucket, and both are only
+    # visible if the family's samples are merged.
+    for _ in range(99):
+        reg.histogram("svc_seconds", verb="predict").observe(0.01)
+    for _ in range(9):
+        reg.histogram("svc_seconds", verb="estimate").observe(2.0)
+    snapshot = reg.snapshot()
+    p50 = AlertRule(name="p50", kind="metric_quantile", metric="svc_seconds",
+                    quantile=0.5, threshold=0.25, op=">")
+    p99 = AlertRule(name="p99", kind="metric_quantile", metric="svc_seconds",
+                    quantile=0.99, threshold=0.25, op=">")
+    states = AlertEngine(rules=[p50, p99]).evaluate(snapshot)
+    assert states[0].firing is False and states[0].value < 0.25
+    assert states[1].firing is True and states[1].value > 1.0
+
+
+def test_metric_quantile_rule_respects_label_filters():
+    reg = MetricsRegistry()
+    for _ in range(10):
+        reg.histogram("svc_seconds", verb="predict").observe(0.01)
+        reg.histogram("svc_seconds", verb="estimate").observe(2.0)
+    rule = AlertRule(name="p99", kind="metric_quantile", metric="svc_seconds",
+                     labels=(("verb", "predict"),), quantile=0.99,
+                     threshold=0.25, op=">")
+    states = AlertEngine(rules=[rule]).evaluate(reg.snapshot())
+    assert states[0].firing is False and states[0].value < 0.25
+
+
+def test_metric_quantile_rule_is_quiet_without_data():
+    rule = AlertRule(name="p99", kind="metric_quantile", metric="svc_seconds",
+                     quantile=0.99, threshold=0.25, op=">")
+    # Missing family, and a family of the wrong type, both read as 0.0.
+    assert AlertEngine(rules=[rule]).evaluate({})[0].value == 0.0
+    reg = MetricsRegistry()
+    reg.counter("svc_seconds").inc(5)
+    states = AlertEngine(rules=[rule]).evaluate(reg.snapshot())
+    assert states[0].value == 0.0 and not states[0].firing
+
+
+def test_default_service_rules_fire_on_a_struggling_daemon():
+    reg = MetricsRegistry()
+    reg.gauge("service_queue_depth", worker="predict-0").set(30)
+    reg.gauge("service_queue_depth", worker="predict-1").set(30)
+    for _ in range(100):
+        reg.histogram("service_request_seconds", verb="predict").observe(0.5)
+    states = AlertEngine().evaluate(reg.snapshot())
+    by_name = {s.rule.name: s for s in states}
+    assert by_name["service_queue_depth_high"].firing
+    assert by_name["service_queue_depth_high"].value == 60.0
+    assert by_name["service_p99_latency_high"].firing
+    assert by_name["service_p99_latency_high"].value > 0.25

@@ -1,0 +1,34 @@
+"""Shared fixtures for the prediction-service tests.
+
+The daemon enables process-global telemetry when configured to; never
+let that leak into other test modules.
+"""
+
+import pytest
+
+from repro.cluster import GroundTruth
+from repro.models import ExtendedLMOModel, GatherIrregularity
+from repro.obs import runtime as _obs
+
+KB = 1024
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    _obs.disable()
+    yield
+    _obs.disable()
+
+
+def make_model(n: int = 6, seed: int = 2, irregular: bool = True):
+    """A deterministic extended-LMO model without running estimation."""
+    irr = None
+    if irregular:
+        irr = GatherIrregularity(m1=4 * KB, m2=65 * KB,
+                                 escalation_value=0.22, p_at_m2=0.7)
+    return ExtendedLMOModel.from_ground_truth(GroundTruth.random(n, seed=seed), irr)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return make_model()

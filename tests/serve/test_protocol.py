@@ -1,0 +1,129 @@
+"""Tests for the NDJSON framing — pure functions, no sockets."""
+
+import json
+
+import pytest
+
+from repro.api.errors import (
+    InternalError,
+    InvalidRequest,
+    ModelNotLoaded,
+    Overloaded,
+)
+from repro.api.schema import SCHEMA_VERSION
+from repro.serve import protocol
+
+
+# -- encoding ---------------------------------------------------------------------
+def test_request_round_trip():
+    line = protocol.encode_request("predict", {"model": "lmo", "nbytes": 1024},
+                                   request_id=7)
+    assert line.endswith(b"\n") and line.count(b"\n") == 1
+    request = protocol.decode_request(line)
+    assert request.id == 7
+    assert request.verb == "predict"
+    assert request.params == {"model": "lmo", "nbytes": 1024}
+
+
+def test_encoded_lines_never_contain_raw_newlines():
+    # A newline (or any non-ASCII byte) inside a payload string must not
+    # break the one-line-per-message framing.
+    line = protocol.encode_request("predict", {"model": "a\nb c"}, 1)
+    assert line.count(b"\n") == 1 and line.endswith(b"\n")
+    assert protocol.decode_request(line).params["model"] == "a\nb c"
+
+
+def test_response_round_trip():
+    line = protocol.encode_response("abc", {"kind": "prediction"})
+    doc = protocol.decode_response(line)
+    assert doc == {"id": "abc", "ok": True, "result": {"kind": "prediction"},
+                   "schema_version": SCHEMA_VERSION}
+
+
+def test_encode_error_carries_the_taxonomy_payload():
+    for exc, code in [
+        (InvalidRequest("bad"), "invalid_request"),
+        (ModelNotLoaded("gone"), "model_not_loaded"),
+        (Overloaded("full"), "overloaded"),
+        (RuntimeError("boom"), "internal_error"),
+        (ValueError("nope"), "invalid_request"),
+        (LookupError("nope"), "model_not_loaded"),
+    ]:
+        doc = json.loads(protocol.encode_error(3, exc))
+        assert doc["ok"] is False
+        assert doc["id"] == 3
+        assert doc["error"]["code"] == code
+        assert doc["schema_version"] == SCHEMA_VERSION
+
+
+# -- request validation -----------------------------------------------------------
+def test_envelope_defaults_are_filled_in():
+    request = protocol.decode_request(b'{"verb": "health"}\n')
+    assert request.id is None
+    assert request.params == {}
+
+
+def test_decode_request_accepts_str_and_bytearray():
+    raw = '{"id": "x", "verb": "obs", "params": {}}'
+    assert protocol.decode_request(raw).id == "x"
+    assert protocol.decode_request(bytearray(raw.encode())).id == "x"
+
+
+@pytest.mark.parametrize("line, match", [
+    (b"\xff\xfe{}", "not valid UTF-8"),
+    (b"{not json}\n", "not valid JSON"),
+    (b"[1, 2]\n", "must be a JSON object"),
+    (b'{"verb": "predict", "schema_version": 2}\n', "unsupported schema_version"),
+    (b'{"verb": "launch_missiles"}\n', "unknown verb"),
+    (b'{"verb": 7}\n', "unknown verb"),
+    (b'{"verb": "predict", "params": [1]}\n', "params must be an object"),
+    (b'{"verb": "predict", "id": [1]}\n', "id must be"),
+    (b'{"verb": "predict", "id": 1.5}\n', "id must be"),
+])
+def test_decode_request_rejects(line, match):
+    with pytest.raises(InvalidRequest, match=match):
+        protocol.decode_request(line)
+
+
+def test_decode_request_rejects_oversized_line():
+    line = b'{"verb": "predict", "params": {"pad": "' + \
+        b"x" * protocol.MAX_LINE_BYTES + b'"}}\n'
+    with pytest.raises(InvalidRequest, match="exceeds"):
+        protocol.decode_request(line)
+
+
+def test_every_verb_decodes():
+    for verb in protocol.VERBS:
+        assert protocol.decode_request(
+            protocol.encode_request(verb, {}, 1)
+        ).verb == verb
+
+
+# -- id correlation for broken lines ----------------------------------------------
+def test_peek_id_recovers_id_from_valid_json():
+    assert protocol.peek_id(b'{"id": 42, "verb": "launch_missiles"}\n') == 42
+    assert protocol.peek_id(b'{"id": "r-1", "schema_version": 99}\n') == "r-1"
+
+
+def test_peek_id_is_none_for_garbage():
+    assert protocol.peek_id(b"{not json}\n") is None
+    assert protocol.peek_id(b"\xff\xfe\n") is None
+    assert protocol.peek_id(b'{"id": [1]}\n') is None
+    assert protocol.peek_id(b"[]\n") is None
+
+
+# -- response validation ----------------------------------------------------------
+def test_decode_response_empty_line_means_closed_connection():
+    with pytest.raises(InternalError, match="connection closed"):
+        protocol.decode_response(b"")
+    with pytest.raises(InternalError, match="connection closed"):
+        protocol.decode_response("  \n")
+
+
+def test_decode_response_rejects_garbage():
+    with pytest.raises(InternalError, match="malformed response"):
+        protocol.decode_response(b"{nope\n")
+    with pytest.raises(InternalError, match="no 'ok' field"):
+        protocol.decode_response(b'{"id": 1}\n')
+    with pytest.raises(InternalError, match="no 'ok' field"):
+        protocol.decode_response(b"[1]\n")

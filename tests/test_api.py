@@ -29,9 +29,12 @@ def test_load_cluster_defaults():
 
 def test_load_cluster_truncates_and_validates():
     assert api.load_cluster(nodes=4).n == 4
-    with pytest.raises(ValueError, match="nodes"):
+    with pytest.raises(api.InvalidRequest, match="nodes"):
         api.load_cluster(nodes=1)
-    with pytest.raises(KeyError, match="profile"):
+    with pytest.raises(api.InvalidRequest, match="profile"):
+        api.load_cluster(profile="nope")
+    # The taxonomy keeps the historical ValueError contract.
+    with pytest.raises(ValueError, match="profile"):
         api.load_cluster(profile="nope")
 
 
@@ -65,7 +68,7 @@ def test_estimate_returns_typed_outcome(cluster, outcome):
 
 
 def test_estimate_unknown_model(cluster):
-    with pytest.raises(KeyError, match="unknown model"):
+    with pytest.raises(api.InvalidRequest, match="unknown model"):
         api.estimate(cluster, model="bogus")
 
 

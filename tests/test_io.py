@@ -1,5 +1,7 @@
 """Tests for model serialization (round trips for every type)."""
 
+import warnings
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -146,6 +148,9 @@ def test_all_six_models_roundtrip_v2():
 
 
 def test_legacy_v1_loads_with_deprecation_warning():
+    from repro.api.compat import reset_legacy_warnings
+
+    reset_legacy_warnings()
     legacy = (
         '{"format": "repro-model", "version": 1, "payload": '
         '{"type": "HockneyModel", "alpha": 0.0001, "beta": 8e-08, "n": 8}}'
@@ -153,9 +158,16 @@ def test_legacy_v1_loads_with_deprecation_warning():
     with pytest.warns(DeprecationWarning, match="legacy"):
         model = loads(legacy)
     assert model == HockneyModel(alpha=1e-4, beta=8e-8, n=8)
+    # Consolidated: the second legacy touch in the same process is silent.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert loads(legacy) == model
 
 
 def test_legacy_v1_matrix_payload_loads():
+    from repro.api.compat import reset_legacy_warnings
+
+    reset_legacy_warnings()
     legacy = (
         '{"format": "repro-model", "version": 1, "payload": '
         '{"type": "GroundTruth",'
