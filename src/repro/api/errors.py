@@ -3,17 +3,20 @@
 Every failure the facade, the CLI and the wire protocol can report is
 one of four :class:`ApiError` subclasses with a *stable string code*:
 
-================  ===================  =====================================
-class             code                 meaning
-================  ===================  =====================================
-InvalidRequest    ``invalid_request``  malformed or out-of-range parameters
-ModelNotLoaded    ``model_not_loaded`` unknown model name, or the model
-                                       carries no formula for the requested
-                                       (operation, algorithm) pair
-Overloaded        ``overloaded``       a bounded service queue is full —
-                                       back off and retry
-InternalError     ``internal_error``   anything else (a bug, not the caller)
-================  ===================  =====================================
+================  ===================== ===================================
+class             code                  meaning
+================  ===================== ===================================
+InvalidRequest    ``invalid_request``   malformed or out-of-range parameters
+ModelNotLoaded    ``model_not_loaded``  unknown model name, or the model
+                                        carries no formula for the requested
+                                        (operation, algorithm) pair
+Overloaded        ``overloaded``        a bounded service queue is full —
+                                        back off and retry
+DeadlineExceeded  ``deadline_exceeded`` the request's ``deadline_ms`` budget
+                                        expired before it was executed; the
+                                        server shed it unrun
+InternalError     ``internal_error``    anything else (a bug, not the caller)
+================  ===================== ===================================
 
 The same taxonomy appears in three shapes that map 1:1:
 
@@ -34,6 +37,7 @@ __all__ = [
     "InvalidRequest",
     "ModelNotLoaded",
     "Overloaded",
+    "DeadlineExceeded",
     "InternalError",
     "ERROR_TYPES",
     "error_payload",
@@ -77,6 +81,17 @@ class Overloaded(ApiError):
     code = "overloaded"
 
 
+class DeadlineExceeded(ApiError):
+    """The request's deadline budget ran out while it sat queued.
+
+    The server sheds the request *without executing it* — no work was
+    done, no side effects happened.  Not retryable by default: the
+    caller's overall deadline is the thing that expired.
+    """
+
+    code = "deadline_exceeded"
+
+
 class InternalError(ApiError):
     """Unexpected server-side failure — a bug, not the caller's fault."""
 
@@ -85,7 +100,9 @@ class InternalError(ApiError):
 
 #: code -> exception class, for both directions of the wire mapping.
 ERROR_TYPES: dict[str, type[ApiError]] = {
-    cls.code: cls for cls in (InvalidRequest, ModelNotLoaded, Overloaded, InternalError)
+    cls.code: cls
+    for cls in (InvalidRequest, ModelNotLoaded, Overloaded, DeadlineExceeded,
+                InternalError)
 }
 
 

@@ -607,6 +607,12 @@ def cmd_serve(args) -> int:
     Prints one ``listening on <endpoint>`` line once the socket is bound
     (with ``--port 0`` this is where the ephemeral port appears), then
     blocks until drained (SIGTERM, the ``drain`` verb, or Ctrl-C).
+
+    With ``--supervised`` the daemon instead runs as a watched child
+    process: health-probed, restarted with backoff after crashes, and
+    abandoned with exit code 86 on a crash loop (``--restart-limit``
+    crashes within ``--restart-window`` seconds).  ``--snapshot`` makes
+    the dynamic model registry durable across those restarts.
     """
     import asyncio
 
@@ -620,10 +626,14 @@ def cmd_serve(args) -> int:
             return 2
         models[name] = path
 
+    if args.supervised:
+        return _serve_supervised(args)
+
     config = ServeConfig(
         host=args.host, port=args.port, unix_path=args.unix, models=models,
         workers=args.workers, batch_window=args.batch_window,
         queue_limit=args.queue_limit, telemetry=not args.no_telemetry,
+        snapshot_path=args.snapshot,
     )
 
     async def _run() -> None:
@@ -648,6 +658,44 @@ def cmd_serve(args) -> int:
     return 0
 
 
+def _serve_supervised(args) -> int:
+    """Run the daemon as a supervised child (``repro serve --supervised``)."""
+    from repro.serve.supervisor import Supervisor, SupervisorConfig, resolve_port
+
+    port = args.port
+    if args.unix is None and port == 0:
+        # Every restarted child must bind the *same* endpoint.
+        port = resolve_port(args.host)
+    command = [sys.executable, "-m", "repro.cli", "serve",
+               "--host", args.host, "--port", str(port),
+               "--workers", str(args.workers),
+               "--batch-window", str(args.batch_window),
+               "--queue-limit", str(args.queue_limit)]
+    if args.unix is not None:
+        command += ["--unix", args.unix]
+    for spec_str in args.model or []:
+        command += ["--model", spec_str]
+    if args.no_telemetry:
+        command += ["--no-telemetry"]
+    if args.snapshot is not None:
+        command += ["--snapshot", args.snapshot]
+    endpoint = args.unix if args.unix is not None else f"{args.host}:{port}"
+    supervisor = Supervisor(SupervisorConfig(
+        command=command, host=args.host, port=port, unix_path=args.unix,
+        restart_limit=args.restart_limit, restart_window=args.restart_window,
+    ))
+    _emit(args, f"supervising on {endpoint}",
+          {"supervising": endpoint, "command": command})
+    sys.stdout.flush()
+    code = supervisor.run_under_signals()
+    if supervisor.gave_up:
+        print(
+            f"giving up: {args.restart_limit} crashes within "
+            f"{args.restart_window:g}s (crash loop)", file=sys.stderr,
+        )
+    return code
+
+
 def cmd_client(args) -> int:
     """``repro client VERB`` — one request to a running daemon.
 
@@ -656,8 +704,16 @@ def cmd_client(args) -> int:
     printed as JSON.  Error replies land on stderr as ``code: message``
     with exit code 1 (3 for ``overloaded`` — retryable) — the same
     stable codes :mod:`repro.api` raises in-process.
+
+    ``--retries N`` switches to the resilient client: transient failures
+    (overload, resets, timeouts, corrupted replies) are retried with
+    seeded exponential backoff, and exhausting every attempt exits with
+    the distinct code 4 so scripts can tell "the service kept failing
+    under retry" from a first-try error.  ``--deadline-ms`` bounds the
+    whole call (propagated to the server, which sheds expired requests).
     """
     from repro.serve import ServiceClient
+    from repro.serve.client import ResilientClient, RetryExhausted, RetryPolicy
 
     try:
         params = json.loads(args.params) if args.params else {}
@@ -668,9 +724,21 @@ def cmd_client(args) -> int:
         print("--params must be a JSON object", file=sys.stderr)
         return 2
     try:
-        with ServiceClient(host=args.host, port=args.port,
-                           unix_path=args.unix, timeout=args.timeout) as client:
-            result = client.call(args.verb, params)
+        if args.retries > 0 or args.deadline_ms is not None:
+            retry = RetryPolicy(max_retries=args.retries, seed=0)
+            with ResilientClient(host=args.host, port=args.port,
+                                 unix_path=args.unix, timeout=args.timeout,
+                                 retry=retry,
+                                 deadline_ms=args.deadline_ms) as client:
+                result = client.call(args.verb, params)
+        else:
+            with ServiceClient(host=args.host, port=args.port,
+                               unix_path=args.unix,
+                               timeout=args.timeout) as plain:
+                result = plain.call(args.verb, params)
+    except RetryExhausted as exc:
+        print(f"retries exhausted: {exc}", file=sys.stderr)
+        return 4
     except api.Overloaded as exc:
         print(f"overloaded: {exc}", file=sys.stderr)
         return 3
@@ -974,6 +1042,20 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--no-telemetry", action="store_true",
                          help="start without process telemetry (obs verb "
                               "reports enabled: false)")
+    p_serve.add_argument("--snapshot", default=None, metavar="PATH",
+                         help="durable registry snapshot: models registered "
+                              "at runtime (estimate --register_as) survive "
+                              "a crash/restart")
+    p_serve.add_argument("--supervised", action="store_true",
+                         help="run the daemon as a watched child: health-"
+                              "probed, restarted with backoff after crashes, "
+                              "abandoned with exit code 86 on a crash loop")
+    p_serve.add_argument("--restart-limit", type=int, default=5,
+                         help="crashes within --restart-window that make "
+                              "--supervised give up (default 5)")
+    p_serve.add_argument("--restart-window", type=float, default=60.0,
+                         help="sliding crash-loop window in seconds "
+                              "(default 60)")
 
     p_client = sub.add_parser(
         "client", help="send one request to a running repro serve daemon",
@@ -990,6 +1072,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_client.add_argument("--port", type=int, default=7725)
     p_client.add_argument("--unix", default=None, metavar="PATH")
     p_client.add_argument("--timeout", type=float, default=60.0)
+    p_client.add_argument("--retries", type=int, default=0,
+                          help="retry transient failures (overload, resets, "
+                               "timeouts, corrupted replies) up to N times "
+                               "with seeded exponential backoff; exhausting "
+                               "them exits 4")
+    p_client.add_argument("--deadline-ms", type=float, default=None,
+                          help="total time budget for the call in ms, "
+                               "propagated to the server (expired queued "
+                               "requests are shed as deadline_exceeded)")
 
     p_obs = sub.add_parser(
         "obs",

@@ -321,6 +321,24 @@ def default_rules() -> list[AlertRule]:
             description="99th-percentile service request latency above "
                         "250 ms across all verbs",
         ),
+        AlertRule(
+            name="service_crash_loop", kind="metric_value",
+            metric="supervisor_crash_loop", threshold=0.0, op=">",
+            level="error",
+            description="the service supervisor gave up: the daemon "
+                        "crashed restart-limit times within the crash-loop "
+                        "window and will not be restarted again",
+        ),
+        AlertRule(
+            name="service_deadline_shed_high", kind="metric_ratio",
+            metric="service_deadline_shed_total",
+            metric_denom="service_requests_total",
+            threshold=0.05, op=">", level="warning",
+            description="more than 5% of service requests were shed "
+                        "unexecuted because their deadline_ms expired "
+                        "while queued — the service is running behind "
+                        "its callers' latency budgets",
+        ),
     ]
 
 

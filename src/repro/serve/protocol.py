@@ -3,24 +3,42 @@
 One request per line, one response line per request, UTF-8 JSON with a
 trailing ``\\n`` (newline-delimited JSON).  A request is::
 
-    {"id": 1, "verb": "predict", "params": {...}, "schema_version": 3}
+    {"id": 1, "verb": "predict", "params": {...}, "schema_version": 3,
+     "deadline_ms": 250, "idempotency_key": "c7e1-42"}
 
 ``id`` is echoed verbatim in the response (string, integer or null);
 ``params`` is the ``to_dict()`` form of the verb's request dataclass in
 :mod:`repro.api.schema` (the envelope keys ``kind``/``schema_version``
-may be omitted — :meth:`from_dict` fills them in).  A response is one
-of::
+may be omitted — :meth:`from_dict` fills them in).  Two optional
+envelope keys carry the resilience contract:
 
-    {"id": 1, "ok": true,  "result": {...}, "schema_version": 3}
-    {"id": 1, "ok": false, "error": {"code": ..., "message": ...},
+* ``deadline_ms`` — the request's remaining time budget in milliseconds,
+  measured from server receipt.  A request still queued when the budget
+  expires is shed *unexecuted* with the ``deadline_exceeded`` error code
+  instead of wasting worker time on an answer nobody is waiting for.
+* ``idempotency_key`` — an opaque client-chosen string identifying one
+  *logical* call across retries.  The server deduplicates: a key it has
+  already answered returns the recorded result; a key currently in
+  flight attaches to the running execution.  Side-effectful verbs
+  (``estimate``) therefore execute at most once per key.
+
+A response is one of::
+
+    {"id": 1, "ok": true,  "result": {...}, "crc": 3735928559,
      "schema_version": 3}
+    {"id": 1, "ok": false, "error": {"code": ..., "message": ...},
+     "crc": ..., "schema_version": 3}
 
 where ``result`` is again a schema-v3 document and ``error`` is the
 taxonomy payload of :func:`repro.api.errors.error_payload` — the same
-codes :mod:`repro.api` raises in-process.  Requests longer than
-:data:`MAX_LINE_BYTES` are rejected (the stream cannot be resynchronized
-after an oversized line, so the server answers with ``id: null`` and
-closes the connection).
+codes :mod:`repro.api` raises in-process.  ``crc`` is the CRC-32 of the
+canonical JSON form of the payload (:func:`payload_checksum`); clients
+verify it so a reply corrupted on the wire is *detected* and surfaces as
+:class:`WireError` (a retryable transport failure) instead of silently
+delivering a wrong number.  Requests longer than :data:`MAX_LINE_BYTES`
+are rejected (the stream cannot be resynchronized after an oversized
+line, so the server answers with ``id: null`` and closes the
+connection).
 
 Everything here is a pure function over bytes/str — no I/O — so the
 framing is testable without a socket.
@@ -29,6 +47,8 @@ framing is testable without a socket.
 from __future__ import annotations
 
 import json
+import math
+import zlib
 from dataclasses import dataclass
 from typing import Any, Mapping, Optional, Union
 
@@ -36,14 +56,17 @@ from repro.api.errors import InternalError, InvalidRequest, error_payload
 from repro.api.schema import SCHEMA_VERSION
 
 __all__ = [
+    "MAX_IDEMPOTENCY_KEY_CHARS",
     "MAX_LINE_BYTES",
     "VERBS",
     "Request",
+    "WireError",
     "decode_request",
     "decode_response",
     "encode_error",
     "encode_request",
     "encode_response",
+    "payload_checksum",
     "peek_id",
 ]
 
@@ -62,7 +85,18 @@ VERBS = (
     "predict_many",
 )
 
+#: Hard cap on one idempotency key (keys are cache entries server-side).
+MAX_IDEMPOTENCY_KEY_CHARS = 200
+
 RequestId = Union[str, int, None]
+
+
+class WireError(InternalError, ConnectionError):
+    """The byte stream itself failed: truncated, unparseable or
+    checksum-mismatched reply.  A *transport* failure — the request may
+    or may not have executed — so resilient callers treat it as
+    retryable (idempotency keys make the retry safe), unlike a genuine
+    ``internal_error`` reply which reports a server-side bug."""
 
 
 @dataclass(frozen=True)
@@ -72,6 +106,11 @@ class Request:
     id: RequestId
     verb: str
     params: Mapping[str, Any]
+    #: Remaining time budget in milliseconds (measured from receipt), or
+    #: None for no deadline.
+    deadline_ms: Optional[float] = None
+    #: Client-chosen retry-dedup key, or None for no deduplication.
+    idempotency_key: Optional[str] = None
 
 
 def _dumps(doc: Mapping[str, Any]) -> bytes:
@@ -81,27 +120,50 @@ def _dumps(doc: Mapping[str, Any]) -> bytes:
     return json.dumps(doc, separators=(",", ":"), ensure_ascii=True).encode() + b"\n"
 
 
+def payload_checksum(payload: Mapping[str, Any]) -> int:
+    """CRC-32 of the canonical JSON form of a result/error payload.
+
+    Canonical means sorted keys, compact separators, ASCII-only — both
+    sides recompute it from the parsed object, so the checksum is stable
+    across whitespace and key-order differences and floats round-trip
+    exactly (``json`` serializes them via ``repr``).
+    """
+    canonical = json.dumps(payload, separators=(",", ":"), ensure_ascii=True,
+                           sort_keys=True)
+    return zlib.crc32(canonical.encode())
+
+
 def encode_request(verb: str, params: Mapping[str, Any],
-                   request_id: RequestId = None) -> bytes:
+                   request_id: RequestId = None,
+                   deadline_ms: Optional[float] = None,
+                   idempotency_key: Optional[str] = None) -> bytes:
     """One request line (client side)."""
-    return _dumps({
+    doc: dict[str, Any] = {
         "id": request_id, "verb": verb, "params": dict(params),
         "schema_version": SCHEMA_VERSION,
-    })
+    }
+    if deadline_ms is not None:
+        doc["deadline_ms"] = float(deadline_ms)
+    if idempotency_key is not None:
+        doc["idempotency_key"] = idempotency_key
+    return _dumps(doc)
 
 
 def encode_response(request_id: RequestId, result: Mapping[str, Any]) -> bytes:
-    """One success line (server side)."""
+    """One success line (server side), integrity-stamped."""
     return _dumps({
         "id": request_id, "ok": True, "result": result,
+        "crc": payload_checksum(result),
         "schema_version": SCHEMA_VERSION,
     })
 
 
 def encode_error(request_id: RequestId, exc: BaseException) -> bytes:
     """One error line (server side); any exception maps onto the taxonomy."""
+    payload = error_payload(exc)
     return _dumps({
-        "id": request_id, "ok": False, "error": error_payload(exc),
+        "id": request_id, "ok": False, "error": payload,
+        "crc": payload_checksum(payload),
         "schema_version": SCHEMA_VERSION,
     })
 
@@ -151,7 +213,26 @@ def decode_request(line: Union[bytes, bytearray, str]) -> Request:
     request_id = doc.get("id")
     if request_id is not None and not isinstance(request_id, (str, int)):
         raise InvalidRequest("id must be a string, an integer or null")
-    return Request(id=request_id, verb=verb, params=params)
+    deadline_ms = doc.get("deadline_ms")
+    if deadline_ms is not None:
+        if isinstance(deadline_ms, bool) or not isinstance(deadline_ms, (int, float)) \
+                or not math.isfinite(deadline_ms) or deadline_ms <= 0:
+            raise InvalidRequest(
+                f"deadline_ms must be a positive finite number of "
+                f"milliseconds, got {deadline_ms!r}"
+            )
+        deadline_ms = float(deadline_ms)
+    idempotency_key = doc.get("idempotency_key")
+    if idempotency_key is not None:
+        if not isinstance(idempotency_key, str) or not idempotency_key:
+            raise InvalidRequest("idempotency_key must be a non-empty string")
+        if len(idempotency_key) > MAX_IDEMPOTENCY_KEY_CHARS:
+            raise InvalidRequest(
+                f"idempotency_key exceeds {MAX_IDEMPOTENCY_KEY_CHARS} "
+                f"characters"
+            )
+    return Request(id=request_id, verb=verb, params=params,
+                   deadline_ms=deadline_ms, idempotency_key=idempotency_key)
 
 
 def peek_id(line: Union[bytes, bytearray, str]) -> RequestId:
@@ -171,22 +252,32 @@ def peek_id(line: Union[bytes, bytearray, str]) -> RequestId:
 
 def decode_response(line: Union[bytes, bytearray, str],
                     preview_bytes: int = 120) -> dict[str, Any]:
-    """Parse one response line (client side).
+    """Parse and integrity-check one response line (client side).
 
-    Raises :class:`~repro.api.errors.InternalError` when the line is
-    empty (connection closed) or unparseable; the caller decides what to
-    do with ``ok: false`` payloads (see
-    :meth:`repro.serve.client.ServiceClient.call`).
+    Raises :class:`WireError` (an :class:`~repro.api.errors.InternalError`
+    that is also a ``ConnectionError``) when the line is empty
+    (connection closed), unparseable, or carries a ``crc`` stamp that
+    does not match its payload — all transport failures a resilient
+    caller may retry.  The caller decides what to do with ``ok: false``
+    payloads (see :meth:`repro.serve.client.ServiceClient.call`).
     """
     stripped = bytes(line).strip() if isinstance(line, (bytes, bytearray)) \
         else line.strip()
     if not stripped:
-        raise InternalError("connection closed before a response arrived")
+        raise WireError("connection closed before a response arrived")
     try:
         doc = json.loads(line)
     except ValueError as exc:
         preview: Any = line[:preview_bytes]
-        raise InternalError(f"malformed response line {preview!r}: {exc}") from exc
+        raise WireError(f"malformed response line {preview!r}: {exc}") from exc
     if not isinstance(doc, dict) or "ok" not in doc:
-        raise InternalError(f"malformed response (no 'ok' field): {doc!r}")
+        raise WireError(f"malformed response (no 'ok' field): {doc!r}")
+    if "crc" in doc:
+        payload = doc.get("result") if doc.get("ok") else doc.get("error")
+        if not isinstance(payload, dict) \
+                or payload_checksum(payload) != doc["crc"]:
+            raise WireError(
+                "response failed its integrity check (crc mismatch) — "
+                "the reply was corrupted in transit"
+            )
     return doc

@@ -22,6 +22,7 @@ from typing import Any, Optional
 
 from repro.serve.client import ServiceClient
 from repro.serve.server import PredictionServer, ServeConfig
+from repro.serve.service import STOPPED
 
 __all__ = ["ServerThread"]
 
@@ -75,7 +76,15 @@ class ServerThread:
             return
         self.server = server
         self._started.set()
-        await server.serve_forever()
+        try:
+            await server.serve_forever()
+        finally:
+            # Abnormal exits (an exception escaping the serve loop, the
+            # loop being torn down) must not leave a stale Unix socket
+            # or orphaned worker tasks behind — a graceful drain already
+            # reached STOPPED, anything else gets the hard cleanup.
+            if server.state != STOPPED:
+                await server.abort()
 
     def stop(self, timeout: float = 30.0) -> None:
         """Drain gracefully and join the thread (idempotent)."""

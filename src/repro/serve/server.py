@@ -36,13 +36,16 @@ from __future__ import annotations
 
 import asyncio
 import contextlib
+import json
 import os
 import signal
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro import api
+from repro import io as _io
 from repro.api.errors import (
     InvalidRequest,
     ModelNotLoaded,
@@ -91,21 +94,39 @@ class ServeConfig:
     estimate_queue_limit: int = 4
     #: Enable process telemetry at startup (the ``obs`` verb's source).
     telemetry: bool = True
+    #: Crash-safe registry snapshot: every runtime-registered model is
+    #: persisted here (atomic fsynced write) and restored at startup, so
+    #: a ``kill -9`` + restart recovers the estimate overlay.
+    snapshot_path: Optional[str] = None
+    #: Completed idempotency keys remembered for retry deduplication.
+    idempotency_capacity: int = 1024
+
+
+#: Envelope kind of the registry snapshot file.
+_SNAPSHOT_KIND = "serve_registry_snapshot"
+_SNAPSHOT_VERSION = 1
 
 
 class ModelRegistry:
-    """Named models with atomic reload.
+    """Named models with atomic reload and a crash-safe overlay snapshot.
 
     ``load()`` re-reads every file-backed source into a *new* dict and
     swaps it in one assignment — readers either see the old set or the
     new one, never a half-loaded mix.  Models registered at runtime (the
-    ``estimate`` verb) live in a separate overlay that survives reloads.
+    ``estimate`` verb) live in a separate overlay that survives reloads;
+    with a ``snapshot_path`` the overlay is also persisted on every
+    registration (write-temp-fsync-rename, the journal discipline of
+    :func:`repro.io.atomic_write_text`) and restored by
+    :meth:`restore`, so a ``kill -9`` loses nothing that was ever
+    acknowledged as registered.
     """
 
-    def __init__(self, sources: Optional[Mapping[str, Any]] = None) -> None:
+    def __init__(self, sources: Optional[Mapping[str, Any]] = None,
+                 snapshot_path: Optional[str] = None) -> None:
         self._sources = dict(sources or {})
         self._dynamic: dict[str, Any] = {}
         self._models: dict[str, Any] = {}
+        self.snapshot_path = snapshot_path
 
     def load(self) -> int:
         """(Re)load every source; returns the number of models served."""
@@ -118,11 +139,74 @@ class ModelRegistry:
         return len(loaded)
 
     def register(self, name: str, model: Any) -> None:
-        """Add a runtime-estimated model (copy-on-write, reload-proof)."""
+        """Add a runtime-estimated model (copy-on-write, reload-proof).
+
+        With a snapshot path the overlay hits disk *before* the caller
+        sees the registration — an acknowledged ``registered_as`` is
+        durable against a hard kill the instant the reply is sent.
+        """
         self._dynamic[name] = model
+        self._persist()
         merged = dict(self._models)
         merged[name] = model
         self._models = merged
+
+    # -- crash-safe overlay snapshot ----------------------------------------------
+    def _persist(self) -> None:
+        if self.snapshot_path is None:
+            return
+        doc = {
+            "kind": _SNAPSHOT_KIND,
+            "schema_version": _SNAPSHOT_VERSION,
+            "models": {
+                name: json.loads(_io.dumps(model))
+                for name, model in sorted(self._dynamic.items())
+            },
+        }
+        _io.atomic_write_text(self.snapshot_path, json.dumps(doc, indent=2))
+
+    def restore(self) -> int:
+        """Rehydrate the overlay from the snapshot file (startup path).
+
+        Returns the number of models restored; in-memory registrations
+        win over snapshot entries of the same name.  A missing file is a
+        fresh start; a corrupt one (impossible under the atomic-write
+        discipline, but disks lie) is reported and skipped rather than
+        wedging startup into a crash loop.
+        """
+        if self.snapshot_path is None or not os.path.exists(self.snapshot_path):
+            return 0
+        try:
+            with open(self.snapshot_path) as handle:
+                doc = json.load(handle)
+            if not isinstance(doc, dict) or doc.get("kind") != _SNAPSHOT_KIND:
+                raise ValueError(f"not a {_SNAPSHOT_KIND} document")
+            if doc.get("schema_version") != _SNAPSHOT_VERSION:
+                raise ValueError(
+                    f"unsupported snapshot version {doc.get('schema_version')!r}"
+                )
+            restored = {
+                str(name): _io.loads(json.dumps(envelope))
+                for name, envelope in doc.get("models", {}).items()
+            }
+        except (OSError, ValueError) as exc:
+            tel = _obs.ACTIVE
+            if tel is not None:
+                tel.events.error("service_snapshot_unreadable",
+                                 path=self.snapshot_path, error=str(exc))
+            return 0
+        count = 0
+        added: dict[str, Any] = {}
+        for name, model in restored.items():
+            if name not in self._dynamic:
+                self._dynamic[name] = model
+                added[name] = model
+                count += 1
+        if added:
+            merged = dict(self._models)
+            merged.update(added)
+            self._models = merged  # atomic swap, same as load()
+        return count
 
     def get(self, name: Any) -> Any:
         if not isinstance(name, str):
@@ -146,9 +230,13 @@ class PredictionServer:
 
     def __init__(self, config: ServeConfig) -> None:
         self.config = config
-        self.registry = ModelRegistry(config.models)
+        self.registry = ModelRegistry(config.models,
+                                      snapshot_path=config.snapshot_path)
         self.state = CREATED
         self.requests_total = 0
+        #: idempotency key -> the future answering that logical call.
+        #: Retried requests attach to it instead of re-executing.
+        self._idempotent: "OrderedDict[str, asyncio.Future]" = OrderedDict()
         self._workers: list[PredictWorker] = []
         self._estimator: Optional[EstimateWorker] = None
         self._server: Optional[asyncio.AbstractServer] = None
@@ -167,7 +255,13 @@ class PredictionServer:
             raise RuntimeError(f"server already started ({self.state})")
         if self.config.telemetry:
             _obs.enable()
+        restored = self.registry.restore()
         count = self.registry.load()
+        if restored:
+            tel0 = _obs.ACTIVE
+            if tel0 is not None:
+                tel0.events.info("service_snapshot_restored", models=restored,
+                                 path=self.config.snapshot_path)
         self._idle = asyncio.Event()
         self._idle.set()
         self._stopped = asyncio.Event()
@@ -261,6 +355,59 @@ class PredictionServer:
                 os.unlink(self.config.unix_path)
         self.state = STOPPED
         self._stopped.set()
+
+    async def abort(self) -> None:
+        """Hard-stop for abnormal exit paths: no drain, no new answers.
+
+        Closes the listener and every connection, cancels the worker
+        tasks, and — crucially — unlinks the Unix socket so the *next*
+        startup does not trip over a stale path.  Queued futures are
+        cancelled, not answered; anything durable (the registry
+        snapshot) is already on disk.  Idempotent, and safe to call on a
+        half-started server.
+        """
+        if self.state == STOPPED:
+            return
+        self.state = STOPPED
+        tel = _obs.ACTIVE
+        if tel is not None:
+            tel.events.warning("service_aborted", inflight=self._inflight)
+        if self._server is not None:
+            self._server.close()
+        for worker in self._all_workers():
+            task = worker._task
+            if task is not None and not task.done():
+                task.cancel()
+                with contextlib.suppress(asyncio.CancelledError, Exception):
+                    await task
+            worker.state = STOPPED
+        for writer in list(self._connections):
+            writer.close()
+        self._remove_signal_handlers()
+        self._cleanup_socket()
+        self._stopped.set()
+
+    def _cleanup_socket(self) -> None:
+        """Best-effort unlink of the Unix socket path (abnormal exits)."""
+        if self.config.unix_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.unix_path)
+
+    def _remember(self, key: str, future: asyncio.Future) -> None:
+        """Record an idempotency key while its call runs; keep it after
+        success (bounded LRU) and drop it on failure, so a retry of a
+        *failed* attempt re-executes while a retry of a *successful* one
+        replays the recorded result."""
+        self._idempotent[key] = future
+        while len(self._idempotent) > max(1, self.config.idempotency_capacity):
+            self._idempotent.popitem(last=False)
+
+        def _settle(fut: asyncio.Future) -> None:
+            if (fut.cancelled() or fut.exception() is not None) \
+                    and self._idempotent.get(key) is fut:
+                del self._idempotent[key]
+
+        future.add_done_callback(_settle)
 
     def _all_workers(self) -> list[StatefulWorker]:
         workers: list[StatefulWorker] = list(self._workers)
@@ -387,6 +534,26 @@ class PredictionServer:
                     "queued": queued}
         if self.state != RUNNING:
             raise Overloaded(f"server is {self.state}; no new work accepted")
+        tel = _obs.ACTIVE
+        key = request.idempotency_key
+        if key is not None:
+            cached = self._idempotent.get(key)
+            if cached is not None:
+                # A retry of a call we have answered (or are answering):
+                # never re-execute — replay or attach.
+                self._idempotent.move_to_end(key)
+                if tel is not None:
+                    tel.registry.counter(
+                        "service_idempotent_hits_total",
+                        help="retried requests deduplicated by idempotency key",
+                        verb=verb,
+                    ).inc()
+                if cached.done():
+                    return cached.result()
+                return await asyncio.shield(cached)
+        deadline: Optional[float] = None
+        if request.deadline_ms is not None:
+            deadline = time.monotonic() + request.deadline_ms / 1000.0
         if verb == "estimate":
             assert self._estimator is not None
             worker: StatefulWorker = self._estimator
@@ -396,7 +563,16 @@ class PredictionServer:
             shard = int(model_fingerprint(model), 16) % len(self._workers)
             worker = self._workers[shard]
         future: asyncio.Future = asyncio.get_running_loop().create_future()
-        worker.submit(WorkItem(request=request, model=model, future=future))
+        if key is not None:
+            self._remember(key, future)
+        try:
+            worker.submit(WorkItem(request=request, model=model, future=future,
+                                   deadline=deadline))
+        except BaseException:
+            # Never queued: the key must not block a retry from executing.
+            if key is not None and self._idempotent.get(key) is future:
+                del self._idempotent[key]
+            raise
         self._inflight += 1
         self._idle.clear()
         tel = _obs.ACTIVE
@@ -451,10 +627,20 @@ class PredictionServer:
 
 
 async def run_server(config: ServeConfig) -> PredictionServer:
-    """Start a server and block until it drains; returns the server."""
+    """Start a server and block until it drains; returns the server.
+
+    Exits that bypass the graceful drain — a cancelled task, an
+    exception escaping the loop — still clean up: the listener closes
+    and the Unix socket is unlinked (:meth:`PredictionServer.abort`), so
+    a crashed daemon never leaves a stale socket a restart trips over.
+    """
     server = PredictionServer(config)
     await server.start()
-    await server.serve_forever()
+    try:
+        await server.serve_forever()
+    finally:
+        if server.state != STOPPED:
+            await server.abort()
     return server
 
 

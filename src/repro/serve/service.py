@@ -30,12 +30,13 @@ Two worker types:
 from __future__ import annotations
 
 import asyncio
+import time
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
 from repro import api
 from repro.api import schema
-from repro.api.errors import InvalidRequest, Overloaded
+from repro.api.errors import DeadlineExceeded, InvalidRequest, Overloaded
 from repro.obs import runtime as _obs
 from repro.predict_service import PredictRequest, model_fingerprint
 from repro.serve.protocol import Request
@@ -71,6 +72,35 @@ class WorkItem:
     request: Request
     model: Any
     future: "asyncio.Future[Mapping[str, Any]]" = field(repr=False)
+    #: Absolute ``time.monotonic()`` instant past which the request is
+    #: shed unexecuted (from the envelope's ``deadline_ms``), or None.
+    deadline: Optional[float] = None
+
+
+def _shed_if_expired(item: WorkItem, worker_name: str) -> bool:
+    """Fail an expired queued item with ``deadline_exceeded`` (unrun).
+
+    Returns True when the item was shed; the caller skips execution.
+    The check sits at the moment a worker *picks the item up* — work
+    already executing is never abandoned mid-flight.
+    """
+    if item.deadline is None or time.monotonic() <= item.deadline:
+        return False
+    if not item.future.cancelled():
+        item.future.set_exception(DeadlineExceeded(
+            f"request spent its whole deadline_ms budget queued on "
+            f"worker {worker_name}; shed without executing"
+        ))
+    tel = _obs.ACTIVE
+    if tel is not None:
+        tel.registry.counter(
+            "service_deadline_shed_total",
+            help="requests shed unexecuted after their deadline expired",
+            worker=worker_name,
+        ).inc()
+        tel.events.warning("service_deadline_shed", worker=worker_name,
+                           verb=item.request.verb)
+    return True
 
 
 class StatefulWorker:
@@ -142,6 +172,8 @@ class StatefulWorker:
             self.processed += 1
             if item.future.cancelled():
                 continue
+            if _shed_if_expired(item, self.name):
+                continue
             try:
                 result = await self._handle(item)
             except asyncio.CancelledError:
@@ -211,6 +243,8 @@ class PredictWorker(StatefulWorker):
         for item in items:
             self.processed += 1
             if item.future.cancelled():
+                continue
+            if _shed_if_expired(item, self.name):
                 continue
             try:
                 params = schema.PredictParams.from_dict(item.request.params)

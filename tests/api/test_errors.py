@@ -5,6 +5,7 @@ import pytest
 from repro.api.errors import (
     ERROR_TYPES,
     ApiError,
+    DeadlineExceeded,
     InternalError,
     InvalidRequest,
     ModelNotLoaded,
@@ -19,6 +20,7 @@ def test_codes_are_stable():
         "invalid_request": InvalidRequest,
         "model_not_loaded": ModelNotLoaded,
         "overloaded": Overloaded,
+        "deadline_exceeded": DeadlineExceeded,
         "internal_error": InternalError,
     }
 
@@ -40,7 +42,8 @@ def test_str_is_the_message_even_for_the_keyerror_subclass():
 
 
 def test_payload_round_trip_preserves_type_and_message():
-    for cls in (InvalidRequest, ModelNotLoaded, Overloaded, InternalError):
+    for cls in (InvalidRequest, ModelNotLoaded, Overloaded, DeadlineExceeded,
+                InternalError):
         exc = cls("what went wrong")
         back = from_payload(error_payload(exc))
         assert type(back) is cls

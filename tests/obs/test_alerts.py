@@ -179,7 +179,8 @@ def test_default_rules_catalog():
     assert names == ["escalation_rate_high", "breaker_open",
                      "model_drift_high", "residual_p95_high",
                      "lease_reclamations_high", "worker_heartbeat_stale",
-                     "service_queue_depth_high", "service_p99_latency_high"]
+                     "service_queue_depth_high", "service_p99_latency_high",
+                     "service_crash_loop", "service_deadline_shed_high"]
     assert len(set(names)) == len(names)
     assert all(r.description for r in rules)
     heal = [r.name for r in rules if r.trigger_heal]

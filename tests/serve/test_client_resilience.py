@@ -1,0 +1,410 @@
+"""Client-side resilience: fd hygiene, the retry whitelist, seeded
+backoff determinism, and NDJSON framing under arbitrary chunking.
+
+The retry-path tests run against a *scripted* server — a real socket
+speaking the real protocol, but answering from a canned action list —
+so every retryable failure mode (overload, reset, corruption,
+truncation) is produced deterministically, not statistically.
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import errors
+from repro.serve import protocol
+from repro.serve.chaos import _read_line
+from repro.serve.client import (
+    ResilientClient,
+    RetryExhausted,
+    RetryPolicy,
+    ServiceClient,
+)
+
+pytestmark = pytest.mark.resilience
+
+
+def _open_fds() -> int:
+    return len(os.listdir("/proc/self/fd"))
+
+
+def _dead_port() -> int:
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]
+
+
+# -- satellite: fd leak on connect/handshake failure ------------------------------
+def test_failed_unix_connect_leaks_no_fd(tmp_path):
+    missing = str(tmp_path / "nope.sock")
+    before = _open_fds()
+    for _ in range(50):
+        with pytest.raises(OSError):
+            ServiceClient(unix_path=missing)
+    assert _open_fds() == before
+
+
+def test_failed_tcp_connect_leaks_no_fd():
+    port = _dead_port()
+    before = _open_fds()
+    for _ in range(50):
+        with pytest.raises(OSError):
+            ServiceClient(port=port, timeout=1.0)
+    assert _open_fds() == before
+
+
+def test_resilient_client_retry_loop_leaks_no_fd():
+    port = _dead_port()
+    before = _open_fds()
+    client = ResilientClient(
+        port=port, timeout=1.0,
+        retry=RetryPolicy(max_retries=8, base_delay=0.0, jitter=0.0, seed=0),
+    )
+    with pytest.raises(RetryExhausted):
+        client.health()
+    client.close()
+    assert _open_fds() == before
+
+
+# -- retry policy -----------------------------------------------------------------
+def test_retry_policy_is_deterministic_under_a_seed():
+    policy = RetryPolicy(max_retries=6, seed=1234)
+    a = [policy.delay(i, policy.rng()) for i in range(6)]
+    b = [policy.delay(i, policy.rng()) for i in range(6)]
+    assert a == b
+    # Different seed, different jitter stream.
+    other = RetryPolicy(max_retries=6, seed=4321)
+    assert [other.delay(i, other.rng()) for i in range(6)] != a
+
+
+def test_retry_policy_backoff_grows_and_caps():
+    policy = RetryPolicy(base_delay=0.1, multiplier=2.0, max_delay=0.5,
+                         jitter=0.0)
+    rng = policy.rng()
+    delays = [policy.delay(i, rng) for i in range(5)]
+    assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"max_retries": -1},
+    {"base_delay": -0.1},
+    {"multiplier": 0.5},
+    {"jitter": 1.5},
+])
+def test_retry_policy_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        RetryPolicy(**kwargs)
+
+
+def test_retry_exhausted_against_a_dead_port_counts_attempts():
+    client = ResilientClient(
+        port=_dead_port(), timeout=1.0,
+        retry=RetryPolicy(max_retries=3, base_delay=0.0, jitter=0.0, seed=0),
+    )
+    with pytest.raises(RetryExhausted) as excinfo:
+        client.health()
+    assert excinfo.value.attempts == 4  # 1 try + 3 retries
+    assert isinstance(excinfo.value.last_error, OSError)
+    client.close()
+
+
+def test_client_side_deadline_bounds_the_retry_loop():
+    client = ResilientClient(
+        port=_dead_port(), timeout=1.0, deadline_ms=150.0,
+        retry=RetryPolicy(max_retries=1000, base_delay=0.05, jitter=0.0,
+                          seed=0),
+    )
+    start = time.monotonic()
+    with pytest.raises(errors.DeadlineExceeded):
+        client.health()
+    assert time.monotonic() - start < 5.0
+    client.close()
+
+
+# -- scripted server: exact retry-path semantics ----------------------------------
+class ScriptedServer:
+    """A real socket answering requests from a canned action list.
+
+    Actions (consumed one per incoming request, across connections):
+    ``("ok", payload)``, ``("error", exc)``, ``("reset",)``,
+    ``("corrupt", payload)`` (valid JSON, wrong CRC) and
+    ``("partial", payload)`` (half a line, then close).  Once the list
+    is empty every request gets ``("ok", {"done": True})``.
+    """
+
+    def __init__(self, actions):
+        self.actions = list(actions)
+        self.requests_seen = []
+        self._lock = threading.Lock()
+        self._listener = socket.socket()
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind(("127.0.0.1", 0))
+        self._listener.listen(16)
+        self._listener.settimeout(0.2)
+        self.port = self._listener.getsockname()[1]
+        self._closing = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _next_action(self, request):
+        with self._lock:
+            self.requests_seen.append(request)
+            if self.actions:
+                return self.actions.pop(0)
+        return ("ok", {"done": True})
+
+    def _serve(self):
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with conn:
+                buffer = bytearray()
+                while not self._closing.is_set():
+                    line = _read_line(conn, buffer)
+                    if line is None:
+                        break
+                    request = protocol.decode_request(line)
+                    action = self._next_action(request)
+                    if action[0] == "ok":
+                        conn.sendall(protocol.encode_response(
+                            request.id, action[1]))
+                    elif action[0] == "error":
+                        conn.sendall(protocol.encode_error(
+                            request.id, action[1]))
+                    elif action[0] == "reset":
+                        import struct
+                        conn.setsockopt(
+                            socket.SOL_SOCKET, socket.SO_LINGER,
+                            struct.pack("ii", 1, 0))
+                        break
+                    elif action[0] == "corrupt":
+                        # Valid JSON whose crc stamp does not match its
+                        # payload — the wire flipped a payload byte.
+                        doc = {
+                            "id": request.id, "ok": True,
+                            "result": action[1],
+                            "crc": protocol.payload_checksum(action[1]) ^ 1,
+                            "schema_version": 3,
+                        }
+                        conn.sendall(json.dumps(doc).encode() + b"\n")
+                    elif action[0] == "partial":
+                        good = protocol.encode_response(request.id, action[1])
+                        conn.sendall(good[: max(1, len(good) // 2)])
+                        break
+
+    def close(self):
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+
+def _client(port, retries=5):
+    return ResilientClient(
+        port=port, timeout=2.0,
+        retry=RetryPolicy(max_retries=retries, base_delay=0.0, jitter=0.0,
+                          seed=0),
+    )
+
+
+def test_overloaded_is_retried_until_it_clears():
+    with ScriptedServer([
+        ("error", errors.Overloaded("full")),
+        ("error", errors.Overloaded("full")),
+        ("ok", {"answer": 42}),
+    ]) as server:
+        with _client(server.port) as client:
+            assert client.call("health") == {"answer": 42}
+            assert client.last_attempts == 3
+            assert client.retries_total == 2
+
+
+def test_connection_reset_is_retried_on_a_fresh_connection():
+    with ScriptedServer([("reset",), ("ok", {"answer": 1})]) as server:
+        with _client(server.port) as client:
+            assert client.call("health") == {"answer": 1}
+            assert client.last_attempts == 2
+
+
+def test_corrupted_reply_is_detected_and_retried():
+    with ScriptedServer([("corrupt", {"answer": 7}),
+                         ("ok", {"answer": 7})]) as server:
+        with _client(server.port) as client:
+            assert client.call("health") == {"answer": 7}
+            assert client.last_attempts == 2
+
+
+def test_truncated_reply_is_retried():
+    with ScriptedServer([("partial", {"answer": 9}),
+                         ("ok", {"answer": 9})]) as server:
+        with _client(server.port) as client:
+            assert client.call("health") == {"answer": 9}
+            assert client.last_attempts == 2
+
+
+def test_typed_verdicts_are_final_not_retried():
+    with ScriptedServer([
+        ("error", errors.InvalidRequest("bad")),
+        ("ok", {"never": "reached"}),
+    ]) as server:
+        with _client(server.port) as client:
+            with pytest.raises(errors.InvalidRequest):
+                client.call("health")
+        # Exactly one request hit the server: no retry happened.
+        assert len(server.requests_seen) == 1
+
+
+def test_deadline_exceeded_verdict_is_final():
+    with ScriptedServer([
+        ("error", errors.DeadlineExceeded("shed")),
+    ]) as server:
+        with _client(server.port) as client:
+            with pytest.raises(errors.DeadlineExceeded):
+                client.call("health")
+        assert len(server.requests_seen) == 1
+
+
+def test_all_retries_of_one_call_share_one_idempotency_key():
+    with ScriptedServer([
+        ("error", errors.Overloaded("full")),
+        ("reset",),
+        ("ok", {"fine": True}),
+    ]) as server:
+        with _client(server.port) as client:
+            client.call("health")
+            keys = {r.idempotency_key for r in server.requests_seen}
+            assert len(server.requests_seen) == 3
+            assert len(keys) == 1 and None not in keys
+            # A second logical call uses a *different* key.
+            client.call("health")
+            assert server.requests_seen[-1].idempotency_key not in keys
+
+
+def test_deadline_budget_shrinks_across_attempts():
+    with ScriptedServer([
+        ("error", errors.Overloaded("full")),
+        ("ok", {"fine": True}),
+    ]) as server:
+        with _client(server.port) as client:
+            client.call("health", deadline_ms=5000.0)
+            first, second = server.requests_seen
+            assert first.deadline_ms is not None
+            assert second.deadline_ms is not None
+            assert second.deadline_ms < first.deadline_ms <= 5000.0
+
+
+# -- CLI flags --------------------------------------------------------------------
+def test_cli_client_exit_codes_distinguish_retry_exhaustion(capsys):
+    from repro.cli import main
+    port = _dead_port()
+    # Without retries: first-try connection failure, exit 2.
+    assert main(["client", "health", "--port", str(port),
+                 "--timeout", "1"]) == 2
+    assert "cannot reach the daemon" in capsys.readouterr().err
+    # With retries enabled and exhausted: the distinct exit code 4.
+    assert main(["client", "health", "--port", str(port),
+                 "--timeout", "1", "--retries", "2"]) == 4
+    assert "retries exhausted" in capsys.readouterr().err
+
+
+def test_cli_client_retries_ride_through_transient_failures(capsys):
+    from repro.cli import main
+    with ScriptedServer([
+        ("error", errors.Overloaded("full")),
+        ("reset",),
+        ("ok", {"status": "running"}),
+    ]) as server:
+        assert main(["client", "health", "--port", str(server.port),
+                     "--retries", "5"]) == 0
+        assert json.loads(capsys.readouterr().out) == {"status": "running"}
+        assert len(server.requests_seen) == 3
+
+
+def test_cli_client_deadline_ms_is_propagated(capsys):
+    from repro.cli import main
+    with ScriptedServer([("ok", {"status": "running"})]) as server:
+        assert main(["client", "health", "--port", str(server.port),
+                     "--deadline-ms", "5000"]) == 0
+        capsys.readouterr()
+        request = server.requests_seen[0]
+        assert request.deadline_ms is not None and request.deadline_ms <= 5000
+        assert request.idempotency_key is not None
+
+
+# -- satellite: NDJSON framing property test --------------------------------------
+class _FakeConn:
+    """A socket double replaying a fixed chunk sequence from recv()."""
+
+    def __init__(self, chunks):
+        self._chunks = list(chunks)
+
+    def recv(self, _n):
+        return self._chunks.pop(0) if self._chunks else b""
+
+
+_payloads = st.lists(
+    st.dictionaries(
+        st.text(st.characters(min_codepoint=32, max_codepoint=0x24F),
+                min_size=1, max_size=8),
+        st.one_of(
+            st.integers(min_value=-(2**53), max_value=2**53),
+            st.floats(allow_nan=False, allow_infinity=False),
+            st.text(max_size=20),
+            st.booleans(),
+        ),
+        max_size=5,
+    ),
+    min_size=1, max_size=6,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(payloads=_payloads, data=st.data())
+def test_replies_decode_identically_under_arbitrary_chunking(payloads, data):
+    """However the byte stream is sliced — mid-line, mid-float,
+    multiple lines per chunk, one byte at a time — reassembled replies
+    decode bit-identically to the directly-decoded originals."""
+    stream = b"".join(
+        protocol.encode_response(i, payload)
+        for i, payload in enumerate(payloads)
+    )
+    chunks = []
+    position = 0
+    while position < len(stream):
+        size = data.draw(st.integers(min_value=1,
+                                     max_value=len(stream) - position),
+                         label="chunk_size")
+        chunks.append(stream[position:position + size])
+        position += size
+    conn = _FakeConn(chunks)
+    buffer = bytearray()
+    decoded = []
+    while True:
+        line = _read_line(conn, buffer)
+        if line is None:
+            break
+        decoded.append(protocol.decode_response(line))
+    assert len(decoded) == len(payloads)
+    for i, (doc, payload) in enumerate(zip(decoded, payloads)):
+        assert doc["id"] == i
+        assert doc["result"] == payload
+        assert doc == protocol.decode_response(
+            protocol.encode_response(i, payload))

@@ -37,7 +37,76 @@ def test_response_round_trip():
     line = protocol.encode_response("abc", {"kind": "prediction"})
     doc = protocol.decode_response(line)
     assert doc == {"id": "abc", "ok": True, "result": {"kind": "prediction"},
+                   "crc": protocol.payload_checksum({"kind": "prediction"}),
                    "schema_version": SCHEMA_VERSION}
+
+
+# -- resilience envelope keys -----------------------------------------------------
+def test_deadline_and_idempotency_round_trip():
+    line = protocol.encode_request("predict", {}, 5, deadline_ms=250,
+                                   idempotency_key="c7e1-42")
+    request = protocol.decode_request(line)
+    assert request.deadline_ms == 250.0
+    assert request.idempotency_key == "c7e1-42"
+    # Omitted keys decode as None (and are not emitted on the wire).
+    plain = protocol.encode_request("predict", {}, 5)
+    assert b"deadline_ms" not in plain and b"idempotency_key" not in plain
+    decoded = protocol.decode_request(plain)
+    assert decoded.deadline_ms is None and decoded.idempotency_key is None
+
+
+@pytest.mark.parametrize("line, match", [
+    (b'{"verb": "predict", "deadline_ms": 0}\n', "deadline_ms"),
+    (b'{"verb": "predict", "deadline_ms": -5}\n', "deadline_ms"),
+    (b'{"verb": "predict", "deadline_ms": true}\n', "deadline_ms"),
+    (b'{"verb": "predict", "deadline_ms": "soon"}\n', "deadline_ms"),
+    (b'{"verb": "predict", "deadline_ms": NaN}\n', "deadline_ms"),
+    (b'{"verb": "predict", "idempotency_key": ""}\n', "idempotency_key"),
+    (b'{"verb": "predict", "idempotency_key": 7}\n', "idempotency_key"),
+])
+def test_decode_request_rejects_bad_resilience_keys(line, match):
+    with pytest.raises(InvalidRequest, match=match):
+        protocol.decode_request(line)
+
+
+def test_decode_request_rejects_oversized_idempotency_key():
+    key = "k" * (protocol.MAX_IDEMPOTENCY_KEY_CHARS + 1)
+    line = protocol.encode_request("predict", {}, 1, idempotency_key=key)
+    with pytest.raises(InvalidRequest, match="idempotency_key"):
+        protocol.decode_request(line)
+
+
+def test_payload_checksum_is_key_order_independent():
+    a = {"x": 1.5, "y": {"b": 2, "a": [1, 2]}}
+    b = {"y": {"a": [1, 2], "b": 2}, "x": 1.5}
+    assert protocol.payload_checksum(a) == protocol.payload_checksum(b)
+    assert protocol.payload_checksum(a) != protocol.payload_checksum({"x": 1.5})
+
+
+def test_decode_response_detects_corruption():
+    line = protocol.encode_response(1, {"kind": "prediction", "seconds": 1.25})
+    # Flip one digit inside the float — still perfectly valid JSON, but
+    # the checksum must catch it.
+    corrupt = line.replace(b"1.25", b"1.35")
+    assert corrupt != line
+    with pytest.raises(protocol.WireError, match="crc mismatch"):
+        protocol.decode_response(corrupt)
+    # The untampered line passes.
+    assert protocol.decode_response(line)["result"]["seconds"] == 1.25
+
+
+def test_decode_response_checks_error_payload_crc_too():
+    line = protocol.encode_error(2, InvalidRequest("bad nbytes"))
+    corrupt = line.replace(b"bad nbytes", b"mad nbytes")
+    with pytest.raises(protocol.WireError, match="crc mismatch"):
+        protocol.decode_response(corrupt)
+    assert protocol.decode_response(line)["error"]["code"] == "invalid_request"
+
+
+def test_decode_response_without_crc_is_accepted():
+    # Backwards compatibility: a stamp-free reply (older server) decodes.
+    doc = protocol.decode_response(b'{"id": 1, "ok": true, "result": {}}\n')
+    assert doc["ok"] is True
 
 
 def test_encode_error_carries_the_taxonomy_payload():
