@@ -30,6 +30,7 @@ _GATED_METRICS: dict[str, tuple[str, ...]] = {
     "BENCH_prediction.json": ("batch_seconds",),
     "BENCH_obs.json": ("guard_ns",),
     "BENCH_insight.json": ("render_seconds", "ingest_seconds"),
+    "BENCH_kernel_profile.json": ("wall_seconds_per_million_events",),
 }
 
 

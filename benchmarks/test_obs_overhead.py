@@ -83,13 +83,14 @@ def count_hooks(tmp_path):
         spans = len(tel.spans.finished()) + tel.spans.dropped
         events = len(tel.events) + tel.events.dropped
         # Per-site accounting, deliberately over-counted:
-        #  - kernel: one always-on int increment per simulated event
-        #    (counted as a full guard even though it is cheaper);
+        #  - kernel: one always-on int increment per simulated event plus
+        #    the ``profiler is None`` branch in ``step()`` (each counted
+        #    as a full guard even though they are cheaper) — 2 per event;
         #  - journal: guard + histogram + counter ~ 3 guard-equivalents;
         #  - units: started/done/retry/wall hooks ~ 6 per unit;
         #  - spans/events/checkpoints: 2 each for enter/exit.
         hooks = (
-            result_engine_events
+            2 * result_engine_events
             + 3 * appends
             + 6 * units
             + 2 * (spans + events)

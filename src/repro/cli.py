@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Optional
 
@@ -73,12 +74,17 @@ from repro.estimation import (
 from repro.mpi import run_collective
 from repro.obs import (
     chrome_trace,
+    list_traces,
     render_report,
     snapshot_prometheus,
+    stitch_chrome_trace,
+    unwrap_snapshot,
     validate_snapshot,
 )
 from repro.obs import insight as _insight
+from repro.obs import prof as _prof
 from repro.obs import runtime as _obs
+from repro.obs import trace as _tracectx
 from repro.simlib import Tracer
 
 __all__ = ["main"]
@@ -723,6 +729,17 @@ def cmd_client(args) -> int:
     if not isinstance(params, dict):
         print("--params must be a JSON object", file=sys.stderr)
         return 2
+    ctx = None
+    if args.traceparent == "new":
+        ctx = _tracectx.new_context()
+        print(f"trace_id: {ctx.trace_id}", file=sys.stderr)
+    elif args.traceparent is not None:
+        ctx = _tracectx.parse_traceparent(args.traceparent)
+        if ctx is None:
+            print(f"malformed --traceparent {args.traceparent!r}; "
+                  "expected 00-<32 hex>-<16 hex>-01", file=sys.stderr)
+            return 2
+    trace_token = _tracectx.activate(ctx) if ctx is not None else None
     try:
         if args.retries > 0 or args.deadline_ms is not None:
             retry = RetryPolicy(max_retries=args.retries, seed=0)
@@ -749,20 +766,171 @@ def cmd_client(args) -> int:
     except OSError as exc:
         print(f"cannot reach the daemon: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if trace_token is not None:
+            _tracectx.restore(trace_token)
     _emit(args, json.dumps(result, indent=2), result)
     return 0
 
 
+def _parse_named_inputs(pairs) -> list:
+    """``--in NAME=PATH`` pairs -> [(name, loaded_doc), ...]."""
+    named = []
+    for pair in pairs or []:
+        name, sep, path = pair.partition("=")
+        if not sep:
+            # Bare PATH: label the lane with the file's stem.
+            name, path = os.path.splitext(os.path.basename(pair))[0], pair
+        with open(path) as handle:
+            named.append((name, json.load(handle)))
+    return named
+
+
+def _cmd_obs_stitch(args) -> int:
+    """``repro obs trace stitch`` — merge per-process snapshots into one
+    clock-aligned Chrome trace for a single distributed trace id."""
+    try:
+        named = _parse_named_inputs(args.inputs)
+        if not named:
+            print("nothing to stitch: pass at least one --in NAME=PATH",
+                  file=sys.stderr)
+            return 2
+        named = [(name, unwrap_snapshot(doc)) for name, doc in named]
+    except (OSError, ValueError) as exc:
+        print(f"cannot read telemetry snapshot: {exc}", file=sys.stderr)
+        return 2
+    if args.list:
+        traces = list_traces(named)
+        if not traces:
+            print("no trace-stamped spans in these snapshots")
+            return 0
+        for trace_id in sorted(traces):
+            info = traces[trace_id]
+            print(f"{trace_id}  {info['spans']} span(s) across "
+                  f"{','.join(info['processes'])}: {','.join(info['names'])}")
+        return 0
+    try:
+        rendered = stitch_chrome_trace(named, trace_id=args.trace_id)
+    except ValueError as exc:
+        print(f"stitch failed: {exc}", file=sys.stderr)
+        return 2
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(rendered)
+        print(f"stitched chrome trace written to {args.out}")
+    else:
+        print(rendered)
+    return 0
+
+
+def _profile_frame_table(profiler, top: int) -> str:
+    stats = sorted(profiler.stats().values(), key=lambda s: -s.self_ns)
+    lines = [f"{'frame':<42} {'count':>8} {'self ms':>10} {'cum ms':>10}"]
+    for stat in stats[:top]:
+        lines.append(
+            f"{stat.name:<42.42} {stat.count:>8} "
+            f"{stat.self_ns / 1e6:>10.3f} {stat.cum_ns / 1e6:>10.3f}"
+        )
+    if len(stats) > top:
+        lines.append(f"... {len(stats) - top} more frame(s)")
+    return "\n".join(lines)
+
+
+def _profile_write_artifacts(args, profiler) -> None:
+    if args.speedscope:
+        with open(args.speedscope, "w") as handle:
+            json.dump(profiler.speedscope(), handle)
+        print(f"speedscope profile written to {args.speedscope}")
+    if args.collapsed:
+        with open(args.collapsed, "w") as handle:
+            handle.write(profiler.collapsed())
+        print(f"collapsed stacks written to {args.collapsed}")
+
+
+def _cmd_obs_profile(args) -> int:
+    """``repro obs profile`` — deterministic profile of the canned DES
+    workload (``--target kernel``) or a live service load
+    (``--target service``)."""
+    from repro.benchlib.kernelprof import (
+        DEFAULT_SIZES,
+        kernel_profile_document,
+        run_kernel_workload,
+    )
+
+    sizes = DEFAULT_SIZES
+    if args.sizes:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+    if args.target == "kernel":
+        doc, profiler = kernel_profile_document(
+            nodes=args.nodes, sizes=sizes, reps=args.reps, seed=args.seed
+        )
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                json.dump(doc, handle, indent=2)
+        text = (
+            f"kernel workload: {doc['collective_runs']} collective runs, "
+            f"{doc['events_processed']} events in "
+            f"{doc['wall_seconds']:.3f} s "
+            f"({doc['events_per_second']:,.0f} events/s)\n"
+            + _profile_frame_table(profiler, args.top)
+        )
+        _emit(args, text, doc)
+        _profile_write_artifacts(args, profiler)
+        return 0
+    # --target service: an in-process server under a canned client load;
+    # worker threads feed the same (thread-safe) profiler, so the output
+    # mixes client-side load frames with server-side kernel frames.
+    from repro.cluster import GroundTruth
+    from repro.models import ExtendedLMOModel
+    from repro.serve import ServeConfig, ServerThread
+
+    model = ExtendedLMOModel.from_ground_truth(
+        GroundTruth.random(6, seed=args.seed + 2)
+    )
+    profiler = _prof.enable_profiler(fresh=True)
+    try:
+        config = ServeConfig(port=0, models={"lmo": model}, workers=2)
+        with ServerThread(config) as host, host.client() as client:
+            with profiler.frame("load.predicts"):
+                for i in range(max(1, args.requests)):
+                    with profiler.frame("load.predict"):
+                        client.predict("lmo", "scatter", "linear",
+                                       float(KB << (i % 8)))
+            with profiler.frame("load.kernel"):
+                run_kernel_workload(nodes=args.nodes, sizes=sizes,
+                                    reps=1, seed=args.seed)
+        text = (
+            f"service load: {args.requests} predict call(s) + canned kernel "
+            f"workload\n" + _profile_frame_table(profiler, args.top)
+        )
+        doc = profiler.to_dict()
+        if args.json_out:
+            with open(args.json_out, "w") as handle:
+                json.dump(doc, handle, indent=2)
+        _emit(args, text, doc)
+        _profile_write_artifacts(args, profiler)
+    finally:
+        _prof.disable_profiler()
+    return 0
+
+
 def cmd_obs(args) -> int:
-    """``repro obs report|export|dashboard|watch`` — snapshot inspection.
+    """``repro obs report|export|dashboard|watch|profile|trace`` —
+    snapshot inspection plus the deterministic profiler.
 
     ``report`` prints a one-screen summary (or the raw document with
     ``--format json``); ``export`` re-renders it as Prometheus text
     (``--format prom``), pretty JSON, or Chrome trace JSON of its spans;
     ``dashboard`` writes the self-contained HTML observatory and prints
     the terminal view; ``watch`` re-renders the terminal view
-    periodically.
+    periodically; ``profile`` runs the deterministic profiler over a
+    canned workload; ``trace stitch`` merges per-process snapshots into
+    one clock-aligned distributed timeline.
     """
+    if args.action == "profile":
+        return _cmd_obs_profile(args)
+    if args.action == "trace":
+        return _cmd_obs_stitch(args)
     if args.action == "watch":
         as_json = getattr(args, "format", "text") == "json"
         try:
@@ -1081,6 +1249,11 @@ def build_parser() -> argparse.ArgumentParser:
                           help="total time budget for the call in ms, "
                                "propagated to the server (expired queued "
                                "requests are shed as deadline_exceeded)")
+    p_client.add_argument("--traceparent", default=None,
+                          help="W3C-style traceparent header "
+                               "(00-<32 hex>-<16 hex>-01) to join an "
+                               "existing distributed trace; 'new' mints a "
+                               "fresh one and prints its id")
 
     p_obs = sub.add_parser(
         "obs",
@@ -1123,6 +1296,54 @@ def build_parser() -> argparse.ArgumentParser:
                              help="seconds between refreshes")
     p_obs_watch.add_argument("--count", type=int, default=None,
                              help="stop after N refreshes (default: forever)")
+    p_obs_prof = obs_sub.add_parser(
+        "profile",
+        help="deterministic profile of the DES kernel or a service load",
+        parents=[common])
+    p_obs_prof.add_argument("--target", choices=["kernel", "service"],
+                            default="kernel",
+                            help="kernel: the canned collective workload; "
+                                 "service: an in-process server under a "
+                                 "canned client load")
+    p_obs_prof.add_argument("--nodes", type=int, default=8,
+                            help="simulated cluster size for the workload")
+    p_obs_prof.add_argument("--sizes", default=None,
+                            help="comma-separated per-block sizes in bytes "
+                                 "(default 1024,16384,131072)")
+    p_obs_prof.add_argument("--reps", type=int, default=2,
+                            help="workload repetitions (kernel target)")
+    p_obs_prof.add_argument("--requests", type=int, default=32,
+                            help="predict calls to drive (service target)")
+    p_obs_prof.add_argument("--top", type=int, default=20,
+                            help="frames shown in the terminal table")
+    p_obs_prof.add_argument("--speedscope", default=None, metavar="PATH",
+                            help="write a speedscope.app profile here")
+    p_obs_prof.add_argument("--collapsed", default=None, metavar="PATH",
+                            help="write flamegraph.pl collapsed stacks here")
+    p_obs_prof.add_argument("--json-out", default=None, metavar="PATH",
+                            help="write the profile document (kernel target: "
+                                 "the BENCH_kernel_profile schema) here")
+    p_obs_trace = obs_sub.add_parser(
+        "trace",
+        help="merge per-process snapshots into one distributed timeline")
+    trace_sub = p_obs_trace.add_subparsers(dest="trace_action", required=True)
+    p_obs_stitch = trace_sub.add_parser(
+        "stitch",
+        help="clock-aligned Chrome trace across processes for one trace id")
+    p_obs_stitch.add_argument("--in", dest="inputs", action="append",
+                              metavar="NAME=PATH", default=None,
+                              help="a telemetry snapshot (or obs-verb reply) "
+                                   "labelled with its process name; "
+                                   "repeatable")
+    p_obs_stitch.add_argument("--trace-id", default=None,
+                              help="keep only spans/events of this trace "
+                                   "(default: everything)")
+    p_obs_stitch.add_argument("--list", action="store_true",
+                              help="list trace ids present instead of "
+                                   "stitching")
+    p_obs_stitch.add_argument("--out", default=None,
+                              help="write the Chrome trace here instead of "
+                                   "stdout")
 
     p_exp = sub.add_parser("experiment", help="regenerate one paper table/figure",
                            parents=[common])

@@ -84,6 +84,7 @@ from repro.estimation.journal import (
 )
 from repro.io import atomic_write_text
 from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
 
 __all__ = [
     "AnalyticEngineRecipe",
@@ -685,6 +686,13 @@ class ParallelCampaign:
             "triplets": [list(t) for t in triplets] if triplets is not None else None,
             "config": config.to_dict(),
         }
+        # Stamp the active trace into the coordinator header; every
+        # worker journal inherits it ({**header, "worker": id}), so all
+        # shards of one campaign are greppable by a single trace id —
+        # and resume preserves it (only role/parallel keys are stripped).
+        ctx = _trace.current() or _trace.from_environ()
+        if ctx is not None:
+            header["trace_id"] = ctx.trace_id
         coord = CampaignJournal.create(
             coordinator_path(path),
             {**header, "role": "coordinator",

@@ -45,8 +45,16 @@ from repro.obs.metrics import (
     bucket_quantile,
     prometheus_text,
 )
+from repro.obs.prof import Profiler, disable_profiler, enable_profiler, profiling
 from repro.obs.runtime import Telemetry, active, disable, enable, span, suppressed
 from repro.obs.spans import Span, SpanRecorder
+from repro.obs.stitch import list_traces, stitch_chrome_trace, unwrap_snapshot
+from repro.obs.trace import (
+    TraceContext,
+    current_traceparent,
+    new_context,
+    parse_traceparent,
+)
 
 __all__ = [
     "LEVELS",
@@ -56,20 +64,31 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "Profiler",
     "Span",
     "SpanRecorder",
     "Telemetry",
+    "TraceContext",
     "active",
     "bucket_quantile",
     "chrome_trace",
+    "current_traceparent",
     "disable",
+    "disable_profiler",
     "enable",
+    "enable_profiler",
     "insight",
+    "list_traces",
+    "new_context",
+    "parse_traceparent",
+    "profiling",
     "prometheus_text",
     "render_report",
     "snapshot_prometheus",
     "span",
+    "stitch_chrome_trace",
     "suppressed",
+    "unwrap_snapshot",
     "validate_snapshot",
 ]
 

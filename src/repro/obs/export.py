@@ -64,6 +64,9 @@ def _span_events(spans: Sequence[Mapping[str, Any]], pid: int) -> list[dict[str,
         end = span.get("end")
         if end is None:
             continue
+        args = dict(span.get("attrs", {}))
+        if span.get("trace_id"):
+            args["trace_id"] = span["trace_id"]
         events.append({
             "name": span["name"],
             "ph": "X",
@@ -71,7 +74,7 @@ def _span_events(spans: Sequence[Mapping[str, Any]], pid: int) -> list[dict[str,
             "tid": 0,
             "ts": float(span["start"]) * 1e6,
             "dur": (float(end) - float(span["start"])) * 1e6,
-            "args": dict(span.get("attrs", {})),
+            "args": args,
         })
     return events
 

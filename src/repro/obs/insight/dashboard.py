@@ -121,6 +121,38 @@ def build_dashboard(
             count + 1, total + float(span["end"]) - float(span["start"]),
         )
 
+    # Trace panel: finished spans grouped by the trace id the wire
+    # envelope propagated (repro.obs.trace) — one row per distributed
+    # request that touched this process.
+    by_trace: dict[str, dict[str, Any]] = {}
+    for span in spans:
+        trace_id = span.get("trace_id")
+        if not trace_id:
+            continue
+        entry = by_trace.setdefault(
+            trace_id, {"spans": 0, "total_seconds": 0.0, "names": []},
+        )
+        entry["spans"] += 1
+        entry["total_seconds"] += float(span["end"]) - float(span["start"])
+        if span["name"] not in entry["names"]:
+            entry["names"].append(span["name"])
+    for entry in by_trace.values():
+        entry["names"] = sorted(entry["names"])
+
+    # Kernel-profile panel: the hot-frame table from the deterministic
+    # profiler's BENCH_kernel_profile.json, when the caller passed it.
+    kernel_profile: Optional[dict[str, Any]] = None
+    for name, data in bench:
+        profile = data.get("profile")
+        if data.get("bench") == "kernel_profile" and isinstance(profile, Mapping):
+            kernel_profile = {
+                "source": name,
+                "events_per_second": data.get("events_per_second"),
+                "events_processed": data.get("events_processed"),
+                "frames": [dict(f) for f in profile.get("frames", ())][:12],
+            }
+            break
+
     return {
         "title": "repro model-fidelity observatory",
         "summary": {
@@ -138,6 +170,8 @@ def build_dashboard(
             name: {"count": count, "total_seconds": total}
             for name, (count, total) in sorted(by_span.items())
         },
+        "traces": {tid: by_trace[tid] for tid in sorted(by_trace)},
+        "kernel_profile": kernel_profile,
         "bench": [{"name": name, "data": dict(data)} for name, data in bench],
     }
 
@@ -178,6 +212,28 @@ def render_terminal(data: Mapping[str, Any]) -> str:
             f"M2 ~ {_fmt_bytes(irregularity['m2'])}, "
             f"escalation ~ {irregularity['escalation_value']:.3g} s"
         )
+    traces = data.get("traces") or {}
+    if traces:
+        lines.append("")
+        lines.append("traces:")
+        for trace_id, entry in traces.items():
+            lines.append(
+                f"  {trace_id}: {entry['spans']} spans, "
+                f"{entry['total_seconds'] * 1e3:.2f} ms "
+                f"({', '.join(entry['names'])})"
+            )
+    kernel = data.get("kernel_profile")
+    if kernel:
+        lines.append("")
+        eps = kernel.get("events_per_second")
+        rate = f" ({eps:,.0f} events/s baseline)" if eps else ""
+        lines.append(f"kernel hot frames{rate}:")
+        for frame in kernel["frames"]:
+            lines.append(
+                f"  {frame['name']}: x{frame['count']}, "
+                f"self {frame['self_ns'] / 1e6:.2f} ms, "
+                f"cum {frame['cum_ns'] / 1e6:.2f} ms"
+            )
     if data["bench"]:
         lines.append("")
         lines.append("bench trajectory:")
@@ -467,6 +523,47 @@ def _counts_html(counts: Mapping[str, Any], columns: tuple[str, ...]) -> str:
     )
 
 
+def _traces_html(traces: Mapping[str, Mapping[str, Any]]) -> str:
+    if not traces:
+        return ('<p class="muted">no traced spans in this snapshot '
+                "(clients propagate trace ids via the wire envelope)</p>")
+    rows = "".join(
+        f"<tr><td><code>{_esc(trace_id)}</code></td><td>{entry['spans']}</td>"
+        f"<td>{entry['total_seconds'] * 1e3:.2f}</td>"
+        f"<td style='text-align:left'>{_esc(', '.join(entry['names']))}</td></tr>"
+        for trace_id, entry in traces.items()
+    )
+    return (
+        '<table class="viz"><thead><tr><th>trace id</th><th>spans</th>'
+        "<th>total ms</th><th>span names</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table>"
+    )
+
+
+def _kernel_profile_html(kernel: Optional[Mapping[str, Any]]) -> str:
+    if not kernel:
+        return ('<p class="muted">no BENCH_kernel_profile.json ingested '
+                "(run <code>repro obs profile --target kernel</code>)</p>")
+    eps = kernel.get("events_per_second")
+    caption = (
+        f"<p>{_esc(kernel['source'])}: "
+        f"<strong>{eps:,.0f} events/s</strong> uninstrumented baseline</p>"
+        if eps else f"<p>{_esc(kernel['source'])}</p>"
+    )
+    rows = "".join(
+        f"<tr><td>{_esc(frame['name'])}</td><td>{frame['count']}</td>"
+        f"<td>{frame['self_ns'] / 1e6:.3f}</td>"
+        f"<td>{frame['cum_ns'] / 1e6:.3f}</td></tr>"
+        for frame in kernel["frames"]
+    )
+    table = (
+        '<table class="viz"><thead><tr><th>frame</th><th>count</th>'
+        "<th>self ms</th><th>cum ms</th></tr></thead>"
+        f"<tbody>{rows}</tbody></table>"
+    )
+    return f"{caption}{table}"
+
+
 def _bench_html(bench: Sequence[Mapping[str, Any]]) -> str:
     if not bench:
         return '<p class="muted">no BENCH_*.json files found</p>'
@@ -513,6 +610,10 @@ def render_html(data: Mapping[str, Any]) -> str:
 {_counts_html(data["events_by_name"], ("event", "count"))}
 <h2>Spans</h2>
 {_counts_html(data["spans_by_name"], ("span", "count", "total_seconds"))}
+<h2>Traces</h2>
+{_traces_html(data.get("traces") or {})}
+<h2>Kernel profile</h2>
+{_kernel_profile_html(data.get("kernel_profile"))}
 <h2>Bench trajectory</h2>
 {_bench_html(data["bench"])}
 </body>

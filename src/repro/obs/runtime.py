@@ -61,6 +61,9 @@ class Telemetry:
             "version": 1,
             "metrics": self.registry.snapshot(),
             "spans": self.spans.to_dicts(),
+            # Wall-clock instant of the span clock's zero — cross-process
+            # snapshots are aligned on this by ``repro obs trace stitch``.
+            "spans_epoch_unix": self.spans.epoch_unix,
             "events": self.events.to_dicts(),
             "dropped": {"spans": self.spans.dropped, "events": self.events.dropped},
         }

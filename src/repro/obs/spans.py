@@ -29,6 +29,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from repro.obs import trace as _trace
+
 __all__ = ["Span", "SpanRecorder"]
 
 _CURRENT_SPAN: contextvars.ContextVar[Optional["Span"]] = contextvars.ContextVar(
@@ -46,13 +48,16 @@ class Span:
     span_id: int = 0
     parent_id: Optional[int] = None
     attrs: dict[str, Any] = field(default_factory=dict)
+    #: The distributed trace this span belongs to (32 hex chars), stamped
+    #: from :mod:`repro.obs.trace`'s current context; ``None`` = untraced.
+    trace_id: Optional[str] = None
 
     @property
     def duration(self) -> float:
         return (self.end if self.end is not None else self.start) - self.start
 
     def to_dict(self) -> dict[str, Any]:
-        return {
+        doc: dict[str, Any] = {
             "name": self.name,
             "start": self.start,
             "end": self.end,
@@ -60,6 +65,9 @@ class Span:
             "parent_id": self.parent_id,
             "attrs": dict(self.attrs),
         }
+        if self.trace_id is not None:
+            doc["trace_id"] = self.trace_id
+        return doc
 
     @classmethod
     def from_dict(cls, doc: dict[str, Any]) -> "Span":
@@ -70,6 +78,7 @@ class Span:
             span_id=int(doc.get("span_id", 0)),
             parent_id=doc.get("parent_id"),
             attrs=dict(doc.get("attrs", {})),
+            trace_id=doc.get("trace_id"),
         )
 
 
@@ -88,12 +97,19 @@ class _SpanContext:
         return self._span
 
     def __exit__(self, exc_type, exc, tb) -> None:
-        self._span.end = self._recorder.clock()
-        if exc_type is not None:
-            self._span.attrs.setdefault("error", exc_type.__name__)
-        if self._token is not None:
-            _CURRENT_SPAN.reset(self._token)
-        self._recorder._finish(self._span)
+        # The parent span MUST be restored no matter what goes wrong in
+        # here (a monkeypatched clock, a failing ring append): an orphaned
+        # context variable would silently re-parent every later span in
+        # this task onto a finished one.
+        try:
+            self._span.end = self._recorder.clock()
+            if exc_type is not None:
+                self._span.attrs.setdefault("error", exc_type.__name__)
+        finally:
+            if self._token is not None:
+                token, self._token = self._token, None
+                _CURRENT_SPAN.reset(token)
+            self._recorder._finish(self._span)
 
 
 class SpanRecorder:
@@ -109,6 +125,9 @@ class SpanRecorder:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._epoch = time.perf_counter()
+        #: Wall-clock instant of this recorder's time zero — lets the
+        #: trace stitcher align span clocks from different processes.
+        self.epoch_unix = time.time()
         self._finished: deque[Span] = deque(maxlen=capacity)
         self._next_id = 1
         self.dropped = 0
@@ -120,12 +139,14 @@ class SpanRecorder:
     def span(self, name: str, **attrs: Any) -> _SpanContext:
         """Open a span; use as ``with recorder.span("name", k=v):``."""
         parent = _CURRENT_SPAN.get()
+        ctx = _trace.current()
         span = Span(
             name=name,
             start=self.clock(),
             span_id=self._next_id,
             parent_id=None if parent is None else parent.span_id,
             attrs=attrs,
+            trace_id=None if ctx is None else ctx.trace_id,
         )
         self._next_id += 1
         return _SpanContext(self, span)

@@ -51,6 +51,7 @@ from typing import Any, Mapping, NamedTuple, Optional, Sequence, Union
 from repro.api import errors, schema
 from repro.api.errors import ApiError, InternalError, Overloaded
 from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
 from repro.predict_service import PredictRequest
 from repro.serve import protocol
 from repro.serve.protocol import WireError
@@ -198,12 +199,19 @@ class ServiceClient(_Verbs):
         """One request/response round trip; raises the typed taxonomy."""
         self._next_id += 1
         request_id = self._next_id
-        self._file.write(protocol.encode_request(
-            verb, params or {}, request_id,
-            deadline_ms=deadline_ms, idempotency_key=idempotency_key,
-        ))
-        self._file.flush()
-        doc = protocol.decode_response(self._file.readline())
+        # Each wire request is one hop of the active trace: same trace
+        # id, fresh span id (so retries through ResilientClient are
+        # distinguishable attempts of one trace).
+        ctx = _trace.current()
+        header = None if ctx is None else ctx.child().to_traceparent()
+        with _obs.span("client.request", verb=verb, request_id=request_id):
+            self._file.write(protocol.encode_request(
+                verb, params or {}, request_id,
+                deadline_ms=deadline_ms, idempotency_key=idempotency_key,
+                trace=header,
+            ))
+            self._file.flush()
+            doc = protocol.decode_response(self._file.readline())
         got_id = doc.get("id")
         if got_id is not None and got_id != request_id:
             raise WireError(
@@ -371,6 +379,13 @@ class ResilientClient(_Verbs):
             overall = time.monotonic() + budget_ms / 1000.0
         self._calls += 1
         key = f"{self._client_id}-{self._calls}" if idempotent else None
+        # One trace per *logical* call: every retry rides the same trace
+        # id (each wire attempt mints its own span id downstream).  A
+        # trace is only auto-started when telemetry is on — otherwise the
+        # whole feature costs one `is None` check per call.
+        base = _trace.current()
+        if base is None and _obs.ACTIVE is not None:
+            base = _trace.new_context()
         attempts = 0
         last_error: Optional[BaseException] = None
         while True:
@@ -386,13 +401,16 @@ class ResilientClient(_Verbs):
                         raise exhausted from last_error
                     raise exhausted
             try:
-                conn = self._connect()
-                if remaining_ms is not None:
-                    conn.settimeout(min(self.timeout, remaining_ms / 1000.0))
-                else:
-                    conn.settimeout(self.timeout)
-                result = conn.call(verb, params, deadline_ms=remaining_ms,
-                                   idempotency_key=key)
+                with _trace.use(base), _obs.span(
+                    "client.attempt", verb=verb, attempt=attempts + 1,
+                ):
+                    conn = self._connect()
+                    if remaining_ms is not None:
+                        conn.settimeout(min(self.timeout, remaining_ms / 1000.0))
+                    else:
+                        conn.settimeout(self.timeout)
+                    result = conn.call(verb, params, deadline_ms=remaining_ms,
+                                       idempotency_key=key)
             except BaseException as exc:
                 if not _is_retryable(exc):
                     raise

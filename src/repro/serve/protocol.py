@@ -22,6 +22,11 @@ envelope keys carry the resilience contract:
   flight attaches to the running execution.  Side-effectful verbs
   (``estimate``) therefore execute at most once per key.
 
+A third optional key, ``trace``, carries a W3C-traceparent-style header
+(:mod:`repro.obs.trace`) so server-side spans and events correlate with
+the caller's.  It is observability-only: a malformed header degrades the
+request to untraced, never rejects it.
+
 A response is one of::
 
     {"id": 1, "ok": true,  "result": {...}, "crc": 3735928559,
@@ -111,6 +116,10 @@ class Request:
     deadline_ms: Optional[float] = None
     #: Client-chosen retry-dedup key, or None for no deduplication.
     idempotency_key: Optional[str] = None
+    #: W3C-traceparent-style trace header (see :mod:`repro.obs.trace`),
+    #: or None for an untraced request.  Never validated here: a garbage
+    #: header degrades the request to untraced, it does not reject it.
+    trace: Optional[str] = None
 
 
 def _dumps(doc: Mapping[str, Any]) -> bytes:
@@ -136,7 +145,8 @@ def payload_checksum(payload: Mapping[str, Any]) -> int:
 def encode_request(verb: str, params: Mapping[str, Any],
                    request_id: RequestId = None,
                    deadline_ms: Optional[float] = None,
-                   idempotency_key: Optional[str] = None) -> bytes:
+                   idempotency_key: Optional[str] = None,
+                   trace: Optional[str] = None) -> bytes:
     """One request line (client side)."""
     doc: dict[str, Any] = {
         "id": request_id, "verb": verb, "params": dict(params),
@@ -146,6 +156,8 @@ def encode_request(verb: str, params: Mapping[str, Any],
         doc["deadline_ms"] = float(deadline_ms)
     if idempotency_key is not None:
         doc["idempotency_key"] = idempotency_key
+    if trace is not None:
+        doc["trace"] = trace
     return _dumps(doc)
 
 
@@ -158,9 +170,20 @@ def encode_response(request_id: RequestId, result: Mapping[str, Any]) -> bytes:
     })
 
 
-def encode_error(request_id: RequestId, exc: BaseException) -> bytes:
-    """One error line (server side); any exception maps onto the taxonomy."""
+def encode_error(request_id: RequestId, exc: BaseException,
+                 extra: Optional[Mapping[str, Any]] = None) -> bytes:
+    """One error line (server side); any exception maps onto the taxonomy.
+
+    ``extra`` fields (``request_id``, ``trace_id``) are merged into the
+    error payload *before* checksumming, so a failed request stays
+    greppable end to end — the same correlation ids appear in the reply
+    the client logs and in the server's ``service_*`` events.  ``None``
+    values are dropped.
+    """
     payload = error_payload(exc)
+    for key, value in (extra or {}).items():
+        if value is not None:
+            payload.setdefault(key, value)
     return _dumps({
         "id": request_id, "ok": False, "error": payload,
         "crc": payload_checksum(payload),
@@ -231,8 +254,14 @@ def decode_request(line: Union[bytes, bytearray, str]) -> Request:
                 f"idempotency_key exceeds {MAX_IDEMPOTENCY_KEY_CHARS} "
                 f"characters"
             )
+    trace = doc.get("trace")
+    if not isinstance(trace, str):
+        # Anything but a string (including absent) means untraced; a bad
+        # trace header must never invalidate an otherwise-good request.
+        trace = None
     return Request(id=request_id, verb=verb, params=params,
-                   deadline_ms=deadline_ms, idempotency_key=idempotency_key)
+                   deadline_ms=deadline_ms, idempotency_key=idempotency_key,
+                   trace=trace)
 
 
 def peek_id(line: Union[bytes, bytearray, str]) -> RequestId:

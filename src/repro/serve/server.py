@@ -54,6 +54,7 @@ from repro.api.errors import (
 )
 from repro.api.schema import SCHEMA_VERSION
 from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
 from repro.obs.insight.alerts import AlertEngine
 from repro.predict_service import model_fingerprint
 from repro.serve import protocol
@@ -248,6 +249,10 @@ class PredictionServer:
         self._started_at = 0.0
         self._signals: list[int] = []
         self._drain_task: Optional[asyncio.Task] = None
+        #: Trace context handed down by a parent process (the supervisor)
+        #: via REPRO_TRACEPARENT; stamps lifecycle events so a restart
+        #: correlates with the supervisor's timeline.
+        self._boot_trace: Optional[_trace.TraceContext] = None
 
     # -- lifecycle ----------------------------------------------------------------
     async def start(self) -> None:
@@ -290,11 +295,15 @@ class PredictionServer:
         self._install_signal_handlers()
         self._started_at = time.monotonic()
         self.state = RUNNING
+        self._boot_trace = _trace.from_environ()
         tel = _obs.ACTIVE
         if tel is not None:
+            fields: dict[str, Any] = {}
+            if self._boot_trace is not None:
+                fields["trace_id"] = self._boot_trace.trace_id
             tel.events.info(
                 "service_started", endpoint=self.endpoint, models=count,
-                workers=len(self._workers),
+                workers=len(self._workers), **fields,
             )
 
     @property
@@ -494,20 +503,36 @@ class PredictionServer:
                 outcome = exc.code
                 return protocol.encode_error(protocol.peek_id(line), exc)
             verb = request.verb
+            # A malformed trace header yields None — the request is
+            # served untraced, never rejected (satellite contract).
+            ctx = _trace.parse_traceparent(request.trace)
+            trace_id = None if ctx is None else ctx.trace_id
             try:
-                with _obs.span("serve.request", verb=verb):
+                with _trace.use(ctx), \
+                        _obs.span("serve.request", verb=verb,
+                                  request_id=request.id):
                     result = await self._handle_request(request)
             except asyncio.CancelledError:
                 raise
             except BaseException as exc:  # noqa: BLE001 - mapped to taxonomy
                 payload = error_payload(exc)
                 outcome = payload["code"]
-                if outcome == Overloaded.code and tel is not None:
-                    tel.events.warning(
-                        "service_overloaded", verb=verb,
-                        message=payload["message"],
+                if tel is not None:
+                    if outcome == Overloaded.code:
+                        tel.events.warning(
+                            "service_overloaded", verb=verb,
+                            message=payload["message"],
+                            request_id=request.id, trace_id=trace_id,
+                        )
+                    tel.events.error(
+                        "service_request_failed", verb=verb,
+                        code=outcome, request_id=request.id,
+                        trace_id=trace_id,
                     )
-                return protocol.encode_error(request.id, exc)
+                return protocol.encode_error(
+                    request.id, exc,
+                    extra={"request_id": request.id, "trace_id": trace_id},
+                )
             return protocol.encode_response(request.id, result)
         finally:
             if tel is not None:
@@ -567,7 +592,7 @@ class PredictionServer:
             self._remember(key, future)
         try:
             worker.submit(WorkItem(request=request, model=model, future=future,
-                                   deadline=deadline))
+                                   deadline=deadline, trace=_trace.current()))
         except BaseException:
             # Never queued: the key must not block a retry from executing.
             if key is not None and self._idempotent.get(key) is future:

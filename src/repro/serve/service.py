@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import asyncio
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
@@ -38,6 +39,7 @@ from repro import api
 from repro.api import schema
 from repro.api.errors import DeadlineExceeded, InvalidRequest, Overloaded
 from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
 from repro.predict_service import PredictRequest, model_fingerprint
 from repro.serve.protocol import Request
 
@@ -75,6 +77,10 @@ class WorkItem:
     #: Absolute ``time.monotonic()`` instant past which the request is
     #: shed unexecuted (from the envelope's ``deadline_ms``), or None.
     deadline: Optional[float] = None
+    #: Trace context captured at dispatch — the worker task runs in its
+    #: own asyncio context, so the request's trace must travel with the
+    #: item, not in a contextvar.
+    trace: Optional[_trace.TraceContext] = None
 
 
 def _shed_if_expired(item: WorkItem, worker_name: str) -> bool:
@@ -98,8 +104,11 @@ def _shed_if_expired(item: WorkItem, worker_name: str) -> bool:
             help="requests shed unexecuted after their deadline expired",
             worker=worker_name,
         ).inc()
-        tel.events.warning("service_deadline_shed", worker=worker_name,
-                           verb=item.request.verb)
+        tel.events.warning(
+            "service_deadline_shed", worker=worker_name,
+            verb=item.request.verb, request_id=item.request.id,
+            trace_id=None if item.trace is None else item.trace.trace_id,
+        )
     return True
 
 
@@ -174,8 +183,16 @@ class StatefulWorker:
                 continue
             if _shed_if_expired(item, self.name):
                 continue
+            # Re-activate the request's trace: this task was spawned at
+            # server startup, so the dispatch-time context does not reach
+            # it by inheritance — it rides on the WorkItem instead.
+            traced = nullcontext() if item.trace is None else _trace.use(item.trace)
             try:
-                result = await self._handle(item)
+                with traced, _obs.span(
+                    "serve.worker", verb=item.request.verb, worker=self.name,
+                    request_id=item.request.id,
+                ):
+                    result = await self._handle(item)
             except asyncio.CancelledError:
                 raise
             except BaseException as exc:  # noqa: BLE001 - mapped to the taxonomy
@@ -239,6 +256,23 @@ class PredictWorker(StatefulWorker):
                 help="predict requests coalesced per evaluation",
                 lo=0, hi=10,
             ).observe(float(len(items)))
+        # A coalesced batch may serve several traces at once; the batch
+        # span joins the first traced request and names every trace it
+        # carried, so a stitched timeline shows which batch answered you.
+        trace_ids = sorted({
+            item.trace.trace_id for item in items if item.trace is not None
+        })
+        first_traced = next(
+            (item.trace for item in items if item.trace is not None), None
+        )
+        traced = nullcontext() if first_traced is None else _trace.use(first_traced)
+        with traced, _obs.span(
+            "serve.worker.batch", worker=self.name, coalesced=len(items),
+            traces=trace_ids,
+        ):
+            self._evaluate_predicts(items)
+
+    def _evaluate_predicts(self, items: list[WorkItem]) -> None:
         groups: dict[str, list[tuple[WorkItem, schema.PredictParams]]] = {}
         for item in items:
             self.processed += 1
@@ -338,7 +372,9 @@ class EstimateWorker(StatefulWorker):
         self.registry.register(name, outcome.model)
         tel = _obs.ACTIVE
         if tel is not None:
-            tel.events.info("service_model_registered", name=name,
+            # ``name`` is the event name's positional slot on EventLog —
+            # the registry name must ride under a different key.
+            tel.events.info("service_model_registered", registered_as=name,
                             model=params.model, n=outcome.n)
         return {**outcome.to_dict(), "registered_as": name}
 

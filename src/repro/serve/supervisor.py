@@ -38,6 +38,7 @@ Exposed on the CLI as ``repro serve --supervised`` (docs/service.md).
 
 from __future__ import annotations
 
+import os
 import signal
 import socket
 import subprocess
@@ -48,6 +49,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
 from repro.serve.client import ServiceClient
 
 __all__ = ["CRASH_LOOP_EXIT", "Supervisor", "SupervisorConfig", "resolve_port"]
@@ -158,7 +160,15 @@ class Supervisor:
 
     # -- lifecycle ------------------------------------------------------------------
     def _spawn(self) -> subprocess.Popen:
-        child = subprocess.Popen(list(self.config.command))
+        # Hand the active trace down to the child (fresh span id per
+        # incarnation) so a restarted server's ``service_started`` event
+        # carries the same trace id as the supervisor's restart events.
+        env = None
+        ctx = _trace.current()
+        if ctx is not None:
+            env = dict(os.environ)
+            env[_trace.ENV_VAR] = ctx.child().to_traceparent()
+        child = subprocess.Popen(list(self.config.command), env=env)
         self.child = child
         self._event("info", "supervisor_child_started", pid=child.pid)
         return child
@@ -243,6 +253,9 @@ class Supervisor:
     def _event(level: str, name: str, **fields: object) -> None:
         tel = _obs.ACTIVE
         if tel is not None:
+            ctx = _trace.current()
+            if ctx is not None and "trace_id" not in fields:
+                fields["trace_id"] = ctx.trace_id
             getattr(tel.events, level)(name, **fields)
 
     @staticmethod

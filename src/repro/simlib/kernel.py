@@ -315,6 +315,12 @@ class Simulator:
         #: the kernel is the hottest loop in the repo, so telemetry reads
         #: this after the fact instead of hooking every step.
         self.events_processed = 0
+        #: Optional deterministic profiler (duck-typed against
+        #: :class:`repro.obs.prof.Profiler`: ``event_begin(event)`` /
+        #: ``event_end()``).  ``None`` keeps the hot path at one attribute
+        #: load and an ``is None`` branch per event — the kernel never
+        #: imports :mod:`repro.obs`.
+        self.profiler: Optional[Any] = None
 
     # -- clock ----------------------------------------------------------
     @property
@@ -366,7 +372,15 @@ class Simulator:
         time, _prio, _seq, event = heapq.heappop(self._queue)
         self._now = time
         self.events_processed += 1
-        event._fire()
+        prof = self.profiler
+        if prof is None:
+            event._fire()
+        else:
+            prof.event_begin(event)
+            try:
+                event._fire()
+            finally:
+                prof.event_end()
         if self._crashed is not None:
             exc, self._crashed = self._crashed, None
             raise exc

@@ -453,3 +453,34 @@ def test_any_kill_point_merges_identically(
     ).run()
     assert result.stopped == "complete"
     assert_same_output(serial_run, result)
+
+
+def test_trace_id_propagates_into_every_journal_header(tmp_path):
+    """An active trace context stamps the coordinator header, every
+    worker shard, and the canonical merged journal — so a distributed
+    campaign correlates with the spans of whoever launched it."""
+    import random
+
+    from repro.obs import trace as _trace
+
+    path = str(tmp_path / "traced.jsonl")
+    ctx = _trace.new_context(random.Random(5))
+    with _trace.use(ctx):
+        result = ParallelCampaign.start(
+            make_recipe(), path, config=CONFIG,
+            parallel=ParallelConfig(workers=1, lease=FAST_LEASE),
+        ).run()
+    assert result.stopped == "complete"
+    assert replay(path).header["trace_id"] == ctx.trace_id
+    for shard in worker_journal_paths(path):
+        assert replay(shard).header["trace_id"] == ctx.trace_id
+
+
+def test_untraced_campaign_writes_no_trace_id(serial_run, tmp_path):
+    path = str(tmp_path / "untraced.jsonl")
+    result = ParallelCampaign.start(
+        make_recipe(), path, config=CONFIG,
+        parallel=ParallelConfig(workers=1, lease=FAST_LEASE),
+    ).run()
+    assert result.stopped == "complete"
+    assert "trace_id" not in replay(path).header

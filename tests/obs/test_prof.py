@@ -1,0 +1,165 @@
+"""Unit tests for the deterministic instrumentation profiler."""
+
+import json
+import threading
+
+import pytest
+
+from repro import api
+from repro.mpi.runtime import run_collective
+from repro.obs import prof as _prof
+from repro.obs.prof import Profiler, profiling
+
+
+class FakeClock:
+    """A nanosecond clock that only moves when told to."""
+
+    def __init__(self):
+        self.now = 0
+
+    def __call__(self):
+        return self.now
+
+    def tick(self, ns):
+        self.now += ns
+
+
+@pytest.fixture(autouse=True)
+def _profiler_off():
+    _prof.disable_profiler()
+    yield
+    _prof.disable_profiler()
+
+
+def test_self_and_cumulative_time_with_fake_clock():
+    clock = FakeClock()
+    prof = Profiler(clock_ns=clock)
+    prof.begin("outer")
+    clock.tick(10)
+    prof.begin("inner")
+    clock.tick(5)
+    prof.end()
+    clock.tick(2)
+    prof.end()
+    stats = prof.stats()
+    assert stats["inner"].count == 1
+    assert stats["inner"].self_ns == 5
+    assert stats["inner"].cum_ns == 5
+    assert stats["outer"].self_ns == 12  # 17 elapsed minus 5 in inner
+    assert stats["outer"].cum_ns == 17
+    assert prof.total_ns() == 17
+
+
+def test_recursion_is_not_double_billed():
+    clock = FakeClock()
+    prof = Profiler(clock_ns=clock)
+    prof.begin("f")
+    clock.tick(1)
+    prof.begin("f")
+    clock.tick(3)
+    prof.end()
+    clock.tick(1)
+    prof.end()
+    stats = prof.stats()
+    assert stats["f"].count == 2
+    assert stats["f"].self_ns == 5
+    # Cumulative counts the outermost occurrence only (5 ns), not 5 + 3.
+    assert stats["f"].cum_ns == 5
+
+
+def test_frame_context_manager_closes_on_raise():
+    clock = FakeClock()
+    prof = Profiler(clock_ns=clock)
+    with pytest.raises(RuntimeError):
+        with prof.frame("doomed"):
+            clock.tick(4)
+            raise RuntimeError("boom")
+    stats = prof.stats()
+    assert stats["doomed"].count == 1 and stats["doomed"].self_ns == 4
+
+
+def test_collapsed_and_speedscope_agree():
+    clock = FakeClock()
+    prof = Profiler(clock_ns=clock)
+    with prof.frame("a"):
+        clock.tick(2)
+        with prof.frame("b"):
+            clock.tick(3)
+    assert prof.collapsed() == "a 2\na;b 3\n"
+    doc = prof.speedscope("unit")
+    assert doc["profiles"][0]["weights"] == [2, 3]
+    names = [f["name"] for f in doc["shared"]["frames"]]
+    assert names == ["a", "b"]
+    assert doc["profiles"][0]["samples"] == [[0], [0, 1]]
+    json.dumps(doc)  # must be JSON-serializable as-is
+
+
+def test_to_dict_sorted_by_self_time():
+    clock = FakeClock()
+    prof = Profiler(clock_ns=clock)
+    with prof.frame("cheap"):
+        clock.tick(1)
+    with prof.frame("hot"):
+        clock.tick(9)
+    doc = prof.to_dict()
+    assert doc["format"] == "repro-profile"
+    assert [f["name"] for f in doc["frames"]] == ["hot", "cheap"]
+    assert doc["total_self_ns"] == 10
+
+
+def test_threads_merge_without_interleaving():
+    clock = FakeClock()
+    prof = Profiler(clock_ns=clock)
+
+    def work():
+        with prof.frame("worker"):
+            clock.tick(2)
+
+    threads = [threading.Thread(target=work) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    with prof.frame("main"):
+        clock.tick(1)
+    stats = prof.stats()
+    assert stats["worker"].count == 3
+    assert stats["main"].count == 1
+
+
+def test_clear_resets_accumulators():
+    clock = FakeClock()
+    prof = Profiler(clock_ns=clock)
+    with prof.frame("x"):
+        clock.tick(1)
+    prof.event_begin(type("E", (), {"callbacks": []})())
+    prof.event_end()
+    prof.clear()
+    assert prof.stats() == {}
+    assert prof.events_recorded == 0
+
+
+def test_profiling_context_restores_previous():
+    outer = _prof.enable_profiler(fresh=True)
+    with profiling() as inner:
+        assert _prof.ACTIVE is inner and inner is not outer
+    assert _prof.ACTIVE is outer
+
+
+def test_kernel_attaches_active_profiler_per_run():
+    cluster = api.load_cluster(nodes=4, seed=0)
+    with profiling() as prof:
+        run_collective(cluster, "scatter", "linear", 1024)
+    assert cluster.sim.profiler is None  # detached after the run
+    assert prof.events_recorded == cluster.sim.events_processed
+    stats = prof.stats()
+    assert any("proc:" in name for name in stats)  # per-handler attribution
+    # Every kernel event became exactly one frame (nothing else profiles
+    # inside run_collective), so the counts reconcile exactly.
+    assert sum(s.count for s in stats.values()) == prof.events_recorded
+
+
+def test_kernel_untouched_when_profiling_off():
+    cluster = api.load_cluster(nodes=4, seed=0)
+    run_collective(cluster, "scatter", "linear", 1024)
+    assert cluster.sim.profiler is None

@@ -1,10 +1,12 @@
 """Unit tests for wall-clock span tracing and the runtime switchboard."""
 
 import json
+import random
 
 import pytest
 
 from repro.obs import runtime as _obs
+from repro.obs import trace as _trace
 from repro.obs.export import chrome_trace
 from repro.obs.spans import Span, SpanRecorder
 
@@ -30,6 +32,54 @@ def test_span_records_exception_and_propagates():
     (span,) = rec.finished("doomed")
     assert span.attrs["error"] == "RuntimeError"
     assert span.end is not None
+
+
+def test_exception_in_nested_span_restores_parent():
+    rec = SpanRecorder()
+    with rec.span("outer") as outer:
+        with pytest.raises(ValueError):
+            with rec.span("inner"):
+                raise ValueError("x")
+        # The parent must be current again — a later sibling re-parents
+        # onto it, not onto the finished (failed) inner span.
+        assert rec.current() is outer
+        with rec.span("sibling") as sibling:
+            assert sibling.parent_id == outer.span_id
+
+
+def test_parent_restored_even_when_exit_machinery_fails(monkeypatch):
+    """Regression: a failure *inside* ``__exit__`` (a broken clock, here)
+    must still reset the context variable, or every later span in this
+    task silently re-parents onto a finished span."""
+    rec = SpanRecorder()
+    with rec.span("outer") as outer:
+        inner_ctx = rec.span("inner")
+        inner_ctx.__enter__()
+
+        def broken_clock():
+            raise RuntimeError("clock exploded")
+
+        monkeypatch.setattr(rec, "clock", broken_clock)
+        with pytest.raises(RuntimeError, match="clock exploded"):
+            inner_ctx.__exit__(None, None, None)
+        monkeypatch.undo()
+        assert rec.current() is outer
+
+
+def test_span_stamped_with_active_trace_id():
+    rec = SpanRecorder()
+    ctx = _trace.new_context(random.Random(1))
+    with _trace.use(ctx):
+        with rec.span("traced"):
+            pass
+    with rec.span("untraced"):
+        pass
+    traced, untraced = rec.finished()
+    assert traced.trace_id == ctx.trace_id
+    assert untraced.trace_id is None
+    assert "trace_id" not in untraced.to_dict()
+    clone = Span.from_dict(traced.to_dict())
+    assert clone.trace_id == ctx.trace_id
 
 
 def test_ring_buffer_drops_oldest_and_counts():

@@ -1,0 +1,106 @@
+"""Unit tests for cross-process trace stitching."""
+
+import json
+
+import pytest
+
+from repro.obs.stitch import list_traces, stitch_chrome_trace, unwrap_snapshot
+
+TRACE = "a" * 32
+OTHER = "b" * 32
+
+
+def snapshot(epoch, spans=(), events=()):
+    doc = {
+        "format": "repro-telemetry",
+        "version": 1,
+        "metrics": {},
+        "spans": list(spans),
+        "events": list(events),
+    }
+    if epoch is not None:
+        doc["spans_epoch_unix"] = epoch
+    return doc
+
+
+def span(name, start, end, trace_id=TRACE, **attrs):
+    return {"name": name, "start": start, "end": end, "span_id": 1,
+            "parent_id": None, "attrs": attrs, "trace_id": trace_id}
+
+
+def test_unwrap_accepts_raw_and_obs_reply():
+    raw = snapshot(epoch=100.0)
+    assert unwrap_snapshot(raw) is raw
+    wrapped = {"enabled": True, "telemetry": raw}
+    assert unwrap_snapshot(wrapped) is raw
+    with pytest.raises(ValueError):
+        unwrap_snapshot({"format": "something-else"})
+
+
+def test_list_traces_summarizes_processes_and_names():
+    docs = [
+        ("client", snapshot(10.0, [span("client.request", 0.0, 1.0)])),
+        ("server", snapshot(10.1, [span("serve.request", 0.1, 0.9),
+                                   span("serve.worker", 0.2, 0.8, OTHER)])),
+    ]
+    traces = list_traces(docs)
+    assert traces[TRACE]["spans"] == 2
+    assert traces[TRACE]["processes"] == ["client", "server"]
+    assert "client.request" in traces[TRACE]["names"]
+    assert traces[OTHER]["processes"] == ["server"]
+
+
+def test_stitch_aligns_clocks_across_processes():
+    # Client's span clock started at unix 1000.0, server's at 1000.5; a
+    # server span at local 0.1 must land *inside* a client span at 0.4.
+    client = snapshot(1000.0, [span("client.request", 0.4, 1.4)])
+    server = snapshot(1000.5, [span("serve.request", 0.1, 0.7)])
+    doc = json.loads(stitch_chrome_trace([("client", client),
+                                          ("server", server)]))
+    by_name = {e["name"]: e for e in doc["traceEvents"] if e["ph"] == "X"}
+    # t0 = 1000.4 (earliest span); client at 0 us, server at 200000 us.
+    assert by_name["client.request"]["ts"] == pytest.approx(0.0)
+    assert by_name["serve.request"]["ts"] == pytest.approx(0.2e6)
+    assert by_name["serve.request"]["dur"] == pytest.approx(0.6e6)
+    # Distinct pids per process, with readable lane names.
+    assert by_name["client.request"]["pid"] != by_name["serve.request"]["pid"]
+    meta = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert meta == {"client", "server"}
+
+
+def test_stitch_filters_by_trace_id_and_keeps_trace_stamped_events():
+    events = [{"seq": 1, "ts": 1000.45, "level": "info",
+               "name": "service_started", "trace_id": TRACE},
+              {"seq": 2, "ts": 1000.46, "level": "info",
+               "name": "unrelated", "trace_id": OTHER}]
+    server = snapshot(1000.0, [span("serve.request", 0.5, 0.9),
+                               span("noise", 0.0, 2.0, OTHER)], events)
+    doc = json.loads(stitch_chrome_trace([("server", server)], trace_id=TRACE))
+    names = [e["name"] for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert names == ["serve.request", "service_started"]
+    instant = next(e for e in doc["traceEvents"] if e["ph"] == "i")
+    assert instant["s"] == "p"
+    assert instant["args"]["trace_id"] == TRACE
+
+
+def test_stitch_unknown_trace_id_raises():
+    server = snapshot(1000.0, [span("serve.request", 0.5, 0.9)])
+    with pytest.raises(ValueError, match="no snapshot contains"):
+        stitch_chrome_trace([("server", server)], trace_id="c" * 32)
+
+
+def test_stitch_requires_epoch_when_spans_present():
+    server = snapshot(None, [span("serve.request", 0.5, 0.9)])
+    with pytest.raises(ValueError, match="spans_epoch_unix"):
+        stitch_chrome_trace([("server", server)])
+
+
+def test_stitch_skips_open_spans_and_empty_snapshots():
+    open_span = span("inflight", 0.5, None)
+    server = snapshot(1000.0, [open_span, span("done", 0.6, 0.8)])
+    idle = snapshot(999.0)
+    doc = json.loads(stitch_chrome_trace([("server", server), ("idle", idle)]))
+    names = [e["name"] for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert names == ["done"]
+    meta = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert meta == {"server"}  # the idle snapshot contributes no lane

@@ -196,3 +196,36 @@ def test_decode_response_rejects_garbage():
         protocol.decode_response(b'{"id": 1}\n')
     with pytest.raises(InternalError, match="no 'ok' field"):
         protocol.decode_response(b"[1]\n")
+
+
+# -- trace envelope key -----------------------------------------------------------
+def test_trace_header_round_trips():
+    header = "00-" + "a" * 32 + "-" + "b" * 16 + "-01"
+    line = protocol.encode_request("health", {}, 1, trace=header)
+    assert protocol.decode_request(line).trace == header
+    # Absent by default: untraced requests pay no envelope bytes.
+    bare = protocol.encode_request("health", {}, 1)
+    assert b"trace" not in bare
+    assert protocol.decode_request(bare).trace is None
+
+
+def test_non_string_trace_degrades_to_untraced():
+    # A garbage trace value must never invalidate the request itself.
+    doc = json.loads(protocol.encode_request("health", {}, 1))
+    doc["trace"] = 12345
+    request = protocol.decode_request(json.dumps(doc))
+    assert request.verb == "health" and request.trace is None
+
+
+def test_encode_error_merges_correlation_fields():
+    line = protocol.encode_error(3, ModelNotLoaded("nope"), extra={
+        "request_id": 3, "trace_id": "a" * 32, "skipped": None,
+    })
+    doc = protocol.decode_response(line)  # crc covers the merged fields
+    assert doc["error"]["request_id"] == 3
+    assert doc["error"]["trace_id"] == "a" * 32
+    assert "skipped" not in doc["error"]  # None values are dropped
+    # setdefault semantics: taxonomy keys are never clobbered.
+    clobber = protocol.encode_error(4, ModelNotLoaded("nope"),
+                                    extra={"code": "hijacked"})
+    assert protocol.decode_response(clobber)["error"]["code"] != "hijacked"

@@ -248,3 +248,109 @@ def test_suite_metrics_out(tmp_path, capsys):
     doc = json.load(open(metrics))
     assert doc["format"] == "repro-telemetry"
     assert _value(doc, "sim_events_total") > 0
+
+
+# -- obs profile ------------------------------------------------------------------
+def test_obs_profile_kernel_writes_every_artifact(tmp_path, capsys):
+    json_out = str(tmp_path / "profile.json")
+    speedscope = str(tmp_path / "profile.speedscope.json")
+    collapsed = str(tmp_path / "profile.collapsed")
+    assert main(["obs", "profile", "--target", "kernel", "--nodes", "4",
+                 "--sizes", "1024", "--reps", "1", "--top", "5",
+                 "--json-out", json_out, "--speedscope", speedscope,
+                 "--collapsed", collapsed]) == 0
+    out = capsys.readouterr().out
+    assert "events/s" in out and "frame" in out
+
+    doc = json.load(open(json_out))
+    assert doc["bench"] == "kernel_profile"
+    assert doc["events_processed"] > 0
+    assert doc["profile"]["frames"]
+
+    scope = json.load(open(speedscope))
+    assert scope["profiles"][0]["unit"] == "nanoseconds"
+    lines = open(collapsed).read().strip().splitlines()
+    assert lines and all(" " in line for line in lines)
+
+
+def test_obs_profile_service_mixes_load_and_kernel_frames(tmp_path, capsys):
+    json_out = str(tmp_path / "service.json")
+    assert main(["obs", "profile", "--target", "service", "--nodes", "4",
+                 "--sizes", "1024", "--requests", "3",
+                 "--json-out", json_out]) == 0
+    doc = json.load(open(json_out))
+    names = {frame["name"] for frame in doc["frames"]}
+    assert "load.predict" in names and "load.kernel" in names
+    counts = {f["name"]: f["count"] for f in doc["frames"]}
+    assert counts["load.predict"] == 3
+
+
+def test_obs_profile_json_format(capsys):
+    assert main(["obs", "profile", "--target", "kernel", "--nodes", "4",
+                 "--sizes", "1024", "--reps", "1", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["bench"] == "kernel_profile"
+
+
+# -- obs trace stitch -------------------------------------------------------------
+def _write_snapshot(path, epoch, spans):
+    json.dump({"format": "repro-telemetry", "version": 1, "metrics": {},
+               "spans_epoch_unix": epoch, "spans": spans, "events": []},
+              open(path, "w"))
+
+
+def _span(name, start, end, trace_id):
+    return {"name": name, "start": start, "end": end, "span_id": 1,
+            "parent_id": None, "attrs": {}, "trace_id": trace_id}
+
+
+def test_obs_trace_stitch_lists_and_stitches(tmp_path, capsys):
+    trace_id = "c" * 32
+    client = str(tmp_path / "client.json")
+    server = str(tmp_path / "server.json")
+    _write_snapshot(client, 100.0, [_span("client.request", 0.0, 1.0, trace_id)])
+    _write_snapshot(server, 100.2, [_span("serve.request", 0.1, 0.7, trace_id)])
+
+    assert main(["obs", "trace", "stitch", "--in", f"client={client}",
+                 "--in", f"server={server}", "--list"]) == 0
+    listing = capsys.readouterr().out
+    assert trace_id in listing and "client,server" in listing
+
+    out = str(tmp_path / "stitched.json")
+    assert main(["obs", "trace", "stitch", "--in", f"client={client}",
+                 "--in", f"server={server}", "--trace-id", trace_id,
+                 "--out", out]) == 0
+    doc = json.load(open(out))
+    lanes = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert lanes == {"client", "server"}
+
+
+def test_obs_trace_stitch_bare_path_uses_file_stem(tmp_path, capsys):
+    path = str(tmp_path / "worker7.json")
+    _write_snapshot(path, 10.0, [_span("serve.worker", 0.0, 0.5, "d" * 32)])
+    assert main(["obs", "trace", "stitch", "--in", path]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    lanes = {e["args"]["name"] for e in doc["traceEvents"] if e["ph"] == "M"}
+    assert lanes == {"worker7"}
+
+
+def test_obs_trace_stitch_error_paths(tmp_path, capsys):
+    assert main(["obs", "trace", "stitch"]) == 2
+    assert "nothing to stitch" in capsys.readouterr().err
+
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text('{"nope": 1}')
+    assert main(["obs", "trace", "stitch", "--in", str(bogus)]) == 2
+    assert "cannot read telemetry snapshot" in capsys.readouterr().err
+
+    good = str(tmp_path / "good.json")
+    _write_snapshot(good, 10.0, [_span("s", 0.0, 0.1, "e" * 32)])
+    assert main(["obs", "trace", "stitch", "--in", good,
+                 "--trace-id", "f" * 32]) == 2
+    assert "stitch failed" in capsys.readouterr().err
+
+
+# -- client --traceparent ---------------------------------------------------------
+def test_client_rejects_malformed_traceparent(capsys):
+    assert main(["client", "health", "--traceparent", "garbage"]) == 2
+    assert "malformed --traceparent" in capsys.readouterr().err
