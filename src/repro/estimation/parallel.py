@@ -940,6 +940,10 @@ class ParallelCampaign:
             tel.events.warning(
                 "parallel_worker_dead", worker=handle.worker_id, reason=reason,
             )
+            if tel.flight is not None:
+                # A worker death is post-mortem material: get the current
+                # rings onto the spill before anything else goes wrong.
+                tel.flight.sync(reason="worker_dead")
         self._reclaim(handle, reason)
         del self.workers[handle.worker_id]
 
@@ -1050,6 +1054,7 @@ class ParallelCampaign:
 
     def _supervise_once(self) -> None:
         """One supervision pass: liveness, lease expiry, respawns, grants."""
+        _obs.pulse()  # coordinator cadence for the timeline/flight rings
         now = time.time()
         for handle in list(self.workers.values()):
             if not handle.alive():

@@ -1,0 +1,457 @@
+"""Crash-surviving flight recorder: the process's black box.
+
+When the supervisor SIGKILLs a wedged server child (PR 8) every span,
+event and metric the child held dies with it — exactly the telemetry a
+post-mortem needs.  The flight recorder closes that hole with two
+mechanisms:
+
+* **Spill file** — a bounded, pre-sized binary file the recorder
+  re-mirrors its rings into (``MAGIC | version | length | crc32 | JSON``)
+  at most once per ``sync_interval``.  Writes go through the page cache,
+  which survives the *process* dying (kill -9 included); only a kernel
+  crash or power loss can lose the last sync, which is the right
+  trade-off for a hot path (no fsync per sync).  The supervisor points
+  each child at a spill via the ``REPRO_FLIGHT_SPILL`` environment
+  variable and recovers it into a dump after reaping the child.
+* **Dumps** — full JSON documents (``repro-flight-dump`` v1, CRC'd over
+  the canonical payload encoding) written atomically *with* fsync on
+  the slow paths where durability beats latency: an alert-rule firing
+  transition, an unhandled exception (:func:`install_excepthook`), an
+  explicit ``repro obs flight dump``, or supervisor recovery.
+
+The payload embeds a full ``repro-telemetry`` snapshot document, so
+every existing reader — ``repro obs report``, the dashboard,
+``repro.obs.stitch`` — works on a dump unchanged; ``flight stitch``
+merges dumps from several processes onto one Chrome-trace timeline via
+the PR 9 trace ids.
+"""
+
+from __future__ import annotations
+
+import binascii
+import json
+import os
+import struct
+import sys
+import time
+from collections import deque
+from typing import Any, Callable, Mapping, Optional
+
+__all__ = [
+    "DUMP_FORMAT",
+    "ENV_SPILL",
+    "FlightRecorder",
+    "enable_flight",
+    "install_excepthook",
+    "load_dump",
+    "read_spill",
+    "recover_spill",
+    "render_inspect",
+    "telemetry_of",
+    "write_dump",
+]
+
+ENV_SPILL = "REPRO_FLIGHT_SPILL"
+SPILL_MAGIC = b"RPROFLT\x01"
+_SPILL_HEADER = struct.Struct("<II")  # payload length, crc32(payload)
+FLIGHT_FORMAT = "repro-flight"
+DUMP_FORMAT = "repro-flight-dump"
+FLIGHT_VERSION = 1
+
+#: Default spill size: 1 MiB holds ~256 spans + 256 events + a full
+#: registry snapshot with lots of headroom.
+DEFAULT_SPILL_CAPACITY = 1 << 20
+
+
+def _crc32(payload_bytes: bytes) -> int:
+    return binascii.crc32(payload_bytes) & 0xFFFFFFFF
+
+
+def _canonical(payload: Mapping[str, Any]) -> bytes:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+class FlightRecorder:
+    """Bounded black box over one telemetry session.
+
+    Keeps its own rings for what the session does not retain — alert
+    transitions and periodic metric snapshots — and reads the session's
+    span/event rings at sync time, so the hot path adds nothing beyond
+    the ``pulse()`` guard.
+    """
+
+    def __init__(
+        self,
+        telemetry: Any,
+        process: str = "",
+        spill_path: Optional[str] = None,
+        spill_capacity: int = DEFAULT_SPILL_CAPACITY,
+        dump_dir: Optional[str] = None,
+        span_limit: int = 256,
+        event_limit: int = 256,
+        snapshot_limit: int = 4,
+        alert_limit: int = 64,
+        sync_interval: float = 0.25,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if spill_capacity < 4096:
+            raise ValueError(f"spill_capacity too small: {spill_capacity}")
+        self._tel = telemetry
+        self.process = process or f"pid-{os.getpid()}"
+        self.spill_path = spill_path
+        self.spill_capacity = spill_capacity
+        self.dump_dir = dump_dir
+        self.span_limit = span_limit
+        self.event_limit = event_limit
+        self.sync_interval = sync_interval
+        self._clock = clock
+        self._alerts: deque[dict[str, Any]] = deque(maxlen=alert_limit)
+        self._snapshots: deque[dict[str, Any]] = deque(maxlen=snapshot_limit)
+        self._spill_fh: Optional[Any] = None
+        self._last_sync: Optional[float] = None
+        self._dump_seq = 0
+        self.syncs = 0
+        self.dumps = 0
+
+    # -- ring feeds ----------------------------------------------------------
+    def note_alert(self, rule: str, firing: bool, value: float,
+                   threshold: float, level: str = "warning") -> None:
+        """Record an alert transition; dump on fire when a dump_dir is set."""
+        self._alerts.append({
+            "ts": time.time(), "rule": rule, "firing": bool(firing),
+            "value": float(value), "threshold": float(threshold),
+            "level": level,
+        })
+        if self.spill_path is not None:
+            self.sync(reason="alert")
+        if firing and self.dump_dir is not None:
+            try:
+                self.dump(reason=f"alert_{rule}")
+            except OSError:
+                pass  # a full disk must not take the alert path down
+
+    def note_snapshot(self) -> None:
+        """Append a timestamped metrics snapshot to the snapshot ring."""
+        self._snapshots.append({
+            "ts": time.time(),
+            "metrics": self._tel.registry.snapshot(),
+        })
+
+    # -- payload -------------------------------------------------------------
+    def payload(self, reason: str = "sync",
+                extra: Optional[Mapping[str, Any]] = None,
+                span_limit: Optional[int] = None,
+                event_limit: Optional[int] = None,
+                with_snapshots: bool = True,
+                with_metrics: bool = True) -> dict[str, Any]:
+        """The black-box document: rings plus an embedded telemetry snapshot."""
+        tel = self._tel
+        spans = tel.spans.to_dicts()
+        events = tel.events.to_dicts()
+        n_spans = span_limit if span_limit is not None else self.span_limit
+        n_events = event_limit if event_limit is not None else self.event_limit
+        doc: dict[str, Any] = {
+            "format": FLIGHT_FORMAT,
+            "version": FLIGHT_VERSION,
+            "process": self.process,
+            "pid": os.getpid(),
+            "reason": reason,
+            "ts_unix": time.time(),
+            "syncs": self.syncs,
+            "alerts": list(self._alerts),
+            "snapshots": list(self._snapshots) if with_snapshots else [],
+            "telemetry": {
+                "format": "repro-telemetry",
+                "version": 1,
+                "metrics": tel.registry.snapshot() if with_metrics else {},
+                "spans": spans[-n_spans:],
+                "spans_epoch_unix": tel.spans.epoch_unix,
+                "events": events[-n_events:],
+                "dropped": {
+                    "spans": tel.spans.dropped + max(0, len(spans) - n_spans),
+                    "events": tel.events.dropped + max(0, len(events) - n_events),
+                },
+            },
+        }
+        if extra:
+            doc.update(dict(extra))
+        return doc
+
+    # -- spill ---------------------------------------------------------------
+    def _encode_spill(self, reason: str) -> bytes:
+        """Frame the payload, trimming rings until it fits the spill."""
+        budget = self.spill_capacity - len(SPILL_MAGIC) - _SPILL_HEADER.size
+        attempts = (
+            {},
+            {"span_limit": self.span_limit // 4, "event_limit": self.event_limit // 4},
+            {"span_limit": 32, "event_limit": 32, "with_snapshots": False},
+            {"span_limit": 8, "event_limit": 8, "with_snapshots": False,
+             "with_metrics": False},
+        )
+        body = b"{}"
+        for kwargs in attempts:
+            body = _canonical(self.payload(reason=reason, **kwargs))
+            if len(body) <= budget:
+                break
+        else:
+            body = b'{"format":"repro-flight","version":1,"truncated":true}'
+        return SPILL_MAGIC + _SPILL_HEADER.pack(len(body), _crc32(body)) + body
+
+    def sync(self, reason: str = "sync") -> bool:
+        """Re-mirror the rings into the spill file (no fsync — see module
+        docstring); returns False when no spill is configured."""
+        if self.spill_path is None:
+            return False
+        frame = self._encode_spill(reason)
+        if self._spill_fh is None:
+            fd = os.open(self.spill_path, os.O_RDWR | os.O_CREAT, 0o644)
+            self._spill_fh = os.fdopen(fd, "r+b")
+            self._spill_fh.truncate(self.spill_capacity)
+        self._spill_fh.seek(0)
+        self._spill_fh.write(frame)
+        self._spill_fh.flush()  # into the page cache; survives kill -9
+        self.syncs += 1
+        self._last_sync = self._clock()
+        return True
+
+    def maybe_sync(self, now: Optional[float] = None) -> bool:
+        """Sync if ``sync_interval`` has elapsed (the ``pulse()`` path)."""
+        if self.spill_path is None:
+            return False
+        if now is None:
+            now = self._clock()
+        if self._last_sync is not None and now - self._last_sync < self.sync_interval:
+            return False
+        return self.sync()
+
+    def close(self) -> None:
+        if self._spill_fh is not None:
+            try:
+                self._spill_fh.close()
+            finally:
+                self._spill_fh = None
+
+    # -- dumps ---------------------------------------------------------------
+    def dump(self, path: Optional[str] = None, reason: str = "manual",
+             extra: Optional[Mapping[str, Any]] = None) -> str:
+        """Write a durable dump document; returns the path written."""
+        if path is None:
+            if self.dump_dir is None:
+                raise ValueError("no dump path given and no dump_dir configured")
+            os.makedirs(self.dump_dir, exist_ok=True)
+            self._dump_seq += 1
+            safe = "".join(c if c.isalnum() or c in "-_." else "-" for c in reason)
+            path = os.path.join(
+                self.dump_dir,
+                f"flight-{self.process}-{self._dump_seq:03d}-{safe}.json",
+            )
+        write_dump(self.payload(reason=reason, extra=extra), path)
+        self.dumps += 1
+        return path
+
+
+# -- module-level readers/writers (no recorder needed) -----------------------
+
+def write_dump(payload: Mapping[str, Any], path: str) -> dict[str, Any]:
+    """Wrap a flight payload in the dump envelope; write atomically + fsync."""
+    body = _canonical(payload)
+    doc = {
+        "format": DUMP_FORMAT,
+        "version": FLIGHT_VERSION,
+        "crc32": _crc32(body),
+        "flight": payload,
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, sort_keys=True)
+        fh.write("\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    return doc
+
+
+def load_dump(path: str) -> dict[str, Any]:
+    """Read and verify a dump document (CRC over the canonical payload)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if doc.get("format") != DUMP_FORMAT:
+        raise ValueError(f"{path}: not a flight dump (format={doc.get('format')!r})")
+    if int(doc.get("version", 0)) > FLIGHT_VERSION:
+        raise ValueError(f"{path}: dump version {doc.get('version')} is newer "
+                         f"than supported ({FLIGHT_VERSION})")
+    payload = doc.get("flight")
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: dump has no flight payload")
+    expected = doc.get("crc32")
+    if expected is not None and _crc32(_canonical(payload)) != int(expected):
+        raise ValueError(f"{path}: flight dump CRC mismatch")
+    return doc
+
+
+def read_spill(path: str) -> dict[str, Any]:
+    """Decode a spill file into its last-synced payload (CRC-verified)."""
+    with open(path, "rb") as fh:
+        magic = fh.read(len(SPILL_MAGIC))
+        if magic != SPILL_MAGIC:
+            raise ValueError(f"{path}: not a flight spill (bad magic)")
+        header = fh.read(_SPILL_HEADER.size)
+        if len(header) < _SPILL_HEADER.size:
+            raise ValueError(f"{path}: truncated spill header")
+        length, crc = _SPILL_HEADER.unpack(header)
+        body = fh.read(length)
+    if len(body) < length:
+        raise ValueError(f"{path}: truncated spill body "
+                         f"({len(body)} of {length} bytes)")
+    if _crc32(body) != crc:
+        raise ValueError(f"{path}: spill CRC mismatch (torn write)")
+    payload = json.loads(body.decode("utf-8"))
+    if payload.get("format") != FLIGHT_FORMAT:
+        raise ValueError(f"{path}: spill payload is not a flight document")
+    return payload
+
+
+def recover_spill(spill_path: str, out_path: str, reason: str,
+                  extra: Optional[Mapping[str, Any]] = None) -> dict[str, Any]:
+    """Promote a dead process's spill into a durable dump.
+
+    The supervisor calls this after reaping a child: the spill's last
+    sync becomes a proper fsynced dump, stamped with the recovery reason
+    and any supervisor-side context (``extra``).
+    """
+    payload = read_spill(spill_path)
+    payload = dict(payload)
+    payload["recovered"] = {
+        "reason": reason,
+        "spill_path": spill_path,
+        "synced_reason": payload.get("reason"),
+    }
+    payload["reason"] = reason
+    if extra:
+        payload.update(dict(extra))
+    write_dump(payload, out_path)
+    return payload
+
+
+def load_any(path: str) -> dict[str, Any]:
+    """Load a flight payload from a dump *or* a raw spill file."""
+    with open(path, "rb") as fh:
+        head = fh.read(len(SPILL_MAGIC))
+    if head == SPILL_MAGIC:
+        return read_spill(path)
+    doc = load_dump(path)
+    return doc["flight"]
+
+
+def telemetry_of(payload: Mapping[str, Any]) -> dict[str, Any]:
+    """The embedded ``repro-telemetry`` snapshot of a flight payload."""
+    if payload.get("format") == DUMP_FORMAT:
+        payload = payload["flight"]
+    tel = payload.get("telemetry")
+    if not isinstance(tel, dict):
+        raise ValueError("flight payload has no telemetry section")
+    return tel
+
+
+def render_inspect(payload: Mapping[str, Any], span_rows: int = 15,
+                   event_rows: int = 10) -> str:
+    """Human post-mortem view of one flight payload."""
+    if payload.get("format") == DUMP_FORMAT:
+        payload = payload["flight"]
+    lines: list[str] = []
+    ts = payload.get("ts_unix")
+    when = time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(ts)) + "Z" if ts else "?"
+    lines.append(f"flight recorder: process={payload.get('process', '?')} "
+                 f"pid={payload.get('pid', '?')}")
+    lines.append(f"  reason={payload.get('reason', '?')}  captured={when}  "
+                 f"syncs={payload.get('syncs', 0)}")
+    recovered = payload.get("recovered")
+    if recovered:
+        lines.append(f"  recovered from spill {recovered.get('spill_path')} "
+                     f"(last synced for: {recovered.get('synced_reason')})")
+    if payload.get("exception"):
+        lines.append(f"  exception: {payload['exception']}")
+    alerts = payload.get("alerts") or []
+    if alerts:
+        lines.append(f"  alert transitions ({len(alerts)}):")
+        for entry in alerts[-event_rows:]:
+            arrow = "FIRING" if entry.get("firing") else "resolved"
+            lines.append(f"    [{entry.get('level', '?'):7s}] "
+                         f"{entry.get('rule', '?')} {arrow} "
+                         f"value={entry.get('value'):.4g} "
+                         f"threshold={entry.get('threshold'):.4g}")
+    tel = payload.get("telemetry") or {}
+    metrics = tel.get("metrics") or {}
+    spans = tel.get("spans") or []
+    events = tel.get("events") or []
+    lines.append(f"  telemetry: {len(metrics)} metric families, "
+                 f"{len(spans)} spans, {len(events)} events")
+    if events:
+        lines.append(f"  last events ({min(event_rows, len(events))}):")
+        for entry in events[-event_rows:]:
+            lines.append(f"    [{entry.get('level', '?'):7s}] {entry.get('name', '?')} "
+                         f"{json.dumps(entry.get('attrs', {}), sort_keys=True)}")
+    if spans:
+        lines.append(f"  last spans ({min(span_rows, len(spans))}):")
+        for entry in spans[-span_rows:]:
+            dur = entry.get("end", 0.0) - entry.get("start", 0.0)
+            trace = entry.get("trace_id") or "-"
+            lines.append(f"    {entry.get('name', '?'):28s} "
+                         f"{dur * 1e3:9.3f} ms  trace={trace}")
+    return "\n".join(lines)
+
+
+def enable_flight(
+    process: str = "",
+    spill_path: Optional[str] = None,
+    dump_dir: Optional[str] = None,
+    sync_interval: float = 0.25,
+    **kwargs: Any,
+) -> FlightRecorder:
+    """Attach a flight recorder to the active telemetry session.
+
+    Enables telemetry if needed; an already-attached recorder is
+    returned unchanged.  ``spill_path`` defaults to the
+    ``REPRO_FLIGHT_SPILL`` environment variable (how the supervisor
+    hands each child its spill).
+    """
+    from repro.obs import runtime as _runtime
+
+    tel = _runtime.enable()
+    if tel.flight is None:
+        if spill_path is None:
+            spill_path = os.environ.get(ENV_SPILL) or None
+        tel.flight = FlightRecorder(
+            tel, process=process, spill_path=spill_path, dump_dir=dump_dir,
+            sync_interval=sync_interval, **kwargs,
+        )
+    return tel.flight
+
+
+def install_excepthook() -> Callable[..., Any]:
+    """Dump the black box on unhandled exceptions; returns the old hook.
+
+    The dump happens before the normal traceback printing, never
+    replaces it, and swallows its own failures — a broken disk must not
+    mask the original crash.
+    """
+    from repro.obs import runtime as _runtime
+
+    previous = sys.excepthook
+
+    def _hook(exc_type, exc, tb):
+        tel = _runtime.ACTIVE
+        recorder = getattr(tel, "flight", None) if tel is not None else None
+        if recorder is not None:
+            try:
+                if recorder.dump_dir is not None:
+                    recorder.dump(reason="unhandled_exception",
+                                  extra={"exception": repr(exc)})
+                elif recorder.spill_path is not None:
+                    recorder.sync(reason="unhandled_exception")
+            except Exception:  # noqa: BLE001 - never mask the real crash
+                pass
+        previous(exc_type, exc, tb)
+
+    sys.excepthook = _hook
+    return previous

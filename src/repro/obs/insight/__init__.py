@@ -31,11 +31,13 @@ from repro.obs.insight.alerts import (
     AlertState,
     default_rules,
     heal_hook,
+    slo_burn_rules,
 )
 from repro.obs.insight.dashboard import (
     build_dashboard,
     render_html,
     render_terminal,
+    render_top,
     watch,
 )
 from repro.obs.insight.detectors import (
@@ -70,7 +72,9 @@ __all__ = [
     "render_html",
     "render_scorecards",
     "render_terminal",
+    "render_top",
     "scorecards",
     "size_bucket",
+    "slo_burn_rules",
     "watch",
 ]

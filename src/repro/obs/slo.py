@@ -1,0 +1,288 @@
+"""Declarative SLOs with error budgets and multi-window burn rates.
+
+An :class:`SLOSpec` names an *objective* — "99.9% of service requests
+succeed", "99% of ``serve.request`` latencies stay under 250 ms", "95%
+of model residuals stay within 25%" — and how to count *good* vs *total*
+events for it from the :class:`repro.obs.timeline.TimelineStore`
+history.  Everything downstream reduces to those two counts over a
+window:
+
+* ``bad_fraction = (total - good) / total``
+* ``burn_rate = bad_fraction / (1 - objective)`` — 1.0 means the error
+  budget is being consumed exactly at the rate that exhausts it at the
+  end of the budget window; 14.4 means fourteen times too fast.
+* ``budget_remaining = 1 - bad_fraction / (1 - objective)`` over the
+  budget window, clamped to [0, 1].
+
+Alerting follows the SRE multi-window multi-burn-rate pattern: a rule
+fires when *both* a fast window (catches the page-worthy spike, e.g.
+5 m) and a slow window (suppresses blips, e.g. 1 h) burn above the
+threshold — implemented as the ``slo_burn_rate`` rule kind in
+:class:`repro.obs.insight.alerts.AlertEngine`, which takes
+``min(burn(fast), burn(slow))`` so one comparison expresses the AND.
+Window lengths scale freely: tests pass seconds, production passes the
+5m/1h/6h pattern.
+
+Three spec kinds:
+
+* ``ratio`` — ``metric`` is a counter family; ``good_labels`` (or
+  ``bad_labels``) select the good (bad) children within it;
+* ``latency`` — ``metric`` is a histogram family; an observation is
+  good when ``<= threshold`` seconds (partial buckets interpolated, the
+  :func:`repro.obs.metrics.bucket_quantile` convention);
+* ``residual`` — same counting as ``latency`` over the
+  ``residual_abs_error``-style histograms that
+  :mod:`repro.obs.insight.residuals` feeds, so the model-error budget
+  rides the identical machinery (Bienz/Gropp/Olson's per-operation
+  error-budget framing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Mapping, Optional, Sequence
+
+__all__ = [
+    "SLOSpec",
+    "SLOStatus",
+    "burn_rate",
+    "default_slos",
+    "evaluate_slos",
+    "window_counts",
+]
+
+_KINDS = ("ratio", "latency", "residual")
+
+#: The classic paging pattern (seconds): fast 5 m / slow 1 h at 14.4x
+#: burn, plus a ticket-grade 30 m / 6 h at 6x.
+FAST_WINDOWS = (300.0, 3600.0)
+SLOW_WINDOWS = (1800.0, 21600.0)
+FAST_BURN = 14.4
+SLOW_BURN = 6.0
+
+
+def _label_tuple(labels: Any) -> tuple[tuple[str, str], ...]:
+    if isinstance(labels, Mapping):
+        items = labels.items()
+    else:
+        items = tuple(labels)
+    return tuple(sorted((str(k), str(v)) for k, v in items))
+
+
+@dataclass(frozen=True)
+class SLOSpec:
+    """One service-level objective over timeline history."""
+
+    name: str
+    objective: float
+    kind: str  # ratio | latency | residual
+    metric: str
+    #: Selector applied to every query against ``metric``.
+    labels: tuple[tuple[str, str], ...] = ()
+    #: ratio: labels (on top of ``labels``) selecting the *good* children.
+    good_labels: tuple[tuple[str, str], ...] = ()
+    #: ratio alternative: select the *bad* children (good = total - bad).
+    bad_labels: tuple[tuple[str, str], ...] = ()
+    #: latency/residual: an observation <= threshold counts as good.
+    threshold: float = 0.0
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if not (0.0 < self.objective < 1.0):
+            raise ValueError(f"objective must be in (0, 1), got {self.objective!r}")
+        if not self.metric:
+            raise ValueError(f"SLO {self.name!r} needs a metric name")
+        if self.kind == "ratio":
+            if bool(self.good_labels) == bool(self.bad_labels):
+                raise ValueError(f"ratio SLO {self.name!r} needs exactly one "
+                                 f"of good_labels / bad_labels")
+        else:
+            if self.threshold <= 0.0:
+                raise ValueError(f"{self.kind} SLO {self.name!r} needs a "
+                                 f"positive threshold")
+        object.__setattr__(self, "labels", _label_tuple(self.labels))
+        object.__setattr__(self, "good_labels", _label_tuple(self.good_labels))
+        object.__setattr__(self, "bad_labels", _label_tuple(self.bad_labels))
+
+    @property
+    def budget(self) -> float:
+        """The error budget: the fraction of events allowed to be bad."""
+        return 1.0 - self.objective
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "name": self.name, "objective": self.objective, "kind": self.kind,
+            "metric": self.metric, "labels": dict(self.labels),
+            "good_labels": dict(self.good_labels),
+            "bad_labels": dict(self.bad_labels),
+            "threshold": self.threshold, "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "SLOSpec":
+        return cls(
+            name=doc["name"], objective=float(doc["objective"]),
+            kind=doc["kind"], metric=doc["metric"],
+            labels=_label_tuple(doc.get("labels", ())),
+            good_labels=_label_tuple(doc.get("good_labels", ())),
+            bad_labels=_label_tuple(doc.get("bad_labels", ())),
+            threshold=float(doc.get("threshold", 0.0)),
+            description=doc.get("description", ""),
+        )
+
+
+def _good_below_threshold(buckets: Sequence[Sequence[Any]], count: float,
+                          threshold: float) -> float:
+    """Observations <= threshold, interpolating the straddling bucket."""
+    good = 0.0
+    lower = 0.0
+    for bound, n in buckets:
+        n = float(n)
+        if bound == "+Inf":
+            break
+        upper = float(bound)
+        if upper <= threshold:
+            good += n
+        elif lower < threshold:
+            width = upper - lower
+            frac = (threshold - lower) / width if width > 0.0 else 1.0
+            good += n * min(max(frac, 0.0), 1.0)
+            break
+        else:
+            break
+        lower = upper
+    return min(good, count)
+
+
+def window_counts(spec: SLOSpec, timeline: Any, window_seconds: float,
+                  now: Optional[float] = None) -> tuple[float, float]:
+    """``(good, total)`` event counts for one SLO over one horizon."""
+    base = dict(spec.labels)
+    if spec.kind == "ratio":
+        total = timeline.sum_over_window(spec.metric, window_seconds,
+                                         labels=base or None, now=now)
+        if spec.good_labels:
+            good = timeline.sum_over_window(
+                spec.metric, window_seconds,
+                labels={**base, **dict(spec.good_labels)}, now=now)
+        else:
+            bad = timeline.sum_over_window(
+                spec.metric, window_seconds,
+                labels={**base, **dict(spec.bad_labels)}, now=now)
+            good = total - bad
+        return min(max(good, 0.0), total), total
+    buckets, _sum, count = timeline.histogram_over_window(
+        spec.metric, window_seconds, labels=base or None, now=now)
+    if count <= 0.0:
+        return 0.0, 0.0
+    return _good_below_threshold(buckets, count, spec.threshold), count
+
+
+def bad_fraction(spec: SLOSpec, timeline: Any, window_seconds: float,
+                 now: Optional[float] = None) -> float:
+    """Fraction of events in the window that violated the objective
+    (0.0 when the window saw no events — no traffic burns no budget)."""
+    good, total = window_counts(spec, timeline, window_seconds, now=now)
+    if total <= 0.0:
+        return 0.0
+    return (total - good) / total
+
+
+def burn_rate(spec: SLOSpec, timeline: Any, window_seconds: float,
+              now: Optional[float] = None) -> float:
+    """How many times faster than sustainable the budget is burning."""
+    return bad_fraction(spec, timeline, window_seconds, now=now) / spec.budget
+
+
+@dataclass(frozen=True)
+class SLOStatus:
+    """One SLO's health at a point in time (dashboard/``obs top`` row)."""
+
+    spec: SLOSpec
+    burn_fast: float
+    burn_slow: float
+    fast_window: float
+    slow_window: float
+    budget_window: float
+    budget_remaining: float
+    good: float = 0.0
+    total: float = 0.0
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "slo": self.spec.to_dict(),
+            "burn_fast": self.burn_fast, "burn_slow": self.burn_slow,
+            "fast_window": self.fast_window, "slow_window": self.slow_window,
+            "budget_window": self.budget_window,
+            "budget_remaining": self.budget_remaining,
+            "good": self.good, "total": self.total,
+        }
+
+
+def evaluate_slos(
+    specs: Sequence[SLOSpec], timeline: Any,
+    fast_window: float = FAST_WINDOWS[0],
+    slow_window: float = FAST_WINDOWS[1],
+    budget_window: Optional[float] = None,
+    now: Optional[float] = None,
+) -> list[SLOStatus]:
+    """Burn rates + remaining budget for every spec (dashboard feed).
+
+    ``budget_window`` defaults to the timeline's coarsest-tier horizon —
+    the longest history the store can answer for, standing in for the
+    SLO period.
+    """
+    if budget_window is None:
+        budget_window = timeline.tiers[-1].horizon
+    out: list[SLOStatus] = []
+    for spec in specs:
+        good, total = window_counts(spec, timeline, budget_window, now=now)
+        frac = (total - good) / total if total > 0.0 else 0.0
+        out.append(SLOStatus(
+            spec=spec,
+            burn_fast=burn_rate(spec, timeline, fast_window, now=now),
+            burn_slow=burn_rate(spec, timeline, slow_window, now=now),
+            fast_window=fast_window,
+            slow_window=slow_window,
+            budget_window=budget_window,
+            budget_remaining=min(max(1.0 - frac / spec.budget, 0.0), 1.0),
+            good=good,
+            total=total,
+        ))
+    return out
+
+
+def default_slos() -> list[SLOSpec]:
+    """The stock SLO catalog (docs/observability.md)."""
+    return [
+        SLOSpec(
+            name="service_availability", kind="ratio", objective=0.999,
+            metric="service_requests_total",
+            good_labels=(("outcome", "ok"),),
+            description="99.9% of prediction-service requests succeed",
+        ),
+        SLOSpec(
+            name="service_p99_latency", kind="latency", objective=0.99,
+            metric="service_request_seconds", threshold=0.25,
+            description="99% of serve.request latencies stay under 250 ms",
+        ),
+        SLOSpec(
+            name="campaign_unit_failures", kind="ratio", objective=0.95,
+            metric="campaign_units_total",
+            bad_labels=(("outcome", "failed"),),
+            description="95% of campaign units complete without failing",
+        ),
+        SLOSpec(
+            name="model_residual_budget", kind="residual", objective=0.95,
+            metric="residual_abs_error", threshold=0.25,
+            description="95% of |relative prediction errors| stay within "
+                        "25% (the insight.residuals feed)",
+        ),
+    ]
+
+
+def scaled(spec: SLOSpec, **overrides: Any) -> SLOSpec:
+    """A copy of a spec with fields replaced (tests scaling to sim-time)."""
+    return replace(spec, **overrides)

@@ -1,0 +1,570 @@
+"""Bounded ring-buffer time series over :class:`MetricsRegistry`.
+
+The registry (:mod:`repro.obs.metrics`) is instantaneous: one number per
+counter child, no history.  Every alert rule therefore judges a single
+snapshot, which cannot express "the error *rate* over the last five
+minutes" — the quantity SLO burn-rate alerting is defined on.  The
+timeline store adds the missing axis:
+
+* :meth:`TimelineStore.tick` snapshots the registry and folds the
+  *delta* since the previous tick into fixed-width windows — counter
+  increments and histogram bucket increments add up; gauges keep their
+  most recent ``(timestamp, value)`` observation per child.
+* Windows live in tiered rings (:data:`DEFAULT_TIERS`: 1 s x 120,
+  10 s x 120, 60 s x 180 — two minutes at 1 s resolution, three hours at
+  one minute), each a bounded deque so memory is fixed no matter how
+  long the process runs.
+* Queries — :meth:`rate`, :meth:`sum_over_window`,
+  :meth:`quantile_over_window`, :meth:`gauge` — merge the windows of the
+  finest tier that still covers the requested horizon.
+
+Ticks are driven by :func:`repro.obs.runtime.pulse` from naturally
+periodic call sites (service dispatch, campaign units, supervisor
+probes), so there is no background thread; tests call
+``store.tick(now=...)`` directly and get fully deterministic windows.
+
+Window merging is associative (property-tested): counters and histogram
+deltas are sums, and gauges resolve per-key by *latest timestamp* (a
+semilattice join), not by which window happened to be merged last.
+
+Persistence is compact JSONL — a header line then one line per window —
+plus ``to_dict``/``from_dict`` for embedding in the telemetry snapshot
+document under its optional ``"timeline"`` key.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.obs.metrics import MetricsRegistry, bucket_quantile
+
+__all__ = [
+    "DEFAULT_TIERS",
+    "TIMELINE_FORMAT",
+    "TimelineStore",
+    "Window",
+    "WindowTier",
+    "enable_timeline",
+    "merge_windows",
+]
+
+TIMELINE_FORMAT = "repro-timeline"
+TIMELINE_VERSION = 1
+
+#: A child key: (family name, sorted ``(label, value)`` pairs).
+Key = tuple[str, tuple[tuple[str, str], ...]]
+
+
+@dataclass(frozen=True)
+class WindowTier:
+    """One resolution tier: windows of ``width`` seconds, ``capacity`` deep."""
+
+    width: float
+    capacity: int
+
+    def __post_init__(self) -> None:
+        if not (self.width > 0.0 and math.isfinite(self.width)):
+            raise ValueError(f"tier width must be positive, got {self.width!r}")
+        if self.capacity < 1:
+            raise ValueError(f"tier capacity must be >= 1, got {self.capacity!r}")
+
+    @property
+    def horizon(self) -> float:
+        """Seconds of history this tier can hold when full."""
+        return self.width * self.capacity
+
+
+#: 2 min at 1 s resolution, 20 min at 10 s, 3 h at 1 min.
+DEFAULT_TIERS: tuple[WindowTier, ...] = (
+    WindowTier(width=1.0, capacity=120),
+    WindowTier(width=10.0, capacity=120),
+    WindowTier(width=60.0, capacity=180),
+)
+
+
+def _key_of(name: str, labels: Mapping[str, Any]) -> Key:
+    return name, tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def _key_matches(key: Key, name: str,
+                 wanted: Optional[Mapping[str, Any]]) -> bool:
+    if key[0] != name:
+        return False
+    if not wanted:
+        return True
+    have = dict(key[1])
+    return all(have.get(str(k)) == str(v) for k, v in wanted.items())
+
+
+@dataclass
+class Window:
+    """One fixed-width window of metric deltas.
+
+    ``counters`` maps child key -> summed delta; ``histograms`` maps
+    child key -> ``{"buckets": [[bound, dn], ...], "sum": ds, "count": dc}``
+    (snapshot bucket form, per-bucket deltas); ``gauges`` maps child key
+    -> ``(timestamp, value)`` of the latest observation.
+    """
+
+    width: float
+    index: int
+    ticks: int = 0
+    counters: dict[Key, float] = field(default_factory=dict)
+    gauges: dict[Key, tuple[float, float]] = field(default_factory=dict)
+    histograms: dict[Key, dict[str, Any]] = field(default_factory=dict)
+
+    @property
+    def start(self) -> float:
+        return self.index * self.width
+
+    @property
+    def end(self) -> float:
+        return (self.index + 1) * self.width
+
+    def add_counter(self, key: Key, delta: float) -> None:
+        self.counters[key] = self.counters.get(key, 0.0) + delta
+
+    def add_gauge(self, key: Key, ts: float, value: float) -> None:
+        got = self.gauges.get(key)
+        if got is None or ts >= got[0]:
+            self.gauges[key] = (ts, value)
+
+    def add_histogram(self, key: Key, buckets: Sequence[Sequence[Any]],
+                      dsum: float, dcount: float) -> None:
+        got = self.histograms.get(key)
+        if got is None:
+            self.histograms[key] = {
+                "buckets": [[bound, float(n)] for bound, n in buckets],
+                "sum": float(dsum),
+                "count": float(dcount),
+            }
+            return
+        for slot, (_, n) in zip(got["buckets"], buckets):
+            slot[1] += float(n)
+        got["sum"] += float(dsum)
+        got["count"] += float(dcount)
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """Canonical JSON form (entries sorted, stable across merges)."""
+        out: dict[str, Any] = {
+            "width": self.width, "index": self.index, "ticks": self.ticks,
+        }
+        if self.counters:
+            out["counters"] = [
+                {"name": k[0], "labels": dict(k[1]), "value": v}
+                for k, v in sorted(self.counters.items())
+            ]
+        if self.gauges:
+            out["gauges"] = [
+                {"name": k[0], "labels": dict(k[1]), "ts": tv[0], "value": tv[1]}
+                for k, tv in sorted(self.gauges.items())
+            ]
+        if self.histograms:
+            out["histograms"] = [
+                {"name": k[0], "labels": dict(k[1]), "buckets": h["buckets"],
+                 "sum": h["sum"], "count": h["count"]}
+                for k, h in sorted(self.histograms.items())
+            ]
+        return out
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "Window":
+        win = cls(width=float(doc["width"]), index=int(doc["index"]),
+                  ticks=int(doc.get("ticks", 0)))
+        for entry in doc.get("counters", ()):
+            win.counters[_key_of(entry["name"], entry["labels"])] = float(entry["value"])
+        for entry in doc.get("gauges", ()):
+            win.gauges[_key_of(entry["name"], entry["labels"])] = (
+                float(entry["ts"]), float(entry["value"]))
+        for entry in doc.get("histograms", ()):
+            win.histograms[_key_of(entry["name"], entry["labels"])] = {
+                "buckets": [[b, float(n)] for b, n in entry["buckets"]],
+                "sum": float(entry["sum"]), "count": float(entry["count"]),
+            }
+        return win
+
+
+def merge_windows(a: Window, b: Window) -> Window:
+    """Merge two windows (associative; commutative up to gauge ties).
+
+    Counters and histogram deltas add.  Gauges resolve per key by latest
+    observation timestamp — *not* by window recency — so a key missing
+    from the newest window cannot resurrect a stale value ahead of a
+    fresher one, and any merge order yields the same result.
+    """
+    if a.width != b.width:
+        raise ValueError(
+            f"cannot merge windows of different widths {a.width} and {b.width}")
+    out = Window(width=a.width, index=min(a.index, b.index),
+                 ticks=a.ticks + b.ticks)
+    for src in (a, b):
+        for key, delta in src.counters.items():
+            out.add_counter(key, delta)
+        for key, (ts, value) in src.gauges.items():
+            out.add_gauge(key, ts, value)
+        for key, hist in src.histograms.items():
+            out.add_histogram(key, hist["buckets"], hist["sum"], hist["count"])
+    return out
+
+
+class TimelineStore:
+    """Tiered ring-buffer history of one registry's metrics.
+
+    ``clock`` defaults to ``time.monotonic``; tests pass explicit
+    ``now=`` values to :meth:`tick` and the query methods instead.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        tiers: Sequence[WindowTier] = DEFAULT_TIERS,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if not tiers:
+            raise ValueError("need at least one tier")
+        self.registry = registry
+        self.tiers = tuple(sorted(tiers, key=lambda t: t.width))
+        if len({t.width for t in self.tiers}) != len(self.tiers):
+            raise ValueError("tier widths must be distinct")
+        self._clock = clock
+        self._rings: tuple[deque[Window], ...] = tuple(deque() for _ in self.tiers)
+        self._last_snapshot: Optional[dict[str, Any]] = None
+        self._last_tick: Optional[float] = None
+        self.ticks = 0
+        self.dropped = 0  # windows evicted from full rings
+
+    # -- ingestion -----------------------------------------------------------
+    def tick(self, now: Optional[float] = None) -> None:
+        """Snapshot the registry and fold the delta into every tier.
+
+        The first tick establishes the baseline (deltas start at zero so
+        pre-attach totals are not misread as a burst).  A ``now`` that
+        runs backwards is clamped to the previous tick — rates never go
+        negative because of clock weirdness.
+        """
+        if self.registry is None:
+            raise ValueError("this store has no registry (query-only)")
+        if now is None:
+            now = self._clock()
+        if self._last_tick is not None and now < self._last_tick:
+            now = self._last_tick
+        snapshot = self.registry.snapshot()
+        previous, self._last_snapshot = self._last_snapshot, snapshot
+        self._last_tick = now
+        self.ticks += 1
+        windows = [self._window_at(tier_idx, now)
+                   for tier_idx in range(len(self.tiers))]
+        for win in windows:
+            win.ticks += 1
+        for name, family in snapshot.items():
+            kind = family.get("type")
+            prev_samples = _samples_by_labels(previous, name)
+            for sample in family.get("samples", ()):
+                key = _key_of(name, sample.get("labels", {}))
+                before = prev_samples.get(key[1])
+                if kind == "counter":
+                    value = float(sample["value"])
+                    base = float(before["value"]) if before else 0.0
+                    # A registry reset between ticks shows as a shrinking
+                    # counter: restart the delta from the new value.
+                    delta = value - base if value >= base else value
+                    if delta > 0.0:
+                        for win in windows:
+                            win.add_counter(key, delta)
+                elif kind == "gauge":
+                    value = float(sample["value"])
+                    for win in windows:
+                        win.add_gauge(key, now, value)
+                elif kind == "histogram":
+                    deltas, dsum, dcount = _histogram_delta(sample, before)
+                    if dcount > 0.0:
+                        for win in windows:
+                            win.add_histogram(key, deltas, dsum, dcount)
+
+    def maybe_tick(self, now: Optional[float] = None) -> bool:
+        """Tick if the finest window width has elapsed since the last one."""
+        if self.registry is None:
+            return False
+        if now is None:
+            now = self._clock()
+        if self._last_tick is not None and now - self._last_tick < self.tiers[0].width:
+            return False
+        self.tick(now=now)
+        return True
+
+    def _window_at(self, tier_idx: int, now: float) -> Window:
+        tier = self.tiers[tier_idx]
+        ring = self._rings[tier_idx]
+        index = math.floor(now / tier.width)
+        for win in reversed(ring):
+            if win.index == index:
+                return win
+            if win.index < index:
+                break
+        win = Window(width=tier.width, index=index)
+        ring.append(win)
+        while len(ring) > tier.capacity:
+            ring.popleft()
+            self.dropped += 1
+        return win
+
+    # -- queries -------------------------------------------------------------
+    def _now(self, now: Optional[float]) -> float:
+        if now is not None:
+            return now
+        if self._last_tick is not None:
+            return self._last_tick
+        return self._clock()
+
+    def _tier_for(self, window_seconds: float) -> int:
+        """Finest tier whose full ring still covers the horizon."""
+        for idx, tier in enumerate(self.tiers):
+            if tier.horizon >= window_seconds:
+                return idx
+        return len(self.tiers) - 1
+
+    def windows_in(self, window_seconds: float,
+                   now: Optional[float] = None) -> list[Window]:
+        """The windows overlapping ``[now - window_seconds, now]``."""
+        if window_seconds <= 0.0:
+            raise ValueError(f"window must be positive, got {window_seconds!r}")
+        now = self._now(now)
+        ring = self._rings[self._tier_for(window_seconds)]
+        cutoff = now - window_seconds
+        return [win for win in ring if win.end > cutoff and win.start <= now]
+
+    def merged(self, window_seconds: float,
+               now: Optional[float] = None) -> Optional[Window]:
+        """All windows in the horizon merged into one (None when empty)."""
+        selected = self.windows_in(window_seconds, now=now)
+        if not selected:
+            return None
+        merged = selected[0]
+        for win in selected[1:]:
+            merged = merge_windows(merged, win)
+        return merged
+
+    def sum_over_window(self, name: str, window_seconds: float,
+                        labels: Optional[Mapping[str, Any]] = None,
+                        now: Optional[float] = None) -> float:
+        """Summed counter delta (or histogram observation count) over the
+        horizon, filtered to children whose labels include ``labels``."""
+        total = 0.0
+        for win in self.windows_in(window_seconds, now=now):
+            for key, delta in win.counters.items():
+                if _key_matches(key, name, labels):
+                    total += delta
+            for key, hist in win.histograms.items():
+                if _key_matches(key, name, labels):
+                    total += hist["count"]
+        return total
+
+    def rate(self, name: str, window_seconds: float,
+             labels: Optional[Mapping[str, Any]] = None,
+             now: Optional[float] = None) -> float:
+        """Per-second increase of a counter family over the horizon."""
+        return self.sum_over_window(name, window_seconds, labels=labels,
+                                    now=now) / window_seconds
+
+    def gauge(self, name: str, labels: Optional[Mapping[str, Any]] = None,
+              window_seconds: Optional[float] = None,
+              now: Optional[float] = None) -> float:
+        """Latest gauge observation within the horizon (NaN when absent)."""
+        horizon = window_seconds if window_seconds is not None \
+            else self.tiers[-1].horizon
+        best: Optional[tuple[float, float]] = None
+        for win in self.windows_in(horizon, now=now):
+            for key, tv in win.gauges.items():
+                if _key_matches(key, name, labels):
+                    if best is None or tv[0] >= best[0]:
+                        best = tv
+        return best[1] if best is not None else float("nan")
+
+    def histogram_over_window(
+        self, name: str, window_seconds: float,
+        labels: Optional[Mapping[str, Any]] = None,
+        now: Optional[float] = None,
+    ) -> tuple[list[list[Any]], float, float]:
+        """Merged histogram deltas over the horizon: (buckets, sum, count)."""
+        merged: list[list[Any]] = []
+        total_sum = 0.0
+        total_count = 0.0
+        for win in self.windows_in(window_seconds, now=now):
+            for key, hist in win.histograms.items():
+                if not _key_matches(key, name, labels):
+                    continue
+                total_sum += hist["sum"]
+                total_count += hist["count"]
+                if not merged:
+                    merged = [[bound, float(n)] for bound, n in hist["buckets"]]
+                else:
+                    for slot, (_, n) in zip(merged, hist["buckets"]):
+                        slot[1] += float(n)
+        return merged, total_sum, total_count
+
+    def quantile_over_window(self, name: str, q: float, window_seconds: float,
+                             labels: Optional[Mapping[str, Any]] = None,
+                             now: Optional[float] = None) -> float:
+        """Interpolated quantile of a histogram family's observations that
+        landed inside the horizon (NaN when none did)."""
+        buckets, _sum, count = self.histogram_over_window(
+            name, window_seconds, labels=labels, now=now)
+        if count <= 0.0:
+            return float("nan")
+        return bucket_quantile(buckets, int(count), q)
+
+    def series(self, name: str, window_seconds: float,
+               labels: Optional[Mapping[str, Any]] = None,
+               now: Optional[float] = None) -> list[tuple[float, float]]:
+        """Per-window ``(window_end, per-second rate)`` points for sparklines."""
+        points: list[tuple[float, float]] = []
+        for win in self.windows_in(window_seconds, now=now):
+            total = 0.0
+            for key, delta in win.counters.items():
+                if _key_matches(key, name, labels):
+                    total += delta
+            for key, hist in win.histograms.items():
+                if _key_matches(key, name, labels):
+                    total += hist["count"]
+            points.append((win.end, total / win.width))
+        return points
+
+    def counter_names(self) -> list[str]:
+        """Counter/histogram family names with any activity on record."""
+        names: set[str] = set()
+        for ring in self._rings:
+            for win in ring:
+                names.update(key[0] for key in win.counters)
+                names.update(key[0] for key in win.histograms)
+        return sorted(names)
+
+    @property
+    def last_tick(self) -> Optional[float]:
+        return self._last_tick
+
+    # -- serialization -------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "format": TIMELINE_FORMAT,
+            "version": TIMELINE_VERSION,
+            "tiers": [{"width": t.width, "capacity": t.capacity}
+                      for t in self.tiers],
+            "ticks": self.ticks,
+            "dropped": self.dropped,
+            "last_tick": self._last_tick,
+            "windows": [win.to_dict() for ring in self._rings for win in ring],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Mapping[str, Any]) -> "TimelineStore":
+        """Rebuild a query-only store (no registry) from :meth:`to_dict`."""
+        if doc.get("format") != TIMELINE_FORMAT:
+            raise ValueError(f"not a timeline document: format={doc.get('format')!r}")
+        if int(doc.get("version", 0)) > TIMELINE_VERSION:
+            raise ValueError(f"timeline version {doc.get('version')} is newer "
+                             f"than supported ({TIMELINE_VERSION})")
+        tiers = tuple(WindowTier(width=float(t["width"]), capacity=int(t["capacity"]))
+                      for t in doc["tiers"])
+        store = cls(registry=None, tiers=tiers)
+        store.ticks = int(doc.get("ticks", 0))
+        store.dropped = int(doc.get("dropped", 0))
+        last_tick = doc.get("last_tick")
+        store._last_tick = float(last_tick) if last_tick is not None else None
+        widths = {t.width: i for i, t in enumerate(store.tiers)}
+        for entry in doc.get("windows", ()):
+            win = Window.from_dict(entry)
+            tier_idx = widths.get(win.width)
+            if tier_idx is None:
+                continue
+            store._rings[tier_idx].append(win)
+        for ring in store._rings:
+            ring_sorted = sorted(ring, key=lambda w: w.index)
+            ring.clear()
+            ring.extend(ring_sorted)
+        return store
+
+    def write_jsonl(self, path: str) -> None:
+        """Compact JSONL: a header line, then one line per window."""
+        doc = self.to_dict()
+        windows = doc.pop("windows")
+        tmp = f"{path}.tmp.{os.getpid()}"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps(doc, sort_keys=True) + "\n")
+            for win in windows:
+                fh.write(json.dumps(win, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    @classmethod
+    def read_jsonl(cls, path: str) -> "TimelineStore":
+        with open(path, "r", encoding="utf-8") as fh:
+            header_line = fh.readline()
+            if not header_line.strip():
+                raise ValueError(f"{path}: empty timeline file")
+            doc = json.loads(header_line)
+            windows = []
+            for line in fh:
+                if line.strip():
+                    windows.append(json.loads(line))
+        doc["windows"] = windows
+        return cls.from_dict(doc)
+
+
+def _samples_by_labels(snapshot: Optional[Mapping[str, Any]],
+                       name: str) -> dict[tuple[tuple[str, str], ...], Any]:
+    if not snapshot:
+        return {}
+    family = snapshot.get(name)
+    if not family:
+        return {}
+    return {
+        _key_of(name, sample.get("labels", {}))[1]: sample
+        for sample in family.get("samples", ())
+    }
+
+
+def _histogram_delta(
+    sample: Mapping[str, Any], before: Optional[Mapping[str, Any]],
+) -> tuple[list[list[Any]], float, float]:
+    """Per-bucket increments since ``before`` (reset-aware, clamped >= 0)."""
+    buckets = sample["buckets"]
+    if before is None or float(sample["count"]) < float(before["count"]):
+        deltas = [[bound, float(n)] for bound, n in buckets]
+        return deltas, float(sample["sum"]), float(sample["count"])
+    prev = {idx: float(n) for idx, (_, n) in enumerate(before["buckets"])}
+    deltas = []
+    for idx, (bound, n) in enumerate(buckets):
+        deltas.append([bound, max(0.0, float(n) - prev.get(idx, 0.0))])
+    dsum = float(sample["sum"]) - float(before["sum"])
+    dcount = max(0.0, float(sample["count"]) - float(before["count"]))
+    return deltas, dsum, dcount
+
+
+def enable_timeline(
+    tiers: Optional[Iterable[WindowTier]] = None,
+    clock: Callable[[], float] = time.monotonic,
+) -> "TimelineStore":
+    """Attach a timeline store to the active telemetry session.
+
+    Enables telemetry if it is off; idempotent while a store is already
+    attached (the existing store is returned so layered callers share
+    windows, mirroring :func:`repro.obs.runtime.enable`).
+    """
+    from repro.obs import runtime as _runtime
+
+    tel = _runtime.enable()
+    if tel.timeline is None:
+        tel.timeline = TimelineStore(
+            tel.registry,
+            tiers=tuple(tiers) if tiers is not None else DEFAULT_TIERS,
+            clock=clock,
+        )
+    return tel.timeline

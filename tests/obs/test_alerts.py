@@ -180,7 +180,10 @@ def test_default_rules_catalog():
                      "model_drift_high", "residual_p95_high",
                      "lease_reclamations_high", "worker_heartbeat_stale",
                      "service_queue_depth_high", "service_p99_latency_high",
-                     "service_crash_loop", "service_deadline_shed_high"]
+                     "service_crash_loop", "service_deadline_shed_high",
+                     "service_requests_absent",
+                     "slo_service_availability_burn_fast",
+                     "slo_service_availability_burn_slow"]
     assert len(set(names)) == len(names)
     assert all(r.description for r in rules)
     heal = [r.name for r in rules if r.trigger_heal]

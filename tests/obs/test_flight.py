@@ -1,0 +1,237 @@
+"""The flight recorder: spill framing, dumps, recovery, inspection."""
+
+import json
+import os
+import sys
+
+import pytest
+
+from repro.obs import runtime as _obs
+from repro.obs import trace as _tracectx
+from repro.obs.flight import (
+    DUMP_FORMAT,
+    SPILL_MAGIC,
+    FlightRecorder,
+    enable_flight,
+    install_excepthook,
+    load_any,
+    load_dump,
+    read_spill,
+    recover_spill,
+    render_inspect,
+    telemetry_of,
+    write_dump,
+)
+
+
+@pytest.fixture()
+def telemetry():
+    tel = _obs.enable(fresh=True)
+    yield tel
+    _obs.disable()
+
+
+def make_recorder(telemetry, tmp_path, **kwargs):
+    kwargs.setdefault("spill_path", str(tmp_path / "box.spill"))
+    kwargs.setdefault("sync_interval", 0.0)
+    recorder = FlightRecorder(telemetry, process="test", **kwargs)
+    yield_value = recorder
+    return yield_value
+
+
+def test_capacity_floor(telemetry):
+    with pytest.raises(ValueError):
+        FlightRecorder(telemetry, spill_capacity=128)
+
+
+def test_spill_round_trip(telemetry, tmp_path):
+    with _obs.span("serve.request", verb="predict"):
+        pass
+    telemetry.events.info("loaded", model="lmo")
+    recorder = make_recorder(telemetry, tmp_path)
+    assert recorder.sync()
+    recorder.close()
+
+    payload = read_spill(str(tmp_path / "box.spill"))
+    assert payload["process"] == "test"
+    tel_doc = telemetry_of(payload)
+    assert [s["name"] for s in tel_doc["spans"]] == ["serve.request"]
+    assert any(e["name"] == "loaded" for e in tel_doc["events"])
+
+
+def test_spill_survives_repeated_syncs_and_shrinking(telemetry, tmp_path):
+    """The frame is rewritten at offset 0 each time; a shorter frame
+    after a longer one must still parse (stale tail bytes ignored)."""
+    recorder = make_recorder(telemetry, tmp_path)
+    for i in range(50):
+        telemetry.events.info("busy", i=i)
+    recorder.sync()
+    telemetry.events.clear()
+    recorder.sync()
+    recorder.close()
+    payload = read_spill(str(tmp_path / "box.spill"))
+    assert payload["syncs"] == 1  # count as of the second frame's encode
+
+
+def test_spill_detects_corruption(telemetry, tmp_path):
+    recorder = make_recorder(telemetry, tmp_path)
+    recorder.sync()
+    recorder.close()
+    path = str(tmp_path / "box.spill")
+
+    with open(path, "r+b") as fh:  # flip one payload byte
+        fh.seek(len(SPILL_MAGIC) + 8 + 10)
+        byte = fh.read(1)
+        fh.seek(len(SPILL_MAGIC) + 8 + 10)
+        fh.write(bytes([byte[0] ^ 0xFF]))
+    with pytest.raises(ValueError, match="CRC mismatch"):
+        read_spill(path)
+
+    with open(str(tmp_path / "not.spill"), "wb") as fh:
+        fh.write(b"nope")
+    with pytest.raises(ValueError, match="bad magic"):
+        read_spill(str(tmp_path / "not.spill"))
+
+
+def test_spill_detects_truncation(telemetry, tmp_path):
+    recorder = make_recorder(telemetry, tmp_path)
+    recorder.sync()
+    recorder.close()
+    path = str(tmp_path / "box.spill")
+    with open(path, "r+b") as fh:
+        fh.truncate(len(SPILL_MAGIC) + 8 + 5)
+    with pytest.raises(ValueError, match="truncated"):
+        read_spill(path)
+
+
+def test_oversized_rings_trim_to_fit(telemetry, tmp_path):
+    """More telemetry than the spill can hold: the encoder trims rings
+    progressively instead of writing a torn frame."""
+    for i in range(300):
+        telemetry.events.info("filler", payload="x" * 200, i=i)
+        with _obs.span("work", i=i):
+            pass
+    recorder = make_recorder(telemetry, tmp_path, spill_capacity=8192)
+    assert recorder.sync()
+    recorder.close()
+    payload = read_spill(str(tmp_path / "box.spill"))  # parses despite trim
+    tel_doc = telemetry_of(payload)
+    assert len(tel_doc["spans"]) <= 32
+    assert tel_doc["dropped"]["events"] > 0
+
+
+def test_dump_and_load(telemetry, tmp_path):
+    recorder = FlightRecorder(telemetry, process="serve",
+                              dump_dir=str(tmp_path / "dumps"))
+    path = recorder.dump(reason="manual")
+    assert os.path.basename(path).startswith("flight-serve-001-")
+    doc = load_dump(path)
+    assert doc["format"] == DUMP_FORMAT
+    assert doc["flight"]["process"] == "serve"
+    # load_any handles both forms
+    assert load_any(path)["process"] == "serve"
+
+
+def test_dump_crc_guard(telemetry, tmp_path):
+    recorder = FlightRecorder(telemetry, process="serve")
+    path = str(tmp_path / "dump.json")
+    recorder.dump(path=path)
+    doc = json.load(open(path))
+    doc["flight"]["pid"] = -1  # tamper
+    with open(path, "w") as fh:
+        json.dump(doc, fh)
+    with pytest.raises(ValueError, match="CRC mismatch"):
+        load_dump(path)
+
+
+def test_alert_transition_dumps_once(telemetry, tmp_path):
+    dumps = tmp_path / "dumps"
+    recorder = FlightRecorder(telemetry, process="serve",
+                              dump_dir=str(dumps))
+    recorder.note_alert(rule="burn", firing=True, value=20.0,
+                        threshold=14.4, level="error")
+    recorder.note_alert(rule="burn", firing=False, value=0.0,
+                        threshold=14.4, level="error")
+    names = sorted(p.name for p in dumps.iterdir())
+    assert len(names) == 1  # fire dumps, resolve does not
+    assert "alert_burn" in names[0]
+    payload = load_any(str(dumps / names[0]))
+    assert [a["firing"] for a in payload["alerts"]] == [True]
+
+
+def test_recover_spill_stamps_provenance(telemetry, tmp_path):
+    recorder = make_recorder(telemetry, tmp_path)
+    recorder.sync(reason="worker_dead")
+    recorder.close()
+    out = str(tmp_path / "recovered.json")
+    payload = recover_spill(str(tmp_path / "box.spill"), out,
+                            reason="crashed",
+                            extra={"supervisor": {"incarnation": 2}})
+    assert payload["reason"] == "crashed"
+    assert payload["recovered"]["synced_reason"] == "worker_dead"
+    assert payload["supervisor"]["incarnation"] == 2
+    assert load_dump(out)["flight"]["reason"] == "crashed"
+
+
+def test_maybe_sync_rate_limits(telemetry, tmp_path):
+    clock = [0.0]
+    recorder = FlightRecorder(telemetry, process="test",
+                              spill_path=str(tmp_path / "box.spill"),
+                              sync_interval=0.25, clock=lambda: clock[0])
+    assert recorder.maybe_sync()
+    assert not recorder.maybe_sync()  # interval not yet elapsed
+    clock[0] = 0.3
+    assert recorder.maybe_sync()
+    recorder.close()
+    assert recorder.syncs == 2
+
+
+def test_render_inspect_shows_spans_with_trace_ids(telemetry, tmp_path):
+    ctx = _tracectx.new_context()
+    token = _tracectx.activate(ctx)
+    with _obs.span("serve.request", verb="predict"):
+        pass
+    _tracectx.restore(token)
+    recorder = make_recorder(telemetry, tmp_path)
+    recorder.note_alert(rule="burn", firing=True, value=20.0,
+                        threshold=14.4, level="error")
+    recorder.close()
+    text = render_inspect(recorder.payload(reason="manual"))
+    assert "process=test" in text
+    assert "serve.request" in text
+    assert ctx.trace_id in text
+    assert "burn" in text and "FIRING" in text
+
+
+def test_enable_flight_attaches_and_env_default(telemetry, tmp_path,
+                                                monkeypatch):
+    spill = str(tmp_path / "env.spill")
+    monkeypatch.setenv("REPRO_FLIGHT_SPILL", spill)
+    recorder = enable_flight(process="child", sync_interval=0.0)
+    assert telemetry.flight is recorder
+    assert recorder.spill_path == spill
+    assert enable_flight(process="child") is recorder  # idempotent
+    recorder.sync()
+    _obs.pulse()  # the runtime pulse reaches the recorder
+    assert read_spill(spill)["process"] == "child"
+
+
+def test_excepthook_dumps_the_exception(telemetry, tmp_path):
+    recorder = FlightRecorder(telemetry, process="serve",
+                              dump_dir=str(tmp_path / "dumps"))
+    telemetry.flight = recorder
+    original = sys.excepthook
+    previous = install_excepthook()
+    assert previous is original  # the old hook comes back for chaining
+    try:
+        try:
+            raise RuntimeError("boom at cruise altitude")
+        except RuntimeError:
+            sys.excepthook(*sys.exc_info())
+    finally:
+        sys.excepthook = original
+    (dump,) = list((tmp_path / "dumps").iterdir())
+    payload = load_any(str(dump))
+    assert payload["reason"] == "unhandled_exception"
+    assert "boom at cruise altitude" in payload["exception"]
+    assert "boom at cruise altitude" in render_inspect(payload)

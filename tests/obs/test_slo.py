@@ -1,0 +1,288 @@
+"""SLO specs, error-budget math, and multi-window burn-rate alerting."""
+
+import json
+
+import pytest
+
+from repro.obs import runtime as _obs
+from repro.obs.insight import build_dashboard
+from repro.obs.insight.alerts import AlertEngine, AlertRule, slo_burn_rules
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import (
+    SLOSpec,
+    bad_fraction,
+    burn_rate,
+    default_slos,
+    evaluate_slos,
+    scaled,
+    window_counts,
+)
+from repro.obs.timeline import TimelineStore, WindowTier
+
+TIERS = (WindowTier(1.0, 120), WindowTier(10.0, 120), WindowTier(60.0, 180))
+
+AVAILABILITY = SLOSpec(
+    name="toy_availability", objective=0.9, kind="ratio",
+    metric="service_requests_total", good_labels=(("outcome", "ok"),),
+)
+
+
+def make_store():
+    reg = MetricsRegistry()
+    clock = [0.0]
+    store = TimelineStore(registry=reg, tiers=TIERS, clock=lambda: clock[0])
+    store.tick(0.0)
+    return reg, clock, store
+
+
+def serve_second(reg, clock, store, ok, errors):
+    clock[0] += 1.0
+    if ok:
+        reg.counter("service_requests_total", outcome="ok").inc(ok)
+    if errors:
+        reg.counter("service_requests_total", outcome="error").inc(errors)
+    store.tick(clock[0])
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", objective=1.5, kind="ratio", metric="m",
+                good_labels=(("a", "b"),))
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", objective=0.9, kind="nope", metric="m")
+    with pytest.raises(ValueError):  # ratio needs exactly one side
+        SLOSpec(name="x", objective=0.9, kind="ratio", metric="m")
+    with pytest.raises(ValueError):
+        SLOSpec(name="x", objective=0.9, kind="ratio", metric="m",
+                good_labels=(("a", "b"),), bad_labels=(("c", "d"),))
+    with pytest.raises(ValueError):  # latency needs a threshold
+        SLOSpec(name="x", objective=0.9, kind="latency", metric="m")
+
+
+def test_spec_round_trip():
+    for spec in default_slos():
+        assert SLOSpec.from_dict(spec.to_dict()) == spec
+
+
+def test_ratio_counts_and_burn():
+    reg, clock, store = make_store()
+    for _ in range(10):
+        serve_second(reg, clock, store, ok=8, errors=2)
+    good, total = window_counts(AVAILABILITY, store, 10.0)
+    assert (good, total) == (80.0, 100.0)
+    assert bad_fraction(AVAILABILITY, store, 10.0) == pytest.approx(0.2)
+    # 20% bad against a 10% budget = burning 2x
+    assert burn_rate(AVAILABILITY, store, 10.0) == pytest.approx(2.0)
+
+
+def test_no_traffic_is_not_burning():
+    _, _, store = make_store()
+    assert bad_fraction(AVAILABILITY, store, 10.0) == 0.0
+    assert burn_rate(AVAILABILITY, store, 10.0) == 0.0
+
+
+def test_latency_slo_counts_good_below_threshold():
+    reg, clock, store = make_store()
+    hist = reg.histogram("service_request_seconds",
+                         buckets=(0.01, 0.1, 0.25, 1.0))
+    for i in range(10):
+        clock[0] += 1.0
+        hist.observe(0.05 if i < 9 else 0.9)  # one slow request
+        store.tick(clock[0])
+    spec = SLOSpec(name="lat", objective=0.5, kind="latency",
+                   metric="service_request_seconds", threshold=0.25)
+    good, total = window_counts(spec, store, 10.0)
+    assert total == 10.0
+    assert 8.5 <= good <= 9.5  # the slow one falls above the threshold
+
+
+def test_evaluate_slos_statuses():
+    reg, clock, store = make_store()
+    for _ in range(20):
+        serve_second(reg, clock, store, ok=95, errors=5)
+    statuses = evaluate_slos([AVAILABILITY], store,
+                             fast_window=10.0, slow_window=20.0)
+    assert len(statuses) == 1
+    status = statuses[0]
+    # 5% bad on a 10% budget: half the budget consumed, burning at 0.5x
+    assert status.burn_fast == pytest.approx(0.5)
+    assert status.burn_slow == pytest.approx(0.5)
+    assert status.budget_remaining == pytest.approx(0.5)
+    doc = status.to_dict()
+    assert doc["slo"]["name"] == "toy_availability"
+    json.dumps(doc)  # JSON-ready
+
+
+def test_scaled_override():
+    tight = scaled(AVAILABILITY, objective=0.99)
+    assert tight.objective == 0.99
+    assert tight.metric == AVAILABILITY.metric
+
+
+def burn_engine(events):
+    """An engine with one toy availability SLO and shrunken windows."""
+    rules = slo_burn_rules("toy_availability",
+                           fast_windows=(5.0, 10.0),
+                           slow_windows=(10.0, 20.0),
+                           fast_burn=2.0, slow_burn=1.0)
+    engine = AlertEngine(rules=rules, slos=[AVAILABILITY],
+                         on_fire=lambda rule, value: events.append(rule.name))
+    return engine
+
+
+def test_burn_rate_fires_once_per_transition_and_recovers():
+    """The acceptance scenario: injected errors exhaust the toy SLO's
+    fast window, the burn rule fires exactly once per transition, and
+    resolves when healthy traffic refills the budget."""
+    reg, clock, store = make_store()
+    fired = []
+    engine = burn_engine(fired)
+    fast = "slo_toy_availability_burn_fast"
+
+    # Healthy traffic: nothing fires.
+    for _ in range(10):
+        serve_second(reg, clock, store, ok=10, errors=0)
+        engine.evaluate(reg.snapshot(), timeline=store)
+    assert fired == []
+    assert engine.firing() == []
+
+    # Inject a 50% error rate: 5x the 10% budget > both thresholds.
+    for _ in range(10):
+        serve_second(reg, clock, store, ok=5, errors=5)
+        engine.evaluate(reg.snapshot(), timeline=store)
+    assert fast in engine.firing()
+    # once per transition, not once per evaluation
+    assert fired.count(fast) == 1
+
+    # Healthy again: the windows drain and every burn rule resolves.
+    for _ in range(25):
+        serve_second(reg, clock, store, ok=10, errors=0)
+        engine.evaluate(reg.snapshot(), timeline=store)
+    assert engine.firing() == []
+
+    # A second outage fires the same rule exactly once more.
+    for _ in range(10):
+        serve_second(reg, clock, store, ok=5, errors=5)
+        engine.evaluate(reg.snapshot(), timeline=store)
+    assert fired.count(fast) == 2
+
+
+def test_multi_window_needs_both_windows_hot():
+    """A short error blip heats the 5s window but not the 10s one: the
+    min() of the two burn rates stays below the paging threshold."""
+    reg, clock, store = make_store()
+    engine = burn_engine([])
+    for _ in range(20):
+        serve_second(reg, clock, store, ok=10, errors=0)
+    serve_second(reg, clock, store, ok=0, errors=10)  # 1s of pure errors
+    states = {s.rule.name: s
+              for s in engine.evaluate(reg.snapshot(), timeline=store)}
+    fast = states["slo_toy_availability_burn_fast"]
+    # fast window burn alone would be 10/5s = 20% bad = 2x.. but the
+    # 10s window dilutes it below the 2x threshold
+    assert not fast.firing
+    assert fast.value < 2.0
+
+
+def test_engine_state_round_trips_through_dict():
+    reg, clock, store = make_store()
+    engine = burn_engine([])
+    for _ in range(10):
+        serve_second(reg, clock, store, ok=5, errors=5)
+        engine.evaluate(reg.snapshot(), timeline=store)
+    assert engine.firing()  # mid-incident
+
+    doc = json.loads(json.dumps(engine.to_dict()))  # through JSON
+    resumed = AlertEngine.from_dict(doc)
+    assert resumed.firing() == engine.firing()
+    assert [r.name for r in resumed.rules] == [r.name for r in engine.rules]
+    assert set(resumed.slos) == {"toy_availability"}
+
+    # Still firing on the next evaluation: no re-fire transition events.
+    fired = []
+    resumed.on_fire = lambda rule, value: fired.append(rule.name)
+    serve_second(reg, clock, store, ok=5, errors=5)
+    resumed.evaluate(reg.snapshot(), timeline=store)
+    assert fired == []
+
+
+def test_burn_rules_quiet_without_timeline():
+    engine = burn_engine([])
+    reg = MetricsRegistry()
+    reg.counter("service_requests_total", outcome="error").inc(100)
+    states = engine.evaluate(reg.snapshot())  # no timeline passed
+    assert all(not s.firing for s in states)
+    assert all(s.value == 0.0 for s in states)
+
+
+def test_metric_absent_rule_lifecycle():
+    rule = AlertRule(name="gone", kind="metric_absent",
+                     metric="service_requests_total",
+                     threshold=3.0, op=">=", level="error")
+    engine = AlertEngine(rules=[rule])
+    reg = MetricsRegistry()
+
+    # Never reported: never stale (campaign-only processes stay quiet).
+    for _ in range(5):
+        (state,) = engine.evaluate(reg.snapshot())
+        assert state.value == 0.0 and not state.firing
+
+    counter = reg.counter("service_requests_total", outcome="ok")
+    counter.inc()
+    (state,) = engine.evaluate(reg.snapshot())
+    assert state.value == 0.0
+
+    # Frozen total: the streak builds up and fires at 3.
+    for expected in (1.0, 2.0):
+        (state,) = engine.evaluate(reg.snapshot())
+        assert state.value == expected and not state.firing
+    (state,) = engine.evaluate(reg.snapshot())
+    assert state.value == 3.0 and state.firing
+
+    # New activity resets the streak and resolves.
+    counter.inc()
+    (state,) = engine.evaluate(reg.snapshot())
+    assert state.value == 0.0 and not state.firing
+
+
+def test_dashboard_json_carries_slo_state():
+    """The dashboard data dict (what `repro obs dashboard --format json`
+    emits) round-trips burn state: same firing set, same budget."""
+    reg, clock, store = make_store()
+    for _ in range(10):
+        serve_second(reg, clock, store, ok=5, errors=5)
+    rules = slo_burn_rules("toy_availability",
+                           fast_windows=(5.0, 10.0),
+                           slow_windows=(10.0, 20.0),
+                           fast_burn=2.0, slow_burn=1.0)
+    engine = AlertEngine(rules=rules, slos=[AVAILABILITY])
+    doc = {"format": "repro-telemetry", "version": 1, "enabled": True,
+           "metrics": reg.snapshot(), "spans": [], "events": [],
+           "dropped": {}, "timeline": store.to_dict()}
+    data = build_dashboard(doc, engine=engine)
+    data = json.loads(json.dumps(data))  # the --format json path
+    firing = [a["rule"]["name"] for a in data["alerts"] if a["firing"]]
+    assert "slo_toy_availability_burn_fast" in firing
+    (status,) = [s for s in data["slos"]
+                 if s["slo"]["name"] == "toy_availability"]
+    assert status["budget_remaining"] == 0.0
+    assert status["burn_fast"] > 2.0
+
+
+@pytest.fixture()
+def telemetry():
+    tel = _obs.enable(fresh=True)
+    yield tel
+    _obs.disable()
+
+
+def test_transitions_are_narrated_once(telemetry):
+    reg, clock, store = make_store()
+    engine = burn_engine([])
+    for _ in range(10):
+        serve_second(reg, clock, store, ok=0, errors=10)
+        engine.evaluate(reg.snapshot(), timeline=store)
+    assert telemetry.events.count("alert_firing") == len(engine.firing())
+    fired = telemetry.registry.value(
+        "alerts_fired_total", rule="slo_toy_availability_burn_fast")
+    assert fired == 1.0

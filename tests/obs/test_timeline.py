@@ -1,0 +1,172 @@
+"""The windowed time-series store: ticking, queries, persistence."""
+
+import math
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import (
+    DEFAULT_TIERS,
+    TimelineStore,
+    Window,
+    WindowTier,
+    merge_windows,
+)
+
+TIERS = (WindowTier(1.0, 120), WindowTier(10.0, 120), WindowTier(60.0, 180))
+
+
+def make_store():
+    reg = MetricsRegistry()
+    clock = [0.0]
+    store = TimelineStore(registry=reg, tiers=TIERS, clock=lambda: clock[0])
+    store.tick(0.0)
+    return reg, clock, store
+
+
+def drive(reg, clock, store, seconds, ok_per_s=9, err_per_s=1, latency=0.05):
+    for _ in range(seconds):
+        clock[0] += 1.0
+        reg.counter("service_requests_total", outcome="ok").inc(ok_per_s)
+        if err_per_s:
+            reg.counter("service_requests_total", outcome="error").inc(err_per_s)
+        reg.histogram("service_request_seconds",
+                      buckets=(0.01, 0.1, 0.25, 1.0)).observe(latency)
+        store.tick(clock[0])
+
+
+def test_tier_validation():
+    with pytest.raises(ValueError):
+        WindowTier(0.0, 10)
+    with pytest.raises(ValueError):
+        WindowTier(1.0, 0)
+    with pytest.raises(ValueError):
+        TimelineStore(registry=MetricsRegistry(), tiers=())
+    with pytest.raises(ValueError):  # duplicate widths are ambiguous
+        TimelineStore(registry=MetricsRegistry(),
+                      tiers=(WindowTier(1.0, 10), WindowTier(1.0, 20)))
+    # tier order does not matter: the store sorts finest -> coarsest
+    store = TimelineStore(registry=MetricsRegistry(),
+                          tiers=(WindowTier(10.0, 10), WindowTier(1.0, 10)))
+    assert [t.width for t in store.tiers] == [1.0, 10.0]
+
+
+def test_counter_sum_and_rate():
+    reg, clock, store = make_store()
+    drive(reg, clock, store, 30)
+    assert store.sum_over_window("service_requests_total", 30.0) == 300.0
+    assert store.sum_over_window("service_requests_total", 30.0,
+                                 labels={"outcome": "error"}) == 30.0
+    assert store.rate("service_requests_total", 30.0) == pytest.approx(10.0)
+
+
+def test_counter_reset_clamps_to_zero():
+    """A registry reset (restart) must never produce a negative delta."""
+    reg, clock, store = make_store()
+    drive(reg, clock, store, 5)
+    reg.reset()
+    clock[0] += 1.0
+    reg.counter("service_requests_total", outcome="ok").inc(2)
+    store.tick(clock[0])
+    total = store.sum_over_window("service_requests_total", 60.0)
+    assert total == 52.0  # 50 before the reset + 2 after, nothing negative
+    assert store.rate("service_requests_total", 60.0) >= 0.0
+
+
+def test_gauge_latest_wins():
+    reg, clock, store = make_store()
+    for value in (3.0, 7.0, 5.0):
+        clock[0] += 1.0
+        reg.gauge("queue_depth").set(value)
+        store.tick(clock[0])
+    assert store.gauge("queue_depth") == 5.0
+    assert math.isnan(store.gauge("never_seen"))
+
+
+def test_quantile_over_window():
+    reg, clock, store = make_store()
+    drive(reg, clock, store, 20, latency=0.05)
+    q99 = store.quantile_over_window("service_request_seconds", 0.99, 20.0)
+    assert 0.01 <= q99 <= 0.1  # the 0.05 observations live in (0.01, 0.1]
+    assert math.isnan(
+        store.quantile_over_window("service_request_seconds", 0.99, 20.0,
+                                   labels={"outcome": "nope"})
+    )
+
+
+def test_tier_selection_prefers_finest_sufficient():
+    reg, clock, store = make_store()
+    drive(reg, clock, store, 30)
+    fine = store.windows_in(30.0)
+    assert all(w.width == 1.0 for w in fine)
+    coarse = store.windows_in(600.0)
+    assert all(w.width == 10.0 for w in coarse)
+
+
+def test_backwards_clock_is_clamped():
+    reg, clock, store = make_store()
+    drive(reg, clock, store, 5)
+    before = store.last_tick
+    store.tick(before - 3.0)  # clock went backwards; no crash, no reorder
+    assert store.last_tick == before
+
+
+def test_window_dict_round_trip():
+    reg, clock, store = make_store()
+    drive(reg, clock, store, 15)
+    doc = store.to_dict()
+    back = TimelineStore.from_dict(doc)
+    assert back.sum_over_window("service_requests_total", 15.0) == \
+        store.sum_over_window("service_requests_total", 15.0)
+    assert back.rate("service_requests_total", 15.0) == \
+        store.rate("service_requests_total", 15.0)
+    # a query-only store cannot tick
+    with pytest.raises(ValueError):
+        back.tick(99.0)
+
+
+def test_jsonl_round_trip(tmp_path):
+    reg, clock, store = make_store()
+    drive(reg, clock, store, 15)
+    path = str(tmp_path / "timeline.jsonl")
+    store.write_jsonl(path)
+    back = TimelineStore.read_jsonl(path)
+    assert back.sum_over_window("service_requests_total", 15.0) == 150.0
+    assert back.counter_names() == store.counter_names()
+
+
+def test_maybe_tick_respects_finest_width():
+    reg, clock, store = make_store()
+    clock[0] = 0.5
+    assert not store.maybe_tick()  # under a second since the baseline tick
+    clock[0] = 1.5
+    assert store.maybe_tick()
+    assert not store.maybe_tick()
+
+
+def test_eviction_is_bounded():
+    reg = MetricsRegistry()
+    clock = [0.0]
+    store = TimelineStore(registry=reg,
+                          tiers=(WindowTier(1.0, 4),),
+                          clock=lambda: clock[0])
+    store.tick(0.0)
+    for _ in range(20):
+        clock[0] += 1.0
+        reg.counter("ticks_total").inc()
+        store.tick(clock[0])
+    windows = store.windows_in(100.0)
+    assert len(windows) <= 4
+    assert store.sum_over_window("ticks_total", 100.0) <= 4.0
+
+
+def test_merge_windows_requires_same_width():
+    a = Window(width=1.0, index=0)
+    b = Window(width=2.0, index=0)
+    with pytest.raises(ValueError):
+        merge_windows(a, b)
+
+
+def test_default_tiers_cover_six_hours():
+    assert DEFAULT_TIERS[0].width == 1.0
+    assert DEFAULT_TIERS[-1].horizon >= 3 * 3600.0

@@ -1,0 +1,150 @@
+"""Property tests for the timeline's algebra (hypothesis).
+
+The guarantees the SLO layer leans on:
+
+* window merging is associative — tier roll-ups and query-time merges
+  may group windows however they like;
+* counter rates are never negative, whatever order increments, registry
+  resets and clock jumps arrive in;
+* ``quantile_over_window`` (and the alert engine's
+  ``_histogram_quantile``) are monotone in ``q`` — a p99 threshold can
+  never read below a p50 one on the same data.
+
+Counter/histogram values are integer-valued so float addition is exact
+and associativity can be asserted with ``==``.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.insight.alerts import _histogram_quantile
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import (
+    TimelineStore,
+    Window,
+    WindowTier,
+    merge_windows,
+)
+
+KEYS = st.sampled_from([
+    ("requests_total", ()),
+    ("requests_total", (("outcome", "ok"),)),
+    ("requests_total", (("outcome", "error"),)),
+    ("queue_depth", ()),
+])
+
+BOUNDS = (0.01, 0.1, "+Inf")
+
+counts = st.integers(min_value=0, max_value=10 ** 6).map(float)
+
+
+@st.composite
+def windows(draw):
+    win = Window(width=1.0, index=draw(st.integers(0, 5)),
+                 ticks=draw(st.integers(0, 3)))
+    for key in draw(st.lists(KEYS, unique=True)):
+        win.add_counter(key, draw(counts))
+    for key in draw(st.lists(KEYS, unique=True)):
+        win.add_gauge(key, ts=float(draw(st.integers(0, 100))),
+                      value=float(draw(st.integers(-50, 50))))
+    for key in draw(st.lists(KEYS, unique=True, max_size=2)):
+        bucket_counts = [draw(counts) for _ in BOUNDS]
+        win.add_histogram(key,
+                          [[b, n] for b, n in zip(BOUNDS, bucket_counts)],
+                          dsum=float(draw(st.integers(0, 1000))),
+                          dcount=sum(bucket_counts))
+    return win
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows(), windows(), windows())
+def test_merge_is_associative(a, b, c):
+    left = merge_windows(merge_windows(a, b), c)
+    right = merge_windows(a, merge_windows(b, c))
+    assert left.to_dict() == right.to_dict()
+
+
+@settings(max_examples=60, deadline=None)
+@given(windows(), windows())
+def test_merge_commutes_on_counters_and_histograms(a, b):
+    ab, ba = merge_windows(a, b), merge_windows(b, a)
+    assert ab.counters == ba.counters
+    assert ab.to_dict().get("histograms") == ba.to_dict().get("histograms")
+
+
+# One step of timeline traffic: increment, reset the registry (a process
+# restart), or advance/rewind the clock and tick.
+steps = st.lists(
+    st.one_of(
+        st.tuples(st.just("inc"), st.sampled_from(["ok", "error"]),
+                  st.integers(0, 100)),
+        st.tuples(st.just("reset"), st.none(), st.none()),
+        st.tuples(st.just("tick"), st.floats(-5.0, 10.0), st.none()),
+    ),
+    min_size=1, max_size=40,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(steps, st.floats(min_value=0.5, max_value=200.0))
+def test_rates_never_negative(script, horizon):
+    reg = MetricsRegistry()
+    clock = [0.0]
+    store = TimelineStore(
+        registry=reg,
+        tiers=(WindowTier(1.0, 32), WindowTier(10.0, 16)),
+        clock=lambda: clock[0],
+    )
+    store.tick(0.0)
+    for op, arg1, arg2 in script:
+        if op == "inc":
+            reg.counter("requests_total", outcome=arg1).inc(arg2)
+        elif op == "reset":
+            reg.reset()
+        else:
+            clock[0] += arg1  # may move backwards; tick clamps
+            store.tick(clock[0])
+    assert store.rate("requests_total", horizon) >= 0.0
+    assert store.sum_over_window("requests_total", horizon) >= 0.0
+    for labels in ({"outcome": "ok"}, {"outcome": "error"}):
+        assert store.sum_over_window("requests_total", horizon,
+                                     labels=labels) >= 0.0
+
+
+quantiles = st.lists(st.floats(min_value=0.01, max_value=1.0),
+                     min_size=2, max_size=6)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=1e-4, max_value=2.0),
+                min_size=1, max_size=50),
+       quantiles)
+def test_quantile_over_window_monotone_in_q(observations, qs):
+    reg = MetricsRegistry()
+    clock = [0.0]
+    store = TimelineStore(registry=reg, tiers=(WindowTier(1.0, 64),),
+                          clock=lambda: clock[0])
+    store.tick(0.0)
+    hist = reg.histogram("latency_seconds", buckets=(0.01, 0.1, 0.25, 1.0))
+    for value in observations:
+        clock[0] += 1.0
+        hist.observe(value)
+        store.tick(clock[0])
+    results = [store.quantile_over_window("latency_seconds", q, 64.0)
+               for q in sorted(qs)]
+    assert all(a <= b for a, b in zip(results, results[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=1e-4, max_value=2.0),
+                min_size=1, max_size=50),
+       quantiles)
+def test_alert_histogram_quantile_monotone_in_q(observations, qs):
+    reg = MetricsRegistry()
+    hist = reg.histogram("latency_seconds", buckets=(0.01, 0.1, 0.25, 1.0))
+    for value in observations:
+        hist.observe(value)
+    metrics = reg.snapshot()
+    results = [_histogram_quantile(metrics, "latency_seconds", (), q)
+               for q in sorted(qs)]
+    assert all(a <= b for a, b in zip(results, results[1:]))

@@ -1,0 +1,117 @@
+"""The black-box acceptance flight: kill -9 a supervised daemon mid-load
+and read the story back out of the wreckage.
+
+The child mirrors its flight recorder to a supervisor-assigned spill
+file on every request (``--flight-sync-interval 0``); SIGKILL gives it
+no chance to say goodbye.  The supervisor reaps the corpse, promotes the
+spill into a durable flight dump, and ``repro obs flight inspect`` shows
+the last ``serve.request`` spans — stamped with the trace id the caller
+was propagating when the lights went out.
+"""
+
+import io
+import os
+import random
+import signal
+import sys
+import threading
+import time
+from contextlib import redirect_stdout
+
+import pytest
+
+from repro import api
+from repro.cli import main as cli_main
+from repro.obs import flight as _flight
+from repro.obs import trace as _trace
+from repro.serve.client import ResilientClient, RetryPolicy
+from repro.serve.supervisor import Supervisor, SupervisorConfig, resolve_port
+
+from tests.serve.conftest import KB, make_model
+
+pytestmark = pytest.mark.resilience
+
+SRC = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", "..",
+                                   "src"))
+
+
+@pytest.fixture()
+def model_file(tmp_path):
+    path = tmp_path / "lmo.json"
+    api.save_model(make_model(), str(path))
+    return str(path)
+
+
+def test_kill9_leaves_a_readable_flight_dump(model_file, tmp_path,
+                                             monkeypatch):
+    flight_dir = str(tmp_path / "flight")
+    port = resolve_port()
+    command = [sys.executable, "-m", "repro.cli", "serve",
+               "--host", "127.0.0.1", "--port", str(port),
+               "--model", f"lmo={model_file}", "--workers", "1",
+               "--flight-sync-interval", "0"]
+    supervisor = Supervisor(SupervisorConfig(
+        command=command, port=port,
+        health_interval=0.1, backoff_base=0.05, backoff_max=0.5,
+        restart_limit=5, restart_window=60.0,
+        flight_dir=flight_dir,
+    ))
+    monkeypatch.setenv("PYTHONPATH", SRC)
+
+    thread = threading.Thread(target=supervisor.run, daemon=True)
+    thread.start()
+    ctx = _trace.new_context(random.Random(11))
+    token = _trace.activate(ctx)
+    client = ResilientClient(
+        host="127.0.0.1", port=port, timeout=5.0,
+        retry=RetryPolicy(max_retries=40, base_delay=0.05, max_delay=0.5,
+                          seed=3),
+    )
+    try:
+        # Load with a live trace context: every wire hop carries ctx's
+        # trace id, and the child's recorder spills after each request.
+        for i in range(5):
+            client.predict("lmo", "scatter", "linear", float(KB << i))
+
+        victim = supervisor.child
+        assert victim is not None
+        spill = os.path.join(flight_dir, "child-1.spill")
+        assert os.path.exists(spill)  # the supervisor assigned it via env
+        os.kill(victim.pid, signal.SIGKILL)
+
+        # The same client rides through the restart; service recovered.
+        client.predict("lmo", "scatter", "linear", 64.0 * KB)
+        deadline = time.monotonic() + 30.0
+        while not supervisor.flight_dumps and time.monotonic() < deadline:
+            time.sleep(0.05)
+    finally:
+        _trace.restore(token)
+        client.close()
+        supervisor.stop()
+        thread.join(timeout=30.0)
+    assert not thread.is_alive()
+
+    # -- the dump: durable, provenance-stamped, trace-correlated ---------
+    assert supervisor.flight_dumps
+    dump_path = supervisor.flight_dumps[0]
+    assert os.path.basename(dump_path) == "flight-1-crashed.json"
+    payload = _flight.load_any(dump_path)
+    assert payload["reason"] == "crashed"
+    assert payload["recovered"]["reason"] == "crashed"
+    assert payload["supervisor"]["incarnation"] == 1
+    assert payload["supervisor"]["returncode"] == -signal.SIGKILL
+
+    spans = _flight.telemetry_of(payload)["spans"]
+    served = [s for s in spans if s["name"] == "serve.request"]
+    assert served, f"no serve.request spans in {dump_path}"
+    assert any(s.get("trace_id") == ctx.trace_id for s in served)
+
+    # -- and the operator path: repro obs flight inspect ------------------
+    out = io.StringIO()
+    with redirect_stdout(out):
+        code = cli_main(["obs", "flight", "inspect", dump_path])
+    text = out.getvalue()
+    assert code == 0
+    assert "serve.request" in text
+    assert ctx.trace_id in text
+    assert "crashed" in text

@@ -354,3 +354,137 @@ def test_obs_trace_stitch_error_paths(tmp_path, capsys):
 def test_client_rejects_malformed_traceparent(capsys):
     assert main(["client", "health", "--traceparent", "garbage"]) == 2
     assert "malformed --traceparent" in capsys.readouterr().err
+
+
+# -- obs dashboard bench hardening ------------------------------------------------
+def test_obs_dashboard_survives_truncated_bench_file(snapshot, tmp_path,
+                                                     capsys):
+    """A half-written BENCH_*.json (a crashed benchmark, a torn copy)
+    must become a warning panel, never a traceback."""
+    _journal, metrics = snapshot
+    out = str(tmp_path / "dash.html")
+    truncated = tmp_path / "BENCH_torn.json"
+    truncated.write_text('{"bench": "torn", "guard_ns"')  # mid-key EOF
+    good = tmp_path / "BENCH_good.json"
+    good.write_text(json.dumps({"overhead_fraction": 0.003}))
+    wrong_shape = tmp_path / "BENCH_list.json"
+    wrong_shape.write_text("[1, 2, 3]")
+
+    assert main(["obs", "dashboard", "--metrics", metrics, "--out", out,
+                 "--bench", str(truncated), "--bench", str(good),
+                 "--bench", str(wrong_shape),
+                 "--bench", str(tmp_path / "BENCH_absent.json")]) == 0
+    text = capsys.readouterr().out
+    assert "BENCH_torn.json skipped" in text
+    assert "BENCH_list.json skipped" in text
+    assert "BENCH_absent.json skipped" in text
+    html = open(out).read()
+    assert "Ingest warnings" in html
+    assert "BENCH_torn.json" in html
+    assert "BENCH_good.json" in html  # the healthy file still renders
+
+
+# -- obs top ----------------------------------------------------------------------
+def test_obs_top_renders_operator_view(snapshot, capsys):
+    _journal, metrics = snapshot
+    assert main(["obs", "top", "--metrics", metrics, "--count", "2",
+                 "--interval", "0"]) == 0
+    out = capsys.readouterr().out
+    assert out.count("repro model-fidelity observatory") == 2
+    # campaign snapshots carry no timeline section; top says so instead
+    # of pretending rates exist
+    assert "no timeline in this snapshot" in out
+
+
+def test_obs_top_format_json_is_dashboard_data(snapshot, capsys):
+    _journal, metrics = snapshot
+    assert main(["obs", "top", "--metrics", metrics, "--count", "1",
+                 "--format", "json"]) == 0
+    data = json.loads(capsys.readouterr().out)
+    assert data["title"] == "repro model-fidelity observatory"
+    assert "slos" in data and "timeline" in data
+
+
+# -- obs flight -------------------------------------------------------------------
+def _write_spill(tmp_path):
+    """A real recorder spill with one traced serve.request span."""
+    import random as _random
+
+    from repro.obs import trace as _tracectx
+    from repro.obs.flight import FlightRecorder
+
+    tel = _obs.enable(fresh=True)
+    ctx = _tracectx.new_context(_random.Random(5))
+    token = _tracectx.activate(ctx)
+    with _obs.span("serve.request", verb="predict"):
+        pass
+    _tracectx.restore(token)
+    spill = str(tmp_path / "child-1.spill")
+    recorder = FlightRecorder(tel, process="serve", spill_path=spill,
+                              sync_interval=0.0)
+    recorder.sync()
+    recorder.close()
+    _obs.disable()
+    return spill, ctx.trace_id
+
+
+def test_obs_flight_dump_inspect_stitch_round_trip(tmp_path, capsys):
+    spill, trace_id = _write_spill(tmp_path)
+    dump = str(tmp_path / "flight.json")
+
+    assert main(["obs", "flight", "dump", "--spill", spill,
+                 "--out", dump, "--reason", "crashed"]) == 0
+    assert f"flight dump written to {dump}" in capsys.readouterr().out
+
+    assert main(["obs", "flight", "inspect", dump]) == 0
+    text = capsys.readouterr().out
+    assert "process=serve" in text
+    assert "serve.request" in text
+    assert trace_id in text
+    assert "crashed" in text
+
+    assert main(["obs", "flight", "inspect", dump, "--format", "json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["reason"] == "crashed"
+
+    # spills inspect directly too (no recovery step needed to peek)
+    assert main(["obs", "flight", "inspect", spill]) == 0
+    assert "serve.request" in capsys.readouterr().out
+
+    assert main(["obs", "flight", "stitch", "--in", f"serve={dump}",
+                 "--list"]) == 0
+    assert trace_id in capsys.readouterr().out
+    out = str(tmp_path / "stitched.json")
+    assert main(["obs", "flight", "stitch", "--in", f"serve={dump}",
+                 "--trace-id", trace_id, "--out", out]) == 0
+    capsys.readouterr()
+    doc = json.load(open(out))
+    names = {e["name"] for e in doc["traceEvents"]}
+    assert "serve.request" in names
+
+
+def test_obs_flight_dump_default_out_path(tmp_path, capsys):
+    spill, _trace_id = _write_spill(tmp_path)
+    assert main(["obs", "flight", "dump", "--spill", spill]) == 0
+    expected = spill[: -len(".spill")] + ".json"
+    assert f"written to {expected}" in capsys.readouterr().out
+    assert json.load(open(expected))["format"] == "repro-flight-dump"
+
+
+def test_obs_flight_error_paths(tmp_path, capsys):
+    assert main(["obs", "flight", "inspect",
+                 str(tmp_path / "absent.json")]) == 2
+    assert "cannot read flight recording" in capsys.readouterr().err
+
+    assert main(["obs", "flight", "dump", "--spill",
+                 str(tmp_path / "absent.spill")]) == 2
+    assert "cannot recover spill" in capsys.readouterr().err
+
+    assert main(["obs", "flight", "stitch"]) == 2
+    assert "nothing to stitch" in capsys.readouterr().err
+
+    not_a_dump = tmp_path / "model.json"
+    not_a_dump.write_text('{"nope": 1}')
+    assert main(["obs", "flight", "stitch", "--in",
+                 f"x={not_a_dump}"]) == 2
+    assert "cannot read flight dump" in capsys.readouterr().err
